@@ -1,0 +1,73 @@
+// Experiment E16 (ablation) — §8's word→bit decomposition: "each word
+// processor can be partitioned into bit processors to achieve modularity at
+// the bit-level."
+//
+// Runs the same intersection at word level and at several bit widths and
+// reports the trade: pulses grow ~linearly with word width (longer rows),
+// while each cell shrinks from a w-bit comparator to the single 240µ×150µ
+// bit comparator §8's chip arithmetic counts. The selection bits are
+// verified identical on every row. The chips column uses the §8 floorplan.
+
+#include <cstdio>
+
+#include "arrays/bit_serial.h"
+#include "arrays/intersection_array.h"
+#include "bench_util.h"
+#include "perfmodel/floorplan.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::MakePair;
+using systolic::bench::Unwrap;
+
+}  // namespace
+
+int main() {
+  const size_t n = 24;
+  const rel::Schema schema = rel::MakeIntSchema(2);
+  rel::PairOptions options;
+  options.base.num_tuples = n;
+  options.base.domain_size = 31;  // 5 bits; +shift keeps within 6
+  options.base.seed = 47;
+  options.b_num_tuples = n;
+  options.overlap_fraction = 0.4;
+  const auto pair = Unwrap(rel::GenerateOverlappingPair(schema, options));
+
+  const auto word_run = Unwrap(arrays::SystolicIntersection(pair.a, pair.b));
+  const perf::Technology tech = perf::Technology::Conservative1980();
+
+  std::printf("=== E16: word-level vs bit-level intersection array (n=%zu, "
+              "2 columns) ===\n",
+              n);
+  std::printf("%-16s %-10s %-14s %-10s %-10s\n", "decomposition", "pulses",
+              "grid columns", "bit cells", "chips");
+
+  const size_t rows = arrays::ComparisonGrid::RowsForMarching(n);
+  {
+    // Word level: each cell is a 64-bit word comparator = 64 bit cells.
+    const perf::Floorplan plan =
+        perf::PlanComparisonGrid(tech, rows, 2, 64, true);
+    std::printf("%-16s %-10zu %-14u %-10zu %-10zu\n", "word (64b cells)",
+                word_run.info.cycles, 2u, plan.bit_comparators,
+                plan.chips_required);
+  }
+  for (size_t bits : {6, 8, 12, 16}) {
+    const auto decomposed =
+        Unwrap(arrays::DecomposePairToBits(pair.a, pair.b, bits));
+    const auto bit_run =
+        Unwrap(arrays::SystolicIntersection(decomposed.a, decomposed.b));
+    SYSTOLIC_CHECK(bit_run.selected == word_run.selected)
+        << "bit-level selection must match word-level";
+    const perf::Floorplan plan =
+        perf::PlanComparisonGrid(tech, rows, 2 * bits, 1, true);
+    std::printf("bit, w=%-9zu %-10zu %-14zu %-10zu %-10zu\n", bits,
+                bit_run.info.cycles, 2 * bits, plan.bit_comparators,
+                plan.chips_required);
+  }
+  std::printf("\nAll rows produce identical selection vectors. Pulses grow "
+              "with the unrolled row\nlength (+2(w-1) pipeline stages); bit "
+              "cells are the honest area unit, and narrow\nwords waste none "
+              "of them — the modularity §8 is after.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Experiment E10 — §8's problem decomposition: "one can simply partition
+// this matrix into sub-problems small enough to fit on the array".
+//
+// Fixes one intersection problem (n x n) and sweeps the physical device's
+// row count. Reports passes (which must match ceil(n/cap)^2), total pulses
+// across passes, and verifies the result is identical to the single-pass
+// run. The shape to hold: smaller devices need quadratically more passes
+// but each pass is proportionally shorter, so total pulses grow only
+// mildly (per-pass pipeline fill/drain overhead).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "perfmodel/estimates.h"
+#include "relational/ops_reference.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::MakePair;
+using systolic::bench::Unwrap;
+
+}  // namespace
+
+int main() {
+  const size_t n = 96;
+  const rel::Schema schema = rel::MakeIntSchema(3);
+  const rel::RelationPair pair = MakePair(schema, n, n, 0.4, 19);
+  const rel::Relation oracle =
+      Unwrap(rel::reference::Intersection(pair.a, pair.b));
+
+  std::printf("=== E10: §8 decomposition — intersection of two %zux%zu-tuple "
+              "relations on shrinking devices ===\n",
+              n, n);
+  std::printf("%-12s %-10s %-8s %-12s %-12s %-10s %-8s\n", "device_rows",
+              "capacity", "passes", "exp_passes", "total_pulses", "device_ms",
+              "correct");
+
+  const perf::Technology tech = perf::Technology::Conservative1980();
+  for (size_t rows : {size_t{0}, size_t{191}, size_t{95}, size_t{63},
+                      size_t{31}, size_t{15}, size_t{7}}) {
+    db::DeviceConfig device;
+    device.rows = rows;
+    db::Engine engine(device);
+    const auto result = Unwrap(engine.Intersect(pair.a, pair.b));
+    const size_t cap = rows == 0 ? n : (rows + 1) / 2;
+    const size_t blocks = (n + cap - 1) / cap;
+    const bool correct = result.relation.tuples() == oracle.tuples();
+    std::printf("%-12zu %-10zu %-8zu %-12zu %-12zu %-10.3f %-8s\n", rows, cap,
+                result.stats.passes, blocks * blocks, result.stats.cycles,
+                perf::SecondsForCycles(tech, result.stats.cycles) * 1e3,
+                correct ? "yes" : "NO");
+  }
+
+  std::printf("\n(expected passes = ceil(n/capacity)^2, capacity = "
+              "(rows+1)/2 for the marching array)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Experiment E5 — the remove-duplicates array of §5, plus the union and
+// projection operations built on it.
+//
+// Sweeps input size and duplication factor; reports pulses, modeled device
+// time and the count of removed duplicates. The cycle count must be
+// insensitive to the duplicate factor (the array does all-pairs comparisons
+// regardless; only the triangle initialisation decides what survives).
+
+#include <benchmark/benchmark.h>
+
+#include "arrays/dedup_array.h"
+#include "bench_util.h"
+#include "perfmodel/estimates.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::Unwrap;
+
+rel::Relation DupRelation(const rel::Schema& schema, size_t n, double factor,
+                          uint64_t seed) {
+  rel::GeneratorOptions options;
+  options.num_tuples = n;
+  options.domain_size = 1'000'000;
+  options.seed = seed;
+  return Unwrap(rel::GenerateWithDuplicates(schema, options, factor));
+}
+
+void BM_DedupArray(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::Schema schema = rel::MakeIntSchema(3);
+  const rel::Relation input = DupRelation(schema, n, 3.0, 5);
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicRemoveDuplicates(input));
+  }
+  const perf::Technology tech = perf::Technology::Conservative1980();
+  state.counters["pulses"] = static_cast<double>(last.info.cycles);
+  state.counters["device_ms"] =
+      perf::SecondsForCycles(tech, last.info.cycles) * 1e3;
+  state.counters["removed"] =
+      static_cast<double>(input.num_tuples() - last.relation.num_tuples());
+}
+BENCHMARK(BM_DedupArray)->RangeMultiplier(2)->Range(4, 128);
+
+void BM_DedupArray_DupFactor(benchmark::State& state) {
+  const size_t n = 64;
+  const double factor = static_cast<double>(state.range(0));
+  const rel::Schema schema = rel::MakeIntSchema(3);
+  const rel::Relation input = DupRelation(schema, n, factor, 9);
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicRemoveDuplicates(input));
+  }
+  state.counters["pulses"] = static_cast<double>(last.info.cycles);
+  state.counters["kept"] = static_cast<double>(last.relation.num_tuples());
+}
+BENCHMARK(BM_DedupArray_DupFactor)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_UnionArray(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::Schema schema = rel::MakeIntSchema(3);
+  const rel::RelationPair pair = systolic::bench::MakePair(schema, n, n, 0.4, 3);
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicUnion(pair.a, pair.b));
+  }
+  state.counters["pulses"] = static_cast<double>(last.info.cycles);
+  state.counters["result_tuples"] =
+      static_cast<double>(last.relation.num_tuples());
+}
+BENCHMARK(BM_UnionArray)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_ProjectionArray(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::Schema schema = rel::MakeIntSchema(4);
+  rel::GeneratorOptions options;
+  options.num_tuples = n;
+  options.domain_size = 8;  // narrow domain: projections collide heavily
+  options.seed = 21;
+  const rel::Relation input = Unwrap(rel::GenerateRelation(schema, options));
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicProjection(input, {0, 1}));
+  }
+  state.counters["pulses"] = static_cast<double>(last.info.cycles);
+  state.counters["distinct"] = static_cast<double>(last.relation.num_tuples());
+}
+BENCHMARK(BM_ProjectionArray)->RangeMultiplier(2)->Range(4, 128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Experiment E7 — the division array of §7 (Figs. 7-1/7-2).
+//
+// Sweeps dividend size, distinct-key count and divisor size. The two-phase
+// device (match pass + AND probe pass) completes in O(|A| + P + Q) pulses,
+// where P = distinct dividend keys and Q = distinct divisor values.
+
+#include <benchmark/benchmark.h>
+
+#include "arrays/division_array.h"
+#include "bench_util.h"
+#include "perfmodel/estimates.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::Unwrap;
+
+struct DivisionInputs {
+  rel::Relation a;
+  rel::Relation b;
+  rel::DivisionSpec spec{{1}, {0}};
+};
+
+DivisionInputs MakeInputs(size_t n_a, int64_t keys, int64_t values,
+                          size_t n_b, uint64_t seed) {
+  auto dk = rel::Domain::Make("x", rel::ValueType::kInt64);
+  auto dv = rel::Domain::Make("y", rel::ValueType::kInt64);
+  const rel::Schema sa{{{"x", dk}, {"y", dv}}};
+  const rel::Schema sb{{{"y", dv}}};
+  Rng rng(seed);
+  rel::Relation a(sa, rel::RelationKind::kMulti);
+  for (size_t i = 0; i < n_a; ++i) {
+    SYSTOLIC_CHECK(
+        a.Append({rng.Uniform(0, keys - 1), rng.Uniform(0, values - 1)}).ok());
+  }
+  rel::Relation b(sb, rel::RelationKind::kMulti);
+  for (size_t i = 0; i < n_b; ++i) {
+    SYSTOLIC_CHECK(b.Append({rng.Uniform(0, values - 1)}).ok());
+  }
+  return DivisionInputs{std::move(a), std::move(b)};
+}
+
+void Report(benchmark::State& state, const arrays::DivisionArrayResult& run) {
+  const perf::Technology tech = perf::Technology::Conservative1980();
+  state.counters["pulses"] = static_cast<double>(run.info.cycles);
+  state.counters["device_us"] =
+      perf::SecondsForCycles(tech, run.info.cycles) * 1e6;
+  state.counters["dividend_rows"] = static_cast<double>(run.dividend_rows);
+  state.counters["divisor_cells"] = static_cast<double>(run.divisor_cells);
+  state.counters["quotient"] =
+      static_cast<double>(run.relation.num_tuples());
+}
+
+void BM_DivisionArray_DividendSize(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  DivisionInputs inputs = MakeInputs(n, 8, 6, 8, 3);
+  arrays::DivisionArrayResult last{rel::Relation(rel::Schema{})};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicDivision(inputs.a, inputs.b, inputs.spec));
+  }
+  Report(state, last);
+  state.counters["pulses_per_tuple"] =
+      static_cast<double>(last.info.cycles) / static_cast<double>(n);
+}
+BENCHMARK(BM_DivisionArray_DividendSize)->RangeMultiplier(2)->Range(8, 512);
+
+void BM_DivisionArray_DistinctKeys(benchmark::State& state) {
+  const int64_t keys = state.range(0);
+  DivisionInputs inputs = MakeInputs(256, keys, 6, 8, 5);
+  arrays::DivisionArrayResult last{rel::Relation(rel::Schema{})};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicDivision(inputs.a, inputs.b, inputs.spec));
+  }
+  Report(state, last);
+}
+BENCHMARK(BM_DivisionArray_DistinctKeys)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_DivisionArray_DivisorSize(benchmark::State& state) {
+  const int64_t values = state.range(0);
+  DivisionInputs inputs = MakeInputs(256, 8, values, 512, 7);
+  arrays::DivisionArrayResult last{rel::Relation(rel::Schema{})};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicDivision(inputs.a, inputs.b, inputs.spec));
+  }
+  Report(state, last);
+}
+BENCHMARK(BM_DivisionArray_DivisorSize)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

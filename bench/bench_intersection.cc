@@ -1,0 +1,96 @@
+// Experiments E3/E4 — the intersection/difference array of §4 (Fig. 4-1).
+//
+// Sweeps operand cardinality and reports, per run:
+//   pulses           simulated hardware cycles to drain the array,
+//   device_ms        modeled wall time of those pulses under the §8
+//                    conservative technology (350ns/pulse),
+//   pulses_per_n     linearity evidence: the array does n^2 comparisons in
+//                    O(n) pulses.
+//
+// The shape to hold (paper §1, §8): the systolic device's time grows
+// linearly in n while any single-processor baseline grows at least
+// linearly in the number of comparisons it must make.
+
+#include <benchmark/benchmark.h>
+
+#include "arrays/intersection_array.h"
+#include "bench_util.h"
+#include "perfmodel/estimates.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::MakePair;
+using systolic::bench::Unwrap;
+
+void ReportArray(benchmark::State& state, const arrays::SelectionResult& run,
+                 size_t n) {
+  const perf::Technology tech = perf::Technology::Conservative1980();
+  state.counters["pulses"] = static_cast<double>(run.info.cycles);
+  state.counters["device_ms"] =
+      perf::SecondsForCycles(tech, run.info.cycles) * 1e3;
+  state.counters["pulses_per_n"] =
+      static_cast<double>(run.info.cycles) / static_cast<double>(n);
+  state.counters["utilization"] = run.info.sim.Utilization();
+}
+
+void BM_IntersectionArray_Marching(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::Schema schema = rel::MakeIntSchema(4);
+  const rel::RelationPair pair = MakePair(schema, n, n, 0.3, 11);
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicIntersection(pair.a, pair.b));
+  }
+  ReportArray(state, last, n);
+}
+BENCHMARK(BM_IntersectionArray_Marching)->RangeMultiplier(2)->Range(4, 128);
+
+void BM_IntersectionArray_FixedB(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::Schema schema = rel::MakeIntSchema(4);
+  const rel::RelationPair pair = MakePair(schema, n, n, 0.3, 11);
+  arrays::MembershipOptions options;
+  options.mode = arrays::FeedMode::kFixedB;
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicIntersection(pair.a, pair.b, options));
+  }
+  ReportArray(state, last, n);
+}
+BENCHMARK(BM_IntersectionArray_FixedB)->RangeMultiplier(2)->Range(4, 128);
+
+// E4: difference on the same array (inverted accumulation output, §4.3).
+void BM_DifferenceArray(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::Schema schema = rel::MakeIntSchema(4);
+  const rel::RelationPair pair = MakePair(schema, n, n, 0.3, 13);
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicDifference(pair.a, pair.b));
+  }
+  ReportArray(state, last, n);
+  state.counters["result_tuples"] =
+      static_cast<double>(last.relation.num_tuples());
+}
+BENCHMARK(BM_DifferenceArray)->RangeMultiplier(2)->Range(4, 128);
+
+// Selectivity sweep: cycle count must be independent of the overlap (the
+// array always compares everything; only the output bits change).
+void BM_IntersectionArray_Selectivity(benchmark::State& state) {
+  const size_t n = 64;
+  const double overlap = static_cast<double>(state.range(0)) / 100.0;
+  const rel::Schema schema = rel::MakeIntSchema(4);
+  const rel::RelationPair pair = MakePair(schema, n, n, overlap, 17);
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicIntersection(pair.a, pair.b));
+  }
+  ReportArray(state, last, n);
+  state.counters["selected"] = static_cast<double>(last.selected.CountOnes());
+}
+BENCHMARK(BM_IntersectionArray_Selectivity)->Arg(0)->Arg(25)->Arg(50)->Arg(75)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

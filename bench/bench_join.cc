@@ -1,0 +1,133 @@
+// Experiment E6 — the join array of §6 (Fig. 6-1).
+//
+// Sweeps cardinality, join-key selectivity and comparison operator. Reports
+// pulses (the array produces the whole T matrix in O(n) pulses regardless of
+// how many entries are TRUE), matches found, and modeled device time. The
+// degenerate all-match case (|C| = |A||B|, §6.2) bounds the host-side
+// materialisation cost, not the array time — visible as constant pulses with
+// exploding matches.
+
+#include <benchmark/benchmark.h>
+
+#include "arrays/join_array.h"
+#include "bench_util.h"
+#include "perfmodel/estimates.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::Unwrap;
+
+struct JoinInputs {
+  rel::Relation a;
+  rel::Relation b;
+  rel::JoinSpec spec;
+};
+
+JoinInputs MakeJoinInputs(size_t n_a, size_t n_b, int64_t key_domain,
+                          rel::ComparisonOp op, uint64_t seed) {
+  auto dk = rel::Domain::Make("k", rel::ValueType::kInt64);
+  auto dv = rel::Domain::Make("v", rel::ValueType::kInt64);
+  const rel::Schema sa{{{"v", dv}, {"k", dk}}};
+  const rel::Schema sb{{{"k", dk}, {"v", dv}}};
+  rel::GeneratorOptions ga;
+  ga.num_tuples = n_a;
+  ga.domain_size = key_domain;
+  ga.seed = seed;
+  rel::GeneratorOptions gb = ga;
+  gb.num_tuples = n_b;
+  gb.seed = seed + 1;
+  JoinInputs inputs{Unwrap(rel::GenerateRelation(sa, ga)),
+                    Unwrap(rel::GenerateRelation(sb, gb)),
+                    rel::JoinSpec{{1}, {0}, op}};
+  return inputs;
+}
+
+void Report(benchmark::State& state, const arrays::JoinArrayResult& run,
+            size_t n) {
+  const perf::Technology tech = perf::Technology::Conservative1980();
+  state.counters["pulses"] = static_cast<double>(run.info.cycles);
+  state.counters["matches"] = static_cast<double>(run.matches.size());
+  state.counters["device_us"] =
+      perf::SecondsForCycles(tech, run.info.cycles) * 1e6;
+  state.counters["pulses_per_n"] =
+      static_cast<double>(run.info.cycles) / static_cast<double>(n);
+}
+
+void BM_EquiJoinArray(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  JoinInputs inputs =
+      MakeJoinInputs(n, n, static_cast<int64_t>(n), rel::ComparisonOp::kEq, 3);
+  arrays::JoinArrayResult last{rel::Relation(rel::Schema{})};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicJoin(inputs.a, inputs.b, inputs.spec));
+  }
+  Report(state, last, n);
+}
+BENCHMARK(BM_EquiJoinArray)->RangeMultiplier(2)->Range(4, 128);
+
+// Key-domain sweep at fixed n: smaller domains => more matches, same pulses.
+void BM_EquiJoinArray_Selectivity(benchmark::State& state) {
+  const size_t n = 64;
+  const int64_t domain = state.range(0);
+  JoinInputs inputs = MakeJoinInputs(n, n, domain, rel::ComparisonOp::kEq, 5);
+  arrays::JoinArrayResult last{rel::Relation(rel::Schema{})};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicJoin(inputs.a, inputs.b, inputs.spec));
+  }
+  Report(state, last, n);
+}
+BENCHMARK(BM_EquiJoinArray_Selectivity)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// §6.3.2 non-equi-joins: identical array, different preloaded comparison.
+void BM_ThetaJoinArray(benchmark::State& state) {
+  const size_t n = 64;
+  const auto op = static_cast<rel::ComparisonOp>(state.range(0));
+  JoinInputs inputs = MakeJoinInputs(n, n, 64, op, 7);
+  arrays::JoinArrayResult last{rel::Relation(rel::Schema{})};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicJoin(inputs.a, inputs.b, inputs.spec));
+  }
+  Report(state, last, n);
+  state.SetLabel(rel::ComparisonOpToString(op));
+}
+BENCHMARK(BM_ThetaJoinArray)
+    ->Arg(static_cast<int>(rel::ComparisonOp::kEq))
+    ->Arg(static_cast<int>(rel::ComparisonOp::kNe))
+    ->Arg(static_cast<int>(rel::ComparisonOp::kLt))
+    ->Arg(static_cast<int>(rel::ComparisonOp::kGt));
+
+// §6.3.1 multi-column join: one processor column per join-column pair.
+void BM_MultiColumnJoinArray(benchmark::State& state) {
+  const size_t columns = static_cast<size_t>(state.range(0));
+  const size_t n = 48;
+  std::vector<rel::Column> cols;
+  for (size_t c = 0; c < columns; ++c) {
+    cols.push_back(rel::Column{
+        "k" + std::to_string(c),
+        rel::Domain::Make("jk" + std::to_string(c), rel::ValueType::kInt64)});
+  }
+  const rel::Schema schema{cols};
+  rel::GeneratorOptions g;
+  g.num_tuples = n;
+  g.domain_size = 4;
+  g.seed = 23;
+  const rel::Relation a = Unwrap(rel::GenerateRelation(schema, g));
+  g.seed = 24;
+  const rel::Relation b = Unwrap(rel::GenerateRelation(schema, g));
+  rel::JoinSpec spec;
+  for (size_t c = 0; c < columns; ++c) {
+    spec.left_columns.push_back(c);
+    spec.right_columns.push_back(c);
+  }
+  arrays::JoinArrayResult last{rel::Relation(rel::Schema{})};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicJoin(a, b, spec));
+  }
+  Report(state, last, n);
+}
+BENCHMARK(BM_MultiColumnJoinArray)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

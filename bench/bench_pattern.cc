@@ -1,0 +1,63 @@
+// Experiment E19 (extension) — the Foster-Kung pattern-match chip that §8
+// cites as the fabricated ancestor of the comparison array ("fabricated,
+// tested, and found to work").
+//
+// Sweeps text length and pattern length: the device consumes one character
+// per pulse regardless of pattern length or match density (pattern cells
+// work in parallel), so pulses ≈ N + 2K.
+
+#include <benchmark/benchmark.h>
+
+#include "arrays/pattern_match.h"
+#include "bench_util.h"
+#include "perfmodel/estimates.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::Unwrap;
+
+std::string RandomText(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::string text;
+  text.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    text.push_back(static_cast<char>('a' + rng.Uniform(0, 3)));
+  }
+  return text;
+}
+
+void BM_PatternMatch_TextLength(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const std::string text = RandomText(n, 17);
+  arrays::PatternMatchResult last;
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicPatternMatch(text, "ab?c"));
+  }
+  const perf::Technology tech = perf::Technology::Conservative1980();
+  state.counters["pulses"] = static_cast<double>(last.cycles);
+  state.counters["pulses_per_char"] =
+      static_cast<double>(last.cycles) / static_cast<double>(n);
+  state.counters["matches"] = static_cast<double>(last.positions.size());
+  state.counters["device_us"] = perf::SecondsForCycles(tech, last.cycles) * 1e6;
+}
+BENCHMARK(BM_PatternMatch_TextLength)->RangeMultiplier(4)->Range(64, 16384);
+
+void BM_PatternMatch_PatternLength(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const std::string text = RandomText(2048, 23);
+  const std::string pattern(k, 'a');
+  arrays::PatternMatchResult last;
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicPatternMatch(text, pattern));
+  }
+  state.counters["pulses"] = static_cast<double>(last.cycles);
+  state.counters["cells"] = static_cast<double>(last.cells);
+  state.counters["matches"] = static_cast<double>(last.positions.size());
+}
+BENCHMARK(BM_PatternMatch_PatternLength)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

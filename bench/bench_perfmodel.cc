@@ -1,0 +1,116 @@
+// Experiment E8/E9 — reproduces every number of the paper's §8 "Remarks on
+// Implementation and Performance":
+//   * bit-comparators per chip (~1000) and device parallelism (10^6),
+//   * total bit comparisons for the canonical intersection (1.5x10^11),
+//   * the ~50ms conservative and ~10ms aggressive intersection predictions,
+//   * the disk-rate comparison (17ms/revolution, ~500KB/revolution) and the
+//     "two relations of about 2 million bytes in a comparable time" claim.
+//
+// This bench is analytic (the paper's own §8 is analytic); run it and diff
+// against the table in EXPERIMENTS.md.
+
+#include <cstdio>
+
+#include "perfmodel/disk.h"
+#include "perfmodel/estimates.h"
+#include "perfmodel/floorplan.h"
+#include "perfmodel/technology.h"
+
+namespace {
+
+using systolic::perf::ArrayKeepsUpWithDisk;
+using systolic::perf::DiskModel;
+using systolic::perf::IntersectionBitComparisons;
+using systolic::perf::IntersectionSeconds;
+using systolic::perf::MaxTuplesIntersectableWithin;
+using systolic::perf::RelationBytes;
+using systolic::perf::RelationShape;
+using systolic::perf::Technology;
+
+void ReportTechnology(const Technology& tech) {
+  std::printf("\n--- technology: %s ---\n", tech.name.c_str());
+  std::printf("bit-comparator area:        %.0fu x %.0fu\n",
+              tech.comparator_width_um, tech.comparator_height_um);
+  std::printf("chip area:                  %.0fu x %.0fu\n", tech.chip_width_um,
+              tech.chip_height_um);
+  std::printf("comparators per chip:       %zu   (paper: ~1000)\n",
+              tech.ComparatorsPerChip());
+  std::printf("chips:                      %zu\n", tech.chips);
+  std::printf("parallel bit comparisons:   %zu\n",
+              tech.ParallelBitComparisons());
+  std::printf("bit comparison time:        %.0f ns\n", tech.bit_comparison_ns);
+  std::printf("pins keep up (mux x%zu):     %s\n",
+              tech.bits_per_pin_per_comparison,
+              tech.PinsKeepUp() ? "yes" : "NO");
+
+  const RelationShape shape;
+  const double comparisons = IntersectionBitComparisons(shape, shape);
+  const double seconds = IntersectionSeconds(tech, shape, shape);
+  std::printf("intersection of two relations (10^4 tuples x 1500 bits):\n");
+  std::printf("  total bit comparisons:    %.3e   (paper: 1.5e11)\n",
+              comparisons);
+  std::printf("  predicted time:           %.1f ms\n", seconds * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E8: paper §8 performance predictions ===\n");
+  ReportTechnology(Technology::Conservative1980());
+  std::printf("  (paper's rounded figure: ~50 ms)\n");
+  ReportTechnology(Technology::Aggressive1980());
+  std::printf("  (paper's rounded figure: ~10 ms)\n");
+
+  std::printf("\n=== E9: §8 disk-rate comparison ===\n");
+  const DiskModel disk;
+  std::printf("disk revolution time:       %.1f ms   (paper: ~17 ms)\n",
+              disk.RevolutionSeconds() * 1e3);
+  std::printf("bytes per revolution:       %zu   (paper: ~500,000)\n",
+              disk.bytes_per_cylinder);
+  std::printf("disk transfer rate:         %.1f MB/s\n",
+              disk.BytesPerSecond() / 1e6);
+
+  const Technology tech = Technology::Conservative1980();
+  const size_t n_rev =
+      MaxTuplesIntersectableWithin(tech, 1500, disk.RevolutionSeconds());
+  std::printf(
+      "tuples intersectable in one revolution: %zu  (relations of %.2f MB "
+      "each)\n",
+      n_rev, RelationBytes(n_rev, 1500) / 1e6);
+  const size_t n_50ms = MaxTuplesIntersectableWithin(tech, 1500, 0.0525);
+  std::printf(
+      "tuples intersectable in the 52.5ms budget: %zu  (relations of %.2f MB "
+      "each; paper speaks of ~2 MB in 'a comparable period')\n",
+      n_50ms, RelationBytes(n_50ms, 1500) / 1e6);
+  std::printf("array keeps up with disk:   %s   (paper: yes)\n",
+              ArrayKeepsUpWithDisk(tech, disk, 1500) ? "yes" : "NO");
+
+  std::printf("\n=== §8 floorplans: arrays that fit the paper's devices ===\n");
+  std::printf("%-44s %-18s %-8s\n", "array", "bit comparators", "chips");
+  struct Shape {
+    const char* label;
+    size_t rows, columns, bits;
+    bool acc;
+  };
+  const Shape shapes[] = {
+      {"linear row, 1500-bit tuples (1 x 1500 x 1b)", 1, 1500, 1, false},
+      {"63-row grid, 4 x 64-bit columns + accum", 63, 4, 64, true},
+      {"255-row grid, 8 x 32-bit columns + accum", 255, 8, 32, true},
+  };
+  for (const Shape& s : shapes) {
+    const systolic::perf::Floorplan plan =
+        systolic::perf::PlanComparisonGrid(
+            systolic::perf::Technology::Conservative1980(), s.rows, s.columns,
+            s.bits, s.acc);
+    std::printf("%-44s %-18zu %-8zu\n", s.label, plan.bit_comparators,
+                plan.chips_required);
+  }
+  const size_t cap = systolic::perf::MaxMarchingCapacity(
+      systolic::perf::Technology::Conservative1980(), 1000, 1500, 1);
+  std::printf("\nmax marching capacity of the paper's 1000-chip device over "
+              "1500-bit tuples: %zu tuples per operand per pass\n(decompose "
+              "larger relations per E10; 10^4-tuple operands need "
+              "ceil(10^4/%zu)^2 = %zu passes)\n",
+              cap, cap, ((10000 + cap - 1) / cap) * ((10000 + cap - 1) / cap));
+  return 0;
+}

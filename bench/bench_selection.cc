@@ -1,0 +1,86 @@
+// Experiment E17 (extension) — the selection array: σ as a one-row fixed
+// device with per-column preloaded comparators (§6.3.2's programmability).
+//
+// Sweeps input size and predicate count. The device streams one tuple per
+// pulse regardless of selectivity; pulses ≈ |A| + #predicates.
+
+#include <benchmark/benchmark.h>
+
+#include "arrays/selection_array.h"
+#include "bench_util.h"
+#include "perfmodel/estimates.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::Unwrap;
+
+void BM_SelectionArray_Size(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::Schema schema = rel::MakeIntSchema(3);
+  rel::GeneratorOptions options;
+  options.num_tuples = n;
+  options.domain_size = 100;
+  options.seed = 3;
+  const rel::Relation a = Unwrap(rel::GenerateRelation(schema, options));
+  const std::vector<arrays::SelectionPredicate> predicates{
+      {0, rel::ComparisonOp::kLt, 50}, {1, rel::ComparisonOp::kGe, 25}};
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicSelect(a, predicates));
+  }
+  const perf::Technology tech = perf::Technology::Conservative1980();
+  state.counters["pulses"] = static_cast<double>(last.info.cycles);
+  state.counters["pulses_per_tuple"] =
+      static_cast<double>(last.info.cycles) / static_cast<double>(n);
+  state.counters["selected"] = static_cast<double>(last.selected.CountOnes());
+  state.counters["device_us"] =
+      perf::SecondsForCycles(tech, last.info.cycles) * 1e6;
+}
+BENCHMARK(BM_SelectionArray_Size)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_SelectionArray_Predicates(benchmark::State& state) {
+  const size_t num_predicates = static_cast<size_t>(state.range(0));
+  const rel::Schema schema = rel::MakeIntSchema(8);
+  rel::GeneratorOptions options;
+  options.num_tuples = 256;
+  options.domain_size = 100;
+  options.seed = 5;
+  const rel::Relation a = Unwrap(rel::GenerateRelation(schema, options));
+  std::vector<arrays::SelectionPredicate> predicates;
+  for (size_t k = 0; k < num_predicates; ++k) {
+    predicates.push_back({k, rel::ComparisonOp::kLt, 80});
+  }
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicSelect(a, predicates));
+  }
+  state.counters["pulses"] = static_cast<double>(last.info.cycles);
+  state.counters["selected"] = static_cast<double>(last.selected.CountOnes());
+  state.counters["utilization"] = last.info.sim.Utilization();
+}
+BENCHMARK(BM_SelectionArray_Predicates)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SelectionArray_Selectivity(benchmark::State& state) {
+  // Constant chosen so ~range(0)% of tuples pass; pulses must not vary.
+  const int64_t cut = state.range(0);
+  const rel::Schema schema = rel::MakeIntSchema(1);
+  rel::GeneratorOptions options;
+  options.num_tuples = 512;
+  options.domain_size = 100;
+  options.seed = 9;
+  const rel::Relation a = Unwrap(rel::GenerateRelation(schema, options));
+  const std::vector<arrays::SelectionPredicate> predicates{
+      {0, rel::ComparisonOp::kLt, cut}};
+  arrays::SelectionResult last{rel::Relation(schema)};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicSelect(a, predicates));
+  }
+  state.counters["pulses"] = static_cast<double>(last.info.cycles);
+  state.counters["selected"] = static_cast<double>(last.selected.CountOnes());
+}
+BENCHMARK(BM_SelectionArray_Selectivity)->Arg(0)->Arg(25)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Experiment E14 (extension) — the comparison §9 calls for: "Song [9] has
+// suggested the use of a tree machine for database applications ... A
+// detailed comparison of these and other database machine structures is
+// needed in order to understand their relative merits."
+//
+// Runs the same intersection on (a) the systolic intersection array
+// (marching and fixed-B) and (b) the cycle-accurate tree machine, and
+// compares pulses, processor counts and utilisation. Both finish in O(n)
+// pulses; the structural trade is word-comparator count (array: R x m,
+// growing with both operand size and tuple width vs tree: 2L-1 single-code
+// nodes but a host-side whole-tuple packing step) and the serialised
+// report drain of the tree's combining path.
+
+#include <cstdio>
+
+#include "arrays/intersection_array.h"
+#include "bench_util.h"
+#include "arrays/hex_grid.h"
+#include "arrays/stationary_grid.h"
+#include "system/tree_machine.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::MakePair;
+using systolic::bench::Unwrap;
+
+}  // namespace
+
+int main() {
+  std::printf("=== E14: database-machine organisations (§8/§9) — intersection "
+              "of two n-tuple relations, 3 columns ===\n");
+  std::printf("%-6s | %-28s | %-28s | %-28s | %-28s | %-28s\n", "n",
+              "array (marching)", "array (fixed-B)", "stationary-T grid",
+              "hex array", "tree machine");
+  std::printf("%-6s | %-9s %-9s %-8s | %-9s %-9s %-8s | %-9s %-9s %-8s | "
+              "%-9s %-9s %-8s | %-9s %-9s %-8s\n", "",
+              "pulses", "cells", "util", "pulses", "cells", "util", "pulses",
+              "cells", "util", "pulses", "cells", "util", "pulses", "nodes",
+              "util");
+
+  const rel::Schema schema = rel::MakeIntSchema(3);
+  for (size_t n : {8, 16, 32, 64, 128}) {
+    const rel::RelationPair pair = MakePair(schema, n, n, 0.4, 41);
+
+    arrays::MembershipOptions marching;
+    const auto m = Unwrap(arrays::SystolicIntersection(pair.a, pair.b, marching));
+
+    arrays::MembershipOptions fixed;
+    fixed.mode = arrays::FeedMode::kFixedB;
+    const auto f = Unwrap(arrays::SystolicIntersection(pair.a, pair.b, fixed));
+
+    arrays::ArrayRunInfo st_info;
+    const auto st_bits = Unwrap(arrays::StationaryMembership(
+        pair.a, pair.b, arrays::EdgeRule::kAllTrue, &st_info));
+    SYSTOLIC_CHECK(st_bits == m.selected) << "stationary grid disagrees";
+
+    const auto hex =
+        Unwrap(arrays::HexCompare(pair.a, pair.b, arrays::EdgeRule::kAllTrue));
+    SYSTOLIC_CHECK(hex.membership == m.selected) << "hex array disagrees";
+
+    const auto t = Unwrap(machine::TreeIntersection(pair.a, pair.b));
+    SYSTOLIC_CHECK(t.relation.tuples() == m.relation.tuples())
+        << "backends disagree";
+
+    std::printf("%-6zu | %-9zu %-9zu %-8.3f | %-9zu %-9zu %-8.3f | %-9zu "
+                "%-9zu %-8.3f | %-9zu %-9zu %-8.3f | %-9zu %-9zu %-8.3f\n",
+                n, m.info.cycles, m.info.sim.num_compute_cells,
+                m.info.sim.Utilization(), f.info.cycles,
+                f.info.sim.num_compute_cells, f.info.sim.Utilization(),
+                st_info.cycles, st_info.sim.num_compute_cells,
+                st_info.sim.Utilization(), hex.info.cycles,
+                hex.info.sim.num_compute_cells, hex.info.sim.Utilization(),
+                t.run.cycles, t.run.nodes, t.run.sim.Utilization());
+  }
+
+  std::printf("\nNotes: the stationary-T grid holds t_ij in place (n^2 "
+              "cells, width-independent,\nunit spacing); the hex array "
+              "(§2.1, Kung-Leiserson [5]) moves all three streams at\na 1/3 "
+              "duty cycle; the tree machine "
+              "compares packed whole-tuple codes (host-side\ndictionary), so "
+              "its node count is also width-independent; the marching/fixed "
+              "arrays\ncompare raw elements with no host preprocessing, at "
+              "rows x columns cells. All are\nO(n) pulses for n^2 comparisons "
+              "— the paper's headline claim holds for every\norganisation.\n");
+  return 0;
+}

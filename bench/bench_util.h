@@ -1,0 +1,43 @@
+#ifndef SYSTOLIC_BENCH_BENCH_UTIL_H_
+#define SYSTOLIC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "relational/relation.h"
+#include "util/logging.h"
+
+namespace systolic {
+namespace bench {
+
+/// Unwraps a Result in benchmark setup code, aborting on error (benchmarks
+/// only construct valid workloads).
+template <typename T>
+T Unwrap(Result<T> result) {
+  SYSTOLIC_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+/// A pair of union-compatible generated relations with the given sizes and
+/// overlap, deterministic in `seed`.
+inline rel::RelationPair MakePair(const rel::Schema& schema, size_t n_a,
+                                  size_t n_b, double overlap, uint64_t seed) {
+  rel::PairOptions options;
+  options.base.num_tuples = n_a;
+  options.base.domain_size = static_cast<int64_t>(4 * (n_a + n_b) + 16);
+  options.base.seed = seed;
+  options.b_num_tuples = n_b;
+  options.overlap_fraction = overlap;
+  return Unwrap(rel::GenerateOverlappingPair(schema, options));
+}
+
+/// Prints one header line for the hand-rolled report benches.
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace bench
+}  // namespace systolic
+
+#endif  // SYSTOLIC_BENCH_BENCH_UTIL_H_

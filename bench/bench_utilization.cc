@@ -1,0 +1,82 @@
+// Experiment E11 — §8's fixed-relation optimisation: "it is the case that
+// only half of the processors in a systolic array are busy at any one time.
+// This inefficiency can be avoided ... we let only one relation move while
+// the other remains fixed."
+//
+// Measures per-cell activity for the same intersection executed (a) with
+// both relations marching (§3 discipline) and (b) with B preloaded. The
+// marching utilisation must stay at or below 50%; the fixed variant must
+// clearly exceed it and approach 100% as n grows (pipeline fill/drain
+// amortises away).
+
+#include <cstdio>
+
+#include "arrays/intersection_array.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::MakePair;
+using systolic::bench::Unwrap;
+
+}  // namespace
+
+int main() {
+  std::printf("=== E11: grid utilisation, marching vs fixed-B (§8) ===\n");
+  std::printf("%-8s %-22s %-22s\n", "n", "marching util (<=0.5)",
+              "fixed-B util");
+  const rel::Schema schema = rel::MakeIntSchema(3);
+  for (size_t n : {4, 8, 16, 32, 64, 128}) {
+    const rel::RelationPair pair = MakePair(schema, n, n, 0.3, 29);
+
+    arrays::MembershipOptions marching;
+    const auto marching_run =
+        Unwrap(arrays::SystolicIntersection(pair.a, pair.b, marching));
+
+    arrays::MembershipOptions fixed;
+    fixed.mode = arrays::FeedMode::kFixedB;
+    const auto fixed_run =
+        Unwrap(arrays::SystolicIntersection(pair.a, pair.b, fixed));
+
+    std::printf("%-8zu %-22.3f %-22.3f\n", n,
+                marching_run.info.sim.Utilization(),
+                fixed_run.info.sim.Utilization());
+  }
+  std::printf("\n(utilisation = busy cell-pulses / (cells x pulses) over the "
+              "comparison grid and accumulation column)\n");
+
+  std::printf("\nsteady-state limit: stream a long A through a small fixed-B "
+              "array (nB = 16 preloaded\nrows); fill/drain amortises away and "
+              "utilisation approaches 1 — §8's 'this inefficiency\ncan be "
+              "avoided' in full:\n");
+  std::printf("%-8s %-22s\n", "nA", "fixed-B util (nB=16)");
+  for (size_t n_a : {32, 128, 512, 2048}) {
+    rel::PairOptions options;
+    options.base.num_tuples = n_a;
+    options.base.domain_size = 256;
+    options.base.seed = 31;
+    options.b_num_tuples = 16;
+    options.overlap_fraction = 0.2;
+    const auto pair = Unwrap(rel::GenerateOverlappingPair(schema, options));
+    arrays::MembershipOptions fixed;
+    fixed.mode = arrays::FeedMode::kFixedB;
+    const auto run =
+        Unwrap(arrays::SystolicIntersection(pair.a, pair.b, fixed));
+    std::printf("%-8zu %-22.3f\n", n_a, run.info.sim.Utilization());
+  }
+
+  std::printf("\npulse counts for the same runs (fixed-B also finishes in "
+              "fewer pulses: unit tuple spacing):\n");
+  std::printf("%-8s %-18s %-18s\n", "n", "marching pulses", "fixed-B pulses");
+  for (size_t n : {4, 8, 16, 32, 64, 128}) {
+    const rel::RelationPair pair = MakePair(schema, n, n, 0.3, 29);
+    arrays::MembershipOptions marching;
+    const auto m = Unwrap(arrays::SystolicIntersection(pair.a, pair.b, marching));
+    arrays::MembershipOptions fixed;
+    fixed.mode = arrays::FeedMode::kFixedB;
+    const auto f = Unwrap(arrays::SystolicIntersection(pair.a, pair.b, fixed));
+    std::printf("%-8zu %-18zu %-18zu\n", n, m.info.cycles, f.info.cycles);
+  }
+  return 0;
+}

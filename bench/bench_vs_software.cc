@@ -1,0 +1,110 @@
+// Experiment E13 — systolic device vs conventional software (implied
+// throughout §1 and §8: the special-purpose device beats a conventional
+// host on the comparison-heavy operations).
+//
+// For each operation we measure the wall time of the software baselines
+// (nested-loop, hash, sort) on this machine, and set them against the
+// *modeled* time of the systolic device — its simulated pulse count priced
+// at the §8 conservative 350ns/pulse. Absolute numbers are incomparable
+// across eras (a 2026 CPU vs 1980 NMOS); the shape that must hold is:
+//   * device time grows linearly in n while nested-loop grows
+//     quadratically — the device's advantage explodes with n;
+//   * the device time tracks the O(n) input-streaming lower bound, i.e.
+//     the array is I/O-bound, never compute-bound (§8's disk argument).
+
+#include <benchmark/benchmark.h>
+
+#include "arrays/intersection_array.h"
+#include "bench_util.h"
+#include "perfmodel/estimates.h"
+#include "relational/ops_hash.h"
+#include "relational/ops_reference.h"
+#include "relational/ops_sort.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::MakePair;
+using systolic::bench::Unwrap;
+
+const rel::Schema& SharedSchema() {
+  static const rel::Schema* schema = new rel::Schema(rel::MakeIntSchema(4));
+  return *schema;
+}
+
+// Software baselines, measured for real.
+void BM_Software_NestedLoopIntersection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::RelationPair pair = MakePair(SharedSchema(), n, n, 0.3, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Unwrap(rel::reference::Intersection(pair.a, pair.b)));
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Software_NestedLoopIntersection)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_Software_HashIntersection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::RelationPair pair = MakePair(SharedSchema(), n, n, 0.3, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(rel::hashops::Intersection(pair.a, pair.b)));
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Software_HashIntersection)->RangeMultiplier(4)->Range(16, 4096);
+
+void BM_Software_SortIntersection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::RelationPair pair = MakePair(SharedSchema(), n, n, 0.3, 31);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Unwrap(rel::sortops::Intersection(pair.a, pair.b)));
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Software_SortIntersection)->RangeMultiplier(4)->Range(16, 4096);
+
+// The modeled device: pulse count from the cycle-accurate simulator, priced
+// at §8's conservative technology. Reported via counters; the benchmark's
+// wall time (simulator speed) is irrelevant to the comparison.
+void BM_Device_ModeledIntersection(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const rel::RelationPair pair = MakePair(SharedSchema(), n, n, 0.3, 31);
+  arrays::SelectionResult last{rel::Relation(SharedSchema())};
+  for (auto _ : state) {
+    last = Unwrap(arrays::SystolicIntersection(pair.a, pair.b));
+  }
+  const perf::Technology tech = perf::Technology::Conservative1980();
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["pulses"] = static_cast<double>(last.info.cycles);
+  state.counters["modeled_device_us"] =
+      perf::SecondsForCycles(tech, last.info.cycles) * 1e6;
+  // O(n) streaming lower bound: 2n tuples must enter the device, one per
+  // two pulses each side => ~2n pulses minimum.
+  state.counters["streaming_bound_us"] =
+      perf::SecondsForCycles(tech, 2 * n) * 1e6;
+}
+BENCHMARK(BM_Device_ModeledIntersection)->RangeMultiplier(4)->Range(16, 256);
+
+// Analytic device time at paper scale (the simulator cannot hold 10^4x10^4,
+// but §8's arithmetic can — and the tests pin the simulator to the same
+// formula at small n).
+void BM_Device_AnalyticPaperScale(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const perf::Technology tech = perf::Technology::Conservative1980();
+  perf::RelationShape shape;
+  shape.num_tuples = n;
+  shape.bits_per_tuple = 4 * 64;  // four 64-bit columns, as above
+  double seconds = 0;
+  for (auto _ : state) {
+    seconds = perf::IntersectionSeconds(tech, shape, shape);
+    benchmark::DoNotOptimize(seconds);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["analytic_device_us"] = seconds * 1e6;
+}
+BENCHMARK(BM_Device_AnalyticPaperScale)->RangeMultiplier(4)->Range(16, 65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

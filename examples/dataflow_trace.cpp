@@ -1,0 +1,100 @@
+// Dataflow trace: an ASCII animation of the paper's Figures 3-4 and 4-1.
+//
+// Builds a small intersection array (two 3-tuple relations of width 3),
+// steps the clock pulse by pulse, and renders which words sit on which
+// wires — relation A marching down (a=...), B marching up (b=...), and t
+// values rippling right into the accumulation column. Watch the staggering
+// (element k one pulse behind element k-1) and the two-pulse tuple spacing
+// of §3.2, then the per-pair t results leaving the right edge in the order
+// derived in the timing tests.
+
+#include <cstdio>
+#include <string>
+
+#include "arrays/accumulation_column.h"
+#include "arrays/comparison_grid.h"
+#include "relational/builder.h"
+#include "systolic/simulator.h"
+
+namespace {
+
+using namespace systolic;
+
+std::string Pad(std::string s, size_t width) {
+  if (s.size() < width) s.resize(width, ' ');
+  return s;
+}
+
+std::string RenderWord(const char* prefix, const sim::Word& w) {
+  if (!w.valid) return "";
+  return std::string(prefix) + std::to_string(w.value);
+}
+
+}  // namespace
+
+int main() {
+  const rel::Schema schema = rel::MakeIntSchema(3, "trace");
+  const rel::Relation a =
+      *rel::MakeRelation(schema, {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  const rel::Relation b =
+      *rel::MakeRelation(schema, {{4, 5, 6}, {1, 2, 3}, {9, 9, 9}});
+
+  sim::Simulator simulator;
+  arrays::GridConfig config;
+  config.rows = arrays::ComparisonGrid::RowsForMarching(3);  // 5 rows
+  config.columns = 3;
+  arrays::ComparisonGrid grid(&simulator, config);
+  arrays::AccumulationColumn accumulator(&simulator, grid.right_edges());
+  SYSTOLIC_CHECK(grid.FeedA(a, sim::AllColumns(a)).ok());
+  SYSTOLIC_CHECK(grid.FeedB(b, sim::AllColumns(b)).ok());
+
+  std::printf("Intersection array, %zu rows x %zu columns (Figs. 3-4 / 4-1).\n",
+              config.rows, config.columns);
+  std::printf("A = {(1,2,3),(4,5,6),(7,8,9)}  enters from the top, marches "
+              "down.\n");
+  std::printf("B = {(4,5,6),(1,2,3),(9,9,9)}  enters from the bottom, marches "
+              "up.\n");
+  std::printf("Each frame shows, per cell: the a word arriving from above, "
+              "the b word\narriving from below, and the t word entering from "
+              "the left; the right\ncolumn shows t_ij values leaving toward "
+              "the accumulation array.\n\n");
+
+  size_t pulse = 0;
+  while (!simulator.IsQuiescent() || pulse == 0) {
+    simulator.Step();
+    ++pulse;
+    if (pulse > 64) break;
+
+    std::printf("---- pulse %zu ----\n", pulse);
+    for (size_t r = 0; r < config.rows; ++r) {
+      std::string line = "  ";
+      for (size_t k = 0; k < config.columns; ++k) {
+        std::string cell;
+        const std::string a_str = RenderWord("a", grid.a_wire(r, k)->Read());
+        const std::string b_str =
+            RenderWord("b", grid.b_wire(r + 1, k)->Read());
+        const std::string t_str =
+            k == 0 ? ""
+                   : RenderWord("t", grid.t_wire(r, k)->Read());
+        cell = a_str;
+        if (!b_str.empty()) cell += (cell.empty() ? "" : " ") + b_str;
+        if (!t_str.empty()) cell += (cell.empty() ? "" : " ") + t_str;
+        line += "[" + Pad(cell, 8) + "]";
+      }
+      const sim::Word& out = grid.right_edge(r)->Read();
+      if (out.valid) {
+        line += "  => t(a" + std::to_string(out.a_tag) + ",b" +
+                std::to_string(out.b_tag) + ")=" + (out.AsBool() ? "1" : "0");
+      }
+      std::printf("%s\n", line.c_str());
+    }
+  }
+
+  auto bits = accumulator.Collect(a.num_tuples());
+  SYSTOLIC_CHECK(bits.ok());
+  std::printf("\ncompleted in %zu pulses; final t_i per A tuple: %s  (1 = "
+              "member of A ∩ B)\n",
+              pulse, bits->ToString().c_str());
+  std::printf("expected: tuples (1,2,3) and (4,5,6) of A appear in B -> 110\n");
+  return 0;
+}

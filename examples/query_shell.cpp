@@ -1,0 +1,105 @@
+// Query shell: an interactive / scripted front end to the §9 database
+// machine. Reads commands (see system/command.h for the grammar) from stdin,
+// or runs a built-in demo script when stdin is a terminal or empty.
+//
+//   $ ./query_shell < my_script.txt
+//   $ echo 'LOAD parts
+//           SELECT parts WHERE weight > 10 -> heavy
+//           PRINT heavy' | ./query_shell
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "relational/builder.h"
+#include "system/command.h"
+
+namespace {
+
+using namespace systolic;
+
+constexpr char kDemoScript[] = R"(# demo: suppliers & parts on the systolic machine
+LOAD supplies
+LOAD required
+PRINT supplies
+# which suppliers ship every required part? (division array, §7)
+DIVIDE supplies required ON part = part -> complete
+PRINT complete
+# heavy parts (selection array)
+LOAD parts
+SELECT parts WHERE weight >= 20 -> heavy
+PRINT heavy
+# join supplier shipments with part data (join array, §6)
+JOIN supplies parts ON part = part -> detail
+PROJECT detail supplier,weight -> supplier_weights
+PRINT supplier_weights
+STORE complete AS complete_suppliers
+)";
+
+machine::Machine MakeDemoMachine() {
+  machine::MachineConfig config;
+  config.num_memories = 16;
+  machine::Machine m(config);
+
+  auto ds = rel::Domain::Make("supplier", rel::ValueType::kString);
+  auto dp = rel::Domain::Make("part", rel::ValueType::kString);
+  auto dw = rel::Domain::Make("weight", rel::ValueType::kInt64);
+
+  rel::Schema supplies_schema({{"supplier", ds}, {"part", dp}});
+  rel::RelationBuilder supplies(supplies_schema);
+  const char* rows[][2] = {{"acme", "bolt"}, {"acme", "nut"},
+                           {"brown", "bolt"}, {"cyan", "bolt"},
+                           {"cyan", "nut"}};
+  for (const auto& row : rows) {
+    SYSTOLIC_CHECK(supplies
+                       .AddRow({rel::Value::String(row[0]),
+                                rel::Value::String(row[1])})
+                       .ok());
+  }
+  m.disk().Put("supplies", supplies.Finish());
+
+  rel::Schema required_schema({{"part", dp}});
+  rel::RelationBuilder required(required_schema);
+  for (const char* part : {"bolt", "nut"}) {
+    SYSTOLIC_CHECK(required.AddRow({rel::Value::String(part)}).ok());
+  }
+  m.disk().Put("required", required.Finish());
+
+  rel::Schema parts_schema({{"part", dp}, {"weight", dw}});
+  rel::RelationBuilder parts(parts_schema);
+  SYSTOLIC_CHECK(
+      parts.AddRow({rel::Value::String("bolt"), rel::Value::Int64(12)}).ok());
+  SYSTOLIC_CHECK(
+      parts.AddRow({rel::Value::String("nut"), rel::Value::Int64(25)}).ok());
+  m.disk().Put("parts", parts.Finish());
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  machine::Machine m = MakeDemoMachine();
+  machine::CommandInterpreter interpreter(&m, &std::cout);
+
+  Status status;
+  if (argc > 1 && std::string(argv[1]) == "--demo") {
+    std::istringstream demo(kDemoScript);
+    status = interpreter.ExecuteScript(demo);
+  } else {
+    // Read from stdin; if it yields nothing, fall back to the demo.
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    if (buffer.str().empty()) {
+      std::printf("(no input on stdin; running the built-in demo)\n");
+      std::istringstream demo(kDemoScript);
+      status = interpreter.ExecuteScript(demo);
+    } else {
+      status = interpreter.ExecuteScript(buffer);
+    }
+  }
+  if (!status.ok()) {
+    std::printf("FAILED: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+// systolic_db: a small standalone database CLI over the whole stack —
+// directory-backed catalogs (relational/storage), the §9 crossbar machine,
+// and the command language (system/command).
+//
+// Usage:
+//   systolic_db --catalog <dir> [--script <file>] [--save <dir>]
+//               [--rows N] [--memories N]
+//
+//   --catalog <dir>   load a catalog written by SaveCatalog (MANIFEST + CSVs)
+//                     into the machine's disk; omit to start empty.
+//   --script <file>   run commands from the file (default: stdin).
+//   --save <dir>      after the script, persist the machine's disk contents
+//                     (including STOREd results) back to a catalog directory.
+//   --rows N          physical device rows (0 = unbounded; forces §8 tiling
+//                     when positive).
+//   --memories N      memory modules on the crossbar (default 16).
+//
+// Example session:
+//   mkdir demo && ./systolic_db --save demo <<'EOF'
+//   # nothing loaded: build from another script or STORE results
+//   EOF
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "relational/storage.h"
+#include "system/command.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace systolic;
+
+struct Args {
+  std::string catalog_dir;
+  std::string script_file;
+  std::string save_dir;
+  size_t rows = 0;
+  size_t memories = 16;
+};
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag " + flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--catalog") {
+      SYSTOLIC_ASSIGN_OR_RETURN(args.catalog_dir, next());
+    } else if (flag == "--script") {
+      SYSTOLIC_ASSIGN_OR_RETURN(args.script_file, next());
+    } else if (flag == "--save") {
+      SYSTOLIC_ASSIGN_OR_RETURN(args.save_dir, next());
+    } else if (flag == "--rows" || flag == "--memories") {
+      SYSTOLIC_ASSIGN_OR_RETURN(std::string value, next());
+      int64_t parsed = 0;
+      if (!ParseInt64(value, &parsed) || parsed < 0) {
+        return Status::InvalidArgument("bad value for " + flag);
+      }
+      (flag == "--rows" ? args.rows : args.memories) =
+          static_cast<size_t>(parsed);
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'");
+    }
+  }
+  return args;
+}
+
+Status Run(const Args& args) {
+  machine::MachineConfig config;
+  config.num_memories = args.memories;
+  config.device.rows = args.rows;
+  machine::Machine machine(config);
+
+  if (!args.catalog_dir.empty()) {
+    SYSTOLIC_ASSIGN_OR_RETURN(auto catalog,
+                              rel::LoadCatalog(args.catalog_dir));
+    for (const std::string& name : catalog->RelationNames()) {
+      SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation,
+                                catalog->GetRelation(name));
+      machine.disk().Put(name, *relation);
+      std::printf("-- catalog: %s (%zu tuples)\n", name.c_str(),
+                  relation->num_tuples());
+    }
+  }
+
+  machine::CommandInterpreter interpreter(&machine, &std::cout);
+  Status script_status;
+  if (!args.script_file.empty()) {
+    std::ifstream in(args.script_file);
+    if (!in) {
+      return Status::IOError("cannot open script '" + args.script_file + "'");
+    }
+    script_status = interpreter.ExecuteScript(in);
+  } else {
+    script_status = interpreter.ExecuteScript(std::cin);
+  }
+  SYSTOLIC_RETURN_NOT_OK(script_status);
+
+  if (!args.save_dir.empty()) {
+    // Persist the machine's disk contents (initial relations plus anything
+    // written back with STORE).
+    rel::Catalog out;
+    for (const std::string& name : machine.disk().RelationNames()) {
+      SYSTOLIC_ASSIGN_OR_RETURN(rel::Relation relation,
+                                machine.disk().Read(name));
+      out.PutRelation(name, std::move(relation));
+    }
+    SYSTOLIC_RETURN_NOT_OK(rel::SaveCatalog(out, args.save_dir));
+    std::printf("-- saved catalog to %s\n", args.save_dir.c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::printf("FAILED: %s\n", args.status().ToString().c_str());
+    return 2;
+  }
+  const Status status = Run(*args);
+  if (!status.ok()) {
+    std::printf("FAILED: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

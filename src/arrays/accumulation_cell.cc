@@ -1,0 +1,32 @@
+#include "arrays/accumulation_cell.h"
+
+#include "util/logging.h"
+
+namespace systolic {
+namespace arrays {
+
+using sim::Word;
+
+void AccumulationCell::Compute(size_t cycle) {
+  (void)cycle;
+  const Word left = left_in_->Read();
+  const Word top = top_in_ != nullptr ? top_in_->Read() : Word::Bubble();
+
+  if (left.valid && top.valid) {
+    SYSTOLIC_CHECK_EQ(left.a_tag, top.a_tag)
+        << name() << ": running value and left contribution disagree on tuple";
+    down_out_->Write(
+        Word::Boolean(left.AsBool() || top.AsBool(), left.a_tag, sim::kNoTag));
+    MarkBusy();
+  } else if (left.valid) {
+    // First contribution for this tuple: becomes the running value.
+    down_out_->Write(Word::Boolean(left.AsBool(), left.a_tag, sim::kNoTag));
+    MarkBusy();
+  } else if (top.valid) {
+    // Not busy this pulse: pass the running value along unchanged.
+    down_out_->Write(top);
+  }
+}
+
+}  // namespace arrays
+}  // namespace systolic

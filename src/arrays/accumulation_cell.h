@@ -1,0 +1,43 @@
+#ifndef SYSTOLIC_ARRAYS_ACCUMULATION_CELL_H_
+#define SYSTOLIC_ARRAYS_ACCUMULATION_CELL_H_
+
+#include <string>
+
+#include "systolic/cell.h"
+#include "systolic/wire.h"
+
+namespace systolic {
+namespace arrays {
+
+/// The paper's accumulation processor (§4.2, Fig. 4-1): at each pulse it
+/// takes its left input (a t_ij leaving the comparison array), ORs it with
+/// its top input (the running t_i travelling down the accumulation column),
+/// and passes the result to the processor below. A processor with only a top
+/// input "simply passes on the t_i that it has"; one with only a left input
+/// starts the running value (equivalently, the paper's alternative of
+/// injecting an initial FALSE from the top — FALSE OR x == x).
+///
+/// The input schedule guarantees the running value of tuple a_i reaches row
+/// r at exactly the pulse its t_{i,r-related} contribution arrives from the
+/// left (derived in §3.2's timing; checked here via tuple tags).
+class AccumulationCell : public sim::Cell {
+ public:
+  AccumulationCell(std::string name, sim::Wire* left_in, sim::Wire* top_in,
+                   sim::Wire* down_out)
+      : Cell(std::move(name)),
+        left_in_(left_in),
+        top_in_(top_in),
+        down_out_(down_out) {}
+
+  void Compute(size_t cycle) override;
+
+ private:
+  sim::Wire* left_in_;
+  sim::Wire* top_in_;  // null for the top-most cell
+  sim::Wire* down_out_;
+};
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_ACCUMULATION_CELL_H_

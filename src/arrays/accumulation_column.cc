@@ -1,0 +1,50 @@
+#include "arrays/accumulation_column.h"
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace systolic {
+namespace arrays {
+
+AccumulationColumn::AccumulationColumn(
+    sim::Simulator* simulator, const std::vector<sim::Wire*>& left_inputs) {
+  SYSTOLIC_CHECK(!left_inputs.empty());
+  const size_t rows = left_inputs.size();
+  std::vector<sim::Wire*> down(rows + 1, nullptr);
+  for (size_t r = 1; r <= rows; ++r) {
+    down[r] = simulator->NewWire("acc" + std::to_string(r));
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    simulator->AddCell<AccumulationCell>("accum" + std::to_string(r),
+                                         /*left_in=*/left_inputs[r],
+                                         /*top_in=*/r == 0 ? nullptr : down[r],
+                                         /*down_out=*/down[r + 1]);
+  }
+  sink_ = simulator->AddInfrastructureCell<sim::SinkCell>("acc-sink",
+                                                          down[rows]);
+}
+
+Result<BitVector> AccumulationColumn::Collect(size_t num_a_tuples) const {
+  BitVector bits(num_a_tuples, false);
+  BitVector seen(num_a_tuples, false);
+  for (const auto& [cycle, word] : sink_->received()) {
+    if (word.a_tag < 0 ||
+        static_cast<size_t>(word.a_tag) >= num_a_tuples) {
+      return Status::Internal("accumulation output carries tuple tag " +
+                              std::to_string(word.a_tag) + " outside [0," +
+                              std::to_string(num_a_tuples) + ")");
+    }
+    const size_t i = static_cast<size_t>(word.a_tag);
+    if (seen.Get(i)) {
+      return Status::Internal("tuple " + std::to_string(i) +
+                              " produced two accumulation results");
+    }
+    seen.Set(i, true);
+    bits.Set(i, word.AsBool());
+  }
+  return bits;
+}
+
+}  // namespace arrays
+}  // namespace systolic

@@ -1,0 +1,40 @@
+#ifndef SYSTOLIC_ARRAYS_ACCUMULATION_COLUMN_H_
+#define SYSTOLIC_ARRAYS_ACCUMULATION_COLUMN_H_
+
+#include <vector>
+
+#include "arrays/accumulation_cell.h"
+#include "systolic/feeder.h"
+#include "systolic/simulator.h"
+#include "util/bitvector.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// The linear accumulation array at the right of a comparison grid (§4,
+/// Fig. 4-1): one accumulation cell per grid row, chained top to bottom. Each
+/// cell ORs the t_ij arriving from its row into the running t_i travelling
+/// down the column; the bottom emits each tuple's final t_i into a sink.
+class AccumulationColumn {
+ public:
+  /// Builds one cell per entry of `left_inputs` (the grid's right-edge
+  /// wires) inside `simulator`.
+  AccumulationColumn(sim::Simulator* simulator,
+                     const std::vector<sim::Wire*>& left_inputs);
+
+  /// After the simulation has quiesced: assembles the per-tuple results into
+  /// a BitVector of `num_a_tuples` bits (bit i = t_i). Tuples that produced
+  /// no output (possible only when the other operand was empty) read FALSE.
+  /// Fails with Internal if a tuple produced two results or a tag is out of
+  /// range — both indicate a scheduling bug.
+  Result<BitVector> Collect(size_t num_a_tuples) const;
+
+ private:
+  sim::SinkCell* sink_ = nullptr;
+};
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_ACCUMULATION_COLUMN_H_

@@ -1,0 +1,61 @@
+#ifndef SYSTOLIC_ARRAYS_BIT_SERIAL_H_
+#define SYSTOLIC_ARRAYS_BIT_SERIAL_H_
+
+#include <cstddef>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// §8's word→bit decomposition: "each word processor can be partitioned into
+/// bit processors to achieve modularity at the bit-level. A transformation
+/// of a design from word-level to bit-level is demonstrated in [3]."
+///
+/// The transformation is expressed here as a relation rewrite: every
+/// `bits`-bit element becomes `bits` one-bit elements (LSB first), so a
+/// width-m word-level array becomes a width-m·bits array of pure
+/// bit-comparators — each cell now does exactly the 240µ×150µ bit
+/// comparison §8's area arithmetic counts. Equality of tuples is preserved
+/// (tuples are equal iff all their bits are equal), so every
+/// equality-based array (comparison, intersection, difference,
+/// remove-duplicates, union, projection, equi-join) runs unchanged on the
+/// decomposed relations and produces identical selection vectors, at
+/// `bits`× the columns and roughly `bits`× the pulses.
+///
+/// Order comparisons (θ-joins) do NOT decompose this way — bitwise AND of
+/// per-column "<" is not tuple "<" — which is why the paper applies the
+/// transformation to the comparison arrays, not the θ variants.
+
+/// Rewrites `relation` into its bit-level form: arity m·bits, each element
+/// 0 or 1, bit k of element c at column c·bits + k. Fails with
+/// InvalidArgument if any code is negative or needs more than `bits` bits
+/// (1..63). The result's schema uses fresh one-bit domains; two relations
+/// decomposed by the same call sequence are union-compatible iff produced
+/// by DecomposePairToBits.
+Result<rel::Relation> DecomposeToBits(const rel::Relation& relation,
+                                      size_t bits);
+
+/// Decomposes two union-compatible relations onto one shared bit-level
+/// schema, preserving their union-compatibility.
+struct BitDecomposedPair {
+  rel::Relation a;
+  rel::Relation b;
+};
+Result<BitDecomposedPair> DecomposePairToBits(const rel::Relation& a,
+                                              const rel::Relation& b,
+                                              size_t bits);
+
+/// Cells of the bit-level version of a rows x columns word-level grid —
+/// the §8 comparators-per-chip quantity.
+size_t BitLevelCellCount(size_t rows, size_t columns, size_t bits);
+
+/// Smallest bit width that can represent every code of `relation`
+/// (minimum 1). Fails if any code is negative.
+Result<size_t> MinimumBitsFor(const rel::Relation& relation);
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_BIT_SERIAL_H_

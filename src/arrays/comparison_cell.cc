@@ -1,0 +1,89 @@
+#include "arrays/comparison_cell.h"
+
+#include "util/logging.h"
+
+namespace systolic {
+namespace arrays {
+
+using sim::Word;
+
+namespace {
+
+/// The initial t value for the pair (a_tag, b_tag) under `rule` — the value
+/// the hardware would have injected at the left edge of the row (§4, §5).
+bool InitialT(EdgeRule rule, sim::TupleTag a_tag, sim::TupleTag b_tag) {
+  switch (rule) {
+    case EdgeRule::kAllTrue:
+      return true;
+    case EdgeRule::kStrictLowerTriangle:
+      return b_tag < a_tag;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ComparisonCell::Compute(size_t cycle) {
+  (void)cycle;
+  const Word a = a_in_->Read();
+  const Word b = b_in_->Read();
+
+  // Relation streams march through unconditionally, one cell per pulse.
+  if (a.valid) a_out_->Write(a);
+  if (b.valid) b_out_->Write(b);
+
+  const Word t = t_in_ != nullptr ? t_in_->Read() : Word::Bubble();
+
+  if (a.valid && b.valid) {
+    // The pair meets here: its partial result must be present (left-most
+    // column synthesises it; inner columns receive it in lock-step with the
+    // staggered elements — a missing or mismatched t word is a schedule bug).
+    bool t_in_value;
+    if (t_in_ == nullptr) {
+      t_in_value = InitialT(edge_rule_, a.a_tag, b.b_tag);
+    } else {
+      SYSTOLIC_CHECK(t.valid) << name() << ": elements met without a t word";
+      SYSTOLIC_CHECK(t.a_tag == a.a_tag && t.b_tag == b.b_tag)
+          << name() << ": t word for pair (" << t.a_tag << "," << t.b_tag
+          << ") met elements (" << a.a_tag << "," << b.b_tag << ")";
+      t_in_value = t.AsBool();
+    }
+    const bool matched = rel::ApplyComparison(op_, a.value, b.value);
+    t_out_->Write(Word::Boolean(t_in_value && matched, a.a_tag, b.b_tag));
+    MarkBusy();
+  } else {
+    // No meeting this pulse; a stray t word would indicate a broken schedule.
+    SYSTOLIC_CHECK(!t.valid)
+        << name() << ": t word arrived without a meeting pair";
+  }
+}
+
+void FixedComparisonCell::Compute(size_t cycle) {
+  (void)cycle;
+  const Word a = a_in_->Read();
+  if (a.valid) a_out_->Write(a);
+
+  const Word t = t_in_ != nullptr ? t_in_->Read() : Word::Bubble();
+
+  if (a.valid && loaded()) {
+    bool t_in_value;
+    if (t_in_ == nullptr) {
+      t_in_value = InitialT(edge_rule_, a.a_tag, stored_tag_);
+    } else {
+      SYSTOLIC_CHECK(t.valid) << name() << ": a element passed without a t word";
+      SYSTOLIC_CHECK(t.a_tag == a.a_tag && t.b_tag == stored_tag_)
+          << name() << ": t word tags (" << t.a_tag << "," << t.b_tag
+          << ") do not match (" << a.a_tag << "," << stored_tag_ << ")";
+      t_in_value = t.AsBool();
+    }
+    const bool matched = rel::ApplyComparison(op_, a.value, stored_code_);
+    t_out_->Write(Word::Boolean(t_in_value && matched, a.a_tag, stored_tag_));
+    MarkBusy();
+  } else {
+    SYSTOLIC_CHECK(!t.valid)
+        << name() << ": t word arrived without an a element";
+  }
+}
+
+}  // namespace arrays
+}  // namespace systolic

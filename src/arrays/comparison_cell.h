@@ -1,0 +1,101 @@
+#ifndef SYSTOLIC_ARRAYS_COMPARISON_CELL_H_
+#define SYSTOLIC_ARRAYS_COMPARISON_CELL_H_
+
+#include <optional>
+#include <string>
+
+#include "arrays/edge_rule.h"
+#include "relational/compare.h"
+#include "systolic/cell.h"
+#include "systolic/wire.h"
+
+namespace systolic {
+namespace arrays {
+
+/// The paper's individual comparison processor (Fig. 3-2): three inputs
+/// (a from above, b from below, t from the left), three outputs (a below,
+/// b above, t to the right), computing
+///     t_out = t_in AND (a_in θ b_in)
+/// where θ is equality for the comparison/intersection arrays and any binary
+/// comparison for the non-equi-join arrays (§6.3.2 — "the particular
+/// operation to be performed might be ... preloaded into the array").
+///
+/// The a and b streams always pass straight through at one cell per pulse;
+/// the comparison fires only on pulses where valid a and b words coincide in
+/// the cell (the schedule guarantees each pair of tuples meets exactly once
+/// per column, §3.2).
+///
+/// Cells in the left-most column have no t input wire (pass t_in == nullptr)
+/// and synthesise the initial t value per `edge_rule`.
+class ComparisonCell : public sim::Cell {
+ public:
+  ComparisonCell(std::string name, rel::ComparisonOp op, EdgeRule edge_rule,
+                 sim::Wire* a_in, sim::Wire* b_in, sim::Wire* t_in,
+                 sim::Wire* a_out, sim::Wire* b_out, sim::Wire* t_out)
+      : Cell(std::move(name)),
+        op_(op),
+        edge_rule_(edge_rule),
+        a_in_(a_in),
+        b_in_(b_in),
+        t_in_(t_in),
+        a_out_(a_out),
+        b_out_(b_out),
+        t_out_(t_out) {}
+
+  void Compute(size_t cycle) override;
+
+ private:
+  rel::ComparisonOp op_;
+  EdgeRule edge_rule_;
+  sim::Wire* a_in_;
+  sim::Wire* b_in_;
+  sim::Wire* t_in_;  // null in the left-most column
+  sim::Wire* a_out_;
+  sim::Wire* b_out_;
+  sim::Wire* t_out_;
+};
+
+/// The §8 full-utilisation variant of the comparison processor: the b
+/// element is preloaded and held fixed ("we let only one relation move while
+/// the other remains fixed"), so the cell compares every passing a element
+/// against its stored element, every pulse. With unit tuple spacing this
+/// keeps the whole array busy instead of half of it.
+class FixedComparisonCell : public sim::Cell {
+ public:
+  FixedComparisonCell(std::string name, rel::ComparisonOp op,
+                      EdgeRule edge_rule, sim::Wire* a_in, sim::Wire* t_in,
+                      sim::Wire* a_out, sim::Wire* t_out)
+      : Cell(std::move(name)),
+        op_(op),
+        edge_rule_(edge_rule),
+        a_in_(a_in),
+        t_in_(t_in),
+        a_out_(a_out),
+        t_out_(t_out) {}
+
+  /// Loads the fixed element (code plus originating tuple index). Until
+  /// loaded the cell only forwards the a stream.
+  void Preload(rel::Code code, sim::TupleTag b_tag) {
+    stored_code_ = code;
+    stored_tag_ = b_tag;
+  }
+
+  bool loaded() const { return stored_tag_ != sim::kNoTag; }
+
+  void Compute(size_t cycle) override;
+
+ private:
+  rel::ComparisonOp op_;
+  EdgeRule edge_rule_;
+  sim::Wire* a_in_;
+  sim::Wire* t_in_;  // null in the left-most column
+  sim::Wire* a_out_;
+  sim::Wire* t_out_;
+  rel::Code stored_code_ = 0;
+  sim::TupleTag stored_tag_ = sim::kNoTag;
+};
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_COMPARISON_CELL_H_

@@ -1,0 +1,46 @@
+#include "arrays/dedup_array.h"
+
+#include "arrays/membership.h"
+#include "systolic/schedule.h"
+
+namespace systolic {
+namespace arrays {
+
+Result<SelectionResult> SystolicRemoveDuplicates(
+    const rel::Relation& a, const MembershipOptions& options) {
+  if (a.arity() == 0) {
+    return Status::InvalidArgument("operand must have at least one column");
+  }
+  ArrayRunInfo info;
+  SYSTOLIC_ASSIGN_OR_RETURN(
+      BitVector duplicate,
+      RunMembership(a, a, sim::AllColumns(a), sim::AllColumns(a),
+                    EdgeRule::kStrictLowerTriangle, options, &info));
+  duplicate.FlipAll();  // keep the non-duplicates
+  SYSTOLIC_ASSIGN_OR_RETURN(rel::Relation out,
+                            a.Filter(duplicate, rel::RelationKind::kSet));
+  SelectionResult result(std::move(out));
+  result.selected = std::move(duplicate);
+  result.info = info;
+  return result;
+}
+
+Result<SelectionResult> SystolicUnion(const rel::Relation& a,
+                                      const rel::Relation& b,
+                                      const MembershipOptions& options) {
+  SYSTOLIC_RETURN_NOT_OK(a.schema().CheckUnionCompatible(b.schema()));
+  rel::Relation concatenated(a.schema(), rel::RelationKind::kMulti);
+  SYSTOLIC_RETURN_NOT_OK(concatenated.Concatenate(a));
+  SYSTOLIC_RETURN_NOT_OK(concatenated.Concatenate(b));
+  return SystolicRemoveDuplicates(concatenated, options);
+}
+
+Result<SelectionResult> SystolicProjection(const rel::Relation& a,
+                                           const std::vector<size_t>& columns,
+                                           const MembershipOptions& options) {
+  SYSTOLIC_ASSIGN_OR_RETURN(rel::Relation narrowed, a.ProjectColumns(columns));
+  return SystolicRemoveDuplicates(narrowed, options);
+}
+
+}  // namespace arrays
+}  // namespace systolic

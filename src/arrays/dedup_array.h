@@ -1,0 +1,41 @@
+#ifndef SYSTOLIC_ARRAYS_DEDUP_ARRAY_H_
+#define SYSTOLIC_ARRAYS_DEDUP_ARRAY_H_
+
+#include <vector>
+
+#include "arrays/intersection_array.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// remove-duplicates(A) on the systolic array (§5): A is fed into *both*
+/// sides of the intersection array and the initial t values of the diagonal
+/// and upper triangle are forced FALSE, so tuple a_i accumulates TRUE iff it
+/// equals some earlier tuple a_j (j < i). Those tuples are dropped; the
+/// first occurrence of each distinct tuple survives, in input order.
+///
+/// The returned `selected` bits are the *kept* positions (the complement of
+/// the array's duplicate flags).
+Result<SelectionResult> SystolicRemoveDuplicates(
+    const rel::Relation& a, const MembershipOptions& options = {});
+
+/// A ∪ B = remove-duplicates(A + B) (§5): concatenates the operands as they
+/// are "retrieved", runs the concatenation through both sides of the
+/// remove-duplicates array, and keeps the flagged tuples.
+Result<SelectionResult> SystolicUnion(const rel::Relation& a,
+                                      const rel::Relation& b,
+                                      const MembershipOptions& options = {});
+
+/// π_f(A) (§5): drops to `columns` while the tuples are "retrieved from
+/// storage", then removes duplicates from the resulting multi-relation on
+/// the array.
+Result<SelectionResult> SystolicProjection(
+    const rel::Relation& a, const std::vector<size_t>& columns,
+    const MembershipOptions& options = {});
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_DEDUP_ARRAY_H_

@@ -1,0 +1,55 @@
+#ifndef SYSTOLIC_ARRAYS_DIVISION_ARRAY_H_
+#define SYSTOLIC_ARRAYS_DIVISION_ARRAY_H_
+
+#include "arrays/membership.h"
+#include "relational/op_specs.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// Options for the division array.
+struct DivisionArrayOptions {
+  /// Pulse bound per phase; 0 auto-derives.
+  size_t max_cycles = 0;
+};
+
+/// Result of a division-array run.
+struct DivisionArrayResult {
+  /// The quotient relation, quotient values in first-occurrence order.
+  rel::Relation relation;
+  ArrayRunInfo info;
+  /// Physical shape the run used: dividend rows (distinct quotient values)
+  /// and divisor cells per row (distinct divisor values).
+  size_t dividend_rows = 0;
+  size_t divisor_cells = 0;
+
+  explicit DivisionArrayResult(rel::Relation r) : relation(std::move(r)) {}
+};
+
+/// A ÷ B on the division array (§7, Figs. 7-1/7-2).
+///
+/// The device is the paper's restricted shape — a binary dividend divided by
+/// a unary divisor over single columns. The left dividend column is preloaded
+/// with the distinct dividend key values ("these elements can be identified
+/// by the remove-duplicates array"); each (x, y) pair of A is pumped in from
+/// the bottom, x one pulse ahead of y; matched y values stream right through
+/// the divisor row, raising match flags; after the dividend has passed, an
+/// AND probe is pulsed across each divisor row ("checked by doing an AND
+/// across the row after the dividend passes through the array") and the rows
+/// whose probe survives contribute their x to the quotient.
+///
+/// The general case (multi-column quotient and/or divisor, §7's
+/// "straightforward" extension) is handled by the host packing each
+/// sub-tuple into a single scratch code — the same reversible integer
+/// encoding the paper applies to all values (§2.3) — before the pass, and
+/// unpacking afterwards.
+Result<DivisionArrayResult> SystolicDivision(
+    const rel::Relation& a, const rel::Relation& b,
+    const rel::DivisionSpec& spec, const DivisionArrayOptions& options = {});
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_DIVISION_ARRAY_H_

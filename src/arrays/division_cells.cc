@@ -1,0 +1,56 @@
+#include "arrays/division_cells.h"
+
+#include "util/logging.h"
+
+namespace systolic {
+namespace arrays {
+
+using sim::Word;
+
+void DividendStoreCell::Compute(size_t cycle) {
+  (void)cycle;
+  const Word z = z_in_->Read();
+  if (!z.valid) return;
+  z_out_->Write(z);
+  const bool matched = z.value == stored_code_;
+  match_out_->Write(Word::Boolean(matched, z.a_tag, row_));
+  MarkBusy();
+}
+
+void DividendGateCell::Compute(size_t cycle) {
+  (void)cycle;
+  const Word y = y_in_->Read();
+  if (y.valid) y_out_->Write(y);
+
+  const Word match = match_in_->Read();
+  if (!match.valid) return;
+  // The schedule delays each y one pulse behind its x, so the comparison
+  // result and the y it gates always coincide here (§7).
+  SYSTOLIC_CHECK(y.valid) << name() << ": match result arrived without its y";
+  SYSTOLIC_CHECK_EQ(y.a_tag, match.a_tag)
+      << name() << ": match result and y belong to different dividend pairs";
+  if (match.AsBool()) {
+    lane_out_->Write(Word{true, y.value, y.a_tag, match.b_tag});
+  }
+  MarkBusy();
+}
+
+void DivisorCell::Compute(size_t cycle) {
+  (void)cycle;
+  const Word in = lane_in_->Read();
+  if (!in.valid) return;
+  switch (phase_) {
+    case DivisorPhase::kMatch:
+      if (in.value == stored_code_) matched_ = true;
+      lane_out_->Write(in);
+      break;
+    case DivisorPhase::kCollect:
+      lane_out_->Write(
+          Word::Boolean(in.AsBool() && matched_, in.a_tag, in.b_tag));
+      break;
+  }
+  MarkBusy();
+}
+
+}  // namespace arrays
+}  // namespace systolic

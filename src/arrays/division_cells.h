@@ -1,0 +1,97 @@
+#ifndef SYSTOLIC_ARRAYS_DIVISION_CELLS_H_
+#define SYSTOLIC_ARRAYS_DIVISION_CELLS_H_
+
+#include <string>
+
+#include "relational/domain.h"
+#include "systolic/cell.h"
+#include "systolic/wire.h"
+
+namespace systolic {
+namespace arrays {
+
+/// Left-column cell of the dividend array (§7, Fig. 7-2): stores one
+/// distinct element x_p of the dividend's key column. Each (x, y) pair of the
+/// dividend marches up through the array; when the x component passes this
+/// cell it is compared with the stored element and the boolean result is sent
+/// right, timed to meet the associated y in the neighbouring column.
+class DividendStoreCell : public sim::Cell {
+ public:
+  DividendStoreCell(std::string name, sim::Wire* z_in, sim::Wire* z_out,
+                    sim::Wire* match_out)
+      : Cell(std::move(name)), z_in_(z_in), z_out_(z_out),
+        match_out_(match_out) {}
+
+  /// Stores the distinct dividend element for this row, with its row index.
+  void Preload(rel::Code code, sim::TupleTag row) {
+    stored_code_ = code;
+    row_ = row;
+  }
+
+  void Compute(size_t cycle) override;
+
+ private:
+  sim::Wire* z_in_;
+  sim::Wire* z_out_;
+  sim::Wire* match_out_;
+  rel::Code stored_code_ = 0;
+  sim::TupleTag row_ = sim::kNoTag;
+};
+
+/// Right-column cell of the dividend array: receives the comparison result
+/// from the left "just as the associated y arrives" from below; if the result
+/// is TRUE the y value is emitted rightwards into this row's divisor array,
+/// "otherwise, some null value is output" — our null is a bubble.
+class DividendGateCell : public sim::Cell {
+ public:
+  DividendGateCell(std::string name, sim::Wire* y_in, sim::Wire* y_out,
+                   sim::Wire* match_in, sim::Wire* lane_out)
+      : Cell(std::move(name)), y_in_(y_in), y_out_(y_out),
+        match_in_(match_in), lane_out_(lane_out) {}
+
+  void Compute(size_t cycle) override;
+
+ private:
+  sim::Wire* y_in_;
+  sim::Wire* y_out_;
+  sim::Wire* match_in_;
+  sim::Wire* lane_out_;
+};
+
+/// Execution phase of the divisor cells: first the dividend's y values
+/// stream through and set per-cell match flags; then — "after the dividend
+/// passes through the array" (§7) — a probe is ANDed across each row to read
+/// out whether every stored divisor element was covered. The phase flip is
+/// the global control signal a hardware implementation would broadcast.
+enum class DivisorPhase {
+  kMatch,
+  kCollect,
+};
+
+/// One cell of a divisor-array row (§7, Fig. 7-2): stores one element of the
+/// divisor B. In kMatch phase it raises its sticky flag when a passing y
+/// equals the stored element and forwards the y to the next cell. In
+/// kCollect phase it ANDs its flag into the passing probe word.
+class DivisorCell : public sim::Cell {
+ public:
+  DivisorCell(std::string name, sim::Wire* lane_in, sim::Wire* lane_out)
+      : Cell(std::move(name)), lane_in_(lane_in), lane_out_(lane_out) {}
+
+  void Preload(rel::Code code) { stored_code_ = code; }
+  void SetPhase(DivisorPhase phase) { phase_ = phase; }
+  bool matched() const { return matched_; }
+
+  void Compute(size_t cycle) override;
+
+ private:
+  sim::Wire* lane_in_;
+  sim::Wire* lane_out_;
+  rel::Code stored_code_ = 0;
+  DivisorPhase phase_ = DivisorPhase::kMatch;
+  bool matched_ = false;
+};
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_DIVISION_CELLS_H_

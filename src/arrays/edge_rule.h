@@ -1,0 +1,30 @@
+#ifndef SYSTOLIC_ARRAYS_EDGE_RULE_H_
+#define SYSTOLIC_ARRAYS_EDGE_RULE_H_
+
+namespace systolic {
+namespace arrays {
+
+/// How the left-most column of a comparison grid obtains the *initial* t
+/// value for each tuple pair.
+///
+/// In the paper this initial value is part of the input data stream: TRUE for
+/// ordinary comparisons, and FALSE for the pairs with i ≤ j in the
+/// remove-duplicates array (§5's lower-triangle trick — "we set t_ij^initial
+/// to FALSE" for the diagonal and upper triangle). The hardware realises the
+/// choice by timing the left-edge input stream; the simulator's left-most
+/// cells synthesise the identical value from the tuple tags of the pair
+/// meeting in the cell, which is observationally equivalent and verified by
+/// the timing tests.
+enum class EdgeRule {
+  /// t_ij^initial = TRUE for every pair (intersection, difference, join).
+  kAllTrue,
+  /// t_ij^initial = TRUE iff j < i (strict lower triangle): used by
+  /// remove-duplicates, where tuple a_i must be deleted iff it equals some
+  /// *earlier* tuple a_j (§5).
+  kStrictLowerTriangle,
+};
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_EDGE_RULE_H_

@@ -1,0 +1,54 @@
+#ifndef SYSTOLIC_ARRAYS_HEX_GRID_H_
+#define SYSTOLIC_ARRAYS_HEX_GRID_H_
+
+#include <utility>
+#include <vector>
+
+#include "arrays/edge_rule.h"
+#include "arrays/membership.h"
+#include "relational/relation.h"
+#include "util/bitvector.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// The hexagonally-connected comparison array — §2.1: "hexagonally connected
+/// arrays as in [5] would work as well in many instances". [5] is
+/// Kung & Leiserson's systolic-arrays paper, whose hex array computes matrix
+/// products; tuple comparison is the same recurrence with (×, +) replaced by
+/// (==, AND):  t_ij = AND_k (a_ik == b_jk),  i.e.  T = A ⊙ Bᵀ.
+///
+/// All three streams move, in directions 120° apart on the lattice
+/// (here embedded on integer coordinates as dA=(1,0) east, dB=(0,1) north,
+/// dC=(-1,-1) southwest, dA+dB+dC=0):
+///   * a_ik travels east along lattice row y=i-k, entering at pulse i+k;
+///   * b_jk travels north along column x=j-k, entering at pulse j+k;
+///   * the partial result t_ij travels southwest, seeded with the edge
+///     rule's initial value, picking up its k-th comparison at cell
+///     (j-k, i-k) on pulse i+j+k.
+/// The schedule is collision-free: any two streams coinciding in a cell are
+/// always part of a proper three-way rendezvous (proved in the .cc header
+/// comment, checked at runtime via tags). Cells are busy every third pulse
+/// in the active band — the classic hex-array 1/3 duty cycle.
+///
+/// Completed t_ij words drain across the southwest boundary, where sinks
+/// collect them; the host ORs row i's entries into the membership bit t_i
+/// (the role the §4 accumulation column plays for the orthogonal array).
+struct HexResult {
+  /// Bit i = OR_j (t_ij under the edge rule) — as RunMembership returns.
+  BitVector membership;
+  /// The TRUE T-matrix entries, (i, j)-lexicographic (join-style use).
+  std::vector<std::pair<size_t, size_t>> true_pairs;
+  ArrayRunInfo info;
+};
+
+/// Runs all |A|x|B| tuple comparisons on the hex array. Operands must have
+/// equal non-zero arity. Single pass for any sizes.
+Result<HexResult> HexCompare(const rel::Relation& a, const rel::Relation& b,
+                             EdgeRule edge_rule);
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_HEX_GRID_H_

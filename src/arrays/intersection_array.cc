@@ -1,0 +1,47 @@
+#include "arrays/intersection_array.h"
+
+#include "systolic/schedule.h"
+
+namespace systolic {
+namespace arrays {
+
+namespace {
+
+Result<SelectionResult> RunIntersectionFamily(const rel::Relation& a,
+                                              const rel::Relation& b,
+                                              const MembershipOptions& options,
+                                              bool invert) {
+  SYSTOLIC_RETURN_NOT_OK(a.schema().CheckUnionCompatible(b.schema()));
+  if (a.arity() == 0) {
+    return Status::InvalidArgument("operands must have at least one column");
+  }
+  ArrayRunInfo info;
+  SYSTOLIC_ASSIGN_OR_RETURN(
+      BitVector bits,
+      RunMembership(a, b, sim::AllColumns(a), sim::AllColumns(b),
+                    EdgeRule::kAllTrue, options, &info));
+  if (invert) bits.FlipAll();
+  SYSTOLIC_ASSIGN_OR_RETURN(rel::Relation out,
+                            a.Filter(bits, rel::RelationKind::kSet));
+  SelectionResult result(std::move(out));
+  result.selected = std::move(bits);
+  result.info = info;
+  return result;
+}
+
+}  // namespace
+
+Result<SelectionResult> SystolicIntersection(const rel::Relation& a,
+                                             const rel::Relation& b,
+                                             const MembershipOptions& options) {
+  return RunIntersectionFamily(a, b, options, /*invert=*/false);
+}
+
+Result<SelectionResult> SystolicDifference(const rel::Relation& a,
+                                           const rel::Relation& b,
+                                           const MembershipOptions& options) {
+  return RunIntersectionFamily(a, b, options, /*invert=*/true);
+}
+
+}  // namespace arrays
+}  // namespace systolic

@@ -1,0 +1,42 @@
+#ifndef SYSTOLIC_ARRAYS_INTERSECTION_ARRAY_H_
+#define SYSTOLIC_ARRAYS_INTERSECTION_ARRAY_H_
+
+#include "arrays/membership.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// Result of an intersection-family array run.
+struct SelectionResult {
+  /// The materialised output relation.
+  rel::Relation relation;
+  /// The raw per-A-tuple selection bits the array emitted (§4's t_i, already
+  /// inverted for difference), from which `relation` was filtered.
+  BitVector selected;
+  /// Cycle count and utilisation of the run.
+  ArrayRunInfo info;
+
+  explicit SelectionResult(rel::Relation r) : relation(std::move(r)) {}
+};
+
+/// A ∩ B on the intersection array (§4, Fig. 4-1): feeds both relations
+/// through a comparison grid, ORs each row of the t matrix in the
+/// accumulation column, and keeps the tuples of A whose t_i is TRUE.
+/// Requires union-compatible operands sized within one pass (use the engine
+/// for automatic tiling).
+Result<SelectionResult> SystolicIntersection(
+    const rel::Relation& a, const rel::Relation& b,
+    const MembershipOptions& options = {});
+
+/// A - B on the same array with the output inverted (§4.3: "we could just
+/// put an inverter on the output line of the accumulation array").
+Result<SelectionResult> SystolicDifference(const rel::Relation& a,
+                                           const rel::Relation& b,
+                                           const MembershipOptions& options = {});
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_INTERSECTION_ARRAY_H_

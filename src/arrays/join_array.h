@@ -1,0 +1,54 @@
+#ifndef SYSTOLIC_ARRAYS_JOIN_ARRAY_H_
+#define SYSTOLIC_ARRAYS_JOIN_ARRAY_H_
+
+#include <utility>
+#include <vector>
+
+#include "arrays/membership.h"
+#include "relational/op_specs.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// Options for the join array.
+struct JoinArrayOptions {
+  /// Feed discipline, as for the membership arrays.
+  FeedMode mode = FeedMode::kMarching;
+  /// Physical rows; 0 auto-sizes. Too-small fails with Capacity.
+  size_t rows = 0;
+  /// Pulse bound; 0 auto-derives.
+  size_t max_cycles = 0;
+};
+
+/// Result of a join-array run.
+struct JoinArrayResult {
+  /// The materialised join, concatenated per the paper's |_{CA,CB} operator.
+  rel::Relation relation;
+  /// The TRUE entries of the t matrix, as (i, j) pairs in (i, j)-lexicographic
+  /// order — "for each t_ij that has the value TRUE (and for only those), we
+  /// simply retrieve a_i and b_j and concatenate them" (§6.2).
+  std::vector<std::pair<size_t, size_t>> matches;
+  ArrayRunInfo info;
+
+  explicit JoinArrayResult(rel::Relation r) : relation(std::move(r)) {}
+};
+
+/// A ⋈ B on the join array (§6, Fig. 6-1): only the join columns of the two
+/// relations pass through a grid whose width is the number of join-column
+/// pairs (one column for the single-column join of §6.2, several for §6.3.1)
+/// and whose cells apply `spec.op` (equality, or any comparison for the
+/// non-equi-joins of §6.3.2). The t_ij are collected individually at the
+/// right edge — "unlike some of the operations discussed earlier ... we do
+/// not perform further accumulation operations on them" — and the host
+/// materialises the result tuples from the TRUE entries.
+Result<JoinArrayResult> SystolicJoin(const rel::Relation& a,
+                                     const rel::Relation& b,
+                                     const rel::JoinSpec& spec,
+                                     const JoinArrayOptions& options = {});
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_JOIN_ARRAY_H_

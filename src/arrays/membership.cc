@@ -1,0 +1,72 @@
+#include "arrays/membership.h"
+
+#include <algorithm>
+
+#include "arrays/accumulation_column.h"
+
+namespace systolic {
+namespace arrays {
+
+size_t DefaultMaxCycles(size_t n_a, size_t n_b, size_t columns, size_t rows) {
+  // Completion is ~ 2*max(n) + columns + 2*rows pulses; quadruple plus slack
+  // so a genuine hang is caught without false alarms.
+  const size_t n = std::max(n_a, n_b);
+  return 4 * (2 * n + columns + 2 * rows) + 64;
+}
+
+Result<BitVector> RunMembership(const rel::Relation& a, const rel::Relation& b,
+                                const std::vector<size_t>& a_columns,
+                                const std::vector<size_t>& b_columns,
+                                EdgeRule edge_rule,
+                                const MembershipOptions& options,
+                                ArrayRunInfo* info) {
+  if (a_columns.empty() || a_columns.size() != b_columns.size()) {
+    return Status::InvalidArgument(
+        "membership query needs equal, non-empty column lists");
+  }
+  if (a.num_tuples() == 0) {
+    return BitVector(0);
+  }
+
+  size_t rows = options.rows;
+  if (rows == 0) {
+    rows = options.mode == FeedMode::kMarching
+               ? ComparisonGrid::RowsForMarching(
+                     std::max(a.num_tuples(), b.num_tuples()))
+               : std::max<size_t>(1, b.num_tuples());
+  }
+
+  sim::Simulator simulator;
+  GridConfig config;
+  config.rows = rows;
+  config.columns = a_columns.size();
+  config.op = rel::ComparisonOp::kEq;
+  config.edge_rule = edge_rule;
+  config.mode = options.mode;
+  ComparisonGrid grid(&simulator, config);
+  AccumulationColumn accumulator(&simulator, grid.right_edges());
+
+  SYSTOLIC_RETURN_NOT_OK(grid.FeedA(a, a_columns));
+  if (options.mode == FeedMode::kMarching) {
+    SYSTOLIC_RETURN_NOT_OK(grid.FeedB(b, b_columns));
+  } else {
+    SYSTOLIC_RETURN_NOT_OK(grid.PreloadB(b, b_columns));
+  }
+
+  const size_t max_cycles =
+      options.max_cycles != 0
+          ? options.max_cycles
+          : DefaultMaxCycles(a.num_tuples(), b.num_tuples(), config.columns,
+                             rows);
+  SYSTOLIC_ASSIGN_OR_RETURN(size_t cycles,
+                            simulator.RunUntilQuiescent(max_cycles));
+
+  if (info != nullptr) {
+    info->cycles = cycles;
+    info->sim = simulator.Stats();
+  }
+  return accumulator.Collect(a.num_tuples());
+}
+
+}  // namespace arrays
+}  // namespace systolic

@@ -1,0 +1,69 @@
+#ifndef SYSTOLIC_ARRAYS_MEMBERSHIP_H_
+#define SYSTOLIC_ARRAYS_MEMBERSHIP_H_
+
+#include <vector>
+
+#include "arrays/comparison_grid.h"
+#include "relational/relation.h"
+#include "systolic/simulator.h"
+#include "util/bitvector.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// Per-run observability shared by all array drivers.
+struct ArrayRunInfo {
+  /// Pulses from the first input word to quiescence.
+  size_t cycles = 0;
+  /// Cell counts and activity (for the §8 utilisation experiments).
+  sim::SimStats sim;
+
+  /// Accumulates another pass (tiled execution runs several).
+  void Accumulate(const ArrayRunInfo& other) {
+    cycles += other.cycles;
+    sim.cycles += other.sim.cycles;
+    sim.busy_cell_cycles += other.sim.busy_cell_cycles;
+    sim.num_compute_cells =
+        std::max(sim.num_compute_cells, other.sim.num_compute_cells);
+  }
+};
+
+/// Options shared by the membership-style arrays (intersection, difference,
+/// remove-duplicates): one pass through a comparison grid plus accumulation
+/// column.
+struct MembershipOptions {
+  /// kMarching reproduces §3/§4 exactly; kFixedB is §8's full-utilisation
+  /// variant with B preloaded.
+  FeedMode mode = FeedMode::kMarching;
+  /// Physical grid rows; 0 auto-sizes to fit the operands in one pass.
+  /// If nonzero and too small for the operands, the run fails with Capacity
+  /// (callers tile via the engine, §8's decomposition).
+  size_t rows = 0;
+  /// Safety bound on pulses; 0 derives a generous bound from the operand
+  /// sizes. Exceeding it fails with Internal.
+  size_t max_cycles = 0;
+};
+
+/// Runs one membership query through the hardware: feeds A (restricted to
+/// `a_columns`) from the top and B (restricted to `b_columns`) from the
+/// bottom (or preloaded, per mode) of a comparison grid with the given edge
+/// rule, accumulates each row of the t matrix, and returns bit i =
+///   OR_j ( t_ij^initial AND a_i == b_j )  over the fed columns.
+///
+/// With EdgeRule::kAllTrue this is §4's t_i (a_i appears in B); with
+/// kStrictLowerTriangle and B == A it is §5's duplicate flag.
+Result<BitVector> RunMembership(const rel::Relation& a, const rel::Relation& b,
+                                const std::vector<size_t>& a_columns,
+                                const std::vector<size_t>& b_columns,
+                                EdgeRule edge_rule,
+                                const MembershipOptions& options,
+                                ArrayRunInfo* info);
+
+/// Derives the automatic pulse bound used when options.max_cycles == 0.
+size_t DefaultMaxCycles(size_t n_a, size_t n_b, size_t columns, size_t rows);
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_MEMBERSHIP_H_

@@ -1,0 +1,149 @@
+#include "arrays/pattern_match.h"
+
+#include <optional>
+
+#include "systolic/feeder.h"
+#include "systolic/simulator.h"
+#include "util/logging.h"
+
+namespace systolic {
+namespace arrays {
+
+namespace {
+
+using sim::Word;
+
+/// One cell of the pattern-match array: holds pattern character k. Text
+/// characters stream through left-to-right one cell per pulse; partial
+/// match results follow at half speed (each cell registers the incoming
+/// partial for one pulse before combining), so the partial for alignment i
+/// arrives exactly when character i+k does — the same rendezvous the
+/// comparison row achieves with input staggering, realised here with a
+/// one-word register because the pattern is fixed while only the text
+/// moves (§8's fixed-relation discipline).
+class PatternMatchCell : public sim::Cell {
+ public:
+  PatternMatchCell(std::string name, size_t index, char pattern_char,
+                   sim::Wire* char_in, sim::Wire* char_out, sim::Wire* t_in,
+                   sim::Wire* t_out)
+      : Cell(std::move(name)), index_(index), pattern_char_(pattern_char),
+        char_in_(char_in), char_out_(char_out), t_in_(t_in), t_out_(t_out) {}
+
+  void Compute(size_t cycle) override {
+    (void)cycle;
+    // Phase 1: process this pulse's character, consuming the partial that
+    // was registered on the previous pulse.
+    const Word c = char_in_->Read();
+    if (c.valid) {
+      if (char_out_ != nullptr) char_out_->Write(c);
+      MarkBusy();
+      const size_t j = static_cast<size_t>(c.a_tag);  // character index
+      const bool is_padding = c.value < 0;
+      // The head cell must not start alignments on padding characters
+      // (their alignments have no first text character).
+      if (j >= index_ && (index_ > 0 || !is_padding)) {
+        const bool own = !is_padding &&
+                         (pattern_char_ == '?' ||
+                          static_cast<char>(c.value) == pattern_char_);
+        if (index_ == 0) {
+          t_out_->Write(Word::Boolean(own, static_cast<sim::TupleTag>(j),
+                                      sim::kNoTag));
+        } else if (pending_.has_value()) {
+          SYSTOLIC_CHECK_EQ(static_cast<size_t>(pending_->a_tag), j - index_)
+              << name() << ": partial/character misalignment";
+          const bool combined = pending_->AsBool() && own;
+          pending_.reset();
+          t_out_->Write(Word::Boolean(combined,
+                                      static_cast<sim::TupleTag>(j - index_),
+                                      sim::kNoTag));
+        } else {
+          // No partial: only legal for alignments that began in the padding
+          // region — upstream never started them. A missing partial for a
+          // real character is a schedule bug.
+          SYSTOLIC_CHECK(is_padding)
+              << name() << ": missing partial for alignment " << (j - index_);
+        }
+      }
+    }
+
+    // Phase 2: latch the partial arriving one pulse ahead of its character.
+    if (t_in_ != nullptr && t_in_->Read().valid) {
+      SYSTOLIC_CHECK(!pending_.has_value())
+          << name() << ": partial result overrun";
+      pending_ = t_in_->Read();
+    }
+  }
+
+  bool HasPendingWork() const override { return pending_.has_value(); }
+
+ private:
+  size_t index_;
+  char pattern_char_;
+  sim::Wire* char_in_;
+  sim::Wire* char_out_;  // null for the last cell
+  sim::Wire* t_in_;      // null for the first cell
+  sim::Wire* t_out_;
+  std::optional<Word> pending_;
+};
+
+}  // namespace
+
+Result<PatternMatchResult> SystolicPatternMatch(const std::string& text,
+                                                const std::string& pattern) {
+  if (pattern.empty()) {
+    return Status::InvalidArgument("pattern must be non-empty");
+  }
+  if (pattern.size() > text.size()) {
+    return Status::InvalidArgument("pattern longer than text");
+  }
+  const size_t K = pattern.size();
+  const size_t N = text.size();
+
+  sim::Simulator simulator;
+  std::vector<sim::Wire*> chars(K);
+  std::vector<sim::Wire*> partials(K);
+  for (size_t k = 0; k < K; ++k) {
+    chars[k] = simulator.NewWire("c" + std::to_string(k));
+    partials[k] = simulator.NewWire("t" + std::to_string(k));
+  }
+  for (size_t k = 0; k < K; ++k) {
+    simulator.AddCell<PatternMatchCell>(
+        "pm" + std::to_string(k), k, pattern[k], chars[k],
+        k + 1 < K ? chars[k + 1] : nullptr,
+        k == 0 ? nullptr : partials[k - 1], partials[k]);
+  }
+  auto* feeder =
+      simulator.AddInfrastructureCell<sim::StreamFeeder>("text", chars[0]);
+  auto* sink = simulator.AddInfrastructureCell<sim::SinkCell>(
+      "matches", partials[K - 1]);
+
+  // The text proper, then K-1 padding characters that flush the partials of
+  // the incomplete tail alignments out of the cells' registers (hardware
+  // would stream the next block or idle padding the same way). Padding uses
+  // code -1, outside the unsigned-char range, so it never matches.
+  for (size_t j = 0; j < N + K - 1; ++j) {
+    const rel::Code code =
+        j < N ? static_cast<rel::Code>(static_cast<unsigned char>(text[j]))
+              : rel::Code{-1};
+    feeder->ScheduleAt(j, Word::Element(code, static_cast<sim::TupleTag>(j)));
+  }
+
+  SYSTOLIC_ASSIGN_OR_RETURN(size_t cycles,
+                            simulator.RunUntilQuiescent(4 * (N + 2 * K) + 64));
+  PatternMatchResult result;
+  result.cycles = cycles;
+  result.cells = K;
+  result.match_at.assign(N - K + 1, false);
+  for (const auto& [cycle, word] : sink->received()) {
+    const size_t i = static_cast<size_t>(word.a_tag);
+    if (i >= result.match_at.size()) {
+      continue;  // incomplete tail alignment flushed by the padding
+    }
+    result.match_at[i] = word.AsBool();
+    if (word.AsBool()) result.positions.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace arrays
+}  // namespace systolic

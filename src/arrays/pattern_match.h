@@ -1,0 +1,48 @@
+#ifndef SYSTOLIC_ARRAYS_PATTERN_MATCH_H_
+#define SYSTOLIC_ARRAYS_PATTERN_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// The pattern-match chip of Foster & Kung [3], which §8 cites as the
+/// fabricated, tested ancestor of the comparison array: "The pattern-match
+/// chip can be viewed as a scaled-down version of the comparison array in
+/// Section 3. (This chip has been fabricated, tested, and found to work.)"
+///
+/// The device holds a fixed pattern of k characters (with '?' wildcards),
+/// one per cell; the text streams through; each cell ANDs its character
+/// comparison into a result chain exactly like the comparison row's t chain,
+/// and the right edge reports, for every alignment of the pattern against
+/// the text, whether it matches. It is the §5 dedup array's "fixed one
+/// relation" discipline applied to substring search, and it shares the
+/// FixedComparisonCell timing: one text character per pulse, full
+/// utilisation in steady state.
+
+/// Result of one pattern-match run.
+struct PatternMatchResult {
+  /// match_at[i] == true iff pattern matches text starting at position i
+  /// (i in [0, text.size() - pattern.size()]).
+  std::vector<bool> match_at;
+  /// Positions of all matches, ascending.
+  std::vector<size_t> positions;
+  /// Pulses to drain the device.
+  size_t cycles = 0;
+  /// Cells = pattern length.
+  size_t cells = 0;
+};
+
+/// Streams `text` through a linear array preloaded with `pattern` ('?'
+/// matches any character). Fails with InvalidArgument on an empty pattern
+/// or a pattern longer than the text.
+Result<PatternMatchResult> SystolicPatternMatch(const std::string& text,
+                                                const std::string& pattern);
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_PATTERN_MATCH_H_

@@ -1,0 +1,45 @@
+#ifndef SYSTOLIC_ARRAYS_SELECTION_ARRAY_H_
+#define SYSTOLIC_ARRAYS_SELECTION_ARRAY_H_
+
+#include <vector>
+
+#include "arrays/intersection_array.h"
+#include "relational/compare.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// One conjunct of a selection: `column θ constant` over element codes.
+struct SelectionPredicate {
+  size_t column = 0;
+  rel::ComparisonOp op = rel::ComparisonOp::kEq;
+  rel::Code constant = 0;
+};
+
+/// σ_{p1 ∧ p2 ∧ ...}(A) as systolic hardware: a single-row fixed array with
+/// one cell per predicate, each preloaded with its constant and its
+/// comparison (§6.3.2's observation that "the particular operation to be
+/// performed might be ... preloaded into the array" provides exactly this
+/// programmability). A streams through at one tuple per pulse; the t chain
+/// ANDs the predicate results and the right edge emits one selection bit
+/// per tuple — the same interface as the membership arrays, so the engine
+/// and the §9 machine treat selection like any other device.
+///
+/// Order predicates require ordered (identity-encoded) domains, as
+/// elsewhere. An empty predicate list selects everything (vacuous
+/// conjunction) without building hardware.
+Result<SelectionResult> SystolicSelect(
+    const rel::Relation& a, const std::vector<SelectionPredicate>& predicates,
+    size_t max_cycles = 0);
+
+/// Validates predicates against a schema: in-range columns, order ops only
+/// on ordered domains.
+Status ValidateSelection(const rel::Schema& schema,
+                         const std::vector<SelectionPredicate>& predicates);
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_SELECTION_ARRAY_H_

@@ -1,0 +1,171 @@
+#include "arrays/stationary_grid.h"
+
+#include "systolic/feeder.h"
+#include "systolic/simulator.h"
+#include "util/logging.h"
+
+namespace systolic {
+namespace arrays {
+
+using sim::Word;
+
+bool StationaryCell::Contribution() const {
+  if (!touched_) return false;
+  switch (edge_rule_) {
+    case EdgeRule::kAllTrue:
+      return t_;
+    case EdgeRule::kStrictLowerTriangle:
+      return t_ && b_tag_ < a_tag_;
+  }
+  return t_;
+}
+
+void StationaryCell::Compute(size_t cycle) {
+  (void)cycle;
+  const Word x = x_in_->Read();
+  const Word y = y_in_->Read();
+  if (x.valid && x_out_ != nullptr) x_out_->Write(x);
+  if (y.valid && y_out_ != nullptr) y_out_->Write(y);
+
+  // Equal-width tuples arrive in lock-step; a lone element is a schedule bug.
+  SYSTOLIC_CHECK(x.valid == y.valid)
+      << name() << ": unpaired element in stationary grid";
+  if (x.valid) {
+    if (touched_) {
+      SYSTOLIC_CHECK(a_tag_ == x.a_tag && b_tag_ == y.b_tag)
+          << name() << ": cell visited by a second tuple pair";
+    } else {
+      a_tag_ = x.a_tag;
+      b_tag_ = y.b_tag;
+      touched_ = true;
+    }
+    t_ = t_ && (x.value == y.value);
+    MarkBusy();
+  }
+
+  const Word probe = probe_in_ != nullptr ? probe_in_->Read() : Word::Bubble();
+  if (probe.valid) {
+    probe_out_->Write(
+        Word::Boolean(probe.AsBool() || Contribution(), probe.a_tag,
+                      sim::kNoTag));
+  }
+}
+
+Result<BitVector> StationaryMembership(const rel::Relation& a,
+                                       const rel::Relation& b,
+                                       EdgeRule edge_rule, ArrayRunInfo* info) {
+  if (a.arity() == 0 || a.arity() != b.arity()) {
+    return Status::InvalidArgument(
+        "stationary grid requires equal, non-zero tuple widths");
+  }
+  BitVector bits(a.num_tuples(), false);
+  if (a.num_tuples() == 0) return bits;
+  if (b.num_tuples() == 0) {
+    if (info != nullptr) *info = ArrayRunInfo{};
+    return bits;
+  }
+  const size_t n_a = a.num_tuples();
+  const size_t n_b = b.num_tuples();
+  const size_t m = a.arity();
+
+  sim::Simulator simulator;
+  // x[i][j]: west->east element lane entering cell (i, j); x[i][n_b] unused
+  // (east edge drops the stream). y[i][j]: south->north lane entering cell
+  // (i, j); y[n_a][j] unused. probe[i][j]: west->east OR chain.
+  std::vector<std::vector<sim::Wire*>> x(n_a, std::vector<sim::Wire*>(n_b));
+  std::vector<std::vector<sim::Wire*>> y(n_a + 1,
+                                         std::vector<sim::Wire*>(n_b));
+  std::vector<std::vector<sim::Wire*>> probe(n_a,
+                                             std::vector<sim::Wire*>(n_b + 1));
+  for (size_t i = 0; i < n_a; ++i) {
+    for (size_t j = 0; j < n_b; ++j) {
+      x[i][j] = simulator.NewWire("x" + std::to_string(i) + "," +
+                                  std::to_string(j));
+      y[i][j] = simulator.NewWire("y" + std::to_string(i) + "," +
+                                  std::to_string(j));
+      probe[i][j + 1] = simulator.NewWire("p" + std::to_string(i) + "," +
+                                          std::to_string(j + 1));
+    }
+    probe[i][0] = simulator.NewWire("p" + std::to_string(i) + ",0");
+  }
+  for (size_t j = 0; j < n_b; ++j) {
+    y[n_a][j] = simulator.NewWire("ytop" + std::to_string(j));
+  }
+
+  for (size_t i = 0; i < n_a; ++i) {
+    for (size_t j = 0; j < n_b; ++j) {
+      simulator.AddCell<StationaryCell>(
+          "st(" + std::to_string(i) + "," + std::to_string(j) + ")",
+          edge_rule,
+          /*x_in=*/x[i][j],
+          /*x_out=*/j + 1 < n_b ? x[i][j + 1] : nullptr,
+          /*y_in=*/y[i][j],
+          /*y_out=*/y[i + 1][j],
+          /*probe_in=*/probe[i][j],
+          /*probe_out=*/probe[i][j + 1]);
+    }
+  }
+
+  std::vector<sim::StreamFeeder*> a_feeders(n_a);
+  std::vector<sim::StreamFeeder*> probe_feeders(n_a);
+  std::vector<sim::SinkCell*> sinks(n_a);
+  for (size_t i = 0; i < n_a; ++i) {
+    a_feeders[i] = simulator.AddInfrastructureCell<sim::StreamFeeder>(
+        "fa" + std::to_string(i), x[i][0]);
+    probe_feeders[i] = simulator.AddInfrastructureCell<sim::StreamFeeder>(
+        "fp" + std::to_string(i), probe[i][0]);
+    sinks[i] = simulator.AddInfrastructureCell<sim::SinkCell>(
+        "row" + std::to_string(i), probe[i][n_b]);
+  }
+  std::vector<sim::StreamFeeder*> b_feeders(n_b);
+  for (size_t j = 0; j < n_b; ++j) {
+    b_feeders[j] = simulator.AddInfrastructureCell<sim::StreamFeeder>(
+        "fb" + std::to_string(j), y[0][j]);
+  }
+
+  // Skewed feeds: element k of A tuple i at pulse i+k into row i; element k
+  // of B tuple j at pulse j+k into column j; they meet in cell (i, j) at
+  // pulse i+j+k+1.
+  for (size_t i = 0; i < n_a; ++i) {
+    for (size_t k = 0; k < m; ++k) {
+      a_feeders[i]->ScheduleAt(
+          i + k, Word::Element(a.tuple(i)[k], static_cast<sim::TupleTag>(i)));
+    }
+  }
+  for (size_t j = 0; j < n_b; ++j) {
+    for (size_t k = 0; k < m; ++k) {
+      b_feeders[j]->ScheduleAt(
+          j + k, Word::ElementB(b.tuple(j)[k], static_cast<sim::TupleTag>(j)));
+    }
+  }
+
+  const size_t bound = 4 * (n_a + n_b + m) + 64;
+  SYSTOLIC_RETURN_NOT_OK(simulator.RunUntilQuiescent(bound).status());
+
+  // Probe pass: one FALSE seed per row, ORed across the row's cells.
+  for (size_t i = 0; i < n_a; ++i) {
+    probe_feeders[i]->ScheduleAt(
+        simulator.cycle(),
+        Word::Boolean(false, static_cast<sim::TupleTag>(i), sim::kNoTag));
+  }
+  SYSTOLIC_ASSIGN_OR_RETURN(size_t cycles,
+                            simulator.RunUntilQuiescent(bound + n_b + 16));
+
+  for (size_t i = 0; i < n_a; ++i) {
+    if (sinks[i]->received().size() != 1) {
+      return Status::Internal("stationary row " + std::to_string(i) +
+                              " emitted " +
+                              std::to_string(sinks[i]->received().size()) +
+                              " probe results");
+    }
+    bits.Set(i, sinks[i]->received()[0].second.AsBool());
+  }
+  if (info != nullptr) {
+    info->cycles = cycles;
+    info->sim = simulator.Stats();
+  }
+  return bits;
+}
+
+}  // namespace arrays
+}  // namespace systolic

@@ -1,0 +1,79 @@
+#ifndef SYSTOLIC_ARRAYS_STATIONARY_GRID_H_
+#define SYSTOLIC_ARRAYS_STATIONARY_GRID_H_
+
+#include <string>
+#include <vector>
+
+#include "arrays/edge_rule.h"
+#include "arrays/membership.h"
+#include "relational/relation.h"
+#include "systolic/cell.h"
+#include "systolic/wire.h"
+#include "util/bitvector.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace arrays {
+
+/// The stationary-result organisation of the comparison array — one of the
+/// §8 "variations on the systolic arrays suggested ... All of these are
+/// equivalent, and differ only in implementation details."
+///
+/// Here the t matrix does not move: cell (i, j) owns t_ij and accumulates
+/// AND over the element comparisons as tuple a_i streams east along grid
+/// row i and tuple b_j streams north along grid column j (inputs skewed so
+/// element k of both tuples meets in cell (i, j) at pulse i+j+k+1). After
+/// the streams drain, a probe pass ORs each row's t_ij into the row's
+/// membership bit t_i, like the §7 divisor rows' "AND across the row".
+///
+/// Trade-offs vs the marching array (§3): |A|x|B| cells instead of
+/// (2n-1)xm, but the cell count is independent of tuple width, any m runs
+/// in one pass, and both input streams use unit tuple spacing.
+
+/// One stationary cell: holds the running t_ij plus the pair's tags.
+class StationaryCell : public sim::Cell {
+ public:
+  StationaryCell(std::string name, EdgeRule edge_rule, sim::Wire* x_in,
+                 sim::Wire* x_out, sim::Wire* y_in, sim::Wire* y_out,
+                 sim::Wire* probe_in, sim::Wire* probe_out)
+      : Cell(std::move(name)), edge_rule_(edge_rule), x_in_(x_in),
+        x_out_(x_out), y_in_(y_in), y_out_(y_out), probe_in_(probe_in),
+        probe_out_(probe_out) {}
+
+  void Compute(size_t cycle) override;
+
+  bool touched() const { return touched_; }
+  bool value() const { return t_; }
+
+ private:
+  /// The cell's contribution to the row OR: FALSE until touched, then t_ij
+  /// masked by the edge rule on the stored pair tags.
+  bool Contribution() const;
+
+  EdgeRule edge_rule_;
+  sim::Wire* x_in_;
+  sim::Wire* x_out_;   // null at the east edge
+  sim::Wire* y_in_;
+  sim::Wire* y_out_;   // null at the north edge
+  sim::Wire* probe_in_;  // null at the west edge? (west cells get probe fed)
+  sim::Wire* probe_out_;
+  bool t_ = true;
+  bool touched_ = false;
+  sim::TupleTag a_tag_ = sim::kNoTag;
+  sim::TupleTag b_tag_ = sim::kNoTag;
+};
+
+/// Runs the membership query on a stationary grid of |A| x |B| cells and
+/// returns bit i = OR_j (t_ij under the edge rule), as RunMembership does
+/// for the marching/fixed grids. Single pass for any operand sizes (the
+/// engine's tiling is not needed; capacity is bounded only by simulator
+/// memory). Fails with InvalidArgument on zero-width tuples.
+Result<BitVector> StationaryMembership(const rel::Relation& a,
+                                       const rel::Relation& b,
+                                       EdgeRule edge_rule,
+                                       ArrayRunInfo* info);
+
+}  // namespace arrays
+}  // namespace systolic
+
+#endif  // SYSTOLIC_ARRAYS_STATIONARY_GRID_H_

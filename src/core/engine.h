@@ -1,0 +1,143 @@
+#ifndef SYSTOLIC_CORE_ENGINE_H_
+#define SYSTOLIC_CORE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "arrays/comparison_grid.h"
+#include "arrays/membership.h"
+#include "arrays/selection_array.h"
+#include "relational/op_specs.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace db {
+
+/// Describes the physical systolic device the engine drives — the "fixed
+/// sizes of systolic arrays" of §9 that force large relations to be
+/// decomposed.
+struct DeviceConfig {
+  /// Physical grid rows. 0 = unbounded: each operation auto-sizes a grid
+  /// that fits its operands in one pass (no tiling).
+  size_t rows = 0;
+  /// Physical grid columns (elements compared per tuple). 0 = unbounded.
+  /// Operands wider than this are rejected with Capacity: the paper's
+  /// decomposition partitions the result matrix T over tuples, not over
+  /// columns (§8).
+  size_t columns = 0;
+  /// Feed discipline: §3's marching arrays, §8's fixed-B variant, or kAuto
+  /// to let the engine pick per operation by modeled total pulse count.
+  arrays::FeedModePolicy mode = arrays::FeedModePolicy::kMarching;
+};
+
+/// Aggregate execution statistics for one engine operation, summed over all
+/// tiled passes.
+struct ExecStats {
+  /// Device passes executed (1 when no tiling was needed).
+  size_t passes = 0;
+  /// The feed discipline the engine resolved for this operation (meaningful
+  /// for the membership/join families; selection always streams fixed).
+  arrays::FeedMode resolved_mode = arrays::FeedMode::kMarching;
+  /// Total pulses across passes.
+  size_t cycles = 0;
+  /// Total busy cell-pulses and cell count (max across passes).
+  size_t busy_cell_cycles = 0;
+  size_t num_compute_cells = 0;
+
+  double Utilization() const {
+    const double denom = static_cast<double>(num_compute_cells) *
+                         static_cast<double>(cycles);
+    return denom == 0 ? 0.0 : static_cast<double>(busy_cell_cycles) / denom;
+  }
+
+  void AccumulatePass(const arrays::ArrayRunInfo& info);
+};
+
+/// Result of one engine operation.
+struct EngineResult {
+  rel::Relation relation;
+  ExecStats stats;
+
+  explicit EngineResult(rel::Relation r) : relation(std::move(r)) {}
+};
+
+/// The end-user entry point: runs every relational operation of the paper on
+/// a (simulated) systolic device, transparently decomposing operands that
+/// exceed the device capacity into sub-problems, exactly as §8 prescribes
+/// ("one can simply partition this matrix into sub-problems small enough to
+/// fit on the array").
+///
+/// Semantics match the reference implementations in
+/// relational/ops_reference.h; outputs preserve first-operand order.
+class Engine {
+ public:
+  explicit Engine(DeviceConfig device = {}) : device_(device) {}
+
+  const DeviceConfig& device() const { return device_; }
+
+  /// A ∩ B (§4). Requires union-compatible operands.
+  Result<EngineResult> Intersect(const rel::Relation& a,
+                                 const rel::Relation& b) const;
+
+  /// A - B (§4.3).
+  Result<EngineResult> Subtract(const rel::Relation& a,
+                                const rel::Relation& b) const;
+
+  /// remove-duplicates(A) (§5); keeps first occurrences in order.
+  Result<EngineResult> RemoveDuplicates(const rel::Relation& a) const;
+
+  /// A ∪ B (§5).
+  Result<EngineResult> Union(const rel::Relation& a,
+                             const rel::Relation& b) const;
+
+  /// π_columns(A) (§5).
+  Result<EngineResult> Project(const rel::Relation& a,
+                               const std::vector<size_t>& columns) const;
+
+  /// A ⋈ B (§6): equi-, multi-column and θ-joins per `spec`.
+  Result<EngineResult> Join(const rel::Relation& a, const rel::Relation& b,
+                            const rel::JoinSpec& spec) const;
+
+  /// A ÷ B (§7).
+  Result<EngineResult> Divide(const rel::Relation& a, const rel::Relation& b,
+                              const rel::DivisionSpec& spec) const;
+
+  /// σ over a conjunction of `column θ constant` predicates, on the
+  /// selection array (a one-row fixed device; see arrays/selection_array.h).
+  /// Runs in a single pass regardless of |A| (A streams through).
+  Result<EngineResult> Select(
+      const rel::Relation& a,
+      const std::vector<arrays::SelectionPredicate>& predicates) const;
+
+  /// The feed mode the engine will use for an operation over operands of
+  /// the given sizes (resolves kAuto by comparing modeled pulse totals;
+  /// exposed for tests and benchmarks).
+  arrays::FeedMode ResolveMode(size_t n_a, size_t n_b) const;
+
+ private:
+  /// Capacity of one operand block per pass under `mode`. `bottom` selects
+  /// the B side (which differs from A in fixed mode).
+  size_t BlockCapacity(arrays::FeedMode mode, bool bottom) const;
+
+  /// Width check against device_.columns.
+  Status CheckWidth(size_t width) const;
+
+  /// OR-accumulating membership over all (A-block, B-block) tile pairs:
+  /// returns per-A-tuple bits of "matches something in B" under the edge
+  /// rule selected by `dedup` (see .cc).
+  Result<BitVector> TiledMembership(const rel::Relation& a,
+                                    const rel::Relation& b, bool dedup,
+                                    ExecStats* stats) const;
+
+  /// Modeled total pulses of a membership pass structure under `mode`.
+  double EstimatePulses(arrays::FeedMode mode, size_t n_a, size_t n_b,
+                        size_t columns) const;
+
+  DeviceConfig device_;
+};
+
+}  // namespace db
+}  // namespace systolic
+
+#endif  // SYSTOLIC_CORE_ENGINE_H_

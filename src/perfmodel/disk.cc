@@ -1,0 +1,35 @@
+#include "perfmodel/disk.h"
+
+#include <cmath>
+
+namespace systolic {
+namespace perf {
+
+size_t MaxTuplesIntersectableWithin(const Technology& tech,
+                                    size_t bits_per_tuple, double seconds) {
+  // seconds = n^2 * bits_per_tuple / parallel * t_cmp  =>  solve for n.
+  const double parallel = static_cast<double>(tech.ParallelBitComparisons());
+  const double per_pair =
+      static_cast<double>(bits_per_tuple) * tech.bit_comparison_ns * 1e-9;
+  if (per_pair <= 0.0) return 0;
+  const double n_squared = seconds * parallel / per_pair;
+  return n_squared <= 0.0 ? 0 : static_cast<size_t>(std::sqrt(n_squared));
+}
+
+double RelationBytes(size_t num_tuples, size_t bits_per_tuple) {
+  return static_cast<double>(num_tuples) *
+         static_cast<double>(bits_per_tuple) / 8.0;
+}
+
+bool ArrayKeepsUpWithDisk(const Technology& tech, const DiskModel& disk,
+                          size_t bits_per_tuple) {
+  // The marching array accepts a new input tuple every 2 pulses per side;
+  // one pulse is one bit-comparison time (bit-parallel word comparators).
+  const double tuple_period_s = 2.0 * tech.bit_comparison_ns * 1e-9;
+  const double array_bytes_per_s =
+      (static_cast<double>(bits_per_tuple) / 8.0) / tuple_period_s;
+  return array_bytes_per_s >= disk.BytesPerSecond();
+}
+
+}  // namespace perf
+}  // namespace systolic

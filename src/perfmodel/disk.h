@@ -1,0 +1,50 @@
+#ifndef SYSTOLIC_PERFMODEL_DISK_H_
+#define SYSTOLIC_PERFMODEL_DISK_H_
+
+#include <cstddef>
+
+#include "perfmodel/estimates.h"
+#include "perfmodel/technology.h"
+
+namespace systolic {
+namespace perf {
+
+/// §8's mass-storage comparison: "a moving-head disk rotates at about 3600
+/// r.p.m., or about once every 17ms. Assume that we can read an entire
+/// cylinder in one revolution ... This is a rate of about 500,000 bytes in
+/// 17ms."
+struct DiskModel {
+  double rpm = 3600.0;
+  size_t bytes_per_cylinder = 500'000;
+
+  /// Seconds per revolution (~16.7ms at 3600 rpm).
+  double RevolutionSeconds() const { return 60.0 / rpm; }
+
+  /// Sustained transfer rate, bytes/second, reading cylinder-per-revolution.
+  double BytesPerSecond() const {
+    return static_cast<double>(bytes_per_cylinder) / RevolutionSeconds();
+  }
+};
+
+/// The largest n such that two n-tuple relations of `bits_per_tuple` bits can
+/// be intersected by the device within `seconds` — used to reproduce §8's
+/// closing claim that "in a comparable period of time, our systolic array can
+/// process ... two relations, each of about 2 million bytes".
+size_t MaxTuplesIntersectableWithin(const Technology& tech,
+                                    size_t bits_per_tuple, double seconds);
+
+/// Bytes of one such relation (n tuples of bits_per_tuple bits).
+double RelationBytes(size_t num_tuples, size_t bits_per_tuple);
+
+/// True iff the device's input consumption rate is at least the disk's
+/// delivery rate, i.e. the array "can keep up with the data rate achievable
+/// with the fast mass storage devices". The array consumes one tuple-pair
+/// of input per two pulses in marching mode; we compare byte rates for a
+/// stream of `bits_per_tuple`-bit tuples.
+bool ArrayKeepsUpWithDisk(const Technology& tech, const DiskModel& disk,
+                          size_t bits_per_tuple);
+
+}  // namespace perf
+}  // namespace systolic
+
+#endif  // SYSTOLIC_PERFMODEL_DISK_H_

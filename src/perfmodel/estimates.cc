@@ -1,0 +1,49 @@
+#include "perfmodel/estimates.h"
+
+namespace systolic {
+namespace perf {
+
+double IntersectionBitComparisons(const RelationShape& a,
+                                  const RelationShape& b) {
+  // Every pair of tuples is fully compared, at a.bits_per_tuple bit
+  // comparisons per pair (union-compatible shapes share the tuple width).
+  return static_cast<double>(a.num_tuples) *
+         static_cast<double>(b.num_tuples) *
+         static_cast<double>(a.bits_per_tuple);
+}
+
+double DedupBitComparisons(const RelationShape& a) {
+  return IntersectionBitComparisons(a, a);
+}
+
+double JoinBitComparisons(size_t n_a, size_t n_b, size_t join_bits) {
+  return static_cast<double>(n_a) * static_cast<double>(n_b) *
+         static_cast<double>(join_bits);
+}
+
+double SecondsForBitComparisons(const Technology& tech,
+                                double bit_comparisons) {
+  const double parallel = static_cast<double>(tech.ParallelBitComparisons());
+  return bit_comparisons / parallel * tech.bit_comparison_ns * 1e-9;
+}
+
+double IntersectionSeconds(const Technology& tech, const RelationShape& a,
+                           const RelationShape& b) {
+  return SecondsForBitComparisons(tech, IntersectionBitComparisons(a, b));
+}
+
+size_t DecompositionPasses(size_t n_a, size_t n_b, size_t block_tuples) {
+  if (block_tuples == 0) return 0;
+  const size_t blocks_a = (n_a + block_tuples - 1) / block_tuples;
+  const size_t blocks_b = (n_b + block_tuples - 1) / block_tuples;
+  return blocks_a * blocks_b;
+}
+
+double SecondsForCycles(const Technology& tech, size_t cycles) {
+  // One pulse = one word comparison per active cell; the bit comparators of
+  // a word compare in parallel, so a pulse costs one bit-comparison time.
+  return static_cast<double>(cycles) * tech.bit_comparison_ns * 1e-9;
+}
+
+}  // namespace perf
+}  // namespace systolic

@@ -1,0 +1,59 @@
+#ifndef SYSTOLIC_PERFMODEL_ESTIMATES_H_
+#define SYSTOLIC_PERFMODEL_ESTIMATES_H_
+
+#include <cstddef>
+
+#include "perfmodel/technology.h"
+
+namespace systolic {
+namespace perf {
+
+/// The §8 sizing assumptions for "a typical relation".
+struct RelationShape {
+  /// "A relation is of size 10^4 tuples."
+  size_t num_tuples = 10'000;
+  /// "A tuple is of size 1500 bits (or about 200 characters)."
+  size_t bits_per_tuple = 1'500;
+
+  size_t TotalBits() const { return num_tuples * bits_per_tuple; }
+  double TotalBytes() const { return static_cast<double>(TotalBits()) / 8.0; }
+};
+
+/// Total bit comparisons for intersecting two relations: full tuple
+/// comparisons between all pairs — "1500 bit-comparisons for each of the
+/// (10^4)^2 tuple comparisons", i.e. 1.5x10^11 for the default shapes.
+double IntersectionBitComparisons(const RelationShape& a,
+                                  const RelationShape& b);
+
+/// Bit comparisons for remove-duplicates of one relation (same all-pairs
+/// structure with the relation against itself).
+double DedupBitComparisons(const RelationShape& a);
+
+/// Bit comparisons for a join touching only `join_bits` of each tuple pair.
+double JoinBitComparisons(size_t n_a, size_t n_b, size_t join_bits);
+
+/// Wall time for `bit_comparisons` on a device described by `tech`:
+/// comparisons / parallelism x per-comparison time. Reproduces §8's
+///   (1.5x10^11 comparisons) x (350ns / 10^6 comparisons) ≈ 50ms
+/// and the aggressive-scenario ≈10ms.
+double SecondsForBitComparisons(const Technology& tech, double bit_comparisons);
+
+/// Convenience: intersection wall time for two shapes under `tech`.
+double IntersectionSeconds(const Technology& tech, const RelationShape& a,
+                           const RelationShape& b);
+
+/// Word-level device passes needed when each operand block is limited to
+/// `block_tuples` per pass (the §8 decomposition): ceil(nA/b) x ceil(nB/b).
+size_t DecompositionPasses(size_t n_a, size_t n_b, size_t block_tuples);
+
+/// Bridges the cycle-accurate simulator to the analytic model: wall time of
+/// `cycles` word-level pulses when one pulse performs up to `word_bits`
+/// bit comparisons in bit-parallel comparators (§8's word→bit decomposition
+/// makes one word comparison cost one bit-comparison time, as the bits
+/// compare in parallel).
+double SecondsForCycles(const Technology& tech, size_t cycles);
+
+}  // namespace perf
+}  // namespace systolic
+
+#endif  // SYSTOLIC_PERFMODEL_ESTIMATES_H_

@@ -1,0 +1,52 @@
+#include "perfmodel/floorplan.h"
+
+namespace systolic {
+namespace perf {
+
+std::string Floorplan::ToString() const {
+  return std::to_string(word_cells) + " word cells = " +
+         std::to_string(bit_comparators) + " bit comparators, " +
+         std::to_string(chips_required) + " chips";
+}
+
+Floorplan PlanComparisonGrid(const Technology& tech, size_t rows,
+                             size_t columns, size_t word_bits,
+                             bool with_accumulator) {
+  Floorplan plan;
+  plan.word_cells = rows * columns + (with_accumulator ? rows : 0);
+  // The accumulation cell is a single OR gate plus a latch; we count it as
+  // one comparator-equivalent, which the paper's coarse arithmetic absorbs.
+  plan.bit_comparators =
+      rows * columns * word_bits + (with_accumulator ? rows : 0);
+  plan.comparator_area_um2 = static_cast<double>(plan.bit_comparators) *
+                             tech.comparator_width_um *
+                             tech.comparator_height_um;
+  const size_t per_chip = tech.ComparatorsPerChip();
+  if (per_chip == 0 || plan.bit_comparators == 0) {
+    plan.chips_required = 0;
+    plan.last_chip_fill = 0;
+    return plan;
+  }
+  plan.chips_required = (plan.bit_comparators + per_chip - 1) / per_chip;
+  const size_t remainder = plan.bit_comparators % per_chip;
+  plan.last_chip_fill = remainder == 0
+                            ? 1.0
+                            : static_cast<double>(remainder) /
+                                  static_cast<double>(per_chip);
+  return plan;
+}
+
+size_t MaxMarchingCapacity(const Technology& tech, size_t chips,
+                           size_t columns, size_t word_bits) {
+  const size_t budget = chips * tech.ComparatorsPerChip();
+  // rows = 2n-1; comparators = rows*columns*word_bits + rows.
+  // Solve rows <= budget / (columns*word_bits + 1), then n = (rows+1)/2.
+  const size_t per_row = columns * word_bits + 1;
+  if (per_row == 0) return 0;
+  const size_t rows = budget / per_row;
+  if (rows == 0) return 0;
+  return (rows + 1) / 2;
+}
+
+}  // namespace perf
+}  // namespace systolic

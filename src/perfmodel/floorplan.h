@@ -1,0 +1,49 @@
+#ifndef SYSTOLIC_PERFMODEL_FLOORPLAN_H_
+#define SYSTOLIC_PERFMODEL_FLOORPLAN_H_
+
+#include <cstddef>
+#include <string>
+
+#include "perfmodel/technology.h"
+
+namespace systolic {
+namespace perf {
+
+/// Area/chip budget of a concrete array under a technology — the other half
+/// of §8's arithmetic: the paper divides chip area by comparator area to get
+/// ~1000 comparators per chip and sizes devices in chips; this module runs
+/// the same arithmetic for any grid shape, after the word→bit decomposition
+/// (each word cell of `word_bits` bits becomes `word_bits` bit comparators,
+/// which is how the paper counts).
+struct Floorplan {
+  /// Word-level cells (grid cells plus accumulation cells if requested).
+  size_t word_cells = 0;
+  /// Bit comparators after decomposition.
+  size_t bit_comparators = 0;
+  /// Silicon area of the comparators, in µm².
+  double comparator_area_um2 = 0;
+  /// Chips needed at the technology's comparators-per-chip density.
+  size_t chips_required = 0;
+  /// Fraction of the last chip's comparators actually used, in (0, 1].
+  double last_chip_fill = 0;
+
+  std::string ToString() const;
+};
+
+/// Plans a comparison grid of rows x columns word cells of `word_bits`-bit
+/// words; `with_accumulator` adds the §4 accumulation column (one cell per
+/// row, counted as one comparator-equivalent each).
+Floorplan PlanComparisonGrid(const Technology& tech, size_t rows,
+                             size_t columns, size_t word_bits,
+                             bool with_accumulator);
+
+/// The largest per-operand capacity n of a marching intersection array
+/// (rows = 2n-1 plus accumulation) of `columns` word columns of `word_bits`
+/// bits that fits on `chips` chips. Returns 0 if not even n = 1 fits.
+size_t MaxMarchingCapacity(const Technology& tech, size_t chips,
+                           size_t columns, size_t word_bits);
+
+}  // namespace perf
+}  // namespace systolic
+
+#endif  // SYSTOLIC_PERFMODEL_FLOORPLAN_H_

@@ -1,0 +1,32 @@
+#include "perfmodel/technology.h"
+
+namespace systolic {
+namespace perf {
+
+Technology Technology::Conservative1980() { return Technology{}; }
+
+Technology Technology::Aggressive1980() {
+  Technology tech;
+  tech.name = "nmos-1980-aggressive";
+  tech.bit_comparison_ns = 200.0;
+  tech.chips = 3000;
+  return tech;
+}
+
+size_t Technology::ComparatorsPerChip() const {
+  const double chip_area = chip_width_um * chip_height_um;
+  const double comparator_area = comparator_width_um * comparator_height_um;
+  return static_cast<size_t>(chip_area / comparator_area);
+}
+
+size_t Technology::ParallelBitComparisons() const {
+  return chips * ComparatorsPerChip();
+}
+
+bool Technology::PinsKeepUp() const {
+  // One comparison period must cover one multiplexed off-chip transfer.
+  return offchip_transfer_ns * static_cast<double>(1) <= bit_comparison_ns;
+}
+
+}  // namespace perf
+}  // namespace systolic

@@ -1,0 +1,58 @@
+#ifndef SYSTOLIC_PERFMODEL_TECHNOLOGY_H_
+#define SYSTOLIC_PERFMODEL_TECHNOLOGY_H_
+
+#include <cstddef>
+#include <string>
+
+namespace systolic {
+namespace perf {
+
+/// The §8 technology assumptions, as data. The defaults are the paper's
+/// "(conservative) estimates ... typical of results that have been achieved
+/// with present NMOS technology".
+struct Technology {
+  std::string name = "nmos-1980-conservative";
+
+  /// Bit-comparator footprint: "about 240µ x 150µ in area".
+  double comparator_width_um = 240.0;
+  double comparator_height_um = 150.0;
+
+  /// "The comparison is performed (very conservatively!) in about 350ns,
+  /// including time for on-chip and off-chip data transfer."
+  double bit_comparison_ns = 350.0;
+
+  /// "Chips are about 6000µ x 6000µ in area."
+  double chip_width_um = 6000.0;
+  double chip_height_um = 6000.0;
+
+  /// "It is practical to construct devices involving a few thousand chips.
+  /// We assume 1000 chips."
+  size_t chips = 1000;
+
+  /// Off-chip transfer time (<30ns) and pin multiplexing ("about 10 bits on
+  /// a pin during a single comparison") — recorded for the feasibility
+  /// argument that pins do not throttle the comparators.
+  double offchip_transfer_ns = 30.0;
+  size_t bits_per_pin_per_comparison = 10;
+
+  /// The paper's two scenarios.
+  static Technology Conservative1980();
+  /// "If we assume instead, for example, 200ns/comparison, and 3000 chips."
+  static Technology Aggressive1980();
+
+  /// "Division gives us about 1000 bit-comparators per chip."
+  size_t ComparatorsPerChip() const;
+
+  /// "This gives us the capability of performing 10^6 comparisons in
+  /// parallel."
+  size_t ParallelBitComparisons() const;
+
+  /// True iff pin bandwidth keeps the comparators fed: the off-chip transfer
+  /// of one multiplexed pin-load fits inside one comparison time.
+  bool PinsKeepUp() const;
+};
+
+}  // namespace perf
+}  // namespace systolic
+
+#endif  // SYSTOLIC_PERFMODEL_TECHNOLOGY_H_

@@ -1,0 +1,59 @@
+#ifndef SYSTOLIC_RELATIONAL_BUILDER_H_
+#define SYSTOLIC_RELATIONAL_BUILDER_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "relational/relation.h"
+#include "relational/value.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace rel {
+
+/// Builds a Relation from human-level Values, encoding each element through
+/// its column's Domain (the paper's input boundary, §2.3).
+///
+/// Usage:
+///   RelationBuilder b(schema);
+///   b.AddRow({Value::String("alice"), Value::Int64(30)});
+///   SYSTOLIC_ASSIGN_OR_RETURN(Relation r, b.Finish());
+class RelationBuilder {
+ public:
+  explicit RelationBuilder(Schema schema,
+                           RelationKind kind = RelationKind::kSet)
+      : relation_(std::move(schema), kind) {}
+
+  /// Encodes and appends one row. Fails on arity or type mismatch; earlier
+  /// elements of a failing row may still have been registered in their
+  /// domains (registration is idempotent and harmless).
+  Status AddRow(const std::vector<Value>& row);
+
+  /// Convenience for brace-literal rows.
+  Status AddRow(std::initializer_list<Value> row) {
+    return AddRow(std::vector<Value>(row));
+  }
+
+  /// Returns the built relation and resets the builder to empty.
+  Relation Finish();
+
+ private:
+  Relation relation_;
+};
+
+/// Convenience: builds an all-int64 relation from literal rows. All columns
+/// share domains from `schema`. Fails on ragged rows or non-matching arity.
+Result<Relation> MakeRelation(const Schema& schema,
+                              const std::vector<std::vector<int64_t>>& rows,
+                              RelationKind kind = RelationKind::kSet);
+
+/// Convenience: a schema of `arity` int64 columns named c0..c{arity-1}, each
+/// over a fresh shared domain named `domain_prefix`+index. Columns of two
+/// schemas made by separate calls are NOT union-compatible; to build
+/// compatible pairs, reuse one schema or its domains.
+Schema MakeIntSchema(size_t arity, const std::string& domain_prefix = "dom");
+
+}  // namespace rel
+}  // namespace systolic
+
+#endif  // SYSTOLIC_RELATIONAL_BUILDER_H_

@@ -1,0 +1,83 @@
+#include "relational/csv.h"
+
+#include <string>
+
+#include "relational/builder.h"
+#include "util/strings.h"
+
+namespace systolic {
+namespace rel {
+
+namespace {
+
+Result<Value> ParseField(std::string_view field, ValueType type) {
+  const std::string text(Trim(field));
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t v = 0;
+      if (!ParseInt64(text, &v)) {
+        return Status::InvalidArgument("cannot parse '" + text + "' as int64");
+      }
+      return Value::Int64(v);
+    }
+    case ValueType::kBool: {
+      if (text == "true") return Value::Bool(true);
+      if (text == "false") return Value::Bool(false);
+      return Status::InvalidArgument("cannot parse '" + text + "' as bool");
+    }
+    case ValueType::kString:
+      return Value::String(text);
+  }
+  return Status::Internal("unknown value type");
+}
+
+}  // namespace
+
+Result<Relation> ReadCsv(std::istream& in, const Schema& schema,
+                         bool has_header, RelationKind kind) {
+  RelationBuilder builder(schema, kind);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (has_header && line_number == 1) continue;
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(schema.num_columns()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (size_t c = 0; c < fields.size(); ++c) {
+      SYSTOLIC_ASSIGN_OR_RETURN(
+          Value v, ParseField(fields[c], schema.column(c).domain->type()));
+      row.push_back(std::move(v));
+    }
+    SYSTOLIC_RETURN_NOT_OK(builder.AddRow(row));
+  }
+  return builder.Finish();
+}
+
+Status WriteCsv(const Relation& relation, std::ostream& out) {
+  const Schema& schema = relation.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c != 0) out << ',';
+    out << schema.column(c).name;
+  }
+  out << '\n';
+  for (const Tuple& t : relation.tuples()) {
+    for (size_t c = 0; c < t.size(); ++c) {
+      if (c != 0) out << ',';
+      SYSTOLIC_ASSIGN_OR_RETURN(Value v, schema.column(c).domain->Decode(t[c]));
+      out << v.ToString();
+    }
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+}  // namespace rel
+}  // namespace systolic

@@ -1,0 +1,29 @@
+#ifndef SYSTOLIC_RELATIONAL_CSV_H_
+#define SYSTOLIC_RELATIONAL_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace rel {
+
+/// Reads a relation from simple CSV (no quoting; comma-separated; first line
+/// ignored as a header when `has_header`). Each field must encode into the
+/// corresponding column's domain: int64 columns require integer literals,
+/// string columns accept any text, bool columns accept "true"/"false".
+Result<Relation> ReadCsv(std::istream& in, const Schema& schema,
+                         bool has_header = true,
+                         RelationKind kind = RelationKind::kSet);
+
+/// Writes a relation as CSV with a header of column names, decoding each
+/// element through its domain. Fails if any stored code cannot be decoded.
+Status WriteCsv(const Relation& relation, std::ostream& out);
+
+}  // namespace rel
+}  // namespace systolic
+
+#endif  // SYSTOLIC_RELATIONAL_CSV_H_

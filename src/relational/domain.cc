@@ -1,0 +1,53 @@
+#include "relational/domain.h"
+
+namespace systolic {
+namespace rel {
+
+std::shared_ptr<Domain> Domain::Make(std::string name, ValueType type) {
+  return std::shared_ptr<Domain>(new Domain(std::move(name), type));
+}
+
+Result<Code> Domain::Encode(const Value& value) {
+  if (value.type() != type_) {
+    return Status::InvalidArgument("domain '" + name_ + "' holds " +
+                                   ValueTypeToString(type_) + ", got " +
+                                   ValueTypeToString(value.type()) + " value '" +
+                                   value.ToString() + "'");
+  }
+  if (type_ == ValueType::kInt64) {
+    return value.AsInt64();  // identity encoding
+  }
+  auto it = by_value_.find(value);
+  if (it != by_value_.end()) return it->second;
+  const Code code = static_cast<Code>(by_code_.size());
+  by_value_.emplace(value, code);
+  by_code_.push_back(value);
+  return code;
+}
+
+Result<Code> Domain::Lookup(const Value& value) const {
+  if (value.type() != type_) {
+    return Status::InvalidArgument("domain '" + name_ + "' holds " +
+                                   ValueTypeToString(type_) + ", got " +
+                                   ValueTypeToString(value.type()));
+  }
+  if (type_ == ValueType::kInt64) return value.AsInt64();
+  auto it = by_value_.find(value);
+  if (it == by_value_.end()) {
+    return Status::NotFound("value '" + value.ToString() +
+                            "' is not a member of domain '" + name_ + "'");
+  }
+  return it->second;
+}
+
+Result<Value> Domain::Decode(Code code) const {
+  if (type_ == ValueType::kInt64) return Value::Int64(code);
+  if (code < 0 || static_cast<size_t>(code) >= by_code_.size()) {
+    return Status::NotFound("code " + std::to_string(code) +
+                            " was never issued by domain '" + name_ + "'");
+  }
+  return by_code_[static_cast<size_t>(code)];
+}
+
+}  // namespace rel
+}  // namespace systolic

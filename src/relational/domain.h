@@ -1,0 +1,78 @@
+#ifndef SYSTOLIC_RELATIONAL_DOMAIN_H_
+#define SYSTOLIC_RELATIONAL_DOMAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace systolic {
+namespace rel {
+
+/// An element code as stored in relations and pumped through the arrays.
+using Code = int64_t;
+
+/// An underlying domain in the paper's sense (§2.3): the set of values a
+/// column may draw from, together with a unique, reversible encoding of each
+/// member into an integer. "These integer encodings are the form in which
+/// the elements are stored in the relations, and the list of encodings is
+/// stored separately" — Domain is that separately stored list.
+///
+/// Two encodings are supported:
+///  * int64 domains use the identity encoding (code == value), so the integer
+///    order of codes equals the value order and θ-joins (<, >, ...) on such
+///    columns are meaningful;
+///  * bool and string domains use dictionary encoding in first-seen order,
+///    which preserves equality only. Order-sensitive operations on such
+///    columns are rejected by the engine.
+///
+/// Domains are shared by reference (shared_ptr); per §2.4 two columns are
+/// union-compatible only if they refer to the *same* Domain object.
+class Domain {
+ public:
+  /// Creates an empty domain named `name` over `type`.
+  static std::shared_ptr<Domain> Make(std::string name, ValueType type);
+
+  /// Domain name, e.g. "employee-name".
+  const std::string& name() const { return name_; }
+
+  /// Underlying value type.
+  ValueType type() const { return type_; }
+
+  /// True iff integer order of codes equals value order (identity encoding).
+  bool ordered() const { return type_ == ValueType::kInt64; }
+
+  /// Encodes `value`, registering it in the dictionary on first sight.
+  /// Fails with InvalidArgument if the value's type does not match type().
+  Result<Code> Encode(const Value& value);
+
+  /// Encodes `value` without registering; NotFound if it is not a member.
+  Result<Code> Lookup(const Value& value) const;
+
+  /// Decodes a code back to a value; NotFound if the code was never issued.
+  Result<Value> Decode(Code code) const;
+
+  /// Number of distinct registered members (0 for identity-encoded domains
+  /// until values are encoded; identity domains do not track membership).
+  size_t dictionary_size() const { return by_code_.size(); }
+
+ private:
+  Domain(std::string name, ValueType type)
+      : name_(std::move(name)), type_(type) {}
+
+  std::string name_;
+  ValueType type_;
+  // Dictionary state; unused (empty) for identity-encoded int64 domains.
+  std::map<Value, Code> by_value_;
+  std::vector<Value> by_code_;
+};
+
+}  // namespace rel
+}  // namespace systolic
+
+#endif  // SYSTOLIC_RELATIONAL_DOMAIN_H_

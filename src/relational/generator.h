@@ -1,0 +1,57 @@
+#ifndef SYSTOLIC_RELATIONAL_GENERATOR_H_
+#define SYSTOLIC_RELATIONAL_GENERATOR_H_
+
+#include <cstdint>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace rel {
+
+/// Parameters for synthetic relation generation.
+///
+/// The paper's §8 sizing assumes relations of 10^4 tuples of 1500 bits; these
+/// generators expose the same knobs (cardinality, arity ≈ bits, domain size)
+/// plus selectivity controls the benchmarks sweep over.
+struct GeneratorOptions {
+  /// Number of tuples to generate.
+  size_t num_tuples = 100;
+  /// Values per column are drawn from [0, domain_size).
+  int64_t domain_size = 1000;
+  /// Zipf exponent over the domain; 0 = uniform.
+  double zipf_s = 0.0;
+  /// PRNG seed; equal options yield equal relations.
+  uint64_t seed = 42;
+};
+
+/// Generates a relation over `schema` (all-int64 columns) with iid elements.
+/// Duplicate tuples may occur; the result is marked as a multi-relation.
+Result<Relation> GenerateRelation(const Schema& schema,
+                                  const GeneratorOptions& options);
+
+/// Generates a pair (A, B) over the shared `schema` such that approximately
+/// `overlap_fraction` of A's tuples also appear (verbatim) somewhere in B.
+/// Used by the intersection/difference benchmarks to control selectivity.
+struct PairOptions {
+  GeneratorOptions base;
+  size_t b_num_tuples = 100;
+  double overlap_fraction = 0.3;
+};
+struct RelationPair {
+  Relation a;
+  Relation b;
+};
+Result<RelationPair> GenerateOverlappingPair(const Schema& schema,
+                                             const PairOptions& options);
+
+/// Generates a relation where each distinct tuple is repeated ~`dup_factor`
+/// times on average (dup_factor >= 1), for remove-duplicates workloads.
+Result<Relation> GenerateWithDuplicates(const Schema& schema,
+                                        const GeneratorOptions& options,
+                                        double dup_factor);
+
+}  // namespace rel
+}  // namespace systolic
+
+#endif  // SYSTOLIC_RELATIONAL_GENERATOR_H_

@@ -1,0 +1,146 @@
+#include "relational/ops_hash.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "relational/ops_reference.h"
+#include "relational/tuple_hash.h"
+
+namespace systolic {
+namespace rel {
+namespace hashops {
+
+namespace {
+
+std::unordered_set<Tuple, TupleHash> BuildSet(const Relation& r) {
+  std::unordered_set<Tuple, TupleHash> set;
+  set.reserve(r.num_tuples());
+  for (const Tuple& t : r.tuples()) set.insert(t);
+  return set;
+}
+
+Tuple KeyOf(const Tuple& t, const std::vector<size_t>& columns) {
+  Tuple key;
+  key.reserve(columns.size());
+  for (size_t c : columns) key.push_back(t[c]);
+  return key;
+}
+
+}  // namespace
+
+Result<Relation> Intersection(const Relation& a, const Relation& b) {
+  SYSTOLIC_RETURN_NOT_OK(a.schema().CheckUnionCompatible(b.schema()));
+  const auto b_set = BuildSet(b);
+  Relation out(a.schema(), RelationKind::kSet);
+  for (const Tuple& ta : a.tuples()) {
+    if (b_set.count(ta) != 0) {
+      SYSTOLIC_RETURN_NOT_OK(out.Append(ta));
+    }
+  }
+  return out;
+}
+
+Result<Relation> Difference(const Relation& a, const Relation& b) {
+  SYSTOLIC_RETURN_NOT_OK(a.schema().CheckUnionCompatible(b.schema()));
+  const auto b_set = BuildSet(b);
+  Relation out(a.schema(), RelationKind::kSet);
+  for (const Tuple& ta : a.tuples()) {
+    if (b_set.count(ta) == 0) {
+      SYSTOLIC_RETURN_NOT_OK(out.Append(ta));
+    }
+  }
+  return out;
+}
+
+Result<Relation> RemoveDuplicates(const Relation& a) {
+  std::unordered_set<Tuple, TupleHash> seen;
+  seen.reserve(a.num_tuples());
+  Relation out(a.schema(), RelationKind::kSet);
+  for (const Tuple& ta : a.tuples()) {
+    if (seen.insert(ta).second) {
+      SYSTOLIC_RETURN_NOT_OK(out.Append(ta));
+    }
+  }
+  return out;
+}
+
+Result<Relation> Union(const Relation& a, const Relation& b) {
+  SYSTOLIC_RETURN_NOT_OK(a.schema().CheckUnionCompatible(b.schema()));
+  Relation concatenated(a.schema(), RelationKind::kMulti);
+  SYSTOLIC_RETURN_NOT_OK(concatenated.Concatenate(a));
+  SYSTOLIC_RETURN_NOT_OK(concatenated.Concatenate(b));
+  return RemoveDuplicates(concatenated);
+}
+
+Result<Relation> Projection(const Relation& a,
+                            const std::vector<size_t>& columns) {
+  SYSTOLIC_ASSIGN_OR_RETURN(Relation narrowed, a.ProjectColumns(columns));
+  return RemoveDuplicates(narrowed);
+}
+
+Result<Relation> Join(const Relation& a, const Relation& b,
+                      const JoinSpec& spec) {
+  SYSTOLIC_RETURN_NOT_OK(ValidateJoinSpec(a.schema(), b.schema(), spec));
+  if (spec.op != ComparisonOp::kEq) {
+    // An order predicate cannot be served by hashing; delegate to the
+    // reference nested loop, which has identical semantics.
+    return reference::Join(a, b, spec);
+  }
+  SYSTOLIC_ASSIGN_OR_RETURN(Schema out_schema,
+                            JoinOutputSchema(a.schema(), b.schema(), spec));
+  // Build on B (keyed by its join columns), probe with A, A-major output
+  // order to match the reference implementation.
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHash> build;
+  build.reserve(b.num_tuples());
+  for (size_t j = 0; j < b.num_tuples(); ++j) {
+    build[KeyOf(b.tuple(j), spec.right_columns)].push_back(j);
+  }
+  Relation out(std::move(out_schema), RelationKind::kMulti);
+  for (const Tuple& ta : a.tuples()) {
+    auto it = build.find(KeyOf(ta, spec.left_columns));
+    if (it == build.end()) continue;
+    for (size_t j : it->second) {
+      SYSTOLIC_RETURN_NOT_OK(out.Append(JoinConcatenate(ta, b.tuple(j), spec)));
+    }
+  }
+  return out;
+}
+
+Result<Relation> Division(const Relation& a, const Relation& b,
+                          const DivisionSpec& spec) {
+  SYSTOLIC_RETURN_NOT_OK(ValidateDivisionSpec(a.schema(), b.schema(), spec));
+  const std::vector<size_t> quotient_columns =
+      DivisionQuotientColumns(a.schema(), spec);
+  SYSTOLIC_ASSIGN_OR_RETURN(Schema out_schema,
+                            DivisionOutputSchema(a.schema(), spec));
+
+  std::unordered_set<Tuple, TupleHash> divisor;
+  for (const Tuple& tb : b.tuples()) {
+    divisor.insert(KeyOf(tb, spec.b_columns));
+  }
+
+  // Group A by quotient value; per group, count distinct covered divisor
+  // values. Preserve first-occurrence order of quotient values.
+  std::unordered_map<Tuple, std::unordered_set<Tuple, TupleHash>, TupleHash>
+      covered_by_group;
+  std::vector<Tuple> group_order;
+  for (const Tuple& ta : a.tuples()) {
+    Tuple x = KeyOf(ta, quotient_columns);
+    auto [it, inserted] = covered_by_group.try_emplace(x);
+    if (inserted) group_order.push_back(x);
+    Tuple y = KeyOf(ta, spec.a_columns);
+    if (divisor.count(y) != 0) it->second.insert(std::move(y));
+  }
+
+  Relation out(std::move(out_schema), RelationKind::kSet);
+  for (const Tuple& x : group_order) {
+    if (covered_by_group[x].size() == divisor.size()) {
+      SYSTOLIC_RETURN_NOT_OK(out.Append(x));
+    }
+  }
+  return out;
+}
+
+}  // namespace hashops
+}  // namespace rel
+}  // namespace systolic

@@ -1,0 +1,48 @@
+#ifndef SYSTOLIC_RELATIONAL_OPS_HASH_H_
+#define SYSTOLIC_RELATIONAL_OPS_HASH_H_
+
+#include "relational/op_specs.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace rel {
+namespace hashops {
+
+/// Hash-based software implementations of the relational operations — the
+/// strongest conventional-CPU baseline the benchmarks compare the systolic
+/// device against (experiment E13). Output order and semantics match the
+/// reference implementations exactly.
+
+/// A ∩ B via a hash set over B. O(|A| + |B|) expected.
+Result<Relation> Intersection(const Relation& a, const Relation& b);
+
+/// A - B via a hash set over B.
+Result<Relation> Difference(const Relation& a, const Relation& b);
+
+/// remove-duplicates(A) via a hash set, keeping first occurrences.
+Result<Relation> RemoveDuplicates(const Relation& a);
+
+/// A ∪ B via a hash set over the concatenation.
+Result<Relation> Union(const Relation& a, const Relation& b);
+
+/// π_f(A) via column-drop plus hash dedup.
+Result<Relation> Projection(const Relation& a,
+                            const std::vector<size_t>& columns);
+
+/// A ⋈ B. Equi-joins use a classic build/probe hash join on the join-column
+/// key (build side = B); non-equi joins fall back to a nested loop, as a
+/// hash table cannot serve an order predicate.
+Result<Relation> Join(const Relation& a, const Relation& b,
+                      const JoinSpec& spec);
+
+/// A ÷ B by grouping A on the quotient columns and counting the distinct
+/// divisor values covered by each group.
+Result<Relation> Division(const Relation& a, const Relation& b,
+                          const DivisionSpec& spec);
+
+}  // namespace hashops
+}  // namespace rel
+}  // namespace systolic
+
+#endif  // SYSTOLIC_RELATIONAL_OPS_HASH_H_

@@ -1,0 +1,53 @@
+#ifndef SYSTOLIC_RELATIONAL_OPS_REFERENCE_H_
+#define SYSTOLIC_RELATIONAL_OPS_REFERENCE_H_
+
+#include "relational/op_specs.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace rel {
+namespace reference {
+
+/// Nested-loop reference implementations of every relational operation in the
+/// paper. These are the correctness oracle for the systolic arrays: each is a
+/// direct transcription of the operation's definition, with no attempt at
+/// efficiency. All operations preserve the input tuple order of their first
+/// operand (and of B after A for union), matching the arrays' output order.
+
+/// A ∩ B: tuples of A also present in B (§4.1). Requires union-compatibility.
+/// Mirrors the intersection array: if A contains duplicates, each surviving
+/// occurrence is kept; pass deduplicated inputs for set semantics.
+Result<Relation> Intersection(const Relation& a, const Relation& b);
+
+/// A - B: tuples of A not present in B (§4.3). Requires union-compatibility.
+Result<Relation> Difference(const Relation& a, const Relation& b);
+
+/// remove-duplicates(A): keeps the first occurrence of each distinct tuple,
+/// in input order (§5).
+Result<Relation> RemoveDuplicates(const Relation& a);
+
+/// A ∪ B = remove-duplicates(A + B) (§5). Requires union-compatibility.
+Result<Relation> Union(const Relation& a, const Relation& b);
+
+/// π_f(A): drops to the columns in `columns` (in that order), then removes
+/// duplicates (§5).
+Result<Relation> Projection(const Relation& a,
+                            const std::vector<size_t>& columns);
+
+/// A ⋈ B per `spec` (§6): all pairs satisfying the predicate, A-major order,
+/// concatenated per the |_{CA,CB} operator.
+Result<Relation> Join(const Relation& a, const Relation& b,
+                      const JoinSpec& spec);
+
+/// A ÷ B per `spec` (§7). The divisor values are π_{C_B}(B) as a set; an
+/// empty divisor yields the projection of A onto the quotient columns
+/// (vacuous universal quantification), deduplicated.
+Result<Relation> Division(const Relation& a, const Relation& b,
+                          const DivisionSpec& spec);
+
+}  // namespace reference
+}  // namespace rel
+}  // namespace systolic
+
+#endif  // SYSTOLIC_RELATIONAL_OPS_REFERENCE_H_

@@ -1,0 +1,49 @@
+#ifndef SYSTOLIC_RELATIONAL_OPS_SORT_H_
+#define SYSTOLIC_RELATIONAL_OPS_SORT_H_
+
+#include "relational/op_specs.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace rel {
+namespace sortops {
+
+/// Sort-based software implementations — the second conventional baseline
+/// (contemporary 1980 database systems were predominantly sort-based).
+///
+/// Unlike the reference and hash implementations, these emit results in
+/// lexicographic tuple-code order, as sorting naturally produces; they agree
+/// with the other implementations up to reordering (SetEquals/BagEquals).
+
+/// A ∩ B by sorting both sides and merging. O(n log n).
+Result<Relation> Intersection(const Relation& a, const Relation& b);
+
+/// A - B by sorting both sides and merging.
+Result<Relation> Difference(const Relation& a, const Relation& b);
+
+/// remove-duplicates(A) by sort + unique.
+Result<Relation> RemoveDuplicates(const Relation& a);
+
+/// A ∪ B by sorting the concatenation + unique.
+Result<Relation> Union(const Relation& a, const Relation& b);
+
+/// π_f(A) by column-drop, sort + unique.
+Result<Relation> Projection(const Relation& a,
+                            const std::vector<size_t>& columns);
+
+/// A ⋈ B. Equi-joins use sort-merge on the join-column key; non-equi joins
+/// delegate to the reference nested loop.
+Result<Relation> Join(const Relation& a, const Relation& b,
+                      const JoinSpec& spec);
+
+/// A ÷ B by sorting A on (quotient columns, divisor columns) and scanning
+/// groups against the sorted distinct divisor list.
+Result<Relation> Division(const Relation& a, const Relation& b,
+                          const DivisionSpec& spec);
+
+}  // namespace sortops
+}  // namespace rel
+}  // namespace systolic
+
+#endif  // SYSTOLIC_RELATIONAL_OPS_SORT_H_

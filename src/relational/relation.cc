@@ -1,0 +1,108 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <set>
+
+namespace systolic {
+namespace rel {
+
+Status Relation::Append(Tuple tuple) {
+  if (tuple.size() != arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match schema arity " + std::to_string(arity()));
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Status Relation::Concatenate(const Relation& other) {
+  SYSTOLIC_RETURN_NOT_OK(schema_.CheckUnionCompatible(other.schema_));
+  tuples_.insert(tuples_.end(), other.tuples_.begin(), other.tuples_.end());
+  return Status::OK();
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  return std::find(tuples_.begin(), tuples_.end(), t) != tuples_.end();
+}
+
+bool Relation::IsDuplicateFree() const {
+  std::set<Tuple> seen;
+  for (const Tuple& t : tuples_) {
+    if (!seen.insert(t).second) return false;
+  }
+  return true;
+}
+
+Result<Relation> Relation::Filter(const BitVector& selection,
+                                  RelationKind kind) const {
+  if (selection.size() != tuples_.size()) {
+    return Status::InvalidArgument(
+        "selection vector size " + std::to_string(selection.size()) +
+        " does not match tuple count " + std::to_string(tuples_.size()));
+  }
+  Relation out(schema_, kind);
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (selection.Get(i)) out.tuples_.push_back(tuples_[i]);
+  }
+  return out;
+}
+
+Result<Relation> Relation::ProjectColumns(
+    const std::vector<size_t>& indices) const {
+  SYSTOLIC_ASSIGN_OR_RETURN(Schema projected, schema_.Project(indices));
+  Relation out(std::move(projected), RelationKind::kMulti);
+  for (const Tuple& t : tuples_) {
+    Tuple narrow;
+    narrow.reserve(indices.size());
+    for (size_t index : indices) narrow.push_back(t[index]);
+    out.tuples_.push_back(std::move(narrow));
+  }
+  return out;
+}
+
+bool Relation::SetEquals(const Relation& other) const {
+  if (!schema_.UnionCompatibleWith(other.schema_)) return false;
+  std::set<Tuple> mine(tuples_.begin(), tuples_.end());
+  std::set<Tuple> theirs(other.tuples_.begin(), other.tuples_.end());
+  return mine == theirs;
+}
+
+bool Relation::BagEquals(const Relation& other) const {
+  if (!schema_.UnionCompatibleWith(other.schema_)) return false;
+  return SortedTuples() == other.SortedTuples();
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> sorted = tuples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+std::string Relation::ToString() const {
+  std::string out = schema_.ToString() + "\n";
+  for (const Tuple& t : tuples_) {
+    out += "  (";
+    for (size_t c = 0; c < t.size(); ++c) {
+      if (c != 0) out += ", ";
+      auto decoded = schema_.column(c).domain->Decode(t[c]);
+      out += decoded.ok() ? decoded.ValueOrDie().ToString()
+                          : "#" + std::to_string(t[c]);
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(tuple[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rel
+}  // namespace systolic

@@ -1,0 +1,60 @@
+#include "relational/schema.h"
+
+namespace systolic {
+namespace rel {
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "' in schema " +
+                          ToString());
+}
+
+bool Schema::UnionCompatibleWith(const Schema& other) const {
+  return CheckUnionCompatible(other).ok();
+}
+
+Status Schema::CheckUnionCompatible(const Schema& other) const {
+  if (num_columns() != other.num_columns()) {
+    return Status::Incompatible(
+        "column counts differ: " + std::to_string(num_columns()) + " vs " +
+        std::to_string(other.num_columns()));
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].domain.get() != other.columns_[i].domain.get()) {
+      return Status::Incompatible(
+          "column " + std::to_string(i) + " domains differ: '" +
+          columns_[i].domain->name() + "' vs '" +
+          other.columns_[i].domain->name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Schema> Schema::Project(const std::vector<size_t>& indices) const {
+  std::vector<Column> projected;
+  projected.reserve(indices.size());
+  for (size_t index : indices) {
+    if (index >= columns_.size()) {
+      return Status::OutOfRange("projection index " + std::to_string(index) +
+                                " exceeds column count " +
+                                std::to_string(columns_.size()));
+    }
+    projected.push_back(columns_[index]);
+  }
+  return Schema(std::move(projected));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += columns_[i].name + ":" + columns_[i].domain->name();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rel
+}  // namespace systolic

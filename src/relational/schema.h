@@ -1,0 +1,61 @@
+#ifndef SYSTOLIC_RELATIONAL_SCHEMA_H_
+#define SYSTOLIC_RELATIONAL_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/domain.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace systolic {
+namespace rel {
+
+/// One column of a relation: a name plus the shared underlying Domain the
+/// column's elements are drawn from (§2.3).
+struct Column {
+  std::string name;
+  std::shared_ptr<Domain> domain;
+};
+
+/// An ordered list of columns describing the tuples of one relation.
+class Schema {
+ public:
+  /// Constructs an empty (zero-column) schema.
+  Schema() = default;
+
+  /// Constructs from columns; duplicate column names are allowed only after
+  /// joins, which disambiguate with relation prefixes.
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_.at(i); }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Union-compatibility per §2.4: same column count and corresponding
+  /// columns drawn from the same underlying domain (same Domain object).
+  /// Column names are irrelevant.
+  bool UnionCompatibleWith(const Schema& other) const;
+
+  /// Returns Incompatible with a diagnostic naming the first mismatch, or OK.
+  Status CheckUnionCompatible(const Schema& other) const;
+
+  /// Schema containing the columns at `indices`, in that order. Fails with
+  /// OutOfRange if any index exceeds num_columns().
+  Result<Schema> Project(const std::vector<size_t>& indices) const;
+
+  /// "name1:domain1, name2:domain2, ...".
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace rel
+}  // namespace systolic
+
+#endif  // SYSTOLIC_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,153 @@
+#include "relational/storage.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "relational/csv.h"
+#include "util/strings.h"
+
+namespace systolic {
+namespace rel {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Result<ValueType> ParseValueType(const std::string& token) {
+  if (token == "int64") return ValueType::kInt64;
+  if (token == "string") return ValueType::kString;
+  if (token == "bool") return ValueType::kBool;
+  return Status::InvalidArgument("unknown value type '" + token + "'");
+}
+
+}  // namespace
+
+Status SaveCatalog(const Catalog& catalog, const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + directory +
+                           "': " + ec.message());
+  }
+
+  // Collect the distinct Domain objects reachable from stored relations and
+  // check name uniqueness.
+  std::map<std::string, const Domain*> domains;
+  const std::vector<std::string> names = catalog.RelationNames();
+  for (const std::string& name : names) {
+    SYSTOLIC_ASSIGN_OR_RETURN(const Relation* relation,
+                              catalog.GetRelation(name));
+    for (const Column& column : relation->schema().columns()) {
+      auto [it, inserted] =
+          domains.emplace(column.domain->name(), column.domain.get());
+      if (!inserted && it->second != column.domain.get()) {
+        return Status::InvalidArgument(
+            "two distinct domains share the name '" + column.domain->name() +
+            "'; the manifest cannot distinguish them");
+      }
+    }
+  }
+
+  std::ofstream manifest(fs::path(directory) / "MANIFEST");
+  if (!manifest) {
+    return Status::IOError("cannot open MANIFEST for writing");
+  }
+  manifest << "# systolic-rdb catalog manifest\n";
+  for (const auto& [name, domain] : domains) {
+    manifest << "domain " << name << " " << ValueTypeToString(domain->type())
+             << "\n";
+  }
+  for (const std::string& name : names) {
+    SYSTOLIC_ASSIGN_OR_RETURN(const Relation* relation,
+                              catalog.GetRelation(name));
+    manifest << "relation " << name << " "
+             << (relation->kind() == RelationKind::kSet ? "set" : "multi");
+    for (const Column& column : relation->schema().columns()) {
+      manifest << " " << column.name << ":" << column.domain->name();
+    }
+    manifest << "\n";
+
+    std::ofstream csv(fs::path(directory) / (name + ".csv"));
+    if (!csv) {
+      return Status::IOError("cannot open '" + name + ".csv' for writing");
+    }
+    SYSTOLIC_RETURN_NOT_OK(WriteCsv(*relation, csv));
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string& directory) {
+  std::ifstream manifest(fs::path(directory) / "MANIFEST");
+  if (!manifest) {
+    return Status::IOError("cannot open '" + directory + "/MANIFEST'");
+  }
+  auto catalog = std::make_unique<Catalog>();
+
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(manifest, line)) {
+    ++line_number;
+    const std::string stripped(Trim(line.substr(0, line.find('#'))));
+    if (stripped.empty()) continue;
+    std::istringstream in(stripped);
+    std::string kind;
+    in >> kind;
+    if (kind == "domain") {
+      std::string name, type_token;
+      if (!(in >> name >> type_token)) {
+        return Status::InvalidArgument("manifest line " +
+                                       std::to_string(line_number) +
+                                       ": malformed domain entry");
+      }
+      SYSTOLIC_ASSIGN_OR_RETURN(ValueType type, ParseValueType(type_token));
+      SYSTOLIC_RETURN_NOT_OK(catalog->CreateDomain(name, type).status());
+    } else if (kind == "relation") {
+      std::string name, kind_token;
+      if (!(in >> name >> kind_token)) {
+        return Status::InvalidArgument("manifest line " +
+                                       std::to_string(line_number) +
+                                       ": malformed relation entry");
+      }
+      const RelationKind relation_kind = kind_token == "multi"
+                                             ? RelationKind::kMulti
+                                             : RelationKind::kSet;
+      std::vector<Column> columns;
+      std::string column_spec;
+      while (in >> column_spec) {
+        const std::vector<std::string> parts = Split(column_spec, ':');
+        if (parts.size() != 2) {
+          return Status::InvalidArgument(
+              "manifest line " + std::to_string(line_number) +
+              ": malformed column '" + column_spec + "'");
+        }
+        SYSTOLIC_ASSIGN_OR_RETURN(auto domain, catalog->GetDomain(parts[1]));
+        columns.push_back(Column{parts[0], domain});
+      }
+      if (columns.empty()) {
+        return Status::InvalidArgument("manifest line " +
+                                       std::to_string(line_number) +
+                                       ": relation without columns");
+      }
+      std::ifstream csv(fs::path(directory) / (name + ".csv"));
+      if (!csv) {
+        return Status::IOError("missing data file '" + name + ".csv'");
+      }
+      SYSTOLIC_ASSIGN_OR_RETURN(
+          Relation relation,
+          ReadCsv(csv, Schema(std::move(columns)), /*has_header=*/true,
+                  relation_kind));
+      catalog->PutRelation(name, std::move(relation));
+    } else {
+      return Status::InvalidArgument("manifest line " +
+                                     std::to_string(line_number) +
+                                     ": unknown entry '" + kind + "'");
+    }
+  }
+  return catalog;
+}
+
+}  // namespace rel
+}  // namespace systolic

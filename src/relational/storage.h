@@ -1,0 +1,37 @@
+#ifndef SYSTOLIC_RELATIONAL_STORAGE_H_
+#define SYSTOLIC_RELATIONAL_STORAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "relational/catalog.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace rel {
+
+/// Directory-backed persistence for a catalog: one CSV per relation plus a
+/// MANIFEST text file recording domains and schemas, so that reloading
+/// reconstructs the *sharing* of domains (and with it union-compatibility,
+/// §2.4) — the property plain CSVs cannot carry.
+///
+/// Manifest grammar (one entry per line, '#' comments):
+///   domain <name> <int64|string|bool>
+///   relation <name> <set|multi> <column>:<domain> [<column>:<domain> ...]
+///
+/// Dictionary codes are not persisted: strings re-encode on load in file
+/// order, so codes may differ between sessions while equality semantics,
+/// schemas and domain sharing are preserved exactly.
+
+/// Writes every relation of `catalog` into `directory` (created if needed).
+/// Fails if two distinct Domain objects used by the stored relations share
+/// a name (the manifest could not distinguish them on reload).
+Status SaveCatalog(const Catalog& catalog, const std::string& directory);
+
+/// Reads a directory written by SaveCatalog into a fresh catalog.
+Result<std::unique_ptr<Catalog>> LoadCatalog(const std::string& directory);
+
+}  // namespace rel
+}  // namespace systolic
+
+#endif  // SYSTOLIC_RELATIONAL_STORAGE_H_

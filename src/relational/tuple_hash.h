@@ -1,0 +1,28 @@
+#ifndef SYSTOLIC_RELATIONAL_TUPLE_HASH_H_
+#define SYSTOLIC_RELATIONAL_TUPLE_HASH_H_
+
+#include <cstdint>
+
+#include "relational/relation.h"
+
+namespace systolic {
+namespace rel {
+
+/// FNV-1a-style hash over a tuple's element codes, for use as the Hash
+/// template argument of unordered containers keyed by Tuple.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+    for (Code code : t) {
+      h ^= static_cast<uint64_t>(code);
+      h *= 1099511628211ULL;  // FNV prime
+      h ^= h >> 32;           // extra mixing: codes are often small ints
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace rel
+}  // namespace systolic
+
+#endif  // SYSTOLIC_RELATIONAL_TUPLE_HASH_H_

@@ -1,0 +1,42 @@
+#include "relational/value.h"
+
+namespace systolic {
+namespace rel {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  switch (repr_.index()) {
+    case 0:
+      return ValueType::kInt64;
+    case 1:
+      return ValueType::kBool;
+    default:
+      return ValueType::kString;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+}  // namespace rel
+}  // namespace systolic

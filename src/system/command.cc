@@ -1,0 +1,314 @@
+#include "system/command.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace systolic {
+namespace machine {
+
+namespace {
+
+/// Whitespace tokenizer.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+Result<rel::ComparisonOp> ParseOp(const std::string& token) {
+  if (token == "=") return rel::ComparisonOp::kEq;
+  if (token == "!=") return rel::ComparisonOp::kNe;
+  if (token == "<") return rel::ComparisonOp::kLt;
+  if (token == "<=") return rel::ComparisonOp::kLe;
+  if (token == ">") return rel::ComparisonOp::kGt;
+  if (token == ">=") return rel::ComparisonOp::kGe;
+  return Status::InvalidArgument("unknown comparison '" + token + "'");
+}
+
+/// Parses a literal according to the domain's type and encodes it via
+/// Lookup (selection constants must already be members of dictionary
+/// domains — a value nothing was encoded with cannot match anything, and
+/// surfacing NotFound beats silently selecting nothing).
+Result<rel::Code> ParseConstant(const std::string& token,
+                                const rel::Domain& domain) {
+  switch (domain.type()) {
+    case rel::ValueType::kInt64: {
+      int64_t v = 0;
+      if (!ParseInt64(token, &v)) {
+        return Status::InvalidArgument("cannot parse '" + token +
+                                       "' as int64");
+      }
+      return domain.Lookup(rel::Value::Int64(v));
+    }
+    case rel::ValueType::kBool:
+      if (token == "true") return domain.Lookup(rel::Value::Bool(true));
+      if (token == "false") return domain.Lookup(rel::Value::Bool(false));
+      return Status::InvalidArgument("cannot parse '" + token + "' as bool");
+    case rel::ValueType::kString:
+      return domain.Lookup(rel::Value::String(token));
+  }
+  return Status::Internal("unknown value type");
+}
+
+/// "a b -> out" shapes: verifies and strips the arrow.
+Status ExpectArrow(const std::vector<std::string>& tokens, size_t at) {
+  if (at >= tokens.size() || tokens[at] != "->") {
+    return Status::InvalidArgument("expected '->' before the output name");
+  }
+  if (at + 1 != tokens.size() - 1) {
+    return Status::InvalidArgument("expected exactly one output name after '->'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CommandInterpreter::RunStep(Transaction transaction,
+                                   const std::string& output) {
+  SYSTOLIC_ASSIGN_OR_RETURN(TransactionReport report,
+                            machine_->Execute(transaction));
+  const StepReport& step = report.steps.at(0);
+  SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* result,
+                            machine_->Buffer(output));
+  (*out_) << "-- " << OpKindToString(step.op) << " -> " << output << ": "
+          << result->num_tuples() << " tuples, " << step.exec.passes
+          << " passes, " << step.exec.cycles << " pulses\n";
+  return Status::OK();
+}
+
+Status CommandInterpreter::Dispatch(Transaction transaction,
+                                    const std::string& output) {
+  if (in_transaction_) {
+    pending_.Concat(transaction);
+    (*out_) << "-- queued step -> " << output << "\n";
+    return Status::OK();
+  }
+  return RunStep(std::move(transaction), output);
+}
+
+Status CommandInterpreter::Execute(const std::string& line) {
+  const std::string stripped(Trim(line.substr(0, line.find('#'))));
+  if (stripped.empty()) return Status::OK();
+  const std::vector<std::string> tokens = Tokenize(stripped);
+  const std::string& verb = tokens[0];
+
+  if (verb == "BEGIN") {
+    if (in_transaction_) {
+      return Status::InvalidArgument("already inside a transaction");
+    }
+    in_transaction_ = true;
+    pending_ = Transaction();
+    (*out_) << "-- transaction started\n";
+    return Status::OK();
+  }
+  if (verb == "ABORT") {
+    if (!in_transaction_) {
+      return Status::InvalidArgument("no transaction to abort");
+    }
+    in_transaction_ = false;
+    pending_ = Transaction();
+    (*out_) << "-- transaction aborted\n";
+    return Status::OK();
+  }
+  if (verb == "EXPLAIN") {
+    if (!in_transaction_) {
+      return Status::InvalidArgument("EXPLAIN works inside a transaction");
+    }
+    SYSTOLIC_ASSIGN_OR_RETURN(auto levels, pending_.Schedule(
+        machine_->BufferNames()));
+    (*out_) << "-- plan: " << pending_.steps().size() << " steps in "
+            << levels.size() << " levels\n";
+    for (size_t l = 0; l < levels.size(); ++l) {
+      (*out_) << "   level " << l << ":";
+      for (size_t s_idx : levels[l]) {
+        (*out_) << " " << OpKindToString(pending_.steps()[s_idx].op) << "->"
+                << pending_.steps()[s_idx].output;
+      }
+      (*out_) << "\n";
+    }
+    return Status::OK();
+  }
+  if (verb == "COMMIT") {
+    if (!in_transaction_) {
+      return Status::InvalidArgument("no transaction to commit");
+    }
+    in_transaction_ = false;
+    Transaction txn = std::move(pending_);
+    pending_ = Transaction();
+    SYSTOLIC_ASSIGN_OR_RETURN(TransactionReport report,
+                              machine_->Execute(txn));
+    (*out_) << "-- committed " << report.steps.size() << " steps: serial "
+            << report.serial_seconds * 1e6 << " us, makespan "
+            << report.makespan_seconds * 1e6 << " us, "
+            << report.crossbar_configurations << " crossbar configs\n";
+    return Status::OK();
+  }
+
+  if (verb == "LOAD") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("usage: LOAD <disk-name>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(machine_->LoadFromDisk(tokens[1]));
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* loaded,
+                              machine_->Buffer(tokens[1]));
+    (*out_) << "-- loaded " << tokens[1] << ": " << loaded->num_tuples()
+            << " tuples\n";
+    return Status::OK();
+  }
+  if (verb == "PRINT") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("usage: PRINT <name>");
+    }
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation,
+                              machine_->Buffer(tokens[1]));
+    (*out_) << relation->ToString();
+    return Status::OK();
+  }
+  if (verb == "STORE") {
+    if (tokens.size() != 4 || tokens[2] != "AS") {
+      return Status::InvalidArgument("usage: STORE <name> AS <disk-name>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(machine_->WriteBackToDisk(tokens[1], tokens[3]));
+    (*out_) << "-- stored " << tokens[1] << " as " << tokens[3] << "\n";
+    return Status::OK();
+  }
+  if (verb == "RELEASE") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("usage: RELEASE <name>");
+    }
+    return machine_->ReleaseBuffer(tokens[1]);
+  }
+
+  if (verb == "INTERSECT" || verb == "DIFFERENCE" || verb == "UNION") {
+    if (tokens.size() != 5) {
+      return Status::InvalidArgument("usage: " + verb + " <a> <b> -> <out>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 3));
+    Transaction txn;
+    if (verb == "INTERSECT") {
+      txn.Intersect(tokens[1], tokens[2], tokens[4]);
+    } else if (verb == "DIFFERENCE") {
+      txn.Difference(tokens[1], tokens[2], tokens[4]);
+    } else {
+      txn.Union(tokens[1], tokens[2], tokens[4]);
+    }
+    return Dispatch(std::move(txn), tokens[4]);
+  }
+
+  if (verb == "DEDUP") {
+    if (tokens.size() != 4) {
+      return Status::InvalidArgument("usage: DEDUP <in> -> <out>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 2));
+    Transaction txn;
+    txn.RemoveDuplicates(tokens[1], tokens[3]);
+    return Dispatch(std::move(txn), tokens[3]);
+  }
+
+  if (verb == "PROJECT") {
+    if (tokens.size() != 5) {
+      return Status::InvalidArgument(
+          "usage: PROJECT <in> <col>[,<col>...] -> <out>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 3));
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* input,
+                              machine_->Buffer(tokens[1]));
+    std::vector<size_t> columns;
+    for (const std::string& name : Split(tokens[2], ',')) {
+      SYSTOLIC_ASSIGN_OR_RETURN(size_t index,
+                                input->schema().ColumnIndex(name));
+      columns.push_back(index);
+    }
+    Transaction txn;
+    txn.Project(tokens[1], std::move(columns), tokens[4]);
+    return Dispatch(std::move(txn), tokens[4]);
+  }
+
+  if (verb == "SELECT") {
+    // SELECT <in> WHERE <col> <op> <value> [AND ...] -> <out>
+    if (tokens.size() < 8 || tokens[2] != "WHERE") {
+      return Status::InvalidArgument(
+          "usage: SELECT <in> WHERE <col> <op> <value> [AND ...] -> <out>");
+    }
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* input,
+                              machine_->Buffer(tokens[1]));
+    std::vector<arrays::SelectionPredicate> predicates;
+    size_t pos = 3;
+    while (true) {
+      if (pos + 2 >= tokens.size()) {
+        return Status::InvalidArgument("truncated predicate in SELECT");
+      }
+      SYSTOLIC_ASSIGN_OR_RETURN(size_t column,
+                                input->schema().ColumnIndex(tokens[pos]));
+      SYSTOLIC_ASSIGN_OR_RETURN(rel::ComparisonOp op, ParseOp(tokens[pos + 1]));
+      SYSTOLIC_ASSIGN_OR_RETURN(
+          rel::Code constant,
+          ParseConstant(tokens[pos + 2],
+                        *input->schema().column(column).domain));
+      predicates.push_back({column, op, constant});
+      pos += 3;
+      if (pos < tokens.size() && tokens[pos] == "AND") {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, pos));
+    Transaction txn;
+    txn.Select(tokens[1], std::move(predicates), tokens[pos + 1]);
+    return Dispatch(std::move(txn), tokens[pos + 1]);
+  }
+
+  if (verb == "JOIN" || verb == "DIVIDE") {
+    // JOIN <a> <b> ON <colA> <op> <colB> -> <out>
+    if (tokens.size() != 9 || tokens[3] != "ON") {
+      return Status::InvalidArgument("usage: " + verb +
+                                     " <a> <b> ON <colA> <op> <colB> -> <out>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 7));
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* left,
+                              machine_->Buffer(tokens[1]));
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* right,
+                              machine_->Buffer(tokens[2]));
+    SYSTOLIC_ASSIGN_OR_RETURN(size_t left_col,
+                              left->schema().ColumnIndex(tokens[4]));
+    SYSTOLIC_ASSIGN_OR_RETURN(rel::ComparisonOp op, ParseOp(tokens[5]));
+    SYSTOLIC_ASSIGN_OR_RETURN(size_t right_col,
+                              right->schema().ColumnIndex(tokens[6]));
+    Transaction txn;
+    if (verb == "JOIN") {
+      txn.Join(tokens[1], tokens[2],
+               rel::JoinSpec{{left_col}, {right_col}, op}, tokens[8]);
+    } else {
+      if (op != rel::ComparisonOp::kEq) {
+        return Status::InvalidArgument("DIVIDE requires '=' between columns");
+      }
+      txn.Divide(tokens[1], tokens[2],
+                 rel::DivisionSpec{{left_col}, {right_col}}, tokens[8]);
+    }
+    return Dispatch(std::move(txn), tokens[8]);
+  }
+
+  return Status::InvalidArgument("unknown command '" + verb + "'");
+}
+
+Status CommandInterpreter::ExecuteScript(std::istream& in) {
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const Status status = Execute(line);
+    if (!status.ok()) {
+      return Status(status.code(), "line " + std::to_string(line_number) +
+                                       ": " + status.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace machine
+}  // namespace systolic

@@ -1,0 +1,73 @@
+#ifndef SYSTOLIC_SYSTEM_COMMAND_H_
+#define SYSTOLIC_SYSTEM_COMMAND_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "system/machine.h"
+#include "util/status.h"
+
+namespace systolic {
+namespace machine {
+
+/// A line-oriented command language over the §9 machine, for the query
+/// shell example and scripted end-to-end tests. One relational command = one
+/// single-step transaction on the machine (operands and results live in the
+/// machine's memory modules). Columns are referred to by name; constants are
+/// parsed per the column's domain type (int64 literals, bare strings,
+/// true/false).
+///
+/// Commands (case-sensitive keywords; '#' starts a comment):
+///   LOAD <disk-name>
+///   INTERSECT <a> <b> -> <out>
+///   DIFFERENCE <a> <b> -> <out>
+///   UNION <a> <b> -> <out>
+///   DEDUP <in> -> <out>
+///   PROJECT <in> <col>[,<col>...] -> <out>
+///   SELECT <in> WHERE <col> <op> <value> [AND <col> <op> <value>...] -> <out>
+///   JOIN <a> <b> ON <colA> <op> <colB> -> <out>
+///   DIVIDE <a> <b> ON <colA> = <colB> -> <out>
+///   PRINT <name>
+///   STORE <name> AS <disk-name>
+///   RELEASE <name>
+/// where <op> is one of = != < <= > >=.
+///
+/// Transactions: by default each relational command runs immediately as a
+/// one-step transaction. Between BEGIN and COMMIT, relational commands are
+/// collected instead and executed together on COMMIT, so independent steps
+/// run concurrently on the machine's device pools (§9). EXPLAIN (inside a
+/// transaction) prints the dependency levels without executing; ABORT
+/// discards the pending steps. Inside a transaction, PROJECT/SELECT/JOIN/
+/// DIVIDE operands must name already-materialised buffers (column names are
+/// resolved at parse time).
+class CommandInterpreter {
+ public:
+  /// Does not take ownership; `out` receives PRINT output and per-command
+  /// execution summaries.
+  CommandInterpreter(Machine* machine, std::ostream* out)
+      : machine_(machine), out_(out) {}
+
+  /// Executes one command line. Blank lines and comments succeed as no-ops.
+  Status Execute(const std::string& line);
+
+  /// Executes every line of `in`, stopping at the first error (which is
+  /// returned annotated with its line number).
+  Status ExecuteScript(std::istream& in);
+
+ private:
+  Status RunStep(Transaction transaction, const std::string& output);
+  /// Routes a parsed one-step transaction: executes it immediately, or
+  /// appends it to the pending transaction inside BEGIN/COMMIT.
+  Status Dispatch(Transaction transaction, const std::string& output);
+
+  Machine* machine_;
+  std::ostream* out_;
+  bool in_transaction_ = false;
+  Transaction pending_;
+};
+
+}  // namespace machine
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTEM_COMMAND_H_

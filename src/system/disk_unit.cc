@@ -1,0 +1,40 @@
+#include "system/disk_unit.h"
+
+#include "system/memory.h"
+
+namespace systolic {
+namespace machine {
+
+void DiskUnit::Put(const std::string& name, rel::Relation relation) {
+  relations_.insert_or_assign(name, std::move(relation));
+}
+
+Result<rel::Relation> DiskUnit::Read(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "' on disk");
+  }
+  Charge(it->second);
+  return it->second;
+}
+
+void DiskUnit::Write(const std::string& name, const rel::Relation& relation) {
+  Charge(relation);
+  relations_.insert_or_assign(name, relation);
+}
+
+void DiskUnit::Charge(const rel::Relation& relation) {
+  const double bytes = RelationBytes(relation);
+  total_bytes_ += bytes;
+  total_io_seconds_ += bytes / model_.BytesPerSecond();
+}
+
+std::vector<std::string> DiskUnit::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, relation] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace machine
+}  // namespace systolic

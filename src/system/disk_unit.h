@@ -1,0 +1,53 @@
+#ifndef SYSTOLIC_SYSTEM_DISK_UNIT_H_
+#define SYSTOLIC_SYSTEM_DISK_UNIT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perfmodel/disk.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace machine {
+
+/// The disk of the §9 machine: named relations behind a §8 disk-rate model.
+/// Reads and writes charge modeled transfer time at cylinder-per-revolution
+/// rate, so transactions can report how much of their makespan is I/O.
+class DiskUnit {
+ public:
+  explicit DiskUnit(perf::DiskModel model = {}) : model_(model) {}
+
+  const perf::DiskModel& model() const { return model_; }
+
+  /// Stores `relation` under `name`, replacing any previous version.
+  void Put(const std::string& name, rel::Relation relation);
+
+  /// Reads a relation, charging transfer time; NotFound if absent.
+  Result<rel::Relation> Read(const std::string& name);
+
+  /// Writes a relation, charging transfer time.
+  void Write(const std::string& name, const rel::Relation& relation);
+
+  /// Modeled seconds spent in disk transfers so far.
+  double total_io_seconds() const { return total_io_seconds_; }
+
+  /// Total bytes transferred (both directions).
+  double total_bytes() const { return total_bytes_; }
+
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  void Charge(const rel::Relation& relation);
+
+  perf::DiskModel model_;
+  std::map<std::string, rel::Relation> relations_;
+  double total_io_seconds_ = 0;
+  double total_bytes_ = 0;
+};
+
+}  // namespace machine
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTEM_DISK_UNIT_H_

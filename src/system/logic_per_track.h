@@ -1,0 +1,76 @@
+#ifndef SYSTOLIC_SYSTEM_LOGIC_PER_TRACK_H_
+#define SYSTOLIC_SYSTEM_LOGIC_PER_TRACK_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perfmodel/disk.h"
+#include "relational/compare.h"
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace machine {
+
+/// §9's nod to Slotnick's logic-per-track devices [8]: "Disks with
+/// 'logic-per-track' capabilities can of course be incorporated into the
+/// system, so that some simple queries never have to be processed outside
+/// the disks."
+///
+/// Each track carries a one-comparator filter. A relation is striped across
+/// tracks; a selection (column θ constant) executes *on the disk* in one
+/// revolution — every track filters its stripe in parallel as the data
+/// passes under the heads — and only the qualifying tuples are transferred.
+/// Contrast with the conventional path, which transfers the whole relation
+/// and filters on the host.
+
+/// A simple selection predicate: `column θ constant` over element codes.
+struct TrackPredicate {
+  size_t column = 0;
+  rel::ComparisonOp op = rel::ComparisonOp::kEq;
+  rel::Code constant = 0;
+};
+
+/// A disk whose tracks can filter. Timing model: Select costs exactly one
+/// revolution (all tracks scan concurrently) plus transfer of the selected
+/// tuples; ReadAll costs transfer of the full relation at the §8 cylinder
+/// rate.
+class LogicPerTrackDisk {
+ public:
+  explicit LogicPerTrackDisk(perf::DiskModel model = {},
+                             size_t tuples_per_track = 512)
+      : model_(model), tuples_per_track_(tuples_per_track) {}
+
+  /// Stripes `relation` across tracks under `name`.
+  void Put(const std::string& name, rel::Relation relation);
+
+  /// Number of tracks relation `name` occupies; NotFound if absent.
+  Result<size_t> TrackCount(const std::string& name) const;
+
+  /// On-disk selection: one revolution, transfer only the matches. Fails
+  /// with InvalidArgument if the predicate column is out of range or an
+  /// order comparison targets an unordered (dictionary) domain.
+  Result<rel::Relation> Select(const std::string& name,
+                               const TrackPredicate& predicate);
+
+  /// Conventional full read (transfer-time charged on everything).
+  Result<rel::Relation> ReadAll(const std::string& name);
+
+  /// Modeled seconds spent so far (rotations + transfers).
+  double total_io_seconds() const { return total_io_seconds_; }
+  /// Revolutions consumed by on-disk selections.
+  size_t selection_revolutions() const { return selection_revolutions_; }
+
+ private:
+  perf::DiskModel model_;
+  size_t tuples_per_track_;
+  std::map<std::string, rel::Relation> relations_;
+  double total_io_seconds_ = 0;
+  size_t selection_revolutions_ = 0;
+};
+
+}  // namespace machine
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTEM_LOGIC_PER_TRACK_H_

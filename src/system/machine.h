@@ -1,0 +1,150 @@
+#ifndef SYSTOLIC_SYSTEM_MACHINE_H_
+#define SYSTOLIC_SYSTEM_MACHINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "perfmodel/estimates.h"
+#include "system/disk_unit.h"
+#include "system/memory.h"
+#include "system/transaction.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace machine {
+
+/// How steps within a dependency level are assigned to the device
+/// instances of their kind.
+enum class DeviceScheduling {
+  /// Steps go to devices in arrival order.
+  kRoundRobin,
+  /// Longest-processing-time-first: steps sorted by cost, each assigned to
+  /// the least-loaded device — the classic 4/3-approximate makespan
+  /// heuristic. §9 observes that "the execution order of systolic devices
+  /// varies greatly from one transaction to another"; this is the
+  /// scheduler's answer.
+  kLpt,
+};
+
+/// Static shape of the §9 machine (Fig. 9-1).
+struct MachineConfig {
+  /// Memory modules on the crossbar.
+  size_t num_memories = 8;
+  /// Physical shape shared by the systolic devices (0s = unbounded).
+  db::DeviceConfig device;
+  /// Per-kind overrides: Fig. 9-1 draws distinct "Intersect" and "Join"
+  /// boxes, and a real machine would size them differently (a join device
+  /// is narrow — one column per join attribute — while intersection needs
+  /// full tuple width). Kinds not listed use `device`.
+  std::map<OpKind, db::DeviceConfig> device_configs;
+  /// Device instances per operation kind; kinds not listed get one device.
+  /// Several instances allow steps of the same kind to run concurrently.
+  std::map<OpKind, size_t> device_counts;
+  /// Timing model for the devices (§8).
+  perf::Technology technology = perf::Technology::Conservative1980();
+  /// Disk model (§8).
+  perf::DiskModel disk_model;
+  /// Crossbar port bandwidth. 0 derives it from the device input rate (one
+  /// tuple per two pulses), satisfying §9's "high capacity for data
+  /// transfer" requirement by construction.
+  double crossbar_bytes_per_second = 0;
+  /// Step-to-device assignment within a level.
+  DeviceScheduling scheduling = DeviceScheduling::kRoundRobin;
+};
+
+/// Per-step execution record.
+struct StepReport {
+  size_t step_index = 0;
+  OpKind op = OpKind::kIntersect;
+  std::string output;
+  size_t level = 0;
+  /// Which instance of the op's device pool ran the step.
+  size_t device_slot = 0;
+  /// Array passes/cycles (summed over §8 decomposition tiles).
+  db::ExecStats exec;
+  /// Modeled seconds in the array and moving data through the crossbar.
+  double compute_seconds = 0;
+  double transfer_seconds = 0;
+  double bytes_moved = 0;
+};
+
+/// Whole-transaction execution record.
+struct TransactionReport {
+  std::vector<StepReport> steps;
+  /// Sum of step times — the cost if every operation serialised.
+  double serial_seconds = 0;
+  /// Critical-path cost with level-parallel execution on the available
+  /// devices ("several operations may be run concurrently", §9).
+  double makespan_seconds = 0;
+  /// Crossbar reconfigurations (one per step: connect sources and sink).
+  size_t crossbar_configurations = 0;
+  double bytes_through_crossbar = 0;
+};
+
+/// The integrated systolic database machine of §9: disk, memory modules and
+/// systolic devices joined by a crossbar switch. Relations are read from
+/// disk into memories, pipelined through a device per relational operation
+/// with results landing in fresh memories, and finally written back to disk
+/// (or returned to the caller).
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+
+  DiskUnit& disk() { return disk_; }
+  const MachineConfig& config() const { return config_; }
+  const std::vector<MemoryModule>& memories() const { return memories_; }
+
+  /// Reads a relation from disk into a free memory module and names the
+  /// buffer after the relation. Fails with Capacity if no module is free.
+  Status LoadFromDisk(const std::string& relation_name);
+
+  /// Places a relation directly into a free memory module under `name`
+  /// (bypasses the disk; for data arriving from the host CPU).
+  Status StoreBuffer(const std::string& name, rel::Relation relation);
+
+  /// Looks up a named buffer.
+  Result<const rel::Relation*> Buffer(const std::string& name) const;
+
+  /// Names of all currently materialised buffers, sorted.
+  std::vector<std::string> BufferNames() const;
+
+  /// Frees the module holding `name`.
+  Status ReleaseBuffer(const std::string& name);
+
+  /// Runs a transaction: schedules its steps into dependency levels, runs
+  /// each step on a device of the matching kind (concurrently within a
+  /// level, up to the configured device counts), and leaves each step's
+  /// result in a fresh memory module named by the step's output.
+  Result<TransactionReport> Execute(const Transaction& transaction);
+
+  /// Executes several transactions as one batch: their steps are pooled and
+  /// scheduled together, so independent steps of different transactions run
+  /// concurrently on the device pools (§9's "a single transaction or a set
+  /// of transactions"). Buffer names must be disjoint across the batch.
+  Result<TransactionReport> ExecuteBatch(
+      const std::vector<Transaction>& transactions);
+
+  /// Writes buffer `name` back to disk under `disk_name`.
+  Status WriteBackToDisk(const std::string& name,
+                         const std::string& disk_name);
+
+ private:
+  Result<size_t> AllocateModule(const std::string& name);
+  double CrossbarBytesPerSecond() const;
+  size_t DeviceCount(OpKind kind) const;
+  const db::Engine& EngineFor(OpKind kind) const;
+
+  MachineConfig config_;
+  DiskUnit disk_;
+  db::Engine engine_;
+  std::map<OpKind, db::Engine> engines_;
+  std::vector<MemoryModule> memories_;
+  std::map<std::string, size_t> buffer_to_module_;
+};
+
+}  // namespace machine
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTEM_MACHINE_H_

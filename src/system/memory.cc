@@ -1,0 +1,30 @@
+#include "system/memory.h"
+
+namespace systolic {
+namespace machine {
+
+double RelationBytes(const rel::Relation& relation) {
+  return 8.0 * static_cast<double>(relation.num_tuples()) *
+         static_cast<double>(relation.arity());
+}
+
+void MemoryModule::Store(rel::Relation relation) {
+  bytes_written_ += RelationBytes(relation);
+  contents_ = std::move(relation);
+}
+
+Result<const rel::Relation*> MemoryModule::Contents() const {
+  if (!contents_.has_value()) {
+    return Status::NotFound("memory module '" + name_ + "' is empty");
+  }
+  return &contents_.value();
+}
+
+void MemoryModule::AccountRead() {
+  if (contents_.has_value()) {
+    bytes_read_ += RelationBytes(*contents_);
+  }
+}
+
+}  // namespace machine
+}  // namespace systolic

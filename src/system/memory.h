@@ -1,0 +1,58 @@
+#ifndef SYSTOLIC_SYSTEM_MEMORY_H_
+#define SYSTOLIC_SYSTEM_MEMORY_H_
+
+#include <optional>
+#include <string>
+
+#include "relational/relation.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace machine {
+
+/// One memory module of the §9 machine (Fig. 9-1): a buffer holding one
+/// relation between operations — "initially, the relevant relations are read
+/// from disks into memories ... the output of the array is pipelined back
+/// into another memory". Tracks the byte traffic it sees so the benchmarks
+/// can report data movement through the crossbar.
+class MemoryModule {
+ public:
+  explicit MemoryModule(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Stores a relation, replacing any previous content.
+  void Store(rel::Relation relation);
+
+  /// The stored relation; NotFound if empty.
+  Result<const rel::Relation*> Contents() const;
+
+  bool occupied() const { return contents_.has_value(); }
+
+  /// Releases the stored relation.
+  void Clear() { contents_.reset(); }
+
+  /// Cumulative bytes written into / read out of this module, assuming the
+  /// §8 tuple encoding (8-byte element codes).
+  double bytes_written() const { return bytes_written_; }
+  double bytes_read() const { return bytes_read_; }
+
+  /// Accounts one full read of the contents (called by the machine when the
+  /// module feeds an array through the crossbar).
+  void AccountRead();
+
+ private:
+  std::string name_;
+  std::optional<rel::Relation> contents_;
+  double bytes_written_ = 0;
+  double bytes_read_ = 0;
+};
+
+/// Size in bytes of a relation under the machine's storage encoding
+/// (8 bytes per element code).
+double RelationBytes(const rel::Relation& relation);
+
+}  // namespace machine
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTEM_MEMORY_H_

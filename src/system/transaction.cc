@@ -1,0 +1,207 @@
+#include "system/transaction.h"
+
+#include <map>
+#include <set>
+
+namespace systolic {
+namespace machine {
+
+const char* OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kIntersect:
+      return "intersect";
+    case OpKind::kDifference:
+      return "difference";
+    case OpKind::kRemoveDuplicates:
+      return "remove-duplicates";
+    case OpKind::kUnion:
+      return "union";
+    case OpKind::kProject:
+      return "project";
+    case OpKind::kJoin:
+      return "join";
+    case OpKind::kDivide:
+      return "divide";
+    case OpKind::kSelect:
+      return "select";
+  }
+  return "unknown";
+}
+
+bool IsBinaryOp(OpKind kind) {
+  return kind != OpKind::kRemoveDuplicates && kind != OpKind::kProject &&
+         kind != OpKind::kSelect;
+}
+
+Transaction& Transaction::Intersect(std::string left, std::string right,
+                                    std::string output) {
+  PlanStep step;
+  step.op = OpKind::kIntersect;
+  step.left = std::move(left);
+  step.right = std::move(right);
+  step.output = std::move(output);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Transaction& Transaction::Difference(std::string left, std::string right,
+                                     std::string output) {
+  PlanStep step;
+  step.op = OpKind::kDifference;
+  step.left = std::move(left);
+  step.right = std::move(right);
+  step.output = std::move(output);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Transaction& Transaction::RemoveDuplicates(std::string input,
+                                           std::string output) {
+  PlanStep step;
+  step.op = OpKind::kRemoveDuplicates;
+  step.left = std::move(input);
+  step.output = std::move(output);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Transaction& Transaction::Union(std::string left, std::string right,
+                                std::string output) {
+  PlanStep step;
+  step.op = OpKind::kUnion;
+  step.left = std::move(left);
+  step.right = std::move(right);
+  step.output = std::move(output);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Transaction& Transaction::Project(std::string input,
+                                  std::vector<size_t> columns,
+                                  std::string output) {
+  PlanStep step;
+  step.op = OpKind::kProject;
+  step.left = std::move(input);
+  step.columns = std::move(columns);
+  step.output = std::move(output);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Transaction& Transaction::Join(std::string left, std::string right,
+                               rel::JoinSpec spec, std::string output) {
+  PlanStep step;
+  step.op = OpKind::kJoin;
+  step.left = std::move(left);
+  step.right = std::move(right);
+  step.join = std::move(spec);
+  step.output = std::move(output);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Transaction& Transaction::Divide(std::string left, std::string right,
+                                 rel::DivisionSpec spec, std::string output) {
+  PlanStep step;
+  step.op = OpKind::kDivide;
+  step.left = std::move(left);
+  step.right = std::move(right);
+  step.division = std::move(spec);
+  step.output = std::move(output);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Transaction& Transaction::Select(
+    std::string input, std::vector<arrays::SelectionPredicate> predicates,
+    std::string output) {
+  PlanStep step;
+  step.op = OpKind::kSelect;
+  step.left = std::move(input);
+  step.predicates = std::move(predicates);
+  step.output = std::move(output);
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
+Transaction& Transaction::Concat(const Transaction& other) {
+  steps_.insert(steps_.end(), other.steps_.begin(), other.steps_.end());
+  return *this;
+}
+
+Result<std::vector<std::vector<size_t>>> Transaction::Schedule(
+    const std::vector<std::string>& external_inputs) const {
+  std::set<std::string> available(external_inputs.begin(),
+                                  external_inputs.end());
+  std::map<std::string, size_t> producer;
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const PlanStep& step = steps_[s];
+    if (step.output.empty()) {
+      return Status::InvalidArgument("step " + std::to_string(s) +
+                                     " has an empty output name");
+    }
+    if (available.count(step.output) != 0 ||
+        producer.count(step.output) != 0) {
+      return Status::InvalidArgument("output buffer '" + step.output +
+                                     "' is defined twice");
+    }
+    producer.emplace(step.output, s);
+  }
+
+  auto check_operand = [&](const std::string& name,
+                           size_t step_index) -> Status {
+    if (name.empty()) {
+      return Status::InvalidArgument("step " + std::to_string(step_index) +
+                                     " is missing an operand");
+    }
+    if (available.count(name) == 0 && producer.count(name) == 0) {
+      return Status::NotFound("operand buffer '" + name +
+                              "' is neither an input nor produced by any step");
+    }
+    return Status::OK();
+  };
+
+  // Kahn's algorithm over buffer-name dependencies, emitting level groups.
+  std::vector<int> deps(steps_.size(), 0);
+  std::vector<std::vector<size_t>> dependents(steps_.size());
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    const PlanStep& step = steps_[s];
+    SYSTOLIC_RETURN_NOT_OK(check_operand(step.left, s));
+    if (IsBinaryOp(step.op)) {
+      SYSTOLIC_RETURN_NOT_OK(check_operand(step.right, s));
+    }
+    for (const std::string* operand : {&step.left, &step.right}) {
+      auto it = producer.find(*operand);
+      if (it != producer.end()) {
+        ++deps[s];
+        dependents[it->second].push_back(s);
+      }
+    }
+  }
+
+  std::vector<std::vector<size_t>> levels;
+  std::vector<size_t> ready;
+  for (size_t s = 0; s < steps_.size(); ++s) {
+    if (deps[s] == 0) ready.push_back(s);
+  }
+  size_t scheduled = 0;
+  while (!ready.empty()) {
+    levels.push_back(ready);
+    scheduled += ready.size();
+    std::vector<size_t> next;
+    for (size_t s : ready) {
+      for (size_t d : dependents[s]) {
+        if (--deps[d] == 0) next.push_back(d);
+      }
+    }
+    ready = std::move(next);
+  }
+  if (scheduled != steps_.size()) {
+    return Status::InvalidArgument(
+        "transaction contains a dependency cycle");
+  }
+  return levels;
+}
+
+}  // namespace machine
+}  // namespace systolic

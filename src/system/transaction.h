@@ -1,0 +1,97 @@
+#ifndef SYSTOLIC_SYSTEM_TRANSACTION_H_
+#define SYSTOLIC_SYSTEM_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "arrays/selection_array.h"
+#include "relational/op_specs.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace machine {
+
+/// The relational operation a plan step runs — one per systolic device kind
+/// of §9's machine ("Intersect", "Join", ... boxes in Fig. 9-1).
+enum class OpKind {
+  kIntersect,
+  kDifference,
+  kRemoveDuplicates,
+  kUnion,
+  kProject,
+  kJoin,
+  kDivide,
+  kSelect,
+};
+
+const char* OpKindToString(OpKind kind);
+
+/// One relational operation of a transaction: reads one or two named
+/// buffers, runs a device, writes a named buffer. "The data is pipelined
+/// from the memories through the switch and through the processor array.
+/// The output of the array is pipelined back into another memory. This is
+/// repeated for each relational operation in the transaction" (§9).
+struct PlanStep {
+  OpKind op = OpKind::kIntersect;
+  /// First operand: the name of a loaded buffer or of an earlier step's
+  /// output.
+  std::string left;
+  /// Second operand; empty for the unary ops.
+  std::string right;
+  /// Output buffer name; must be unique across the transaction.
+  std::string output;
+  /// Operation parameters (used by kJoin / kDivide / kProject / kSelect).
+  rel::JoinSpec join;
+  rel::DivisionSpec division;
+  std::vector<size_t> columns;
+  std::vector<arrays::SelectionPredicate> predicates;
+};
+
+/// A transaction: a list of steps forming a DAG through their buffer names.
+/// Steps may be listed in any order; the machine schedules them by data
+/// dependency and runs independent steps concurrently on distinct devices
+/// ("due to the crossbar structure, several operations may be run
+/// concurrently", §9).
+class Transaction {
+ public:
+  Transaction& Intersect(std::string left, std::string right,
+                         std::string output);
+  Transaction& Difference(std::string left, std::string right,
+                          std::string output);
+  Transaction& RemoveDuplicates(std::string input, std::string output);
+  Transaction& Union(std::string left, std::string right, std::string output);
+  Transaction& Project(std::string input, std::vector<size_t> columns,
+                       std::string output);
+  Transaction& Join(std::string left, std::string right, rel::JoinSpec spec,
+                    std::string output);
+  Transaction& Divide(std::string left, std::string right,
+                      rel::DivisionSpec spec, std::string output);
+  Transaction& Select(std::string input,
+                      std::vector<arrays::SelectionPredicate> predicates,
+                      std::string output);
+
+  /// Appends copies of another transaction's steps (used by the machine's
+  /// batch execution; buffer-name disjointness is checked at Schedule time).
+  Transaction& Concat(const Transaction& other);
+
+  const std::vector<PlanStep>& steps() const { return steps_; }
+
+  /// Checks structural sanity given the externally provided input buffer
+  /// names: every operand is either an input or some step's output, output
+  /// names are unique and do not shadow inputs, and the dependency graph is
+  /// acyclic. Returns the steps grouped into dependency levels (steps within
+  /// a level are mutually independent).
+  Result<std::vector<std::vector<size_t>>> Schedule(
+      const std::vector<std::string>& external_inputs) const;
+
+ private:
+  std::vector<PlanStep> steps_;
+};
+
+/// True iff the op kind takes two operands.
+bool IsBinaryOp(OpKind kind);
+
+}  // namespace machine
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTEM_TRANSACTION_H_

@@ -1,0 +1,122 @@
+#ifndef SYSTOLIC_SYSTEM_TREE_MACHINE_H_
+#define SYSTOLIC_SYSTEM_TREE_MACHINE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "relational/relation.h"
+#include "systolic/cell.h"
+#include "systolic/simulator.h"
+#include "systolic/wire.h"
+#include "util/bitvector.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace machine {
+
+/// §9's alternative database-machine structure: "Song [9] has suggested the
+/// use of a tree machine for database applications. The leaf nodes of the
+/// tree machine are responsible for data storage, and for a limited amount
+/// of processing of the data. The tree structure itself is used to broadcast
+/// instructions and data, and to combine results of low-level computations."
+/// The paper closes: "a detailed comparison of these and other database
+/// machine structures is needed" — this module provides the tree side of
+/// that comparison (bench_tree_vs_array).
+///
+/// The machine is a complete binary tree simulated cycle-accurately on the
+/// same two-phase framework as the systolic arrays. One tuple of A is stored
+/// per leaf (tuples are packed into single codes by the host, the same §2.3
+/// encoding trick the division driver uses). Tuples of B are broadcast down
+/// the tree one per pulse, pipelined; each leaf raises a sticky flag on a
+/// match. A final probe broadcast makes every loaded leaf report its flag
+/// upward through combining nodes (which serialise their two child streams,
+/// buffering one word per pulse), producing the same per-A-tuple selection
+/// vector as the intersection array.
+
+/// Inner node on the downward path: re-drives its input to both children.
+class TreeBroadcastCell : public sim::Cell {
+ public:
+  TreeBroadcastCell(std::string name, sim::Wire* in, sim::Wire* left_out,
+                    sim::Wire* right_out)
+      : Cell(std::move(name)), in_(in), left_out_(left_out),
+        right_out_(right_out) {}
+  void Compute(size_t cycle) override;
+
+ private:
+  sim::Wire* in_;
+  sim::Wire* left_out_;
+  sim::Wire* right_out_;
+};
+
+/// Leaf: stores one packed tuple; matches broadcast data words; reports its
+/// flag when the probe word (a boolean word) arrives.
+class TreeLeafCell : public sim::Cell {
+ public:
+  TreeLeafCell(std::string name, sim::Wire* in, sim::Wire* report_out)
+      : Cell(std::move(name)), in_(in), report_out_(report_out) {}
+
+  void Preload(rel::Code code, sim::TupleTag tag) {
+    stored_code_ = code;
+    tag_ = tag;
+  }
+  bool loaded() const { return tag_ != sim::kNoTag; }
+
+  void Compute(size_t cycle) override;
+
+ private:
+  sim::Wire* in_;
+  sim::Wire* report_out_;
+  rel::Code stored_code_ = 0;
+  sim::TupleTag tag_ = sim::kNoTag;
+  bool matched_ = false;
+  bool reported_ = false;
+};
+
+/// Inner node on the upward path: merges its two children's report streams,
+/// one word per pulse, buffering the surplus (the tree "combines results of
+/// low-level computations").
+class TreeCombineCell : public sim::Cell {
+ public:
+  TreeCombineCell(std::string name, sim::Wire* left_in, sim::Wire* right_in,
+                  sim::Wire* out)
+      : Cell(std::move(name)), left_in_(left_in), right_in_(right_in),
+        out_(out) {}
+  void Compute(size_t cycle) override;
+  bool HasPendingWork() const override { return !queue_.empty(); }
+
+ private:
+  sim::Wire* left_in_;
+  sim::Wire* right_in_;
+  sim::Wire* out_;
+  std::vector<sim::Word> queue_;  // FIFO (front at index 0)
+};
+
+/// Result of a tree-machine membership run.
+struct TreeMachineResult {
+  /// Bit i: tuple a_i matched some tuple of B.
+  BitVector selected;
+  /// Pulses to completion (broadcasts + probe + report drain).
+  size_t cycles = 0;
+  /// Tree nodes built (broadcast + leaf + combine cells).
+  size_t nodes = 0;
+  sim::SimStats sim;
+};
+
+/// Runs the membership query "which tuples of A appear in B" on the tree
+/// machine. Requires union-compatible operands.
+Result<TreeMachineResult> TreeMembership(const rel::Relation& a,
+                                         const rel::Relation& b);
+
+/// A ∩ B on the tree machine (host filters A by the selection vector).
+struct TreeIntersectionResult {
+  rel::Relation relation;
+  TreeMachineResult run;
+  explicit TreeIntersectionResult(rel::Relation r) : relation(std::move(r)) {}
+};
+Result<TreeIntersectionResult> TreeIntersection(const rel::Relation& a,
+                                                const rel::Relation& b);
+
+}  // namespace machine
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTEM_TREE_MACHINE_H_

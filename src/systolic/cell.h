@@ -1,0 +1,59 @@
+#ifndef SYSTOLIC_SYSTOLIC_CELL_H_
+#define SYSTOLIC_SYSTOLIC_CELL_H_
+
+#include <cstddef>
+#include <string>
+
+namespace systolic {
+namespace sim {
+
+/// Abstract systolic processor (the paper's "cell", §2.2).
+///
+/// Once per pulse the Simulator calls Compute(): the cell reads its input
+/// wires' latched words, performs its short computation, and drives its
+/// output wires. Cells must not retain references into wires across pulses
+/// other than their fixed port bindings.
+///
+/// Cells report whether they did useful work each pulse via MarkBusy(); the
+/// Simulator aggregates this into the utilisation statistics that reproduce
+/// the paper's §8 claim that only half the processors of a marching-input
+/// array are busy at once.
+class Cell {
+ public:
+  explicit Cell(std::string name) : name_(std::move(name)) {}
+  virtual ~Cell() = default;
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// One pulse of work. `cycle` is the pulse index, for feeders and traces.
+  virtual void Compute(size_t cycle) = 0;
+
+  /// True iff the cell still has scheduled input to inject (feeders) or
+  /// buffered output to drain. Pure combinational cells return false; the
+  /// Simulator uses this plus wire occupancy to detect quiescence.
+  virtual bool HasPendingWork() const { return false; }
+
+  /// Number of pulses in which this cell did useful work.
+  size_t busy_cycles() const { return busy_cycles_; }
+
+  /// True iff the cell processed at least one valid word in a computational
+  /// role this run. Edge/infrastructure cells may never be busy.
+  bool ever_busy() const { return busy_cycles_ > 0; }
+
+ protected:
+  /// Called by subclasses from Compute() when the pulse did useful work
+  /// (consumed at least one valid data word).
+  void MarkBusy() { ++busy_cycles_; }
+
+ private:
+  std::string name_;
+  size_t busy_cycles_ = 0;
+};
+
+}  // namespace sim
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTOLIC_CELL_H_

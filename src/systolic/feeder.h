@@ -1,0 +1,82 @@
+#ifndef SYSTOLIC_SYSTOLIC_FEEDER_H_
+#define SYSTOLIC_SYSTOLIC_FEEDER_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "systolic/cell.h"
+#include "systolic/wire.h"
+
+namespace systolic {
+namespace sim {
+
+/// Injects a pre-computed schedule of words onto one edge wire of an array.
+///
+/// The schedule maps pulse index → word; pulses with no entry leave the wire
+/// as a bubble. This is how the driver realises the paper's input staggering:
+/// element a_{i,k} of the top-fed relation is scheduled on column wire k at
+/// pulse spacing·i + k (§3.2: elements one step apart, tuples two steps
+/// apart when both relations march).
+class StreamFeeder : public Cell {
+ public:
+  StreamFeeder(std::string name, Wire* output)
+      : Cell(std::move(name)), output_(output) {}
+
+  /// Schedules `word` for pulse `cycle`. Fatal if the slot is taken or the
+  /// pulse has already passed when Compute next runs.
+  void ScheduleAt(size_t cycle, const Word& word) {
+    SYSTOLIC_CHECK(schedule_.emplace(cycle, word).second)
+        << "feeder '" << name() << "' double-books cycle " << cycle;
+  }
+
+  void Compute(size_t cycle) override {
+    auto first = schedule_.begin();
+    if (first == schedule_.end()) return;
+    // A slot in the past can never fire and would stall quiescence forever;
+    // catching it here turns a silent hang into a diagnosable fault.
+    SYSTOLIC_CHECK_GE(first->first, cycle)
+        << "feeder '" << name() << "' booked pulse " << first->first
+        << " which has already passed (now " << cycle << ")";
+    if (first->first != cycle) return;
+    output_->Write(first->second);
+    schedule_.erase(first);
+  }
+
+  bool HasPendingWork() const override { return !schedule_.empty(); }
+
+ private:
+  Wire* output_;
+  std::map<size_t, Word> schedule_;
+};
+
+/// Records every valid word leaving an edge wire, with its arrival pulse.
+class SinkCell : public Cell {
+ public:
+  SinkCell(std::string name, Wire* input)
+      : Cell(std::move(name)), input_(input) {}
+
+  void Compute(size_t cycle) override {
+    const Word& word = input_->Read();
+    if (word.valid) {
+      received_.emplace_back(cycle, word);
+    }
+  }
+
+  /// All (pulse, word) arrivals in order.
+  const std::vector<std::pair<size_t, Word>>& received() const {
+    return received_;
+  }
+
+  void Clear() { received_.clear(); }
+
+ private:
+  Wire* input_;
+  std::vector<std::pair<size_t, Word>> received_;
+};
+
+}  // namespace sim
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTOLIC_FEEDER_H_

@@ -1,0 +1,42 @@
+#ifndef SYSTOLIC_SYSTOLIC_SCHEDULE_H_
+#define SYSTOLIC_SYSTOLIC_SCHEDULE_H_
+
+#include <vector>
+
+#include "relational/relation.h"
+#include "systolic/feeder.h"
+
+namespace systolic {
+namespace sim {
+
+/// Which side of the array a relation enters; determines how tuple tags are
+/// carried (a_tag for the top relation, b_tag for the bottom one).
+enum class FeedSide {
+  kTop,
+  kBottom,
+};
+
+/// Loads the paper's staggered input schedule for `relation` into per-column
+/// `feeders` (one feeder per array column, feeders.size() columns).
+///
+/// Element k of tuple i (restricted to `columns`; columns.size() must equal
+/// feeders.size()) is scheduled on column k's feeder at pulse
+///     base_cycle + spacing * i + k,
+/// realising §3.2's discipline: successive elements of one tuple one step
+/// apart (the "slanted" tuples of Fig. 3-1) and successive tuples `spacing`
+/// steps apart — 2 when both relations march through each other (so that
+/// every pair meets inside a cell), 1 when the other relation is held fixed
+/// (§8's full-utilisation variant).
+void LoadStaggeredSchedule(const rel::Relation& relation,
+                           const std::vector<size_t>& columns,
+                           FeedSide side, size_t spacing, size_t base_cycle,
+                           const std::vector<StreamFeeder*>& feeders);
+
+/// All column indices of `relation`, 0..arity-1 — the common "feed the whole
+/// tuple" case.
+std::vector<size_t> AllColumns(const rel::Relation& relation);
+
+}  // namespace sim
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTOLIC_SCHEDULE_H_

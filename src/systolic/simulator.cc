@@ -1,0 +1,57 @@
+#include "systolic/simulator.h"
+
+namespace systolic {
+namespace sim {
+
+void Simulator::Step() {
+  for (auto& cell : cells_) {
+    cell->Compute(cycle_);
+  }
+  for (auto& wire : wires_) {
+    wire->Commit();
+  }
+  ++cycle_;
+}
+
+bool Simulator::IsQuiescent() const {
+  for (const auto& cell : cells_) {
+    if (cell->HasPendingWork()) return false;
+  }
+  for (const auto& wire : wires_) {
+    if (wire->HasData()) return false;
+  }
+  return true;
+}
+
+Result<size_t> Simulator::RunUntilQuiescent(size_t max_cycles) {
+  // Always take at least one step so freshly scheduled feeders fire.
+  for (size_t steps = 0; steps < max_cycles; ++steps) {
+    Step();
+    if (IsQuiescent()) return cycle_;
+  }
+  return Status::Internal("array did not quiesce within " +
+                          std::to_string(max_cycles) + " cycles (cycle=" +
+                          std::to_string(cycle_) + ")");
+}
+
+std::vector<std::pair<std::string, size_t>> Simulator::PerCellBusy() const {
+  std::vector<std::pair<std::string, size_t>> busy;
+  busy.reserve(compute_cells_.size());
+  for (const Cell* cell : compute_cells_) {
+    busy.emplace_back(cell->name(), cell->busy_cycles());
+  }
+  return busy;
+}
+
+SimStats Simulator::Stats() const {
+  SimStats stats;
+  stats.cycles = cycle_;
+  stats.num_compute_cells = compute_cells_.size();
+  for (const Cell* cell : compute_cells_) {
+    stats.busy_cell_cycles += cell->busy_cycles();
+  }
+  return stats;
+}
+
+}  // namespace sim
+}  // namespace systolic

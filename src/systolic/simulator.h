@@ -1,0 +1,108 @@
+#ifndef SYSTOLIC_SYSTOLIC_SIMULATOR_H_
+#define SYSTOLIC_SYSTOLIC_SIMULATOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "systolic/cell.h"
+#include "systolic/wire.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace systolic {
+namespace sim {
+
+/// Aggregate activity statistics for one simulation run.
+struct SimStats {
+  /// Pulses executed.
+  size_t cycles = 0;
+  /// Number of cells registered (feeders and sinks excluded).
+  size_t num_compute_cells = 0;
+  /// Sum over compute cells of busy pulses.
+  size_t busy_cell_cycles = 0;
+
+  /// Busy cell-cycles divided by (compute cells × cycles); the quantity the
+  /// paper's §8 "only half of the processors are busy" remark is about.
+  double Utilization() const {
+    const double denom =
+        static_cast<double>(num_compute_cells) * static_cast<double>(cycles);
+    return denom == 0 ? 0.0 : static_cast<double>(busy_cell_cycles) / denom;
+  }
+};
+
+/// Owns the cells and wires of one systolic device and drives the global
+/// synchronous clock (the paper's "all of the data in the array moves
+/// synchronously", §2.1).
+///
+/// Construction: create wires with NewWire(), cells with AddCell<T>(...),
+/// binding cells to wires via their constructors. Then Step() per pulse, or
+/// RunUntilQuiescent() to drain a whole operation.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Creates a wire owned by the simulator.
+  Wire* NewWire(std::string name) {
+    wires_.push_back(std::make_unique<Wire>(std::move(name)));
+    return wires_.back().get();
+  }
+
+  /// Creates a cell owned by the simulator. `infrastructure` cells (feeders,
+  /// sinks) are excluded from utilisation statistics.
+  template <typename T, typename... Args>
+  T* AddCell(Args&&... args) {
+    auto cell = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = cell.get();
+    compute_cells_.push_back(raw);
+    cells_.push_back(std::move(cell));
+    return raw;
+  }
+  template <typename T, typename... Args>
+  T* AddInfrastructureCell(Args&&... args) {
+    auto cell = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = cell.get();
+    cells_.push_back(std::move(cell));
+    return raw;
+  }
+
+  /// Executes one pulse: every cell computes from the latched wire state,
+  /// then every wire commits. Cell order within a pulse is immaterial by the
+  /// two-phase wire discipline.
+  void Step();
+
+  /// Pulses executed so far.
+  size_t cycle() const { return cycle_; }
+
+  /// Steps until no wire carries data and no cell reports pending work, then
+  /// returns the cycle count. Fails with Internal if `max_cycles` elapse
+  /// first (a deadlock or runaway-feedback guard).
+  Result<size_t> RunUntilQuiescent(size_t max_cycles);
+
+  /// True iff every wire is a bubble and no cell has pending work.
+  bool IsQuiescent() const;
+
+  /// Activity statistics over the pulses executed so far.
+  SimStats Stats() const;
+
+  /// Per-cell busy-pulse counts (compute cells only, in registration
+  /// order), for utilisation heatmaps and activity-profile assertions.
+  std::vector<std::pair<std::string, size_t>> PerCellBusy() const;
+
+  size_t num_wires() const { return wires_.size(); }
+  size_t num_cells() const { return cells_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Wire>> wires_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::vector<Cell*> compute_cells_;
+  size_t cycle_ = 0;
+};
+
+}  // namespace sim
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTOLIC_SIMULATOR_H_

@@ -1,0 +1,59 @@
+#ifndef SYSTOLIC_SYSTOLIC_TRACE_H_
+#define SYSTOLIC_SYSTOLIC_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "systolic/cell.h"
+#include "systolic/wire.h"
+
+namespace systolic {
+namespace sim {
+
+/// One observed word on one wire at one pulse.
+struct TraceEvent {
+  size_t cycle;
+  std::string wire;
+  Word word;
+};
+
+/// A probe cell that records the traffic on a set of wires, for debugging and
+/// for the timing tests that verify the hardware schedules (e.g. that t_ij
+/// really leaves the right edge at pulse i+j+m+(R-1)/2 as derived in §3.2).
+///
+/// Register as an infrastructure cell; it never drives any wire.
+class TraceProbe : public Cell {
+ public:
+  TraceProbe(std::string name, std::vector<Wire*> wires, size_t max_events)
+      : Cell(std::move(name)), wires_(std::move(wires)), max_events_(max_events) {}
+
+  void Compute(size_t cycle) override {
+    for (Wire* wire : wires_) {
+      if (wire->HasData() && events_.size() < max_events_) {
+        events_.push_back(TraceEvent{cycle, wire->name(), wire->Read()});
+      }
+    }
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Renders "cycle wire word" lines.
+  std::string ToString() const {
+    std::string out;
+    for (const TraceEvent& e : events_) {
+      out += std::to_string(e.cycle) + " " + e.wire + " " + e.word.ToString() +
+             "\n";
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Wire*> wires_;
+  size_t max_events_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sim
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTOLIC_TRACE_H_

@@ -1,0 +1,62 @@
+#ifndef SYSTOLIC_SYSTOLIC_WIRE_H_
+#define SYSTOLIC_SYSTOLIC_WIRE_H_
+
+#include <string>
+
+#include "systolic/word.h"
+#include "util/logging.h"
+
+namespace systolic {
+namespace sim {
+
+/// A unidirectional, single-word wire with an output latch.
+///
+/// During a pulse, cells Read() the word latched at the end of the previous
+/// pulse and Write() the word that will be visible at the next pulse — the
+/// two-phase discipline that makes the simulation order-independent: within a
+/// pulse it does not matter in which order cells compute. At most one writer
+/// may drive a wire per pulse (checked), matching the physical single-driver
+/// constraint of the interconnect.
+class Wire {
+ public:
+  explicit Wire(std::string name) : name_(std::move(name)) {}
+
+  Wire(const Wire&) = delete;
+  Wire& operator=(const Wire&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// The word latched at the previous pulse boundary.
+  const Word& Read() const { return current_; }
+
+  /// Drives the wire for the next pulse. Fatal on a second write in the same
+  /// pulse (two cells driving one wire is a design bug).
+  void Write(const Word& word) {
+    SYSTOLIC_CHECK(!written_) << "wire '" << name_
+                              << "' driven twice in one pulse";
+    next_ = word;
+    written_ = true;
+  }
+
+  /// Pulse boundary: the driven word (or a bubble if undriven) becomes
+  /// readable. Called only by the Simulator.
+  void Commit() {
+    current_ = written_ ? next_ : Word::Bubble();
+    next_ = Word::Bubble();
+    written_ = false;
+  }
+
+  /// True iff the latched word is valid data (not a bubble).
+  bool HasData() const { return current_.valid; }
+
+ private:
+  std::string name_;
+  Word current_ = Word::Bubble();
+  Word next_ = Word::Bubble();
+  bool written_ = false;
+};
+
+}  // namespace sim
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTOLIC_WIRE_H_

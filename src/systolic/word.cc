@@ -1,0 +1,16 @@
+#include "systolic/word.h"
+
+namespace systolic {
+namespace sim {
+
+std::string Word::ToString() const {
+  if (!valid) return "·";
+  std::string out = "[" + std::to_string(value);
+  if (a_tag != kNoTag) out += " a" + std::to_string(a_tag);
+  if (b_tag != kNoTag) out += " b" + std::to_string(b_tag);
+  out += "]";
+  return out;
+}
+
+}  // namespace sim
+}  // namespace systolic

@@ -1,0 +1,62 @@
+#ifndef SYSTOLIC_SYSTOLIC_WORD_H_
+#define SYSTOLIC_SYSTOLIC_WORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relational/domain.h"
+
+namespace systolic {
+namespace sim {
+
+/// Identifies which input tuple a word belongs to. kNoTag for untagged words.
+using TupleTag = int32_t;
+inline constexpr TupleTag kNoTag = -1;
+
+/// One word on a systolic wire during one pulse.
+///
+/// A word carries either an element code (on the vertical relation channels)
+/// or a boolean partial result (on the horizontal t channels; value is 0/1) —
+/// the paper stores booleans as integers too (§2.3). `valid == false` is a
+/// bubble: the wire carries nothing this pulse.
+///
+/// The a_tag/b_tag fields carry the originating tuple indices. They are pure
+/// metadata: no cell's *computation* reads them (cells compare `value`s and
+/// AND/OR flags exactly as the paper's processors do). The simulator uses
+/// tags to attribute emitted results to tuples — in hardware this attribution
+/// is positional timing, which the timing tests verify independently.
+struct Word {
+  bool valid = false;
+  rel::Code value = 0;
+  TupleTag a_tag = kNoTag;
+  TupleTag b_tag = kNoTag;
+
+  /// A bubble.
+  static Word Bubble() { return Word{}; }
+
+  /// An element word from tuple `tag` of the top-fed (A) relation.
+  static Word Element(rel::Code value, TupleTag tag) {
+    return Word{true, value, tag, kNoTag};
+  }
+
+  /// An element word from tuple `tag` of the bottom-fed (B) relation.
+  static Word ElementB(rel::Code value, TupleTag tag) {
+    return Word{true, value, kNoTag, tag};
+  }
+
+  /// A boolean word attributed to the pair (a_tag, b_tag).
+  static Word Boolean(bool flag, TupleTag a_tag, TupleTag b_tag) {
+    return Word{true, flag ? 1 : 0, a_tag, b_tag};
+  }
+
+  /// The boolean payload of a t-channel word.
+  bool AsBool() const { return value != 0; }
+
+  /// Debug rendering, e.g. "[7 a3 b1]" or "·" for a bubble.
+  std::string ToString() const;
+};
+
+}  // namespace sim
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTOLIC_WORD_H_

@@ -1,0 +1,88 @@
+#include "util/bitvector.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace systolic {
+
+BitVector::BitVector(size_t size, bool value)
+    : size_(size), words_(WordCount(size), value ? ~uint64_t{0} : 0) {
+  ClearTrailingBits();
+}
+
+bool BitVector::Get(size_t i) const {
+  SYSTOLIC_CHECK_LT(i, size_);
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVector::Set(size_t i, bool value) {
+  SYSTOLIC_CHECK_LT(i, size_);
+  const uint64_t mask = uint64_t{1} << (i % kWordBits);
+  if (value) {
+    words_[i / kWordBits] |= mask;
+  } else {
+    words_[i / kWordBits] &= ~mask;
+  }
+}
+
+void BitVector::PushBack(bool value) {
+  Resize(size_ + 1);
+  Set(size_ - 1, value);
+}
+
+void BitVector::Resize(size_t size) {
+  size_ = size;
+  words_.resize(WordCount(size), 0);
+  ClearTrailingBits();
+}
+
+size_t BitVector::CountOnes() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(std::popcount(w));
+  return count;
+}
+
+std::vector<size_t> BitVector::OnesIndices() const {
+  std::vector<size_t> indices;
+  indices.reserve(CountOnes());
+  for (size_t i = 0; i < size_; ++i) {
+    if (Get(i)) indices.push_back(i);
+  }
+  return indices;
+}
+
+void BitVector::FlipAll() {
+  for (uint64_t& w : words_) w = ~w;
+  ClearTrailingBits();
+}
+
+void BitVector::OrWith(const BitVector& other) {
+  SYSTOLIC_CHECK_EQ(other.size_, size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::AndWith(const BitVector& other) {
+  SYSTOLIC_CHECK_EQ(other.size_, size_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+std::string BitVector::ToString() const {
+  std::string out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(Get(i) ? '1' : '0');
+  return out;
+}
+
+void BitVector::ClearTrailingBits() {
+  const size_t used = size_ % kWordBits;
+  if (used != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << used) - 1;
+  }
+}
+
+bool operator==(const BitVector& a, const BitVector& b) {
+  return a.size_ == b.size_ && a.words_ == b.words_;
+}
+
+}  // namespace systolic

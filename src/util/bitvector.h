@@ -1,0 +1,77 @@
+#ifndef SYSTOLIC_UTIL_BITVECTOR_H_
+#define SYSTOLIC_UTIL_BITVECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace systolic {
+
+/// A densely packed, dynamically sized vector of bits.
+///
+/// The operator arrays in this library report which tuples belong to a result
+/// as a bit per input tuple (the paper's t_i values, §4); BitVector is the
+/// carrier for those selection vectors. Bits beyond size() are always zero.
+class BitVector {
+ public:
+  /// Constructs an empty bit vector.
+  BitVector() = default;
+
+  /// Constructs `size` bits, all initialised to `value`.
+  explicit BitVector(size_t size, bool value = false);
+
+  /// Number of bits.
+  size_t size() const { return size_; }
+
+  /// True iff size() == 0.
+  bool empty() const { return size_ == 0; }
+
+  /// Reads bit `i`. Precondition: i < size().
+  bool Get(size_t i) const;
+
+  /// Writes bit `i`. Precondition: i < size().
+  void Set(size_t i, bool value);
+
+  /// Appends one bit.
+  void PushBack(bool value);
+
+  /// Grows or shrinks to `size` bits; new bits are zero.
+  void Resize(size_t size);
+
+  /// Number of set bits.
+  size_t CountOnes() const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<size_t> OnesIndices() const;
+
+  /// Flips every bit in place (used for difference: §4.3's output inverter).
+  void FlipAll();
+
+  /// Bitwise OR with `other`. Precondition: other.size() == size().
+  void OrWith(const BitVector& other);
+
+  /// Bitwise AND with `other`. Precondition: other.size() == size().
+  void AndWith(const BitVector& other);
+
+  /// Renders as a string of '0'/'1', index 0 first.
+  std::string ToString() const;
+
+  friend bool operator==(const BitVector& a, const BitVector& b);
+
+ private:
+  static constexpr size_t kWordBits = 64;
+  static size_t WordCount(size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+  /// Zeroes any bits in the last word beyond size_.
+  void ClearTrailingBits();
+
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+bool operator==(const BitVector& a, const BitVector& b);
+inline bool operator!=(const BitVector& a, const BitVector& b) { return !(a == b); }
+
+}  // namespace systolic
+
+#endif  // SYSTOLIC_UTIL_BITVECTOR_H_

@@ -1,0 +1,50 @@
+#ifndef SYSTOLIC_UTIL_LOGGING_H_
+#define SYSTOLIC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace systolic {
+namespace internal_logging {
+
+/// Accumulates a fatal-error message and aborts the process when destroyed.
+/// Used only via the SYSTOLIC_CHECK macros; invariant violations inside the
+/// simulator are programming errors, not recoverable conditions.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL " << file << ":" << line << "] check failed: "
+            << condition << " ";
+  }
+
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace systolic
+
+/// Aborts with a message if `condition` is false. Always on, including in
+/// release builds: the simulator's correctness claims depend on it.
+#define SYSTOLIC_CHECK(condition)                                       \
+  while (!(condition))                                                  \
+  ::systolic::internal_logging::FatalLogMessage(__FILE__, __LINE__,     \
+                                                #condition)             \
+      .stream()
+
+#define SYSTOLIC_CHECK_EQ(a, b) SYSTOLIC_CHECK((a) == (b))
+#define SYSTOLIC_CHECK_NE(a, b) SYSTOLIC_CHECK((a) != (b))
+#define SYSTOLIC_CHECK_LT(a, b) SYSTOLIC_CHECK((a) < (b))
+#define SYSTOLIC_CHECK_LE(a, b) SYSTOLIC_CHECK((a) <= (b))
+#define SYSTOLIC_CHECK_GT(a, b) SYSTOLIC_CHECK((a) > (b))
+#define SYSTOLIC_CHECK_GE(a, b) SYSTOLIC_CHECK((a) >= (b))
+
+#endif  // SYSTOLIC_UTIL_LOGGING_H_

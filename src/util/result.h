@@ -1,0 +1,82 @@
+#ifndef SYSTOLIC_UTIL_RESULT_H_
+#define SYSTOLIC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace systolic {
+
+/// A value-or-error union, in the Arrow idiom: a Result<T> holds either a T
+/// (and an OK status) or a non-OK Status explaining why no value exists.
+///
+/// Construction from a T or a Status is implicit so that functions can
+/// `return value;` or `return Status::InvalidArgument(...);` directly.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Access to the contained value. Precondition: ok().
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie on errored Result");
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie on errored Result");
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out, or returns `fallback` if errored.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace systolic
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status.
+#define SYSTOLIC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define SYSTOLIC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SYSTOLIC_ASSIGN_OR_RETURN_NAME(a, b) SYSTOLIC_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define SYSTOLIC_ASSIGN_OR_RETURN(lhs, expr) \
+  SYSTOLIC_ASSIGN_OR_RETURN_IMPL(            \
+      SYSTOLIC_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+#endif  // SYSTOLIC_UTIL_RESULT_H_

@@ -1,0 +1,58 @@
+#ifndef SYSTOLIC_UTIL_RNG_H_
+#define SYSTOLIC_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace systolic {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// The workload generators must be reproducible across runs and platforms so
+/// that experiments in EXPERIMENTS.md can be re-derived exactly; std::mt19937
+/// distributions are not portable, so we implement both the generator and the
+/// distributions here.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n-1] with exponent `s` (s=0 is uniform).
+  /// Rank 0 is the most frequent value. Precondition: n >= 1.
+  size_t Zipf(size_t n, double s);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  // Cached Zipf normalisation: recomputed when (n, s) changes.
+  size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace systolic
+
+#endif  // SYSTOLIC_UTIL_RNG_H_

@@ -1,0 +1,120 @@
+#ifndef SYSTOLIC_UTIL_STATUS_H_
+#define SYSTOLIC_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace systolic {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kIncompatible = 8,  // relations are not union-compatible (paper §2.4)
+  kCapacity = 9,      // a physical array is too small and tiling is disabled
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid-argument", ...). Never returns null.
+const char* StatusCodeToString(StatusCode code);
+
+/// Error-or-success result of an operation, in the Arrow/RocksDB idiom.
+///
+/// A Status is cheap to pass by value: the OK state carries no allocation,
+/// and error states share an immutable heap representation. Public library
+/// entry points return Status (or Result<T>) instead of throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Incompatible(std::string msg) {
+    return Status(StatusCode::kIncompatible, std::move(msg));
+  }
+  static Status Capacity(std::string msg) {
+    return Status(StatusCode::kCapacity, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code; kOk for a success status.
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  /// The error message; empty for a success status.
+  const std::string& message() const;
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsIncompatible() const { return code() == StatusCode::kIncompatible; }
+  bool IsCapacity() const { return code() == StatusCode::kCapacity; }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK; shared so copies are cheap.
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace systolic
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is an error.
+#define SYSTOLIC_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::systolic::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#endif  // SYSTOLIC_UTIL_STATUS_H_

@@ -1,0 +1,25 @@
+#ifndef SYSTOLIC_UTIL_STRINGS_H_
+#define SYSTOLIC_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace systolic {
+
+/// Splits `text` on `delimiter`, keeping empty fields. "a,,b" -> {a,"",b}.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True iff `text` parses entirely as a base-10 signed 64-bit integer;
+/// on success stores the value in *out.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+}  // namespace systolic
+
+#endif  // SYSTOLIC_UTIL_STRINGS_H_

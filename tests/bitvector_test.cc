@@ -1,0 +1,118 @@
+#include "util/bitvector.h"
+
+#include "gtest/gtest.h"
+
+namespace systolic {
+namespace {
+
+TEST(BitVectorTest, DefaultIsEmpty) {
+  BitVector bv;
+  EXPECT_TRUE(bv.empty());
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_EQ(bv.CountOnes(), 0u);
+}
+
+TEST(BitVectorTest, ConstructWithValue) {
+  BitVector zeros(10, false);
+  EXPECT_EQ(zeros.CountOnes(), 0u);
+  BitVector ones(10, true);
+  EXPECT_EQ(ones.CountOnes(), 10u);
+}
+
+TEST(BitVectorTest, SetAndGet) {
+  BitVector bv(100);
+  bv.Set(0, true);
+  bv.Set(63, true);
+  bv.Set(64, true);
+  bv.Set(99, true);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(99));
+  EXPECT_FALSE(bv.Get(1));
+  EXPECT_EQ(bv.CountOnes(), 4u);
+  bv.Set(63, false);
+  EXPECT_FALSE(bv.Get(63));
+  EXPECT_EQ(bv.CountOnes(), 3u);
+}
+
+TEST(BitVectorTest, PushBackGrows) {
+  BitVector bv;
+  bv.PushBack(true);
+  bv.PushBack(false);
+  bv.PushBack(true);
+  EXPECT_EQ(bv.size(), 3u);
+  EXPECT_EQ(bv.ToString(), "101");
+}
+
+TEST(BitVectorTest, OnesIndices) {
+  BitVector bv(5);
+  bv.Set(1, true);
+  bv.Set(4, true);
+  EXPECT_EQ(bv.OnesIndices(), (std::vector<size_t>{1, 4}));
+}
+
+TEST(BitVectorTest, FlipAllRespectsSize) {
+  // Flipping must not set bits beyond size() (the word is padded to 64).
+  BitVector bv(3);
+  bv.Set(0, true);
+  bv.FlipAll();
+  EXPECT_EQ(bv.ToString(), "011");
+  EXPECT_EQ(bv.CountOnes(), 2u);
+  bv.FlipAll();
+  EXPECT_EQ(bv.ToString(), "100");
+}
+
+TEST(BitVectorTest, FlipAllAcrossWordBoundary) {
+  BitVector bv(65);
+  bv.FlipAll();
+  EXPECT_EQ(bv.CountOnes(), 65u);
+}
+
+TEST(BitVectorTest, OrAndWith) {
+  BitVector a(4);
+  a.Set(0, true);
+  a.Set(1, true);
+  BitVector b(4);
+  b.Set(1, true);
+  b.Set(2, true);
+  BitVector ored = a;
+  ored.OrWith(b);
+  EXPECT_EQ(ored.ToString(), "1110");
+  BitVector anded = a;
+  anded.AndWith(b);
+  EXPECT_EQ(anded.ToString(), "0100");
+}
+
+TEST(BitVectorTest, SizeMismatchAborts) {
+  BitVector a(4);
+  BitVector b(5);
+  EXPECT_DEATH(a.OrWith(b), "check failed");
+}
+
+TEST(BitVectorTest, OutOfRangeAborts) {
+  BitVector a(4);
+  EXPECT_DEATH(a.Get(4), "check failed");
+  EXPECT_DEATH(a.Set(4, true), "check failed");
+}
+
+TEST(BitVectorTest, EqualityComparesContentAndSize) {
+  BitVector a(4);
+  BitVector b(4);
+  EXPECT_EQ(a, b);
+  b.Set(2, true);
+  EXPECT_NE(a, b);
+  BitVector c(5);
+  EXPECT_NE(a, c);
+}
+
+TEST(BitVectorTest, ResizeShrinkClearsDroppedBits) {
+  BitVector bv(10, true);
+  bv.Resize(4);
+  EXPECT_EQ(bv.CountOnes(), 4u);
+  bv.Resize(10);
+  EXPECT_EQ(bv.CountOnes(), 4u) << "re-grown bits must be zero";
+}
+
+}  // namespace
+}  // namespace systolic

@@ -1,0 +1,139 @@
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/csv.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace rel {
+namespace {
+
+TEST(BuilderTest, EncodesMixedTypes) {
+  auto dn = Domain::Make("names", ValueType::kString);
+  auto da = Domain::Make("ages", ValueType::kInt64);
+  Schema schema({{"name", dn}, {"age", da}});
+  RelationBuilder builder(schema);
+  ASSERT_STATUS_OK(builder.AddRow({Value::String("ada"), Value::Int64(36)}));
+  ASSERT_STATUS_OK(builder.AddRow({Value::String("alan"), Value::Int64(41)}));
+  ASSERT_STATUS_OK(builder.AddRow({Value::String("ada"), Value::Int64(36)}));
+  const Relation r = builder.Finish();
+  ASSERT_EQ(r.num_tuples(), 3u);
+  EXPECT_EQ(r.tuple(0)[0], r.tuple(2)[0]) << "same string -> same code";
+  EXPECT_EQ(r.tuple(0)[1], 36);
+}
+
+TEST(BuilderTest, RejectsArityMismatch) {
+  RelationBuilder builder(MakeIntSchema(2));
+  EXPECT_TRUE(builder.AddRow({Value::Int64(1)}).IsInvalidArgument());
+}
+
+TEST(BuilderTest, RejectsTypeMismatch) {
+  auto dn = Domain::Make("names", ValueType::kString);
+  RelationBuilder builder(Schema({{"name", dn}}));
+  EXPECT_TRUE(builder.AddRow({Value::Int64(1)}).IsInvalidArgument());
+}
+
+TEST(BuilderTest, FinishResetsBuilder) {
+  RelationBuilder builder(MakeIntSchema(1));
+  ASSERT_STATUS_OK(builder.AddRow({Value::Int64(1)}));
+  const Relation first = builder.Finish();
+  EXPECT_EQ(first.num_tuples(), 1u);
+  const Relation second = builder.Finish();
+  EXPECT_EQ(second.num_tuples(), 0u);
+}
+
+TEST(MakeRelationTest, BuildsFromLiterals) {
+  const Schema schema = MakeIntSchema(2);
+  auto r = MakeRelation(schema, {{1, 2}, {3, 4}});
+  ASSERT_OK(r);
+  EXPECT_EQ(r->num_tuples(), 2u);
+  EXPECT_EQ(r->tuple(1), (Tuple{3, 4}));
+}
+
+TEST(MakeRelationTest, RejectsRaggedRows) {
+  const Schema schema = MakeIntSchema(2);
+  EXPECT_FALSE(MakeRelation(schema, {{1, 2}, {3}}).ok());
+}
+
+TEST(MakeIntSchemaTest, FreshDomainsPerCall) {
+  const Schema a = MakeIntSchema(2);
+  const Schema b = MakeIntSchema(2);
+  EXPECT_FALSE(a.UnionCompatibleWith(b))
+      << "separate calls must produce incompatible schemas";
+  EXPECT_TRUE(a.UnionCompatibleWith(a));
+}
+
+TEST(CsvTest, ReadWithHeader) {
+  auto dn = Domain::Make("names", ValueType::kString);
+  auto da = Domain::Make("ages", ValueType::kInt64);
+  Schema schema({{"name", dn}, {"age", da}});
+  std::istringstream in("name,age\nada,36\nalan,41\n");
+  auto r = ReadCsv(in, schema);
+  ASSERT_OK(r);
+  ASSERT_EQ(r->num_tuples(), 2u);
+  EXPECT_EQ(r->tuple(0)[1], 36);
+  EXPECT_EQ(*dn->Decode(r->tuple(1)[0]), Value::String("alan"));
+}
+
+TEST(CsvTest, ReadWithoutHeaderAndBlankLines) {
+  const Schema schema = MakeIntSchema(2);
+  std::istringstream in("1,2\n\n3,4\n");
+  auto r = ReadCsv(in, schema, /*has_header=*/false);
+  ASSERT_OK(r);
+  EXPECT_EQ(r->num_tuples(), 2u);
+}
+
+TEST(CsvTest, ReadRejectsFieldCountMismatch) {
+  const Schema schema = MakeIntSchema(2);
+  std::istringstream in("1,2,3\n");
+  auto r = ReadCsv(in, schema, /*has_header=*/false);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ReadRejectsBadInt) {
+  const Schema schema = MakeIntSchema(1);
+  std::istringstream in("abc\n");
+  auto r = ReadCsv(in, schema, /*has_header=*/false);
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ReadParsesBools) {
+  auto db = Domain::Make("flags", ValueType::kBool);
+  Schema schema({{"flag", db}});
+  std::istringstream in("true\nfalse\n");
+  auto r = ReadCsv(in, schema, /*has_header=*/false);
+  ASSERT_OK(r);
+  EXPECT_EQ(r->num_tuples(), 2u);
+  std::istringstream bad("yes\n");
+  EXPECT_FALSE(ReadCsv(bad, schema, false).ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  auto dn = Domain::Make("names", ValueType::kString);
+  auto da = Domain::Make("ages", ValueType::kInt64);
+  Schema schema({{"name", dn}, {"age", da}});
+  RelationBuilder builder(schema);
+  ASSERT_STATUS_OK(builder.AddRow({Value::String("ada"), Value::Int64(36)}));
+  ASSERT_STATUS_OK(builder.AddRow({Value::String("alan"), Value::Int64(41)}));
+  const Relation original = builder.Finish();
+
+  std::ostringstream out;
+  ASSERT_STATUS_OK(WriteCsv(original, out));
+  std::istringstream in(out.str());
+  auto reread = ReadCsv(in, schema);
+  ASSERT_OK(reread);
+  EXPECT_TRUE(reread->BagEquals(original));
+}
+
+TEST(CsvTest, WriteEmitsHeader) {
+  const Schema schema = MakeIntSchema(2);
+  Relation r(schema);
+  std::ostringstream out;
+  ASSERT_STATUS_OK(WriteCsv(r, out));
+  EXPECT_EQ(out.str(), "c0,c1\n");
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace systolic

@@ -1,0 +1,180 @@
+#include "system/command.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace machine {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+class CommandFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MachineConfig config;
+    config.num_memories = 12;
+    machine_ = std::make_unique<Machine>(config);
+    schema_ = rel::MakeIntSchema(2);
+    machine_->disk().Put("A", Rel(schema_, {{1, 10}, {2, 20}, {3, 30}}));
+    machine_->disk().Put("B", Rel(schema_, {{2, 20}, {4, 40}}));
+    interpreter_ = std::make_unique<CommandInterpreter>(machine_.get(), &out_);
+  }
+
+  Status Run(const std::string& script) {
+    std::istringstream in(script);
+    return interpreter_->ExecuteScript(in);
+  }
+
+  std::unique_ptr<Machine> machine_;
+  Schema schema_;
+  std::ostringstream out_;
+  std::unique_ptr<CommandInterpreter> interpreter_;
+};
+
+TEST_F(CommandFixture, LoadIntersectPrint) {
+  ASSERT_STATUS_OK(Run("LOAD A\nLOAD B\nINTERSECT A B -> C\nPRINT C\n"));
+  auto c = machine_->Buffer("C");
+  ASSERT_OK(c);
+  EXPECT_EQ((*c)->num_tuples(), 1u);
+  EXPECT_NE(out_.str().find("intersect -> C: 1 tuples"), std::string::npos);
+}
+
+TEST_F(CommandFixture, CommentsAndBlankLinesIgnored) {
+  ASSERT_STATUS_OK(Run("# a comment\n\nLOAD A  # trailing comment\n"));
+  EXPECT_TRUE(machine_->Buffer("A").ok());
+}
+
+TEST_F(CommandFixture, SelectWithConjunction) {
+  ASSERT_STATUS_OK(
+      Run("LOAD A\nSELECT A WHERE c0 >= 2 AND c1 < 30 -> F\n"));
+  auto f = machine_->Buffer("F");
+  ASSERT_OK(f);
+  ASSERT_EQ((*f)->num_tuples(), 1u);
+  EXPECT_EQ((*f)->tuple(0), (rel::Tuple{2, 20}));
+}
+
+TEST_F(CommandFixture, ProjectByColumnNames) {
+  ASSERT_STATUS_OK(Run("LOAD A\nPROJECT A c1,c0 -> P\n"));
+  auto p = machine_->Buffer("P");
+  ASSERT_OK(p);
+  EXPECT_EQ((*p)->arity(), 2u);
+  EXPECT_EQ((*p)->tuple(0), (rel::Tuple{10, 1}));
+}
+
+TEST_F(CommandFixture, JoinOnNamedColumns) {
+  ASSERT_STATUS_OK(Run("LOAD A\nLOAD B\nJOIN A B ON c0 < c0 -> J\n"));
+  auto j = machine_->Buffer("J");
+  ASSERT_OK(j);
+  // Pairs (a,b) with a.c0 < b.c0: (1,2),(1,4),(2,4),(3,4) = 4.
+  EXPECT_EQ((*j)->num_tuples(), 4u);
+}
+
+TEST_F(CommandFixture, UnionDedupDifferenceChain) {
+  ASSERT_STATUS_OK(
+      Run("LOAD A\nLOAD B\nUNION A B -> U\nDIFFERENCE U B -> D\nDEDUP D -> "
+          "DD\n"));
+  auto dd = machine_->Buffer("DD");
+  ASSERT_OK(dd);
+  EXPECT_EQ((*dd)->num_tuples(), 2u);  // {1,3} rows of A
+}
+
+TEST_F(CommandFixture, DivideCommand) {
+  auto dk = rel::Domain::Make("s", rel::ValueType::kInt64);
+  auto dv = rel::Domain::Make("p", rel::ValueType::kInt64);
+  Schema enrolled({{"s", dk}, {"p", dv}});
+  Schema required({{"p", dv}});
+  machine_->disk().Put("E",
+                       Rel(enrolled, {{1, 7}, {1, 8}, {2, 7}}));
+  machine_->disk().Put("R", Rel(required, {{7}, {8}}));
+  ASSERT_STATUS_OK(Run("LOAD E\nLOAD R\nDIVIDE E R ON p = p -> Q\n"));
+  auto q = machine_->Buffer("Q");
+  ASSERT_OK(q);
+  ASSERT_EQ((*q)->num_tuples(), 1u);
+  EXPECT_EQ((*q)->tuple(0)[0], 1);
+}
+
+TEST_F(CommandFixture, StoreAndRelease) {
+  ASSERT_STATUS_OK(Run("LOAD A\nSTORE A AS A_copy\nRELEASE A\n"));
+  EXPECT_TRUE(machine_->Buffer("A").status().IsNotFound());
+  EXPECT_TRUE(machine_->disk().Read("A_copy").ok());
+}
+
+TEST_F(CommandFixture, ErrorsCarryLineNumbers) {
+  const Status status = Run("LOAD A\nFROBNICATE A -> X\n");
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos);
+}
+
+TEST_F(CommandFixture, UsageErrors) {
+  ASSERT_STATUS_OK(Run("LOAD A\nLOAD B\n"));
+  EXPECT_TRUE(Run("LOAD\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("INTERSECT A -> C\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("DIVIDE A B ON c0 < c0 -> Q\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("SELECT A WHERE c0 -> F\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("PRINT nothing\n").IsNotFound());
+}
+
+TEST_F(CommandFixture, UnknownColumnRejected) {
+  ASSERT_STATUS_OK(Run("LOAD A\n"));
+  EXPECT_TRUE(Run("SELECT A WHERE ghost = 1 -> F\n").IsNotFound());
+}
+
+TEST_F(CommandFixture, BadIntLiteralRejected) {
+  ASSERT_STATUS_OK(Run("LOAD A\n"));
+  EXPECT_TRUE(Run("SELECT A WHERE c0 = banana -> F\n").IsInvalidArgument());
+}
+
+TEST_F(CommandFixture, StringDomainSelection) {
+  auto dn = rel::Domain::Make("names", rel::ValueType::kString);
+  Schema people({{"name", dn}});
+  rel::RelationBuilder builder(people);
+  ASSERT_STATUS_OK(builder.AddRow({rel::Value::String("ada")}));
+  ASSERT_STATUS_OK(builder.AddRow({rel::Value::String("alan")}));
+  machine_->disk().Put("P", builder.Finish());
+  ASSERT_STATUS_OK(Run("LOAD P\nSELECT P WHERE name = ada -> F\n"));
+  auto f = machine_->Buffer("F");
+  ASSERT_OK(f);
+  EXPECT_EQ((*f)->num_tuples(), 1u);
+  // A string never encoded cannot be looked up.
+  EXPECT_TRUE(Run("SELECT P WHERE name = ghost -> G\n").IsNotFound());
+}
+
+TEST_F(CommandFixture, TransactionBeginExplainCommit) {
+  ASSERT_STATUS_OK(Run("LOAD A\nLOAD B\n"));
+  ASSERT_STATUS_OK(
+      Run("BEGIN\nINTERSECT A B -> x\nDIFFERENCE A B -> y\nUNION x y -> "
+          "z\nEXPLAIN\nCOMMIT\n"));
+  auto z = machine_->Buffer("z");
+  ASSERT_OK(z);
+  EXPECT_EQ((*z)->num_tuples(), 3u);  // x ∪ y == A deduplicated
+  EXPECT_NE(out_.str().find("plan: 3 steps in 2 levels"), std::string::npos);
+  EXPECT_NE(out_.str().find("committed 3 steps"), std::string::npos);
+}
+
+TEST_F(CommandFixture, TransactionAbortDiscardsSteps) {
+  ASSERT_STATUS_OK(Run("LOAD A\nLOAD B\n"));
+  ASSERT_STATUS_OK(Run("BEGIN\nINTERSECT A B -> x\nABORT\n"));
+  EXPECT_TRUE(machine_->Buffer("x").status().IsNotFound());
+  // After ABORT, immediate execution works again.
+  ASSERT_STATUS_OK(Run("INTERSECT A B -> x\n"));
+  EXPECT_TRUE(machine_->Buffer("x").ok());
+}
+
+TEST_F(CommandFixture, TransactionStateErrors) {
+  EXPECT_TRUE(Run("COMMIT\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("ABORT\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("EXPLAIN\n").IsInvalidArgument());
+  ASSERT_STATUS_OK(Run("BEGIN\n"));
+  EXPECT_TRUE(Run("BEGIN\n").IsInvalidArgument());
+  ASSERT_STATUS_OK(Run("ABORT\n"));
+}
+
+}  // namespace
+}  // namespace machine
+}  // namespace systolic

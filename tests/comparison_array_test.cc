@@ -1,0 +1,248 @@
+#include "arrays/comparison_grid.h"
+
+#include <map>
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "systolic/feeder.h"
+#include "systolic/simulator.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace arrays {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using sim::SinkCell;
+using systolic::testing::Rel;
+
+// Runs relations a, b through a marching grid sized for them and returns a
+// map (i, j) -> t_ij collected at the right edges, plus the emitting row and
+// pulse for timing verification.
+struct CollectedT {
+  bool value;
+  size_t row;
+  size_t cycle;
+};
+
+std::map<std::pair<int, int>, CollectedT> RunGrid(
+    const Relation& a, const Relation& b, const GridConfig& base_config) {
+  sim::Simulator simulator;
+  GridConfig config = base_config;
+  config.columns = a.arity();
+  ComparisonGrid grid(&simulator, config);
+  std::vector<SinkCell*> sinks;
+  for (size_t r = 0; r < config.rows; ++r) {
+    sinks.push_back(simulator.AddInfrastructureCell<SinkCell>(
+        "sink" + std::to_string(r), grid.right_edge(r)));
+  }
+  SYSTOLIC_CHECK(grid.FeedA(a, sim::AllColumns(a)).ok());
+  if (config.mode == FeedMode::kMarching) {
+    SYSTOLIC_CHECK(grid.FeedB(b, sim::AllColumns(b)).ok());
+  } else {
+    SYSTOLIC_CHECK(grid.PreloadB(b, sim::AllColumns(b)).ok());
+  }
+  auto cycles = simulator.RunUntilQuiescent(10000);
+  SYSTOLIC_CHECK(cycles.ok()) << cycles.status().ToString();
+
+  std::map<std::pair<int, int>, CollectedT> out;
+  for (size_t r = 0; r < sinks.size(); ++r) {
+    for (const auto& [cycle, word] : sinks[r]->received()) {
+      const auto key = std::make_pair(static_cast<int>(word.a_tag),
+                                      static_cast<int>(word.b_tag));
+      SYSTOLIC_CHECK(out.emplace(key, CollectedT{word.AsBool(), r, cycle}).second)
+          << "pair emitted twice";
+      out.at(key);
+    }
+  }
+  return out;
+}
+
+GridConfig MarchingConfig(size_t rows) {
+  GridConfig config;
+  config.rows = rows;
+  config.mode = FeedMode::kMarching;
+  return config;
+}
+
+TEST(LinearComparisonArrayTest, SingleRowComparesOneTuplePair) {
+  // The §3.1 linear array: one row of m cells comparing one tuple pair.
+  const Schema schema = rel::MakeIntSchema(4);
+  const Relation a = Rel(schema, {{1, 2, 3, 4}});
+  const Relation equal_b = Rel(schema, {{1, 2, 3, 4}});
+  auto t = RunGrid(a, equal_b, MarchingConfig(1));
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.at({0, 0}).value);
+
+  const Relation diff_last = Rel(schema, {{1, 2, 3, 9}});
+  t = RunGrid(a, diff_last, MarchingConfig(1));
+  EXPECT_FALSE(t.at({0, 0}).value);
+
+  const Relation diff_first = Rel(schema, {{9, 2, 3, 4}});
+  t = RunGrid(a, diff_first, MarchingConfig(1));
+  EXPECT_FALSE(t.at({0, 0}).value)
+      << "a FALSE formed at the first cell must survive to the right edge";
+}
+
+TEST(LinearComparisonArrayTest, OutputEmergesAfterMSteps) {
+  // §3.1: "after m time steps the output at the right-most processor ... will
+  // be a bit indicating whether the two tuples are equal". With our pulse
+  // accounting (feeder -> cell is one pulse, cell -> sink another), element
+  // k meets at cell (0,k) at pulse k+1, the right edge word is written at
+  // pulse m and the sink records it at pulse m+1... measured exactly below.
+  const size_t m = 5;
+  const Schema schema = rel::MakeIntSchema(m);
+  const Relation a = Rel(schema, {{1, 2, 3, 4, 5}});
+  const Relation b = Rel(schema, {{1, 2, 3, 4, 5}});
+  auto t = RunGrid(a, b, MarchingConfig(1));
+  // Meet at column k happens at pulse i+j+k+1+(R-1)/2 = k+1; the final
+  // (column m-1) result is written then and observed one pulse later.
+  EXPECT_EQ(t.at({0, 0}).cycle, m + 1);
+}
+
+TEST(TwoDimensionalComparisonArrayTest, EveryPairMeetsExactlyOnce) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}, {3, 3}});
+  const Relation b = Rel(schema, {{2, 2}, {3, 3}, {4, 4}});
+  auto t = RunGrid(a, b, MarchingConfig(ComparisonGrid::RowsForMarching(3)));
+  ASSERT_EQ(t.size(), 9u) << "all |A|x|B| pairs must be compared";
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      const bool expected = a.tuple(i) == b.tuple(j);
+      EXPECT_EQ(t.at({i, j}).value, expected) << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(TwoDimensionalComparisonArrayTest, MeetingRowMatchesDerivedFormula) {
+  // Pair (i, j) must be processed in row j - i + (R-1)/2 and its final t
+  // must leave the right edge at pulse i + j + m + (R-1)/2 + 1 (§3.2 timing
+  // with our pulse accounting).
+  const size_t n = 4;
+  const size_t m = 3;
+  const Schema schema = rel::MakeIntSchema(m);
+  std::vector<std::vector<int64_t>> rows_a, rows_b;
+  for (size_t i = 0; i < n; ++i) {
+    rows_a.push_back({int64_t(i), int64_t(i), int64_t(i)});
+    rows_b.push_back({int64_t(i + 1), int64_t(i + 1), int64_t(i + 1)});
+  }
+  const Relation a = Rel(schema, rows_a);
+  const Relation b = Rel(schema, rows_b);
+  const size_t R = ComparisonGrid::RowsForMarching(n);
+  auto t = RunGrid(a, b, MarchingConfig(R));
+  ASSERT_EQ(t.size(), n * n);
+  const size_t half = (R - 1) / 2;
+  for (int i = 0; i < int(n); ++i) {
+    for (int j = 0; j < int(n); ++j) {
+      const CollectedT& entry = t.at({i, j});
+      EXPECT_EQ(entry.row, size_t(j - i + int(half)))
+          << "pair " << i << "," << j;
+      EXPECT_EQ(entry.cycle, size_t(i + j) + m + half + 1)
+          << "pair " << i << "," << j;
+    }
+  }
+}
+
+TEST(TwoDimensionalComparisonArrayTest, ThetaComparisonInCells) {
+  // §6.3.2: cells may apply any binary comparison.
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{5}});
+  const Relation b = Rel(schema, {{3}});
+  GridConfig config = MarchingConfig(1);
+  config.op = rel::ComparisonOp::kGt;
+  auto t = RunGrid(a, b, config);
+  EXPECT_TRUE(t.at({0, 0}).value);
+  config.op = rel::ComparisonOp::kLt;
+  t = RunGrid(a, b, config);
+  EXPECT_FALSE(t.at({0, 0}).value);
+}
+
+TEST(TwoDimensionalComparisonArrayTest, LowerTriangleEdgeRule) {
+  // §5: with A fed on both sides and initial t forced FALSE for i <= j, only
+  // strictly-lower-triangle pairs can be TRUE.
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{7}, {7}, {7}});
+  GridConfig config = MarchingConfig(ComparisonGrid::RowsForMarching(3));
+  config.edge_rule = EdgeRule::kStrictLowerTriangle;
+  auto t = RunGrid(a, a, config);
+  ASSERT_EQ(t.size(), 9u);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(t.at({i, j}).value, j < i) << i << "," << j;
+    }
+  }
+}
+
+TEST(FixedModeGridTest, PreloadedBComparesEveryPassingTuple) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  const Relation b = Rel(schema, {{2, 2}, {4, 4}});
+  GridConfig config;
+  config.rows = 2;
+  config.mode = FeedMode::kFixedB;
+  auto t = RunGrid(a, b, config);
+  ASSERT_EQ(t.size(), 8u);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_EQ(t.at({i, j}).value, a.tuple(i) == b.tuple(j));
+    }
+  }
+}
+
+TEST(FixedModeGridTest, UtilizationExceedsMarching) {
+  // §8: marching keeps at most half the cells busy; the fixed variant keeps
+  // them all busy in steady state. Compare utilisation on same-size work.
+  const size_t n = 8;
+  const Schema schema = rel::MakeIntSchema(2);
+  std::vector<std::vector<int64_t>> rows;
+  for (size_t i = 0; i < n; ++i) rows.push_back({int64_t(i), int64_t(i)});
+  const Relation a = Rel(schema, rows);
+
+  auto run = [&](FeedMode mode, size_t grid_rows) {
+    sim::Simulator simulator;
+    GridConfig config;
+    config.rows = grid_rows;
+    config.columns = 2;
+    config.mode = mode;
+    ComparisonGrid grid(&simulator, config);
+    for (size_t r = 0; r < grid_rows; ++r) {
+      simulator.AddInfrastructureCell<SinkCell>("s" + std::to_string(r),
+                                                grid.right_edge(r));
+    }
+    SYSTOLIC_CHECK(grid.FeedA(a, sim::AllColumns(a)).ok());
+    if (mode == FeedMode::kMarching) {
+      SYSTOLIC_CHECK(grid.FeedB(a, sim::AllColumns(a)).ok());
+    } else {
+      SYSTOLIC_CHECK(grid.PreloadB(a, sim::AllColumns(a)).ok());
+    }
+    SYSTOLIC_CHECK(simulator.RunUntilQuiescent(10000).ok());
+    return simulator.Stats().Utilization();
+  };
+
+  const double marching = run(FeedMode::kMarching, 2 * n - 1);
+  const double fixed = run(FeedMode::kFixedB, n);
+  EXPECT_GT(fixed, marching);
+}
+
+TEST(GridCapacityTest, OverflowFailsWithCapacityStatus) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation big = Rel(schema, {{1}, {2}, {3}, {4}});
+  sim::Simulator simulator;
+  GridConfig config = MarchingConfig(3);  // fits 2 tuples per side
+  config.columns = 1;
+  ComparisonGrid grid(&simulator, config);
+  const Status status = grid.FeedA(big, {0});
+  EXPECT_TRUE(status.IsCapacity()) << status.ToString();
+}
+
+TEST(GridConfigTest, EvenRowsInMarchingModeAborts) {
+  sim::Simulator simulator;
+  GridConfig config = MarchingConfig(4);
+  config.columns = 1;
+  EXPECT_DEATH(ComparisonGrid(&simulator, config), "odd row count");
+}
+
+}  // namespace
+}  // namespace arrays
+}  // namespace systolic

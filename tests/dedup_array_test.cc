@@ -1,0 +1,176 @@
+#include "arrays/dedup_array.h"
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "relational/ops_reference.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace arrays {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+TEST(DedupArrayTest, KeepsFirstOccurrenceInOrder) {
+  // §5's scenario: if a_6 == a_10 == a_13, remove a_10 and a_13, keep a_6.
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a =
+      Rel(schema, {{4}, {7}, {4}, {9}, {7}, {4}}, rel::RelationKind::kMulti);
+  auto result = SystolicRemoveDuplicates(a);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.ToString(), "110100");
+  ASSERT_EQ(result->relation.num_tuples(), 3u);
+  EXPECT_EQ(result->relation.tuple(0)[0], 4);
+  EXPECT_EQ(result->relation.tuple(1)[0], 7);
+  EXPECT_EQ(result->relation.tuple(2)[0], 9);
+  EXPECT_TRUE(result->relation.IsDuplicateFree());
+}
+
+TEST(DedupArrayTest, AlreadyDistinctInputUnchanged) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 2}, {3, 4}, {5, 6}});
+  auto result = SystolicRemoveDuplicates(a);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.BagEquals(a));
+}
+
+TEST(DedupArrayTest, AllEqualCollapsesToOne) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a =
+      Rel(schema, {{1, 1}, {1, 1}, {1, 1}, {1, 1}}, rel::RelationKind::kMulti);
+  auto result = SystolicRemoveDuplicates(a);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->relation.num_tuples(), 1u);
+  EXPECT_EQ(result->selected.ToString(), "1000");
+}
+
+TEST(DedupArrayTest, EmptyInput) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {});
+  auto result = SystolicRemoveDuplicates(a);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.empty());
+}
+
+TEST(DedupArrayTest, SingleTupleSurvives) {
+  // With one tuple, the only pair is (0,0), whose initial t is FALSE.
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{42}});
+  auto result = SystolicRemoveDuplicates(a);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->relation.num_tuples(), 1u);
+}
+
+TEST(UnionArrayTest, UnionOfOverlappingRelations) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}, {2}, {3}});
+  const Relation b = Rel(schema, {{3}, {4}});
+  auto result = SystolicUnion(a, b);
+  ASSERT_OK(result);
+  auto oracle = rel::reference::Union(a, b);
+  ASSERT_OK(oracle);
+  EXPECT_TRUE(result->relation.BagEquals(*oracle));
+  EXPECT_EQ(result->relation.num_tuples(), 4u);
+}
+
+TEST(UnionArrayTest, UnionWithEmpty) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}, {2}});
+  const Relation empty(schema);
+  auto result = SystolicUnion(a, empty);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.BagEquals(a));
+}
+
+TEST(UnionArrayTest, IncompatibleOperandsRejected) {
+  const Relation a = Rel(rel::MakeIntSchema(1, "x"), {{1}});
+  const Relation b = Rel(rel::MakeIntSchema(1, "y"), {{1}});
+  auto result = SystolicUnion(a, b);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIncompatible());
+}
+
+TEST(ProjectionArrayTest, DropsColumnsAndDeduplicates) {
+  // §5: tuples that differ only in dropped columns become duplicates.
+  const Schema schema = rel::MakeIntSchema(3);
+  const Relation a = Rel(schema, {{1, 10, 100},
+                                  {1, 20, 100},
+                                  {2, 30, 200},
+                                  {1, 40, 100}});
+  auto result = SystolicProjection(a, {0, 2});
+  ASSERT_OK(result);
+  auto oracle = rel::reference::Projection(a, {0, 2});
+  ASSERT_OK(oracle);
+  EXPECT_TRUE(result->relation.BagEquals(*oracle));
+  EXPECT_EQ(result->relation.num_tuples(), 2u);
+  EXPECT_EQ(result->relation.arity(), 2u);
+}
+
+TEST(ProjectionArrayTest, ReorderingColumnsIsAllowed) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 2}});
+  auto result = SystolicProjection(a, {1, 0});
+  ASSERT_OK(result);
+  EXPECT_EQ(result->relation.tuple(0), (rel::Tuple{2, 1}));
+}
+
+TEST(ProjectionArrayTest, BadColumnIndexRejected) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 2}});
+  auto result = SystolicProjection(a, {0, 5});
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfRange());
+}
+
+// --- Property sweep over duplicate-heavy random inputs, both feed modes. ---
+
+struct DedupParam {
+  size_t n;
+  size_t arity;
+  int64_t domain;
+  double dup_factor;
+  FeedMode mode;
+  uint64_t seed;
+};
+
+class DedupSweep : public ::testing::TestWithParam<DedupParam> {};
+
+TEST_P(DedupSweep, MatchesReferenceOracle) {
+  const DedupParam p = GetParam();
+  const Schema schema = rel::MakeIntSchema(p.arity);
+  rel::GeneratorOptions gopts;
+  gopts.num_tuples = p.n;
+  gopts.domain_size = p.domain;
+  gopts.seed = p.seed;
+  auto input = rel::GenerateWithDuplicates(schema, gopts, p.dup_factor);
+  ASSERT_OK(input);
+
+  MembershipOptions mopts;
+  mopts.mode = p.mode;
+  auto result = SystolicRemoveDuplicates(*input, mopts);
+  ASSERT_OK(result);
+  auto oracle = rel::reference::RemoveDuplicates(*input);
+  ASSERT_OK(oracle);
+  // Dedup keeps first occurrences in order, so outputs agree exactly.
+  EXPECT_EQ(result->relation.tuples(), oracle->tuples());
+  EXPECT_TRUE(result->relation.IsDuplicateFree());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedWorkloads, DedupSweep,
+    ::testing::Values(DedupParam{1, 1, 3, 1.0, FeedMode::kMarching, 1},
+                      DedupParam{6, 1, 3, 2.0, FeedMode::kMarching, 2},
+                      DedupParam{12, 2, 4, 3.0, FeedMode::kMarching, 3},
+                      DedupParam{20, 3, 3, 4.0, FeedMode::kMarching, 4},
+                      DedupParam{25, 2, 2, 8.0, FeedMode::kMarching, 5},
+                      DedupParam{6, 1, 3, 2.0, FeedMode::kFixedB, 6},
+                      DedupParam{12, 2, 4, 3.0, FeedMode::kFixedB, 7},
+                      DedupParam{20, 3, 3, 4.0, FeedMode::kFixedB, 8},
+                      DedupParam{33, 2, 2, 8.0, FeedMode::kFixedB, 9}));
+
+}  // namespace
+}  // namespace arrays
+}  // namespace systolic

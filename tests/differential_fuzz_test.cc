@@ -1,0 +1,203 @@
+// Differential fuzzing: every operation executed on every backend over many
+// randomized workloads, all results cross-checked. One test instantiation =
+// one (seed, device shape, feed mode) point; inside it every operation runs
+// on:
+//   * the reference nested-loop oracle,
+//   * the hash and sort software baselines,
+//   * the systolic engine (tiled to the device shape),
+// and, where applicable, the tree machine and the bit-level decomposition.
+// Any divergence pinpoints the backend and operation.
+
+#include <memory>
+
+#include "arrays/bit_serial.h"
+#include "arrays/intersection_array.h"
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "relational/ops_hash.h"
+#include "relational/ops_reference.h"
+#include "relational/ops_sort.h"
+#include "system/tree_machine.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace systolic {
+namespace {
+
+using db::DeviceConfig;
+using db::Engine;
+using rel::Relation;
+using rel::Schema;
+
+struct FuzzParam {
+  uint64_t seed;
+  size_t device_rows;
+  arrays::FeedModePolicy mode;
+};
+
+class DifferentialFuzz : public ::testing::TestWithParam<FuzzParam> {
+ protected:
+  void SetUp() override {
+    const FuzzParam p = GetParam();
+    Rng rng(p.seed * 7919 + 13);
+    schema_ = rel::MakeIntSchema(2 + p.seed % 3);
+    rel::PairOptions options;
+    options.base.num_tuples = 10 + static_cast<size_t>(rng.Uniform(0, 30));
+    options.base.domain_size = 3 + rng.Uniform(0, 6);
+    options.base.seed = p.seed;
+    options.b_num_tuples = 8 + static_cast<size_t>(rng.Uniform(0, 28));
+    options.overlap_fraction = rng.NextDouble();
+    auto pair = rel::GenerateOverlappingPair(schema_, options);
+    SYSTOLIC_CHECK(pair.ok());
+    a_ = std::make_unique<Relation>(std::move(pair->a));
+    b_ = std::make_unique<Relation>(std::move(pair->b));
+    DeviceConfig device;
+    device.rows = p.device_rows;
+    device.mode = p.mode;
+    engine_ = std::make_unique<Engine>(device);
+  }
+
+  Schema schema_;
+  std::unique_ptr<Relation> a_;
+  std::unique_ptr<Relation> b_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_P(DifferentialFuzz, IntersectionAllBackends) {
+  auto oracle = rel::reference::Intersection(*a_, *b_);
+  ASSERT_OK(oracle);
+  auto hash = rel::hashops::Intersection(*a_, *b_);
+  ASSERT_OK(hash);
+  EXPECT_EQ(oracle->tuples(), hash->tuples());
+  auto sorted = rel::sortops::Intersection(*a_, *b_);
+  ASSERT_OK(sorted);
+  EXPECT_TRUE(oracle->BagEquals(*sorted));
+  auto engine = engine_->Intersect(*a_, *b_);
+  ASSERT_OK(engine);
+  EXPECT_EQ(oracle->tuples(), engine->relation.tuples());
+  auto tree = machine::TreeIntersection(*a_, *b_);
+  ASSERT_OK(tree);
+  EXPECT_EQ(oracle->tuples(), tree->relation.tuples());
+}
+
+TEST_P(DifferentialFuzz, DifferenceAllBackends) {
+  auto oracle = rel::reference::Difference(*a_, *b_);
+  ASSERT_OK(oracle);
+  auto hash = rel::hashops::Difference(*a_, *b_);
+  ASSERT_OK(hash);
+  EXPECT_EQ(oracle->tuples(), hash->tuples());
+  auto engine = engine_->Subtract(*a_, *b_);
+  ASSERT_OK(engine);
+  EXPECT_EQ(oracle->tuples(), engine->relation.tuples());
+}
+
+TEST_P(DifferentialFuzz, DedupUnionProjection) {
+  auto dedup_oracle = rel::reference::RemoveDuplicates(*a_);
+  ASSERT_OK(dedup_oracle);
+  auto dedup_engine = engine_->RemoveDuplicates(*a_);
+  ASSERT_OK(dedup_engine);
+  EXPECT_EQ(dedup_oracle->tuples(), dedup_engine->relation.tuples());
+
+  auto union_oracle = rel::reference::Union(*a_, *b_);
+  ASSERT_OK(union_oracle);
+  auto union_engine = engine_->Union(*a_, *b_);
+  ASSERT_OK(union_engine);
+  EXPECT_EQ(union_oracle->tuples(), union_engine->relation.tuples());
+
+  const std::vector<size_t> columns{0};
+  auto proj_oracle = rel::reference::Projection(*a_, columns);
+  ASSERT_OK(proj_oracle);
+  auto proj_engine = engine_->Project(*a_, columns);
+  ASSERT_OK(proj_engine);
+  EXPECT_EQ(proj_oracle->tuples(), proj_engine->relation.tuples());
+}
+
+TEST_P(DifferentialFuzz, JoinAllOps) {
+  for (const rel::ComparisonOp op :
+       {rel::ComparisonOp::kEq, rel::ComparisonOp::kLt,
+        rel::ComparisonOp::kGe}) {
+    rel::JoinSpec spec{{0}, {0}, op};
+    auto oracle = rel::reference::Join(*a_, *b_, spec);
+    ASSERT_OK(oracle);
+    auto engine = engine_->Join(*a_, *b_, spec);
+    ASSERT_OK(engine);
+    EXPECT_EQ(oracle->tuples(), engine->relation.tuples())
+        << "op " << rel::ComparisonOpToString(op);
+    auto hash = rel::hashops::Join(*a_, *b_, spec);
+    ASSERT_OK(hash);
+    EXPECT_TRUE(oracle->BagEquals(*hash));
+  }
+}
+
+TEST_P(DifferentialFuzz, Division) {
+  auto divisor = b_->ProjectColumns({b_->arity() - 1});
+  ASSERT_OK(divisor);
+  rel::DivisionSpec spec{{a_->arity() - 1}, {0}};
+  auto oracle = rel::reference::Division(*a_, *divisor, spec);
+  ASSERT_OK(oracle);
+  auto engine = engine_->Divide(*a_, *divisor, spec);
+  ASSERT_OK(engine);
+  EXPECT_EQ(oracle->tuples(), engine->relation.tuples());
+  auto hash = rel::hashops::Division(*a_, *divisor, spec);
+  ASSERT_OK(hash);
+  EXPECT_TRUE(oracle->BagEquals(*hash));
+  auto sorted = rel::sortops::Division(*a_, *divisor, spec);
+  ASSERT_OK(sorted);
+  EXPECT_TRUE(oracle->BagEquals(*sorted));
+}
+
+TEST_P(DifferentialFuzz, Selection) {
+  Rng rng(GetParam().seed + 1);
+  std::vector<arrays::SelectionPredicate> predicates{
+      {0, rel::ComparisonOp::kLt, rng.Uniform(0, 8)},
+      {a_->arity() - 1, rel::ComparisonOp::kGe, rng.Uniform(0, 4)}};
+  auto engine = engine_->Select(*a_, predicates);
+  ASSERT_OK(engine);
+  Relation expected(schema_, rel::RelationKind::kMulti);
+  for (const rel::Tuple& t : a_->tuples()) {
+    bool keep = true;
+    for (const auto& p : predicates) {
+      keep = keep && rel::ApplyComparison(p.op, t[p.column], p.constant);
+    }
+    if (keep) {
+      ASSERT_STATUS_OK(expected.Append(t));
+    }
+  }
+  EXPECT_EQ(engine->relation.tuples(), expected.tuples());
+}
+
+TEST_P(DifferentialFuzz, BitLevelDecompositionAgrees) {
+  auto bits_needed_a = arrays::MinimumBitsFor(*a_);
+  auto bits_needed_b = arrays::MinimumBitsFor(*b_);
+  ASSERT_OK(bits_needed_a);
+  ASSERT_OK(bits_needed_b);
+  const size_t bits = std::max(*bits_needed_a, *bits_needed_b);
+  auto decomposed = arrays::DecomposePairToBits(*a_, *b_, bits);
+  ASSERT_OK(decomposed);
+  auto word = arrays::SystolicIntersection(*a_, *b_);
+  ASSERT_OK(word);
+  auto bit = arrays::SystolicIntersection(decomposed->a, decomposed->b);
+  ASSERT_OK(bit);
+  EXPECT_EQ(word->selected, bit->selected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, DifferentialFuzz,
+    ::testing::Values(
+        FuzzParam{11, 0, arrays::FeedModePolicy::kMarching},
+        FuzzParam{12, 0, arrays::FeedModePolicy::kMarching},
+        FuzzParam{13, 5, arrays::FeedModePolicy::kMarching},
+        FuzzParam{14, 9, arrays::FeedModePolicy::kMarching},
+        FuzzParam{15, 3, arrays::FeedModePolicy::kMarching},
+        FuzzParam{16, 0, arrays::FeedModePolicy::kFixedB},
+        FuzzParam{17, 6, arrays::FeedModePolicy::kFixedB},
+        FuzzParam{18, 2, arrays::FeedModePolicy::kFixedB},
+        FuzzParam{19, 13, arrays::FeedModePolicy::kMarching},
+        FuzzParam{20, 1, arrays::FeedModePolicy::kMarching},
+        FuzzParam{21, 1, arrays::FeedModePolicy::kFixedB},
+        FuzzParam{22, 7, arrays::FeedModePolicy::kMarching}));
+
+}  // namespace
+}  // namespace systolic

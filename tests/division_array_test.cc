@@ -1,0 +1,201 @@
+#include "arrays/division_array.h"
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "relational/ops_reference.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace systolic {
+namespace arrays {
+namespace {
+
+using rel::DivisionSpec;
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+// Shared-domain fixture: dividend A(A1, A2), divisor B(B1) with A2 and B1 on
+// the same domain, as required for the division to be well-defined (§7).
+struct DivisionFixture {
+  std::shared_ptr<rel::Domain> d1 =
+      rel::Domain::Make("keys", rel::ValueType::kInt64);
+  std::shared_ptr<rel::Domain> d2 =
+      rel::Domain::Make("values", rel::ValueType::kInt64);
+  Schema schema_a{{{"a1", d1}, {"a2", d2}}};
+  Schema schema_b{{{"b1", d2}}};
+  DivisionSpec spec{{1}, {0}};
+};
+
+TEST(DivisionArrayTest, PaperFigure71Example) {
+  // Figure 7-1: A1 = {i,j,k} -> {1,2,3}, values {a,b,c,d} -> {10,20,30,40}.
+  // A = { (i,a),(i,b),(i,c),(i,d), (j,a),(j,d), (k,a),(k,b),(k,d) },
+  // B = { a,b,d }  =>  C = { i }? No: the paper divides by B={a,b,c,d}...
+  // Figure 7-1 lists B = (a, b, c, d)?? Its printed B column shows {a,b,c,k?}
+  // — we use the unambiguous semantics: with B = {a,b,c,d}, only i pairs
+  // with all four values, so C = {i}.
+  DivisionFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 10},
+                                      {1, 20},
+                                      {1, 30},
+                                      {1, 40},
+                                      {2, 10},
+                                      {2, 40},
+                                      {3, 10},
+                                      {3, 20},
+                                      {3, 40}});
+  const Relation b = Rel(f.schema_b, {{10}, {20}, {30}, {40}});
+  auto result = SystolicDivision(a, b, f.spec);
+  ASSERT_OK(result);
+  ASSERT_EQ(result->relation.num_tuples(), 1u);
+  EXPECT_EQ(result->relation.tuple(0)[0], 1);
+  EXPECT_EQ(result->dividend_rows, 3u);
+  EXPECT_EQ(result->divisor_cells, 4u);
+}
+
+TEST(DivisionArrayTest, SmallerDivisorAdmitsMoreQuotients) {
+  DivisionFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 10}, {1, 20}, {2, 10}, {2, 40},
+                                      {3, 10}, {3, 20}, {3, 40}});
+  const Relation b = Rel(f.schema_b, {{10}, {20}});
+  auto result = SystolicDivision(a, b, f.spec);
+  ASSERT_OK(result);
+  ASSERT_EQ(result->relation.num_tuples(), 2u);
+  EXPECT_EQ(result->relation.tuple(0)[0], 1);
+  EXPECT_EQ(result->relation.tuple(1)[0], 3);
+}
+
+TEST(DivisionArrayTest, EmptyDivisorYieldsAllKeys) {
+  // Universal quantification over an empty set is vacuously true.
+  DivisionFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 10}, {2, 20}, {1, 30}});
+  const Relation b = Rel(f.schema_b, {});
+  auto result = SystolicDivision(a, b, f.spec);
+  ASSERT_OK(result);
+  auto oracle = rel::reference::Division(a, b, f.spec);
+  ASSERT_OK(oracle);
+  EXPECT_TRUE(result->relation.BagEquals(*oracle));
+  EXPECT_EQ(result->relation.num_tuples(), 2u);
+}
+
+TEST(DivisionArrayTest, EmptyDividendYieldsEmptyQuotient) {
+  DivisionFixture f;
+  const Relation a = Rel(f.schema_a, {});
+  const Relation b = Rel(f.schema_b, {{10}});
+  auto result = SystolicDivision(a, b, f.spec);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.empty());
+}
+
+TEST(DivisionArrayTest, DivisorValueAbsentFromDividendBlocksAll) {
+  DivisionFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 10}, {1, 20}});
+  const Relation b = Rel(f.schema_b, {{10}, {20}, {99}});
+  auto result = SystolicDivision(a, b, f.spec);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.empty());
+}
+
+TEST(DivisionArrayTest, DuplicateDividendPairsAreHarmless) {
+  DivisionFixture f;
+  const Relation a = Rel(
+      f.schema_a, {{1, 10}, {1, 10}, {1, 20}, {1, 20}},
+      rel::RelationKind::kMulti);
+  const Relation b = Rel(f.schema_b, {{10}, {20}});
+  auto result = SystolicDivision(a, b, f.spec);
+  ASSERT_OK(result);
+  ASSERT_EQ(result->relation.num_tuples(), 1u);
+  EXPECT_EQ(result->relation.tuple(0)[0], 1);
+}
+
+TEST(DivisionArrayTest, DuplicateDivisorValuesCollapse) {
+  DivisionFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 10}});
+  const Relation b =
+      Rel(f.schema_b, {{10}, {10}, {10}}, rel::RelationKind::kMulti);
+  auto result = SystolicDivision(a, b, f.spec);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->divisor_cells, 1u);
+  EXPECT_EQ(result->relation.num_tuples(), 1u);
+}
+
+TEST(DivisionArrayTest, MultiColumnGeneralCase) {
+  // General case via sub-tuple packing: A(x, y1, y2) ÷ B(y1, y2).
+  auto dx = rel::Domain::Make("x", rel::ValueType::kInt64);
+  auto dy1 = rel::Domain::Make("y1", rel::ValueType::kInt64);
+  auto dy2 = rel::Domain::Make("y2", rel::ValueType::kInt64);
+  const Schema sa{{{"x", dx}, {"y1", dy1}, {"y2", dy2}}};
+  const Schema sb{{{"y1", dy1}, {"y2", dy2}}};
+  const Relation a = Rel(sa, {{1, 5, 6}, {1, 7, 8}, {2, 5, 6}, {2, 7, 9}});
+  const Relation b = Rel(sb, {{5, 6}, {7, 8}});
+  DivisionSpec spec{{1, 2}, {0, 1}};
+  auto result = SystolicDivision(a, b, spec);
+  ASSERT_OK(result);
+  auto oracle = rel::reference::Division(a, b, spec);
+  ASSERT_OK(oracle);
+  EXPECT_TRUE(result->relation.BagEquals(*oracle));
+  ASSERT_EQ(result->relation.num_tuples(), 1u);
+  EXPECT_EQ(result->relation.tuple(0)[0], 1);
+}
+
+TEST(DivisionArrayTest, InvalidSpecRejected) {
+  DivisionFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 10}});
+  const Relation b = Rel(f.schema_b, {{10}});
+  DivisionSpec bad{{0, 1}, {0, 0}};  // duplicate b column, no quotient left
+  auto result = SystolicDivision(a, b, bad);
+  EXPECT_FALSE(result.ok());
+}
+
+// --- Property sweep vs the reference oracle. ---
+
+struct DivParam {
+  size_t n_a;
+  size_t n_b;
+  int64_t key_domain;
+  int64_t value_domain;
+  uint64_t seed;
+};
+
+class DivisionSweep : public ::testing::TestWithParam<DivParam> {};
+
+TEST_P(DivisionSweep, MatchesReferenceOracle) {
+  const DivParam p = GetParam();
+  DivisionFixture f;
+  Rng rng(p.seed);
+  rel::RelationBuilder ba(f.schema_a, rel::RelationKind::kMulti);
+  for (size_t i = 0; i < p.n_a; ++i) {
+    ASSERT_STATUS_OK(
+        ba.AddRow({rel::Value::Int64(rng.Uniform(0, p.key_domain - 1)),
+                   rel::Value::Int64(rng.Uniform(0, p.value_domain - 1))}));
+  }
+  const Relation a = ba.Finish();
+  rel::RelationBuilder bb(f.schema_b, rel::RelationKind::kMulti);
+  for (size_t i = 0; i < p.n_b; ++i) {
+    ASSERT_STATUS_OK(
+        bb.AddRow({rel::Value::Int64(rng.Uniform(0, p.value_domain - 1))}));
+  }
+  const Relation b = bb.Finish();
+
+  auto result = SystolicDivision(a, b, f.spec);
+  ASSERT_OK(result);
+  auto oracle = rel::reference::Division(a, b, f.spec);
+  ASSERT_OK(oracle);
+  EXPECT_TRUE(result->relation.BagEquals(*oracle))
+      << "systolic:\n" << result->relation.ToString() << "oracle:\n"
+      << oracle->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomizedWorkloads, DivisionSweep,
+                         ::testing::Values(DivParam{1, 1, 2, 2, 1},
+                                           DivParam{10, 3, 3, 4, 2},
+                                           DivParam{20, 2, 4, 3, 3},
+                                           DivParam{30, 5, 5, 6, 4},
+                                           DivParam{50, 4, 6, 4, 5},
+                                           DivParam{80, 3, 8, 3, 6},
+                                           DivParam{100, 6, 10, 8, 7}));
+
+}  // namespace
+}  // namespace arrays
+}  // namespace systolic

@@ -1,0 +1,240 @@
+#include "core/engine.h"
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "relational/ops_reference.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace systolic {
+namespace db {
+namespace {
+
+using arrays::FeedModePolicy;
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+TEST(EngineTest, UnboundedDeviceRunsSinglePass) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}, {3, 3}});
+  const Relation b = Rel(schema, {{2, 2}});
+  Engine engine;
+  auto result = engine.Intersect(a, b);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->stats.passes, 1u);
+  EXPECT_EQ(result->relation.num_tuples(), 1u);
+}
+
+TEST(EngineTest, BoundedDeviceTilesIntersection) {
+  const Schema schema = rel::MakeIntSchema(1);
+  std::vector<std::vector<int64_t>> rows_a, rows_b;
+  for (int64_t i = 0; i < 20; ++i) rows_a.push_back({i});
+  for (int64_t i = 10; i < 30; ++i) rows_b.push_back({i});
+  const Relation a = Rel(schema, rows_a);
+  const Relation b = Rel(schema, rows_b);
+
+  DeviceConfig device;
+  device.rows = 7;  // marching capacity 4 tuples per operand per pass
+  Engine engine(device);
+  auto result = engine.Intersect(a, b);
+  ASSERT_OK(result);
+  // ceil(20/4) x ceil(20/4) = 25 passes.
+  EXPECT_EQ(result->stats.passes, 25u);
+  auto oracle = rel::reference::Intersection(a, b);
+  ASSERT_OK(oracle);
+  EXPECT_TRUE(result->relation.BagEquals(*oracle));
+}
+
+TEST(EngineTest, WidthOverflowRejected) {
+  const Schema schema = rel::MakeIntSchema(4);
+  const Relation a = Rel(schema, {{1, 2, 3, 4}});
+  DeviceConfig device;
+  device.columns = 3;
+  Engine engine(device);
+  auto result = engine.Intersect(a, a);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCapacity());
+}
+
+TEST(EngineTest, UnionAndProjectComposeDedup) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 10}, {2, 20}});
+  const Relation b = Rel(schema, {{2, 20}, {3, 30}});
+  Engine engine;
+  auto u = engine.Union(a, b);
+  ASSERT_OK(u);
+  EXPECT_EQ(u->relation.num_tuples(), 3u);
+  auto p = engine.Project(a, {0});
+  ASSERT_OK(p);
+  EXPECT_EQ(p->relation.arity(), 1u);
+  EXPECT_EQ(p->relation.num_tuples(), 2u);
+}
+
+TEST(EngineTest, EmptyOperands) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation empty = Rel(schema, {});
+  const Relation a = Rel(schema, {{1}});
+  Engine engine;
+  auto i1 = engine.Intersect(empty, a);
+  ASSERT_OK(i1);
+  EXPECT_TRUE(i1->relation.empty());
+  auto i2 = engine.Intersect(a, empty);
+  ASSERT_OK(i2);
+  EXPECT_TRUE(i2->relation.empty());
+  auto d = engine.Subtract(a, empty);
+  ASSERT_OK(d);
+  EXPECT_TRUE(d->relation.BagEquals(a));
+  auto r = engine.RemoveDuplicates(empty);
+  ASSERT_OK(r);
+  EXPECT_TRUE(r->relation.empty());
+}
+
+TEST(EngineTest, StatsAccumulateAcrossPasses) {
+  const Schema schema = rel::MakeIntSchema(1);
+  std::vector<std::vector<int64_t>> rows;
+  for (int64_t i = 0; i < 12; ++i) rows.push_back({i});
+  const Relation a = Rel(schema, rows);
+  DeviceConfig device;
+  device.rows = 5;  // capacity 3
+  Engine engine(device);
+  auto result = engine.Intersect(a, a);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->stats.passes, 16u);
+  EXPECT_GT(result->stats.cycles, 0u);
+  EXPECT_GT(result->stats.Utilization(), 0.0);
+}
+
+// --- Tiling equivalence property: for every operation, a small physical
+// device must produce exactly the same relation as the unbounded device and
+// the reference oracle. ---
+
+struct TilingParam {
+  size_t device_rows;
+  size_t n_a;
+  size_t n_b;
+  FeedModePolicy mode;
+  uint64_t seed;
+};
+
+class TilingSweep : public ::testing::TestWithParam<TilingParam> {};
+
+TEST_P(TilingSweep, IntersectionDifferenceDedupMatchOracle) {
+  const TilingParam p = GetParam();
+  const Schema schema = rel::MakeIntSchema(2);
+  rel::PairOptions options;
+  options.base.num_tuples = p.n_a;
+  options.base.domain_size = 6;
+  options.base.seed = p.seed;
+  options.b_num_tuples = p.n_b;
+  options.overlap_fraction = 0.5;
+  auto pair = rel::GenerateOverlappingPair(schema, options);
+  ASSERT_OK(pair);
+
+  DeviceConfig device;
+  device.rows = p.device_rows;
+  device.mode = p.mode;
+  Engine engine(device);
+
+  auto inter = engine.Intersect(pair->a, pair->b);
+  ASSERT_OK(inter);
+  auto inter_oracle = rel::reference::Intersection(pair->a, pair->b);
+  ASSERT_OK(inter_oracle);
+  EXPECT_EQ(inter->relation.tuples(), inter_oracle->tuples());
+
+  auto diff = engine.Subtract(pair->a, pair->b);
+  ASSERT_OK(diff);
+  auto diff_oracle = rel::reference::Difference(pair->a, pair->b);
+  ASSERT_OK(diff_oracle);
+  EXPECT_EQ(diff->relation.tuples(), diff_oracle->tuples());
+
+  auto dedup = engine.RemoveDuplicates(pair->a);
+  ASSERT_OK(dedup);
+  auto dedup_oracle = rel::reference::RemoveDuplicates(pair->a);
+  ASSERT_OK(dedup_oracle);
+  EXPECT_EQ(dedup->relation.tuples(), dedup_oracle->tuples());
+}
+
+TEST_P(TilingSweep, JoinMatchesOracle) {
+  const TilingParam p = GetParam();
+  auto dk = rel::Domain::Make("k", rel::ValueType::kInt64);
+  auto dv = rel::Domain::Make("v", rel::ValueType::kInt64);
+  const Schema sa{{{"v", dv}, {"k", dk}}};
+  const Schema sb{{{"k", dk}, {"v", dv}}};
+  rel::GeneratorOptions ga;
+  ga.num_tuples = p.n_a;
+  ga.domain_size = 5;
+  ga.seed = p.seed;
+  auto a = rel::GenerateRelation(sa, ga);
+  ASSERT_OK(a);
+  rel::GeneratorOptions gb = ga;
+  gb.num_tuples = p.n_b;
+  gb.seed = p.seed + 77;
+  auto b = rel::GenerateRelation(sb, gb);
+  ASSERT_OK(b);
+
+  DeviceConfig device;
+  device.rows = p.device_rows;
+  device.mode = p.mode;
+  Engine engine(device);
+
+  rel::JoinSpec spec{{1}, {0}, rel::ComparisonOp::kEq};
+  auto join = engine.Join(*a, *b, spec);
+  ASSERT_OK(join);
+  auto oracle = rel::reference::Join(*a, *b, spec);
+  ASSERT_OK(oracle);
+  EXPECT_EQ(join->relation.tuples(), oracle->tuples())
+      << "tiled join must reproduce A-major pair order";
+  if (p.device_rows > 0) {
+    EXPECT_GT(join->stats.passes, 0u);
+  }
+}
+
+TEST_P(TilingSweep, DivisionMatchesOracle) {
+  const TilingParam p = GetParam();
+  auto dk = rel::Domain::Make("k", rel::ValueType::kInt64);
+  auto dv = rel::Domain::Make("v", rel::ValueType::kInt64);
+  const Schema sa{{{"x", dk}, {"y", dv}}};
+  const Schema sb{{{"y", dv}}};
+  Rng rng(p.seed);
+  rel::RelationBuilder ba(sa, rel::RelationKind::kMulti);
+  for (size_t i = 0; i < p.n_a; ++i) {
+    ASSERT_STATUS_OK(ba.AddRow({rel::Value::Int64(rng.Uniform(0, 5)),
+                                rel::Value::Int64(rng.Uniform(0, 4))}));
+  }
+  rel::RelationBuilder bb(sb, rel::RelationKind::kMulti);
+  for (size_t i = 0; i < std::max<size_t>(1, p.n_b / 4); ++i) {
+    ASSERT_STATUS_OK(bb.AddRow({rel::Value::Int64(rng.Uniform(0, 4))}));
+  }
+  const Relation a = ba.Finish();
+  const Relation b = bb.Finish();
+
+  DeviceConfig device;
+  device.rows = p.device_rows;
+  device.columns = 2;  // at most 2 divisor cells per pass
+  device.mode = p.mode;
+  Engine engine(device);
+  rel::DivisionSpec spec{{1}, {0}};
+  auto q = engine.Divide(a, b, spec);
+  ASSERT_OK(q);
+  auto oracle = rel::reference::Division(a, b, spec);
+  ASSERT_OK(oracle);
+  EXPECT_EQ(q->relation.tuples(), oracle->tuples());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DeviceShapes, TilingSweep,
+    ::testing::Values(TilingParam{0, 18, 14, FeedModePolicy::kMarching, 1},
+                      TilingParam{3, 18, 14, FeedModePolicy::kMarching, 2},
+                      TilingParam{5, 18, 14, FeedModePolicy::kMarching, 3},
+                      TilingParam{7, 30, 30, FeedModePolicy::kMarching, 4},
+                      TilingParam{1, 7, 9, FeedModePolicy::kMarching, 5},
+                      TilingParam{0, 18, 14, FeedModePolicy::kFixedB, 6},
+                      TilingParam{4, 18, 14, FeedModePolicy::kFixedB, 7},
+                      TilingParam{2, 30, 30, FeedModePolicy::kFixedB, 8},
+                      TilingParam{1, 7, 9, FeedModePolicy::kFixedB, 9}));
+
+}  // namespace
+}  // namespace db
+}  // namespace systolic

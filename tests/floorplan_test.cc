@@ -1,0 +1,72 @@
+#include "perfmodel/floorplan.h"
+
+#include "gtest/gtest.h"
+
+namespace systolic {
+namespace perf {
+namespace {
+
+TEST(FloorplanTest, SingleCellGrid) {
+  const Technology tech = Technology::Conservative1980();
+  const Floorplan plan = PlanComparisonGrid(tech, 1, 1, 1, false);
+  EXPECT_EQ(plan.word_cells, 1u);
+  EXPECT_EQ(plan.bit_comparators, 1u);
+  EXPECT_DOUBLE_EQ(plan.comparator_area_um2, 240.0 * 150.0);
+  EXPECT_EQ(plan.chips_required, 1u);
+}
+
+TEST(FloorplanTest, AccumulatorAddsOnePerRow) {
+  const Technology tech = Technology::Conservative1980();
+  const Floorplan without = PlanComparisonGrid(tech, 5, 3, 8, false);
+  const Floorplan with = PlanComparisonGrid(tech, 5, 3, 8, true);
+  EXPECT_EQ(with.word_cells, without.word_cells + 5);
+  EXPECT_EQ(with.bit_comparators, without.bit_comparators + 5);
+}
+
+TEST(FloorplanTest, ChipCountRoundsUp) {
+  const Technology tech = Technology::Conservative1980();  // 1000/chip
+  const Floorplan exact = PlanComparisonGrid(tech, 10, 100, 1, false);
+  EXPECT_EQ(exact.bit_comparators, 1000u);
+  EXPECT_EQ(exact.chips_required, 1u);
+  EXPECT_DOUBLE_EQ(exact.last_chip_fill, 1.0);
+  const Floorplan over = PlanComparisonGrid(tech, 10, 100, 2, false);
+  EXPECT_EQ(over.chips_required, 2u);
+  const Floorplan partial = PlanComparisonGrid(tech, 1, 1, 1, false);
+  EXPECT_NEAR(partial.last_chip_fill, 0.001, 1e-9);
+}
+
+TEST(FloorplanTest, PaperScaleDeviceFitsPaperRow) {
+  // §8 sizes: a 1500-bit tuple row is 1500 comparators; a 1000-chip device
+  // (10^6 comparators) fits ~666 such rows of word cells.
+  const Technology tech = Technology::Conservative1980();
+  const Floorplan row = PlanComparisonGrid(tech, 1, 1500, 1, false);
+  EXPECT_EQ(row.bit_comparators, 1500u);
+  EXPECT_EQ(row.chips_required, 2u);
+  const size_t capacity = MaxMarchingCapacity(tech, 1000, 1500, 1);
+  // rows = 10^6 / 1501 = 666 -> n = 333 tuples per operand per pass.
+  EXPECT_EQ(capacity, 333u);
+}
+
+TEST(FloorplanTest, CapacityGrowsWithChips) {
+  const Technology tech = Technology::Conservative1980();
+  const size_t small = MaxMarchingCapacity(tech, 100, 8, 64);
+  const size_t large = MaxMarchingCapacity(tech, 3000, 8, 64);
+  EXPECT_GT(large, small);
+  EXPECT_GT(small, 0u);
+}
+
+TEST(FloorplanTest, ZeroWhenNothingFits) {
+  Technology tiny = Technology::Conservative1980();
+  tiny.chips = 0;
+  EXPECT_EQ(MaxMarchingCapacity(tiny, 0, 1500, 1), 0u);
+}
+
+TEST(FloorplanTest, ToStringMentionsChips) {
+  const Technology tech = Technology::Conservative1980();
+  const Floorplan plan = PlanComparisonGrid(tech, 2, 2, 4, true);
+  EXPECT_NE(plan.ToString().find("chips"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perf
+}  // namespace systolic

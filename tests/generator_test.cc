@@ -1,0 +1,143 @@
+#include "relational/generator.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace rel {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedShape) {
+  const Schema schema = MakeIntSchema(3);
+  GeneratorOptions options;
+  options.num_tuples = 50;
+  options.domain_size = 10;
+  auto r = GenerateRelation(schema, options);
+  ASSERT_OK(r);
+  EXPECT_EQ(r->num_tuples(), 50u);
+  EXPECT_EQ(r->arity(), 3u);
+  for (const Tuple& t : r->tuples()) {
+    for (Code c : t) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 10);
+    }
+  }
+}
+
+TEST(GeneratorTest, DeterministicBySeed) {
+  const Schema schema = MakeIntSchema(2);
+  GeneratorOptions options;
+  options.num_tuples = 30;
+  options.seed = 99;
+  auto a = GenerateRelation(schema, options);
+  auto b = GenerateRelation(schema, options);
+  ASSERT_OK(a);
+  ASSERT_OK(b);
+  EXPECT_EQ(a->tuples(), b->tuples());
+  options.seed = 100;
+  auto c = GenerateRelation(schema, options);
+  ASSERT_OK(c);
+  EXPECT_NE(a->tuples(), c->tuples());
+}
+
+TEST(GeneratorTest, ZipfSkewsColumnValues) {
+  const Schema schema = MakeIntSchema(1);
+  GeneratorOptions options;
+  options.num_tuples = 2000;
+  options.domain_size = 100;
+  options.zipf_s = 1.5;
+  auto r = GenerateRelation(schema, options);
+  ASSERT_OK(r);
+  size_t zeros = 0;
+  for (const Tuple& t : r->tuples()) {
+    if (t[0] == 0) ++zeros;
+  }
+  EXPECT_GT(zeros, 400u) << "rank 0 should dominate under zipf 1.5";
+}
+
+TEST(GeneratorTest, RejectsNonIntSchemas) {
+  auto d = Domain::Make("s", ValueType::kString);
+  Schema schema({{"x", d}});
+  GeneratorOptions options;
+  EXPECT_TRUE(GenerateRelation(schema, options).status().IsInvalidArgument());
+}
+
+TEST(GeneratorTest, RejectsBadDomainSize) {
+  const Schema schema = MakeIntSchema(1);
+  GeneratorOptions options;
+  options.domain_size = 0;
+  EXPECT_TRUE(GenerateRelation(schema, options).status().IsInvalidArgument());
+}
+
+TEST(OverlappingPairTest, OverlapFractionRoughlyHolds) {
+  const Schema schema = MakeIntSchema(2);
+  PairOptions options;
+  options.base.num_tuples = 1000;
+  options.base.domain_size = 50;
+  options.b_num_tuples = 500;
+  options.overlap_fraction = 0.4;
+  auto pair = GenerateOverlappingPair(schema, options);
+  ASSERT_OK(pair);
+  EXPECT_EQ(pair->a.num_tuples(), 1000u);
+  EXPECT_EQ(pair->b.num_tuples(), 500u);
+  size_t in_b = 0;
+  for (const Tuple& t : pair->a.tuples()) {
+    if (pair->b.Contains(t)) ++in_b;
+  }
+  EXPECT_NEAR(static_cast<double>(in_b) / 1000.0, 0.4, 0.06);
+}
+
+TEST(OverlappingPairTest, ZeroAndFullOverlap) {
+  const Schema schema = MakeIntSchema(1);
+  PairOptions options;
+  options.base.num_tuples = 100;
+  options.base.domain_size = 20;
+  options.b_num_tuples = 50;
+  options.overlap_fraction = 0.0;
+  auto none = GenerateOverlappingPair(schema, options);
+  ASSERT_OK(none);
+  for (const Tuple& t : none->a.tuples()) {
+    EXPECT_FALSE(none->b.Contains(t));
+  }
+  options.overlap_fraction = 1.0;
+  auto full = GenerateOverlappingPair(schema, options);
+  ASSERT_OK(full);
+  for (const Tuple& t : full->a.tuples()) {
+    EXPECT_TRUE(full->b.Contains(t));
+  }
+}
+
+TEST(OverlappingPairTest, RejectsBadFraction) {
+  const Schema schema = MakeIntSchema(1);
+  PairOptions options;
+  options.overlap_fraction = 1.5;
+  EXPECT_TRUE(
+      GenerateOverlappingPair(schema, options).status().IsInvalidArgument());
+}
+
+TEST(DuplicatesGeneratorTest, DupFactorControlsDistinctCount) {
+  const Schema schema = MakeIntSchema(2);
+  GeneratorOptions options;
+  options.num_tuples = 400;
+  options.domain_size = 1000000;  // collisions by pooling, not by chance
+  auto r = GenerateWithDuplicates(schema, options, 4.0);
+  ASSERT_OK(r);
+  EXPECT_EQ(r->num_tuples(), 400u);
+  std::set<Tuple> distinct(r->tuples().begin(), r->tuples().end());
+  EXPECT_LE(distinct.size(), 100u);
+  EXPECT_GT(distinct.size(), 50u);
+}
+
+TEST(DuplicatesGeneratorTest, RejectsFactorBelowOne) {
+  const Schema schema = MakeIntSchema(1);
+  GeneratorOptions options;
+  EXPECT_TRUE(
+      GenerateWithDuplicates(schema, options, 0.5).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace systolic

@@ -1,0 +1,151 @@
+#include "arrays/hex_grid.h"
+
+#include "arrays/intersection_array.h"
+#include "arrays/join_array.h"
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "relational/ops_reference.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace arrays {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+TEST(HexGridTest, BasicMembership) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}, {3, 3}});
+  const Relation b = Rel(schema, {{2, 2}, {9, 9}});
+  auto result = HexCompare(a, b, EdgeRule::kAllTrue);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->membership.ToString(), "010");
+  ASSERT_EQ(result->true_pairs.size(), 1u);
+  EXPECT_EQ(result->true_pairs[0], std::make_pair(size_t{1}, size_t{0}));
+}
+
+TEST(HexGridTest, SingleTripleRendezvous) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{7}});
+  const Relation hit = Rel(schema, {{7}});
+  const Relation miss = Rel(schema, {{8}});
+  auto r1 = HexCompare(a, hit, EdgeRule::kAllTrue);
+  ASSERT_OK(r1);
+  EXPECT_EQ(r1->membership.ToString(), "1");
+  auto r2 = HexCompare(a, miss, EdgeRule::kAllTrue);
+  ASSERT_OK(r2);
+  EXPECT_EQ(r2->membership.ToString(), "0");
+}
+
+TEST(HexGridTest, WideTuplesAccumulateAcrossRendezvous) {
+  const Schema schema = rel::MakeIntSchema(5);
+  const Relation a = Rel(schema, {{1, 2, 3, 4, 5}});
+  const Relation almost = Rel(schema, {{1, 2, 3, 4, 9}});
+  auto result = HexCompare(a, almost, EdgeRule::kAllTrue);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->membership.ToString(), "0")
+      << "a single differing element must kill the AND chain";
+}
+
+TEST(HexGridTest, EmptyOperands) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation empty = Rel(schema, {});
+  const Relation a = Rel(schema, {{1}});
+  auto no_a = HexCompare(empty, a, EdgeRule::kAllTrue);
+  ASSERT_OK(no_a);
+  EXPECT_EQ(no_a->membership.size(), 0u);
+  auto no_b = HexCompare(a, empty, EdgeRule::kAllTrue);
+  ASSERT_OK(no_b);
+  EXPECT_EQ(no_b->membership.CountOnes(), 0u);
+}
+
+TEST(HexGridTest, TriangleRuleForDedup) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a =
+      Rel(schema, {{4}, {7}, {4}, {4}}, rel::RelationKind::kMulti);
+  auto dup = HexCompare(a, a, EdgeRule::kStrictLowerTriangle);
+  ASSERT_OK(dup);
+  EXPECT_EQ(dup->membership.ToString(), "0011");
+}
+
+TEST(HexGridTest, OneThirdDutyCycleInSteadyState) {
+  // The hex schedule activates each interior cell every third pulse.
+  const size_t n = 12;
+  const Schema schema = rel::MakeIntSchema(3);
+  rel::GeneratorOptions options;
+  options.num_tuples = n;
+  options.domain_size = 8;
+  options.seed = 5;
+  auto a = rel::GenerateRelation(schema, options);
+  options.seed = 6;
+  auto b = rel::GenerateRelation(schema, options);
+  ASSERT_OK(a);
+  ASSERT_OK(b);
+  auto result = HexCompare(*a, *b, EdgeRule::kAllTrue);
+  ASSERT_OK(result);
+  EXPECT_LT(result->info.sim.Utilization(), 1.0 / 3.0 + 0.05);
+  EXPECT_GT(result->info.sim.Utilization(), 0.0);
+  // Total busy cell-pulses must equal the comparison count exactly.
+  EXPECT_EQ(result->info.sim.busy_cell_cycles, n * n * 3u);
+}
+
+TEST(HexGridTest, WidthMismatchRejected) {
+  const Relation a = Rel(rel::MakeIntSchema(2), {{1, 2}});
+  const Relation b = Rel(rel::MakeIntSchema(3), {{1, 2, 3}});
+  EXPECT_TRUE(
+      HexCompare(a, b, EdgeRule::kAllTrue).status().IsInvalidArgument());
+}
+
+// Equivalence sweep: hex == orthogonal marching array == oracle, for both
+// membership and the individual T entries (vs the join array's matches).
+class HexSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HexSweep, AgreesWithOrthogonalArrays) {
+  const Schema schema = rel::MakeIntSchema(2 + GetParam() % 3);
+  rel::PairOptions options;
+  options.base.num_tuples = 8 + GetParam() % 9;
+  options.base.domain_size = 4;
+  options.base.seed = GetParam() * 131;
+  options.b_num_tuples = 6 + GetParam() % 7;
+  options.overlap_fraction = 0.4;
+  auto pair = rel::GenerateOverlappingPair(schema, options);
+  ASSERT_OK(pair);
+
+  auto hex = HexCompare(pair->a, pair->b, EdgeRule::kAllTrue);
+  ASSERT_OK(hex);
+  auto marching = SystolicIntersection(pair->a, pair->b);
+  ASSERT_OK(marching);
+  EXPECT_EQ(hex->membership, marching->selected);
+
+  // T entries vs the join array over all columns (equi on every column ==
+  // whole-tuple equality).
+  rel::JoinSpec spec;
+  for (size_t c = 0; c < pair->a.arity(); ++c) {
+    spec.left_columns.push_back(c);
+    spec.right_columns.push_back(c);
+  }
+  auto join = SystolicJoin(pair->a, pair->b, spec);
+  ASSERT_OK(join);
+  EXPECT_EQ(hex->true_pairs, join->matches);
+
+  auto hex_dedup = HexCompare(pair->a, pair->a,
+                              EdgeRule::kStrictLowerTriangle);
+  ASSERT_OK(hex_dedup);
+  BitVector keep = hex_dedup->membership;
+  keep.FlipAll();
+  auto filtered = pair->a.Filter(keep);
+  ASSERT_OK(filtered);
+  auto oracle = rel::reference::RemoveDuplicates(pair->a);
+  ASSERT_OK(oracle);
+  EXPECT_EQ(filtered->tuples(), oracle->tuples());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HexSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace arrays
+}  // namespace systolic

@@ -1,0 +1,195 @@
+#include "arrays/intersection_array.h"
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "relational/ops_reference.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace arrays {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+TEST(IntersectionArrayTest, PaperStyleThreeByThreeExample) {
+  // §4.2's setting: two 3x3 relations.
+  const Schema schema = rel::MakeIntSchema(3);
+  const Relation a = Rel(schema, {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  const Relation b = Rel(schema, {{4, 5, 6}, {9, 9, 9}, {1, 2, 3}});
+  auto result = SystolicIntersection(a, b);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.ToString(), "110");
+  EXPECT_EQ(result->relation.num_tuples(), 2u);
+  EXPECT_EQ(result->relation.tuple(0), a.tuple(0));
+  EXPECT_EQ(result->relation.tuple(1), a.tuple(1));
+}
+
+TEST(IntersectionArrayTest, DisjointRelationsYieldEmpty) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}});
+  const Relation b = Rel(schema, {{3, 3}, {4, 4}});
+  auto result = SystolicIntersection(a, b);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.empty());
+  EXPECT_EQ(result->selected.CountOnes(), 0u);
+}
+
+TEST(IntersectionArrayTest, IdenticalRelationsKeepEverything) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}, {3, 3}});
+  auto result = SystolicIntersection(a, a);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.BagEquals(a));
+}
+
+TEST(IntersectionArrayTest, EmptyAYieldsEmpty) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {});
+  const Relation b = Rel(schema, {{1, 1}});
+  auto result = SystolicIntersection(a, b);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.empty());
+}
+
+TEST(IntersectionArrayTest, EmptyBYieldsEmpty) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}});
+  const Relation b = Rel(schema, {});
+  auto result = SystolicIntersection(a, b);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.empty());
+  EXPECT_EQ(result->selected.size(), 2u);
+}
+
+TEST(IntersectionArrayTest, IncompatibleSchemasRejected) {
+  // Same shape but distinct domain objects: not union-compatible (§2.4).
+  const Relation a = Rel(rel::MakeIntSchema(2, "da"), {{1, 1}});
+  const Relation b = Rel(rel::MakeIntSchema(2, "db"), {{1, 1}});
+  auto result = SystolicIntersection(a, b);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIncompatible());
+}
+
+TEST(IntersectionArrayTest, DuplicateATuplesEachSurvive) {
+  // The array emits one t_i per A tuple; duplicates in A each match.
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{5}, {5}, {6}}, rel::RelationKind::kMulti);
+  const Relation b = Rel(schema, {{5}});
+  auto result = SystolicIntersection(a, b);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.ToString(), "110");
+}
+
+TEST(IntersectionArrayTest, UndersizedGridFailsWithCapacity) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}, {2}, {3}});
+  MembershipOptions options;
+  options.rows = 3;  // fits only 2 marching tuples
+  auto result = SystolicIntersection(a, a, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCapacity()) << result.status().ToString();
+}
+
+TEST(IntersectionArrayTest, ReportsCyclesAndUtilization) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}, {3, 3}});
+  auto result = SystolicIntersection(a, a);
+  ASSERT_OK(result);
+  EXPECT_GT(result->info.cycles, 0u);
+  EXPECT_GT(result->info.sim.num_compute_cells, 0u);
+  // §8: at most half the cells of a marching array are ever busy.
+  EXPECT_LE(result->info.sim.Utilization(), 0.5 + 1e-9);
+}
+
+TEST(DifferenceArrayTest, InverterOnAccumulationOutput) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}, {3, 3}});
+  const Relation b = Rel(schema, {{2, 2}});
+  auto result = SystolicDifference(a, b);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.ToString(), "101");
+  ASSERT_EQ(result->relation.num_tuples(), 2u);
+  EXPECT_EQ(result->relation.tuple(0), a.tuple(0));
+  EXPECT_EQ(result->relation.tuple(1), a.tuple(2));
+}
+
+TEST(DifferenceArrayTest, DifferenceWithSelfIsEmpty) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}});
+  auto result = SystolicDifference(a, a);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.empty());
+}
+
+// --- Property sweep: array output equals the reference oracle over
+// randomized workloads in both feed modes. ---
+
+struct SweepParam {
+  size_t n_a;
+  size_t n_b;
+  size_t arity;
+  int64_t domain;
+  double overlap;
+  FeedMode mode;
+  uint64_t seed;
+};
+
+class IntersectionSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(IntersectionSweep, MatchesReferenceOracle) {
+  const SweepParam p = GetParam();
+  const Schema schema = rel::MakeIntSchema(p.arity);
+  rel::PairOptions options;
+  options.base.num_tuples = p.n_a;
+  options.base.domain_size = p.domain;
+  options.base.seed = p.seed;
+  options.b_num_tuples = p.n_b;
+  options.overlap_fraction = p.overlap;
+  auto pair = rel::GenerateOverlappingPair(schema, options);
+  ASSERT_OK(pair);
+
+  MembershipOptions mopts;
+  mopts.mode = p.mode;
+
+  auto systolic_result = SystolicIntersection(pair->a, pair->b, mopts);
+  ASSERT_OK(systolic_result);
+  auto oracle = rel::reference::Intersection(pair->a, pair->b);
+  ASSERT_OK(oracle);
+  EXPECT_TRUE(systolic_result->relation.BagEquals(*oracle))
+      << "systolic:\n" << systolic_result->relation.ToString() << "oracle:\n"
+      << oracle->ToString();
+
+  auto systolic_diff = SystolicDifference(pair->a, pair->b, mopts);
+  ASSERT_OK(systolic_diff);
+  auto oracle_diff = rel::reference::Difference(pair->a, pair->b);
+  ASSERT_OK(oracle_diff);
+  EXPECT_TRUE(systolic_diff->relation.BagEquals(*oracle_diff));
+
+  // Intersection and difference partition A.
+  EXPECT_EQ(systolic_result->relation.num_tuples() +
+                systolic_diff->relation.num_tuples(),
+            pair->a.num_tuples());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedWorkloads, IntersectionSweep,
+    ::testing::Values(
+        SweepParam{1, 1, 1, 4, 0.5, FeedMode::kMarching, 1},
+        SweepParam{5, 5, 2, 8, 0.4, FeedMode::kMarching, 2},
+        SweepParam{8, 3, 3, 6, 0.6, FeedMode::kMarching, 3},
+        SweepParam{3, 8, 3, 6, 0.2, FeedMode::kMarching, 4},
+        SweepParam{16, 16, 2, 10, 0.3, FeedMode::kMarching, 5},
+        SweepParam{24, 17, 4, 5, 0.8, FeedMode::kMarching, 6},
+        SweepParam{1, 1, 1, 4, 0.5, FeedMode::kFixedB, 7},
+        SweepParam{5, 5, 2, 8, 0.4, FeedMode::kFixedB, 8},
+        SweepParam{8, 3, 3, 6, 0.6, FeedMode::kFixedB, 9},
+        SweepParam{16, 16, 2, 10, 0.3, FeedMode::kFixedB, 10},
+        SweepParam{40, 11, 2, 12, 0.5, FeedMode::kFixedB, 11},
+        SweepParam{24, 17, 4, 5, 0.8, FeedMode::kFixedB, 12}));
+
+}  // namespace
+}  // namespace arrays
+}  // namespace systolic

@@ -1,0 +1,220 @@
+#include "arrays/join_array.h"
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "relational/ops_reference.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace arrays {
+namespace {
+
+using rel::ComparisonOp;
+using rel::JoinSpec;
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+// Two relations sharing a join domain: A(x, k), B(k, y) joined over k.
+struct JoinFixture {
+  std::shared_ptr<rel::Domain> dx =
+      rel::Domain::Make("x", rel::ValueType::kInt64);
+  std::shared_ptr<rel::Domain> dk =
+      rel::Domain::Make("k", rel::ValueType::kInt64);
+  std::shared_ptr<rel::Domain> dy =
+      rel::Domain::Make("y", rel::ValueType::kInt64);
+  Schema schema_a{{{"x", dx}, {"k", dk}}};
+  Schema schema_b{{{"k", dk}, {"y", dy}}};
+};
+
+TEST(JoinArrayTest, SingleColumnEquiJoin) {
+  JoinFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 10}, {2, 20}, {3, 10}});
+  const Relation b = Rel(f.schema_b, {{10, 7}, {30, 8}});
+  JoinSpec spec;
+  spec.left_columns = {1};
+  spec.right_columns = {0};
+  auto result = SystolicJoin(a, b, spec);
+  ASSERT_OK(result);
+  // Matches: a0-b0 and a2-b0.
+  ASSERT_EQ(result->matches.size(), 2u);
+  EXPECT_EQ(result->matches[0], std::make_pair(size_t{0}, size_t{0}));
+  EXPECT_EQ(result->matches[1], std::make_pair(size_t{2}, size_t{0}));
+  // Equi-join drops the redundant key column: (x, k, y).
+  ASSERT_EQ(result->relation.arity(), 3u);
+  EXPECT_EQ(result->relation.tuple(0), (rel::Tuple{1, 10, 7}));
+  EXPECT_EQ(result->relation.tuple(1), (rel::Tuple{3, 10, 7}));
+}
+
+TEST(JoinArrayTest, MatchesAreInLexicographicPairOrder) {
+  JoinFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 5}, {2, 5}});
+  const Relation b = Rel(f.schema_b, {{5, 1}, {5, 2}});
+  JoinSpec spec;
+  spec.left_columns = {1};
+  spec.right_columns = {0};
+  auto result = SystolicJoin(a, b, spec);
+  ASSERT_OK(result);
+  ASSERT_EQ(result->matches.size(), 4u);
+  EXPECT_EQ(result->matches[0], std::make_pair(size_t{0}, size_t{0}));
+  EXPECT_EQ(result->matches[1], std::make_pair(size_t{0}, size_t{1}));
+  EXPECT_EQ(result->matches[2], std::make_pair(size_t{1}, size_t{0}));
+  EXPECT_EQ(result->matches[3], std::make_pair(size_t{1}, size_t{1}));
+}
+
+TEST(JoinArrayTest, DegenerateCaseAllPairsMatch) {
+  // §6.2: |C| can be as large as |A||B|.
+  JoinFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 5}, {2, 5}, {3, 5}});
+  const Relation b = Rel(f.schema_b, {{5, 1}, {5, 2}, {5, 3}});
+  JoinSpec spec;
+  spec.left_columns = {1};
+  spec.right_columns = {0};
+  auto result = SystolicJoin(a, b, spec);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->matches.size(), 9u);
+  EXPECT_EQ(result->relation.num_tuples(), 9u);
+}
+
+TEST(JoinArrayTest, MultiColumnJoin) {
+  // §6.3.1: one processor column per join-column pair.
+  auto d1 = rel::Domain::Make("d1", rel::ValueType::kInt64);
+  auto d2 = rel::Domain::Make("d2", rel::ValueType::kInt64);
+  auto dv = rel::Domain::Make("dv", rel::ValueType::kInt64);
+  const Schema sa{{{"p", d1}, {"q", d2}, {"va", dv}}};
+  const Schema sb{{{"p", d1}, {"q", d2}, {"vb", dv}}};
+  const Relation a = Rel(sa, {{1, 1, 100}, {1, 2, 200}, {2, 1, 300}});
+  const Relation b = Rel(sb, {{1, 1, 7}, {1, 2, 8}, {9, 9, 9}});
+  JoinSpec spec;
+  spec.left_columns = {0, 1};
+  spec.right_columns = {0, 1};
+  auto result = SystolicJoin(a, b, spec);
+  ASSERT_OK(result);
+  auto oracle = rel::reference::Join(a, b, spec);
+  ASSERT_OK(oracle);
+  EXPECT_TRUE(result->relation.BagEquals(*oracle));
+  EXPECT_EQ(result->matches.size(), 2u);
+}
+
+TEST(JoinArrayTest, GreaterThanJoin) {
+  // §6.3.2: the greater-than-join.
+  JoinFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 10}, {2, 25}});
+  const Relation b = Rel(f.schema_b, {{15, 0}, {20, 0}});
+  JoinSpec spec;
+  spec.left_columns = {1};
+  spec.right_columns = {0};
+  spec.op = ComparisonOp::kGt;
+  auto result = SystolicJoin(a, b, spec);
+  ASSERT_OK(result);
+  // Only a1 (25) exceeds both 15 and 20.
+  ASSERT_EQ(result->matches.size(), 2u);
+  EXPECT_EQ(result->matches[0], std::make_pair(size_t{1}, size_t{0}));
+  EXPECT_EQ(result->matches[1], std::make_pair(size_t{1}, size_t{1}));
+  // Non-equi joins keep both columns: (x, k, k', y).
+  EXPECT_EQ(result->relation.arity(), 4u);
+  auto oracle = rel::reference::Join(a, b, spec);
+  ASSERT_OK(oracle);
+  EXPECT_TRUE(result->relation.BagEquals(*oracle));
+}
+
+TEST(JoinArrayTest, EmptyOperandsYieldEmptyJoin) {
+  JoinFixture f;
+  const Relation a = Rel(f.schema_a, {});
+  const Relation b = Rel(f.schema_b, {{1, 1}});
+  JoinSpec spec;
+  spec.left_columns = {1};
+  spec.right_columns = {0};
+  auto result = SystolicJoin(a, b, spec);
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.empty());
+  EXPECT_TRUE(result->matches.empty());
+}
+
+TEST(JoinArrayTest, MismatchedDomainsRejected) {
+  JoinFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 1}});
+  const Relation b = Rel(f.schema_b, {{1, 1}});
+  JoinSpec spec;
+  spec.left_columns = {0};  // x domain vs k domain
+  spec.right_columns = {0};
+  auto result = SystolicJoin(a, b, spec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIncompatible());
+}
+
+TEST(JoinArrayTest, CapacityOverflowRejected) {
+  JoinFixture f;
+  const Relation a = Rel(f.schema_a, {{1, 1}, {2, 2}, {3, 3}, {4, 4}});
+  const Relation b = Rel(f.schema_b, {{1, 1}});
+  JoinSpec spec;
+  spec.left_columns = {1};
+  spec.right_columns = {0};
+  JoinArrayOptions options;
+  options.rows = 3;
+  auto result = SystolicJoin(a, b, spec, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCapacity());
+}
+
+// --- Property sweep vs the reference oracle. ---
+
+struct JoinParam {
+  size_t n_a;
+  size_t n_b;
+  int64_t key_domain;
+  ComparisonOp op;
+  FeedMode mode;
+  uint64_t seed;
+};
+
+class JoinSweep : public ::testing::TestWithParam<JoinParam> {};
+
+TEST_P(JoinSweep, MatchesReferenceOracle) {
+  const JoinParam p = GetParam();
+  JoinFixture f;
+  rel::GeneratorOptions ga;
+  ga.num_tuples = p.n_a;
+  ga.domain_size = p.key_domain;
+  ga.seed = p.seed;
+  auto a = rel::GenerateRelation(f.schema_a, ga);
+  ASSERT_OK(a);
+  rel::GeneratorOptions gb = ga;
+  gb.num_tuples = p.n_b;
+  gb.seed = p.seed + 1000;
+  auto b = rel::GenerateRelation(f.schema_b, gb);
+  ASSERT_OK(b);
+
+  JoinSpec spec;
+  spec.left_columns = {1};
+  spec.right_columns = {0};
+  spec.op = p.op;
+  JoinArrayOptions options;
+  options.mode = p.mode;
+  auto result = SystolicJoin(*a, *b, spec, options);
+  ASSERT_OK(result);
+  auto oracle = rel::reference::Join(*a, *b, spec);
+  ASSERT_OK(oracle);
+  EXPECT_TRUE(result->relation.BagEquals(*oracle))
+      << "op " << rel::ComparisonOpToString(p.op);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedWorkloads, JoinSweep,
+    ::testing::Values(
+        JoinParam{4, 4, 3, ComparisonOp::kEq, FeedMode::kMarching, 1},
+        JoinParam{10, 8, 5, ComparisonOp::kEq, FeedMode::kMarching, 2},
+        JoinParam{16, 16, 8, ComparisonOp::kEq, FeedMode::kMarching, 3},
+        JoinParam{10, 8, 5, ComparisonOp::kNe, FeedMode::kMarching, 4},
+        JoinParam{10, 8, 5, ComparisonOp::kLt, FeedMode::kMarching, 5},
+        JoinParam{10, 8, 5, ComparisonOp::kLe, FeedMode::kMarching, 6},
+        JoinParam{10, 8, 5, ComparisonOp::kGt, FeedMode::kMarching, 7},
+        JoinParam{10, 8, 5, ComparisonOp::kGe, FeedMode::kMarching, 8},
+        JoinParam{10, 8, 5, ComparisonOp::kEq, FeedMode::kFixedB, 9},
+        JoinParam{25, 6, 5, ComparisonOp::kGt, FeedMode::kFixedB, 10},
+        JoinParam{16, 16, 8, ComparisonOp::kEq, FeedMode::kFixedB, 11}));
+
+}  // namespace
+}  // namespace arrays
+}  // namespace systolic

@@ -1,0 +1,140 @@
+// Edge-case suite for the membership machinery: unusual codes (negative,
+// huge), string-domain relations end to end, asymmetric operand sizes, and
+// the per-cell activity profile of the marching grid (the §8 "half busy"
+// claim at cell granularity).
+
+#include "arrays/comparison_grid.h"
+#include "arrays/dedup_array.h"
+#include "arrays/intersection_array.h"
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/ops_reference.h"
+#include "systolic/feeder.h"
+#include "systolic/simulator.h"
+#include "systolic/trace.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace arrays {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+TEST(MembershipEdgeTest, NegativeCodesCompareCorrectly) {
+  // Identity-encoded int64 domains admit negative codes; the comparison
+  // cells must treat them like any other value.
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{-5, -7}, {0, 0}, {-5, 7}});
+  const Relation b = Rel(schema, {{-5, -7}, {-5, 7}});
+  auto result = SystolicIntersection(a, b);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.ToString(), "101");
+}
+
+TEST(MembershipEdgeTest, LargeCodesSurviveTheWires) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const int64_t big = int64_t{1} << 62;
+  const Relation a = Rel(schema, {{big}, {big - 1}});
+  const Relation b = Rel(schema, {{big}});
+  auto result = SystolicIntersection(a, b);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.ToString(), "10");
+}
+
+TEST(MembershipEdgeTest, StringRelationsThroughTheArrays) {
+  auto d = rel::Domain::Make("words", rel::ValueType::kString);
+  Schema schema({{"w", d}});
+  rel::RelationBuilder ba(schema, rel::RelationKind::kMulti);
+  for (const char* w : {"systole", "diastole", "systole", "pulse"}) {
+    ASSERT_STATUS_OK(ba.AddRow({rel::Value::String(w)}));
+  }
+  const Relation a = ba.Finish();
+  auto dedup = SystolicRemoveDuplicates(a);
+  ASSERT_OK(dedup);
+  EXPECT_EQ(dedup->relation.num_tuples(), 3u);
+  auto oracle = rel::reference::RemoveDuplicates(a);
+  ASSERT_OK(oracle);
+  EXPECT_EQ(dedup->relation.tuples(), oracle->tuples());
+}
+
+TEST(MembershipEdgeTest, ExtremeAsymmetry) {
+  const Schema schema = rel::MakeIntSchema(1);
+  Relation a(schema, rel::RelationKind::kMulti);
+  for (int64_t i = 0; i < 60; ++i) {
+    ASSERT_STATUS_OK(a.Append({i}));
+  }
+  const Relation b = Rel(schema, {{59}});
+  auto one_b = SystolicIntersection(a, b);
+  ASSERT_OK(one_b);
+  EXPECT_EQ(one_b->selected.CountOnes(), 1u);
+  EXPECT_TRUE(one_b->selected.Get(59));
+
+  auto one_a = SystolicIntersection(b, a);
+  ASSERT_OK(one_a);
+  EXPECT_EQ(one_a->selected.ToString(), "1");
+}
+
+TEST(MembershipEdgeTest, SingleColumnSingleTuple) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{42}});
+  auto self = SystolicIntersection(a, a);
+  ASSERT_OK(self);
+  EXPECT_EQ(self->selected.ToString(), "1");
+  auto diff = SystolicDifference(a, a);
+  ASSERT_OK(diff);
+  EXPECT_TRUE(diff->relation.empty());
+}
+
+TEST(MembershipEdgeTest, PerCellActivityProfileOfMarchingGrid) {
+  // In the marching grid, the comparison load concentrates on the middle
+  // rows (pair (i, j) meets at row j-i+(R-1)/2, so the centre row carries
+  // the diagonal i == j and the corners carry nothing).
+  const size_t n = 8;
+  const Schema schema = rel::MakeIntSchema(1);
+  std::vector<std::vector<int64_t>> rows;
+  for (size_t i = 0; i < n; ++i) rows.push_back({int64_t(i)});
+  const Relation a = Rel(schema, rows);
+
+  sim::Simulator simulator;
+  GridConfig config;
+  config.rows = ComparisonGrid::RowsForMarching(n);
+  config.columns = 1;
+  ComparisonGrid grid(&simulator, config);
+  for (size_t r = 0; r < config.rows; ++r) {
+    simulator.AddInfrastructureCell<sim::SinkCell>("s" + std::to_string(r),
+                                                   grid.right_edge(r));
+  }
+  ASSERT_STATUS_OK(grid.FeedA(a, {0}));
+  ASSERT_STATUS_OK(grid.FeedB(a, {0}));
+  ASSERT_OK(simulator.RunUntilQuiescent(10000));
+
+  const auto busy = simulator.PerCellBusy();
+  ASSERT_EQ(busy.size(), config.rows);
+  const size_t middle = (config.rows - 1) / 2;
+  // Row r handles pairs with j - i = r - middle: n - |r - middle| pairs.
+  for (size_t r = 0; r < config.rows; ++r) {
+    const size_t expected =
+        n - (r > middle ? r - middle : middle - r);
+    EXPECT_EQ(busy[r].second, expected) << "row " << r;
+  }
+}
+
+TEST(MembershipEdgeTest, TraceProbeRespectsEventCap) {
+  sim::Simulator simulator;
+  sim::Wire* wire = simulator.NewWire("w");
+  auto* feeder =
+      simulator.AddInfrastructureCell<sim::StreamFeeder>("f", wire);
+  auto* probe = simulator.AddInfrastructureCell<sim::TraceProbe>(
+      "p", std::vector<sim::Wire*>{wire}, /*max_events=*/3);
+  for (size_t i = 0; i < 10; ++i) {
+    feeder->ScheduleAt(i, sim::Word::Element(static_cast<rel::Code>(i), 0));
+  }
+  ASSERT_OK(simulator.RunUntilQuiescent(100));
+  EXPECT_EQ(probe->events().size(), 3u);
+}
+
+}  // namespace
+}  // namespace arrays
+}  // namespace systolic

@@ -1,0 +1,221 @@
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "relational/ops_hash.h"
+#include "relational/ops_reference.h"
+#include "relational/ops_sort.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace rel {
+namespace {
+
+using systolic::testing::Rel;
+
+// --- Directed semantics tests against the reference implementation. ---
+
+TEST(ReferenceOpsTest, IntersectionKeepsAOrder) {
+  const Schema schema = MakeIntSchema(1);
+  const Relation a = Rel(schema, {{3}, {1}, {2}});
+  const Relation b = Rel(schema, {{1}, {3}});
+  auto c = reference::Intersection(a, b);
+  ASSERT_OK(c);
+  ASSERT_EQ(c->num_tuples(), 2u);
+  EXPECT_EQ(c->tuple(0)[0], 3);
+  EXPECT_EQ(c->tuple(1)[0], 1);
+}
+
+TEST(ReferenceOpsTest, DifferencePlusIntersectionPartitionsA) {
+  const Schema schema = MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}, {2}, {3}, {4}});
+  const Relation b = Rel(schema, {{2}, {4}, {9}});
+  auto inter = reference::Intersection(a, b);
+  auto diff = reference::Difference(a, b);
+  ASSERT_OK(inter);
+  ASSERT_OK(diff);
+  EXPECT_EQ(inter->num_tuples() + diff->num_tuples(), a.num_tuples());
+}
+
+TEST(ReferenceOpsTest, UnionIsDuplicateFreeAndCommutativeAsSet) {
+  const Schema schema = MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}, {2}});
+  const Relation b = Rel(schema, {{2}, {3}});
+  auto ab = reference::Union(a, b);
+  auto ba = reference::Union(b, a);
+  ASSERT_OK(ab);
+  ASSERT_OK(ba);
+  EXPECT_TRUE(ab->IsDuplicateFree());
+  EXPECT_TRUE(ab->SetEquals(*ba));
+  EXPECT_EQ(ab->num_tuples(), 3u);
+}
+
+TEST(ReferenceOpsTest, ProjectionRemovesDuplicates) {
+  const Schema schema = MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 10}, {1, 20}, {2, 30}});
+  auto p = reference::Projection(a, {0});
+  ASSERT_OK(p);
+  EXPECT_EQ(p->num_tuples(), 2u);
+}
+
+TEST(ReferenceOpsTest, DivisionWorkedExample) {
+  // Codd's suppliers-parts shape: who supplies every listed part?
+  auto ds = Domain::Make("supplier", ValueType::kInt64);
+  auto dp = Domain::Make("part", ValueType::kInt64);
+  Schema supplies({{"s", ds}, {"p", dp}});
+  Schema parts({{"p", dp}});
+  const Relation a = Rel(supplies, {{1, 100}, {1, 101}, {2, 100}, {3, 101}});
+  const Relation b = Rel(parts, {{100}, {101}});
+  auto q = reference::Division(a, b, DivisionSpec{{1}, {0}});
+  ASSERT_OK(q);
+  ASSERT_EQ(q->num_tuples(), 1u);
+  EXPECT_EQ(q->tuple(0)[0], 1);
+}
+
+TEST(HashOpsTest, NonEquiJoinFallsBackToNestedLoop) {
+  auto dk = Domain::Make("k", ValueType::kInt64);
+  Schema sa({{"k", dk}});
+  Schema sb({{"k", dk}});
+  const Relation a = Rel(sa, {{1}, {5}});
+  const Relation b = Rel(sb, {{3}});
+  JoinSpec spec{{0}, {0}, ComparisonOp::kGt};
+  auto h = hashops::Join(a, b, spec);
+  auto r = reference::Join(a, b, spec);
+  ASSERT_OK(h);
+  ASSERT_OK(r);
+  EXPECT_TRUE(h->BagEquals(*r));
+  EXPECT_EQ(h->num_tuples(), 1u);
+}
+
+// --- Property sweep: all three baseline families agree on randomized
+// workloads across every operation. ---
+
+struct BaselineParam {
+  size_t n_a;
+  size_t n_b;
+  size_t arity;
+  int64_t domain;
+  uint64_t seed;
+};
+
+class BaselineAgreement : public ::testing::TestWithParam<BaselineParam> {
+ protected:
+  void SetUp() override {
+    const BaselineParam p = GetParam();
+    schema_ = MakeIntSchema(p.arity);
+    PairOptions options;
+    options.base.num_tuples = p.n_a;
+    options.base.domain_size = p.domain;
+    options.base.seed = p.seed;
+    options.b_num_tuples = p.n_b;
+    options.overlap_fraction = 0.4;
+    auto pair = GenerateOverlappingPair(schema_, options);
+    SYSTOLIC_CHECK(pair.ok());
+    a_ = std::make_unique<Relation>(std::move(pair->a));
+    b_ = std::make_unique<Relation>(std::move(pair->b));
+  }
+
+  Schema schema_;
+  std::unique_ptr<Relation> a_;
+  std::unique_ptr<Relation> b_;
+};
+
+TEST_P(BaselineAgreement, Intersection) {
+  auto r = reference::Intersection(*a_, *b_);
+  auto h = hashops::Intersection(*a_, *b_);
+  auto s = sortops::Intersection(*a_, *b_);
+  ASSERT_OK(r);
+  ASSERT_OK(h);
+  ASSERT_OK(s);
+  EXPECT_EQ(r->tuples(), h->tuples()) << "hash must match reference exactly";
+  EXPECT_TRUE(r->BagEquals(*s)) << "sort matches up to reordering";
+}
+
+TEST_P(BaselineAgreement, Difference) {
+  auto r = reference::Difference(*a_, *b_);
+  auto h = hashops::Difference(*a_, *b_);
+  auto s = sortops::Difference(*a_, *b_);
+  ASSERT_OK(r);
+  ASSERT_OK(h);
+  ASSERT_OK(s);
+  EXPECT_EQ(r->tuples(), h->tuples());
+  EXPECT_TRUE(r->BagEquals(*s));
+}
+
+TEST_P(BaselineAgreement, RemoveDuplicates) {
+  auto r = reference::RemoveDuplicates(*a_);
+  auto h = hashops::RemoveDuplicates(*a_);
+  auto s = sortops::RemoveDuplicates(*a_);
+  ASSERT_OK(r);
+  ASSERT_OK(h);
+  ASSERT_OK(s);
+  EXPECT_EQ(r->tuples(), h->tuples());
+  EXPECT_TRUE(r->BagEquals(*s));
+  EXPECT_TRUE(r->IsDuplicateFree());
+}
+
+TEST_P(BaselineAgreement, Union) {
+  auto r = reference::Union(*a_, *b_);
+  auto h = hashops::Union(*a_, *b_);
+  auto s = sortops::Union(*a_, *b_);
+  ASSERT_OK(r);
+  ASSERT_OK(h);
+  ASSERT_OK(s);
+  EXPECT_EQ(r->tuples(), h->tuples());
+  EXPECT_TRUE(r->BagEquals(*s));
+}
+
+TEST_P(BaselineAgreement, Projection) {
+  const std::vector<size_t> cols{0};
+  auto r = reference::Projection(*a_, cols);
+  auto h = hashops::Projection(*a_, cols);
+  auto s = sortops::Projection(*a_, cols);
+  ASSERT_OK(r);
+  ASSERT_OK(h);
+  ASSERT_OK(s);
+  EXPECT_EQ(r->tuples(), h->tuples());
+  EXPECT_TRUE(r->BagEquals(*s));
+}
+
+TEST_P(BaselineAgreement, EquiJoin) {
+  JoinSpec spec{{0}, {0}, ComparisonOp::kEq};
+  auto r = reference::Join(*a_, *b_, spec);
+  auto h = hashops::Join(*a_, *b_, spec);
+  auto s = sortops::Join(*a_, *b_, spec);
+  ASSERT_OK(r);
+  ASSERT_OK(h);
+  ASSERT_OK(s);
+  EXPECT_TRUE(r->BagEquals(*h));
+  EXPECT_TRUE(r->BagEquals(*s));
+}
+
+TEST_P(BaselineAgreement, Division) {
+  if (a_->arity() < 2) GTEST_SKIP() << "division needs a quotient column";
+  // Divide A by the projection of B's last column (shared domain).
+  auto divisor = b_->ProjectColumns({b_->arity() - 1});
+  ASSERT_OK(divisor);
+  DivisionSpec spec{{a_->arity() - 1}, {0}};
+  auto r = reference::Division(*a_, *divisor, spec);
+  auto h = hashops::Division(*a_, *divisor, spec);
+  auto s = sortops::Division(*a_, *divisor, spec);
+  ASSERT_OK(r);
+  ASSERT_OK(h);
+  ASSERT_OK(s);
+  EXPECT_TRUE(r->BagEquals(*h));
+  EXPECT_TRUE(r->BagEquals(*s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomizedWorkloads, BaselineAgreement,
+    ::testing::Values(BaselineParam{0, 0, 1, 4, 1},
+                      BaselineParam{1, 1, 1, 2, 2},
+                      BaselineParam{20, 20, 2, 5, 3},
+                      BaselineParam{50, 30, 3, 4, 4},
+                      BaselineParam{100, 100, 2, 8, 5},
+                      BaselineParam{200, 150, 4, 3, 6},
+                      BaselineParam{64, 64, 1, 2, 7}));
+
+}  // namespace
+}  // namespace rel
+}  // namespace systolic

@@ -1,0 +1,118 @@
+#include "arrays/pattern_match.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace systolic {
+namespace arrays {
+namespace {
+
+// Software oracle with the same wildcard semantics.
+std::vector<size_t> NaiveMatch(const std::string& text,
+                               const std::string& pattern) {
+  std::vector<size_t> positions;
+  if (pattern.empty() || pattern.size() > text.size()) return positions;
+  for (size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    bool match = true;
+    for (size_t k = 0; k < pattern.size() && match; ++k) {
+      match = pattern[k] == '?' || text[i + k] == pattern[k];
+    }
+    if (match) positions.push_back(i);
+  }
+  return positions;
+}
+
+TEST(PatternMatchTest, SingleOccurrence) {
+  auto result = SystolicPatternMatch("hello world", "world");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->positions, (std::vector<size_t>{6}));
+  EXPECT_EQ(result->cells, 5u);
+}
+
+TEST(PatternMatchTest, MultipleAndOverlappingOccurrences) {
+  auto result = SystolicPatternMatch("aaaa", "aa");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->positions, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(PatternMatchTest, NoMatch) {
+  auto result = SystolicPatternMatch("abcdef", "xyz");
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->positions.empty());
+  EXPECT_EQ(result->match_at.size(), 4u);
+}
+
+TEST(PatternMatchTest, WildcardMatchesAnything) {
+  auto result = SystolicPatternMatch("cat cot cut", "c?t");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->positions, (std::vector<size_t>{0, 4, 8}));
+}
+
+TEST(PatternMatchTest, PatternEqualsText) {
+  auto result = SystolicPatternMatch("exact", "exact");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->positions, (std::vector<size_t>{0}));
+}
+
+TEST(PatternMatchTest, SingleCharPattern) {
+  auto result = SystolicPatternMatch("banana", "a");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->positions, (std::vector<size_t>{1, 3, 5}));
+}
+
+TEST(PatternMatchTest, AllWildcardPattern) {
+  auto result = SystolicPatternMatch("xyz", "??");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->positions, (std::vector<size_t>{0, 1}));
+}
+
+TEST(PatternMatchTest, MatchAtTextEnd) {
+  auto result = SystolicPatternMatch("prefix-suffix", "suffix");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->positions, (std::vector<size_t>{7}));
+}
+
+TEST(PatternMatchTest, InvalidInputs) {
+  EXPECT_TRUE(SystolicPatternMatch("abc", "").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      SystolicPatternMatch("ab", "abc").status().IsInvalidArgument());
+}
+
+TEST(PatternMatchTest, StreamingRate) {
+  // One character per pulse plus pipeline depth: cycles ≈ N + 2K.
+  const std::string text(200, 'x');
+  auto result = SystolicPatternMatch(text, "xxxx");
+  ASSERT_OK(result);
+  EXPECT_LE(result->cycles, text.size() + 4 * 4 + 16);
+  EXPECT_EQ(result->positions.size(), 197u);
+}
+
+class PatternFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PatternFuzz, MatchesNaiveOracle) {
+  Rng rng(GetParam());
+  const char alphabet[] = "abc";
+  std::string text;
+  for (int i = 0; i < 60; ++i) {
+    text.push_back(alphabet[rng.Uniform(0, 2)]);
+  }
+  std::string pattern;
+  const size_t k = 1 + static_cast<size_t>(rng.Uniform(0, 4));
+  for (size_t i = 0; i < k; ++i) {
+    pattern.push_back(rng.Bernoulli(0.25) ? '?' : alphabet[rng.Uniform(0, 2)]);
+  }
+  auto result = SystolicPatternMatch(text, pattern);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->positions, NaiveMatch(text, pattern))
+      << "text=" << text << " pattern=" << pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace arrays
+}  // namespace systolic

@@ -1,0 +1,143 @@
+#include "perfmodel/disk.h"
+#include "perfmodel/estimates.h"
+#include "perfmodel/technology.h"
+
+#include "gtest/gtest.h"
+
+namespace systolic {
+namespace perf {
+namespace {
+
+TEST(TechnologyTest, ConservativeMatchesPaperConstants) {
+  const Technology tech = Technology::Conservative1980();
+  EXPECT_DOUBLE_EQ(tech.comparator_width_um, 240.0);
+  EXPECT_DOUBLE_EQ(tech.comparator_height_um, 150.0);
+  EXPECT_DOUBLE_EQ(tech.bit_comparison_ns, 350.0);
+  EXPECT_EQ(tech.chips, 1000u);
+}
+
+TEST(TechnologyTest, ComparatorsPerChipIsAboutOneThousand) {
+  // §8: "Division gives us about 1000 bit-comparators per chip."
+  const Technology tech = Technology::Conservative1980();
+  EXPECT_EQ(tech.ComparatorsPerChip(), 1000u);
+}
+
+TEST(TechnologyTest, MillionParallelComparisons) {
+  // §8: "the capability of performing 10^6 comparisons in parallel."
+  const Technology tech = Technology::Conservative1980();
+  EXPECT_EQ(tech.ParallelBitComparisons(), 1'000'000u);
+}
+
+TEST(TechnologyTest, PinsKeepUp) {
+  // §8: "the time for a comparison is large relative to off-chip transfer
+  // time (<30ns)".
+  EXPECT_TRUE(Technology::Conservative1980().PinsKeepUp());
+  EXPECT_TRUE(Technology::Aggressive1980().PinsKeepUp());
+}
+
+TEST(EstimatesTest, IntersectionBitComparisonsMatchPaper) {
+  // §8: "a total of 1.5 x 10^11 bit comparisons, since we need 1500
+  // bit-comparisons for each of the (10^4)^2 tuple comparisons."
+  const RelationShape shape;
+  EXPECT_DOUBLE_EQ(IntersectionBitComparisons(shape, shape), 1.5e11);
+}
+
+TEST(EstimatesTest, ConservativeIntersectionIsAbout50ms) {
+  // §8: "(1.5 x 10^11 comparisons) x (350ns / 10^6 comparisons), which is
+  // about 50ms."
+  const Technology tech = Technology::Conservative1980();
+  const RelationShape shape;
+  const double seconds = IntersectionSeconds(tech, shape, shape);
+  EXPECT_NEAR(seconds, 0.0525, 1e-6);  // exactly 52.5ms; "about 50ms"
+  EXPECT_GT(seconds, 0.045);
+  EXPECT_LT(seconds, 0.055);
+}
+
+TEST(EstimatesTest, AggressiveIntersectionIsAbout10ms) {
+  // §8: "we derive a figure of about 10ms."
+  const Technology tech = Technology::Aggressive1980();
+  const RelationShape shape;
+  const double seconds = IntersectionSeconds(tech, shape, shape);
+  EXPECT_NEAR(seconds, 0.010, 0.002);
+}
+
+TEST(EstimatesTest, RelationShapeBytes) {
+  // 10^4 tuples x 1500 bits = 1.875 MB ("about 200 characters" per tuple).
+  const RelationShape shape;
+  EXPECT_DOUBLE_EQ(shape.TotalBytes(), 1'875'000.0);
+}
+
+TEST(EstimatesTest, JoinComparisonsScaleWithJoinBits) {
+  EXPECT_DOUBLE_EQ(JoinBitComparisons(100, 200, 32), 100.0 * 200.0 * 32.0);
+  EXPECT_LT(JoinBitComparisons(10000, 10000, 32),
+            IntersectionBitComparisons(RelationShape{}, RelationShape{}))
+      << "joins touch only the join columns, far cheaper than intersection";
+}
+
+TEST(EstimatesTest, DecompositionPassCount) {
+  EXPECT_EQ(DecompositionPasses(100, 100, 100), 1u);
+  EXPECT_EQ(DecompositionPasses(100, 100, 50), 4u);
+  EXPECT_EQ(DecompositionPasses(101, 100, 50), 6u);
+  EXPECT_EQ(DecompositionPasses(0, 100, 50), 0u);
+  EXPECT_EQ(DecompositionPasses(100, 100, 0), 0u);
+}
+
+TEST(EstimatesTest, SecondsForCyclesLinear) {
+  const Technology tech = Technology::Conservative1980();
+  EXPECT_DOUBLE_EQ(SecondsForCycles(tech, 0), 0.0);
+  EXPECT_NEAR(SecondsForCycles(tech, 1'000'000), 0.35, 1e-9);
+}
+
+TEST(DiskModelTest, RevolutionTimeIsAbout17ms) {
+  // §8: "rotates at about 3600 r.p.m., or about once every 17ms."
+  const DiskModel disk;
+  EXPECT_NEAR(disk.RevolutionSeconds(), 0.0167, 0.0005);
+}
+
+TEST(DiskModelTest, TransferRateMatchesPaper) {
+  // "a rate of about 500,000 bytes in 17ms" => ~30 MB/s.
+  const DiskModel disk;
+  EXPECT_NEAR(disk.BytesPerSecond(), 3.0e7, 1e6);
+}
+
+TEST(DiskModelTest, ArrayProcessesMillionsOfBytesPerRevolution) {
+  // §8's closing claim: "in a comparable period of time, our systolic array
+  // can process (for example, can intersect) two relations, each of about
+  // 2 million bytes." With the conservative device and 1500-bit tuples the
+  // per-revolution figure is on the order of 10^6 bytes — same order as the
+  // paper's rounded "about 2 million".
+  const Technology tech = Technology::Conservative1980();
+  const DiskModel disk;
+  const size_t n = MaxTuplesIntersectableWithin(tech, 1500,
+                                                disk.RevolutionSeconds());
+  const double bytes = RelationBytes(n, 1500);
+  EXPECT_GT(bytes, 1.0e6);
+  EXPECT_LT(bytes, 4.0e6);
+}
+
+TEST(DiskModelTest, FiftyMsBudgetRecoversPaperRelationSize) {
+  // Inverting the 50ms prediction must recover the 10^4-tuple relation.
+  const Technology tech = Technology::Conservative1980();
+  const size_t n = MaxTuplesIntersectableWithin(tech, 1500, 0.0525);
+  EXPECT_EQ(n, 10'000u);
+}
+
+TEST(DiskModelTest, ArrayKeepsUpWithDisk) {
+  // §8: "The processing speed obtainable from these systolic arrays can
+  // keep up with the data rate achievable with the fast mass storage
+  // devices available in present technology."
+  EXPECT_TRUE(ArrayKeepsUpWithDisk(Technology::Conservative1980(), DiskModel{},
+                                   1500));
+  EXPECT_TRUE(ArrayKeepsUpWithDisk(Technology::Aggressive1980(), DiskModel{},
+                                   1500));
+}
+
+TEST(DiskModelTest, MaxTuplesZeroBudget) {
+  EXPECT_EQ(MaxTuplesIntersectableWithin(Technology::Conservative1980(), 1500,
+                                         0.0),
+            0u);
+}
+
+}  // namespace
+}  // namespace perf
+}  // namespace systolic

@@ -1,0 +1,115 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <map>
+
+#include "gtest/gtest.h"
+
+namespace systolic {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(11);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[rng.Uniform(0, 9)];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 150) << "value " << value << " badly under-sampled";
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.03);
+}
+
+TEST(RngTest, ZipfUniformWhenExponentZero) {
+  Rng rng(13);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[rng.Zipf(5, 0.0)];
+  for (size_t v = 0; v < 5; ++v) {
+    EXPECT_GT(counts[v], 700);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(13);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[rng.Zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], 1000);
+}
+
+TEST(RngTest, ZipfHandlesParameterChange) {
+  // The cached CDF must be rebuilt when (n, s) changes.
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.Zipf(3, 1.0), 3u);
+    EXPECT_LT(rng.Zipf(7, 0.5), 7u);
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), original.begin()));
+}
+
+}  // namespace
+}  // namespace systolic

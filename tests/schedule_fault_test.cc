@@ -1,0 +1,125 @@
+// Failure-injection suite: the arrays' internal invariants (t words arriving
+// in lock-step with meeting elements, matching tuple tags, single-driver
+// wires, one booking per feeder slot) are enforced with fatal checks. These
+// tests deliberately violate the input discipline and verify the hardware
+// model refuses to produce a wrong answer silently.
+
+#include "arrays/comparison_cell.h"
+#include "arrays/comparison_grid.h"
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "systolic/feeder.h"
+#include "systolic/simulator.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace arrays {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+// A hand-built one-row comparison array of `m` cells with raw feeders, so a
+// test can inject arbitrary (broken) schedules that the public FeedA/FeedB
+// drivers would never produce.
+struct RawRow {
+  sim::Simulator simulator;
+  std::vector<sim::StreamFeeder*> feed_a;
+  std::vector<sim::StreamFeeder*> feed_b;
+
+  explicit RawRow(size_t m) {
+    std::vector<sim::Wire*> a_in(m), a_out(m), b_in(m), b_out(m), t(m + 1);
+    for (size_t k = 0; k < m; ++k) {
+      a_in[k] = simulator.NewWire("a" + std::to_string(k));
+      a_out[k] = simulator.NewWire("A" + std::to_string(k));
+      b_in[k] = simulator.NewWire("b" + std::to_string(k));
+      b_out[k] = simulator.NewWire("B" + std::to_string(k));
+      t[k + 1] = simulator.NewWire("t" + std::to_string(k + 1));
+    }
+    for (size_t k = 0; k < m; ++k) {
+      simulator.AddCell<ComparisonCell>(
+          "cmp" + std::to_string(k), rel::ComparisonOp::kEq,
+          EdgeRule::kAllTrue, a_in[k], b_in[k], k == 0 ? nullptr : t[k],
+          a_out[k], b_out[k], t[k + 1]);
+    }
+    for (size_t k = 0; k < m; ++k) {
+      feed_a.push_back(simulator.AddInfrastructureCell<sim::StreamFeeder>(
+          "fa" + std::to_string(k), a_in[k]));
+      feed_b.push_back(simulator.AddInfrastructureCell<sim::StreamFeeder>(
+          "fb" + std::to_string(k), b_in[k]));
+    }
+  }
+};
+
+TEST(ScheduleFaultTest, MissingStaggerIsFatal) {
+  // All elements of the tuple injected at pulse 0 instead of the required
+  // k-skew: element pairs then meet at column k on pulse k+1 WITHOUT the t
+  // word of the previous column (which was computed one pulse earlier but
+  // for k-1's meeting that happened at the wrong time).
+  EXPECT_DEATH(
+      {
+        RawRow row(3);
+        for (size_t k = 0; k < 3; ++k) {
+          row.feed_a[k]->ScheduleAt(0, sim::Word::Element(5, 0));
+          row.feed_b[k]->ScheduleAt(0, sim::Word::ElementB(5, 0));
+        }
+        (void)row.simulator.RunUntilQuiescent(100);
+      },
+      "without a t word|without a meeting pair");
+}
+
+TEST(ScheduleFaultTest, CrossedTagsAreFatal) {
+  // Two pairs fed so that the t word of pair 0 meets the elements of pair 1
+  // in column 1: the tag cross-check fires.
+  EXPECT_DEATH(
+      {
+        RawRow row(2);
+        // Pair 0 meets col 0 at pulse 1, col 1 at pulse 2 (correct skew).
+        row.feed_a[0]->ScheduleAt(0, sim::Word::Element(5, 0));
+        row.feed_b[0]->ScheduleAt(0, sim::Word::ElementB(5, 0));
+        // Pair 1's elements placed directly at col 1, pulse 2 — colliding
+        // with pair 0's t word arriving there.
+        row.feed_a[1]->ScheduleAt(1, sim::Word::Element(7, 1));
+        row.feed_b[1]->ScheduleAt(1, sim::Word::ElementB(7, 1));
+        (void)row.simulator.RunUntilQuiescent(100);
+      },
+      "met elements");
+}
+
+TEST(ScheduleFaultTest, FeederDoubleBookingIsFatal) {
+  // Tuples one pulse apart in marching mode would collide in the feeders'
+  // schedule slots before they could corrupt the array.
+  EXPECT_DEATH(
+      {
+        RawRow row(1);
+        row.feed_a[0]->ScheduleAt(3, sim::Word::Element(1, 0));
+        row.feed_a[0]->ScheduleAt(3, sim::Word::Element(2, 1));
+      },
+      "double-books");
+}
+
+TEST(ScheduleFaultTest, TwoDriversOnOneWireIsFatal) {
+  sim::Simulator simulator;
+  sim::Wire* shared = simulator.NewWire("shared");
+  auto* f1 = simulator.AddInfrastructureCell<sim::StreamFeeder>("f1", shared);
+  auto* f2 = simulator.AddInfrastructureCell<sim::StreamFeeder>("f2", shared);
+  f1->ScheduleAt(0, sim::Word::Element(1, 0));
+  f2->ScheduleAt(0, sim::Word::Element(2, 1));
+  EXPECT_DEATH(simulator.Step(), "driven twice");
+}
+
+TEST(ScheduleFaultTest, CorrectScheduleSurvivesAllChecks) {
+  // Control: the same raw row with the proper skew runs to completion.
+  RawRow row(3);
+  for (size_t k = 0; k < 3; ++k) {
+    row.feed_a[k]->ScheduleAt(k, sim::Word::Element(5, 0));
+    row.feed_b[k]->ScheduleAt(k, sim::Word::ElementB(5, 0));
+  }
+  auto cycles = row.simulator.RunUntilQuiescent(100);
+  ASSERT_OK(cycles);
+}
+
+}  // namespace
+}  // namespace arrays
+}  // namespace systolic

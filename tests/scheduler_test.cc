@@ -1,0 +1,164 @@
+// Tests for the machine's device-assignment policies (round-robin vs LPT)
+// and batched multi-transaction execution (§9's "a set of transactions").
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "system/machine.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace machine {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+// A machine preloaded with relations of very different sizes so step costs
+// within one level differ sharply — the regime where LPT beats round-robin.
+struct SkewedFixture {
+  Schema schema = rel::MakeIntSchema(1);
+  MachineConfig config;
+
+  Machine MakeMachine(DeviceScheduling scheduling, size_t devices) {
+    config.num_memories = 24;
+    config.scheduling = scheduling;
+    config.device_counts[OpKind::kIntersect] = devices;
+    Machine m(config);
+    // big: 96 tuples, small: 8 tuples.
+    auto big = [&](uint64_t seed) {
+      rel::GeneratorOptions g;
+      g.num_tuples = 96;
+      g.domain_size = 64;
+      g.seed = seed;
+      auto r = rel::GenerateRelation(schema, g);
+      SYSTOLIC_CHECK(r.ok());
+      return std::move(r).ValueOrDie();
+    };
+    auto small = [&](uint64_t seed) {
+      rel::GeneratorOptions g;
+      g.num_tuples = 8;
+      g.domain_size = 64;
+      g.seed = seed;
+      auto r = rel::GenerateRelation(schema, g);
+      SYSTOLIC_CHECK(r.ok());
+      return std::move(r).ValueOrDie();
+    };
+    m.disk().Put("b1", big(1));
+    m.disk().Put("b2", big(2));
+    m.disk().Put("s1", small(3));
+    m.disk().Put("s2", small(4));
+    m.disk().Put("s3", small(5));
+    m.disk().Put("s4", small(6));
+    for (const char* name : {"b1", "b2", "s1", "s2", "s3", "s4"}) {
+      SYSTOLIC_CHECK(m.LoadFromDisk(name).ok());
+    }
+    return m;
+  }
+
+  // One big step and three small ones, all independent intersections. With
+  // two devices, round-robin in arrival order (big, small, small, small)
+  // puts big+small on device 0; LPT puts big alone.
+  Transaction MakeTransaction() {
+    Transaction txn;
+    txn.Intersect("b1", "b2", "o1")
+        .Intersect("s1", "s2", "o2")
+        .Intersect("s3", "s4", "o3")
+        .Intersect("s1", "s3", "o4");
+    return txn;
+  }
+};
+
+TEST(SchedulerTest, LptNeverWorseThanRoundRobinHere) {
+  SkewedFixture fixture;
+  Machine rr = fixture.MakeMachine(DeviceScheduling::kRoundRobin, 2);
+  auto rr_report = rr.Execute(fixture.MakeTransaction());
+  ASSERT_OK(rr_report);
+  SkewedFixture fixture2;
+  Machine lpt = fixture2.MakeMachine(DeviceScheduling::kLpt, 2);
+  auto lpt_report = lpt.Execute(fixture2.MakeTransaction());
+  ASSERT_OK(lpt_report);
+  EXPECT_LE(lpt_report->makespan_seconds, rr_report->makespan_seconds);
+  // Same work either way.
+  EXPECT_NEAR(lpt_report->serial_seconds, rr_report->serial_seconds, 1e-12);
+}
+
+TEST(SchedulerTest, LptAssignsBigStepItsOwnDevice) {
+  SkewedFixture fixture;
+  Machine lpt = fixture.MakeMachine(DeviceScheduling::kLpt, 2);
+  auto report = lpt.Execute(fixture.MakeTransaction());
+  ASSERT_OK(report);
+  // The big step (output o1) must be alone on its device slot.
+  size_t big_slot = 99;
+  for (const auto& step : report->steps) {
+    if (step.output == "o1") big_slot = step.device_slot;
+  }
+  ASSERT_NE(big_slot, 99u);
+  for (const auto& step : report->steps) {
+    if (step.output != "o1") {
+      EXPECT_NE(step.device_slot, big_slot)
+          << "small step " << step.output << " shares the big step's device";
+    }
+  }
+}
+
+TEST(SchedulerTest, ResultsIdenticalUnderBothPolicies) {
+  SkewedFixture f1, f2;
+  Machine rr = f1.MakeMachine(DeviceScheduling::kRoundRobin, 2);
+  Machine lpt = f2.MakeMachine(DeviceScheduling::kLpt, 2);
+  ASSERT_OK(rr.Execute(f1.MakeTransaction()));
+  ASSERT_OK(lpt.Execute(f2.MakeTransaction()));
+  for (const char* out : {"o1", "o2", "o3", "o4"}) {
+    auto a = rr.Buffer(out);
+    auto b = lpt.Buffer(out);
+    ASSERT_OK(a);
+    ASSERT_OK(b);
+    EXPECT_EQ((*a)->tuples(), (*b)->tuples());
+  }
+}
+
+TEST(BatchExecutionTest, IndependentTransactionsShareLevels) {
+  const Schema schema = rel::MakeIntSchema(1);
+  MachineConfig config;
+  config.num_memories = 16;
+  config.device_counts[OpKind::kIntersect] = 2;
+  Machine m(config);
+  m.disk().Put("a", Rel(schema, {{1}, {2}, {3}}));
+  m.disk().Put("b", Rel(schema, {{2}, {3}, {4}}));
+  m.disk().Put("c", Rel(schema, {{3}, {4}, {5}}));
+  for (const char* name : {"a", "b", "c"}) {
+    ASSERT_STATUS_OK(m.LoadFromDisk(name));
+  }
+  Transaction t1;
+  t1.Intersect("a", "b", "ab");
+  Transaction t2;
+  t2.Intersect("b", "c", "bc");
+  auto report = m.ExecuteBatch({t1, t2});
+  ASSERT_OK(report);
+  ASSERT_EQ(report->steps.size(), 2u);
+  EXPECT_EQ(report->steps[0].level, 0u);
+  EXPECT_EQ(report->steps[1].level, 0u) << "independent txns share a level";
+  EXPECT_LT(report->makespan_seconds, report->serial_seconds);
+  EXPECT_TRUE(m.Buffer("ab").ok());
+  EXPECT_TRUE(m.Buffer("bc").ok());
+}
+
+TEST(BatchExecutionTest, NameCollisionAcrossBatchRejected) {
+  const Schema schema = rel::MakeIntSchema(1);
+  MachineConfig config;
+  Machine m(config);
+  m.disk().Put("a", Rel(schema, {{1}}));
+  ASSERT_STATUS_OK(m.LoadFromDisk("a"));
+  Transaction t1;
+  t1.RemoveDuplicates("a", "out");
+  Transaction t2;
+  t2.RemoveDuplicates("a", "out");
+  auto report = m.ExecuteBatch({t1, t2});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace machine
+}  // namespace systolic

@@ -1,0 +1,150 @@
+#include "relational/relation.h"
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/schema.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace rel {
+namespace {
+
+using systolic::testing::Rel;
+
+TEST(SchemaTest, ColumnLookup) {
+  auto d = Domain::Make("d", ValueType::kInt64);
+  Schema s({{"name", d}, {"age", d}});
+  EXPECT_EQ(s.num_columns(), 2u);
+  auto idx = s.ColumnIndex("age");
+  ASSERT_OK(idx);
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_TRUE(s.ColumnIndex("ghost").status().IsNotFound());
+}
+
+TEST(SchemaTest, UnionCompatibilityRequiresSameDomainObjects) {
+  auto d1 = Domain::Make("d", ValueType::kInt64);
+  auto d2 = Domain::Make("d", ValueType::kInt64);  // same name, new object
+  Schema a({{"x", d1}});
+  Schema b({{"y", d1}});  // different column name, same domain: compatible
+  Schema c({{"x", d2}});
+  EXPECT_TRUE(a.UnionCompatibleWith(b));
+  EXPECT_FALSE(a.UnionCompatibleWith(c));
+  EXPECT_TRUE(a.CheckUnionCompatible(c).IsIncompatible());
+}
+
+TEST(SchemaTest, UnionCompatibilityRequiresSameArity) {
+  auto d = Domain::Make("d", ValueType::kInt64);
+  Schema a({{"x", d}});
+  Schema b({{"x", d}, {"y", d}});
+  EXPECT_FALSE(a.UnionCompatibleWith(b));
+}
+
+TEST(SchemaTest, ProjectSelectsAndReorders) {
+  auto d = Domain::Make("d", ValueType::kInt64);
+  Schema s({{"a", d}, {"b", d}, {"c", d}});
+  auto p = s.Project({2, 0});
+  ASSERT_OK(p);
+  EXPECT_EQ(p->num_columns(), 2u);
+  EXPECT_EQ(p->column(0).name, "c");
+  EXPECT_EQ(p->column(1).name, "a");
+  EXPECT_TRUE(s.Project({3}).status().IsOutOfRange());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  auto d = Domain::Make("dom", ValueType::kInt64);
+  Schema s({{"a", d}, {"b", d}});
+  EXPECT_EQ(s.ToString(), "(a:dom, b:dom)");
+}
+
+TEST(RelationTest, AppendChecksArity) {
+  const Schema schema = MakeIntSchema(2);
+  Relation r(schema);
+  EXPECT_TRUE(r.Append({1, 2}).ok());
+  EXPECT_TRUE(r.Append({1}).IsInvalidArgument());
+  EXPECT_TRUE(r.Append({1, 2, 3}).IsInvalidArgument());
+  EXPECT_EQ(r.num_tuples(), 1u);
+}
+
+TEST(RelationTest, ContainsAndDuplicateFree) {
+  const Schema schema = MakeIntSchema(2);
+  const Relation r = Rel(schema, {{1, 2}, {3, 4}});
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({2, 1}));
+  EXPECT_TRUE(r.IsDuplicateFree());
+  const Relation dup =
+      Rel(schema, {{1, 2}, {1, 2}}, RelationKind::kMulti);
+  EXPECT_FALSE(dup.IsDuplicateFree());
+}
+
+TEST(RelationTest, ConcatenateRequiresCompatibility) {
+  const Schema s1 = MakeIntSchema(1, "p");
+  const Schema s2 = MakeIntSchema(1, "q");
+  Relation a = Rel(s1, {{1}});
+  const Relation b = Rel(s1, {{2}});
+  const Relation c = Rel(s2, {{3}});
+  EXPECT_TRUE(a.Concatenate(b).ok());
+  EXPECT_EQ(a.num_tuples(), 2u);
+  EXPECT_TRUE(a.Concatenate(c).IsIncompatible());
+}
+
+TEST(RelationTest, FilterBySelectionVector) {
+  const Schema schema = MakeIntSchema(1);
+  const Relation r = Rel(schema, {{10}, {20}, {30}});
+  BitVector keep(3);
+  keep.Set(0, true);
+  keep.Set(2, true);
+  auto filtered = r.Filter(keep);
+  ASSERT_OK(filtered);
+  ASSERT_EQ(filtered->num_tuples(), 2u);
+  EXPECT_EQ(filtered->tuple(0)[0], 10);
+  EXPECT_EQ(filtered->tuple(1)[0], 30);
+  BitVector wrong(2);
+  EXPECT_TRUE(r.Filter(wrong).status().IsInvalidArgument());
+}
+
+TEST(RelationTest, ProjectColumnsYieldsMultiRelation) {
+  const Schema schema = MakeIntSchema(3);
+  const Relation r = Rel(schema, {{1, 2, 3}, {4, 2, 6}});
+  auto p = r.ProjectColumns({1});
+  ASSERT_OK(p);
+  EXPECT_EQ(p->kind(), RelationKind::kMulti);
+  EXPECT_EQ(p->tuple(0), (Tuple{2}));
+  EXPECT_EQ(p->tuple(1), (Tuple{2}));
+}
+
+TEST(RelationTest, SetAndBagEquality) {
+  const Schema schema = MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}, {2}});
+  const Relation b = Rel(schema, {{2}, {1}});
+  const Relation c = Rel(schema, {{1}, {1}, {2}}, RelationKind::kMulti);
+  EXPECT_TRUE(a.SetEquals(b));
+  EXPECT_TRUE(a.BagEquals(b));
+  EXPECT_TRUE(a.SetEquals(c));
+  EXPECT_FALSE(a.BagEquals(c));
+}
+
+TEST(RelationTest, SortedTuplesIsCanonical) {
+  const Schema schema = MakeIntSchema(2);
+  const Relation r = Rel(schema, {{3, 1}, {1, 2}, {2, 9}});
+  const auto sorted = r.SortedTuples();
+  EXPECT_EQ(sorted[0], (Tuple{1, 2}));
+  EXPECT_EQ(sorted[2], (Tuple{3, 1}));
+}
+
+TEST(RelationTest, ToStringDecodesThroughDomains) {
+  auto d = Domain::Make("names", ValueType::kString);
+  Schema schema({{"who", d}});
+  RelationBuilder builder(schema);
+  ASSERT_STATUS_OK(builder.AddRow({Value::String("ada")}));
+  const Relation r = builder.Finish();
+  EXPECT_NE(r.ToString().find("ada"), std::string::npos);
+}
+
+TEST(TupleToStringTest, Renders) {
+  EXPECT_EQ(TupleToString({1, 2, 3}), "(1, 2, 3)");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace systolic

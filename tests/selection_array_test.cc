@@ -1,0 +1,142 @@
+#include "arrays/selection_array.h"
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "system/machine.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace arrays {
+namespace {
+
+using rel::ComparisonOp;
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+TEST(SelectionArrayTest, SingleEqualityPredicate) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 10}, {2, 20}, {1, 30}});
+  auto result = SystolicSelect(a, {{0, ComparisonOp::kEq, 1}});
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.ToString(), "101");
+  EXPECT_EQ(result->relation.num_tuples(), 2u);
+}
+
+TEST(SelectionArrayTest, RangePredicate) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{5}, {15}, {25}, {35}});
+  auto result = SystolicSelect(a, {{0, ComparisonOp::kGe, 15}});
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.ToString(), "0111");
+}
+
+TEST(SelectionArrayTest, ConjunctionOfPredicates) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 10}, {1, 20}, {2, 10}, {2, 20}});
+  auto result = SystolicSelect(a, {{0, ComparisonOp::kEq, 1},
+                                   {1, ComparisonOp::kGt, 15}});
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.ToString(), "0100");
+}
+
+TEST(SelectionArrayTest, RepeatedColumnInConjunction) {
+  // A range: 10 <= c0 <= 20 via two predicates on the same column.
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{5}, {10}, {15}, {20}, {25}});
+  auto result = SystolicSelect(a, {{0, ComparisonOp::kGe, 10},
+                                   {0, ComparisonOp::kLe, 20}});
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.ToString(), "01110");
+}
+
+TEST(SelectionArrayTest, EmptyPredicateListSelectsAll) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}, {2}});
+  auto result = SystolicSelect(a, {});
+  ASSERT_OK(result);
+  EXPECT_EQ(result->selected.CountOnes(), 2u);
+  EXPECT_TRUE(result->relation.BagEquals(a));
+}
+
+TEST(SelectionArrayTest, EmptyRelation) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {});
+  auto result = SystolicSelect(a, {{0, ComparisonOp::kEq, 1}});
+  ASSERT_OK(result);
+  EXPECT_TRUE(result->relation.empty());
+}
+
+TEST(SelectionArrayTest, BadColumnRejected) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}});
+  auto result = SystolicSelect(a, {{5, ComparisonOp::kEq, 1}});
+  EXPECT_TRUE(result.status().IsOutOfRange());
+}
+
+TEST(SelectionArrayTest, OrderOpOnDictionaryDomainRejected) {
+  auto ds = rel::Domain::Make("s", rel::ValueType::kString);
+  Schema schema({{"name", ds}});
+  rel::RelationBuilder builder(schema);
+  ASSERT_STATUS_OK(builder.AddRow({rel::Value::String("x")}));
+  const Relation a = builder.Finish();
+  auto result = SystolicSelect(a, {{0, ComparisonOp::kLt, 0}});
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_TRUE(SystolicSelect(a, {{0, ComparisonOp::kEq, 0}}).ok());
+}
+
+TEST(SelectionArrayTest, SinglePassRegardlessOfSize) {
+  const Schema schema = rel::MakeIntSchema(1);
+  rel::GeneratorOptions options;
+  options.num_tuples = 500;
+  options.domain_size = 10;
+  options.seed = 3;
+  auto a = rel::GenerateRelation(schema, options);
+  ASSERT_OK(a);
+  auto result = SystolicSelect(*a, {{0, ComparisonOp::kLt, 5}});
+  ASSERT_OK(result);
+  // One pulse per tuple plus pipeline depth: linear streaming.
+  EXPECT_LE(result->info.cycles, a->num_tuples() + 16);
+  size_t expected = 0;
+  for (const rel::Tuple& t : a->tuples()) {
+    if (t[0] < 5) ++expected;
+  }
+  EXPECT_EQ(result->relation.num_tuples(), expected);
+}
+
+TEST(SelectionEngineTest, EngineSelectAndDeviceWidthLimit) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 10}, {2, 20}});
+  db::DeviceConfig narrow;
+  narrow.columns = 1;
+  db::Engine engine(narrow);
+  auto one = engine.Select(a, {{0, ComparisonOp::kEq, 2}});
+  ASSERT_OK(one);
+  EXPECT_EQ(one->relation.num_tuples(), 1u);
+  auto two = engine.Select(a, {{0, ComparisonOp::kEq, 2},
+                               {1, ComparisonOp::kEq, 20}});
+  EXPECT_TRUE(two.status().IsCapacity());
+}
+
+TEST(SelectionMachineTest, SelectStepInTransaction) {
+  const Schema schema = rel::MakeIntSchema(2);
+  machine::MachineConfig config;
+  config.num_memories = 4;
+  machine::Machine m(config);
+  m.disk().Put("r", Rel(schema, {{1, 10}, {2, 20}, {1, 30}}));
+  ASSERT_STATUS_OK(m.LoadFromDisk("r"));
+  machine::Transaction txn;
+  txn.Select("r", {{0, ComparisonOp::kEq, 1}}, "filtered");
+  auto report = m.Execute(txn);
+  ASSERT_OK(report);
+  auto filtered = m.Buffer("filtered");
+  ASSERT_OK(filtered);
+  EXPECT_EQ((*filtered)->num_tuples(), 2u);
+  EXPECT_EQ(report->steps[0].op, machine::OpKind::kSelect);
+}
+
+}  // namespace
+}  // namespace arrays
+}  // namespace systolic

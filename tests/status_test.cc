@@ -1,0 +1,99 @@
+#include "util/status.h"
+
+#include <memory>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryMethodsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Incompatible("x").IsIncompatible());
+  EXPECT_TRUE(Status::Capacity("x").IsCapacity());
+  EXPECT_EQ(Status::Internal("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::NotFound("missing").ToString(), "not-found: missing");
+}
+
+TEST(StatusTest, CopyShares) {
+  Status a = Status::Internal("oops");
+  Status b = a;
+  EXPECT_TRUE(b.IsInternal());
+  EXPECT_EQ(b.message(), "oops");
+}
+
+TEST(StatusTest, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::Capacity("full");
+  EXPECT_EQ(os.str(), "capacity: full");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::IOError("disk"); };
+  auto wrapper = [&]() -> Status {
+    SYSTOLIC_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  EXPECT_EQ((Result<int>(Status::Internal("x"))).ValueOr(7), 7);
+  EXPECT_EQ((Result<int>(3)).ValueOr(7), 3);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto source = [](bool ok) -> Result<int> {
+    if (ok) return 5;
+    return Status::OutOfRange("bad");
+  };
+  auto consumer = [&](bool ok) -> Result<int> {
+    SYSTOLIC_ASSIGN_OR_RETURN(int v, source(ok));
+    return v * 2;
+  };
+  ASSERT_TRUE(consumer(true).ok());
+  EXPECT_EQ(*consumer(true), 10);
+  EXPECT_TRUE(consumer(false).status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 9);
+}
+
+}  // namespace
+}  // namespace systolic

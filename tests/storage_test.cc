@@ -1,0 +1,147 @@
+#include "relational/storage.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/engine.h"
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace rel {
+namespace {
+
+using systolic::testing::Rel;
+
+class StorageFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("systolic_storage_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(StorageFixture, RoundTripIntRelations) {
+  Catalog catalog;
+  auto d = *catalog.CreateDomain("ids", ValueType::kInt64);
+  Schema schema({{"id", d}, {"value", d}});
+  catalog.PutRelation("r1", Rel(schema, {{1, 10}, {2, 20}}));
+  catalog.PutRelation("r2", Rel(schema, {{2, 20}, {3, 30}},
+                                RelationKind::kMulti));
+
+  ASSERT_STATUS_OK(SaveCatalog(catalog, dir_.string()));
+  auto loaded = LoadCatalog(dir_.string());
+  ASSERT_OK(loaded);
+
+  auto r1 = (*loaded)->GetRelation("r1");
+  auto r2 = (*loaded)->GetRelation("r2");
+  ASSERT_OK(r1);
+  ASSERT_OK(r2);
+  EXPECT_EQ((*r1)->num_tuples(), 2u);
+  EXPECT_EQ((*r1)->tuple(1), (Tuple{2, 20}));
+  EXPECT_EQ((*r2)->kind(), RelationKind::kMulti);
+}
+
+TEST_F(StorageFixture, ReloadedRelationsStayUnionCompatible) {
+  Catalog catalog;
+  auto d = *catalog.CreateDomain("shared", ValueType::kInt64);
+  Schema schema({{"x", d}});
+  catalog.PutRelation("a", Rel(schema, {{1}, {2}}));
+  catalog.PutRelation("b", Rel(schema, {{2}, {3}}));
+  ASSERT_STATUS_OK(SaveCatalog(catalog, dir_.string()));
+  auto loaded = LoadCatalog(dir_.string());
+  ASSERT_OK(loaded);
+  auto a = (*loaded)->GetRelation("a");
+  auto b = (*loaded)->GetRelation("b");
+  ASSERT_OK(a);
+  ASSERT_OK(b);
+  EXPECT_TRUE((*a)->schema().UnionCompatibleWith((*b)->schema()))
+      << "domain sharing must survive the round trip";
+  // And they still run through the engine together.
+  db::Engine engine;
+  auto result = engine.Intersect(**a, **b);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->relation.num_tuples(), 1u);
+}
+
+TEST_F(StorageFixture, StringDomainsReEncodeConsistently) {
+  Catalog catalog;
+  auto names = *catalog.CreateDomain("names", ValueType::kString);
+  Schema schema({{"who", names}});
+  RelationBuilder ba(schema);
+  ASSERT_STATUS_OK(ba.AddRow({Value::String("ada")}));
+  ASSERT_STATUS_OK(ba.AddRow({Value::String("alan")}));
+  catalog.PutRelation("people", ba.Finish());
+  RelationBuilder bb(schema);
+  ASSERT_STATUS_OK(bb.AddRow({Value::String("alan")}));
+  catalog.PutRelation("admins", bb.Finish());
+
+  ASSERT_STATUS_OK(SaveCatalog(catalog, dir_.string()));
+  auto loaded = LoadCatalog(dir_.string());
+  ASSERT_OK(loaded);
+  auto people = (*loaded)->GetRelation("people");
+  auto admins = (*loaded)->GetRelation("admins");
+  ASSERT_OK(people);
+  ASSERT_OK(admins);
+  // Codes may differ from the original session, but "alan" must encode to
+  // the same code in both reloaded relations (shared dictionary).
+  db::Engine engine;
+  auto result = engine.Intersect(**people, **admins);
+  ASSERT_OK(result);
+  ASSERT_EQ(result->relation.num_tuples(), 1u);
+  auto decoded = (*people)
+                     ->schema()
+                     .column(0)
+                     .domain->Decode(result->relation.tuple(0)[0]);
+  ASSERT_OK(decoded);
+  EXPECT_EQ(*decoded, Value::String("alan"));
+}
+
+TEST_F(StorageFixture, DuplicateDomainNamesRejectedOnSave) {
+  Catalog catalog;
+  // Two distinct Domain objects with the same name, created outside the
+  // catalog's registry.
+  auto d1 = Domain::Make("dup", ValueType::kInt64);
+  auto d2 = Domain::Make("dup", ValueType::kInt64);
+  catalog.PutRelation("a", Rel(Schema({{"x", d1}}), {{1}}));
+  catalog.PutRelation("b", Rel(Schema({{"x", d2}}), {{1}}));
+  EXPECT_TRUE(SaveCatalog(catalog, dir_.string()).IsInvalidArgument());
+}
+
+TEST_F(StorageFixture, LoadMissingDirectoryFails) {
+  auto loaded = LoadCatalog((dir_ / "nope").string());
+  EXPECT_TRUE(loaded.status().IsIOError());
+}
+
+TEST_F(StorageFixture, CorruptManifestReportsLine) {
+  std::filesystem::create_directories(dir_);
+  {
+    std::ofstream manifest(dir_ / "MANIFEST");
+    manifest << "domain d int64\nfrobnicate x\n";
+  }
+  auto loaded = LoadCatalog(dir_.string());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  EXPECT_NE(loaded.status().message().find("line 2"), std::string::npos);
+}
+
+TEST_F(StorageFixture, EmptyCatalogRoundTrips) {
+  Catalog catalog;
+  ASSERT_STATUS_OK(SaveCatalog(catalog, dir_.string()));
+  auto loaded = LoadCatalog(dir_.string());
+  ASSERT_OK(loaded);
+  EXPECT_TRUE((*loaded)->RelationNames().empty());
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace systolic

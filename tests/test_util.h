@@ -1,0 +1,36 @@
+#ifndef SYSTOLIC_TESTS_TEST_UTIL_H_
+#define SYSTOLIC_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/relation.h"
+#include "util/logging.h"
+
+namespace systolic {
+namespace testing {
+
+/// Builds an int64 relation over `schema` from literal rows; aborts on error
+/// (tests construct only valid relations this way).
+inline rel::Relation Rel(const rel::Schema& schema,
+                         const std::vector<std::vector<int64_t>>& rows,
+                         rel::RelationKind kind = rel::RelationKind::kSet) {
+  auto result = rel::MakeRelation(schema, rows, kind);
+  SYSTOLIC_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).ValueOrDie();
+}
+
+/// gtest helpers for Status/Result expressions.
+#define ASSERT_OK(expr) ASSERT_TRUE((expr).ok()) << (expr).status().ToString()
+#define EXPECT_OK(expr) EXPECT_TRUE((expr).ok()) << (expr).status().ToString()
+#define ASSERT_STATUS_OK(expr) \
+  do {                         \
+    auto _st = (expr);         \
+    ASSERT_TRUE(_st.ok()) << _st.ToString(); \
+  } while (0)
+
+}  // namespace testing
+}  // namespace systolic
+
+#endif  // SYSTOLIC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,88 @@
+#include "system/transaction.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace machine {
+namespace {
+
+TEST(TransactionTest, BuilderRecordsSteps) {
+  Transaction txn;
+  txn.Intersect("a", "b", "ab").RemoveDuplicates("ab", "ab2");
+  ASSERT_EQ(txn.steps().size(), 2u);
+  EXPECT_EQ(txn.steps()[0].op, OpKind::kIntersect);
+  EXPECT_EQ(txn.steps()[1].op, OpKind::kRemoveDuplicates);
+  EXPECT_EQ(txn.steps()[1].left, "ab");
+}
+
+TEST(TransactionTest, ScheduleLevelsRespectDependencies) {
+  Transaction txn;
+  txn.Intersect("a", "b", "x")
+      .Union("c", "d", "y")
+      .Join("x", "y", rel::JoinSpec{{0}, {0}, rel::ComparisonOp::kEq}, "z");
+  auto levels = txn.Schedule({"a", "b", "c", "d"});
+  ASSERT_OK(levels);
+  ASSERT_EQ(levels->size(), 2u);
+  EXPECT_EQ((*levels)[0].size(), 2u) << "x and y are independent";
+  EXPECT_EQ((*levels)[1], (std::vector<size_t>{2}));
+}
+
+TEST(TransactionTest, MissingOperandRejected) {
+  Transaction txn;
+  txn.Intersect("a", "ghost", "x");
+  auto levels = txn.Schedule({"a"});
+  EXPECT_FALSE(levels.ok());
+  EXPECT_TRUE(levels.status().IsNotFound());
+}
+
+TEST(TransactionTest, DuplicateOutputRejected) {
+  Transaction txn;
+  txn.RemoveDuplicates("a", "x").RemoveDuplicates("b", "x");
+  auto levels = txn.Schedule({"a", "b"});
+  EXPECT_FALSE(levels.ok());
+  EXPECT_TRUE(levels.status().IsInvalidArgument());
+}
+
+TEST(TransactionTest, OutputShadowingInputRejected) {
+  Transaction txn;
+  txn.RemoveDuplicates("a", "a");
+  auto levels = txn.Schedule({"a"});
+  EXPECT_FALSE(levels.ok());
+}
+
+TEST(TransactionTest, EmptyOperandNameRejected) {
+  Transaction txn;
+  txn.Intersect("a", "", "x");
+  EXPECT_FALSE(txn.Schedule({"a"}).ok());
+}
+
+TEST(TransactionTest, ChainBuildsDeepLevels) {
+  Transaction txn;
+  txn.RemoveDuplicates("a", "s1")
+      .RemoveDuplicates("s1", "s2")
+      .RemoveDuplicates("s2", "s3");
+  auto levels = txn.Schedule({"a"});
+  ASSERT_OK(levels);
+  EXPECT_EQ(levels->size(), 3u);
+}
+
+TEST(TransactionTest, SameBufferBothOperands) {
+  Transaction txn;
+  txn.Intersect("a", "a", "x");
+  auto levels = txn.Schedule({"a"});
+  ASSERT_OK(levels);
+  EXPECT_EQ(levels->size(), 1u);
+}
+
+TEST(OpKindTest, Names) {
+  EXPECT_STREQ(OpKindToString(OpKind::kIntersect), "intersect");
+  EXPECT_STREQ(OpKindToString(OpKind::kDivide), "divide");
+  EXPECT_TRUE(IsBinaryOp(OpKind::kJoin));
+  EXPECT_FALSE(IsBinaryOp(OpKind::kProject));
+  EXPECT_FALSE(IsBinaryOp(OpKind::kRemoveDuplicates));
+}
+
+}  // namespace
+}  // namespace machine
+}  // namespace systolic

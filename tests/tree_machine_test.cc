@@ -1,0 +1,129 @@
+#include "system/tree_machine.h"
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "relational/generator.h"
+#include "relational/ops_reference.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace machine {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using systolic::testing::Rel;
+
+TEST(TreeMachineTest, SimpleMembership) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}, {3, 3}});
+  const Relation b = Rel(schema, {{2, 2}, {9, 9}});
+  auto run = TreeMembership(a, b);
+  ASSERT_OK(run);
+  EXPECT_EQ(run->selected.ToString(), "010");
+  EXPECT_GT(run->cycles, 0u);
+}
+
+TEST(TreeMachineTest, SingleLeaf) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{7}});
+  const Relation hit = Rel(schema, {{7}});
+  const Relation miss = Rel(schema, {{8}});
+  auto r1 = TreeMembership(a, hit);
+  ASSERT_OK(r1);
+  EXPECT_EQ(r1->selected.ToString(), "1");
+  auto r2 = TreeMembership(a, miss);
+  ASSERT_OK(r2);
+  EXPECT_EQ(r2->selected.ToString(), "0");
+}
+
+TEST(TreeMachineTest, EmptyOperands) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation empty = Rel(schema, {});
+  const Relation a = Rel(schema, {{1}, {2}});
+  auto no_a = TreeMembership(empty, a);
+  ASSERT_OK(no_a);
+  EXPECT_EQ(no_a->selected.size(), 0u);
+  auto no_b = TreeMembership(a, empty);
+  ASSERT_OK(no_b);
+  EXPECT_EQ(no_b->selected.CountOnes(), 0u);
+}
+
+TEST(TreeMachineTest, NonPowerOfTwoLeafCount) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}, {2}, {3}, {4}, {5}});  // pads to 8
+  const Relation b = Rel(schema, {{2}, {4}, {5}});
+  auto run = TreeMembership(a, b);
+  ASSERT_OK(run);
+  EXPECT_EQ(run->selected.ToString(), "01011");
+  EXPECT_EQ(run->nodes, 7u * 2 + 8u);
+}
+
+TEST(TreeMachineTest, IncompatibleOperandsRejected) {
+  const Relation a = Rel(rel::MakeIntSchema(1, "p"), {{1}});
+  const Relation b = Rel(rel::MakeIntSchema(1, "q"), {{1}});
+  EXPECT_TRUE(TreeMembership(a, b).status().IsIncompatible());
+}
+
+TEST(TreeMachineTest, IntersectionFiltersA) {
+  const Schema schema = rel::MakeIntSchema(2);
+  const Relation a = Rel(schema, {{1, 1}, {2, 2}, {3, 3}, {2, 2}},
+                         rel::RelationKind::kMulti);
+  const Relation b = Rel(schema, {{2, 2}});
+  auto result = TreeIntersection(a, b);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->relation.num_tuples(), 2u);
+  auto oracle = rel::reference::Intersection(a, b);
+  ASSERT_OK(oracle);
+  EXPECT_EQ(result->relation.tuples(), oracle->tuples());
+}
+
+TEST(TreeMachineTest, CyclesScaleLinearlyNotQuadratically) {
+  const Schema schema = rel::MakeIntSchema(1);
+  auto make = [&](size_t n, uint64_t seed) {
+    rel::GeneratorOptions options;
+    options.num_tuples = n;
+    options.domain_size = static_cast<int64_t>(2 * n);
+    options.seed = seed;
+    auto r = rel::GenerateRelation(schema, options);
+    SYSTOLIC_CHECK(r.ok());
+    return std::move(r).ValueOrDie();
+  };
+  const Relation a32 = make(32, 1);
+  const Relation b32 = make(32, 2);
+  const Relation a128 = make(128, 3);
+  const Relation b128 = make(128, 4);
+  auto small = TreeMembership(a32, b32);
+  auto large = TreeMembership(a128, b128);
+  ASSERT_OK(small);
+  ASSERT_OK(large);
+  // 4x the data must cost clearly less than 16x the pulses.
+  EXPECT_LT(large->cycles, 8 * small->cycles);
+}
+
+// Property sweep: tree machine equals the reference oracle.
+class TreeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeSweep, MatchesReference) {
+  const Schema schema = rel::MakeIntSchema(2);
+  rel::PairOptions options;
+  options.base.num_tuples = 20 + GetParam() % 17;
+  options.base.domain_size = 6;
+  options.base.seed = GetParam();
+  options.b_num_tuples = 15 + GetParam() % 11;
+  options.overlap_fraction = 0.4;
+  auto pair = rel::GenerateOverlappingPair(schema, options);
+  ASSERT_OK(pair);
+  auto tree = TreeIntersection(pair->a, pair->b);
+  ASSERT_OK(tree);
+  auto oracle = rel::reference::Intersection(pair->a, pair->b);
+  ASSERT_OK(oracle);
+  EXPECT_EQ(tree->relation.tuples(), oracle->tuples());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace machine
+}  // namespace systolic

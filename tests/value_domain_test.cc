@@ -1,0 +1,123 @@
+#include "relational/domain.h"
+
+#include "gtest/gtest.h"
+#include "relational/value.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace rel {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Int64(5).type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Int64(5).AsInt64(), 5);
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::String("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value::Int64(3), Value::Int64(3));
+  EXPECT_NE(Value::Int64(3), Value::Int64(4));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::String("a"), Value::String("b"));
+  EXPECT_NE(Value::Int64(1), Value::Bool(true));
+}
+
+TEST(ValueTest, ToStringRenders) {
+  EXPECT_EQ(Value::Int64(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("xyz").ToString(), "xyz");
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kBool), "bool");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "string");
+}
+
+TEST(DomainTest, IntDomainUsesIdentityEncoding) {
+  auto d = Domain::Make("ages", ValueType::kInt64);
+  EXPECT_TRUE(d->ordered());
+  auto code = d->Encode(Value::Int64(37));
+  ASSERT_OK(code);
+  EXPECT_EQ(*code, 37);
+  auto decoded = d->Decode(37);
+  ASSERT_OK(decoded);
+  EXPECT_EQ(*decoded, Value::Int64(37));
+  // Negative codes round-trip too.
+  ASSERT_OK(d->Encode(Value::Int64(-5)));
+  EXPECT_EQ(*d->Decode(-5), Value::Int64(-5));
+}
+
+TEST(DomainTest, StringDomainDictionaryEncodes) {
+  auto d = Domain::Make("names", ValueType::kString);
+  EXPECT_FALSE(d->ordered());
+  auto alice = d->Encode(Value::String("alice"));
+  auto bob = d->Encode(Value::String("bob"));
+  auto alice2 = d->Encode(Value::String("alice"));
+  ASSERT_OK(alice);
+  ASSERT_OK(bob);
+  ASSERT_OK(alice2);
+  EXPECT_EQ(*alice, 0);
+  EXPECT_EQ(*bob, 1);
+  EXPECT_EQ(*alice2, *alice) << "encoding must be stable";
+  EXPECT_EQ(d->dictionary_size(), 2u);
+  EXPECT_EQ(*d->Decode(1), Value::String("bob"));
+}
+
+TEST(DomainTest, EncodeRejectsWrongType) {
+  auto d = Domain::Make("names", ValueType::kString);
+  auto result = d->Encode(Value::Int64(5));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(DomainTest, LookupDoesNotRegister) {
+  auto d = Domain::Make("names", ValueType::kString);
+  auto missing = d->Lookup(Value::String("ghost"));
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_EQ(d->dictionary_size(), 0u);
+  ASSERT_OK(d->Encode(Value::String("ghost")));
+  ASSERT_OK(d->Lookup(Value::String("ghost")));
+}
+
+TEST(DomainTest, DecodeUnknownCodeFails) {
+  auto d = Domain::Make("names", ValueType::kString);
+  EXPECT_TRUE(d->Decode(0).status().IsNotFound());
+  EXPECT_TRUE(d->Decode(-1).status().IsNotFound());
+}
+
+TEST(DomainTest, BoolDomainRoundTrips) {
+  auto d = Domain::Make("flags", ValueType::kBool);
+  auto t = d->Encode(Value::Bool(true));
+  auto f = d->Encode(Value::Bool(false));
+  ASSERT_OK(t);
+  ASSERT_OK(f);
+  EXPECT_NE(*t, *f);
+  EXPECT_EQ(*d->Decode(*t), Value::Bool(true));
+  EXPECT_EQ(*d->Decode(*f), Value::Bool(false));
+}
+
+TEST(DomainTest, EncodingIsReversibleProperty) {
+  // §2.3: "uniquely and reversably encoded" — round-trip across many values.
+  auto d = Domain::Make("words", ValueType::kString);
+  for (int i = 0; i < 200; ++i) {
+    const Value v = Value::String("w" + std::to_string(i % 50));
+    auto code = d->Encode(v);
+    ASSERT_OK(code);
+    EXPECT_EQ(*d->Decode(*code), v);
+  }
+  EXPECT_EQ(d->dictionary_size(), 50u);
+}
+
+}  // namespace
+}  // namespace rel
+}  // namespace systolic
