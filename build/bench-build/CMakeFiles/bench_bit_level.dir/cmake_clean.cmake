@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bit_level"
+  "../bench/bench_bit_level.pdb"
+  "CMakeFiles/bench_bit_level.dir/bench_bit_level.cc.o"
+  "CMakeFiles/bench_bit_level.dir/bench_bit_level.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bit_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

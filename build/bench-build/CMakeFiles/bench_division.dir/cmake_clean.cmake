@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_division"
+  "../bench/bench_division.pdb"
+  "CMakeFiles/bench_division.dir/bench_division.cc.o"
+  "CMakeFiles/bench_division.dir/bench_division.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

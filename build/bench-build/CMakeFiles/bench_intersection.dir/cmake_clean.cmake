@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_intersection"
+  "../bench/bench_intersection.pdb"
+  "CMakeFiles/bench_intersection.dir/bench_intersection.cc.o"
+  "CMakeFiles/bench_intersection.dir/bench_intersection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

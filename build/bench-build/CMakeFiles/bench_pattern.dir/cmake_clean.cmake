@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pattern"
+  "../bench/bench_pattern.pdb"
+  "CMakeFiles/bench_pattern.dir/bench_pattern.cc.o"
+  "CMakeFiles/bench_pattern.dir/bench_pattern.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

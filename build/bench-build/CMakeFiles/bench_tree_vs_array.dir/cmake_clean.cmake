@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tree_vs_array"
+  "../bench/bench_tree_vs_array.pdb"
+  "CMakeFiles/bench_tree_vs_array.dir/bench_tree_vs_array.cc.o"
+  "CMakeFiles/bench_tree_vs_array.dir/bench_tree_vs_array.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_vs_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_vs_software"
+  "../bench/bench_vs_software.pdb"
+  "CMakeFiles/bench_vs_software.dir/bench_vs_software.cc.o"
+  "CMakeFiles/bench_vs_software.dir/bench_vs_software.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

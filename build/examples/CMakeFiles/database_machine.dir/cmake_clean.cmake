@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_machine.dir/database_machine.cpp.o"
+  "CMakeFiles/database_machine.dir/database_machine.cpp.o.d"
+  "database_machine"
+  "database_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_trace.dir/dataflow_trace.cpp.o"
+  "CMakeFiles/dataflow_trace.dir/dataflow_trace.cpp.o.d"
+  "dataflow_trace"
+  "dataflow_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

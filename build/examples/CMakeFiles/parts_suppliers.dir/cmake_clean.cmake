@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parts_suppliers.dir/parts_suppliers.cpp.o"
+  "CMakeFiles/parts_suppliers.dir/parts_suppliers.cpp.o.d"
+  "parts_suppliers"
+  "parts_suppliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parts_suppliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

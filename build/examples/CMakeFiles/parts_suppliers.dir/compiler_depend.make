@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for parts_suppliers.
+# This may be replaced when dependencies are built.

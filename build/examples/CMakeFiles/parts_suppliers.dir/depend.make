@@ -1,0 +1,2 @@
+# Empty dependencies file for parts_suppliers.
+# This may be replaced when dependencies are built.

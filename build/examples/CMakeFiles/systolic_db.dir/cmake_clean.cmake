@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_db.dir/systolic_db.cpp.o"
+  "CMakeFiles/systolic_db.dir/systolic_db.cpp.o.d"
+  "systolic_db"
+  "systolic_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arrays/accumulation_cell.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/accumulation_cell.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/accumulation_cell.cc.o.d"
+  "/root/repo/src/arrays/accumulation_column.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/accumulation_column.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/accumulation_column.cc.o.d"
+  "/root/repo/src/arrays/bit_serial.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/bit_serial.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/bit_serial.cc.o.d"
+  "/root/repo/src/arrays/comparison_cell.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/comparison_cell.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/comparison_cell.cc.o.d"
+  "/root/repo/src/arrays/comparison_grid.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/comparison_grid.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/comparison_grid.cc.o.d"
+  "/root/repo/src/arrays/dedup_array.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/dedup_array.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/dedup_array.cc.o.d"
+  "/root/repo/src/arrays/division_array.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/division_array.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/division_array.cc.o.d"
+  "/root/repo/src/arrays/division_cells.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/division_cells.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/division_cells.cc.o.d"
+  "/root/repo/src/arrays/hex_grid.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/hex_grid.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/hex_grid.cc.o.d"
+  "/root/repo/src/arrays/intersection_array.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/intersection_array.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/intersection_array.cc.o.d"
+  "/root/repo/src/arrays/join_array.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/join_array.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/join_array.cc.o.d"
+  "/root/repo/src/arrays/membership.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/membership.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/membership.cc.o.d"
+  "/root/repo/src/arrays/pattern_match.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/pattern_match.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/pattern_match.cc.o.d"
+  "/root/repo/src/arrays/selection_array.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/selection_array.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/selection_array.cc.o.d"
+  "/root/repo/src/arrays/stationary_grid.cc" "src/arrays/CMakeFiles/systolic_arrays.dir/stationary_grid.cc.o" "gcc" "src/arrays/CMakeFiles/systolic_arrays.dir/stationary_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systolic/CMakeFiles/systolic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/systolic_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/systolic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

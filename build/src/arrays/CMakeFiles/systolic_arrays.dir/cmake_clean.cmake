@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_arrays.dir/accumulation_cell.cc.o"
+  "CMakeFiles/systolic_arrays.dir/accumulation_cell.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/accumulation_column.cc.o"
+  "CMakeFiles/systolic_arrays.dir/accumulation_column.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/bit_serial.cc.o"
+  "CMakeFiles/systolic_arrays.dir/bit_serial.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/comparison_cell.cc.o"
+  "CMakeFiles/systolic_arrays.dir/comparison_cell.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/comparison_grid.cc.o"
+  "CMakeFiles/systolic_arrays.dir/comparison_grid.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/dedup_array.cc.o"
+  "CMakeFiles/systolic_arrays.dir/dedup_array.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/division_array.cc.o"
+  "CMakeFiles/systolic_arrays.dir/division_array.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/division_cells.cc.o"
+  "CMakeFiles/systolic_arrays.dir/division_cells.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/hex_grid.cc.o"
+  "CMakeFiles/systolic_arrays.dir/hex_grid.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/intersection_array.cc.o"
+  "CMakeFiles/systolic_arrays.dir/intersection_array.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/join_array.cc.o"
+  "CMakeFiles/systolic_arrays.dir/join_array.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/membership.cc.o"
+  "CMakeFiles/systolic_arrays.dir/membership.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/pattern_match.cc.o"
+  "CMakeFiles/systolic_arrays.dir/pattern_match.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/selection_array.cc.o"
+  "CMakeFiles/systolic_arrays.dir/selection_array.cc.o.d"
+  "CMakeFiles/systolic_arrays.dir/stationary_grid.cc.o"
+  "CMakeFiles/systolic_arrays.dir/stationary_grid.cc.o.d"
+  "libsystolic_arrays.a"
+  "libsystolic_arrays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_arrays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_core.dir/engine.cc.o"
+  "CMakeFiles/systolic_core.dir/engine.cc.o.d"
+  "libsystolic_core.a"
+  "libsystolic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/disk.cc" "src/perfmodel/CMakeFiles/systolic_perfmodel.dir/disk.cc.o" "gcc" "src/perfmodel/CMakeFiles/systolic_perfmodel.dir/disk.cc.o.d"
+  "/root/repo/src/perfmodel/estimates.cc" "src/perfmodel/CMakeFiles/systolic_perfmodel.dir/estimates.cc.o" "gcc" "src/perfmodel/CMakeFiles/systolic_perfmodel.dir/estimates.cc.o.d"
+  "/root/repo/src/perfmodel/floorplan.cc" "src/perfmodel/CMakeFiles/systolic_perfmodel.dir/floorplan.cc.o" "gcc" "src/perfmodel/CMakeFiles/systolic_perfmodel.dir/floorplan.cc.o.d"
+  "/root/repo/src/perfmodel/technology.cc" "src/perfmodel/CMakeFiles/systolic_perfmodel.dir/technology.cc.o" "gcc" "src/perfmodel/CMakeFiles/systolic_perfmodel.dir/technology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/systolic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

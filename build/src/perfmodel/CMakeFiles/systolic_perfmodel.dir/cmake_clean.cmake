@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_perfmodel.dir/disk.cc.o"
+  "CMakeFiles/systolic_perfmodel.dir/disk.cc.o.d"
+  "CMakeFiles/systolic_perfmodel.dir/estimates.cc.o"
+  "CMakeFiles/systolic_perfmodel.dir/estimates.cc.o.d"
+  "CMakeFiles/systolic_perfmodel.dir/floorplan.cc.o"
+  "CMakeFiles/systolic_perfmodel.dir/floorplan.cc.o.d"
+  "CMakeFiles/systolic_perfmodel.dir/technology.cc.o"
+  "CMakeFiles/systolic_perfmodel.dir/technology.cc.o.d"
+  "libsystolic_perfmodel.a"
+  "libsystolic_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for systolic_perfmodel.
+# This may be replaced when dependencies are built.

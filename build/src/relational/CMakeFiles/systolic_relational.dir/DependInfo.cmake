@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/builder.cc" "src/relational/CMakeFiles/systolic_relational.dir/builder.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/builder.cc.o.d"
+  "/root/repo/src/relational/catalog.cc" "src/relational/CMakeFiles/systolic_relational.dir/catalog.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/catalog.cc.o.d"
+  "/root/repo/src/relational/compare.cc" "src/relational/CMakeFiles/systolic_relational.dir/compare.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/compare.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/relational/CMakeFiles/systolic_relational.dir/csv.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/csv.cc.o.d"
+  "/root/repo/src/relational/domain.cc" "src/relational/CMakeFiles/systolic_relational.dir/domain.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/domain.cc.o.d"
+  "/root/repo/src/relational/generator.cc" "src/relational/CMakeFiles/systolic_relational.dir/generator.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/generator.cc.o.d"
+  "/root/repo/src/relational/op_specs.cc" "src/relational/CMakeFiles/systolic_relational.dir/op_specs.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/op_specs.cc.o.d"
+  "/root/repo/src/relational/ops_hash.cc" "src/relational/CMakeFiles/systolic_relational.dir/ops_hash.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/ops_hash.cc.o.d"
+  "/root/repo/src/relational/ops_reference.cc" "src/relational/CMakeFiles/systolic_relational.dir/ops_reference.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/ops_reference.cc.o.d"
+  "/root/repo/src/relational/ops_sort.cc" "src/relational/CMakeFiles/systolic_relational.dir/ops_sort.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/ops_sort.cc.o.d"
+  "/root/repo/src/relational/relation.cc" "src/relational/CMakeFiles/systolic_relational.dir/relation.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/relation.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/systolic_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/storage.cc" "src/relational/CMakeFiles/systolic_relational.dir/storage.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/storage.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/systolic_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/systolic_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/systolic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_relational.dir/builder.cc.o"
+  "CMakeFiles/systolic_relational.dir/builder.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/catalog.cc.o"
+  "CMakeFiles/systolic_relational.dir/catalog.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/compare.cc.o"
+  "CMakeFiles/systolic_relational.dir/compare.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/csv.cc.o"
+  "CMakeFiles/systolic_relational.dir/csv.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/domain.cc.o"
+  "CMakeFiles/systolic_relational.dir/domain.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/generator.cc.o"
+  "CMakeFiles/systolic_relational.dir/generator.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/op_specs.cc.o"
+  "CMakeFiles/systolic_relational.dir/op_specs.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/ops_hash.cc.o"
+  "CMakeFiles/systolic_relational.dir/ops_hash.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/ops_reference.cc.o"
+  "CMakeFiles/systolic_relational.dir/ops_reference.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/ops_sort.cc.o"
+  "CMakeFiles/systolic_relational.dir/ops_sort.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/relation.cc.o"
+  "CMakeFiles/systolic_relational.dir/relation.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/schema.cc.o"
+  "CMakeFiles/systolic_relational.dir/schema.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/storage.cc.o"
+  "CMakeFiles/systolic_relational.dir/storage.cc.o.d"
+  "CMakeFiles/systolic_relational.dir/value.cc.o"
+  "CMakeFiles/systolic_relational.dir/value.cc.o.d"
+  "libsystolic_relational.a"
+  "libsystolic_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

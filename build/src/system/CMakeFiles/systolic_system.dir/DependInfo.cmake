@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/command.cc" "src/system/CMakeFiles/systolic_system.dir/command.cc.o" "gcc" "src/system/CMakeFiles/systolic_system.dir/command.cc.o.d"
+  "/root/repo/src/system/disk_unit.cc" "src/system/CMakeFiles/systolic_system.dir/disk_unit.cc.o" "gcc" "src/system/CMakeFiles/systolic_system.dir/disk_unit.cc.o.d"
+  "/root/repo/src/system/logic_per_track.cc" "src/system/CMakeFiles/systolic_system.dir/logic_per_track.cc.o" "gcc" "src/system/CMakeFiles/systolic_system.dir/logic_per_track.cc.o.d"
+  "/root/repo/src/system/machine.cc" "src/system/CMakeFiles/systolic_system.dir/machine.cc.o" "gcc" "src/system/CMakeFiles/systolic_system.dir/machine.cc.o.d"
+  "/root/repo/src/system/memory.cc" "src/system/CMakeFiles/systolic_system.dir/memory.cc.o" "gcc" "src/system/CMakeFiles/systolic_system.dir/memory.cc.o.d"
+  "/root/repo/src/system/transaction.cc" "src/system/CMakeFiles/systolic_system.dir/transaction.cc.o" "gcc" "src/system/CMakeFiles/systolic_system.dir/transaction.cc.o.d"
+  "/root/repo/src/system/tree_machine.cc" "src/system/CMakeFiles/systolic_system.dir/tree_machine.cc.o" "gcc" "src/system/CMakeFiles/systolic_system.dir/tree_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/systolic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/systolic_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/systolic_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/systolic_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arrays/CMakeFiles/systolic_arrays.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/systolic_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

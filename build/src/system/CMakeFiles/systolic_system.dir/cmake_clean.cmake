@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_system.dir/command.cc.o"
+  "CMakeFiles/systolic_system.dir/command.cc.o.d"
+  "CMakeFiles/systolic_system.dir/disk_unit.cc.o"
+  "CMakeFiles/systolic_system.dir/disk_unit.cc.o.d"
+  "CMakeFiles/systolic_system.dir/logic_per_track.cc.o"
+  "CMakeFiles/systolic_system.dir/logic_per_track.cc.o.d"
+  "CMakeFiles/systolic_system.dir/machine.cc.o"
+  "CMakeFiles/systolic_system.dir/machine.cc.o.d"
+  "CMakeFiles/systolic_system.dir/memory.cc.o"
+  "CMakeFiles/systolic_system.dir/memory.cc.o.d"
+  "CMakeFiles/systolic_system.dir/transaction.cc.o"
+  "CMakeFiles/systolic_system.dir/transaction.cc.o.d"
+  "CMakeFiles/systolic_system.dir/tree_machine.cc.o"
+  "CMakeFiles/systolic_system.dir/tree_machine.cc.o.d"
+  "libsystolic_system.a"
+  "libsystolic_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsystolic_system.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systolic/schedule.cc" "src/systolic/CMakeFiles/systolic_sim.dir/schedule.cc.o" "gcc" "src/systolic/CMakeFiles/systolic_sim.dir/schedule.cc.o.d"
+  "/root/repo/src/systolic/simulator.cc" "src/systolic/CMakeFiles/systolic_sim.dir/simulator.cc.o" "gcc" "src/systolic/CMakeFiles/systolic_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/systolic/word.cc" "src/systolic/CMakeFiles/systolic_sim.dir/word.cc.o" "gcc" "src/systolic/CMakeFiles/systolic_sim.dir/word.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/systolic_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/systolic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

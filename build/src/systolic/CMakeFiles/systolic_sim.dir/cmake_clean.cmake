@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_sim.dir/schedule.cc.o"
+  "CMakeFiles/systolic_sim.dir/schedule.cc.o.d"
+  "CMakeFiles/systolic_sim.dir/simulator.cc.o"
+  "CMakeFiles/systolic_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/systolic_sim.dir/word.cc.o"
+  "CMakeFiles/systolic_sim.dir/word.cc.o.d"
+  "libsystolic_sim.a"
+  "libsystolic_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/systolic_util.dir/bitvector.cc.o"
+  "CMakeFiles/systolic_util.dir/bitvector.cc.o.d"
+  "CMakeFiles/systolic_util.dir/rng.cc.o"
+  "CMakeFiles/systolic_util.dir/rng.cc.o.d"
+  "CMakeFiles/systolic_util.dir/status.cc.o"
+  "CMakeFiles/systolic_util.dir/status.cc.o.d"
+  "CMakeFiles/systolic_util.dir/strings.cc.o"
+  "CMakeFiles/systolic_util.dir/strings.cc.o.d"
+  "libsystolic_util.a"
+  "libsystolic_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/systolic_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

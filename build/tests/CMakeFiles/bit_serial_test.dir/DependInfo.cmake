@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bit_serial_test.cc" "tests/CMakeFiles/bit_serial_test.dir/bit_serial_test.cc.o" "gcc" "tests/CMakeFiles/bit_serial_test.dir/bit_serial_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arrays/CMakeFiles/systolic_arrays.dir/DependInfo.cmake"
+  "/root/repo/build/src/systolic/CMakeFiles/systolic_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/systolic_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/systolic_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bit_serial_test.dir/bit_serial_test.cc.o"
+  "CMakeFiles/bit_serial_test.dir/bit_serial_test.cc.o.d"
+  "bit_serial_test"
+  "bit_serial_test.pdb"
+  "bit_serial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bit_serial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder_csv_test.dir/builder_csv_test.cc.o"
+  "CMakeFiles/builder_csv_test.dir/builder_csv_test.cc.o.d"
+  "builder_csv_test"
+  "builder_csv_test.pdb"
+  "builder_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_array_test.dir/comparison_array_test.cc.o"
+  "CMakeFiles/comparison_array_test.dir/comparison_array_test.cc.o.d"
+  "comparison_array_test"
+  "comparison_array_test.pdb"
+  "comparison_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_array_test.dir/dedup_array_test.cc.o"
+  "CMakeFiles/dedup_array_test.dir/dedup_array_test.cc.o.d"
+  "dedup_array_test"
+  "dedup_array_test.pdb"
+  "dedup_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/division_array_test.dir/division_array_test.cc.o"
+  "CMakeFiles/division_array_test.dir/division_array_test.cc.o.d"
+  "division_array_test"
+  "division_array_test.pdb"
+  "division_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/division_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

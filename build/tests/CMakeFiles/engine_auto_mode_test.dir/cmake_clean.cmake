@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_auto_mode_test.dir/engine_auto_mode_test.cc.o"
+  "CMakeFiles/engine_auto_mode_test.dir/engine_auto_mode_test.cc.o.d"
+  "engine_auto_mode_test"
+  "engine_auto_mode_test.pdb"
+  "engine_auto_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_auto_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

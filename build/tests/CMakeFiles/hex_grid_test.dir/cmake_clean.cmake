@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hex_grid_test.dir/hex_grid_test.cc.o"
+  "CMakeFiles/hex_grid_test.dir/hex_grid_test.cc.o.d"
+  "hex_grid_test"
+  "hex_grid_test.pdb"
+  "hex_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hex_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

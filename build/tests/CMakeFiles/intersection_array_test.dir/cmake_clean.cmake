@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersection_array_test.dir/intersection_array_test.cc.o"
+  "CMakeFiles/intersection_array_test.dir/intersection_array_test.cc.o.d"
+  "intersection_array_test"
+  "intersection_array_test.pdb"
+  "intersection_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersection_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_array_test.dir/join_array_test.cc.o"
+  "CMakeFiles/join_array_test.dir/join_array_test.cc.o.d"
+  "join_array_test"
+  "join_array_test.pdb"
+  "join_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

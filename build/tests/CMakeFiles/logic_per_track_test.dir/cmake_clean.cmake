@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic_per_track_test.dir/logic_per_track_test.cc.o"
+  "CMakeFiles/logic_per_track_test.dir/logic_per_track_test.cc.o.d"
+  "logic_per_track_test"
+  "logic_per_track_test.pdb"
+  "logic_per_track_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic_per_track_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for logic_per_track_test.
+# This may be replaced when dependencies are built.

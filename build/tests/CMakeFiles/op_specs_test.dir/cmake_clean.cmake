@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_specs_test.dir/op_specs_test.cc.o"
+  "CMakeFiles/op_specs_test.dir/op_specs_test.cc.o.d"
+  "op_specs_test"
+  "op_specs_test.pdb"
+  "op_specs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_specs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_match_test.dir/pattern_match_test.cc.o"
+  "CMakeFiles/pattern_match_test.dir/pattern_match_test.cc.o.d"
+  "pattern_match_test"
+  "pattern_match_test.pdb"
+  "pattern_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

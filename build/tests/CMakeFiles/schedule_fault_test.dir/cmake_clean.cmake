@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_fault_test.dir/schedule_fault_test.cc.o"
+  "CMakeFiles/schedule_fault_test.dir/schedule_fault_test.cc.o.d"
+  "schedule_fault_test"
+  "schedule_fault_test.pdb"
+  "schedule_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_relation_test.dir/schema_relation_test.cc.o"
+  "CMakeFiles/schema_relation_test.dir/schema_relation_test.cc.o.d"
+  "schema_relation_test"
+  "schema_relation_test.pdb"
+  "schema_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

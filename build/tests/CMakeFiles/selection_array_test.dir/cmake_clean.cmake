@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_array_test.dir/selection_array_test.cc.o"
+  "CMakeFiles/selection_array_test.dir/selection_array_test.cc.o.d"
+  "selection_array_test"
+  "selection_array_test.pdb"
+  "selection_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

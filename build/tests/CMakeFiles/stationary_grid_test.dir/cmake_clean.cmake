@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stationary_grid_test.dir/stationary_grid_test.cc.o"
+  "CMakeFiles/stationary_grid_test.dir/stationary_grid_test.cc.o.d"
+  "stationary_grid_test"
+  "stationary_grid_test.pdb"
+  "stationary_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stationary_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
