@@ -7,7 +7,12 @@
 // enough devices, makespan drops below serial time and saturates at the
 // critical path.
 
+// A second sweep varies the devices' chip count (num_chips): §8's tiles of
+// one operation spread across the chips of its device, compounding with the
+// §9 concurrency across devices. `--smoke` shrinks the workloads for CI.
+
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "system/machine.h"
@@ -31,9 +36,10 @@ rel::Relation Generated(const rel::Schema& schema, size_t n, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const rel::Schema schema = rel::MakeIntSchema(2, "sysbench");
-  const size_t n = 64;
+  const size_t n = smoke ? 24 : 64;
 
   std::printf("=== E12: §9 integrated machine — transaction with 4 "
               "independent intersections + 2 dependent unions ===\n");
@@ -70,6 +76,33 @@ int main() {
                 report.crossbar_configurations);
   }
 
+  std::printf("\n=== multi-chip devices: same transaction, 2 intersect "
+              "devices, sweeping chips per device ===\n");
+  std::printf("%-8s %-14s %-14s %-10s\n", "chips", "serial_us", "makespan_us",
+              "speedup_vs_1");
+  double one_chip_makespan = 0;
+  for (size_t chips : {1, 2, 4}) {
+    MachineConfig config;
+    config.num_memories = 16;
+    config.device.rows = smoke ? 15 : 31;  // force many tiles per op
+    config.device.num_chips = chips;
+    config.device_counts[OpKind::kIntersect] = 2;
+    Machine m(config);
+    for (const char* name : {"r1", "r2", "r3", "r4"}) {
+      m.disk().Put(name, Generated(schema, 2 * n, 300 + name[1]));
+      SYSTOLIC_CHECK(m.LoadFromDisk(name).ok());
+    }
+    Transaction txn;
+    txn.Intersect("r1", "r2", "i1")
+        .Intersect("r3", "r4", "i2")
+        .Union("i1", "i2", "u1");
+    const auto report = Unwrap(m.Execute(txn));
+    if (chips == 1) one_chip_makespan = report.makespan_seconds;
+    std::printf("%-8zu %-14.2f %-14.2f %-10.2f\n", chips,
+                report.serial_seconds * 1e6, report.makespan_seconds * 1e6,
+                one_chip_makespan / report.makespan_seconds);
+  }
+
   std::printf("\n=== memory->array->memory pipeline detail (1 device pool) "
               "===\n");
   {
@@ -78,7 +111,7 @@ int main() {
     config.device.rows = 63;
     Machine m(config);
     for (const char* name : {"r1", "r2"}) {
-      m.disk().Put(name, Generated(schema, 128, 7 + name[1]));
+      m.disk().Put(name, Generated(schema, smoke ? 32 : 128, 7 + name[1]));
       SYSTOLIC_CHECK(m.LoadFromDisk(name).ok());
     }
     Transaction txn;

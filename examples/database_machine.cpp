@@ -7,7 +7,12 @@
 // modeled compute and crossbar-transfer time, and the serial-vs-concurrent
 // makespan.
 
+// Pass `--chips N` to drive each systolic device with N parallel chips
+// (§8's independent tiles dispatched across a chip pool).
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "relational/builder.h"
 #include "relational/generator.h"
@@ -25,13 +30,17 @@ using systolic::rel::MakeIntSchema;
 using systolic::rel::PairOptions;
 using systolic::rel::Schema;
 
-Status Run() {
+Status Run(size_t num_chips) {
   MachineConfig config;
   config.num_memories = 12;
   config.device.rows = 63;  // a real (small) physical array: tiling engages
+  config.device.num_chips = num_chips;
   config.device_counts[OpKind::kIntersect] = 2;  // two intersect devices
 
   Machine machine(config);
+  if (num_chips > 1) {
+    std::printf("(each device drives %zu parallel chips)\n", num_chips);
+  }
 
   // Populate the disk with three generated relations over one schema.
   const Schema schema = MakeIntSchema(2, "warehouse");
@@ -96,8 +105,14 @@ Status Run() {
 
 }  // namespace
 
-int main() {
-  const Status status = Run();
+int main(int argc, char** argv) {
+  size_t num_chips = 1;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--chips") == 0) {
+      num_chips = static_cast<size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+  }
+  const Status status = Run(num_chips);
   if (!status.ok()) {
     std::printf("FAILED: %s\n", status.ToString().c_str());
     return 1;

@@ -6,8 +6,12 @@
 //   $ echo 'LOAD parts
 //           SELECT parts WHERE weight > 10 -> heavy
 //           PRINT heavy' | ./query_shell
+//
+// `--chips N` drives the machine's systolic devices with N parallel chips.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <sstream>
 
@@ -36,9 +40,10 @@ PRINT supplier_weights
 STORE complete AS complete_suppliers
 )";
 
-machine::Machine MakeDemoMachine() {
+machine::Machine MakeDemoMachine(size_t num_chips) {
   machine::MachineConfig config;
   config.num_memories = 16;
+  config.device.num_chips = num_chips;
   machine::Machine m(config);
 
   auto ds = rel::Domain::Make("supplier", rel::ValueType::kString);
@@ -78,11 +83,20 @@ machine::Machine MakeDemoMachine() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  machine::Machine m = MakeDemoMachine();
+  size_t num_chips = 1;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chips") == 0 && i + 1 < argc) {
+      num_chips = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--demo") == 0) {
+      demo = true;
+    }
+  }
+  machine::Machine m = MakeDemoMachine(num_chips);
   machine::CommandInterpreter interpreter(&m, &std::cout);
 
   Status status;
-  if (argc > 1 && std::string(argv[1]) == "--demo") {
+  if (demo) {
     std::istringstream demo(kDemoScript);
     status = interpreter.ExecuteScript(demo);
   } else {

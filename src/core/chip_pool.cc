@@ -1,0 +1,74 @@
+#include "core/chip_pool.h"
+
+#include <algorithm>
+
+namespace systolic {
+namespace db {
+
+ChipPool::ChipPool(size_t num_chips) {
+  const size_t n = std::max<size_t>(1, num_chips);
+  threads_.reserve(n);
+  for (size_t chip = 0; chip < n; ++chip) {
+    threads_.emplace_back([this, chip] { WorkerLoop(chip); });
+  }
+}
+
+ChipPool::~ChipPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ChipPool::RunAll(size_t num_tasks,
+                      const std::function<void(size_t, size_t)>& task) {
+  if (num_tasks == 0) return;
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  task_ = &task;
+  num_tasks_ = num_tasks;
+  next_task_ = 0;
+  completed_ = 0;
+  exceptions_.assign(num_tasks, nullptr);
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return completed_ == num_tasks_; });
+  task_ = nullptr;
+  num_tasks_ = 0;
+  next_task_ = 0;
+  for (std::exception_ptr& e : exceptions_) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+}
+
+void ChipPool::WorkerLoop(size_t chip) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  uint64_t seen_generation = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stopping_ || generation_ != seen_generation;
+    });
+    if (stopping_) return;
+    seen_generation = generation_;
+    while (next_task_ < num_tasks_) {
+      const size_t index = next_task_++;
+      const std::function<void(size_t, size_t)>* task = task_;
+      std::exception_ptr error = nullptr;
+      lock.unlock();
+      try {
+        (*task)(index, chip);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      exceptions_[index] = error;
+      ++completed_;
+      if (completed_ == num_tasks_) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace db
+}  // namespace systolic

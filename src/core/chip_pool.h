@@ -1,0 +1,77 @@
+#ifndef SYSTOLIC_CORE_CHIP_POOL_H_
+#define SYSTOLIC_CORE_CHIP_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace systolic {
+namespace db {
+
+/// A fixed pool of worker threads, one per simulated chip.
+///
+/// §8 of the paper partitions an oversized result matrix T "into sub-problems
+/// small enough to fit on the array"; those sub-problems are mutually
+/// independent, so a machine with several chips can run them at once. Each
+/// worker of this pool plays one chip: the engine hands it tile passes, and
+/// every pass builds its own private sim::Simulator (the array drivers
+/// construct one per run), so chips share no simulation state.
+///
+/// The pool itself is policy-free: it executes a batch of independent tasks
+/// and leaves all result placement to the caller, which is what lets the
+/// engine merge per-tile results in tile order and stay bit-identical to the
+/// serial path regardless of which chip finished first.
+class ChipPool {
+ public:
+  /// Spawns `num_chips` workers (clamped to at least 1). Workers idle on a
+  /// condition variable between batches.
+  explicit ChipPool(size_t num_chips);
+
+  /// Stops and joins all workers. Must not race an active RunAll.
+  ~ChipPool();
+
+  ChipPool(const ChipPool&) = delete;
+  ChipPool& operator=(const ChipPool&) = delete;
+
+  size_t num_chips() const { return threads_.size(); }
+
+  /// Executes task(i, chip) exactly once for every i in [0, num_tasks), each
+  /// call on some worker thread with that worker's chip index, and blocks
+  /// until all calls returned. Tasks are claimed dynamically (earliest-free
+  /// chip takes the next tile), so callers must write results only into
+  /// per-task slots and merge after RunAll returns.
+  ///
+  /// If tasks throw, every task still runs to completion and the exception
+  /// of the lowest-indexed throwing task is rethrown here — deterministic no
+  /// matter which chip hit it first. Concurrent RunAll calls (e.g. through
+  /// engine copies sharing one pool) serialise.
+  void RunAll(size_t num_tasks,
+              const std::function<void(size_t task, size_t chip)>& task);
+
+ private:
+  void WorkerLoop(size_t chip);
+
+  std::mutex run_mutex_;  // serialises RunAll callers
+
+  std::mutex mutex_;  // guards everything below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stopping_ = false;
+  uint64_t generation_ = 0;
+  size_t num_tasks_ = 0;
+  size_t next_task_ = 0;
+  size_t completed_ = 0;
+  const std::function<void(size_t, size_t)>* task_ = nullptr;
+  std::vector<std::exception_ptr> exceptions_;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace db
+}  // namespace systolic
+
+#endif  // SYSTOLIC_CORE_CHIP_POOL_H_

@@ -20,8 +20,53 @@ using rel::Relation;
 void ExecStats::AccumulatePass(const ArrayRunInfo& info) {
   ++passes;
   cycles += info.cycles;
+  makespan_cycles += info.cycles;
   busy_cell_cycles += info.sim.busy_cell_cycles;
   num_compute_cells = std::max(num_compute_cells, info.sim.num_compute_cells);
+}
+
+Engine::Engine(DeviceConfig device)
+    : device_(device),
+      pool_(device.num_chips > 1 ? std::make_shared<ChipPool>(device.num_chips)
+                                 : nullptr) {}
+
+size_t Engine::num_chips() const { return std::max<size_t>(1, device_.num_chips); }
+
+Status Engine::RunTiled(
+    size_t count,
+    const std::function<Status(size_t tile, size_t chip)>& task) const {
+  if (pool_ == nullptr || count <= 1) {
+    for (size_t tile = 0; tile < count; ++tile) {
+      SYSTOLIC_RETURN_NOT_OK(task(tile, 0));
+    }
+    return Status::OK();
+  }
+  std::vector<Status> statuses(count);
+  pool_->RunAll(count, [&task, &statuses](size_t tile, size_t chip) {
+    statuses[tile] = task(tile, chip);
+  });
+  for (const Status& status : statuses) {
+    SYSTOLIC_RETURN_NOT_OK(status);
+  }
+  return Status::OK();
+}
+
+void Engine::MergePassInfos(const std::vector<ArrayRunInfo>& infos,
+                            ExecStats* stats) const {
+  if (stats == nullptr) return;
+  // Sum exactly as the serial path's per-pass accumulation would.
+  std::vector<size_t> chip_busy(num_chips(), 0);
+  for (const ArrayRunInfo& info : infos) {
+    ++stats->passes;
+    stats->cycles += info.cycles;
+    stats->busy_cell_cycles += info.sim.busy_cell_cycles;
+    stats->num_compute_cells =
+        std::max(stats->num_compute_cells, info.sim.num_compute_cells);
+    // Greedy tile-order schedule: each pass to the chip that frees first.
+    *std::min_element(chip_busy.begin(), chip_busy.end()) += info.cycles;
+  }
+  stats->makespan_cycles +=
+      *std::max_element(chip_busy.begin(), chip_busy.end());
 }
 
 namespace {
@@ -110,60 +155,84 @@ Result<BitVector> Engine::TiledMembership(const Relation& a, const Relation& b,
   const std::vector<size_t> a_cols = sim::AllColumns(a);
   const std::vector<size_t> b_cols = sim::AllColumns(b);
 
+  // Enumerate the §8 tile grid up front: every tile is an independent
+  // sub-problem, so the batch can fan out across the chip pool. Results land
+  // in per-tile slots and are merged in tile order below, making the output
+  // and the summed statistics bit-identical to the serial path.
+  struct MembershipTile {
+    size_t a_start;
+    size_t b_start;
+    bool diagonal;  // dedup: tile compares a block against itself
+  };
+  std::vector<MembershipTile> tiles;
+  // Block sizes: dedup tiles A against itself by the preload (bottom)
+  // capacity so both disciplines use the same decomposition; the general
+  // case blocks A by the top capacity and B by the bottom capacity.
+  const size_t cap_a = dedup ? std::min(BlockCapacity(mode, true), n_a)
+                             : std::min(BlockCapacity(mode, false), n_a);
+  const size_t cap_b = dedup ? cap_a
+                             : std::min(BlockCapacity(mode, true),
+                                        std::max<size_t>(1, b.num_tuples()));
   if (dedup) {
-    // Tile pairs (p, q) with q <= p over blocks of A, sized by the preload
-    // (bottom) capacity so both disciplines use the same decomposition.
-    // Diagonal tiles use the lower-triangle rule on block-local indices
-    // (which coincide pairwise); below-diagonal tiles compare full blocks,
-    // since every such pair already has j < i globally.
-    const size_t cap = std::min(BlockCapacity(mode, true), n_a);
-    for (size_t p = 0; p < n_a; p += cap) {
-      const Relation block_p = Slice(a, p, cap);
-      for (size_t q = 0; q <= p; q += cap) {
-        ArrayRunInfo info;
-        BitVector bits(0);
-        if (q == p) {
-          SYSTOLIC_ASSIGN_OR_RETURN(
-              bits, RunMembership(block_p, block_p, a_cols, a_cols,
-                                  arrays::EdgeRule::kStrictLowerTriangle,
-                                  options, &info));
-        } else {
-          const Relation block_q = Slice(a, q, cap);
-          SYSTOLIC_ASSIGN_OR_RETURN(
-              bits, RunMembership(block_p, block_q, a_cols, a_cols,
-                                  arrays::EdgeRule::kAllTrue, options, &info));
-        }
-        if (stats != nullptr) stats->AccumulatePass(info);
-        for (size_t i = 0; i < bits.size(); ++i) {
-          if (bits.Get(i)) acc.Set(p + i, true);
-        }
+    // Tile pairs (p, q) with q <= p over blocks of A. Diagonal tiles use
+    // the lower-triangle rule on block-local indices (which coincide
+    // pairwise); below-diagonal tiles compare full blocks, since every such
+    // pair already has j < i globally.
+    for (size_t p = 0; p < n_a; p += cap_a) {
+      for (size_t q = 0; q <= p; q += cap_a) {
+        tiles.push_back({p, q, q == p});
       }
     }
-    return acc;
+  } else {
+    for (size_t ai = 0; ai < n_a; ai += cap_a) {
+      for (size_t bi = 0; bi < b.num_tuples(); bi += cap_b) {
+        tiles.push_back({ai, bi, false});
+      }
+      if (b.num_tuples() == 0 && stats != nullptr) {
+        // Empty B: the pass is trivially empty; nothing to run.
+        ++stats->passes;
+      }
+    }
   }
 
-  const size_t cap_a = std::min(BlockCapacity(mode, false), n_a);
-  const size_t cap_b =
-      std::min(BlockCapacity(mode, true), std::max<size_t>(1, b.num_tuples()));
-  for (size_t ai = 0; ai < n_a; ai += cap_a) {
-    const Relation block_a = Slice(a, ai, cap_a);
-    bool ran_any_b = false;
-    for (size_t bi = 0; bi < b.num_tuples(); bi += cap_b) {
-      const Relation block_b = Slice(b, bi, cap_b);
-      ArrayRunInfo info;
-      SYSTOLIC_ASSIGN_OR_RETURN(
-          BitVector bits,
-          RunMembership(block_a, block_b, a_cols, b_cols,
-                        arrays::EdgeRule::kAllTrue, options, &info));
-      if (stats != nullptr) stats->AccumulatePass(info);
-      for (size_t i = 0; i < bits.size(); ++i) {
-        if (bits.Get(i)) acc.Set(ai + i, true);
-      }
-      ran_any_b = true;
-    }
-    if (!ran_any_b && stats != nullptr) {
-      // Empty B: the pass is trivially empty; nothing to run.
-      ++stats->passes;
+  std::vector<BitVector> tile_bits(tiles.size(), BitVector(0));
+  std::vector<ArrayRunInfo> tile_infos(tiles.size());
+  SYSTOLIC_RETURN_NOT_OK(RunTiled(
+      tiles.size(), [&](size_t t, size_t /*chip*/) -> Status {
+        const MembershipTile& tile = tiles[t];
+        ArrayRunInfo info;
+        if (dedup) {
+          const Relation block_p = Slice(a, tile.a_start, cap_a);
+          if (tile.diagonal) {
+            SYSTOLIC_ASSIGN_OR_RETURN(
+                tile_bits[t],
+                RunMembership(block_p, block_p, a_cols, a_cols,
+                              arrays::EdgeRule::kStrictLowerTriangle, options,
+                              &info));
+          } else {
+            const Relation block_q = Slice(a, tile.b_start, cap_a);
+            SYSTOLIC_ASSIGN_OR_RETURN(
+                tile_bits[t],
+                RunMembership(block_p, block_q, a_cols, a_cols,
+                              arrays::EdgeRule::kAllTrue, options, &info));
+          }
+        } else {
+          const Relation block_a = Slice(a, tile.a_start, cap_a);
+          const Relation block_b = Slice(b, tile.b_start, cap_b);
+          SYSTOLIC_ASSIGN_OR_RETURN(
+              tile_bits[t],
+              RunMembership(block_a, block_b, a_cols, b_cols,
+                            arrays::EdgeRule::kAllTrue, options, &info));
+        }
+        tile_infos[t] = info;
+        return Status::OK();
+      }));
+
+  MergePassInfos(tile_infos, stats);
+  for (size_t t = 0; t < tiles.size(); ++t) {
+    const BitVector& bits = tile_bits[t];
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (bits.Get(i)) acc.Set(tiles[t].a_start + i, true);
     }
   }
   return acc;
@@ -250,19 +319,36 @@ Result<EngineResult> Engine::Join(const Relation& a, const Relation& b,
 
   const size_t cap_a = std::min(BlockCapacity(mode, false), a.num_tuples());
   const size_t cap_b = std::min(BlockCapacity(mode, true), b.num_tuples());
-  std::vector<std::pair<size_t, size_t>> matches;
+  std::vector<std::pair<size_t, size_t>> offsets;  // tile -> (ai, bi)
   for (size_t ai = 0; ai < a.num_tuples(); ai += cap_a) {
-    const Relation block_a = Slice(a, ai, cap_a);
     for (size_t bi = 0; bi < b.num_tuples(); bi += cap_b) {
-      const Relation block_b = Slice(b, bi, cap_b);
-      SYSTOLIC_ASSIGN_OR_RETURN(
-          arrays::JoinArrayResult tile,
-          arrays::SystolicJoin(block_a, block_b, spec, options));
-      result.stats.AccumulatePass(tile.info);
-      for (const auto& [i, j] : tile.matches) {
-        matches.emplace_back(ai + i, bi + j);
-      }
+      offsets.emplace_back(ai, bi);
     }
+  }
+
+  std::vector<std::vector<std::pair<size_t, size_t>>> tile_matches(
+      offsets.size());
+  std::vector<ArrayRunInfo> tile_infos(offsets.size());
+  SYSTOLIC_RETURN_NOT_OK(RunTiled(
+      offsets.size(), [&](size_t t, size_t /*chip*/) -> Status {
+        const auto [ai, bi] = offsets[t];
+        const Relation block_a = Slice(a, ai, cap_a);
+        const Relation block_b = Slice(b, bi, cap_b);
+        SYSTOLIC_ASSIGN_OR_RETURN(
+            arrays::JoinArrayResult tile,
+            arrays::SystolicJoin(block_a, block_b, spec, options));
+        tile_infos[t] = tile.info;
+        tile_matches[t].reserve(tile.matches.size());
+        for (const auto& [i, j] : tile.matches) {
+          tile_matches[t].emplace_back(ai + i, bi + j);
+        }
+        return Status::OK();
+      }));
+  MergePassInfos(tile_infos, &result.stats);
+
+  std::vector<std::pair<size_t, size_t>> matches;
+  for (const auto& per_tile : tile_matches) {
+    matches.insert(matches.end(), per_tile.begin(), per_tile.end());
   }
   std::sort(matches.begin(), matches.end());
   for (const auto& [i, j] : matches) {
@@ -327,13 +413,31 @@ Result<EngineResult> Engine::Divide(const Relation& a, const Relation& b,
     }
   }
 
-  for (const Relation& chunk : chunks) {
+  // Every (chunk, divisor-group) pass is independent — a key divides B iff
+  // it divides every group, and intersecting the groups' survivor sets
+  // commutes with running the passes — so the whole grid fans out across
+  // the chip pool at once; the per-chunk intersection below walks groups in
+  // order, reproducing the serial result exactly.
+  const size_t num_groups = divisor_groups.size();
+  std::vector<arrays::DivisionArrayResult> passes(
+      chunks.size() * num_groups,
+      arrays::DivisionArrayResult(Relation(b.schema(), rel::RelationKind::kSet)));
+  std::vector<ArrayRunInfo> tile_infos(chunks.size() * num_groups);
+  SYSTOLIC_RETURN_NOT_OK(RunTiled(
+      chunks.size() * num_groups, [&](size_t t, size_t /*chip*/) -> Status {
+        SYSTOLIC_ASSIGN_OR_RETURN(
+            passes[t], arrays::SystolicDivision(chunks[t / num_groups],
+                                                divisor_groups[t % num_groups],
+                                                spec));
+        tile_infos[t] = passes[t].info;
+        return Status::OK();
+      }));
+  MergePassInfos(tile_infos, &result.stats);
+
+  for (size_t c = 0; c < chunks.size(); ++c) {
     std::vector<rel::Tuple> surviving;  // in first-occurrence order
-    for (size_t g = 0; g < divisor_groups.size(); ++g) {
-      SYSTOLIC_ASSIGN_OR_RETURN(
-          arrays::DivisionArrayResult pass,
-          arrays::SystolicDivision(chunk, divisor_groups[g], spec));
-      result.stats.AccumulatePass(pass.info);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const arrays::DivisionArrayResult& pass = passes[c * num_groups + g];
       if (g == 0) {
         surviving = pass.relation.tuples();
       } else {

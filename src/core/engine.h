@@ -1,12 +1,15 @@
 #ifndef SYSTOLIC_CORE_ENGINE_H_
 #define SYSTOLIC_CORE_ENGINE_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "arrays/comparison_grid.h"
 #include "arrays/membership.h"
 #include "arrays/selection_array.h"
+#include "core/chip_pool.h"
 #include "relational/op_specs.h"
 #include "relational/relation.h"
 #include "util/result.h"
@@ -29,6 +32,13 @@ struct DeviceConfig {
   /// Feed discipline: §3's marching arrays, §8's fixed-B variant, or kAuto
   /// to let the engine pick per operation by modeled total pulse count.
   arrays::FeedModePolicy mode = arrays::FeedModePolicy::kMarching;
+  /// Identical chips driven in parallel. §8's decomposition produces
+  /// mutually independent (row-tile, col-tile) sub-problems; with more than
+  /// one chip the engine dispatches them across a worker pool (one simulated
+  /// device per worker) and merges per-tile results in tile order, so output
+  /// and summed statistics are bit-identical to the serial path. 1 (the
+  /// default) preserves today's serial execution exactly; 0 is treated as 1.
+  size_t num_chips = 1;
 };
 
 /// Aggregate execution statistics for one engine operation, summed over all
@@ -39,8 +49,14 @@ struct ExecStats {
   /// The feed discipline the engine resolved for this operation (meaningful
   /// for the membership/join families; selection always streams fixed).
   arrays::FeedMode resolved_mode = arrays::FeedMode::kMarching;
-  /// Total pulses across passes.
+  /// Total pulses across passes (the cost if every pass serialised).
   size_t cycles = 0;
+  /// Critical-path pulses across the device's chips: the makespan of the
+  /// deterministic tile-order greedy schedule (each pass goes to the chip
+  /// that frees up first) over the per-pass pulse counts. Equals `cycles`
+  /// when num_chips == 1; with C chips on balanced tiles it approaches
+  /// cycles / C.
+  size_t makespan_cycles = 0;
   /// Total busy cell-pulses and cell count (max across passes).
   size_t busy_cell_cycles = 0;
   size_t num_compute_cells = 0;
@@ -72,9 +88,12 @@ struct EngineResult {
 /// relational/ops_reference.h; outputs preserve first-operand order.
 class Engine {
  public:
-  explicit Engine(DeviceConfig device = {}) : device_(device) {}
+  explicit Engine(DeviceConfig device = {});
 
   const DeviceConfig& device() const { return device_; }
+
+  /// Chips the engine actually drives (device().num_chips clamped to >= 1).
+  size_t num_chips() const;
 
   /// A ∩ B (§4). Requires union-compatible operands.
   Result<EngineResult> Intersect(const rel::Relation& a,
@@ -120,6 +139,22 @@ class Engine {
   /// the B side (which differs from A in fixed mode).
   size_t BlockCapacity(arrays::FeedMode mode, bool bottom) const;
 
+  /// Runs `count` independent tile tasks — across the chip pool when the
+  /// device has several chips, serially in tile order otherwise — and
+  /// returns the lowest-tile-index non-OK status. Tasks receive (tile,
+  /// chip) and must write results only into their own tile's slots; callers
+  /// merge in tile order afterwards, which is what keeps parallel output
+  /// bit-identical to serial.
+  Status RunTiled(size_t count,
+                  const std::function<Status(size_t tile, size_t chip)>& task)
+      const;
+
+  /// Folds per-tile pass records into `stats` in tile order: sums passes /
+  /// cycles / busy cell-pulses exactly as the serial path would, and adds
+  /// the greedy multi-chip makespan of the batch to `makespan_cycles`.
+  void MergePassInfos(const std::vector<arrays::ArrayRunInfo>& infos,
+                      ExecStats* stats) const;
+
   /// Width check against device_.columns.
   Status CheckWidth(size_t width) const;
 
@@ -135,6 +170,9 @@ class Engine {
                         size_t columns) const;
 
   DeviceConfig device_;
+  /// Shared by engine copies (the §9 machine stores engines by value); null
+  /// when num_chips() == 1, so the default device costs no threads.
+  std::shared_ptr<ChipPool> pool_;
 };
 
 }  // namespace db

@@ -162,8 +162,11 @@ Result<TransactionReport> Machine::Execute(const Transaction& transaction) {
       sr.output = step.output;
       sr.level = level;
       sr.exec = executed->stats;
-      sr.compute_seconds =
-          perf::SecondsForCycles(config_.technology, executed->stats.cycles);
+      // Critical-path pulses: on a multi-chip device (num_chips > 1) the §8
+      // tiles run concurrently, so the step's wall time is the makespan, not
+      // the pulse sum. Identical when num_chips == 1.
+      sr.compute_seconds = perf::SecondsForCycles(
+          config_.technology, executed->stats.makespan_cycles);
       sr.transfer_seconds = bytes / crossbar_rate;
       sr.bytes_moved = bytes;
 

@@ -35,6 +35,9 @@ struct FuzzParam {
   uint64_t seed;
   size_t device_rows;
   arrays::FeedModePolicy mode;
+  /// Chips driven in parallel; 1 = serial (the default for the legacy
+  /// points). Parallel points must agree with every backend bit-for-bit.
+  size_t num_chips = 1;
 };
 
 class DifferentialFuzz : public ::testing::TestWithParam<FuzzParam> {
@@ -56,6 +59,7 @@ class DifferentialFuzz : public ::testing::TestWithParam<FuzzParam> {
     DeviceConfig device;
     device.rows = p.device_rows;
     device.mode = p.mode;
+    device.num_chips = p.num_chips;
     engine_ = std::make_unique<Engine>(device);
   }
 
@@ -197,7 +201,105 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzParam{19, 13, arrays::FeedModePolicy::kMarching},
         FuzzParam{20, 1, arrays::FeedModePolicy::kMarching},
         FuzzParam{21, 1, arrays::FeedModePolicy::kFixedB},
-        FuzzParam{22, 7, arrays::FeedModePolicy::kMarching}));
+        FuzzParam{22, 7, arrays::FeedModePolicy::kMarching},
+        // Multi-chip points: the tiled passes fan out across worker chips
+        // and every backend must still agree exactly.
+        FuzzParam{23, 5, arrays::FeedModePolicy::kMarching, 2},
+        FuzzParam{24, 3, arrays::FeedModePolicy::kMarching, 7},
+        FuzzParam{25, 6, arrays::FeedModePolicy::kFixedB, 2},
+        FuzzParam{26, 2, arrays::FeedModePolicy::kFixedB, 7},
+        FuzzParam{27, 9, arrays::FeedModePolicy::kAuto, 7}));
+
+// --- Serial-vs-parallel differential fuzz: for every operation, the
+// multi-chip engine must produce output byte-identical to the serial engine
+// — relation contents AND tuple order AND summed statistics — across
+// num_chips in {1, 2, 7}. 1000 random relation pairs total, sharded so
+// ctest can run the shards concurrently. ---
+
+constexpr size_t kParallelFuzzShards = 8;
+constexpr size_t kPairsPerShard = 125;  // 8 x 125 = 1000 pairs
+
+class ParallelDifferentialFuzz : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelDifferentialFuzz, EveryOpBitIdenticalAcrossChipCounts) {
+  const size_t shard = GetParam();
+
+  // One engine per chip count, reused across all pairs (the pool's workers
+  // persist). device.rows is small so every workload tiles heavily.
+  DeviceConfig base;
+  base.rows = 5;
+  Engine serial(base);
+  std::vector<std::unique_ptr<Engine>> parallel;
+  for (size_t chips : {size_t{2}, size_t{7}}) {
+    DeviceConfig config = base;
+    config.num_chips = chips;
+    parallel.push_back(std::make_unique<Engine>(config));
+  }
+
+  auto check = [&](const char* op, uint64_t seed,
+                   const Result<db::EngineResult>& serial_result,
+                   const Result<db::EngineResult>& parallel_result) {
+    ASSERT_EQ(serial_result.ok(), parallel_result.ok())
+        << op << " seed " << seed;
+    if (!serial_result.ok()) return;
+    EXPECT_EQ(serial_result->relation.tuples(),
+              parallel_result->relation.tuples())
+        << op << " seed " << seed;
+    EXPECT_EQ(serial_result->stats.passes, parallel_result->stats.passes)
+        << op << " seed " << seed;
+    EXPECT_EQ(serial_result->stats.cycles, parallel_result->stats.cycles)
+        << op << " seed " << seed;
+    EXPECT_EQ(serial_result->stats.busy_cell_cycles,
+              parallel_result->stats.busy_cell_cycles)
+        << op << " seed " << seed;
+  };
+
+  for (size_t i = 0; i < kPairsPerShard; ++i) {
+    const uint64_t seed = 1000 + shard * kPairsPerShard + i;
+    Rng rng(seed * 6151 + 7);
+    const Schema schema = rel::MakeIntSchema(1 + seed % 3);
+    rel::PairOptions options;
+    options.base.num_tuples = 4 + static_cast<size_t>(rng.Uniform(0, 8));
+    options.base.domain_size = 2 + rng.Uniform(0, 5);
+    options.base.seed = seed;
+    options.b_num_tuples = 3 + static_cast<size_t>(rng.Uniform(0, 9));
+    options.overlap_fraction = rng.NextDouble();
+    auto pair = rel::GenerateOverlappingPair(schema, options);
+    ASSERT_OK(pair);
+
+    const rel::JoinSpec join_spec{
+        {0},
+        {pair->b.arity() - 1},
+        static_cast<rel::ComparisonOp>(seed % 3 == 0 ? 0 : seed % 6)};
+    auto divisor = pair->b.ProjectColumns({pair->b.arity() - 1});
+    ASSERT_OK(divisor);
+    const rel::DivisionSpec div_spec{{pair->a.arity() - 1}, {0}};
+    const std::vector<arrays::SelectionPredicate> predicates{
+        {0, rel::ComparisonOp::kGe, rng.Uniform(0, 4)}};
+
+    for (const auto& engine : parallel) {
+      check("intersect", seed, serial.Intersect(pair->a, pair->b),
+            engine->Intersect(pair->a, pair->b));
+      check("subtract", seed, serial.Subtract(pair->a, pair->b),
+            engine->Subtract(pair->a, pair->b));
+      check("dedup", seed, serial.RemoveDuplicates(pair->a),
+            engine->RemoveDuplicates(pair->a));
+      check("union", seed, serial.Union(pair->a, pair->b),
+            engine->Union(pair->a, pair->b));
+      check("project", seed, serial.Project(pair->a, {0}),
+            engine->Project(pair->a, {0}));
+      check("join", seed, serial.Join(pair->a, pair->b, join_spec),
+            engine->Join(pair->a, pair->b, join_spec));
+      check("divide", seed, serial.Divide(pair->a, *divisor, div_spec),
+            engine->Divide(pair->a, *divisor, div_spec));
+      check("select", seed, serial.Select(pair->a, predicates),
+            engine->Select(pair->a, predicates));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ParallelDifferentialFuzz,
+                         ::testing::Range(size_t{0}, kParallelFuzzShards));
 
 }  // namespace
 }  // namespace systolic

@@ -106,6 +106,93 @@ TEST(EngineTest, StatsAccumulateAcrossPasses) {
   EXPECT_GT(result->stats.Utilization(), 0.0);
 }
 
+TEST(EngineTest, ZeroChipsBehavesAsOneChip) {
+  DeviceConfig device;
+  device.num_chips = 0;
+  Engine engine(device);
+  EXPECT_EQ(engine.num_chips(), 1u);
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}, {2}, {1}});
+  auto result = engine.RemoveDuplicates(a);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->relation.num_tuples(), 2u);
+}
+
+TEST(EngineTest, SerialMakespanEqualsCycleSum) {
+  const Schema schema = rel::MakeIntSchema(1);
+  std::vector<std::vector<int64_t>> rows;
+  for (int64_t i = 0; i < 12; ++i) rows.push_back({i});
+  const Relation a = Rel(schema, rows);
+  DeviceConfig device;
+  device.rows = 5;
+  Engine engine(device);
+  auto result = engine.Intersect(a, a);
+  ASSERT_OK(result);
+  EXPECT_EQ(result->stats.makespan_cycles, result->stats.cycles);
+}
+
+TEST(EngineTest, MultiChipMatchesSerialOnEveryOperation) {
+  const Schema schema = rel::MakeIntSchema(2);
+  rel::PairOptions options;
+  options.base.num_tuples = 24;
+  options.base.domain_size = 6;
+  options.base.seed = 42;
+  options.b_num_tuples = 20;
+  options.overlap_fraction = 0.5;
+  auto pair = rel::GenerateOverlappingPair(schema, options);
+  ASSERT_OK(pair);
+
+  DeviceConfig serial_config;
+  serial_config.rows = 5;
+  Engine serial(serial_config);
+  DeviceConfig parallel_config = serial_config;
+  parallel_config.num_chips = 3;
+  Engine parallel(parallel_config);
+
+  auto check = [](const Result<EngineResult>& s,
+                  const Result<EngineResult>& p) {
+    ASSERT_OK(s);
+    ASSERT_OK(p);
+    EXPECT_EQ(s->relation.tuples(), p->relation.tuples());
+    EXPECT_EQ(s->stats.passes, p->stats.passes);
+    EXPECT_EQ(s->stats.cycles, p->stats.cycles);
+    EXPECT_EQ(s->stats.busy_cell_cycles, p->stats.busy_cell_cycles);
+    EXPECT_LE(p->stats.makespan_cycles, s->stats.makespan_cycles);
+  };
+
+  check(serial.Intersect(pair->a, pair->b),
+        parallel.Intersect(pair->a, pair->b));
+  check(serial.Subtract(pair->a, pair->b),
+        parallel.Subtract(pair->a, pair->b));
+  check(serial.RemoveDuplicates(pair->a), parallel.RemoveDuplicates(pair->a));
+  check(serial.Union(pair->a, pair->b), parallel.Union(pair->a, pair->b));
+  check(serial.Project(pair->a, {0}), parallel.Project(pair->a, {0}));
+  rel::JoinSpec join_spec{{0}, {0}, rel::ComparisonOp::kEq};
+  check(serial.Join(pair->a, pair->b, join_spec),
+        parallel.Join(pair->a, pair->b, join_spec));
+  auto divisor = pair->b.ProjectColumns({1});
+  ASSERT_OK(divisor);
+  rel::DivisionSpec div_spec{{1}, {0}};
+  check(serial.Divide(pair->a, *divisor, div_spec),
+        parallel.Divide(pair->a, *divisor, div_spec));
+  std::vector<arrays::SelectionPredicate> predicates{
+      {0, rel::ComparisonOp::kLt, 4}};
+  check(serial.Select(pair->a, predicates),
+        parallel.Select(pair->a, predicates));
+}
+
+TEST(EngineTest, MultiChipWidthOverflowStillRejected) {
+  const Schema schema = rel::MakeIntSchema(4);
+  const Relation a = Rel(schema, {{1, 2, 3, 4}});
+  DeviceConfig device;
+  device.columns = 3;
+  device.num_chips = 4;
+  Engine engine(device);
+  auto result = engine.Intersect(a, a);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCapacity());
+}
+
 // --- Tiling equivalence property: for every operation, a small physical
 // device must produce exactly the same relation as the unbounded device and
 // the reference oracle. ---

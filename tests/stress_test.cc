@@ -121,6 +121,115 @@ TEST(StressTest, MachineTwentyStepTransaction) {
   EXPECT_TRUE(m.Buffer("final").ok());
 }
 
+TEST(StressTest, MultiChipTiledIntersection200x200MatchesSerial) {
+  // The TSan gate for the chip pool: a 49-tile intersection raced across 4
+  // chips, repeated, must be byte-identical to the serial run every time.
+  const Schema schema = rel::MakeIntSchema(3);
+  rel::PairOptions options;
+  options.base.num_tuples = 200;
+  options.base.domain_size = 40;
+  options.base.seed = 71;
+  options.b_num_tuples = 200;
+  options.overlap_fraction = 0.35;
+  auto pair = rel::GenerateOverlappingPair(schema, options);
+  ASSERT_OK(pair);
+
+  db::DeviceConfig serial_device;
+  serial_device.rows = 63;  // capacity 32: 7x7 = 49 tiles
+  db::Engine serial(serial_device);
+  auto expected = serial.Intersect(pair->a, pair->b);
+  ASSERT_OK(expected);
+
+  db::DeviceConfig parallel_device = serial_device;
+  parallel_device.num_chips = 4;
+  db::Engine parallel(parallel_device);
+  for (int round = 0; round < 3; ++round) {
+    auto result = parallel.Intersect(pair->a, pair->b);
+    ASSERT_OK(result);
+    EXPECT_EQ(result->stats.passes, 49u);
+    EXPECT_EQ(result->relation.tuples(), expected->relation.tuples());
+    EXPECT_EQ(result->stats.cycles, expected->stats.cycles);
+    EXPECT_LT(result->stats.makespan_cycles, result->stats.cycles);
+  }
+}
+
+TEST(StressTest, MultiChipMixedOpsUnderSharedPool) {
+  // Several operations back to back on one multi-chip engine: the pool is
+  // reused across batches of different tile shapes and result types.
+  const Schema schema = rel::MakeIntSchema(2);
+  rel::PairOptions options;
+  options.base.num_tuples = 120;
+  options.base.domain_size = 25;
+  options.base.seed = 83;
+  options.b_num_tuples = 120;
+  options.overlap_fraction = 0.4;
+  auto pair = rel::GenerateOverlappingPair(schema, options);
+  ASSERT_OK(pair);
+
+  db::DeviceConfig serial_device;
+  serial_device.rows = 15;
+  db::Engine serial(serial_device);
+  db::DeviceConfig parallel_device = serial_device;
+  parallel_device.num_chips = 7;
+  db::Engine parallel(parallel_device);
+
+  auto su = serial.Union(pair->a, pair->b);
+  auto pu = parallel.Union(pair->a, pair->b);
+  ASSERT_OK(su);
+  ASSERT_OK(pu);
+  EXPECT_EQ(su->relation.tuples(), pu->relation.tuples());
+
+  rel::JoinSpec spec{{0}, {0}, rel::ComparisonOp::kEq};
+  auto sj = serial.Join(pair->a, pair->b, spec);
+  auto pj = parallel.Join(pair->a, pair->b, spec);
+  ASSERT_OK(sj);
+  ASSERT_OK(pj);
+  EXPECT_EQ(sj->relation.tuples(), pj->relation.tuples());
+
+  auto sd = serial.RemoveDuplicates(pair->a);
+  auto pd = parallel.RemoveDuplicates(pair->a);
+  ASSERT_OK(sd);
+  ASSERT_OK(pd);
+  EXPECT_EQ(sd->relation.tuples(), pd->relation.tuples());
+}
+
+TEST(StressTest, MultiChipMachineTransaction) {
+  // The §9 machine with multi-chip devices: per-step compute time uses the
+  // critical path, so the multi-chip machine's makespan must not exceed the
+  // single-chip machine's, with identical results.
+  const Schema schema = rel::MakeIntSchema(2);
+  auto run = [&](size_t chips) {
+    machine::MachineConfig config;
+    config.num_memories = 24;
+    config.device.rows = 15;
+    config.device.num_chips = chips;
+    machine::Machine m(config);
+    for (int i = 0; i < 4; ++i) {
+      rel::GeneratorOptions g;
+      g.num_tuples = 60;
+      g.domain_size = 24;
+      g.seed = 200 + i;
+      auto r = rel::GenerateRelation(schema, g);
+      EXPECT_TRUE(r.ok());
+      m.disk().Put("r" + std::to_string(i), std::move(*r));
+      EXPECT_TRUE(m.LoadFromDisk("r" + std::to_string(i)).ok());
+    }
+    machine::Transaction txn;
+    txn.Intersect("r0", "r1", "i0")
+        .Intersect("r2", "r3", "i1")
+        .Union("i0", "i1", "u0");
+    auto report = m.Execute(txn);
+    EXPECT_TRUE(report.ok());
+    auto out = m.Buffer("u0");
+    EXPECT_TRUE(out.ok());
+    return std::make_pair((*out)->tuples(), report->makespan_seconds);
+  };
+  const auto [serial_tuples, serial_makespan] = run(1);
+  const auto [parallel_tuples, parallel_makespan] = run(4);
+  EXPECT_EQ(serial_tuples, parallel_tuples);
+  EXPECT_LT(parallel_makespan, serial_makespan);
+}
+
 TEST(StressTest, DeepDedupChainStaysStable) {
   // Repeated dedup must be a fixed point even over many iterations with
   // fresh engines and tiny tiled devices.
