@@ -8,6 +8,8 @@
 //           PRINT heavy' | ./query_shell
 //
 // `--chips N` drives the machine's systolic devices with N parallel chips.
+// `--no-planner` starts with the cost-based query planner off (SET PLANNER
+// on|off toggles it from the script).
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +39,24 @@ PRINT heavy
 JOIN supplies parts ON part = part -> detail
 PROJECT detail supplier,weight -> supplier_weights
 PRINT supplier_weights
+# what would the planner do with a filtered join? (no execution)
+EXPLAIN JOIN supplies parts ON part = part -> wide
+# multi-step transaction: the planner pushes the selection below the join
+BEGIN
+JOIN supplies parts ON part = part -> shipped
+SELECT shipped WHERE weight >= 20 -> heavy_shipments
+EXPLAIN
+COMMIT
+PRINT heavy_shipments
+# same transaction executed literally, planner off
+SET PLANNER off
+RELEASE heavy_shipments
+BEGIN
+JOIN supplies parts ON part = part -> shipped2
+SELECT shipped2 WHERE weight >= 20 -> heavy2
+COMMIT
+PRINT heavy2
+SET PLANNER on
 STORE complete AS complete_suppliers
 )";
 
@@ -85,15 +105,19 @@ machine::Machine MakeDemoMachine(size_t num_chips) {
 int main(int argc, char** argv) {
   size_t num_chips = 1;
   bool demo = false;
+  bool planner = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chips") == 0 && i + 1 < argc) {
       num_chips = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
+    } else if (std::strcmp(argv[i], "--no-planner") == 0) {
+      planner = false;
     }
   }
   machine::Machine m = MakeDemoMachine(num_chips);
   machine::CommandInterpreter interpreter(&m, &std::cout);
+  interpreter.set_planner_enabled(planner);
 
   Status status;
   if (demo) {

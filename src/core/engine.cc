@@ -8,6 +8,7 @@
 #include "arrays/division_array.h"
 #include "arrays/intersection_array.h"
 #include "arrays/join_array.h"
+#include "perfmodel/estimates.h"
 #include "systolic/schedule.h"
 
 namespace systolic {
@@ -54,6 +55,7 @@ Status Engine::RunTiled(
 void Engine::MergePassInfos(const std::vector<ArrayRunInfo>& infos,
                             ExecStats* stats) const {
   if (stats == nullptr) return;
+  stats->num_chips = num_chips();
   // Sum exactly as the serial path's per-pass accumulation would.
   std::vector<size_t> chip_busy(num_chips(), 0);
   for (const ArrayRunInfo& info : infos) {
@@ -85,34 +87,18 @@ Relation Slice(const Relation& r, size_t start, size_t count) {
 }  // namespace
 
 size_t Engine::BlockCapacity(FeedMode mode, bool bottom) const {
-  if (device_.rows == 0) return SIZE_MAX;
-  if (mode == FeedMode::kFixedB) {
-    return bottom ? device_.rows : SIZE_MAX;
-  }
-  return (device_.rows + 1) / 2;
+  return perf::MembershipBlockCapacity(mode == FeedMode::kFixedB, bottom,
+                                       device_.rows);
 }
 
 double Engine::EstimatePulses(FeedMode mode, size_t n_a, size_t n_b,
                               size_t columns) const {
-  const double m = static_cast<double>(columns);
+  // Shared with the query planner (perfmodel/estimates), so the planner's
+  // predicted feed mode is exactly what ResolveMode picks at run time.
   if (mode == FeedMode::kFixedB) {
-    // One streaming pass of all of A per block of B (block = device rows,
-    // or all of B when unbounded): ceil(nB/R) * (2*nA + m + 1)-ish; the
-    // per-pass form measured in the timing tests is 2n + m + 1 at nA = nB.
-    const double rows = device_.rows == 0 ? std::max<size_t>(n_b, 1)
-                                          : device_.rows;
-    const double blocks_b = std::ceil(static_cast<double>(n_b) / rows);
-    return std::max(1.0, blocks_b) *
-           (static_cast<double>(n_a) + rows + m + 1);
+    return perf::FixedBMembershipPulses(n_a, n_b, columns, device_.rows);
   }
-  // Marching: ceil(nA/cap) * ceil(nB/cap) passes of ~(4*cap + m) pulses.
-  const double cap = static_cast<double>(
-      std::min(BlockCapacity(FeedMode::kMarching, false),
-               std::max(n_a > n_b ? n_a : n_b, size_t{1})));
-  const double blocks_a = std::ceil(static_cast<double>(n_a) / cap);
-  const double blocks_b = std::ceil(static_cast<double>(n_b) / cap);
-  return std::max(1.0, blocks_a) * std::max(1.0, blocks_b) *
-         (4.0 * cap + m);
+  return perf::MarchingMembershipPulses(n_a, n_b, columns, device_.rows);
 }
 
 FeedMode Engine::ResolveMode(size_t n_a, size_t n_b) const {
@@ -127,6 +113,14 @@ FeedMode Engine::ResolveMode(size_t n_a, size_t n_b) const {
   const double marching = EstimatePulses(FeedMode::kMarching, n_a, n_b, 1);
   const double fixed = EstimatePulses(FeedMode::kFixedB, n_a, n_b, 1);
   return fixed <= marching ? FeedMode::kFixedB : FeedMode::kMarching;
+}
+
+Engine Engine::WithMode(FeedMode mode) const {
+  Engine copy = *this;  // shares pool_, so no threads are spawned
+  copy.device_.mode = mode == FeedMode::kFixedB
+                          ? arrays::FeedModePolicy::kFixedB
+                          : arrays::FeedModePolicy::kMarching;
+  return copy;
 }
 
 Status Engine::CheckWidth(size_t width) const {

@@ -60,10 +60,30 @@ struct ExecStats {
   /// Total busy cell-pulses and cell count (max across passes).
   size_t busy_cell_cycles = 0;
   size_t num_compute_cells = 0;
+  /// Chips the operation's tiles were spread across (the engine's
+  /// num_chips()); denominator of MakespanUtilization().
+  size_t num_chips = 1;
 
+  /// Serial utilisation: busy cell-pulses over cells × summed pulses
+  /// (`cycles`). Denominator = the cell-pulses ONE chip offers when it runs
+  /// every pass back to back, so this measures how busy the array fabric is
+  /// within the passes themselves, independent of multi-chip parallelism.
+  /// (Under multi-chip runs it is NOT a wall-clock utilisation — use
+  /// MakespanUtilization() for that.)
   double Utilization() const {
     const double denom = static_cast<double>(num_compute_cells) *
                          static_cast<double>(cycles);
+    return denom == 0 ? 0.0 : static_cast<double>(busy_cell_cycles) / denom;
+  }
+
+  /// Wall-clock utilisation: busy cell-pulses over cells × makespan pulses ×
+  /// chips. Denominator = the cell-pulses the whole device (all chips) offers
+  /// during the operation's critical path, so idle chips and tile imbalance
+  /// count against it. Equal to Utilization() when num_chips == 1.
+  double MakespanUtilization() const {
+    const double denom = static_cast<double>(num_compute_cells) *
+                         static_cast<double>(makespan_cycles) *
+                         static_cast<double>(num_chips == 0 ? 1 : num_chips);
     return denom == 0 ? 0.0 : static_cast<double>(busy_cell_cycles) / denom;
   }
 
@@ -133,6 +153,12 @@ class Engine {
   /// the given sizes (resolves kAuto by comparing modeled pulse totals;
   /// exposed for tests and benchmarks).
   arrays::FeedMode ResolveMode(size_t n_a, size_t n_b) const;
+
+  /// A copy of this engine whose device is pinned to `mode`, sharing this
+  /// engine's chip pool (so the copy is cheap and spawns no threads). The
+  /// §9 machine uses this to honor a planner feed-mode hint on one step
+  /// without rebuilding the device.
+  Engine WithMode(arrays::FeedMode mode) const;
 
  private:
   /// Capacity of one operand block per pass under `mode`. `bottom` selects

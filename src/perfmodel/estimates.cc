@@ -1,5 +1,9 @@
 #include "perfmodel/estimates.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
 namespace systolic {
 namespace perf {
 
@@ -43,6 +47,38 @@ double SecondsForCycles(const Technology& tech, size_t cycles) {
   // One pulse = one word comparison per active cell; the bit comparators of
   // a word compare in parallel, so a pulse costs one bit-comparison time.
   return static_cast<double>(cycles) * tech.bit_comparison_ns * 1e-9;
+}
+
+size_t MembershipBlockCapacity(bool fixed_b, bool bottom, size_t device_rows) {
+  if (device_rows == 0) return SIZE_MAX;
+  if (fixed_b) {
+    return bottom ? device_rows : SIZE_MAX;
+  }
+  return (device_rows + 1) / 2;
+}
+
+double FixedBMembershipPulses(size_t n_a, size_t n_b, size_t columns,
+                              size_t device_rows) {
+  const double m = static_cast<double>(columns);
+  // One streaming pass of all of A per block of B (block = device rows, or
+  // all of B when unbounded): ceil(nB/R) * (2*nA + m + 1)-ish; the per-pass
+  // form measured in the timing tests is 2n + m + 1 at nA = nB.
+  const double rows =
+      device_rows == 0 ? std::max<size_t>(n_b, 1) : device_rows;
+  const double blocks_b = std::ceil(static_cast<double>(n_b) / rows);
+  return std::max(1.0, blocks_b) * (static_cast<double>(n_a) + rows + m + 1);
+}
+
+double MarchingMembershipPulses(size_t n_a, size_t n_b, size_t columns,
+                                size_t device_rows) {
+  const double m = static_cast<double>(columns);
+  // Marching: ceil(nA/cap) * ceil(nB/cap) passes of ~(4*cap + m) pulses.
+  const double cap = static_cast<double>(
+      std::min(MembershipBlockCapacity(/*fixed_b=*/false, false, device_rows),
+               std::max(n_a > n_b ? n_a : n_b, size_t{1})));
+  const double blocks_a = std::ceil(static_cast<double>(n_a) / cap);
+  const double blocks_b = std::ceil(static_cast<double>(n_b) / cap);
+  return std::max(1.0, blocks_a) * std::max(1.0, blocks_b) * (4.0 * cap + m);
 }
 
 }  // namespace perf

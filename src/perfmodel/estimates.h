@@ -53,6 +53,29 @@ size_t DecompositionPasses(size_t n_a, size_t n_b, size_t block_tuples);
 /// compare in parallel).
 double SecondsForCycles(const Technology& tech, size_t cycles);
 
+/// Modeled total pulses of a membership-family pass structure (intersection,
+/// difference, dedup, join) under §8's fixed-B discipline on a device with
+/// `device_rows` grid rows (0 = unbounded): every block of B is preloaded
+/// and all of A streams past it. This is the single source of truth shared
+/// by Engine (to resolve FeedModePolicy::kAuto per operation) and the query
+/// planner (to cost plan steps), so that the planner's predicted feed mode
+/// is exactly the mode the engine resolves at run time.
+double FixedBMembershipPulses(size_t n_a, size_t n_b, size_t columns,
+                              size_t device_rows);
+
+/// Same for the §3 marching discipline: both operands march through the
+/// grid in blocks of the marching block capacity ((rows+1)/2).
+double MarchingMembershipPulses(size_t n_a, size_t n_b, size_t columns,
+                                size_t device_rows);
+
+/// Operand-block capacity per pass on a device with `device_rows` rows:
+/// the §8 decomposition block size. `fixed_b` selects the fixed-B
+/// discipline, where the preloaded (bottom) operand block is a full
+/// device-height `device_rows` while the streaming operand is unblocked;
+/// marching blocks both operands to (rows+1)/2. Returns SIZE_MAX when the
+/// device is unbounded (rows == 0) or the side is unblocked.
+size_t MembershipBlockCapacity(bool fixed_b, bool bottom, size_t device_rows);
+
 }  // namespace perf
 }  // namespace systolic
 

@@ -1,0 +1,159 @@
+#include "planner/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "perfmodel/estimates.h"
+
+namespace systolic {
+namespace planner {
+
+using machine::OpKind;
+
+double PredicateSelectivity(const arrays::SelectionPredicate& p,
+                            const SelectivityDefaults& sel) {
+  switch (p.op) {
+    case rel::ComparisonOp::kEq:
+      return sel.select_eq;
+    case rel::ComparisonOp::kNe:
+      return sel.select_neq;
+    default:
+      return sel.select_range;
+  }
+}
+
+void EstimateCardinalities(LogicalPlan* plan, const SelectivityDefaults& sel) {
+  for (size_t id : plan->TopoOrder()) {
+    Node& n = plan->node(id);
+    if (n.is_input) continue;  // exact, set at plan construction
+    const double left = plan->node(n.children.at(0)).est_rows;
+    double est = 0;
+    switch (n.op) {
+      case OpKind::kIntersect: {
+        const double right = plan->node(n.children.at(1)).est_rows;
+        est = sel.intersect * std::min(left, right);
+        break;
+      }
+      case OpKind::kDifference:
+        est = sel.difference * left;
+        break;
+      case OpKind::kRemoveDuplicates:
+        est = n.dup_free ? left : sel.dedup_keep * left;
+        break;
+      case OpKind::kUnion: {
+        const double right = plan->node(n.children.at(1)).est_rows;
+        est = sel.dedup_keep * (left + right);
+        break;
+      }
+      case OpKind::kProject:
+        est = plan->node(n.children.at(0)).dup_free &&
+                      n.columns.size() ==
+                          plan->node(n.children.at(0)).schema.num_columns()
+                  ? left
+                  : sel.dedup_keep * left;
+        break;
+      case OpKind::kSelect: {
+        double keep = 1.0;
+        for (const arrays::SelectionPredicate& p : n.predicates) {
+          keep *= PredicateSelectivity(p, sel);
+        }
+        est = keep * left;
+        break;
+      }
+      case OpKind::kJoin: {
+        const double right = plan->node(n.children.at(1)).est_rows;
+        const double per_pair = n.join.op == rel::ComparisonOp::kEq
+                                    ? sel.join_eq
+                                    : sel.join_theta;
+        est = left * right *
+              std::pow(per_pair,
+                       static_cast<double>(n.join.left_columns.size()));
+        break;
+      }
+      case OpKind::kDivide:
+        est = sel.divide * sel.dedup_keep * left;
+        break;
+    }
+    // Anything non-empty estimates to at least one row: downstream work
+    // never models as free, and log-scale plots stay finite.
+    n.est_rows = left > 0 ? std::max(est, 1.0) : 0.0;
+  }
+}
+
+namespace {
+
+/// Membership-family pulses under the cheaper of the two feed disciplines.
+StepCost MembershipCost(size_t n_a, size_t n_b, size_t columns,
+                        size_t device_rows) {
+  StepCost cost;
+  const double fixed =
+      perf::FixedBMembershipPulses(n_a, n_b, columns, device_rows);
+  const double marching =
+      perf::MarchingMembershipPulses(n_a, n_b, columns, device_rows);
+  cost.has_mode_choice = true;
+  if (fixed <= marching) {
+    cost.mode = arrays::FeedMode::kFixedB;
+    cost.pulses = fixed;
+  } else {
+    cost.mode = arrays::FeedMode::kMarching;
+    cost.pulses = marching;
+  }
+  return cost;
+}
+
+size_t Rows(const LogicalPlan& plan, const Node& n, size_t child) {
+  const double est = plan.node(n.children.at(child)).est_rows;
+  return est <= 0 ? 0 : static_cast<size_t>(std::llround(est));
+}
+
+}  // namespace
+
+StepCost EstimateNodePulses(const LogicalPlan& plan, const Node& n,
+                            size_t device_rows) {
+  const size_t n_a = Rows(plan, n, 0);
+  const size_t m = plan.node(n.children.at(0)).schema.num_columns();
+  switch (n.op) {
+    case OpKind::kIntersect:
+    case OpKind::kDifference: {
+      const size_t n_b = Rows(plan, n, 1);
+      return MembershipCost(n_a, n_b, m, device_rows);
+    }
+    case OpKind::kRemoveDuplicates:
+      return MembershipCost(n_a, n_a, m, device_rows);
+    case OpKind::kUnion: {
+      const size_t total = n_a + Rows(plan, n, 1);
+      return MembershipCost(total, total, m, device_rows);
+    }
+    case OpKind::kProject: {
+      StepCost cost =
+          MembershipCost(n_a, n_a, n.columns.size(), device_rows);
+      cost.pulses += static_cast<double>(n_a);
+      cost.has_mode_choice = false;
+      return cost;
+    }
+    case OpKind::kSelect: {
+      StepCost cost;
+      cost.pulses = static_cast<double>(n_a + n.predicates.size() + 2);
+      return cost;
+    }
+    case OpKind::kJoin: {
+      const size_t n_b = Rows(plan, n, 1);
+      StepCost cost = MembershipCost(n_a, n_b, n.join.left_columns.size(),
+                                     device_rows);
+      cost.pulses += std::max(n.est_rows, 0.0);
+      return cost;
+    }
+    case OpKind::kDivide: {
+      const size_t n_b = Rows(plan, n, 1);
+      StepCost cost =
+          MembershipCost(n_a, n_b, n.division.a_columns.size(), device_rows);
+      cost.pulses += static_cast<double>(n_a);
+      cost.has_mode_choice = false;
+      return cost;
+    }
+  }
+  return StepCost{};
+}
+
+}  // namespace planner
+}  // namespace systolic

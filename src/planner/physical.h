@@ -1,0 +1,98 @@
+#ifndef SYSTOLIC_PLANNER_PHYSICAL_H_
+#define SYSTOLIC_PLANNER_PHYSICAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "planner/cost.h"
+#include "planner/plan.h"
+#include "planner/rewrites.h"
+#include "system/transaction.h"
+
+namespace systolic {
+namespace planner {
+
+/// The machine facts physical planning needs: which device (grid size) each
+/// op kind runs on and how many instances of it exist. Mirrors the
+/// corresponding MachineConfig fields; callers copy them over.
+struct PlannerParams {
+  db::DeviceConfig default_device;
+  std::map<machine::OpKind, db::DeviceConfig> device_configs;
+  std::map<machine::OpKind, size_t> device_counts;
+
+  const db::DeviceConfig& DeviceFor(machine::OpKind op) const {
+    auto it = device_configs.find(op);
+    return it == device_configs.end() ? default_device : it->second;
+  }
+  size_t CountFor(machine::OpKind op) const {
+    auto it = device_counts.find(op);
+    return it == device_counts.end() || it->second == 0 ? 1 : it->second;
+  }
+};
+
+struct PlannerOptions {
+  /// When false the logical plan is costed and scheduled but not rewritten
+  /// (SET PLANNER off keeps EXPLAIN useful while executing literally).
+  bool enable_rewrites = true;
+  RewriteOptions rewrites;
+  PlannerParams params;
+};
+
+/// One step of the physical plan, in emission order.
+struct PlannedStep {
+  machine::OpKind op = machine::OpKind::kIntersect;
+  std::string output;
+  size_t level = 0;
+  /// Device instance (0-based within the op kind's pool) the planner's LPT
+  /// assignment expects to run the step.
+  size_t device_slot = 0;
+  double est_pulses = 0;
+  double est_rows = 0;
+  /// Chosen feed discipline for the feed-mode families; `hinted` marks the
+  /// steps whose PlanStep carries a pinned feed hint (only steps whose
+  /// operands are all external inputs — exact cardinalities — are pinned).
+  arrays::FeedMode mode = arrays::FeedMode::kMarching;
+  bool has_mode_choice = false;
+  bool hinted = false;
+};
+
+/// The planner's product: an executable transaction plus everything EXPLAIN
+/// prints about how it was derived.
+struct PlannedTransaction {
+  machine::Transaction transaction;
+  std::vector<PlannedStep> steps;
+  RewriteSummary rewrites;
+  /// Modeled pulses of the original (un-rewritten) plan and of the emitted
+  /// one: `total` sums device pulses, `makespan` is the per-level LPT
+  /// critical path over the device pools.
+  double est_total_pulses_before = 0;
+  double est_total_pulses = 0;
+  double est_makespan_pulses = 0;
+  /// Printable logical plans (before / after rewrites).
+  std::string before;
+  std::string after;
+  /// Planner-introduced buffer names ("__plan_tN"); the shell releases them
+  /// after a planned COMMIT. Elided intermediates of the original
+  /// transaction are simply never materialised; result buffers are always
+  /// produced bit-identically under their original names.
+  std::vector<std::string> temp_buffers;
+
+  std::string ToString() const;
+};
+
+/// Compiles, rewrites, costs and schedules `txn` against the catalog
+/// `inputs`. The returned transaction is ready for Machine::Execute: steps
+/// are emitted per dependency level in descending estimated-pulse order (so
+/// the machine's round-robin device assignment approximates the planner's
+/// LPT schedule) with feed hints pinned where cardinalities are exact.
+Result<PlannedTransaction> PlanTransaction(
+    const machine::Transaction& txn,
+    const std::map<std::string, InputInfo>& inputs,
+    const PlannerOptions& options);
+
+}  // namespace planner
+}  // namespace systolic
+
+#endif  // SYSTOLIC_PLANNER_PHYSICAL_H_

@@ -1,0 +1,421 @@
+#include "planner/rewrites.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "relational/op_specs.h"
+
+namespace systolic {
+namespace planner {
+
+using machine::OpKind;
+
+namespace {
+
+bool IsMembershipFilter(const Node& n) {
+  return !n.is_input &&
+         (n.op == OpKind::kIntersect || n.op == OpKind::kDifference);
+}
+
+/// Repoints every edge into `from` at `to` instead.
+void RewireConsumers(LogicalPlan* plan, size_t from, size_t to) {
+  for (size_t id = 0; id < plan->num_nodes(); ++id) {
+    for (size_t& child : plan->node(id).children) {
+      if (child == from) child = to;
+    }
+  }
+}
+
+/// Orphans a rewritten-away node: a unique never-emitted name (so Sinks()
+/// lookups cannot alias it) and no children (so it pins nothing).
+void KillNode(LogicalPlan* plan, size_t id) {
+  Node& n = plan->node(id);
+  n.name = "__dead_" + std::to_string(id);
+  n.children.clear();
+}
+
+/// Removes identity node `x` (whose value provably equals its child's).
+/// When `x` carries a result name the child takes the name over, which is
+/// only legal when the child is an internal single-consumer op node.
+bool ElideIdentity(LogicalPlan* plan, size_t x) {
+  const size_t child = plan->node(x).children.at(0);
+  if (plan->IsSinkName(plan->node(x).name)) {
+    const Node& c = plan->node(child);
+    if (c.is_input || plan->IsSinkName(c.name)) return false;
+    if (plan->Consumers(child).size() != 1) return false;
+    plan->node(child).name = plan->node(x).name;
+  } else {
+    RewireConsumers(plan, x, child);
+  }
+  KillNode(plan, x);
+  return true;
+}
+
+/// Inserts a fresh σ(preds) between `parent` and its `child_index`-th child.
+void InsertSelectBelow(LogicalPlan* plan, size_t parent, size_t child_index,
+                       std::vector<arrays::SelectionPredicate> preds) {
+  Node sel;
+  sel.op = OpKind::kSelect;
+  sel.name = plan->FreshName();
+  sel.children = {plan->node(parent).children.at(child_index)};
+  sel.predicates = std::move(preds);
+  const size_t id = plan->AddNode(std::move(sel));  // may move nodes_
+  plan->node(parent).children.at(child_index) = id;
+}
+
+/// After σ's conjuncts were all pushed below `x`, `x` computes exactly what
+/// the σ node `s` computed: `x` takes over s's buffer name and consumers.
+void TakeOver(LogicalPlan* plan, size_t x, size_t s) {
+  plan->node(x).name = plan->node(s).name;
+  RewireConsumers(plan, s, x);
+  KillNode(plan, s);
+}
+
+size_t MergeSelections(LogicalPlan* plan) {
+  size_t fired = 0;
+  for (size_t s : plan->TopoOrder()) {
+    if (plan->node(s).is_input || plan->node(s).op != OpKind::kSelect) {
+      continue;
+    }
+    const size_t inner = plan->node(s).children.at(0);
+    const Node& in = plan->node(inner);
+    if (in.is_input || in.op != OpKind::kSelect) continue;
+    if (plan->IsSinkName(in.name)) continue;
+    if (plan->Consumers(inner).size() != 1) continue;
+    // σ_q(σ_p(A)) = σ_{p ∧ q}(A): the conjunction filters the same tuples
+    // in the same order, in one device pass. Inner conjuncts first, so the
+    // merged predicate list reads in application order.
+    Node& outer = plan->node(s);
+    std::vector<arrays::SelectionPredicate> merged =
+        plan->node(inner).predicates;
+    merged.insert(merged.end(), outer.predicates.begin(),
+                  outer.predicates.end());
+    outer.predicates = std::move(merged);
+    outer.children.at(0) = plan->node(inner).children.at(0);
+    KillNode(plan, inner);
+    ++fired;
+  }
+  return fired;
+}
+
+size_t PushSelections(LogicalPlan* plan) {
+  size_t fired = 0;
+  // Snapshot the order: the pass appends nodes while iterating.
+  const std::vector<size_t> order = plan->TopoOrder();
+  for (size_t s : order) {
+    if (plan->node(s).is_input || plan->node(s).op != OpKind::kSelect) {
+      continue;
+    }
+    if (plan->node(s).predicates.empty()) {
+      // Vacuous conjunction: σ_{}(A) = A.
+      if (ElideIdentity(plan, s)) ++fired;
+      continue;
+    }
+    const size_t x = plan->node(s).children.at(0);
+    if (plan->node(x).is_input) continue;
+    // The child's buffer changes contents (or disappears), so it must be
+    // planner-owned: internal and read only by this σ.
+    if (plan->IsSinkName(plan->node(x).name)) continue;
+    if (plan->Consumers(x).size() != 1) continue;
+
+    const std::vector<arrays::SelectionPredicate> preds =
+        plan->node(s).predicates;
+    switch (plan->node(x).op) {
+      case OpKind::kSelect:
+        // MergeSelections owns σ(σ(x)).
+        break;
+      case OpKind::kRemoveDuplicates:
+        // Predicates are value-based, so a tuple's occurrences all pass or
+        // all fail: filtering first keeps exactly the surviving first
+        // occurrences, in order.
+        InsertSelectBelow(plan, x, 0, preds);
+        TakeOver(plan, x, s);
+        ++fired;
+        break;
+      case OpKind::kIntersect:
+      case OpKind::kDifference:
+        // σ_p(A ∩ F) = σ_p(A) ∩ F (likewise −): the membership mask of a
+        // tuple does not depend on which other A tuples survive p.
+        InsertSelectBelow(plan, x, 0, preds);
+        TakeOver(plan, x, s);
+        ++fired;
+        break;
+      case OpKind::kUnion:
+        // σ_p(A ∪ B) = σ_p(A) ∪ σ_p(B): filtering commutes with the
+        // concatenation and (value-based) with the first-occurrence dedup.
+        InsertSelectBelow(plan, x, 0, preds);
+        InsertSelectBelow(plan, x, 1, preds);
+        TakeOver(plan, x, s);
+        ++fired;
+        break;
+      case OpKind::kProject: {
+        // Remap each conjunct through the projection's column map; the
+        // projected value the predicate reads is the same either way.
+        std::vector<arrays::SelectionPredicate> below = preds;
+        for (arrays::SelectionPredicate& p : below) {
+          p.column = plan->node(x).columns.at(p.column);
+        }
+        InsertSelectBelow(plan, x, 0, std::move(below));
+        TakeOver(plan, x, s);
+        ++fired;
+        break;
+      }
+      case OpKind::kDivide: {
+        // Quotient columns are dividend columns: a predicate on the
+        // quotient removes whole key groups of A (every tuple of a group
+        // shares the key), which cannot change any surviving key's
+        // coverage of B, nor the first-occurrence order of survivors.
+        const Node& a_child =
+            plan->node(plan->node(x).children.at(0));
+        const std::vector<size_t> quotient = rel::DivisionQuotientColumns(
+            a_child.schema, plan->node(x).division);
+        std::vector<arrays::SelectionPredicate> below = preds;
+        for (arrays::SelectionPredicate& p : below) {
+          p.column = quotient.at(p.column);
+        }
+        InsertSelectBelow(plan, x, 0, std::move(below));
+        TakeOver(plan, x, s);
+        ++fired;
+        break;
+      }
+      case OpKind::kJoin: {
+        // Every join output column comes from exactly one input column
+        // (A's columns, then B's — minus B's join columns for the
+        // equi-join), so each conjunct pushes to one side. Filtering an
+        // operand preserves its tuple order, hence the (i, j)-sorted match
+        // sequence, hence the output bit-for-bit.
+        const Node& join = plan->node(x);
+        const size_t arity_a =
+            plan->node(join.children.at(0)).schema.num_columns();
+        const size_t arity_b =
+            plan->node(join.children.at(1)).schema.num_columns();
+        std::vector<size_t> b_out_cols;
+        const bool drop = join.join.op == rel::ComparisonOp::kEq;
+        for (size_t cb = 0; cb < arity_b; ++cb) {
+          const bool is_join_col =
+              std::find(join.join.right_columns.begin(),
+                        join.join.right_columns.end(),
+                        cb) != join.join.right_columns.end();
+          if (drop && is_join_col) continue;
+          b_out_cols.push_back(cb);
+        }
+        std::vector<arrays::SelectionPredicate> a_preds;
+        std::vector<arrays::SelectionPredicate> b_preds;
+        for (const arrays::SelectionPredicate& p : preds) {
+          if (p.column < arity_a) {
+            a_preds.push_back(p);
+          } else {
+            arrays::SelectionPredicate q = p;
+            q.column = b_out_cols.at(p.column - arity_a);
+            b_preds.push_back(q);
+          }
+        }
+        if (!a_preds.empty()) {
+          InsertSelectBelow(plan, x, 0, std::move(a_preds));
+        }
+        if (!b_preds.empty()) {
+          InsertSelectBelow(plan, x, 1, std::move(b_preds));
+        }
+        TakeOver(plan, x, s);
+        ++fired;
+        break;
+      }
+    }
+  }
+  return fired;
+}
+
+size_t PruneProjections(LogicalPlan* plan) {
+  size_t fired = 0;
+  for (size_t p : plan->TopoOrder()) {
+    if (plan->node(p).is_input || plan->node(p).op != OpKind::kProject) {
+      continue;
+    }
+    const size_t q = plan->node(p).children.at(0);
+    const Node& inner = plan->node(q);
+    if (!inner.is_input && inner.op == OpKind::kProject &&
+        !plan->IsSinkName(inner.name) && plan->Consumers(q).size() == 1) {
+      // π_c(π_d(A)) = π_{d∘c}(A): both narrow to the same values, and the
+      // outer first-occurrence dedup sees the same sequence of (narrowed)
+      // values whether or not the inner dedup already dropped repeats —
+      // dropping later copies of a value cannot change first occurrences.
+      Node& outer = plan->node(p);
+      std::vector<size_t> composed;
+      composed.reserve(outer.columns.size());
+      for (size_t c : outer.columns) {
+        composed.push_back(plan->node(q).columns.at(c));
+      }
+      outer.columns = std::move(composed);
+      outer.children.at(0) = plan->node(q).children.at(0);
+      KillNode(plan, q);
+      ++fired;
+      continue;
+    }
+    // Identity projection over a duplicate-free input keeps every tuple,
+    // every column, in order — a copy.
+    const Node& child = plan->node(q);
+    const size_t arity = child.schema.num_columns();
+    const std::vector<size_t>& cols = plan->node(p).columns;
+    bool identity = child.dup_free && cols.size() == arity;
+    for (size_t i = 0; identity && i < cols.size(); ++i) {
+      identity = cols[i] == i;
+    }
+    if (identity && ElideIdentity(plan, p)) ++fired;
+  }
+  return fired;
+}
+
+size_t ElideDedups(LogicalPlan* plan) {
+  size_t fired = 0;
+  for (size_t d : plan->TopoOrder()) {
+    if (plan->node(d).is_input ||
+        plan->node(d).op != OpKind::kRemoveDuplicates) {
+      continue;
+    }
+    // Dedup of a provably duplicate-free input keeps everything, in order.
+    if (!plan->node(plan->node(d).children.at(0)).dup_free) continue;
+    if (ElideIdentity(plan, d)) ++fired;
+  }
+  return fired;
+}
+
+/// True when `id` is the left-spine continuation of a larger ∩/− chain:
+/// exactly one consumer, itself a membership filter reading `id` as its
+/// streamed (left) operand, and `id`'s buffer is planner-owned.
+bool IsChainInterior(const LogicalPlan& plan, size_t id) {
+  if (plan.IsSinkName(plan.node(id).name)) return false;
+  const std::vector<size_t> consumers = plan.Consumers(id);
+  return consumers.size() == 1 &&
+         IsMembershipFilter(plan.node(consumers[0])) &&
+         plan.node(consumers[0]).children.at(0) == id;
+}
+
+size_t ReorderMembershipChains(LogicalPlan* plan) {
+  size_t fired = 0;
+  for (size_t top : plan->TopoOrder()) {
+    if (!IsMembershipFilter(plan->node(top))) continue;
+    if (IsChainInterior(*plan, top)) continue;  // a larger chain owns it
+    // Walk the left spine down while it stays planner-owned.
+    std::vector<size_t> chain = {top};
+    while (true) {
+      const size_t next = plan->node(chain.back()).children.at(0);
+      if (!IsMembershipFilter(plan->node(next)) ||
+          !IsChainInterior(*plan, next)) {
+        break;
+      }
+      chain.push_back(next);
+    }
+    if (chain.size() < 2) continue;
+    std::reverse(chain.begin(), chain.end());  // bottom-first
+
+    // The chain applies a sequence of per-tuple, value-based masks ("keep
+    // if in F" / "keep if not in F") to the base stream; any order yields
+    // the same surviving tuples in the same order. Apply small filter sets
+    // first: they are the cheapest devices and shrink the stream most per
+    // pulse for everything downstream.
+    struct Filter {
+      OpKind op;
+      size_t filter_node;
+      double est;
+    };
+    std::vector<Filter> filters;
+    filters.reserve(chain.size());
+    for (size_t id : chain) {
+      const Node& n = plan->node(id);
+      filters.push_back(
+          {n.op, n.children.at(1), plan->node(n.children.at(1)).est_rows});
+    }
+    // A spine node can itself appear as another chain node's *filter*
+    // operand (e.g. C = B − B with B on the spine); permuting such a chain
+    // could point a filter edge at a node scheduled after it. Skip those.
+    const std::set<size_t> members(chain.begin(), chain.end());
+    bool self_referential = false;
+    for (const Filter& f : filters) {
+      self_referential = self_referential || members.count(f.filter_node) != 0;
+    }
+    if (self_referential) continue;
+
+    std::vector<Filter> sorted = filters;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Filter& a, const Filter& b) {
+                       return a.est < b.est;
+                     });
+    bool changed = false;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      changed = changed || sorted[i].op != filters[i].op ||
+                sorted[i].filter_node != filters[i].filter_node;
+    }
+    if (!changed) continue;
+
+    for (size_t i = 0; i < chain.size(); ++i) {
+      Node& n = plan->node(chain[i]);
+      n.op = sorted[i].op;
+      n.children.at(1) = sorted[i].filter_node;
+      // Interior intermediates now hold different (earlier-filtered)
+      // prefixes: move them to planner-owned names. The top keeps its name
+      // and, bit-for-bit, its contents.
+      if (i + 1 < chain.size()) n.name = plan->FreshName();
+    }
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace
+
+std::string RewriteSummary::ToString() const {
+  if (total() == 0) return "rewrites: none applicable";
+  std::ostringstream out;
+  out << "rewrites: " << total() << " fired in " << rounds << " round"
+      << (rounds == 1 ? "" : "s") << " (";
+  bool first = true;
+  const auto item = [&](size_t count, const char* what) {
+    if (count == 0) return;
+    if (!first) out << ", ";
+    first = false;
+    out << count << " " << what;
+  };
+  item(selections_merged, "selections merged");
+  item(selections_pushed, "selections pushed");
+  item(projections_pruned, "projections pruned");
+  item(dedups_elided, "dedups elided");
+  item(chains_reordered, "membership chains reordered");
+  out << ")";
+  return out.str();
+}
+
+Result<RewriteSummary> RunRewrites(LogicalPlan* plan,
+                                   const RewriteOptions& options) {
+  RewriteSummary summary;
+  EstimateCardinalities(plan, options.selectivity);
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    const size_t before = summary.total();
+    if (options.merge_selections) {
+      summary.selections_merged += MergeSelections(plan);
+    }
+    if (options.push_selections) {
+      summary.selections_pushed += PushSelections(plan);
+    }
+    SYSTOLIC_RETURN_NOT_OK(plan->Annotate());
+    if (options.prune_projections) {
+      summary.projections_pruned += PruneProjections(plan);
+    }
+    if (options.elide_dedups) {
+      summary.dedups_elided += ElideDedups(plan);
+    }
+    SYSTOLIC_RETURN_NOT_OK(plan->Annotate());
+    EstimateCardinalities(plan, options.selectivity);
+    if (options.reorder_membership_chains) {
+      summary.chains_reordered += ReorderMembershipChains(plan);
+    }
+    ++summary.rounds;
+    if (summary.total() == before) break;
+  }
+  SYSTOLIC_RETURN_NOT_OK(plan->Annotate());
+  EstimateCardinalities(plan, options.selectivity);
+  return summary;
+}
+
+}  // namespace planner
+}  // namespace systolic

@@ -1,0 +1,79 @@
+#ifndef SYSTOLIC_PLANNER_REWRITES_H_
+#define SYSTOLIC_PLANNER_REWRITES_H_
+
+#include <cstddef>
+#include <string>
+
+#include "planner/cost.h"
+#include "planner/plan.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace planner {
+
+/// Which rewrite passes run (all on by default) and how hard to try.
+struct RewriteOptions {
+  bool merge_selections = true;
+  bool push_selections = true;
+  bool prune_projections = true;
+  bool elide_dedups = true;
+  bool reorder_membership_chains = true;
+  /// Fixpoint bound: passes repeat until a full round fires nothing, or
+  /// this many rounds have run (a safety net — every pass strictly shrinks
+  /// or canonicalises the plan, so real plans converge in 2-3 rounds).
+  size_t max_rounds = 8;
+  SelectivityDefaults selectivity;
+};
+
+/// How many times each pass fired, for EXPLAIN output and tests.
+struct RewriteSummary {
+  size_t selections_merged = 0;
+  size_t selections_pushed = 0;
+  size_t projections_pruned = 0;
+  size_t dedups_elided = 0;
+  size_t chains_reordered = 0;
+  size_t rounds = 0;
+
+  size_t total() const {
+    return selections_merged + selections_pushed + projections_pruned +
+           dedups_elided + chains_reordered;
+  }
+  std::string ToString() const;
+};
+
+/// Runs the rewrite pipeline on `plan` to a fixpoint. Every pass is
+/// *bit-identical*: the sink buffers of the rewritten plan contain exactly
+/// the tuples, in exactly the order, the original plan produces. That is a
+/// stronger contract than set equivalence, and it is what the differential
+/// fuzz test enforces; the engine's order-preserving semantics make the
+/// classical set-level rewrites (join commutation, pushing σ past only one
+/// union arm, ...) unsound here, so only the following run:
+///
+///   1. Merge σ(σ(x)): conjunctions compose; one device pass instead of two.
+///   2. Push σ below join (split conjuncts by input side; filtering an
+///      operand first preserves the (i, j)-sorted match order), below ∩/−
+///      (into the left arm; the mask of "is in F" per tuple is value-based),
+///      below ∪ (into both arms), below dedup / π / ÷ (value-based
+///      predicates commute with first-occurrence dedup; columns remap
+///      through the projection / quotient maps).
+///   3. Prune π(π(x)) into one projection through the composed column map,
+///      and elide identity projections over duplicate-free inputs.
+///   4. Elide dedup over provably duplicate-free inputs (dup-freedom is
+///      inferred bottom-up from catalog facts and operator guarantees).
+///   5. Reorder left-deep ∩/− chains over one base so the smallest filter
+///      sets apply first (membership masks are per-tuple and value-based,
+///      so any order yields bit-identical output; applying selective
+///      filters early shrinks the stream for every later device).
+///
+/// A rewrite only fires when the intermediate it consumes is internal
+/// (not a transaction result) and single-consumer, so result buffers are
+/// untouched and shared subplans are never duplicated. Rewrites that
+/// change an intermediate buffer's *contents* always move it to a fresh
+/// "__plan_tN" name; surviving original names hold identical contents.
+Result<RewriteSummary> RunRewrites(LogicalPlan* plan,
+                                   const RewriteOptions& options);
+
+}  // namespace planner
+}  // namespace systolic
+
+#endif  // SYSTOLIC_PLANNER_REWRITES_H_

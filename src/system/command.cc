@@ -3,6 +3,7 @@
 #include <sstream>
 #include <vector>
 
+#include "planner/plan.h"
 #include "util/strings.h"
 
 namespace systolic {
@@ -65,7 +66,179 @@ Status ExpectArrow(const std::vector<std::string>& tokens, size_t at) {
   return Status::OK();
 }
 
+/// Streams a multi-line planner report with the shell's "-- " line prefix.
+void PrintPrefixed(std::ostream* out, const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) (*out) << "-- " << line << "\n";
+}
+
 }  // namespace
+
+bool CommandInterpreter::IsRelationalVerb(const std::string& verb) {
+  return verb == "INTERSECT" || verb == "DIFFERENCE" || verb == "UNION" ||
+         verb == "DEDUP" || verb == "PROJECT" || verb == "SELECT" ||
+         verb == "JOIN" || verb == "DIVIDE";
+}
+
+Result<std::pair<Transaction, std::string>> CommandInterpreter::ParseRelational(
+    const std::vector<std::string>& tokens) {
+  const std::string& verb = tokens[0];
+
+  if (verb == "INTERSECT" || verb == "DIFFERENCE" || verb == "UNION") {
+    if (tokens.size() != 5) {
+      return Status::InvalidArgument("usage: " + verb + " <a> <b> -> <out>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 3));
+    Transaction txn;
+    if (verb == "INTERSECT") {
+      txn.Intersect(tokens[1], tokens[2], tokens[4]);
+    } else if (verb == "DIFFERENCE") {
+      txn.Difference(tokens[1], tokens[2], tokens[4]);
+    } else {
+      txn.Union(tokens[1], tokens[2], tokens[4]);
+    }
+    return std::make_pair(std::move(txn), tokens[4]);
+  }
+
+  if (verb == "DEDUP") {
+    if (tokens.size() != 4) {
+      return Status::InvalidArgument("usage: DEDUP <in> -> <out>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 2));
+    Transaction txn;
+    txn.RemoveDuplicates(tokens[1], tokens[3]);
+    return std::make_pair(std::move(txn), tokens[3]);
+  }
+
+  if (verb == "PROJECT") {
+    if (tokens.size() != 5) {
+      return Status::InvalidArgument(
+          "usage: PROJECT <in> <col>[,<col>...] -> <out>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 3));
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Schema schema,
+                              OperandSchema(tokens[1]));
+    std::vector<size_t> columns;
+    for (const std::string& name : Split(tokens[2], ',')) {
+      SYSTOLIC_ASSIGN_OR_RETURN(size_t index, schema.ColumnIndex(name));
+      columns.push_back(index);
+    }
+    Transaction txn;
+    txn.Project(tokens[1], std::move(columns), tokens[4]);
+    return std::make_pair(std::move(txn), tokens[4]);
+  }
+
+  if (verb == "SELECT") {
+    // SELECT <in> WHERE <col> <op> <value> [AND ...] -> <out>
+    if (tokens.size() < 8 || tokens[2] != "WHERE") {
+      return Status::InvalidArgument(
+          "usage: SELECT <in> WHERE <col> <op> <value> [AND ...] -> <out>");
+    }
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Schema schema,
+                              OperandSchema(tokens[1]));
+    std::vector<arrays::SelectionPredicate> predicates;
+    size_t pos = 3;
+    while (true) {
+      if (pos + 2 >= tokens.size()) {
+        return Status::InvalidArgument("truncated predicate in SELECT");
+      }
+      SYSTOLIC_ASSIGN_OR_RETURN(size_t column,
+                                schema.ColumnIndex(tokens[pos]));
+      SYSTOLIC_ASSIGN_OR_RETURN(rel::ComparisonOp op, ParseOp(tokens[pos + 1]));
+      SYSTOLIC_ASSIGN_OR_RETURN(
+          rel::Code constant,
+          ParseConstant(tokens[pos + 2], *schema.column(column).domain));
+      predicates.push_back({column, op, constant});
+      pos += 3;
+      if (pos < tokens.size() && tokens[pos] == "AND") {
+        ++pos;
+        continue;
+      }
+      break;
+    }
+    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, pos));
+    Transaction txn;
+    txn.Select(tokens[1], std::move(predicates), tokens[pos + 1]);
+    return std::make_pair(std::move(txn), tokens[pos + 1]);
+  }
+
+  if (verb == "JOIN" || verb == "DIVIDE") {
+    // JOIN <a> <b> ON <colA> <op> <colB> -> <out>
+    if (tokens.size() != 9 || tokens[3] != "ON") {
+      return Status::InvalidArgument("usage: " + verb +
+                                     " <a> <b> ON <colA> <op> <colB> -> <out>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 7));
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Schema left,
+                              OperandSchema(tokens[1]));
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Schema right,
+                              OperandSchema(tokens[2]));
+    SYSTOLIC_ASSIGN_OR_RETURN(size_t left_col, left.ColumnIndex(tokens[4]));
+    SYSTOLIC_ASSIGN_OR_RETURN(rel::ComparisonOp op, ParseOp(tokens[5]));
+    SYSTOLIC_ASSIGN_OR_RETURN(size_t right_col, right.ColumnIndex(tokens[6]));
+    Transaction txn;
+    if (verb == "JOIN") {
+      txn.Join(tokens[1], tokens[2],
+               rel::JoinSpec{{left_col}, {right_col}, op}, tokens[8]);
+    } else {
+      if (op != rel::ComparisonOp::kEq) {
+        return Status::InvalidArgument("DIVIDE requires '=' between columns");
+      }
+      txn.Divide(tokens[1], tokens[2],
+                 rel::DivisionSpec{{left_col}, {right_col}}, tokens[8]);
+    }
+    return std::make_pair(std::move(txn), tokens[8]);
+  }
+
+  return Status::InvalidArgument("unknown relational command '" + verb + "'");
+}
+
+Result<rel::Schema> CommandInterpreter::OperandSchema(
+    const std::string& name) const {
+  const Result<const rel::Relation*> buffer = machine_->Buffer(name);
+  if (buffer.ok()) return (*buffer)->schema();
+  if (in_transaction_) {
+    // A pending step's output: compile the queued steps into a logical plan
+    // and read the annotated schema off the producing node.
+    SYSTOLIC_ASSIGN_OR_RETURN(auto inputs, Catalog());
+    const Result<planner::LogicalPlan> plan =
+        planner::LogicalPlan::FromTransaction(pending_, inputs);
+    if (plan.ok()) {
+      for (const planner::Node& n : plan->nodes()) {
+        if (!n.is_input && n.name == name) return n.schema;
+      }
+    }
+  }
+  return Status::NotFound("no buffer named '" + name + "'");
+}
+
+Result<std::map<std::string, planner::InputInfo>> CommandInterpreter::Catalog()
+    const {
+  std::map<std::string, planner::InputInfo> inputs;
+  for (const std::string& name : machine_->BufferNames()) {
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation,
+                              machine_->Buffer(name));
+    planner::InputInfo info;
+    info.schema = relation->schema();
+    info.num_tuples = relation->num_tuples();
+    info.duplicate_free = planner::ProvablyDuplicateFree(*relation);
+    inputs.emplace(name, std::move(info));
+  }
+  return inputs;
+}
+
+Result<planner::PlannedTransaction> CommandInterpreter::Plan(
+    const Transaction& txn) const {
+  SYSTOLIC_ASSIGN_OR_RETURN(auto inputs, Catalog());
+  planner::PlannerOptions options;
+  options.enable_rewrites = planner_on_;
+  const MachineConfig& config = machine_->config();
+  options.params.default_device = config.device;
+  options.params.device_configs = config.device_configs;
+  options.params.device_counts = config.device_counts;
+  return planner::PlanTransaction(txn, inputs, options);
+}
 
 Status CommandInterpreter::RunStep(Transaction transaction,
                                    const std::string& output) {
@@ -88,6 +261,29 @@ Status CommandInterpreter::Dispatch(Transaction transaction,
     return Status::OK();
   }
   return RunStep(std::move(transaction), output);
+}
+
+Status CommandInterpreter::CommitPlanned(Transaction txn) {
+  SYSTOLIC_ASSIGN_OR_RETURN(planner::PlannedTransaction planned, Plan(txn));
+  (*out_) << "-- planner: " << planned.rewrites.ToString() << "; est "
+          << static_cast<size_t>(planned.est_total_pulses) << " pulses (naive "
+          << static_cast<size_t>(planned.est_total_pulses_before) << ")\n";
+  SYSTOLIC_ASSIGN_OR_RETURN(TransactionReport report,
+                            machine_->Execute(planned.transaction));
+  (*out_) << "-- committed " << report.steps.size() << " steps: serial "
+          << report.serial_seconds * 1e6 << " us, makespan "
+          << report.makespan_seconds * 1e6 << " us, "
+          << report.crossbar_configurations << " crossbar configs\n";
+  size_t measured = 0;
+  for (const StepReport& step : report.steps) measured += step.exec.cycles;
+  (*out_) << "-- planner: measured " << measured << " pulses\n";
+  // Planner-introduced intermediates are not part of the result: free their
+  // memory modules. (Elided original intermediates were never stored.)
+  for (const std::string& temp : planned.temp_buffers) {
+    const Status released = machine_->ReleaseBuffer(temp);
+    if (!released.ok() && !released.IsNotFound()) return released;
+  }
+  return Status::OK();
 }
 
 Status CommandInterpreter::Execute(const std::string& line) {
@@ -114,9 +310,32 @@ Status CommandInterpreter::Execute(const std::string& line) {
     (*out_) << "-- transaction aborted\n";
     return Status::OK();
   }
+  if (verb == "SET") {
+    if (tokens.size() != 3 || tokens[1] != "PLANNER" ||
+        (tokens[2] != "on" && tokens[2] != "off")) {
+      return Status::InvalidArgument("usage: SET PLANNER on|off");
+    }
+    planner_on_ = tokens[2] == "on";
+    (*out_) << "-- planner " << tokens[2] << "\n";
+    return Status::OK();
+  }
   if (verb == "EXPLAIN") {
+    if (tokens.size() > 1) {
+      // EXPLAIN <relational command>: plan and print, execute nothing.
+      const std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
+      if (!IsRelationalVerb(rest[0])) {
+        return Status::InvalidArgument(
+            "EXPLAIN expects a relational command, got '" + rest[0] + "'");
+      }
+      SYSTOLIC_ASSIGN_OR_RETURN(auto parsed, ParseRelational(rest));
+      SYSTOLIC_ASSIGN_OR_RETURN(planner::PlannedTransaction planned,
+                                Plan(parsed.first));
+      PrintPrefixed(out_, planned.ToString());
+      return Status::OK();
+    }
     if (!in_transaction_) {
-      return Status::InvalidArgument("EXPLAIN works inside a transaction");
+      return Status::InvalidArgument(
+          "EXPLAIN works inside a transaction (or as EXPLAIN <command>)");
     }
     SYSTOLIC_ASSIGN_OR_RETURN(auto levels, pending_.Schedule(
         machine_->BufferNames()));
@@ -130,6 +349,9 @@ Status CommandInterpreter::Execute(const std::string& line) {
       }
       (*out_) << "\n";
     }
+    SYSTOLIC_ASSIGN_OR_RETURN(planner::PlannedTransaction planned,
+                              Plan(pending_));
+    PrintPrefixed(out_, planned.ToString());
     return Status::OK();
   }
   if (verb == "COMMIT") {
@@ -139,6 +361,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
     in_transaction_ = false;
     Transaction txn = std::move(pending_);
     pending_ = Transaction();
+    if (planner_on_) return CommitPlanned(std::move(txn));
     SYSTOLIC_ASSIGN_OR_RETURN(TransactionReport report,
                               machine_->Execute(txn));
     (*out_) << "-- committed " << report.steps.size() << " steps: serial "
@@ -183,114 +406,9 @@ Status CommandInterpreter::Execute(const std::string& line) {
     return machine_->ReleaseBuffer(tokens[1]);
   }
 
-  if (verb == "INTERSECT" || verb == "DIFFERENCE" || verb == "UNION") {
-    if (tokens.size() != 5) {
-      return Status::InvalidArgument("usage: " + verb + " <a> <b> -> <out>");
-    }
-    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 3));
-    Transaction txn;
-    if (verb == "INTERSECT") {
-      txn.Intersect(tokens[1], tokens[2], tokens[4]);
-    } else if (verb == "DIFFERENCE") {
-      txn.Difference(tokens[1], tokens[2], tokens[4]);
-    } else {
-      txn.Union(tokens[1], tokens[2], tokens[4]);
-    }
-    return Dispatch(std::move(txn), tokens[4]);
-  }
-
-  if (verb == "DEDUP") {
-    if (tokens.size() != 4) {
-      return Status::InvalidArgument("usage: DEDUP <in> -> <out>");
-    }
-    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 2));
-    Transaction txn;
-    txn.RemoveDuplicates(tokens[1], tokens[3]);
-    return Dispatch(std::move(txn), tokens[3]);
-  }
-
-  if (verb == "PROJECT") {
-    if (tokens.size() != 5) {
-      return Status::InvalidArgument(
-          "usage: PROJECT <in> <col>[,<col>...] -> <out>");
-    }
-    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 3));
-    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* input,
-                              machine_->Buffer(tokens[1]));
-    std::vector<size_t> columns;
-    for (const std::string& name : Split(tokens[2], ',')) {
-      SYSTOLIC_ASSIGN_OR_RETURN(size_t index,
-                                input->schema().ColumnIndex(name));
-      columns.push_back(index);
-    }
-    Transaction txn;
-    txn.Project(tokens[1], std::move(columns), tokens[4]);
-    return Dispatch(std::move(txn), tokens[4]);
-  }
-
-  if (verb == "SELECT") {
-    // SELECT <in> WHERE <col> <op> <value> [AND ...] -> <out>
-    if (tokens.size() < 8 || tokens[2] != "WHERE") {
-      return Status::InvalidArgument(
-          "usage: SELECT <in> WHERE <col> <op> <value> [AND ...] -> <out>");
-    }
-    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* input,
-                              machine_->Buffer(tokens[1]));
-    std::vector<arrays::SelectionPredicate> predicates;
-    size_t pos = 3;
-    while (true) {
-      if (pos + 2 >= tokens.size()) {
-        return Status::InvalidArgument("truncated predicate in SELECT");
-      }
-      SYSTOLIC_ASSIGN_OR_RETURN(size_t column,
-                                input->schema().ColumnIndex(tokens[pos]));
-      SYSTOLIC_ASSIGN_OR_RETURN(rel::ComparisonOp op, ParseOp(tokens[pos + 1]));
-      SYSTOLIC_ASSIGN_OR_RETURN(
-          rel::Code constant,
-          ParseConstant(tokens[pos + 2],
-                        *input->schema().column(column).domain));
-      predicates.push_back({column, op, constant});
-      pos += 3;
-      if (pos < tokens.size() && tokens[pos] == "AND") {
-        ++pos;
-        continue;
-      }
-      break;
-    }
-    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, pos));
-    Transaction txn;
-    txn.Select(tokens[1], std::move(predicates), tokens[pos + 1]);
-    return Dispatch(std::move(txn), tokens[pos + 1]);
-  }
-
-  if (verb == "JOIN" || verb == "DIVIDE") {
-    // JOIN <a> <b> ON <colA> <op> <colB> -> <out>
-    if (tokens.size() != 9 || tokens[3] != "ON") {
-      return Status::InvalidArgument("usage: " + verb +
-                                     " <a> <b> ON <colA> <op> <colB> -> <out>");
-    }
-    SYSTOLIC_RETURN_NOT_OK(ExpectArrow(tokens, 7));
-    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* left,
-                              machine_->Buffer(tokens[1]));
-    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* right,
-                              machine_->Buffer(tokens[2]));
-    SYSTOLIC_ASSIGN_OR_RETURN(size_t left_col,
-                              left->schema().ColumnIndex(tokens[4]));
-    SYSTOLIC_ASSIGN_OR_RETURN(rel::ComparisonOp op, ParseOp(tokens[5]));
-    SYSTOLIC_ASSIGN_OR_RETURN(size_t right_col,
-                              right->schema().ColumnIndex(tokens[6]));
-    Transaction txn;
-    if (verb == "JOIN") {
-      txn.Join(tokens[1], tokens[2],
-               rel::JoinSpec{{left_col}, {right_col}, op}, tokens[8]);
-    } else {
-      if (op != rel::ComparisonOp::kEq) {
-        return Status::InvalidArgument("DIVIDE requires '=' between columns");
-      }
-      txn.Divide(tokens[1], tokens[2],
-                 rel::DivisionSpec{{left_col}, {right_col}}, tokens[8]);
-    }
-    return Dispatch(std::move(txn), tokens[8]);
+  if (IsRelationalVerb(verb)) {
+    SYSTOLIC_ASSIGN_OR_RETURN(auto parsed, ParseRelational(tokens));
+    return Dispatch(std::move(parsed.first), parsed.second);
   }
 
   return Status::InvalidArgument("unknown command '" + verb + "'");

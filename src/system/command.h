@@ -4,7 +4,10 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "planner/physical.h"
 #include "system/machine.h"
 #include "util/status.h"
 
@@ -36,11 +39,19 @@ namespace machine {
 /// Transactions: by default each relational command runs immediately as a
 /// one-step transaction. Between BEGIN and COMMIT, relational commands are
 /// collected instead and executed together on COMMIT, so independent steps
-/// run concurrently on the machine's device pools (§9). EXPLAIN (inside a
-/// transaction) prints the dependency levels without executing; ABORT
-/// discards the pending steps. Inside a transaction, PROJECT/SELECT/JOIN/
-/// DIVIDE operands must name already-materialised buffers (column names are
-/// resolved at parse time).
+/// run concurrently on the machine's device pools (§9). ABORT discards the
+/// pending steps. Inside a transaction, PROJECT/SELECT/JOIN/DIVIDE operands
+/// may also name pending step outputs: their column names resolve through
+/// the planner's annotated logical plan of the queued steps.
+///
+/// Planning: COMMIT runs the pending transaction through the cost-based
+/// query planner (src/planner) by default — semantics-preserving rewrites,
+/// feed-mode hints, and LPT-friendly step ordering; result buffers are
+/// bit-identical to the literal path. SET PLANNER off|on toggles this
+/// (off = execute the steps exactly as written). EXPLAIN inside a
+/// transaction prints the dependency levels plus the planner's before/after
+/// logical plans and the costed physical plan, without executing;
+/// EXPLAIN <relational command> does the same for a single command anywhere.
 class CommandInterpreter {
  public:
   /// Does not take ownership; `out` receives PRINT output and per-command
@@ -55,15 +66,37 @@ class CommandInterpreter {
   /// returned annotated with its line number).
   Status ExecuteScript(std::istream& in);
 
+  bool planner_enabled() const { return planner_on_; }
+  void set_planner_enabled(bool on) { planner_on_ = on; }
+
  private:
   Status RunStep(Transaction transaction, const std::string& output);
   /// Routes a parsed one-step transaction: executes it immediately, or
   /// appends it to the pending transaction inside BEGIN/COMMIT.
   Status Dispatch(Transaction transaction, const std::string& output);
+  /// COMMIT through the planner: plan, execute, report estimated vs
+  /// measured pulses, release planner temp buffers.
+  Status CommitPlanned(Transaction txn);
+
+  /// True for the relational verbs ParseRelational understands.
+  static bool IsRelationalVerb(const std::string& verb);
+  /// Parses one relational command (tokens start at the verb) into a
+  /// single-step transaction plus its output buffer name.
+  Result<std::pair<Transaction, std::string>> ParseRelational(
+      const std::vector<std::string>& tokens);
+
+  /// Snapshot of the machine's buffers as the planner's catalog.
+  Result<std::map<std::string, planner::InputInfo>> Catalog() const;
+  /// Schema of `name`: a materialised buffer, or — inside a transaction — a
+  /// pending step's output (derived via the planner's logical plan).
+  Result<rel::Schema> OperandSchema(const std::string& name) const;
+  /// Plans `txn` against the current catalog and machine device shapes.
+  Result<planner::PlannedTransaction> Plan(const Transaction& txn) const;
 
   Machine* machine_;
   std::ostream* out_;
   bool in_transaction_ = false;
+  bool planner_on_ = true;
   Transaction pending_;
 };
 

@@ -130,7 +130,12 @@ Result<TransactionReport> Machine::Execute(const Transaction& transaction) {
         bytes += RelationBytes(*right);
       }
 
-      const db::Engine& device_engine = EngineFor(step.op);
+      // A planner feed hint pins the feed discipline for this step; the
+      // pinned copy shares the device's chip pool, so this costs no threads.
+      const db::Engine& configured_engine = EngineFor(step.op);
+      const db::Engine device_engine =
+          step.has_feed_hint ? configured_engine.WithMode(step.feed_hint)
+                             : configured_engine;
       Result<db::EngineResult> executed = [&]() -> Result<db::EngineResult> {
         switch (step.op) {
           case OpKind::kIntersect:

@@ -124,6 +124,19 @@ Transaction& Transaction::Select(
   return *this;
 }
 
+Transaction& Transaction::HintFeedMode(arrays::FeedMode mode) {
+  if (!steps_.empty()) {
+    steps_.back().has_feed_hint = true;
+    steps_.back().feed_hint = mode;
+  }
+  return *this;
+}
+
+Transaction& Transaction::Append(PlanStep step) {
+  steps_.push_back(std::move(step));
+  return *this;
+}
+
 Transaction& Transaction::Concat(const Transaction& other) {
   steps_.insert(steps_.end(), other.steps_.begin(), other.steps_.end());
   return *this;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "arrays/comparison_grid.h"
 #include "arrays/selection_array.h"
 #include "relational/op_specs.h"
 #include "util/result.h"
@@ -45,6 +46,13 @@ struct PlanStep {
   rel::DivisionSpec division;
   std::vector<size_t> columns;
   std::vector<arrays::SelectionPredicate> predicates;
+  /// Physical-planning hint: when set, the machine pins the device's feed
+  /// discipline to `feed_hint` for this step instead of the device's
+  /// configured policy. Emitted by the query planner so that an EXPLAINed
+  /// feed-mode choice is the one that actually runs; steps built by hand
+  /// leave it unset and behave exactly as before.
+  bool has_feed_hint = false;
+  arrays::FeedMode feed_hint = arrays::FeedMode::kMarching;
 };
 
 /// A transaction: a list of steps forming a DAG through their buffer names.
@@ -69,6 +77,14 @@ class Transaction {
   Transaction& Select(std::string input,
                       std::vector<arrays::SelectionPredicate> predicates,
                       std::string output);
+
+  /// Pins the feed discipline of the most recently appended step (see
+  /// PlanStep::feed_hint). No-op on an empty transaction.
+  Transaction& HintFeedMode(arrays::FeedMode mode);
+
+  /// Appends an already-built step verbatim (used by the query planner to
+  /// emit steps in a chosen within-level order).
+  Transaction& Append(PlanStep step);
 
   /// Appends copies of another transaction's steps (used by the machine's
   /// batch execution; buffer-name disjointness is checked at Schedule time).

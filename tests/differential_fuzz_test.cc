@@ -8,17 +8,23 @@
 // and, where applicable, the tree machine and the bit-level decomposition.
 // Any divergence pinpoints the backend and operation.
 
+#include <map>
 #include <memory>
+#include <set>
+#include <string>
+#include <utility>
 
 #include "arrays/bit_serial.h"
 #include "arrays/intersection_array.h"
 #include "core/engine.h"
 #include "gtest/gtest.h"
+#include "planner/physical.h"
 #include "relational/builder.h"
 #include "relational/generator.h"
 #include "relational/ops_hash.h"
 #include "relational/ops_reference.h"
 #include "relational/ops_sort.h"
+#include "system/machine.h"
 #include "system/tree_machine.h"
 #include "test_util.h"
 #include "util/rng.h"
@@ -300,6 +306,250 @@ TEST_P(ParallelDifferentialFuzz, EveryOpBitIdenticalAcrossChipCounts) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, ParallelDifferentialFuzz,
                          ::testing::Range(size_t{0}, kParallelFuzzShards));
+
+// --- Planner differential fuzz: randomized multi-step transactions run
+// three ways — literally on the §9 machine, through the cost-based query
+// planner (rewrites + feed hints + LPT emission), and on the reference
+// oracle evaluated step by step — and every transaction *result* buffer
+// must be bit-identical across all three. ---
+
+struct PlannerFuzzParam {
+  uint64_t seed;
+  size_t device_rows;
+  size_t num_chips;
+};
+
+/// Reference-oracle evaluation of one plan step over already-computed
+/// operand relations (ops_reference has no Select; the conjunction filter
+/// is applied inline).
+Result<Relation> OracleStep(const machine::PlanStep& step,
+                            const std::map<std::string, Relation>& env) {
+  const Relation& left = env.at(step.left);
+  switch (step.op) {
+    case machine::OpKind::kIntersect:
+      return rel::reference::Intersection(left, env.at(step.right));
+    case machine::OpKind::kDifference:
+      return rel::reference::Difference(left, env.at(step.right));
+    case machine::OpKind::kRemoveDuplicates:
+      return rel::reference::RemoveDuplicates(left);
+    case machine::OpKind::kUnion:
+      return rel::reference::Union(left, env.at(step.right));
+    case machine::OpKind::kProject:
+      return rel::reference::Projection(left, step.columns);
+    case machine::OpKind::kJoin:
+      return rel::reference::Join(left, env.at(step.right), step.join);
+    case machine::OpKind::kDivide:
+      return rel::reference::Division(left, env.at(step.right),
+                                      step.division);
+    case machine::OpKind::kSelect: {
+      Relation out(left.schema(), rel::RelationKind::kMulti);
+      for (const rel::Tuple& t : left.tuples()) {
+        bool keep = true;
+        for (const auto& p : step.predicates) {
+          keep = keep && rel::ApplyComparison(p.op, t[p.column], p.constant);
+        }
+        if (keep) SYSTOLIC_RETURN_NOT_OK(out.Append(t));
+      }
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown op");
+}
+
+/// Result buffers of `txn`: outputs no other step consumes.
+std::vector<std::string> TxnSinks(const machine::Transaction& txn) {
+  std::set<std::string> consumed;
+  for (const machine::PlanStep& s : txn.steps()) {
+    consumed.insert(s.left);
+    if (!s.right.empty()) consumed.insert(s.right);
+  }
+  std::vector<std::string> sinks;
+  for (const machine::PlanStep& s : txn.steps()) {
+    if (consumed.count(s.output) == 0) sinks.push_back(s.output);
+  }
+  return sinks;
+}
+
+/// Grows a random 4-10 step transaction over `inputs`. Each candidate step
+/// picks an op and operands at random and is kept only if the plan compiler
+/// validates it (schema compatibility, domains); invalid picks retry. Every
+/// accepted step's operands already exist, so step order is topological.
+machine::Transaction GenerateTransaction(
+    Rng& rng, const std::map<std::string, Relation>& inputs,
+    const std::map<std::string, planner::InputInfo>& catalog,
+    int64_t domain) {
+  machine::Transaction txn;
+  std::vector<std::pair<std::string, size_t>> buffers;  // name, arity
+  for (const auto& [name, r] : inputs) buffers.push_back({name, r.arity()});
+  size_t joins = 0;
+  const size_t num_steps = 4 + static_cast<size_t>(rng.Uniform(0, 6));
+  for (size_t i = 0; i < num_steps; ++i) {
+    for (int attempt = 0; attempt < 24; ++attempt) {
+      const auto& [lname, larity] = buffers[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(buffers.size()) - 1))];
+      const auto& [rname, rarity] = buffers[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(buffers.size()) - 1))];
+      const std::string out = "t" + std::to_string(i);
+      machine::Transaction candidate = txn;
+      size_t out_arity = 0;
+      switch (rng.Uniform(0, 7)) {
+        case 0:
+          candidate.Intersect(lname, rname, out);
+          out_arity = larity;
+          break;
+        case 1:
+          candidate.Difference(lname, rname, out);
+          out_arity = larity;
+          break;
+        case 2:
+          candidate.Union(lname, rname, out);
+          out_arity = larity;
+          break;
+        case 3:
+          candidate.RemoveDuplicates(lname, out);
+          out_arity = larity;
+          break;
+        case 4: {
+          std::vector<size_t> all(larity);
+          for (size_t c = 0; c < larity; ++c) all[c] = c;
+          rng.Shuffle(all);
+          all.resize(static_cast<size_t>(
+              rng.Uniform(1, static_cast<int64_t>(larity))));
+          out_arity = all.size();
+          candidate.Project(lname, std::move(all), out);
+          break;
+        }
+        case 5: {
+          std::vector<arrays::SelectionPredicate> preds;
+          const size_t count = 1 + static_cast<size_t>(rng.Uniform(0, 1));
+          for (size_t c = 0; c < count; ++c) {
+            preds.push_back(
+                {static_cast<size_t>(
+                     rng.Uniform(0, static_cast<int64_t>(larity) - 1)),
+                 static_cast<rel::ComparisonOp>(rng.Uniform(0, 5)),
+                 rng.Uniform(0, domain)});
+          }
+          candidate.Select(lname, std::move(preds), out);
+          out_arity = larity;
+          break;
+        }
+        case 6: {
+          // Joins multiply sizes: bound the count and the output arity.
+          if (joins >= 2 || larity + rarity > 5) continue;
+          const auto op = static_cast<rel::ComparisonOp>(rng.Uniform(0, 5));
+          candidate.Join(lname, rname, rel::JoinSpec{{0}, {0}, op}, out);
+          out_arity =
+              larity + rarity - (op == rel::ComparisonOp::kEq ? 1 : 0);
+          break;
+        }
+        case 7: {
+          if (larity < 2 || rarity != 1) continue;
+          candidate.Divide(lname, rname,
+                           rel::DivisionSpec{{larity - 1}, {0}}, out);
+          out_arity = larity - 1;
+          break;
+        }
+      }
+      if (!planner::LogicalPlan::FromTransaction(candidate, catalog).ok()) {
+        continue;
+      }
+      joins += candidate.steps().back().op == machine::OpKind::kJoin ? 1 : 0;
+      txn = std::move(candidate);
+      buffers.push_back({out, out_arity});
+      break;
+    }
+  }
+  return txn;
+}
+
+class PlannerDifferentialFuzz
+    : public ::testing::TestWithParam<PlannerFuzzParam> {};
+
+TEST_P(PlannerDifferentialFuzz, SinksBitIdenticalLiteralPlannedOracle) {
+  const PlannerFuzzParam p = GetParam();
+  Rng rng(p.seed * 9176 + 3);
+  const rel::Schema schema = rel::MakeIntSchema(2 + p.seed % 2);
+  const int64_t domain = 3 + rng.Uniform(0, 4);
+  std::map<std::string, Relation> inputs;
+  for (const char* name : {"r0", "r1", "r2"}) {
+    rel::GeneratorOptions options;
+    options.num_tuples = 6 + static_cast<size_t>(rng.Uniform(0, 10));
+    options.domain_size = domain;
+    options.seed = p.seed * 31 + static_cast<uint64_t>(name[1]);
+    auto r = rel::GenerateRelation(schema, options);
+    ASSERT_OK(r);
+    inputs.emplace(name, *std::move(r));
+  }
+  std::map<std::string, planner::InputInfo> catalog;
+  for (const auto& [name, r] : inputs) {
+    catalog[name] = {r.schema(), r.num_tuples(),
+                     planner::ProvablyDuplicateFree(r)};
+  }
+  const machine::Transaction txn =
+      GenerateTransaction(rng, inputs, catalog, domain);
+  ASSERT_FALSE(txn.steps().empty());
+  const std::vector<std::string> sinks = TxnSinks(txn);
+  ASSERT_FALSE(sinks.empty());
+
+  // Reference oracle, step by step.
+  std::map<std::string, Relation> env = inputs;
+  for (const machine::PlanStep& step : txn.steps()) {
+    auto r = OracleStep(step, env);
+    ASSERT_OK(r) << "oracle failed on step '" << step.output << "'";
+    env.emplace(step.output, *std::move(r));
+  }
+
+  machine::MachineConfig config;
+  config.num_memories = 48;
+  config.device.rows = p.device_rows;
+  config.device.num_chips = p.num_chips;
+
+  const auto run = [&](const machine::Transaction& t)
+      -> std::map<std::string, std::vector<rel::Tuple>> {
+    machine::Machine m(config);
+    for (const auto& [name, r] : inputs) {
+      SYSTOLIC_CHECK(m.StoreBuffer(name, r).ok());
+    }
+    auto report = m.Execute(t);
+    SYSTOLIC_CHECK(report.ok()) << report.status().ToString();
+    std::map<std::string, std::vector<rel::Tuple>> out;
+    for (const std::string& sink : sinks) {
+      auto buffer = m.Buffer(sink);
+      SYSTOLIC_CHECK(buffer.ok()) << sink;
+      out[sink] = (*buffer)->tuples();
+    }
+    return out;
+  };
+
+  const auto literal = run(txn);
+  planner::PlannerOptions options;
+  options.params.default_device = config.device;
+  auto planned = planner::PlanTransaction(txn, catalog, options);
+  ASSERT_OK(planned);
+  const auto optimized = run(planned->transaction);
+
+  for (const std::string& sink : sinks) {
+    EXPECT_EQ(literal.at(sink), env.at(sink).tuples())
+        << "literal vs oracle diverged on '" << sink << "' seed " << p.seed;
+    EXPECT_EQ(optimized.at(sink), env.at(sink).tuples())
+        << "planned vs oracle diverged on '" << sink << "' seed " << p.seed
+        << "\n"
+        << planned->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Txns, PlannerDifferentialFuzz,
+    ::testing::Values(PlannerFuzzParam{101, 0, 1}, PlannerFuzzParam{102, 0, 1},
+                      PlannerFuzzParam{103, 5, 1}, PlannerFuzzParam{104, 7, 1},
+                      PlannerFuzzParam{105, 3, 1}, PlannerFuzzParam{106, 9, 1},
+                      PlannerFuzzParam{107, 11, 1}, PlannerFuzzParam{108, 0, 1},
+                      PlannerFuzzParam{109, 13, 1}, PlannerFuzzParam{110, 1, 1},
+                      PlannerFuzzParam{111, 5, 2}, PlannerFuzzParam{112, 3, 2},
+                      PlannerFuzzParam{113, 7, 3}, PlannerFuzzParam{114, 0, 3},
+                      PlannerFuzzParam{115, 9, 7}, PlannerFuzzParam{116, 1, 7},
+                      PlannerFuzzParam{117, 5, 3}, PlannerFuzzParam{118, 13, 2},
+                      PlannerFuzzParam{119, 3, 7}, PlannerFuzzParam{120, 7, 2}));
 
 }  // namespace
 }  // namespace systolic

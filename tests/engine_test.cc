@@ -131,6 +131,43 @@ TEST(EngineTest, SerialMakespanEqualsCycleSum) {
   EXPECT_EQ(result->stats.makespan_cycles, result->stats.cycles);
 }
 
+TEST(EngineTest, MakespanUtilizationDenominatorsAreDocumented) {
+  const Schema schema = rel::MakeIntSchema(1);
+  std::vector<std::vector<int64_t>> rows;
+  for (int64_t i = 0; i < 24; ++i) rows.push_back({i});
+  const Relation a = Rel(schema, rows);
+  DeviceConfig device;
+  device.rows = 5;  // many tiles, so chips have work to share
+
+  // Serial device: makespan == cycles and num_chips == 1, so both
+  // utilisations read the same fraction.
+  Engine serial(device);
+  auto s = serial.Intersect(a, a);
+  ASSERT_OK(s);
+  EXPECT_DOUBLE_EQ(s->stats.MakespanUtilization(), s->stats.Utilization());
+
+  // Multi-chip device: the wall-clock denominator counts every chip over
+  // the critical path. makespan x chips >= summed cycles, so the
+  // wall-clock utilisation can only be lower than the serial fraction;
+  // with balanced tiles it must still be positive and a valid fraction.
+  DeviceConfig parallel_device = device;
+  parallel_device.num_chips = 3;
+  Engine parallel(parallel_device);
+  auto p = parallel.Intersect(a, a);
+  ASSERT_OK(p);
+  EXPECT_EQ(p->stats.num_chips, 3u);
+  EXPECT_GT(p->stats.MakespanUtilization(), 0.0);
+  EXPECT_LE(p->stats.MakespanUtilization(), 1.0);
+  EXPECT_LE(p->stats.MakespanUtilization(), p->stats.Utilization());
+  // The serial fraction is chip-count independent by construction.
+  EXPECT_DOUBLE_EQ(p->stats.Utilization(), s->stats.Utilization());
+
+  // Degenerate stats report zero, not NaN.
+  ExecStats empty;
+  EXPECT_EQ(empty.Utilization(), 0.0);
+  EXPECT_EQ(empty.MakespanUtilization(), 0.0);
+}
+
 TEST(EngineTest, MultiChipMatchesSerialOnEveryOperation) {
   const Schema schema = rel::MakeIntSchema(2);
   rel::PairOptions options;
