@@ -13,7 +13,7 @@ void AccumulationCell::Compute(size_t cycle) {
   const Word top = top_in_ != nullptr ? top_in_->Read() : Word::Bubble();
 
   if (left.valid && top.valid) {
-    SYSTOLIC_CHECK_EQ(left.a_tag, top.a_tag)
+    SYSTOLIC_HW_CHECK_EQ(left.a_tag, top.a_tag)
         << name() << ": running value and left contribution disagree on tuple";
     down_out_->Write(
         Word::Boolean(left.AsBool() || top.AsBool(), left.a_tag, sim::kNoTag));

@@ -42,8 +42,8 @@ void ComparisonCell::Compute(size_t cycle) {
     if (t_in_ == nullptr) {
       t_in_value = InitialT(edge_rule_, a.a_tag, b.b_tag);
     } else {
-      SYSTOLIC_CHECK(t.valid) << name() << ": elements met without a t word";
-      SYSTOLIC_CHECK(t.a_tag == a.a_tag && t.b_tag == b.b_tag)
+      SYSTOLIC_HW_CHECK(t.valid) << name() << ": elements met without a t word";
+      SYSTOLIC_HW_CHECK(t.a_tag == a.a_tag && t.b_tag == b.b_tag)
           << name() << ": t word for pair (" << t.a_tag << "," << t.b_tag
           << ") met elements (" << a.a_tag << "," << b.b_tag << ")";
       t_in_value = t.AsBool();
@@ -53,7 +53,7 @@ void ComparisonCell::Compute(size_t cycle) {
     MarkBusy();
   } else {
     // No meeting this pulse; a stray t word would indicate a broken schedule.
-    SYSTOLIC_CHECK(!t.valid)
+    SYSTOLIC_HW_CHECK(!t.valid)
         << name() << ": t word arrived without a meeting pair";
   }
 }
@@ -70,8 +70,9 @@ void FixedComparisonCell::Compute(size_t cycle) {
     if (t_in_ == nullptr) {
       t_in_value = InitialT(edge_rule_, a.a_tag, stored_tag_);
     } else {
-      SYSTOLIC_CHECK(t.valid) << name() << ": a element passed without a t word";
-      SYSTOLIC_CHECK(t.a_tag == a.a_tag && t.b_tag == stored_tag_)
+      SYSTOLIC_HW_CHECK(t.valid) << name()
+                                 << ": a element passed without a t word";
+      SYSTOLIC_HW_CHECK(t.a_tag == a.a_tag && t.b_tag == stored_tag_)
           << name() << ": t word tags (" << t.a_tag << "," << t.b_tag
           << ") do not match (" << a.a_tag << "," << stored_tag_ << ")";
       t_in_value = t.AsBool();
@@ -80,7 +81,7 @@ void FixedComparisonCell::Compute(size_t cycle) {
     t_out_->Write(Word::Boolean(t_in_value && matched, a.a_tag, stored_tag_));
     MarkBusy();
   } else {
-    SYSTOLIC_CHECK(!t.valid)
+    SYSTOLIC_HW_CHECK(!t.valid)
         << name() << ": t word arrived without an a element";
   }
 }

@@ -26,8 +26,9 @@ void DividendGateCell::Compute(size_t cycle) {
   if (!match.valid) return;
   // The schedule delays each y one pulse behind its x, so the comparison
   // result and the y it gates always coincide here (§7).
-  SYSTOLIC_CHECK(y.valid) << name() << ": match result arrived without its y";
-  SYSTOLIC_CHECK_EQ(y.a_tag, match.a_tag)
+  SYSTOLIC_HW_CHECK(y.valid) << name()
+                             << ": match result arrived without its y";
+  SYSTOLIC_HW_CHECK_EQ(y.a_tag, match.a_tag)
       << name() << ": match result and y belong to different dividend pairs";
   if (match.AsBool()) {
     lane_out_->Write(Word{true, y.value, y.a_tag, match.b_tag});

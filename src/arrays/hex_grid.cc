@@ -48,15 +48,15 @@ class HexCell : public sim::Cell {
     if (b.valid && b_out_ != nullptr) b_out_->Write(b);
 
     if (a.valid && b.valid) {
-      SYSTOLIC_CHECK(t.valid) << name() << ": rendezvous without a t word";
-      SYSTOLIC_CHECK(t.a_tag == a.a_tag && t.b_tag == b.b_tag)
+      SYSTOLIC_HW_CHECK(t.valid) << name() << ": rendezvous without a t word";
+      SYSTOLIC_HW_CHECK(t.a_tag == a.a_tag && t.b_tag == b.b_tag)
           << name() << ": t word (" << t.a_tag << "," << t.b_tag
           << ") met elements (" << a.a_tag << "," << b.b_tag << ")";
       t_out_->Write(
           Word::Boolean(t.AsBool() && a.value == b.value, t.a_tag, t.b_tag));
       MarkBusy();
     } else {
-      SYSTOLIC_CHECK(!(a.valid || b.valid) || !t.valid)
+      SYSTOLIC_HW_CHECK(!(a.valid || b.valid) || !t.valid)
           << name() << ": partial rendezvous (schedule bug)";
       if (t.valid) t_out_->Write(t);  // completed/seeded t in transit
     }

@@ -49,7 +49,7 @@ class PatternMatchCell : public sim::Cell {
           t_out_->Write(Word::Boolean(own, static_cast<sim::TupleTag>(j),
                                       sim::kNoTag));
         } else if (pending_.has_value()) {
-          SYSTOLIC_CHECK_EQ(static_cast<size_t>(pending_->a_tag), j - index_)
+          SYSTOLIC_HW_CHECK_EQ(static_cast<size_t>(pending_->a_tag), j - index_)
               << name() << ": partial/character misalignment";
           const bool combined = pending_->AsBool() && own;
           pending_.reset();
@@ -60,7 +60,7 @@ class PatternMatchCell : public sim::Cell {
           // No partial: only legal for alignments that began in the padding
           // region — upstream never started them. A missing partial for a
           // real character is a schedule bug.
-          SYSTOLIC_CHECK(is_padding)
+          SYSTOLIC_HW_CHECK(is_padding)
               << name() << ": missing partial for alignment " << (j - index_);
         }
       }
@@ -68,7 +68,7 @@ class PatternMatchCell : public sim::Cell {
 
     // Phase 2: latch the partial arriving one pulse ahead of its character.
     if (t_in_ != nullptr && t_in_->Read().valid) {
-      SYSTOLIC_CHECK(!pending_.has_value())
+      SYSTOLIC_HW_CHECK(!pending_.has_value())
           << name() << ": partial result overrun";
       pending_ = t_in_->Read();
     }

@@ -28,11 +28,11 @@ void StationaryCell::Compute(size_t cycle) {
   if (y.valid && y_out_ != nullptr) y_out_->Write(y);
 
   // Equal-width tuples arrive in lock-step; a lone element is a schedule bug.
-  SYSTOLIC_CHECK(x.valid == y.valid)
+  SYSTOLIC_HW_CHECK(x.valid == y.valid)
       << name() << ": unpaired element in stationary grid";
   if (x.valid) {
     if (touched_) {
-      SYSTOLIC_CHECK(a_tag_ == x.a_tag && b_tag_ == y.b_tag)
+      SYSTOLIC_HW_CHECK(a_tag_ == x.a_tag && b_tag_ == y.b_tag)
           << name() << ": cell visited by a second tuple pair";
     } else {
       a_tag_ = x.a_tag;

@@ -6,11 +6,75 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 namespace systolic {
 namespace db {
+
+/// Health of one simulated chip, as tracked by ChipHealth.
+enum class ChipState {
+  kHealthy,      // no detected failures
+  kSuspect,      // 1..strike_limit-1 consecutive detected failures
+  kQuarantined,  // struck out or found dead; receives no more work
+};
+
+/// Canonical lower-case name ("healthy", "suspect", "quarantined").
+const char* ChipStateToString(ChipState state);
+
+/// Thread-safe health ledger for a device's chips.
+///
+/// The engine's fault-tolerant tile scheduler records a strike against a
+/// chip for every detected failure (parity hit, invariant trip, stall) and
+/// quarantines it after `strike_limit` consecutive strikes — or immediately
+/// when the chip is found dead. A successful attempt clears the chip's
+/// strikes: strikes count consecutive failures, so a chip suffering only
+/// transient upsets is never quarantined as long as clean attempts keep
+/// landing. Quarantined chips get no further work; the scheduler degrades
+/// gracefully onto whatever remains, down to a single chip, and only errors
+/// out when nothing usable is left.
+class ChipHealth {
+ public:
+  ChipHealth(size_t num_chips, size_t strike_limit);
+
+  size_t num_chips() const { return num_chips_; }
+  size_t strike_limit() const { return strike_limit_; }
+
+  ChipState state(size_t chip) const;
+  size_t strikes(size_t chip) const;
+
+  /// Chips not quarantined.
+  size_t num_usable() const;
+  /// Detected failures recorded so far, including on quarantined chips.
+  size_t total_strikes() const;
+
+  bool Usable(size_t chip) const;
+
+  /// Records one detected failure; quarantines at the strike limit.
+  /// Returns the chip's state after the strike.
+  ChipState Strike(size_t chip);
+
+  /// A clean attempt on `chip`: forgives its accumulated strikes (strikes
+  /// count consecutive failures). Quarantine is permanent — clearing a
+  /// quarantined chip is a no-op.
+  void ClearStrikes(size_t chip);
+
+  /// Immediate quarantine (dead chip).
+  void Quarantine(size_t chip);
+
+  /// The chip work for `chip` should actually run on: `chip` itself when
+  /// usable, else the next usable chip in cyclic order. nullopt when every
+  /// chip is quarantined.
+  std::optional<size_t> PreferredChip(size_t chip) const;
+
+ private:
+  mutable std::mutex mutex_;
+  size_t num_chips_;
+  size_t strike_limit_;
+  std::vector<size_t> strikes_;
+  std::vector<bool> quarantined_;
+};
 
 /// A fixed pool of worker threads, one per simulated chip.
 ///

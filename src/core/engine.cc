@@ -1,13 +1,17 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
+#include <optional>
 
 #include "arrays/dedup_array.h"
 #include "arrays/division_array.h"
 #include "arrays/intersection_array.h"
 #include "arrays/join_array.h"
+#include "faults/checksum.h"
+#include "faults/fault_scope.h"
 #include "perfmodel/estimates.h"
 #include "systolic/schedule.h"
 
@@ -29,35 +33,166 @@ void ExecStats::AccumulatePass(const ArrayRunInfo& info) {
 Engine::Engine(DeviceConfig device)
     : device_(device),
       pool_(device.num_chips > 1 ? std::make_shared<ChipPool>(device.num_chips)
-                                 : nullptr) {}
+                                 : nullptr),
+      health_(device.faults != nullptr
+                  ? std::make_shared<ChipHealth>(
+                        std::max<size_t>(1, device.num_chips),
+                        device.recovery.strike_limit)
+                  : nullptr) {}
 
 size_t Engine::num_chips() const { return std::max<size_t>(1, device_.num_chips); }
 
 Status Engine::RunTiled(
-    size_t count,
-    const std::function<Status(size_t tile, size_t chip)>& task) const {
-  if (pool_ == nullptr || count <= 1) {
-    for (size_t tile = 0; tile < count; ++tile) {
-      SYSTOLIC_RETURN_NOT_OK(task(tile, 0));
+    size_t count, const std::function<Status(size_t tile, size_t chip)>& task,
+    ExecStats* stats,
+    const std::function<uint64_t(size_t tile)>& tile_checksum) const {
+  const auto dispatch =
+      [&](const std::function<Status(size_t, size_t)>& tile_task) -> Status {
+    if (pool_ == nullptr || count <= 1) {
+      for (size_t tile = 0; tile < count; ++tile) {
+        SYSTOLIC_RETURN_NOT_OK(tile_task(tile, 0));
+      }
+      return Status::OK();
+    }
+    std::vector<Status> statuses(count);
+    pool_->RunAll(count, [&tile_task, &statuses](size_t tile, size_t chip) {
+      statuses[tile] = tile_task(tile, chip);
+    });
+    for (const Status& status : statuses) {
+      SYSTOLIC_RETURN_NOT_OK(status);
     }
     return Status::OK();
+  };
+
+  if (health_ == nullptr) return dispatch(task);
+
+  // Fault-tolerant path. Every tile attempt runs inside a FaultScope that
+  // injects the plan's faults for its chip and counts every corruption it
+  // inflicts (the modelled bus parity / valid-strobe monitors). An attempt
+  // is accepted only when it returned OK with zero detected corruptions —
+  // so accepted tiles are exactly what a fault-free chip computes, which is
+  // what makes recovered output bit-identical to the fault-free run.
+  const faults::FaultPlan* plan = device_.faults.get();
+  const faults::RecoveryOptions& recovery = device_.recovery;
+  const size_t chips = health_->num_chips();
+  const size_t max_attempts =
+      recovery.max_attempts_per_tile != 0
+          ? recovery.max_attempts_per_tile
+          : health_->strike_limit() * chips + 4;
+
+  std::atomic<size_t> faults_detected{0};
+  std::atomic<size_t> retries{0};
+  std::atomic<size_t> shadow_runs{0};
+  std::atomic<size_t> shadow_mismatches{0};
+
+  // Shadow attempts draw an independent injection stream via this key bit.
+  constexpr uint32_t kShadowAttemptBit = 0x80000000u;
+
+  const auto attempt_once = [&](size_t tile, size_t chip,
+                                uint32_t attempt) -> Status {
+    faults::FaultScope scope(plan, chip, tile, attempt);
+    if (scope.chip_dead()) {
+      return Status::Unavailable("chip " + std::to_string(chip) +
+                                 " is dead and answers no work");
+    }
+    Status status;
+    try {
+      status = task(tile, chip);
+    } catch (const HardwareFault& fault) {
+      // A corrupted word tripped an array invariant mid-pass.
+      return Status::DataCorruption(fault.what());
+    }
+    if (status.IsInternal()) {
+      // Under injection a stall / lost-output Internal is the fault's
+      // doing, not a driver bug: recoverable.
+      return Status::DataCorruption(status.message());
+    }
+    if (status.ok() && scope.corruptions() > 0) {
+      return Status::DataCorruption(
+          std::to_string(scope.corruptions()) +
+          " corrupted word(s) detected on chip " + std::to_string(chip));
+    }
+    return status;
+  };
+
+  const auto recovered = [&](size_t tile, size_t /*worker_chip*/) -> Status {
+    // Route by TILE, not by worker thread: which pool worker claims a tile
+    // is scheduling-dependent, and the injected faults are keyed by (chip,
+    // tile, attempt) — tile-keyed routing makes the whole fault history of
+    // a run reproducible regardless of thread interleaving.
+    std::optional<size_t> chip = health_->PreferredChip(tile % chips);
+    for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+      if (!chip.has_value()) {
+        return Status::Unavailable("no usable chips remain: all " +
+                                   std::to_string(chips) +
+                                   " are quarantined or dead");
+      }
+      if (attempt > 0) ++retries;
+      Status status = attempt_once(tile, *chip, attempt);
+      if (status.ok() && tile_checksum != nullptr &&
+          faults::ShadowSampled(plan->seed(), tile,
+                                recovery.shadow_fraction)) {
+        // Defense in depth: re-run the tile and require matching output
+        // checksums. The shadow run faces fresh (independently keyed)
+        // faults, so it must itself pass detection to be comparable.
+        const uint64_t primary = tile_checksum(tile);
+        const Status shadow =
+            attempt_once(tile, *chip, attempt | kShadowAttemptBit);
+        ++shadow_runs;
+        if (!shadow.ok()) {
+          status = shadow;
+        } else if (tile_checksum(tile) != primary) {
+          ++shadow_mismatches;
+          status = Status::DataCorruption(
+              "shadow re-execution checksum mismatch on chip " +
+              std::to_string(*chip));
+        }
+      }
+      if (status.ok()) {
+        // A clean attempt proves the chip still works: forgive its strikes,
+        // so only consecutive failures — a genuinely failing chip, not a
+        // run of transient upsets — ever reach quarantine.
+        health_->ClearStrikes(*chip);
+        return status;
+      }
+      if (!status.IsDataCorruption() && !status.IsUnavailable()) {
+        return status;  // caller error (capacity, arity, ...): not a fault
+      }
+      ++faults_detected;
+      if (status.IsUnavailable()) {
+        health_->Quarantine(*chip);
+      } else {
+        health_->Strike(*chip);
+      }
+      chip = health_->PreferredChip((*chip + 1) % chips);
+    }
+    return Status::Unavailable("tile " + std::to_string(tile) +
+                               " still failing after " +
+                               std::to_string(max_attempts) + " attempts");
+  };
+
+  const Status status = dispatch(recovered);
+  if (stats != nullptr) {
+    stats->faults_detected += faults_detected.load();
+    stats->tile_retries += retries.load();
+    stats->shadow_runs += shadow_runs.load();
+    stats->shadow_mismatches += shadow_mismatches.load();
   }
-  std::vector<Status> statuses(count);
-  pool_->RunAll(count, [&task, &statuses](size_t tile, size_t chip) {
-    statuses[tile] = task(tile, chip);
-  });
-  for (const Status& status : statuses) {
-    SYSTOLIC_RETURN_NOT_OK(status);
-  }
-  return Status::OK();
+  return status;
 }
 
 void Engine::MergePassInfos(const std::vector<ArrayRunInfo>& infos,
                             ExecStats* stats) const {
   if (stats == nullptr) return;
   stats->num_chips = num_chips();
+  // Degradation: quarantined chips take no further passes, so the makespan
+  // schedule only spreads over the chips still usable.
+  const size_t usable = health_ == nullptr
+                            ? num_chips()
+                            : std::max<size_t>(1, health_->num_usable());
+  stats->healthy_chips = usable;
   // Sum exactly as the serial path's per-pass accumulation would.
-  std::vector<size_t> chip_busy(num_chips(), 0);
+  std::vector<size_t> chip_busy(usable, 0);
   for (const ArrayRunInfo& info : infos) {
     ++stats->passes;
     stats->cycles += info.cycles;
@@ -192,7 +327,8 @@ Result<BitVector> Engine::TiledMembership(const Relation& a, const Relation& b,
   std::vector<BitVector> tile_bits(tiles.size(), BitVector(0));
   std::vector<ArrayRunInfo> tile_infos(tiles.size());
   SYSTOLIC_RETURN_NOT_OK(RunTiled(
-      tiles.size(), [&](size_t t, size_t /*chip*/) -> Status {
+      tiles.size(),
+      [&](size_t t, size_t /*chip*/) -> Status {
         const MembershipTile& tile = tiles[t];
         ArrayRunInfo info;
         if (dedup) {
@@ -220,7 +356,9 @@ Result<BitVector> Engine::TiledMembership(const Relation& a, const Relation& b,
         }
         tile_infos[t] = info;
         return Status::OK();
-      }));
+      },
+      stats,
+      [&tile_bits](size_t t) { return faults::ChecksumBits(tile_bits[t]); }));
 
   MergePassInfos(tile_infos, stats);
   for (size_t t = 0; t < tiles.size(); ++t) {
@@ -324,8 +462,11 @@ Result<EngineResult> Engine::Join(const Relation& a, const Relation& b,
       offsets.size());
   std::vector<ArrayRunInfo> tile_infos(offsets.size());
   SYSTOLIC_RETURN_NOT_OK(RunTiled(
-      offsets.size(), [&](size_t t, size_t /*chip*/) -> Status {
+      offsets.size(),
+      [&](size_t t, size_t /*chip*/) -> Status {
         const auto [ai, bi] = offsets[t];
+        // Retried attempts must not append onto a rejected attempt's output.
+        tile_matches[t].clear();
         const Relation block_a = Slice(a, ai, cap_a);
         const Relation block_b = Slice(b, bi, cap_b);
         SYSTOLIC_ASSIGN_OR_RETURN(
@@ -337,6 +478,10 @@ Result<EngineResult> Engine::Join(const Relation& a, const Relation& b,
           tile_matches[t].emplace_back(ai + i, bi + j);
         }
         return Status::OK();
+      },
+      &result.stats,
+      [&tile_matches](size_t t) {
+        return faults::ChecksumMatches(tile_matches[t]);
       }));
   MergePassInfos(tile_infos, &result.stats);
 
@@ -418,13 +563,18 @@ Result<EngineResult> Engine::Divide(const Relation& a, const Relation& b,
       arrays::DivisionArrayResult(Relation(b.schema(), rel::RelationKind::kSet)));
   std::vector<ArrayRunInfo> tile_infos(chunks.size() * num_groups);
   SYSTOLIC_RETURN_NOT_OK(RunTiled(
-      chunks.size() * num_groups, [&](size_t t, size_t /*chip*/) -> Status {
+      chunks.size() * num_groups,
+      [&](size_t t, size_t /*chip*/) -> Status {
         SYSTOLIC_ASSIGN_OR_RETURN(
             passes[t], arrays::SystolicDivision(chunks[t / num_groups],
                                                 divisor_groups[t % num_groups],
                                                 spec));
         tile_infos[t] = passes[t].info;
         return Status::OK();
+      },
+      &result.stats,
+      [&passes](size_t t) {
+        return faults::ChecksumRelation(passes[t].relation);
       }));
   MergePassInfos(tile_infos, &result.stats);
 
@@ -458,10 +608,26 @@ Result<EngineResult> Engine::Select(
         " predicates but the device has " + std::to_string(device_.columns) +
         " columns");
   }
-  SYSTOLIC_ASSIGN_OR_RETURN(arrays::SelectionResult run,
-                            arrays::SystolicSelect(a, predicates));
-  EngineResult result(std::move(run.relation));
-  result.stats.AccumulatePass(run.info);
+  // One logical tile, routed through RunTiled so selection passes get the
+  // same fault detection and retry treatment as the tiled operators.
+  std::vector<arrays::SelectionResult> slot;
+  slot.emplace_back(Relation(a.schema(), rel::RelationKind::kMulti));
+  ExecStats stats;
+  SYSTOLIC_RETURN_NOT_OK(RunTiled(
+      1,
+      [&](size_t, size_t) -> Status {
+        SYSTOLIC_ASSIGN_OR_RETURN(slot[0],
+                                  arrays::SystolicSelect(a, predicates));
+        return Status::OK();
+      },
+      &stats,
+      [&slot](size_t) { return faults::ChecksumBits(slot[0].selected); }));
+  EngineResult result(std::move(slot[0].relation));
+  result.stats = stats;
+  result.stats.AccumulatePass(slot[0].info);
+  if (health_ != nullptr) {
+    result.stats.healthy_chips = std::max<size_t>(1, health_->num_usable());
+  }
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef SYSTOLIC_CORE_ENGINE_H_
 #define SYSTOLIC_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -10,6 +11,7 @@
 #include "arrays/membership.h"
 #include "arrays/selection_array.h"
 #include "core/chip_pool.h"
+#include "faults/fault_plan.h"
 #include "relational/op_specs.h"
 #include "relational/relation.h"
 #include "util/result.h"
@@ -39,6 +41,14 @@ struct DeviceConfig {
   /// and summed statistics are bit-identical to the serial path. 1 (the
   /// default) preserves today's serial execution exactly; 0 is treated as 1.
   size_t num_chips = 1;
+  /// Deterministic fault-injection plan; null (the default) models perfect
+  /// hardware and costs nothing. With a plan installed, logical chip c runs
+  /// every pass under plan->chip(c)'s fault profile inside a detection scope
+  /// (bus parity + valid-strobe monitoring + recoverable invariant checks),
+  /// and the engine retries detected failures per `recovery`.
+  std::shared_ptr<const faults::FaultPlan> faults;
+  /// Retry/quarantine policy; consulted only when `faults` is set.
+  faults::RecoveryOptions recovery;
 };
 
 /// Aggregate execution statistics for one engine operation, summed over all
@@ -63,6 +73,20 @@ struct ExecStats {
   /// Chips the operation's tiles were spread across (the engine's
   /// num_chips()); denominator of MakespanUtilization().
   size_t num_chips = 1;
+  /// Fault-tolerance counters; all stay zero without a fault plan.
+  /// Tile attempts that failed detection (parity hits, invariant trips,
+  /// stalls, dead-chip refusals).
+  size_t faults_detected = 0;
+  /// Tile attempts beyond each tile's first (every retry runs on the next
+  /// usable chip in cyclic order).
+  size_t tile_retries = 0;
+  /// Shadow re-executions sampled for checksum cross-checking, and how many
+  /// of them disagreed with the primary run.
+  size_t shadow_runs = 0;
+  size_t shadow_mismatches = 0;
+  /// Chips not quarantined when the operation finished; equals num_chips on
+  /// healthy hardware.
+  size_t healthy_chips = 1;
 
   /// Serial utilisation: busy cell-pulses over cells × summed pulses
   /// (`cycles`). Denominator = the cell-pulses ONE chip offers when it runs
@@ -160,6 +184,11 @@ class Engine {
   /// without rebuilding the device.
   Engine WithMode(arrays::FeedMode mode) const;
 
+  /// The chip-health ledger, shared by engine copies; null without a fault
+  /// plan. Exposed so callers (tests, the §9 machine's reporting) can
+  /// inspect quarantine state after operations.
+  const ChipHealth* health() const { return health_.get(); }
+
  private:
   /// Capacity of one operand block per pass under `mode`. `bottom` selects
   /// the B side (which differs from A in fixed mode).
@@ -170,10 +199,18 @@ class Engine {
   /// returns the lowest-tile-index non-OK status. Tasks receive (tile,
   /// chip) and must write results only into their own tile's slots; callers
   /// merge in tile order afterwards, which is what keeps parallel output
-  /// bit-identical to serial.
+  /// bit-identical to serial. Tasks must be re-runnable for one tile (reset
+  /// their slot on entry): with a fault plan installed every attempt runs
+  /// inside a faults::FaultScope, detected failures are retried on the next
+  /// usable chip (striking / quarantining per the recovery policy, hard
+  /// Unavailable only when no usable chip remains), fault counters are
+  /// folded into `stats`, and `tile_checksum` (checksum of tile's slot, for
+  /// the sampled shadow re-execution cross-check) may be consulted.
   Status RunTiled(size_t count,
-                  const std::function<Status(size_t tile, size_t chip)>& task)
-      const;
+                  const std::function<Status(size_t tile, size_t chip)>& task,
+                  ExecStats* stats = nullptr,
+                  const std::function<uint64_t(size_t tile)>& tile_checksum =
+                      nullptr) const;
 
   /// Folds per-tile pass records into `stats` in tile order: sums passes /
   /// cycles / busy cell-pulses exactly as the serial path would, and adds
@@ -199,6 +236,10 @@ class Engine {
   /// Shared by engine copies (the §9 machine stores engines by value); null
   /// when num_chips() == 1, so the default device costs no threads.
   std::shared_ptr<ChipPool> pool_;
+  /// Chip-health ledger for fault-tolerant scheduling; created iff the
+  /// device has a fault plan, and shared by engine copies so strikes
+  /// accumulate across operations exactly as on one physical device.
+  std::shared_ptr<ChipHealth> health_;
 };
 
 }  // namespace db

@@ -1,0 +1,33 @@
+#include "faults/fault_plan.h"
+
+namespace systolic {
+namespace faults {
+
+size_t FaultPlan::num_dead() const {
+  size_t dead = 0;
+  for (const ChipFaultProfile& chip : chips_) {
+    if (chip.dead) ++dead;
+  }
+  return dead;
+}
+
+bool FaultPlan::AnyTransient() const {
+  for (const ChipFaultProfile& chip : chips_) {
+    if (chip.AnyTransient()) return true;
+  }
+  return false;
+}
+
+FaultPlan FaultPlan::Uniform(uint64_t seed, size_t num_chips, double bit_flip,
+                             double valid_drop, double stuck_line) {
+  FaultPlan plan(seed, num_chips);
+  for (size_t c = 0; c < plan.num_chips(); ++c) {
+    plan.chip(c).bit_flip_rate = bit_flip;
+    plan.chip(c).valid_drop_rate = valid_drop;
+    plan.chip(c).stuck_line_rate = stuck_line;
+  }
+  return plan;
+}
+
+}  // namespace faults
+}  // namespace systolic

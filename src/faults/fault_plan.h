@@ -1,0 +1,110 @@
+#ifndef SYSTOLIC_FAULTS_FAULT_PLAN_H_
+#define SYSTOLIC_FAULTS_FAULT_PLAN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace systolic {
+namespace faults {
+
+/// The wire-level fault classes of the model (DESIGN S20). Every class is
+/// detectable in the modelled hardware — transients by per-wire bus parity
+/// and valid-strobe monitoring, stuck lines likewise, dead chips by their
+/// silence — which is what lets the engine promise bit-identical recovery:
+/// a corrupted pass never contributes data, it is detected and re-run.
+enum class FaultKind {
+  kBitFlip,    // one data bit of a valid word flips in transit
+  kValidDrop,  // a valid word's strobe is lost; receivers see a bubble
+  kStuckAt,    // one data line of a wire is stuck for the whole run
+  kDeadChip,   // the chip answers nothing at all
+};
+
+/// Per-chip fault intensities. Transient rates are per valid word per pulse.
+struct ChipFaultProfile {
+  /// Probability a valid word suffers a single-bit value flip in transit.
+  double bit_flip_rate = 0;
+  /// Probability a valid word is lost (its valid strobe drops) in transit.
+  double valid_drop_rate = 0;
+  /// Probability, decided once per wire per run, that one data line of the
+  /// wire is stuck high; every valid word crossing it has that bit forced.
+  double stuck_line_rate = 0;
+  /// Dead chip: every pass scheduled on it fails immediately.
+  bool dead = false;
+
+  bool AnyTransient() const {
+    return bit_flip_rate > 0 || valid_drop_rate > 0 || stuck_line_rate > 0;
+  }
+};
+
+/// Retry/quarantine policy the engine applies when a fault plan is installed.
+struct RecoveryOptions {
+  /// Consecutive detected failures a chip may accumulate before it is
+  /// quarantined; a clean attempt resets the count.
+  size_t strike_limit = 3;
+  /// Attempt cap per tile across chip rotations; 0 = automatic
+  /// (strike_limit x chips + 4, enough to quarantine everything and fail).
+  size_t max_attempts_per_tile = 0;
+  /// Fraction of clean tiles re-executed as a shadow run whose output
+  /// checksum must match the first run — defense in depth on top of the
+  /// parity/strobe model, which already detects every injected fault.
+  double shadow_fraction = 0;
+};
+
+/// Deterministic description of which faults afflict which chip: a seed plus
+/// per-chip profiles. Individual fault *decisions* are not drawn from a
+/// sequential RNG but derived by keyed hashing of (seed, chip, tile, attempt,
+/// wire, pulse) — see FaultScope — so a plan corrupts exactly the same words
+/// no matter how tiles interleave across worker threads.
+class FaultPlan {
+ public:
+  FaultPlan(uint64_t seed, size_t num_chips)
+      : seed_(seed), chips_(std::max<size_t>(1, num_chips)) {}
+
+  uint64_t seed() const { return seed_; }
+  size_t num_chips() const { return chips_.size(); }
+
+  ChipFaultProfile& chip(size_t chip) { return chips_[chip % chips_.size()]; }
+  const ChipFaultProfile& chip(size_t chip) const {
+    return chips_[chip % chips_.size()];
+  }
+
+  size_t num_dead() const;
+  bool AnyTransient() const;
+
+  /// A plan giving every chip the same transient rates.
+  static FaultPlan Uniform(uint64_t seed, size_t num_chips, double bit_flip,
+                           double valid_drop, double stuck_line);
+
+ private:
+  uint64_t seed_;
+  std::vector<ChipFaultProfile> chips_;
+};
+
+/// SplitMix64 finalizer: the keyed-hash primitive behind every fault
+/// decision. Full 64-bit avalanche, so consecutive keys decorrelate.
+inline uint64_t MixFaultKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Maps a hash to [0,1) with 53 bits of precision for rate comparisons.
+inline double FaultKeyToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic per-tile sampling decision for shadow re-execution.
+inline bool ShadowSampled(uint64_t seed, uint64_t tile, double fraction) {
+  if (fraction <= 0) return false;
+  const uint64_t h =
+      MixFaultKey(MixFaultKey(seed ^ 0x5ad0'5a3bULL) ^ tile);  // shadow salt
+  return FaultKeyToUnit(h) < fraction;
+}
+
+}  // namespace faults
+}  // namespace systolic
+
+#endif  // SYSTOLIC_FAULTS_FAULT_PLAN_H_

@@ -1,0 +1,97 @@
+#include "faults/fault_scope.h"
+
+#include "relational/domain.h"
+#include "systolic/wire.h"
+#include "systolic/word.h"
+#include "util/logging.h"
+
+namespace systolic {
+namespace faults {
+
+namespace {
+// Salts separating the independent decision streams drawn from one key.
+constexpr uint64_t kSaltFlip = 0xf11b'0001;
+constexpr uint64_t kSaltFlipBit = 0xf11b'0002;
+constexpr uint64_t kSaltDrop = 0xd309'0001;
+constexpr uint64_t kSaltStuck = 0x57cc'0001;
+constexpr uint64_t kSaltStuckBit = 0x57cc'0002;
+
+// Injected flips land in the low 16 value bits: large enough to corrupt any
+// element code or boolean the arrays exchange, small enough to keep the
+// corrupted codes within the domains the drivers reason about.
+constexpr uint64_t kFlippableBits = 16;
+}  // namespace
+
+FaultScope::FaultScope(const FaultPlan* plan, size_t chip, uint64_t tile_key,
+                       uint32_t attempt)
+    : plan_(plan), chip_(chip) {
+  if (plan_ != nullptr) profile_ = plan_->chip(chip);
+  uint64_t key = plan_ == nullptr ? 0 : plan_->seed();
+  key = MixFaultKey(key ^ static_cast<uint64_t>(chip));
+  key = MixFaultKey(key ^ tile_key);
+  key = MixFaultKey(key ^ static_cast<uint64_t>(attempt));
+  base_ = key;
+  previous_armed_ = internal_logging::ArmHardwareChecks(true);
+  previous_hook_ = sim::ThreadPulseHook();
+  sim::ThreadPulseHook() = this;
+}
+
+FaultScope::~FaultScope() {
+  sim::ThreadPulseHook() = previous_hook_;
+  internal_logging::ArmHardwareChecks(previous_armed_);
+}
+
+bool FaultScope::chip_dead() const { return profile_.dead; }
+
+bool FaultScope::Chance(uint64_t wire, uint64_t cycle, uint64_t salt,
+                        double rate) const {
+  if (rate <= 0) return false;
+  uint64_t h = MixFaultKey(base_ ^ salt);
+  h = MixFaultKey(h ^ wire);
+  h = MixFaultKey(h ^ cycle);
+  return FaultKeyToUnit(h) < rate;
+}
+
+void FaultScope::AfterCommit(
+    const std::vector<std::unique_ptr<sim::Wire>>& wires, size_t cycle) {
+  if (!profile_.AnyTransient()) return;
+  for (size_t i = 0; i < wires.size(); ++i) {
+    sim::Wire* wire = wires[i].get();
+    // Only valid words can be corrupted: a bubble drives no data lines and
+    // its valid strobe is already low.
+    if (!wire->HasData()) continue;
+    sim::Word word = wire->Read();
+    bool corrupted = false;
+    // Stuck line: the (wire, line) choice is keyed without the cycle, so it
+    // holds for the whole attempt — the word is only corrupted (and only
+    // detected by parity) on pulses where the driven bit disagrees.
+    if (Chance(i, 0, kSaltStuck, profile_.stuck_line_rate)) {
+      uint64_t h = MixFaultKey(base_ ^ kSaltStuckBit);
+      h = MixFaultKey(h ^ i);
+      const rel::Code forced =
+          word.value | (rel::Code{1} << (h % kFlippableBits));
+      if (forced != word.value) {
+        word.value = forced;
+        corrupted = true;
+      }
+    }
+    if (Chance(i, cycle, kSaltFlip, profile_.bit_flip_rate)) {
+      uint64_t h = MixFaultKey(base_ ^ kSaltFlipBit);
+      h = MixFaultKey(h ^ i);
+      h = MixFaultKey(h ^ cycle);
+      word.value ^= rel::Code{1} << (h % kFlippableBits);
+      corrupted = true;
+    }
+    if (Chance(i, cycle, kSaltDrop, profile_.valid_drop_rate)) {
+      word = sim::Word::Bubble();
+      corrupted = true;
+    }
+    if (corrupted) {
+      wire->OverrideLatched(word);
+      ++corruptions_;  // the wire's parity / valid monitor fires
+    }
+  }
+}
+
+}  // namespace faults
+}  // namespace systolic

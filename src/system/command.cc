@@ -1,5 +1,8 @@
 #include "system/command.h"
 
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -249,8 +252,27 @@ Status CommandInterpreter::RunStep(Transaction transaction,
                             machine_->Buffer(output));
   (*out_) << "-- " << OpKindToString(step.op) << " -> " << output << ": "
           << result->num_tuples() << " tuples, " << step.exec.passes
-          << " passes, " << step.exec.cycles << " pulses\n";
+          << " passes, " << step.exec.cycles << " pulses";
+  PrintFaultCounters(step.exec);
+  (*out_) << "\n";
   return Status::OK();
+}
+
+void CommandInterpreter::PrintFaultCounters(const db::ExecStats& exec) {
+  if (machine_->config().device.faults == nullptr) return;
+  (*out_) << ", " << exec.faults_detected << " faults, " << exec.tile_retries
+          << " retries, " << exec.healthy_chips << "/" << exec.num_chips
+          << " chips";
+}
+
+void CommandInterpreter::PrintFaultPolicy() {
+  const auto& plan = machine_->config().device.faults;
+  if (plan == nullptr) return;
+  const auto& recovery = machine_->config().device.recovery;
+  (*out_) << "-- faults: seed=" << plan->seed() << ", " << plan->num_chips()
+          << " chips (" << plan->num_dead()
+          << " dead); detected failures retry on the next usable chip, "
+          << "quarantine after " << recovery.strike_limit << " strikes\n";
 }
 
 Status CommandInterpreter::Dispatch(Transaction transaction,
@@ -275,14 +297,103 @@ Status CommandInterpreter::CommitPlanned(Transaction txn) {
           << report.makespan_seconds * 1e6 << " us, "
           << report.crossbar_configurations << " crossbar configs\n";
   size_t measured = 0;
-  for (const StepReport& step : report.steps) measured += step.exec.cycles;
+  size_t faults = 0;
+  size_t retries = 0;
+  for (const StepReport& step : report.steps) {
+    measured += step.exec.cycles;
+    faults += step.exec.faults_detected;
+    retries += step.exec.tile_retries;
+  }
   (*out_) << "-- planner: measured " << measured << " pulses\n";
+  if (machine_->config().device.faults != nullptr) {
+    (*out_) << "-- faults: " << faults << " detected, " << retries
+            << " tile retries\n";
+  }
   // Planner-introduced intermediates are not part of the result: free their
   // memory modules. (Elided original intermediates were never stored.)
   for (const std::string& temp : planned.temp_buffers) {
     const Status released = machine_->ReleaseBuffer(temp);
     if (!released.ok() && !released.IsNotFound()) return released;
   }
+  return Status::OK();
+}
+
+Status CommandInterpreter::SetFaults(const std::vector<std::string>& tokens) {
+  static constexpr char kUsage[] =
+      "usage: SET FAULTS off | SET FAULTS seed=<n> [rate=<r>] [dead=<c,...>] "
+      "[strikes=<n>] [shadow=<r>]";
+  if (tokens.size() == 3 && tokens[2] == "off") {
+    machine_->InstallFaultPlan(nullptr);
+    (*out_) << "-- faults off\n";
+    return Status::OK();
+  }
+  if (tokens.size() < 3) return Status::InvalidArgument(kUsage);
+  int64_t seed = -1;
+  double rate = 0;
+  double shadow = 0;
+  faults::RecoveryOptions recovery;
+  std::vector<size_t> dead;
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) return Status::InvalidArgument(kUsage);
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    if (key == "seed") {
+      if (!ParseInt64(value, &seed) || seed < 0) {
+        return Status::InvalidArgument("SET FAULTS: bad seed '" + value + "'");
+      }
+    } else if (key == "rate" || key == "shadow") {
+      char* end = nullptr;
+      const double parsed = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || parsed < 0 || parsed > 1) {
+        return Status::InvalidArgument("SET FAULTS: bad " + key + " '" +
+                                       value + "' (want 0..1)");
+      }
+      (key == "rate" ? rate : shadow) = parsed;
+    } else if (key == "strikes") {
+      int64_t strikes = 0;
+      if (!ParseInt64(value, &strikes) || strikes < 1) {
+        return Status::InvalidArgument("SET FAULTS: bad strikes '" + value +
+                                       "'");
+      }
+      recovery.strike_limit = static_cast<size_t>(strikes);
+    } else if (key == "dead") {
+      for (size_t start = 0; start <= value.size();) {
+        const size_t comma = std::min(value.find(',', start), value.size());
+        int64_t chip = -1;
+        if (!ParseInt64(value.substr(start, comma - start), &chip) ||
+            chip < 0) {
+          return Status::InvalidArgument("SET FAULTS: bad dead chip list '" +
+                                         value + "'");
+        }
+        dead.push_back(static_cast<size_t>(chip));
+        start = comma + 1;
+      }
+    } else {
+      return Status::InvalidArgument(kUsage);
+    }
+  }
+  if (seed < 0) return Status::InvalidArgument(kUsage);
+  const size_t chips =
+      std::max<size_t>(1, machine_->config().device.num_chips);
+  // One knob scales all transient classes: flips at `rate`, drops at half,
+  // stuck lines at a quarter of it.
+  auto plan = std::make_shared<faults::FaultPlan>(faults::FaultPlan::Uniform(
+      static_cast<uint64_t>(seed), chips, rate, rate / 2, rate / 4));
+  for (size_t chip : dead) {
+    if (chip >= chips) {
+      return Status::InvalidArgument("SET FAULTS: dead chip " +
+                                     std::to_string(chip) +
+                                     " out of range (device has " +
+                                     std::to_string(chips) + ")");
+    }
+    plan->chip(chip).dead = true;
+  }
+  recovery.shadow_fraction = shadow;
+  machine_->InstallFaultPlan(plan, recovery);
+  (*out_) << "-- faults on: seed=" << seed << ", rate=" << rate << ", "
+          << chips << " chips (" << dead.size() << " dead), strike limit "
+          << recovery.strike_limit << "\n";
   return Status::OK();
 }
 
@@ -311,9 +422,13 @@ Status CommandInterpreter::Execute(const std::string& line) {
     return Status::OK();
   }
   if (verb == "SET") {
+    if (tokens.size() >= 2 && tokens[1] == "FAULTS") {
+      return SetFaults(tokens);
+    }
     if (tokens.size() != 3 || tokens[1] != "PLANNER" ||
         (tokens[2] != "on" && tokens[2] != "off")) {
-      return Status::InvalidArgument("usage: SET PLANNER on|off");
+      return Status::InvalidArgument(
+          "usage: SET PLANNER on|off | SET FAULTS ...");
     }
     planner_on_ = tokens[2] == "on";
     (*out_) << "-- planner " << tokens[2] << "\n";
@@ -331,6 +446,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
       SYSTOLIC_ASSIGN_OR_RETURN(planner::PlannedTransaction planned,
                                 Plan(parsed.first));
       PrintPrefixed(out_, planned.ToString());
+      PrintFaultPolicy();
       return Status::OK();
     }
     if (!in_transaction_) {
@@ -352,6 +468,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
     SYSTOLIC_ASSIGN_OR_RETURN(planner::PlannedTransaction planned,
                               Plan(pending_));
     PrintPrefixed(out_, planned.ToString());
+    PrintFaultPolicy();
     return Status::OK();
   }
   if (verb == "COMMIT") {
@@ -368,6 +485,16 @@ Status CommandInterpreter::Execute(const std::string& line) {
             << report.serial_seconds * 1e6 << " us, makespan "
             << report.makespan_seconds * 1e6 << " us, "
             << report.crossbar_configurations << " crossbar configs\n";
+    if (machine_->config().device.faults != nullptr) {
+      size_t faults = 0;
+      size_t retries = 0;
+      for (const StepReport& step : report.steps) {
+        faults += step.exec.faults_detected;
+        retries += step.exec.tile_retries;
+      }
+      (*out_) << "-- faults: " << faults << " detected, " << retries
+              << " tile retries\n";
+    }
     return Status::OK();
   }
 

@@ -77,6 +77,16 @@ class CommandInterpreter {
   /// COMMIT through the planner: plan, execute, report estimated vs
   /// measured pulses, release planner temp buffers.
   Status CommitPlanned(Transaction txn);
+  /// SET FAULTS off | SET FAULTS seed=<n> [rate=<r>] [dead=<c,...>]
+  /// [strikes=<n>] [shadow=<r>]: installs or clears a fault plan on every
+  /// device of the machine.
+  Status SetFaults(const std::vector<std::string>& tokens);
+  /// Appends ", F faults, R retries, H/C chips" to an execution summary
+  /// line when a fault plan is installed; no-op otherwise.
+  void PrintFaultCounters(const db::ExecStats& exec);
+  /// One "-- faults: ..." line describing the installed plan and recovery
+  /// policy (printed by EXPLAIN); no-op without a plan.
+  void PrintFaultPolicy();
 
   /// True for the relational verbs ParseRelational understands.
   static bool IsRelationalVerb(const std::string& verb);

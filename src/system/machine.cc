@@ -23,6 +23,19 @@ const db::Engine& Machine::EngineFor(OpKind kind) const {
   return it == engines_.end() ? engine_ : it->second;
 }
 
+void Machine::InstallFaultPlan(std::shared_ptr<const faults::FaultPlan> plan,
+                               faults::RecoveryOptions recovery) {
+  config_.device.faults = plan;
+  config_.device.recovery = recovery;
+  engine_ = db::Engine(config_.device);
+  engines_.clear();
+  for (auto& [kind, device] : config_.device_configs) {
+    device.faults = plan;
+    device.recovery = recovery;
+    engines_.emplace(kind, db::Engine(device));
+  }
+}
+
 double Machine::CrossbarBytesPerSecond() const {
   if (config_.crossbar_bytes_per_second > 0) {
     return config_.crossbar_bytes_per_second;

@@ -130,6 +130,12 @@ class Machine {
   Status WriteBackToDisk(const std::string& name,
                          const std::string& disk_name);
 
+  /// Installs a deterministic fault plan (null = perfect hardware) on every
+  /// device of the machine and rebuilds the engines; chip health resets.
+  /// Surfaced in the shell as `SET FAULTS ...`.
+  void InstallFaultPlan(std::shared_ptr<const faults::FaultPlan> plan,
+                        faults::RecoveryOptions recovery = {});
+
  private:
   Result<size_t> AllocateModule(const std::string& name);
   double CrossbarBytesPerSecond() const;

@@ -1,0 +1,44 @@
+#ifndef SYSTOLIC_SYSTOLIC_FAULT_HOOK_H_
+#define SYSTOLIC_SYSTOLIC_FAULT_HOOK_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace systolic {
+namespace sim {
+
+class Wire;
+
+/// Pulse-boundary observer installed per thread by the fault layer.
+///
+/// The Simulator calls AfterCommit() once per Step(), after every wire has
+/// latched its next word and before any cell reads it — exactly the window in
+/// which a physical bus would corrupt a word in transit. The hook may rewrite
+/// latched words via Wire::OverrideLatched() to model such faults.
+///
+/// The hook is thread-local (one simulated chip per thread in the engine's
+/// tile scheduler), so a fault session perturbs only its own chip's pulses
+/// and concurrent healthy chips are untouched. The simulator layer only
+/// *reads* the slot; installation and removal belong to faults::FaultScope.
+class PulseHook {
+ public:
+  virtual ~PulseHook() = default;
+
+  /// `wires` is the simulator's wire set for the pulse that just committed;
+  /// `cycle` is the pulse index that was executed.
+  virtual void AfterCommit(const std::vector<std::unique_ptr<Wire>>& wires,
+                           size_t cycle) = 0;
+};
+
+/// The hook active on the calling thread; null (the default) means no fault
+/// injection and costs one thread-local load per pulse.
+inline PulseHook*& ThreadPulseHook() {
+  thread_local PulseHook* hook = nullptr;
+  return hook;
+}
+
+}  // namespace sim
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SYSTOLIC_FAULT_HOOK_H_

@@ -27,7 +27,7 @@ class StreamFeeder : public Cell {
   /// Schedules `word` for pulse `cycle`. Fatal if the slot is taken or the
   /// pulse has already passed when Compute next runs.
   void ScheduleAt(size_t cycle, const Word& word) {
-    SYSTOLIC_CHECK(schedule_.emplace(cycle, word).second)
+    SYSTOLIC_HW_CHECK(schedule_.emplace(cycle, word).second)
         << "feeder '" << name() << "' double-books cycle " << cycle;
   }
 
@@ -36,7 +36,7 @@ class StreamFeeder : public Cell {
     if (first == schedule_.end()) return;
     // A slot in the past can never fire and would stall quiescence forever;
     // catching it here turns a silent hang into a diagnosable fault.
-    SYSTOLIC_CHECK_GE(first->first, cycle)
+    SYSTOLIC_HW_CHECK_GE(first->first, cycle)
         << "feeder '" << name() << "' booked pulse " << first->first
         << " which has already passed (now " << cycle << ")";
     if (first->first != cycle) return;

@@ -1,5 +1,7 @@
 #include "systolic/simulator.h"
 
+#include "systolic/fault_hook.h"
+
 namespace systolic {
 namespace sim {
 
@@ -9,6 +11,9 @@ void Simulator::Step() {
   }
   for (auto& wire : wires_) {
     wire->Commit();
+  }
+  if (PulseHook* hook = ThreadPulseHook()) {
+    hook->AfterCommit(wires_, cycle_);
   }
   ++cycle_;
 }

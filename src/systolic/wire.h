@@ -30,10 +30,11 @@ class Wire {
   const Word& Read() const { return current_; }
 
   /// Drives the wire for the next pulse. Fatal on a second write in the same
-  /// pulse (two cells driving one wire is a design bug).
+  /// pulse (two cells driving one wire is a design bug — or, under a fault
+  /// session, a chip defect; the HW variant lets the engine recover then).
   void Write(const Word& word) {
-    SYSTOLIC_CHECK(!written_) << "wire '" << name_
-                              << "' driven twice in one pulse";
+    SYSTOLIC_HW_CHECK(!written_) << "wire '" << name_
+                                 << "' driven twice in one pulse";
     next_ = word;
     written_ = true;
   }
@@ -48,6 +49,12 @@ class Wire {
 
   /// True iff the latched word is valid data (not a bubble).
   bool HasData() const { return current_.valid; }
+
+  /// Fault-injection override of the latched word: replaces what cells will
+  /// Read() on the coming pulse. Called only from a sim::PulseHook, between
+  /// Commit() and the next Compute() — modelling corruption on the physical
+  /// bus, after the driver and before the receivers.
+  void OverrideLatched(const Word& word) { current_ = word; }
 
  private:
   std::string name_;

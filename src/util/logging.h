@@ -4,8 +4,21 @@
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace systolic {
+
+/// Thrown in place of the fatal abort when a *hardware* invariant trips on a
+/// thread that has armed recoverable checks (a fault-injection session,
+/// faults::FaultScope). The engine catches it at the tile boundary, converts
+/// it to Status::DataCorruption, and retries the tile on another chip.
+class HardwareFault : public std::runtime_error {
+ public:
+  explicit HardwareFault(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
 namespace internal_logging {
 
 /// Accumulates a fatal-error message and aborts the process when destroyed.
@@ -19,6 +32,51 @@ class FatalLogMessage {
   }
 
   [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Per-thread switch between "abort" and "throw HardwareFault" for the
+/// SYSTOLIC_HW_CHECK macros. Off by default: without an active fault session
+/// a tripped hardware invariant is a schedule/programming bug and must die
+/// exactly like SYSTOLIC_CHECK. Thread-local so one chip's fault session
+/// never softens the checks of a concurrently running healthy chip.
+inline bool& HardwareChecksArmedFlag() {
+  thread_local bool armed = false;
+  return armed;
+}
+
+/// Arms or disarms recoverable hardware checks on the calling thread and
+/// returns the previous setting, so scopes can nest and restore.
+inline bool ArmHardwareChecks(bool armed) {
+  bool& flag = HardwareChecksArmedFlag();
+  const bool previous = flag;
+  flag = armed;
+  return previous;
+}
+
+inline bool HardwareChecksArmed() { return HardwareChecksArmedFlag(); }
+
+/// FatalLogMessage's recoverable sibling, used only via SYSTOLIC_HW_CHECK.
+/// Unarmed (the default) it prints and aborts with byte-identical output to
+/// FatalLogMessage; armed it throws HardwareFault from the destructor. The
+/// throw is safe here: the object is a temporary inside the check macro's
+/// `while` statement, so the destructor never runs during another unwind.
+class HardwareCheckMessage {
+ public:
+  HardwareCheckMessage(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL " << file << ":" << line << "] check failed: "
+            << condition << " ";
+  }
+
+  ~HardwareCheckMessage() noexcept(false) {
+    if (HardwareChecksArmed()) throw HardwareFault(stream_.str());
     std::cerr << stream_.str() << std::endl;
     std::abort();
   }
@@ -46,5 +104,19 @@ class FatalLogMessage {
 #define SYSTOLIC_CHECK_LE(a, b) SYSTOLIC_CHECK((a) <= (b))
 #define SYSTOLIC_CHECK_GT(a, b) SYSTOLIC_CHECK((a) > (b))
 #define SYSTOLIC_CHECK_GE(a, b) SYSTOLIC_CHECK((a) >= (b))
+
+/// SYSTOLIC_CHECK for invariants that *faulty hardware* (not just buggy
+/// software) can violate: lock-step rendezvous, tag cross-checks, feeder
+/// schedules, single-driver wires. Identical abort to SYSTOLIC_CHECK by
+/// default; under an armed fault session (faults::FaultScope) it throws
+/// HardwareFault so the engine can quarantine the chip and retry the tile.
+#define SYSTOLIC_HW_CHECK(condition)                                    \
+  while (!(condition))                                                  \
+  ::systolic::internal_logging::HardwareCheckMessage(__FILE__, __LINE__, \
+                                                     #condition)         \
+      .stream()
+
+#define SYSTOLIC_HW_CHECK_EQ(a, b) SYSTOLIC_HW_CHECK((a) == (b))
+#define SYSTOLIC_HW_CHECK_GE(a, b) SYSTOLIC_HW_CHECK((a) >= (b))
 
 #endif  // SYSTOLIC_UTIL_LOGGING_H_

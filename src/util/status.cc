@@ -28,6 +28,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "incompatible";
     case StatusCode::kCapacity:
       return "capacity";
+    case StatusCode::kDataCorruption:
+      return "data-corruption";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode {
   kIOError = 7,
   kIncompatible = 8,  // relations are not union-compatible (paper §2.4)
   kCapacity = 9,      // a physical array is too small and tiling is disabled
+  kDataCorruption = 10,  // a pass produced data a hardware check rejected
+  kUnavailable = 11,     // no chip can run the work (dead / quarantined)
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -73,6 +75,12 @@ class Status {
   static Status Capacity(std::string msg) {
     return Status(StatusCode::kCapacity, std::move(msg));
   }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return rep_ == nullptr; }
@@ -95,6 +103,8 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsIncompatible() const { return code() == StatusCode::kIncompatible; }
   bool IsCapacity() const { return code() == StatusCode::kCapacity; }
+  bool IsDataCorruption() const { return code() == StatusCode::kDataCorruption; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
  private:
   struct Rep {

@@ -163,6 +163,96 @@ TEST(ChipPoolTest, EngineOutputDeterministicAcrossRepetitions) {
   EXPECT_EQ(expected->stats.makespan_cycles, expected->stats.cycles);
 }
 
+// --- ChipHealth: the strike/quarantine ledger behind the fault-tolerant
+// tile scheduler (DESIGN S20). ---
+
+TEST(ChipHealthTest, StartsAllHealthy) {
+  ChipHealth health(4, 3);
+  EXPECT_EQ(health.num_chips(), 4u);
+  EXPECT_EQ(health.strike_limit(), 3u);
+  EXPECT_EQ(health.num_usable(), 4u);
+  EXPECT_EQ(health.total_strikes(), 0u);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(health.state(c), ChipState::kHealthy);
+    EXPECT_TRUE(health.Usable(c));
+  }
+}
+
+TEST(ChipHealthTest, StrikesEscalateHealthySuspectQuarantined) {
+  ChipHealth health(2, 3);
+  EXPECT_EQ(health.Strike(0), ChipState::kSuspect);
+  EXPECT_EQ(health.state(0), ChipState::kSuspect);
+  EXPECT_TRUE(health.Usable(0));
+  EXPECT_EQ(health.Strike(0), ChipState::kSuspect);
+  EXPECT_EQ(health.Strike(0), ChipState::kQuarantined);
+  EXPECT_FALSE(health.Usable(0));
+  EXPECT_EQ(health.strikes(0), 3u);
+  EXPECT_EQ(health.num_usable(), 1u);
+  EXPECT_EQ(health.total_strikes(), 3u);
+  // The other chip is untouched.
+  EXPECT_EQ(health.state(1), ChipState::kHealthy);
+}
+
+TEST(ChipHealthTest, CleanAttemptsForgiveStrikes) {
+  // Strikes count CONSECUTIVE failures: a chip suffering transient upsets
+  // interleaved with clean attempts never reaches quarantine.
+  ChipHealth health(2, 3);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_EQ(health.Strike(0), ChipState::kSuspect);
+    EXPECT_EQ(health.Strike(0), ChipState::kSuspect);
+    health.ClearStrikes(0);
+    EXPECT_EQ(health.state(0), ChipState::kHealthy);
+    EXPECT_EQ(health.strikes(0), 0u);
+  }
+  // Quarantine is permanent: clearing does not resurrect.
+  health.Quarantine(1);
+  health.ClearStrikes(1);
+  EXPECT_EQ(health.state(1), ChipState::kQuarantined);
+  EXPECT_EQ(health.num_usable(), 1u);
+}
+
+TEST(ChipHealthTest, QuarantineIsImmediateForDeadChips) {
+  ChipHealth health(3, 5);
+  health.Quarantine(1);
+  EXPECT_EQ(health.state(1), ChipState::kQuarantined);
+  EXPECT_EQ(health.num_usable(), 2u);
+  // Further strikes on a quarantined chip don't resurrect it.
+  EXPECT_EQ(health.Strike(1), ChipState::kQuarantined);
+}
+
+TEST(ChipHealthTest, PreferredChipRotatesPastQuarantined) {
+  ChipHealth health(4, 1);
+  EXPECT_EQ(health.PreferredChip(2), std::optional<size_t>(2));
+  health.Quarantine(2);
+  // Cyclic search: 2 is out, so 3 is next.
+  EXPECT_EQ(health.PreferredChip(2), std::optional<size_t>(3));
+  health.Quarantine(3);
+  // Wraps around past the end.
+  EXPECT_EQ(health.PreferredChip(2), std::optional<size_t>(0));
+}
+
+TEST(ChipHealthTest, AllQuarantinedLeavesNoPreferredChip) {
+  ChipHealth health(2, 1);
+  health.Quarantine(0);
+  health.Quarantine(1);
+  EXPECT_EQ(health.num_usable(), 0u);
+  EXPECT_EQ(health.PreferredChip(0), std::nullopt);
+  EXPECT_EQ(health.PreferredChip(1), std::nullopt);
+}
+
+TEST(ChipHealthTest, ClampsDegenerateShapes) {
+  ChipHealth health(0, 0);
+  EXPECT_EQ(health.num_chips(), 1u);
+  EXPECT_EQ(health.strike_limit(), 1u);
+  EXPECT_EQ(health.Strike(0), ChipState::kQuarantined);
+}
+
+TEST(ChipHealthTest, StateNamesAreCanonical) {
+  EXPECT_STREQ(ChipStateToString(ChipState::kHealthy), "healthy");
+  EXPECT_STREQ(ChipStateToString(ChipState::kSuspect), "suspect");
+  EXPECT_STREQ(ChipStateToString(ChipState::kQuarantined), "quarantined");
+}
+
 }  // namespace
 }  // namespace db
 }  // namespace systolic

@@ -8,11 +8,13 @@
 // and, where applicable, the tree machine and the bit-level decomposition.
 // Any divergence pinpoints the backend and operation.
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "arrays/bit_serial.h"
 #include "arrays/intersection_array.h"
@@ -538,18 +540,30 @@ TEST_P(PlannerDifferentialFuzz, SinksBitIdenticalLiteralPlannedOracle) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Txns, PlannerDifferentialFuzz,
-    ::testing::Values(PlannerFuzzParam{101, 0, 1}, PlannerFuzzParam{102, 0, 1},
-                      PlannerFuzzParam{103, 5, 1}, PlannerFuzzParam{104, 7, 1},
-                      PlannerFuzzParam{105, 3, 1}, PlannerFuzzParam{106, 9, 1},
-                      PlannerFuzzParam{107, 11, 1}, PlannerFuzzParam{108, 0, 1},
-                      PlannerFuzzParam{109, 13, 1}, PlannerFuzzParam{110, 1, 1},
-                      PlannerFuzzParam{111, 5, 2}, PlannerFuzzParam{112, 3, 2},
-                      PlannerFuzzParam{113, 7, 3}, PlannerFuzzParam{114, 0, 3},
-                      PlannerFuzzParam{115, 9, 7}, PlannerFuzzParam{116, 1, 7},
-                      PlannerFuzzParam{117, 5, 3}, PlannerFuzzParam{118, 13, 2},
-                      PlannerFuzzParam{119, 3, 7}, PlannerFuzzParam{120, 7, 2}));
+/// The default 20 planner-fuzz points, extensible to SYSTOLIC_FUZZ_SEEDS
+/// total points for the nightly expanded run (extra points reuse the same
+/// device-shape / chip-count rotation with fresh seeds).
+std::vector<PlannerFuzzParam> PlannerFuzzPoints() {
+  std::vector<PlannerFuzzParam> points{
+      {101, 0, 1},  {102, 0, 1}, {103, 5, 1},  {104, 7, 1}, {105, 3, 1},
+      {106, 9, 1},  {107, 11, 1}, {108, 0, 1}, {109, 13, 1}, {110, 1, 1},
+      {111, 5, 2},  {112, 3, 2}, {113, 7, 3},  {114, 0, 3}, {115, 9, 7},
+      {116, 1, 7},  {117, 5, 3}, {118, 13, 2}, {119, 3, 7}, {120, 7, 2}};
+  size_t count = points.size();
+  if (const char* env = std::getenv("SYSTOLIC_FUZZ_SEEDS")) {
+    const unsigned long parsed = std::strtoul(env, nullptr, 10);
+    if (parsed > count) count = static_cast<size_t>(parsed);
+  }
+  static constexpr size_t kRows[] = {0, 1, 3, 5, 7, 9, 11, 13};
+  static constexpr size_t kChips[] = {1, 2, 3, 7};
+  for (size_t k = points.size(); k < count; ++k) {
+    points.push_back(PlannerFuzzParam{101 + k, kRows[k % 8], kChips[k % 4]});
+  }
+  return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(Txns, PlannerDifferentialFuzz,
+                         ::testing::ValuesIn(PlannerFuzzPoints()));
 
 }  // namespace
 }  // namespace systolic

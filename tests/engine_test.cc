@@ -1,9 +1,14 @@
 #include "core/engine.h"
 
+#include <initializer_list>
+#include <memory>
+#include <utility>
+
 #include "gtest/gtest.h"
 #include "relational/builder.h"
 #include "relational/generator.h"
 #include "relational/ops_reference.h"
+#include "systolic/simulator.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -358,6 +363,215 @@ INSTANTIATE_TEST_SUITE_P(
                       TilingParam{4, 18, 14, FeedModePolicy::kFixedB, 7},
                       TilingParam{2, 30, 30, FeedModePolicy::kFixedB, 8},
                       TilingParam{1, 7, 9, FeedModePolicy::kFixedB, 9}));
+
+// --- Fault injection and recovery (DESIGN S20): dead chips are
+// quarantined, transient corruption is detected and retried, and the
+// recovered output is bit-identical to a fault-free run. ---
+
+rel::RelationPair FaultWorkload(uint64_t seed) {
+  const Schema schema = rel::MakeIntSchema(2);
+  rel::PairOptions options;
+  options.base.num_tuples = 24;
+  options.base.domain_size = 6;
+  options.base.seed = seed;
+  options.b_num_tuples = 20;
+  options.overlap_fraction = 0.5;
+  auto pair = rel::GenerateOverlappingPair(schema, options);
+  SYSTOLIC_CHECK(pair.ok());
+  return *std::move(pair);
+}
+
+DeviceConfig FaultyConfig(uint64_t seed, size_t chips, double rate,
+                          std::initializer_list<size_t> dead,
+                          double shadow = 0) {
+  DeviceConfig device;
+  device.rows = 5;  // small tiles so every workload exercises the scheduler
+  device.num_chips = chips;
+  auto plan = std::make_shared<faults::FaultPlan>(
+      faults::FaultPlan::Uniform(seed, chips, rate, rate / 2, rate / 4));
+  for (size_t c : dead) plan->chip(c).dead = true;
+  device.faults = std::move(plan);
+  device.recovery.shadow_fraction = shadow;
+  return device;
+}
+
+TEST(EngineFaultTest, ZeroRatePlanChangesNothing) {
+  const auto pair = FaultWorkload(51);
+  DeviceConfig clean_config;
+  clean_config.rows = 5;
+  clean_config.num_chips = 2;
+  Engine clean(clean_config);
+  Engine faulty(FaultyConfig(51, 2, 0.0, {}));
+  auto expected = clean.Intersect(pair.a, pair.b);
+  auto got = faulty.Intersect(pair.a, pair.b);
+  ASSERT_OK(expected);
+  ASSERT_OK(got);
+  EXPECT_EQ(got->relation.tuples(), expected->relation.tuples());
+  EXPECT_EQ(got->stats.faults_detected, 0u);
+  EXPECT_EQ(got->stats.tile_retries, 0u);
+  EXPECT_EQ(got->stats.healthy_chips, 2u);
+}
+
+TEST(EngineFaultTest, DeadChipIsQuarantinedAndWorkMigrates) {
+  const auto pair = FaultWorkload(52);
+  DeviceConfig clean_config;
+  clean_config.rows = 5;
+  Engine clean(clean_config);
+  auto expected = clean.Intersect(pair.a, pair.b);
+  ASSERT_OK(expected);
+
+  Engine faulty(FaultyConfig(52, 2, 0.0, {1}));
+  auto got = faulty.Intersect(pair.a, pair.b);
+  ASSERT_OK(got);
+  EXPECT_EQ(got->relation.tuples(), expected->relation.tuples());
+  // The dead chip refused its first tile, was quarantined, and every tile
+  // ended up on the surviving chip.
+  ASSERT_NE(faulty.health(), nullptr);
+  EXPECT_EQ(faulty.health()->state(1), ChipState::kQuarantined);
+  EXPECT_EQ(faulty.health()->num_usable(), 1u);
+  EXPECT_GE(got->stats.faults_detected, 1u);
+  EXPECT_GE(got->stats.tile_retries, 1u);
+  EXPECT_EQ(got->stats.healthy_chips, 1u);
+}
+
+TEST(EngineFaultTest, AllChipsDeadIsUnavailable) {
+  const auto pair = FaultWorkload(53);
+  Engine faulty(FaultyConfig(53, 2, 0.0, {0, 1}));
+  auto got = faulty.Intersect(pair.a, pair.b);
+  ASSERT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsUnavailable()) << got.status().ToString();
+  // Still unavailable on the next operation: quarantine persists.
+  auto again = faulty.RemoveDuplicates(pair.a);
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsUnavailable());
+}
+
+TEST(EngineFaultTest, TransientFaultsRecoverBitIdentical) {
+  DeviceConfig clean_config;
+  clean_config.rows = 5;
+  Engine clean(clean_config);
+  size_t total_faults = 0;
+  for (uint64_t seed : {61u, 62u, 63u}) {
+    const auto pair = FaultWorkload(seed);
+    // Rate chosen so a fair share of tile attempts are corrupted (and
+    // retried) while clean attempts stay common enough that strike
+    // forgiveness keeps both chips out of quarantine.
+    Engine faulty(FaultyConfig(seed, 2, 0.0005, {}));
+    auto expected = clean.Intersect(pair.a, pair.b);
+    auto got = faulty.Intersect(pair.a, pair.b);
+    ASSERT_OK(expected);
+    ASSERT_OK(got);
+    EXPECT_EQ(got->relation.tuples(), expected->relation.tuples())
+        << "seed " << seed;
+    auto expected_join = clean.Join(pair.a, pair.b,
+                                    rel::JoinSpec{{0}, {0}, rel::ComparisonOp::kEq});
+    auto got_join = faulty.Join(pair.a, pair.b,
+                                rel::JoinSpec{{0}, {0}, rel::ComparisonOp::kEq});
+    ASSERT_OK(expected_join);
+    ASSERT_OK(got_join);
+    EXPECT_EQ(got_join->relation.tuples(), expected_join->relation.tuples())
+        << "seed " << seed;
+    total_faults += got->stats.faults_detected + got_join->stats.faults_detected;
+  }
+  // The sweep is vacuous unless the rate actually corrupted something.
+  EXPECT_GE(total_faults, 1u);
+}
+
+TEST(EngineFaultTest, HighFaultRateStrikesOutTheFlakyChip) {
+  // Chip 1 corrupts essentially every word; chip 0 is clean. The scheduler
+  // must strike chip 1 out and still deliver the exact answer.
+  const auto pair = FaultWorkload(54);
+  DeviceConfig clean_config;
+  clean_config.rows = 5;
+  Engine clean(clean_config);
+  auto expected = clean.Intersect(pair.a, pair.b);
+  ASSERT_OK(expected);
+
+  DeviceConfig device;
+  device.rows = 5;
+  device.num_chips = 2;
+  auto plan = std::make_shared<faults::FaultPlan>(54, 2);
+  plan->chip(1).bit_flip_rate = 1.0;
+  device.faults = std::move(plan);
+  device.recovery.strike_limit = 2;
+  Engine faulty(device);
+  auto got = faulty.Intersect(pair.a, pair.b);
+  ASSERT_OK(got);
+  EXPECT_EQ(got->relation.tuples(), expected->relation.tuples());
+  ASSERT_NE(faulty.health(), nullptr);
+  EXPECT_EQ(faulty.health()->state(1), ChipState::kQuarantined);
+  EXPECT_GE(got->stats.faults_detected, 2u);
+}
+
+TEST(EngineFaultTest, ShadowRunsSampleCleanTiles) {
+  const auto pair = FaultWorkload(55);
+  DeviceConfig clean_config;
+  clean_config.rows = 5;
+  Engine clean(clean_config);
+  auto expected = clean.Intersect(pair.a, pair.b);
+  ASSERT_OK(expected);
+
+  Engine faulty(FaultyConfig(55, 2, 0.0, {}, /*shadow=*/1.0));
+  auto got = faulty.Intersect(pair.a, pair.b);
+  ASSERT_OK(got);
+  EXPECT_EQ(got->relation.tuples(), expected->relation.tuples());
+  EXPECT_GE(got->stats.shadow_runs, 1u);
+  EXPECT_EQ(got->stats.shadow_mismatches, 0u);
+}
+
+TEST(EngineFaultTest, WithModeSharesHealthAcrossCopies) {
+  // The planner pins feed modes via WithMode copies; strikes recorded by a
+  // copy must accumulate on the same physical device.
+  Engine faulty(FaultyConfig(56, 2, 0.0, {1}));
+  const Engine pinned = faulty.WithMode(arrays::FeedMode::kMarching);
+  const auto pair = FaultWorkload(56);
+  auto got = pinned.Intersect(pair.a, pair.b);
+  ASSERT_OK(got);
+  ASSERT_NE(faulty.health(), nullptr);
+  EXPECT_EQ(pinned.health(), faulty.health());
+  EXPECT_EQ(faulty.health()->state(1), ChipState::kQuarantined);
+}
+
+// --- ExecStats guards: degenerate stats must report 0, never NaN/inf. ---
+
+TEST(ExecStatsGuards, DegenerateDenominatorsReportZero) {
+  ExecStats stats;
+  EXPECT_EQ(stats.Utilization(), 0.0);
+  EXPECT_EQ(stats.MakespanUtilization(), 0.0);
+
+  // Cycles without cells (infrastructure-only run).
+  stats.cycles = 100;
+  stats.makespan_cycles = 100;
+  stats.num_compute_cells = 0;
+  EXPECT_EQ(stats.Utilization(), 0.0);
+  EXPECT_EQ(stats.MakespanUtilization(), 0.0);
+
+  // Cells without cycles (nothing ever pulsed).
+  stats.cycles = 0;
+  stats.makespan_cycles = 0;
+  stats.num_compute_cells = 64;
+  stats.busy_cell_cycles = 0;
+  EXPECT_EQ(stats.Utilization(), 0.0);
+  EXPECT_EQ(stats.MakespanUtilization(), 0.0);
+
+  // Zero chips behaves as one chip in the wall-clock denominator.
+  stats.cycles = 10;
+  stats.makespan_cycles = 10;
+  stats.busy_cell_cycles = 320;
+  stats.num_chips = 0;
+  EXPECT_GT(stats.MakespanUtilization(), 0.0);
+  EXPECT_LE(stats.MakespanUtilization(), 1.0);
+}
+
+TEST(ExecStatsGuards, SimStatsUtilizationGuardsZeroDenominator) {
+  sim::SimStats stats;
+  EXPECT_EQ(stats.Utilization(), 0.0);
+  stats.cycles = 50;  // cells still zero
+  EXPECT_EQ(stats.Utilization(), 0.0);
+  stats.num_compute_cells = 4;
+  stats.busy_cell_cycles = 100;
+  EXPECT_DOUBLE_EQ(stats.Utilization(), 0.5);
+}
 
 }  // namespace
 }  // namespace db

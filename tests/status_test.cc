@@ -27,11 +27,25 @@ TEST(StatusTest, FactoryMethodsSetCodeAndMessage) {
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::Incompatible("x").IsIncompatible());
   EXPECT_TRUE(Status::Capacity("x").IsCapacity());
+  EXPECT_TRUE(Status::DataCorruption("x").IsDataCorruption());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
   EXPECT_EQ(Status::Internal("boom").message(), "boom");
 }
 
 TEST(StatusTest, ToStringIncludesCodeName) {
   EXPECT_EQ(Status::NotFound("missing").ToString(), "not-found: missing");
+  EXPECT_EQ(Status::DataCorruption("parity").ToString(),
+            "data-corruption: parity");
+  EXPECT_EQ(Status::Unavailable("no chips").ToString(),
+            "unavailable: no chips");
+}
+
+TEST(StatusTest, FaultCodesAreDistinct) {
+  // The recovery loop keys on these codes: DataCorruption -> strike and
+  // retry elsewhere; Unavailable -> quarantine (dead chip / nothing left).
+  EXPECT_FALSE(Status::DataCorruption("x").IsUnavailable());
+  EXPECT_FALSE(Status::Unavailable("x").IsDataCorruption());
+  EXPECT_FALSE(Status::DataCorruption("x").IsInternal());
 }
 
 TEST(StatusTest, CopyShares) {
