@@ -1,0 +1,184 @@
+// Experiment E22 — durability: durable-commit overhead and recovery replay
+// throughput.
+//
+// Three reports:
+//
+//   1. Durable COMMIT overhead. The same relational command (a DEDUP whose
+//      sink is persisted) with durability off vs on. The durable path adds
+//      one WAL group append + fsync per command on top of the systolic
+//      execution; the median wall-clock ratio is asserted <= 2.5x — the log
+//      write must stay small next to the work it makes durable.
+//
+//   2. Recovery replay throughput. A WAL of many committed groups is
+//      replayed by Open; the rate is asserted >= 10k records/s, so crash
+//      restart cost stays proportional to the un-checkpointed tail, not to
+//      database size.
+//
+//   3. Hot-path neutrality. With a durable directory open but SET
+//      DURABILITY off, the command path must match the never-opened machine
+//      (reported, not asserted — the expected ratio is 1.0 and wall clock
+//      on shared CI is noisy).
+//
+// `--smoke` shrinks the workload for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "durability/durable_catalog.h"
+#include "system/command.h"
+#include "system/machine.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::MakePair;
+
+/// Median wall microseconds of `body` over `reps` runs.
+template <typename Body>
+double MedianWallUs(size_t reps, Body body) {
+  std::vector<double> times;
+  times.reserve(reps);
+  for (size_t i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    times.push_back(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+struct Shell {
+  explicit Shell(const rel::Relation& a) {
+    machine::MachineConfig config;
+    config.num_memories = 8;
+    m = std::make_unique<machine::Machine>(config);
+    m->disk().Put("A", a);
+    interpreter = std::make_unique<machine::CommandInterpreter>(m.get(), &out);
+    Run("LOAD A");
+  }
+  void Run(const std::string& line) {
+    const Status executed = interpreter->Execute(line);
+    SYSTOLIC_CHECK(executed.ok()) << executed.ToString();
+  }
+  /// One timed unit of work: a command whose sink is durably persisted when
+  /// durability is on, then released so reps don't accumulate buffers.
+  void Step() {
+    Run("DEDUP A -> t");
+    Run("RELEASE t");
+  }
+
+  std::unique_ptr<machine::Machine> m;
+  std::ostringstream out;
+  std::unique_ptr<machine::CommandInterpreter> interpreter;
+};
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const size_t n = smoke ? 64 : 256;
+  const size_t reps = smoke ? 7 : 15;
+  const size_t replay_records = smoke ? 2048 : 12288;
+
+  const rel::Schema schema = rel::MakeIntSchema(2);
+  const rel::Relation a = MakePair(schema, n, n, 0.5, 22).a;
+
+  std::printf("=== E22: durability — commit overhead and recovery replay "
+              "===\n");
+
+  // 1. Durable COMMIT overhead.
+  Shell plain(a);
+  const double plain_us = MedianWallUs(reps, [&] { plain.Step(); });
+
+  const std::string commit_dir = FreshDir("systolic_bench_durability_commit");
+  Shell durable(a);
+  durable.Run("OPEN " + commit_dir);
+  const double durable_us = MedianWallUs(reps, [&] { durable.Step(); });
+  const double overhead = durable_us / plain_us;
+
+  std::printf("\n-- durable COMMIT overhead (n=%zu, median of %zu) --\n", n,
+              reps);
+  std::printf("%-22s %-12s\n", "config", "wall_us");
+  std::printf("%-22s %-12.0f\n", "durability off", plain_us);
+  std::printf("%-22s %-12.0f\n", "durability on", durable_us);
+  std::printf("overhead %.2fx (<= 2.5x asserted)\n", overhead);
+  SYSTOLIC_CHECK(overhead <= 2.5)
+      << "durable COMMIT overhead " << overhead << "x exceeds the 2.5x bar";
+
+  // 2. Recovery replay throughput. Many committed groups of small puts: the
+  // WAL tail a crashed session would replay on restart.
+  const std::string replay_dir = FreshDir("systolic_bench_durability_replay");
+  {
+    auto session = durability::DurableCatalog::Open(replay_dir);
+    SYSTOLIC_CHECK(session.ok()) << session.status().ToString();
+    const rel::Relation row = MakePair(schema, 4, 4, 0.5, 23).a;
+    size_t logged = 0;
+    while (logged < replay_records) {
+      for (size_t i = 0; i < 64 && logged < replay_records; ++i, ++logged) {
+        const Status staged = (*session)->LogPut(
+            "rel_" + std::to_string(logged % 64), row);
+        SYSTOLIC_CHECK(staged.ok()) << staged.ToString();
+      }
+      const Status committed = (*session)->Commit();
+      SYSTOLIC_CHECK(committed.ok()) << committed.ToString();
+    }
+  }
+  const uintmax_t wal_bytes =
+      std::filesystem::file_size(replay_dir + "/WAL");
+  double replay_us = 0;
+  size_t recovered = 0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    auto reopened = durability::DurableCatalog::Open(replay_dir);
+    replay_us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    SYSTOLIC_CHECK(reopened.ok()) << reopened.status().ToString();
+    recovered = (*reopened)->stats().recovered_records;
+  }
+  SYSTOLIC_CHECK(recovered == replay_records);
+  const double rate = recovered / (replay_us / 1e6);
+  std::printf("\n-- recovery replay (%zu records, %ju wal bytes) --\n",
+              recovered, wal_bytes);
+  std::printf("replay %.0f us, %.0f records/s (>= 10000 asserted)\n",
+              replay_us, rate);
+  SYSTOLIC_CHECK(rate >= 10000.0)
+      << "recovery replay " << rate << " records/s is below the 10k bar";
+
+  // 3. Hot-path neutrality with durability suspended.
+  const std::string off_dir = FreshDir("systolic_bench_durability_off");
+  Shell suspended(a);
+  suspended.Run("OPEN " + off_dir);
+  suspended.Run("SET DURABILITY off");
+  const double off_us = MedianWallUs(reps, [&] { suspended.Step(); });
+  std::printf("\n-- hot path with durability suspended --\n");
+  std::printf("%-22s %-12s\n", "config", "wall_us");
+  std::printf("%-22s %-12.0f\n", "never opened", plain_us);
+  std::printf("%-22s %-12.0f\n", "open, SET off", off_us);
+  std::printf("ratio %.2fx (expected ~1.0, reported only)\n",
+              off_us / plain_us);
+
+  std::filesystem::remove_all(commit_dir);
+  std::filesystem::remove_all(replay_dir);
+  std::filesystem::remove_all(off_dir);
+  std::printf("\nall durability bars held: commit overhead and replay rate "
+              "within bounds\n");
+  return 0;
+}

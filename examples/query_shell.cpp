@@ -10,6 +10,11 @@
 // `--chips N` drives the machine's systolic devices with N parallel chips.
 // `--no-planner` starts with the cost-based query planner off (SET PLANNER
 // on|off toggles it from the script).
+// `--durable DIR` opens DIR as a crash-safe catalog before the script runs
+// (same as a leading `OPEN DIR` command): STOREs and committed sinks are
+// WAL-logged and fsync'd, and a re-run against the same DIR recovers them.
+// Type HELP in a script for the full verb list, including CHECKPOINT and
+// SET DURABILITY on|off.
 
 #include <cstdio>
 #include <cstdlib>
@@ -106,6 +111,7 @@ int main(int argc, char** argv) {
   size_t num_chips = 1;
   bool demo = false;
   bool planner = true;
+  const char* durable_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chips") == 0 && i + 1 < argc) {
       num_chips = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -113,11 +119,22 @@ int main(int argc, char** argv) {
       demo = true;
     } else if (std::strcmp(argv[i], "--no-planner") == 0) {
       planner = false;
+    } else if (std::strcmp(argv[i], "--durable") == 0 && i + 1 < argc) {
+      durable_dir = argv[++i];
     }
   }
   machine::Machine m = MakeDemoMachine(num_chips);
   machine::CommandInterpreter interpreter(&m, &std::cout);
   interpreter.set_planner_enabled(planner);
+  if (durable_dir != nullptr) {
+    const Status opened = interpreter.Execute(std::string("OPEN ") +
+                                              durable_dir);
+    if (!opened.ok()) {
+      std::printf("FAILED to open durable directory: %s\n",
+                  opened.ToString().c_str());
+      return 1;
+    }
+  }
 
   Status status;
   if (demo) {

@@ -1,0 +1,104 @@
+#ifndef SYSTOLIC_DURABILITY_CRASH_PLAN_H_
+#define SYSTOLIC_DURABILITY_CRASH_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "faults/fault_plan.h"
+
+namespace systolic {
+namespace durability {
+
+/// Deterministic crash injection for the durable write path, the storage
+/// counterpart of faults::FaultPlan (DESIGN S20): instead of corrupting
+/// words on a chip's wires, a CrashInjector cuts the ordered sequence of
+/// durable-IO *units* after a chosen budget and makes everything past the
+/// cut fail as if the process had died there.
+///
+/// The model is ordered-write prefix persistence: every byte handed to
+/// Io::WriteFile/AppendFile consumes one unit per byte, and every metadata
+/// operation (rename, fsync, truncate, mkdir, remove) consumes exactly one
+/// unit. A cut that lands inside a data write persists the prefix — a torn
+/// write; a cut that lands on a metadata unit skips the operation entirely
+/// (rename is atomic: it either happened or it did not). After the cut every
+/// further IO call fails with Io::kCrashMessage, so the code under test
+/// cannot accidentally keep writing "after death".
+///
+/// A probe run with an unlimited budget measures the total unit count of a
+/// workload; enumerating cuts 0..total-1 then visits every byte and record
+/// boundary, including both sides of each rename.
+class CrashInjector {
+ public:
+  static constexpr uint64_t kNoCrash = UINT64_MAX;
+
+  explicit CrashInjector(uint64_t cut_units = kNoCrash)
+      : remaining_(cut_units) {}
+
+  /// Admits up to `want` data bytes; returns how many landed. Admitting
+  /// fewer than requested marks the injector crashed (torn write).
+  size_t AdmitBytes(size_t want) {
+    if (crashed_) return 0;
+    const uint64_t granted =
+        remaining_ < want ? remaining_ : static_cast<uint64_t>(want);
+    remaining_ -= granted;
+    used_ += granted;
+    if (granted < want) crashed_ = true;
+    return static_cast<size_t>(granted);
+  }
+
+  /// Admits one metadata operation; false = the crash landed first.
+  bool AdmitOp() {
+    if (crashed_) return false;
+    if (remaining_ == 0) {
+      crashed_ = true;
+      return false;
+    }
+    --remaining_;
+    ++used_;
+    return true;
+  }
+
+  /// True once the cut has been reached; all later IO must fail.
+  bool crashed() const { return crashed_; }
+
+  /// Units admitted so far. For a kNoCrash probe run this is the workload's
+  /// total unit count — the exclusive upper bound of interesting cuts.
+  uint64_t units_used() const { return used_; }
+
+ private:
+  uint64_t remaining_;
+  uint64_t used_ = 0;
+  bool crashed_ = false;
+};
+
+/// Seeded selection of crash points, following the fault_plan.h idiom: no
+/// sequential RNG, just keyed hashing of (seed, trial), so trial t of seed s
+/// cuts the write path at exactly the same unit on every host and in any
+/// execution order.
+class CrashPlan {
+ public:
+  explicit CrashPlan(uint64_t seed) : seed_(seed) {}
+
+  uint64_t seed() const { return seed_; }
+
+  /// The cut (in [0, total_units]) for trial `trial` of a workload with
+  /// `total_units` units; total_units itself means "no crash".
+  uint64_t CutFor(uint64_t trial, uint64_t total_units) const {
+    const uint64_t h =
+        faults::MixFaultKey(faults::MixFaultKey(seed_ ^ 0xc4a5'11feULL) ^
+                            trial);  // crash salt
+    return h % (total_units + 1);
+  }
+
+  CrashInjector InjectorFor(uint64_t trial, uint64_t total_units) const {
+    return CrashInjector(CutFor(trial, total_units));
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace durability
+}  // namespace systolic
+
+#endif  // SYSTOLIC_DURABILITY_CRASH_PLAN_H_

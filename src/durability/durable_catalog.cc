@@ -1,0 +1,336 @@
+#include "durability/durable_catalog.h"
+
+#include <algorithm>
+
+#include "relational/storage.h"
+#include "util/strings.h"
+
+namespace systolic {
+namespace durability {
+
+namespace {
+
+constexpr char kCurrentFileName[] = "CURRENT";
+constexpr char kCheckpointPrefix[] = "chk-";
+
+std::string CheckpointName(uint64_t id) {
+  return kCheckpointPrefix + std::to_string(id);
+}
+
+Result<uint64_t> ParseCheckpointName(std::string_view token) {
+  const std::string_view prefix(kCheckpointPrefix);
+  int64_t id = 0;
+  if (token.substr(0, prefix.size()) != prefix ||
+      !ParseInt64(token.substr(prefix.size()), &id) || id <= 0) {
+    return Status::DataCorruption("malformed checkpoint name '" +
+                                  std::string(token) + "'");
+  }
+  return static_cast<uint64_t>(id);
+}
+
+std::vector<WalRecord::ColumnSpec> SpecsOf(const rel::Schema& schema) {
+  std::vector<WalRecord::ColumnSpec> specs;
+  for (const rel::Column& column : schema.columns()) {
+    specs.push_back(WalRecord::ColumnSpec{column.name, column.domain->name(),
+                                          column.domain->type()});
+  }
+  return specs;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DurableCatalog>> DurableCatalog::Open(
+    std::string directory, Io io) {
+  std::unique_ptr<DurableCatalog> durable(
+      new DurableCatalog(std::move(directory), io));
+  SYSTOLIC_RETURN_NOT_OK(durable->Recover());
+  return durable;
+}
+
+std::string DurableCatalog::Path(const std::string& name) const {
+  return directory_ + "/" + name;
+}
+
+Status DurableCatalog::Recover() {
+  SYSTOLIC_RETURN_NOT_OK(io_.Mkdirs(directory_));
+  catalog_ = std::make_unique<rel::Catalog>();
+  checkpoint_id_ = 0;
+  wal_live_records_ = 0;
+
+  const std::string current_path = Path(kCurrentFileName);
+  if (Io::Exists(current_path)) {
+    SYSTOLIC_ASSIGN_OR_RETURN(std::string current, Io::ReadFile(current_path));
+    const std::string token(Trim(current));
+    SYSTOLIC_ASSIGN_OR_RETURN(checkpoint_id_, ParseCheckpointName(token));
+    SYSTOLIC_ASSIGN_OR_RETURN(catalog_,
+                              rel::LoadCatalog(Path(token)));
+  }
+
+  if (Io::Exists(WalPath())) {
+    SYSTOLIC_ASSIGN_OR_RETURN(std::string bytes, Io::ReadFile(WalPath()));
+    Result<std::pair<uint64_t, size_t>> header = ParseWalHeader(bytes);
+    if (!header.ok() || header->first != checkpoint_id_) {
+      // Torn header, or a log that predates the live checkpoint (the crash
+      // landed between the CURRENT flip and the WAL reset): every record it
+      // could hold is already inside the checkpoint. Discard it.
+      SYSTOLIC_RETURN_NOT_OK(ResetWal());
+    } else {
+      SYSTOLIC_RETURN_NOT_OK(ReplayWal(bytes, header->second));
+    }
+  } else {
+    SYSTOLIC_RETURN_NOT_OK(ResetWal());
+  }
+
+  return CollectGarbage(CheckpointName(checkpoint_id_));
+}
+
+Status DurableCatalog::ReplayWal(const std::string& bytes, size_t header_end) {
+  size_t offset = header_end;
+  size_t durable_end = header_end;
+  std::vector<WalRecord> group;
+  size_t applied = 0;
+  bool torn = false;
+  while (offset < bytes.size()) {
+    const WalFrame frame = ParseFrame(bytes, offset);
+    if (!frame.complete) {
+      torn = true;  // short frame or CRC mismatch: the crash's torn tail
+      break;
+    }
+    // A CRC-valid frame that does not decode is real corruption, not a torn
+    // write; fail loudly rather than silently dropping acknowledged data.
+    SYSTOLIC_ASSIGN_OR_RETURN(WalRecord record,
+                              DecodeWalRecord(frame.payload));
+    if (record.kind == WalRecord::Kind::kCommit) {
+      if (record.group_size != group.size()) {
+        return Status::DataCorruption(
+            "WAL commit marker seals " + std::to_string(record.group_size) +
+            " records but " + std::to_string(group.size()) + " are pending");
+      }
+      for (const WalRecord& r : group) {
+        SYSTOLIC_RETURN_NOT_OK(ApplyWalRecord(r, catalog_.get()));
+      }
+      applied += group.size();
+      group.clear();
+      durable_end = frame.end;
+    } else {
+      group.push_back(std::move(record));
+    }
+    offset = frame.end;
+  }
+  if (torn || !group.empty() || offset != bytes.size()) {
+    SYSTOLIC_RETURN_NOT_OK(io_.Truncate(WalPath(), durable_end));
+  }
+  wal_live_records_ = applied;
+  stats_.recovered_records += applied;
+  return Status::OK();
+}
+
+Status DurableCatalog::ResetWal() {
+  const std::string tmp = WalPath() + ".tmp";
+  SYSTOLIC_RETURN_NOT_OK(io_.WriteFile(tmp, WalHeader(checkpoint_id_)));
+  SYSTOLIC_RETURN_NOT_OK(io_.Fsync(tmp));
+  SYSTOLIC_RETURN_NOT_OK(io_.Rename(tmp, WalPath()));
+  SYSTOLIC_RETURN_NOT_OK(io_.FsyncDir(directory_));
+  wal_live_records_ = 0;
+  return Status::OK();
+}
+
+Status DurableCatalog::CollectGarbage(const std::string& live_checkpoint) {
+  for (const std::string& name : Io::ListDir(directory_)) {
+    const bool stale_tmp =
+        name.size() > 4 && name.substr(name.size() - 4) == ".tmp";
+    const bool orphan_checkpoint =
+        name.rfind(kCheckpointPrefix, 0) == 0 && name != live_checkpoint;
+    if (stale_tmp || orphan_checkpoint) {
+      SYSTOLIC_RETURN_NOT_OK(io_.RemoveAll(Path(name)));
+    }
+  }
+  return Status::OK();
+}
+
+Status DurableCatalog::Stage(WalRecord record, std::string payload) {
+  staged_.emplace_back(std::move(record), std::move(payload));
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord::ColumnSpec>> DurableCatalog::StagedColumns(
+    const std::string& name) const {
+  // The staged group rewrites history front to back; the last put/drop for
+  // `name` wins, falling back to the live catalog.
+  for (auto it = staged_.rbegin(); it != staged_.rend(); ++it) {
+    const WalRecord& record = it->first;
+    if (record.name != name) continue;
+    if (record.kind == WalRecord::Kind::kPut) return record.columns;
+    if (record.kind == WalRecord::Kind::kDrop) {
+      return Status::NotFound("relation '" + name +
+                              "' is dropped in the open group");
+    }
+  }
+  SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation,
+                            catalog_->GetRelation(name));
+  return SpecsOf(relation->schema());
+}
+
+Status DurableCatalog::LogCreateDomain(const std::string& name,
+                                       rel::ValueType type) {
+  if (name.empty()) {
+    return Status::InvalidArgument("domain name must not be empty");
+  }
+  if (catalog_->GetDomain(name).ok()) {
+    return Status::AlreadyExists("domain '" + name + "' already exists");
+  }
+  for (const auto& [record, payload] : staged_) {
+    if (record.kind == WalRecord::Kind::kCreateDomain && record.name == name) {
+      return Status::AlreadyExists("domain '" + name +
+                                   "' is created in the open group");
+    }
+  }
+  WalRecord record;
+  record.kind = WalRecord::Kind::kCreateDomain;
+  record.name = name;
+  record.type = type;
+  return Stage(std::move(record), EncodeCreateDomain(name, type));
+}
+
+Status DurableCatalog::LogPut(const std::string& name,
+                              const rel::Relation& relation) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  for (const rel::Column& column : relation.schema().columns()) {
+    if (column.name.empty() || column.domain->name().empty()) {
+      return Status::InvalidArgument("cannot log relation '" + name +
+                                     "': empty column or domain name");
+    }
+    auto existing = catalog_->GetDomain(column.domain->name());
+    if (existing.ok() && (*existing)->type() != column.domain->type()) {
+      return Status::Incompatible(
+          "domain '" + column.domain->name() + "' is already registered as " +
+          rel::ValueTypeToString((*existing)->type()));
+    }
+  }
+  SYSTOLIC_ASSIGN_OR_RETURN(std::string payload, EncodePut(name, relation));
+  // Re-decode to populate the staged record exactly as recovery will see it.
+  SYSTOLIC_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
+  return Stage(std::move(record), std::move(payload));
+}
+
+Status DurableCatalog::LogAppend(const std::string& name,
+                                 const rel::Relation& batch) {
+  SYSTOLIC_ASSIGN_OR_RETURN(std::vector<WalRecord::ColumnSpec> target,
+                            StagedColumns(name));
+  const std::vector<WalRecord::ColumnSpec> batch_specs =
+      SpecsOf(batch.schema());
+  if (target.size() != batch_specs.size()) {
+    return Status::Incompatible("append batch arity " +
+                                std::to_string(batch_specs.size()) +
+                                " != relation arity " +
+                                std::to_string(target.size()));
+  }
+  for (size_t c = 0; c < target.size(); ++c) {
+    if (target[c].column != batch_specs[c].column ||
+        target[c].domain != batch_specs[c].domain ||
+        target[c].type != batch_specs[c].type) {
+      return Status::Incompatible("append batch schema mismatch at column " +
+                                  std::to_string(c) + " of '" + name + "'");
+    }
+  }
+  SYSTOLIC_ASSIGN_OR_RETURN(std::string payload, EncodeAppend(name, batch));
+  SYSTOLIC_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
+  return Stage(std::move(record), std::move(payload));
+}
+
+Status DurableCatalog::LogDrop(const std::string& name) {
+  SYSTOLIC_RETURN_NOT_OK(StagedColumns(name).status());  // must exist
+  WalRecord record;
+  record.kind = WalRecord::Kind::kDrop;
+  record.name = name;
+  return Stage(std::move(record), EncodeDrop(name));
+}
+
+Status DurableCatalog::Commit() {
+  if (staged_.empty()) return Status::OK();
+  std::string frames;
+  for (const auto& [record, payload] : staged_) {
+    AppendFrame(&frames, payload);
+  }
+  AppendFrame(&frames, EncodeCommit(staged_.size()));
+  // One append + one fsync: the group becomes durable atomically-or-not, and
+  // a crash inside the append leaves an unsealed tail recovery truncates.
+  SYSTOLIC_RETURN_NOT_OK(io_.AppendFile(WalPath(), frames));
+  SYSTOLIC_RETURN_NOT_OK(io_.Fsync(WalPath()));
+  for (const auto& [record, payload] : staged_) {
+    SYSTOLIC_RETURN_NOT_OK(ApplyWalRecord(record, catalog_.get()));
+  }
+  stats_.wal_records += staged_.size();
+  wal_live_records_ += staged_.size();
+  staged_.clear();
+  return Status::OK();
+}
+
+Status DurableCatalog::Put(const std::string& name,
+                           const rel::Relation& relation) {
+  if (!staged_.empty()) {
+    return Status::InvalidArgument("a mutation group is open; use LogPut");
+  }
+  SYSTOLIC_RETURN_NOT_OK(LogPut(name, relation));
+  return Commit();
+}
+
+Status DurableCatalog::Append(const std::string& name,
+                              const rel::Relation& batch) {
+  if (!staged_.empty()) {
+    return Status::InvalidArgument("a mutation group is open; use LogAppend");
+  }
+  SYSTOLIC_RETURN_NOT_OK(LogAppend(name, batch));
+  return Commit();
+}
+
+Status DurableCatalog::Drop(const std::string& name) {
+  if (!staged_.empty()) {
+    return Status::InvalidArgument("a mutation group is open; use LogDrop");
+  }
+  SYSTOLIC_RETURN_NOT_OK(LogDrop(name));
+  return Commit();
+}
+
+Status DurableCatalog::Checkpoint() {
+  if (!staged_.empty()) {
+    return Status::InvalidArgument(
+        "cannot checkpoint while a mutation group is open");
+  }
+  SYSTOLIC_ASSIGN_OR_RETURN(std::vector<rel::CatalogFile> files,
+                            rel::SerializeCatalog(*catalog_));
+  const uint64_t next = checkpoint_id_ + 1;
+  const std::string chk = CheckpointName(next);
+  const std::string tmp = Path(chk + ".tmp");
+  if (Io::Exists(tmp)) SYSTOLIC_RETURN_NOT_OK(io_.RemoveAll(tmp));
+  SYSTOLIC_RETURN_NOT_OK(io_.Mkdirs(tmp));
+  for (const rel::CatalogFile& file : files) {
+    SYSTOLIC_RETURN_NOT_OK(io_.WriteFile(tmp + "/" + file.name,
+                                         file.contents));
+    SYSTOLIC_RETURN_NOT_OK(io_.Fsync(tmp + "/" + file.name));
+  }
+  SYSTOLIC_RETURN_NOT_OK(io_.FsyncDir(tmp));
+  SYSTOLIC_RETURN_NOT_OK(io_.Rename(tmp, Path(chk)));
+  SYSTOLIC_RETURN_NOT_OK(io_.FsyncDir(directory_));
+  // The CURRENT flip is the commit point: before it, recovery uses the old
+  // checkpoint + WAL; after it, the new checkpoint (with any stale WAL
+  // discarded by the header id check).
+  SYSTOLIC_RETURN_NOT_OK(io_.WriteFile(Path("CURRENT.tmp"), chk + "\n"));
+  SYSTOLIC_RETURN_NOT_OK(io_.Fsync(Path("CURRENT.tmp")));
+  SYSTOLIC_RETURN_NOT_OK(io_.Rename(Path("CURRENT.tmp"),
+                                    Path(kCurrentFileName)));
+  SYSTOLIC_RETURN_NOT_OK(io_.FsyncDir(directory_));
+  const uint64_t previous = checkpoint_id_;
+  checkpoint_id_ = next;
+  SYSTOLIC_RETURN_NOT_OK(ResetWal());
+  if (previous > 0) {
+    SYSTOLIC_RETURN_NOT_OK(io_.RemoveAll(Path(CheckpointName(previous))));
+  }
+  stats_.checkpoints += 1;
+  return Status::OK();
+}
+
+}  // namespace durability
+}  // namespace systolic

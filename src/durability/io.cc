@@ -1,0 +1,167 @@
+#include "durability/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace systolic {
+namespace durability {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status Crashed() { return Status::IOError(Io::kCrashMessage); }
+
+Status RealFsync(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync('" + path +
+                           "') failed: " + std::strerror(saved_errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool Io::IsSimulatedCrash(const Status& status) {
+  return status.code() == StatusCode::kIOError &&
+         status.message() == kCrashMessage;
+}
+
+Status Io::Admit() const {
+  if (injector_ != nullptr && !injector_->AdmitOp()) return Crashed();
+  return Status::OK();
+}
+
+Status Io::Mkdirs(const std::string& path) const {
+  SYSTOLIC_RETURN_NOT_OK(Admit());
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status Io::WriteInternal(const std::string& path, const std::string& bytes,
+                         bool append) const {
+  size_t admitted = bytes.size();
+  bool torn = false;
+  if (injector_ != nullptr) {
+    if (injector_->crashed()) return Crashed();
+    admitted = injector_->AdmitBytes(bytes.size());
+    torn = admitted < bytes.size();
+  }
+  auto mode = std::ios::binary | (append ? std::ios::app : std::ios::trunc);
+  std::ofstream out(path, mode);
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(admitted));
+  out.flush();
+  if (!out) {
+    return Status::IOError("short write to '" + path + "'");
+  }
+  return torn ? Crashed() : Status::OK();
+}
+
+Status Io::WriteFile(const std::string& path, const std::string& bytes) const {
+  return WriteInternal(path, bytes, /*append=*/false);
+}
+
+Status Io::AppendFile(const std::string& path, const std::string& bytes) const {
+  return WriteInternal(path, bytes, /*append=*/true);
+}
+
+Status Io::Fsync(const std::string& path) const {
+  SYSTOLIC_RETURN_NOT_OK(Admit());
+  if (injector_ != nullptr) return Status::OK();  // barrier only; see class doc
+  return RealFsync(path, /*directory=*/false);
+}
+
+Status Io::FsyncDir(const std::string& path) const {
+  SYSTOLIC_RETURN_NOT_OK(Admit());
+  if (injector_ != nullptr) return Status::OK();
+  return RealFsync(path, /*directory=*/true);
+}
+
+Status Io::Rename(const std::string& from, const std::string& to) const {
+  SYSTOLIC_RETURN_NOT_OK(Admit());
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IOError("cannot rename '" + from + "' to '" + to +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status Io::Truncate(const std::string& path, uint64_t length) const {
+  SYSTOLIC_RETURN_NOT_OK(Admit());
+  std::error_code ec;
+  fs::resize_file(path, length, ec);
+  if (ec) {
+    return Status::IOError("cannot truncate '" + path + "' to " +
+                           std::to_string(length) + " bytes: " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status Io::RemoveAll(const std::string& path) const {
+  SYSTOLIC_RETURN_NOT_OK(Admit());
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) {
+    return Status::IOError("cannot remove '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<std::string> Io::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("error reading '" + path + "'");
+  }
+  return contents.str();
+}
+
+bool Io::Exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+std::vector<std::string> Io::ListDir(const std::string& path) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  fs::directory_iterator it(path, ec);
+  if (ec) return names;
+  for (const auto& entry : it) {
+    names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace durability
+}  // namespace systolic

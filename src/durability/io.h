@@ -1,0 +1,64 @@
+#ifndef SYSTOLIC_DURABILITY_IO_H_
+#define SYSTOLIC_DURABILITY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "durability/crash_plan.h"
+#include "util/result.h"
+
+namespace systolic {
+namespace durability {
+
+/// The durable layer's only route to the filesystem. Every operation first
+/// consults the optional CrashInjector (see crash_plan.h): data writes admit
+/// a byte-granular prefix, metadata operations are all-or-nothing, and once
+/// the injector has crashed every call fails with kCrashMessage. Without an
+/// injector the calls are plain POSIX with real fsyncs; with one, fsyncs
+/// become pure barriers (the injector's ordered-prefix model already treats
+/// admitted bytes as durable), which keeps exhaustive crash sweeps fast.
+class Io {
+ public:
+  static constexpr const char* kCrashMessage =
+      "simulated crash: durable write path cut";
+
+  Io() = default;
+  explicit Io(CrashInjector* injector) : injector_(injector) {}
+
+  CrashInjector* injector() const { return injector_; }
+
+  /// True for the failure status every Io call returns past the cut.
+  static bool IsSimulatedCrash(const Status& status);
+
+  Status Mkdirs(const std::string& path) const;
+  /// Creates-or-truncates `path` with `bytes`. A mid-write cut leaves the
+  /// admitted prefix on disk.
+  Status WriteFile(const std::string& path, const std::string& bytes) const;
+  /// Appends `bytes` to `path` (which must exist). Same torn-prefix rule.
+  Status AppendFile(const std::string& path, const std::string& bytes) const;
+  Status Fsync(const std::string& path) const;
+  Status FsyncDir(const std::string& path) const;
+  /// Atomic: either fully happens (one unit) or, past the cut, not at all.
+  Status Rename(const std::string& from, const std::string& to) const;
+  Status Truncate(const std::string& path, uint64_t length) const;
+  Status RemoveAll(const std::string& path) const;
+
+  /// Reads are free (crash injection models the write path only).
+  static Result<std::string> ReadFile(const std::string& path);
+  static bool Exists(const std::string& path);
+  /// Names (not paths) of directory entries, sorted; empty if absent.
+  static std::vector<std::string> ListDir(const std::string& path);
+
+ private:
+  Status Admit() const;  // one metadata unit
+  Status WriteInternal(const std::string& path, const std::string& bytes,
+                       bool append) const;
+
+  CrashInjector* injector_ = nullptr;
+};
+
+}  // namespace durability
+}  // namespace systolic
+
+#endif  // SYSTOLIC_DURABILITY_IO_H_

@@ -4,6 +4,7 @@
 #include <istream>
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "relational/relation.h"
 #include "util/result.h"
@@ -11,17 +12,27 @@
 namespace systolic {
 namespace rel {
 
-/// Reads a relation from simple CSV (no quoting; comma-separated; first line
-/// ignored as a header when `has_header`). Each field must encode into the
-/// corresponding column's domain: int64 columns require integer literals,
-/// string columns accept any text, bool columns accept "true"/"false".
+/// Reads a relation from CSV (comma-separated; first line ignored as a
+/// header when `has_header`). Fields follow RFC-4180 quoting: a field
+/// wrapped in double quotes may contain commas, embedded quotes (doubled)
+/// and newlines verbatim; unquoted fields are trimmed of surrounding ASCII
+/// whitespace. Each field must encode into the corresponding column's
+/// domain: int64 columns require integer literals, string columns accept
+/// any text, bool columns accept "true"/"false".
 Result<Relation> ReadCsv(std::istream& in, const Schema& schema,
                          bool has_header = true,
                          RelationKind kind = RelationKind::kSet);
 
 /// Writes a relation as CSV with a header of column names, decoding each
-/// element through its domain. Fails if any stored code cannot be decoded.
+/// element through its domain. Fields that would not survive an unquoted
+/// round trip (embedded comma/quote/newline, surrounding whitespace, empty
+/// strings) are quoted per RFC 4180. Fails if any stored code cannot be
+/// decoded.
 Status WriteCsv(const Relation& relation, std::ostream& out);
+
+/// Quotes `field` for CSV output when needed (see WriteCsv); returns it
+/// unchanged when it round-trips bare.
+std::string EscapeCsvField(std::string_view field);
 
 }  // namespace rel
 }  // namespace systolic

@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "relational/catalog.h"
 #include "util/result.h"
@@ -15,7 +17,8 @@ namespace rel {
 /// reconstructs the *sharing* of domains (and with it union-compatibility,
 /// §2.4) — the property plain CSVs cannot carry.
 ///
-/// Manifest grammar (one entry per line, '#' comments):
+/// Manifest grammar (one entry per line, '#' comments; every identifier is
+/// percent-escaped, see EscapeIdentifier):
 ///   domain <name> <int64|string|bool>
 ///   relation <name> <set|multi> <column>:<domain> [<column>:<domain> ...]
 ///
@@ -23,9 +26,34 @@ namespace rel {
 /// order, so codes may differ between sessions while equality semantics,
 /// schemas and domain sharing are preserved exactly.
 
+/// Deterministic, filesystem-safe encoding of a catalog identifier
+/// (relation, domain or column name): lower-case letters, digits, '_' and
+/// '-' pass through; every other byte (including upper-case letters, so no
+/// two escaped names can collide on a case-insensitive filesystem) becomes
+/// %XX with upper-case hex. Injective, and the identity on names that are
+/// already safe.
+std::string EscapeIdentifier(std::string_view name);
+
+/// Inverse of EscapeIdentifier. Tokens without escapes decode to
+/// themselves, so manifests written before escaping keep loading.
+Result<std::string> UnescapeIdentifier(std::string_view token);
+
+/// One file of a catalog's directory representation.
+struct CatalogFile {
+  std::string name;      ///< File name within the directory.
+  std::string contents;  ///< Full file contents.
+};
+
+/// Serializes `catalog` into its directory representation — the MANIFEST
+/// first, then one `<escaped-name>.csv` per relation — without touching the
+/// filesystem. Deterministic: logically equal catalogs serialize to
+/// identical bytes, which the crash-recovery tests use as a fingerprint.
+/// Fails if two distinct Domain objects share a name, if any identifier is
+/// empty, or if two relation names collide case-insensitively after
+/// escaping.
+Result<std::vector<CatalogFile>> SerializeCatalog(const Catalog& catalog);
+
 /// Writes every relation of `catalog` into `directory` (created if needed).
-/// Fails if two distinct Domain objects used by the stored relations share
-/// a name (the manifest could not distinguish them on reload).
 Status SaveCatalog(const Catalog& catalog, const std::string& directory);
 
 /// Reads a directory written by SaveCatalog into a fresh catalog.

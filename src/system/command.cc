@@ -247,7 +247,8 @@ Status CommandInterpreter::RunStep(Transaction transaction,
                                    const std::string& output) {
   SYSTOLIC_ASSIGN_OR_RETURN(TransactionReport report,
                             machine_->Execute(transaction));
-  const StepReport& step = report.steps.at(0);
+  StepReport step = report.steps.at(0);
+  StampDurability(&step.exec);
   SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* result,
                             machine_->Buffer(output));
   (*out_) << "-- " << OpKindToString(step.op) << " -> " << output << ": "
@@ -255,7 +256,7 @@ Status CommandInterpreter::RunStep(Transaction transaction,
           << " passes, " << step.exec.cycles << " pulses";
   PrintFaultCounters(step.exec);
   (*out_) << "\n";
-  return Status::OK();
+  return PersistSinks(transaction.SinkOutputs());
 }
 
 void CommandInterpreter::PrintFaultCounters(const db::ExecStats& exec) {
@@ -275,6 +276,55 @@ void CommandInterpreter::PrintFaultPolicy() {
           << "quarantine after " << recovery.strike_limit << " strikes\n";
 }
 
+Status CommandInterpreter::PersistSinks(const std::vector<std::string>& sinks) {
+  SYSTOLIC_ASSIGN_OR_RETURN(const size_t records,
+                            machine_->PersistBuffers(sinks));
+  if (records > 0) {
+    const durability::DurableCatalog* durable = machine_->durable();
+    (*out_) << "-- durability: committed " << records << " relation"
+            << (records == 1 ? "" : "s") << " (" << durable->wal_live_records()
+            << " wal records since checkpoint chk-" << durable->checkpoint_id()
+            << ")\n";
+  }
+  return Status::OK();
+}
+
+void CommandInterpreter::StampDurability(db::ExecStats* exec) const {
+  const durability::DurableCatalog* durable = machine_->durable();
+  if (durable == nullptr) return;
+  exec->wal_records = durable->stats().wal_records;
+  exec->checkpoints = durable->stats().checkpoints;
+  exec->recovered_records = durable->stats().recovered_records;
+}
+
+void CommandInterpreter::PrintDurabilityPolicy() {
+  const durability::DurableCatalog* durable = machine_->durable();
+  if (durable == nullptr) return;
+  (*out_) << "-- durability: "
+          << (machine_->durability_enabled() ? "on" : "off") << ", dir "
+          << durable->directory() << ", checkpoint chk-"
+          << durable->checkpoint_id() << ", " << durable->wal_live_records()
+          << " wal records to replay; session " << durable->stats().wal_records
+          << " logged, " << durable->stats().checkpoints << " checkpoints, "
+          << durable->stats().recovered_records << " recovered\n";
+}
+
+void CommandInterpreter::PrintHelp() {
+  (*out_) << "-- commands:\n"
+          << "--   LOAD <disk-name> | STORE <name> AS <disk-name> | "
+             "PRINT <name> | RELEASE <name>\n"
+          << "--   INTERSECT|DIFFERENCE|UNION <a> <b> -> <out> | "
+             "DEDUP <in> -> <out>\n"
+          << "--   PROJECT <in> <col>[,<col>...] -> <out>\n"
+          << "--   SELECT <in> WHERE <col> <op> <value> [AND ...] -> <out>\n"
+          << "--   JOIN|DIVIDE <a> <b> ON <colA> <op> <colB> -> <out>\n"
+          << "--   BEGIN | COMMIT | ABORT | EXPLAIN [<command>]\n"
+          << "--   OPEN <dir> | CHECKPOINT  (crash-safe durability)\n"
+          << "--   SET PLANNER on|off | SET DURABILITY on|off | "
+             "SET FAULTS seed=<n> ... | SET FAULTS off\n"
+          << "--   HELP\n";
+}
+
 Status CommandInterpreter::Dispatch(Transaction transaction,
                                     const std::string& output) {
   if (in_transaction_) {
@@ -286,6 +336,9 @@ Status CommandInterpreter::Dispatch(Transaction transaction,
 }
 
 Status CommandInterpreter::CommitPlanned(Transaction txn) {
+  // The planner preserves sink names; capture them before the rewrite so
+  // the durable commit persists exactly the user-visible results.
+  const std::vector<std::string> sinks = txn.SinkOutputs();
   SYSTOLIC_ASSIGN_OR_RETURN(planner::PlannedTransaction planned, Plan(txn));
   (*out_) << "-- planner: " << planned.rewrites.ToString() << "; est "
           << static_cast<size_t>(planned.est_total_pulses) << " pulses (naive "
@@ -315,7 +368,7 @@ Status CommandInterpreter::CommitPlanned(Transaction txn) {
     const Status released = machine_->ReleaseBuffer(temp);
     if (!released.ok() && !released.IsNotFound()) return released;
   }
-  return Status::OK();
+  return PersistSinks(sinks);
 }
 
 Status CommandInterpreter::SetFaults(const std::vector<std::string>& tokens) {
@@ -422,16 +475,61 @@ Status CommandInterpreter::Execute(const std::string& line) {
     return Status::OK();
   }
   if (verb == "SET") {
-    if (tokens.size() >= 2 && tokens[1] == "FAULTS") {
+    if (tokens.size() < 2) {
+      return Status::InvalidArgument(
+          "usage: SET <key> ...; valid keys: PLANNER, DURABILITY, FAULTS");
+    }
+    if (tokens[1] == "FAULTS") {
       return SetFaults(tokens);
     }
-    if (tokens.size() != 3 || tokens[1] != "PLANNER" ||
-        (tokens[2] != "on" && tokens[2] != "off")) {
-      return Status::InvalidArgument(
-          "usage: SET PLANNER on|off | SET FAULTS ...");
+    if (tokens[1] == "PLANNER" || tokens[1] == "DURABILITY") {
+      if (tokens.size() != 3 || (tokens[2] != "on" && tokens[2] != "off")) {
+        return Status::InvalidArgument("usage: SET " + tokens[1] + " on|off");
+      }
+      const bool on = tokens[2] == "on";
+      if (tokens[1] == "PLANNER") {
+        planner_on_ = on;
+        (*out_) << "-- planner " << tokens[2] << "\n";
+      } else {
+        SYSTOLIC_RETURN_NOT_OK(machine_->SetDurabilityEnabled(on));
+        (*out_) << "-- durability " << tokens[2] << "\n";
+      }
+      return Status::OK();
     }
-    planner_on_ = tokens[2] == "on";
-    (*out_) << "-- planner " << tokens[2] << "\n";
+    return Status::InvalidArgument("unknown SET key '" + tokens[1] +
+                                   "'; valid keys: PLANNER, DURABILITY, "
+                                   "FAULTS");
+  }
+  if (verb == "OPEN") {
+    if (tokens.size() != 2) {
+      return Status::InvalidArgument("usage: OPEN <dir>");
+    }
+    SYSTOLIC_RETURN_NOT_OK(machine_->OpenDurable(tokens[1]));
+    const durability::DurableCatalog* durable = machine_->durable();
+    (*out_) << "-- opened " << tokens[1] << ": "
+            << durable->catalog().RelationNames().size()
+            << " relations, checkpoint chk-" << durable->checkpoint_id()
+            << ", recovered " << durable->stats().recovered_records
+            << " wal records\n";
+    return Status::OK();
+  }
+  if (verb == "CHECKPOINT") {
+    if (tokens.size() != 1) {
+      return Status::InvalidArgument("usage: CHECKPOINT");
+    }
+    durability::DurableCatalog* durable = machine_->durable();
+    if (durable == nullptr) {
+      return Status::NotFound(
+          "no durable directory is open (use OPEN <dir> first)");
+    }
+    SYSTOLIC_RETURN_NOT_OK(durable->Checkpoint());
+    (*out_) << "-- checkpoint chk-" << durable->checkpoint_id() << ": "
+            << durable->catalog().RelationNames().size()
+            << " relations, wal reset\n";
+    return Status::OK();
+  }
+  if (verb == "HELP") {
+    PrintHelp();
     return Status::OK();
   }
   if (verb == "EXPLAIN") {
@@ -447,6 +545,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
                                 Plan(parsed.first));
       PrintPrefixed(out_, planned.ToString());
       PrintFaultPolicy();
+      PrintDurabilityPolicy();
       return Status::OK();
     }
     if (!in_transaction_) {
@@ -469,6 +568,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
                               Plan(pending_));
     PrintPrefixed(out_, planned.ToString());
     PrintFaultPolicy();
+    PrintDurabilityPolicy();
     return Status::OK();
   }
   if (verb == "COMMIT") {
@@ -495,7 +595,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
       (*out_) << "-- faults: " << faults << " detected, " << retries
               << " tile retries\n";
     }
-    return Status::OK();
+    return PersistSinks(txn.SinkOutputs());
   }
 
   if (verb == "LOAD") {

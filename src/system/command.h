@@ -34,7 +34,17 @@ namespace machine {
 ///   PRINT <name>
 ///   STORE <name> AS <disk-name>
 ///   RELEASE <name>
+///   OPEN <dir> | CHECKPOINT | SET DURABILITY on|off
+///   HELP
 /// where <op> is one of = != < <= > >=.
+///
+/// Durability: OPEN attaches a crash-safe catalog directory (DESIGN S21) —
+/// creating it, or recovering checkpoint + WAL tail after a crash. From
+/// then on STORE and the sink outputs of every committed command/transaction
+/// are WAL-logged and fsync'd before the shell acknowledges (a transaction's
+/// sinks form one atomic group), CHECKPOINT rewrites the catalog with the
+/// atomic rename-swap protocol and resets the WAL, and SET DURABILITY off
+/// suspends logging (the hot path reverts to the in-memory one).
 ///
 /// Transactions: by default each relational command runs immediately as a
 /// one-step transaction. Between BEGIN and COMMIT, relational commands are
@@ -87,6 +97,19 @@ class CommandInterpreter {
   /// One "-- faults: ..." line describing the installed plan and recovery
   /// policy (printed by EXPLAIN); no-op without a plan.
   void PrintFaultPolicy();
+  /// Durably commits the named buffers as one atomic WAL group, mirrors
+  /// them to the modeled disk and prints a "-- durability:" line; no-op
+  /// (and silent) when durability is off.
+  Status PersistSinks(const std::vector<std::string>& sinks);
+  /// Copies the durable session's counters into `exec` (ExecStats
+  /// wal_records / checkpoints / recovered_records); no-op when no durable
+  /// directory is open.
+  void StampDurability(db::ExecStats* exec) const;
+  /// One "-- durability: ..." line describing the open session (printed by
+  /// EXPLAIN); no-op without one.
+  void PrintDurabilityPolicy();
+  /// The HELP verb: one line per command family.
+  void PrintHelp();
 
   /// True for the relational verbs ParseRelational understands.
   static bool IsRelationalVerb(const std::string& verb);

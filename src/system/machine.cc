@@ -106,8 +106,63 @@ Status Machine::ReleaseBuffer(const std::string& name) {
 Status Machine::WriteBackToDisk(const std::string& name,
                                 const std::string& disk_name) {
   SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation, Buffer(name));
+  // Durable first: only an fsync'd write may be acknowledged, and a failed
+  // log write must leave the modeled disk untouched.
+  if (durability_enabled()) {
+    SYSTOLIC_RETURN_NOT_OK(durable_->Put(disk_name, *relation));
+  }
   disk_.Write(disk_name, *relation);
   return Status::OK();
+}
+
+Status Machine::OpenDurable(const std::string& directory,
+                            durability::CrashInjector* injector) {
+  if (durable_ != nullptr) {
+    return Status::AlreadyExists("durable directory '" +
+                                 durable_->directory() + "' is already open");
+  }
+  SYSTOLIC_ASSIGN_OR_RETURN(
+      durable_, durability::DurableCatalog::Open(directory,
+                                                 durability::Io(injector)));
+  for (const std::string& name : durable_->catalog().RelationNames()) {
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation,
+                              durable_->catalog().GetRelation(name));
+    disk_.Put(name, *relation);
+  }
+  durability_enabled_ = true;
+  return Status::OK();
+}
+
+Status Machine::SetDurabilityEnabled(bool enabled) {
+  if (durable_ == nullptr) {
+    return Status::NotFound(
+        "no durable directory is open (use OPEN <dir> first)");
+  }
+  durability_enabled_ = enabled;
+  return Status::OK();
+}
+
+Result<size_t> Machine::PersistBuffers(const std::vector<std::string>& names) {
+  if (!durability_enabled() || names.empty()) return static_cast<size_t>(0);
+  for (const std::string& name : names) {
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation, Buffer(name));
+    Status staged = durable_->LogPut(name, *relation);
+    if (!staged.ok()) {
+      durable_->Abort();
+      return staged;
+    }
+  }
+  const size_t records = durable_->staged_records();
+  const Status committed = durable_->Commit();
+  if (!committed.ok()) {
+    durable_->Abort();  // un-acknowledged; don't leak the group to later ops
+    return committed;
+  }
+  for (const std::string& name : names) {
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation, Buffer(name));
+    disk_.Write(name, *relation);
+  }
+  return records;
 }
 
 Result<TransactionReport> Machine::Execute(const Transaction& transaction) {

@@ -2,10 +2,12 @@
 #define SYSTOLIC_SYSTEM_MACHINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "durability/durable_catalog.h"
 #include "perfmodel/estimates.h"
 #include "system/disk_unit.h"
 #include "system/memory.h"
@@ -136,6 +138,33 @@ class Machine {
   void InstallFaultPlan(std::shared_ptr<const faults::FaultPlan> plan,
                         faults::RecoveryOptions recovery = {});
 
+  /// Opens (creating or crash-recovering) a durable catalog directory
+  /// (DESIGN S21), copies every recovered relation onto the disk unit, and
+  /// enables durability: STORE and durable COMMITs are WAL-logged and
+  /// fsync'd before they are acknowledged. Surfaced in the shell as
+  /// `OPEN <dir>`. `injector`, when non-null, must outlive the machine; the
+  /// crash fuzzer uses it to cut the write path mid-operation.
+  Status OpenDurable(const std::string& directory,
+                     durability::CrashInjector* injector = nullptr);
+
+  /// The open durable session, or null before OpenDurable.
+  durability::DurableCatalog* durable() { return durable_.get(); }
+  const durability::DurableCatalog* durable() const { return durable_.get(); }
+
+  /// Toggles logging on the open session (`SET DURABILITY on|off`); fails
+  /// with NotFound before OpenDurable. While off, STORE and COMMIT skip the
+  /// durable layer entirely — the hot path is exactly the pre-durability
+  /// one.
+  Status SetDurabilityEnabled(bool enabled);
+  bool durability_enabled() const {
+    return durable_ != nullptr && durability_enabled_;
+  }
+
+  /// Persists the named buffers as ONE atomic WAL group (all-or-nothing on
+  /// recovery) and mirrors them on the disk unit; returns the number of
+  /// records written — 0 when durability is off or disabled.
+  Result<size_t> PersistBuffers(const std::vector<std::string>& names);
+
  private:
   Result<size_t> AllocateModule(const std::string& name);
   double CrossbarBytesPerSecond() const;
@@ -148,6 +177,8 @@ class Machine {
   std::map<OpKind, db::Engine> engines_;
   std::vector<MemoryModule> memories_;
   std::map<std::string, size_t> buffer_to_module_;
+  std::unique_ptr<durability::DurableCatalog> durable_;
+  bool durability_enabled_ = false;
 };
 
 }  // namespace machine

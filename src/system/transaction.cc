@@ -142,6 +142,19 @@ Transaction& Transaction::Concat(const Transaction& other) {
   return *this;
 }
 
+std::vector<std::string> Transaction::SinkOutputs() const {
+  std::set<std::string> consumed;
+  for (const PlanStep& step : steps_) {
+    consumed.insert(step.left);
+    if (!step.right.empty()) consumed.insert(step.right);
+  }
+  std::vector<std::string> sinks;
+  for (const PlanStep& step : steps_) {
+    if (consumed.count(step.output) == 0) sinks.push_back(step.output);
+  }
+  return sinks;
+}
+
 Result<std::vector<std::vector<size_t>>> Transaction::Schedule(
     const std::vector<std::string>& external_inputs) const {
   std::set<std::string> available(external_inputs.begin(),

@@ -92,6 +92,11 @@ class Transaction {
 
   const std::vector<PlanStep>& steps() const { return steps_; }
 
+  /// Output names no later step consumes — the transaction's results, in
+  /// step order. These are what a durable COMMIT persists; intermediates
+  /// feeding other steps are scratch.
+  std::vector<std::string> SinkOutputs() const;
+
   /// Checks structural sanity given the externally provided input buffer
   /// names: every operand is either an input or some step's output, output
   /// names are unique and do not shadow inputs, and the dependency graph is

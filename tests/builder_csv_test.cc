@@ -1,3 +1,4 @@
+#include <limits>
 #include <sstream>
 
 #include "gtest/gtest.h"
@@ -132,6 +133,59 @@ TEST(CsvTest, WriteEmitsHeader) {
   std::ostringstream out;
   ASSERT_STATUS_OK(WriteCsv(r, out));
   EXPECT_EQ(out.str(), "c0,c1\n");
+}
+
+TEST(CsvTest, RoundTripPreservesTrickyStrings) {
+  // RFC-4180 territory: embedded commas, quotes, newlines, empty fields,
+  // and fields that look like other syntax.
+  const std::vector<std::string> tricky = {
+      "plain",
+      "comma,inside",
+      "quote\"inside",
+      "\"fully quoted\"",
+      "line\nbreak",
+      "crlf\r\nbreak",
+      "",
+      "  padded  ",
+      ",",
+      "\"",
+      "ends with newline\n",
+  };
+  auto dom = Domain::Make("tricky", ValueType::kString);
+  Schema schema({{"s", dom}});
+  RelationBuilder builder(schema);
+  for (const std::string& s : tricky) {
+    ASSERT_STATUS_OK(builder.AddRow({Value::String(s)}));
+  }
+  const Relation original = builder.Finish();
+
+  std::ostringstream out;
+  ASSERT_STATUS_OK(WriteCsv(original, out));
+  std::istringstream in(out.str());
+  auto reread = ReadCsv(in, schema);
+  ASSERT_OK(reread);
+  ASSERT_EQ(reread->num_tuples(), tricky.size());
+  for (size_t i = 0; i < tricky.size(); ++i) {
+    auto value = dom->Decode(reread->tuple(i)[0]);
+    ASSERT_OK(value);
+    EXPECT_EQ(value->ToString(), tricky[i]) << "row " << i;
+  }
+}
+
+TEST(CsvTest, RoundTripPreservesInt64Extremes) {
+  const Schema schema = MakeIntSchema(2);
+  const Relation original =
+      systolic::testing::Rel(schema, {{std::numeric_limits<int64_t>::min(),
+                                       std::numeric_limits<int64_t>::max()},
+                                      {0, -1}});
+  std::ostringstream out;
+  ASSERT_STATUS_OK(WriteCsv(original, out));
+  std::istringstream in(out.str());
+  auto reread = ReadCsv(in, schema);
+  ASSERT_OK(reread);
+  EXPECT_TRUE(reread->BagEquals(original));
+  EXPECT_EQ(reread->tuple(0)[0], std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(reread->tuple(0)[1], std::numeric_limits<int64_t>::max());
 }
 
 }  // namespace

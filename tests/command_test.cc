@@ -1,5 +1,6 @@
 #include "system/command.h"
 
+#include <filesystem>
 #include <sstream>
 
 #include "gtest/gtest.h"
@@ -173,6 +174,134 @@ TEST_F(CommandFixture, TransactionStateErrors) {
   ASSERT_STATUS_OK(Run("BEGIN\n"));
   EXPECT_TRUE(Run("BEGIN\n").IsInvalidArgument());
   ASSERT_STATUS_OK(Run("ABORT\n"));
+}
+
+TEST_F(CommandFixture, HelpListsEveryVerbFamily) {
+  ASSERT_STATUS_OK(Run("HELP\n"));
+  const std::string help = out_.str();
+  for (const char* verb :
+       {"LOAD", "STORE", "PRINT", "RELEASE", "INTERSECT", "PROJECT", "SELECT",
+        "JOIN", "DIVIDE", "BEGIN", "COMMIT", "EXPLAIN", "OPEN", "CHECKPOINT",
+        "SET PLANNER", "SET DURABILITY", "SET FAULTS", "HELP"}) {
+    EXPECT_NE(help.find(verb), std::string::npos) << "HELP omits " << verb;
+  }
+}
+
+TEST_F(CommandFixture, UnknownSetKeyNamesTheValidKeys) {
+  const Status unknown = Run("SET TURBO on\n");
+  EXPECT_TRUE(unknown.IsInvalidArgument());
+  EXPECT_NE(unknown.message().find("unknown SET key 'TURBO'"),
+            std::string::npos);
+  EXPECT_NE(unknown.message().find("valid keys: PLANNER, DURABILITY, FAULTS"),
+            std::string::npos);
+  const Status bare = Run("SET\n");
+  EXPECT_TRUE(bare.IsInvalidArgument());
+  EXPECT_NE(bare.message().find("valid keys"), std::string::npos);
+}
+
+TEST_F(CommandFixture, SetDurabilityRequiresAnOpenDirectory) {
+  const Status toggled = Run("SET DURABILITY on\n");
+  EXPECT_TRUE(toggled.IsNotFound());
+  EXPECT_NE(toggled.message().find("OPEN <dir>"), std::string::npos);
+}
+
+/// CommandFixture plus a durable scratch directory.
+class DurableCommandFixture : public CommandFixture {
+ protected:
+  void SetUp() override {
+    CommandFixture::SetUp();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("systolic_command_durable_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(DurableCommandFixture, OpenStoreCheckpointAndReopenRecover) {
+  ASSERT_STATUS_OK(Run("OPEN " + dir_ + "\n"));
+  EXPECT_NE(out_.str().find("-- opened " + dir_), std::string::npos);
+  ASSERT_STATUS_OK(Run("LOAD A\nSTORE A AS saved_a\n"));
+  ASSERT_STATUS_OK(Run("CHECKPOINT\n"));
+  EXPECT_NE(out_.str().find("-- checkpoint chk-1"), std::string::npos);
+  // A committed command's sink is durably persisted and announced.
+  ASSERT_STATUS_OK(Run("LOAD B\nINTERSECT A B -> I\n"));
+  EXPECT_NE(out_.str().find("-- durability: committed 1 relation"),
+            std::string::npos);
+  // Stats surfaced through the machine's durable session.
+  ASSERT_NE(machine_->durable(), nullptr);
+  EXPECT_EQ(machine_->durable()->stats().checkpoints, 1u);
+  EXPECT_GE(machine_->durable()->stats().wal_records, 2u);
+
+  // A second machine (the "restarted process") recovers everything.
+  MachineConfig config;
+  config.num_memories = 12;
+  Machine restarted(config);
+  std::ostringstream out;
+  CommandInterpreter shell(&restarted, &out);
+  ASSERT_STATUS_OK(shell.Execute("OPEN " + dir_));
+  EXPECT_NE(out.str().find("recovered"), std::string::npos);
+  ASSERT_STATUS_OK(shell.Execute("LOAD saved_a"));
+  auto saved = restarted.Buffer("saved_a");
+  ASSERT_OK(saved);
+  EXPECT_EQ((*saved)->num_tuples(), 3u);
+  ASSERT_STATUS_OK(shell.Execute("LOAD I"));
+  auto i = restarted.Buffer("I");
+  ASSERT_OK(i);
+  EXPECT_EQ((*i)->num_tuples(), 1u);
+}
+
+TEST_F(DurableCommandFixture, ExplainPrintsTheDurabilityPolicy) {
+  ASSERT_STATUS_OK(Run("OPEN " + dir_ + "\n"));
+  ASSERT_STATUS_OK(Run("LOAD A\nEXPLAIN DEDUP A -> D\n"));
+  EXPECT_NE(out_.str().find("-- durability: on, dir " + dir_),
+            std::string::npos);
+}
+
+TEST_F(DurableCommandFixture, SetDurabilityOffSuspendsLogging) {
+  ASSERT_STATUS_OK(Run("OPEN " + dir_ + "\nSET DURABILITY off\n"));
+  const size_t before = machine_->durable()->stats().wal_records;
+  ASSERT_STATUS_OK(Run("LOAD A\nSTORE A AS quiet\nDEDUP A -> D\n"));
+  EXPECT_EQ(machine_->durable()->stats().wal_records, before)
+      << "durability off must not log";
+  EXPECT_EQ(out_.str().find("-- durability: committed"), std::string::npos);
+  // Back on: logging resumes.
+  ASSERT_STATUS_OK(Run("SET DURABILITY on\nSTORE D AS loud\n"));
+  EXPECT_GT(machine_->durable()->stats().wal_records, before);
+}
+
+TEST_F(DurableCommandFixture, OpenTwiceFails) {
+  ASSERT_STATUS_OK(Run("OPEN " + dir_ + "\n"));
+  EXPECT_TRUE(Run("OPEN " + dir_ + "\n").IsAlreadyExists());
+  EXPECT_TRUE(Run("OPEN\n").IsInvalidArgument());
+}
+
+TEST_F(DurableCommandFixture, CheckpointWithoutOpenFails) {
+  EXPECT_TRUE(Run("CHECKPOINT\n").IsNotFound());
+}
+
+TEST_F(DurableCommandFixture, TransactionSinksCommitAsOneGroup) {
+  ASSERT_STATUS_OK(Run("OPEN " + dir_ + "\nLOAD A\nLOAD B\n"));
+  ASSERT_STATUS_OK(
+      Run("BEGIN\nINTERSECT A B -> x\nUNION A B -> y\nCOMMIT\n"));
+  // Both sinks of the transaction land in one durable commit.
+  EXPECT_NE(out_.str().find("-- durability: committed 2 relation"),
+            std::string::npos);
+  MachineConfig config;
+  config.num_memories = 12;
+  Machine restarted(config);
+  std::ostringstream out;
+  CommandInterpreter shell(&restarted, &out);
+  ASSERT_STATUS_OK(shell.Execute("OPEN " + dir_));
+  ASSERT_STATUS_OK(shell.Execute("LOAD x"));
+  ASSERT_STATUS_OK(shell.Execute("LOAD y"));
+  EXPECT_EQ((*restarted.Buffer("x"))->num_tuples(), 1u);
+  EXPECT_EQ((*restarted.Buffer("y"))->num_tuples(), 4u);
 }
 
 }  // namespace

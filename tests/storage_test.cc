@@ -1,7 +1,11 @@
 #include "relational/storage.h"
 
+#include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <vector>
 
 #include "core/engine.h"
 #include "gtest/gtest.h"
@@ -140,6 +144,101 @@ TEST_F(StorageFixture, EmptyCatalogRoundTrips) {
   auto loaded = LoadCatalog(dir_.string());
   ASSERT_OK(loaded);
   EXPECT_TRUE((*loaded)->RelationNames().empty());
+}
+
+TEST(EscapeIdentifierTest, DeterministicAndIdentityOnSafeNames) {
+  EXPECT_EQ(EscapeIdentifier("plain_name-7"), "plain_name-7");
+  EXPECT_EQ(EscapeIdentifier("Weird Name/1"), "%57eird%20%4Eame%2F1");
+  EXPECT_EQ(EscapeIdentifier(".."), "%2E%2E");
+  EXPECT_EQ(EscapeIdentifier("%41"), "%2541");
+  // Upper-case always escapes, so two names differing only in case can
+  // never fold together on a case-insensitive filesystem.
+  EXPECT_EQ(EscapeIdentifier("A"), "%41");
+  EXPECT_NE(EscapeIdentifier("A"), EscapeIdentifier("a"));
+}
+
+TEST(EscapeIdentifierTest, UnescapeInvertsAndRejectsMalformed) {
+  const std::vector<std::string> names = {"plain", "Weird Name/1", "..",
+                                          "%41", "a,b\nc", ""};
+  for (const std::string& name : names) {
+    auto back = UnescapeIdentifier(EscapeIdentifier(name));
+    ASSERT_OK(back);
+    EXPECT_EQ(*back, name);
+  }
+  // Legacy tokens without escapes decode to themselves.
+  EXPECT_EQ(*UnescapeIdentifier("legacy_token"), "legacy_token");
+  EXPECT_TRUE(UnescapeIdentifier("%4").status().IsInvalidArgument());
+  EXPECT_TRUE(UnescapeIdentifier("%zz").status().IsInvalidArgument());
+  EXPECT_TRUE(UnescapeIdentifier("trailing%").status().IsInvalidArgument());
+}
+
+TEST_F(StorageFixture, CaseCollidingNamesGetDistinctFilesAndRoundTrip) {
+  Catalog catalog;
+  auto d = *catalog.CreateDomain("ids", ValueType::kInt64);
+  Schema schema({{"x", d}});
+  catalog.PutRelation("table", Rel(schema, {{1}}));
+  catalog.PutRelation("Table", Rel(schema, {{2}}));
+  catalog.PutRelation("TABLE", Rel(schema, {{3}}));
+
+  auto files = SerializeCatalog(catalog);
+  ASSERT_OK(files);
+  // Escaped file names must stay distinct even after case folding.
+  std::vector<std::string> folded;
+  for (const CatalogFile& file : *files) {
+    std::string lower = file.name;
+    for (char& c : lower) c = static_cast<char>(std::tolower(c));
+    folded.push_back(lower);
+  }
+  std::sort(folded.begin(), folded.end());
+  EXPECT_EQ(std::unique(folded.begin(), folded.end()), folded.end());
+
+  ASSERT_STATUS_OK(SaveCatalog(catalog, dir_.string()));
+  auto loaded = LoadCatalog(dir_.string());
+  ASSERT_OK(loaded);
+  EXPECT_EQ((*loaded)->RelationNames().size(), 3u);
+  EXPECT_EQ((*(*loaded)->GetRelation("Table"))->tuple(0), (Tuple{2}));
+}
+
+TEST_F(StorageFixture, EmptyRelationNameRejectedWithClearStatus) {
+  Catalog catalog;
+  auto d = *catalog.CreateDomain("ids", ValueType::kInt64);
+  catalog.PutRelation("", Rel(Schema({{"x", d}}), {{1}}));
+  const Status saved = SaveCatalog(catalog, dir_.string());
+  EXPECT_TRUE(saved.IsInvalidArgument());
+  EXPECT_NE(saved.message().find("empty name"), std::string::npos);
+}
+
+TEST_F(StorageFixture, TrickyValuesRoundTripBitIdentically) {
+  // The full persistence path: strings with every CSV hazard plus int64
+  // extremes must reload to a catalog that re-serializes to identical bytes.
+  Catalog catalog;
+  auto labels = *catalog.CreateDomain("labels", ValueType::kString);
+  auto counts = *catalog.CreateDomain("counts", ValueType::kInt64);
+  RelationBuilder builder(Schema({{"label", labels}, {"count", counts}}));
+  ASSERT_STATUS_OK(builder.AddRow(
+      {Value::String("a,\"b\"\nc"),
+       Value::Int64(std::numeric_limits<int64_t>::min())}));
+  ASSERT_STATUS_OK(builder.AddRow(
+      {Value::String(""),
+       Value::Int64(std::numeric_limits<int64_t>::max())}));
+  ASSERT_STATUS_OK(
+      builder.AddRow({Value::String("  padded, and quoted \"  "),
+                      Value::Int64(0)}));
+  catalog.PutRelation("Tricky/Relation", builder.Finish());
+
+  auto before = SerializeCatalog(catalog);
+  ASSERT_OK(before);
+  ASSERT_STATUS_OK(SaveCatalog(catalog, dir_.string()));
+  auto loaded = LoadCatalog(dir_.string());
+  ASSERT_OK(loaded);
+  auto after = SerializeCatalog(**loaded);
+  ASSERT_OK(after);
+  ASSERT_EQ(before->size(), after->size());
+  for (size_t i = 0; i < before->size(); ++i) {
+    EXPECT_EQ((*before)[i].name, (*after)[i].name);
+    EXPECT_EQ((*before)[i].contents, (*after)[i].contents)
+        << "file " << (*before)[i].name;
+  }
 }
 
 }  // namespace
