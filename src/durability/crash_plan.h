@@ -27,22 +27,29 @@ namespace durability {
 /// A probe run with an unlimited budget measures the total unit count of a
 /// workload; enumerating cuts 0..total-1 then visits every byte and record
 /// boundary, including both sides of each rename.
+///
+/// A `transient` injector models a survivable IO error (a passing ENOSPC,
+/// say) instead of process death: the cut fails exactly one operation — a
+/// torn write or one skipped metadata op — and every later call succeeds
+/// with an unlimited budget. The caller lives on and must cope with the
+/// failure, which is how the torn-commit rollback path is exercised.
 class CrashInjector {
  public:
   static constexpr uint64_t kNoCrash = UINT64_MAX;
 
-  explicit CrashInjector(uint64_t cut_units = kNoCrash)
-      : remaining_(cut_units) {}
+  explicit CrashInjector(uint64_t cut_units = kNoCrash, bool transient = false)
+      : remaining_(cut_units), transient_(transient) {}
 
   /// Admits up to `want` data bytes; returns how many landed. Admitting
-  /// fewer than requested marks the injector crashed (torn write).
+  /// fewer than requested marks the injector crashed (torn write) — or, for
+  /// a transient injector, revives it for every later call.
   size_t AdmitBytes(size_t want) {
     if (crashed_) return 0;
     const uint64_t granted =
         remaining_ < want ? remaining_ : static_cast<uint64_t>(want);
     remaining_ -= granted;
     used_ += granted;
-    if (granted < want) crashed_ = true;
+    if (granted < want) Fail();
     return static_cast<size_t>(granted);
   }
 
@@ -50,7 +57,7 @@ class CrashInjector {
   bool AdmitOp() {
     if (crashed_) return false;
     if (remaining_ == 0) {
-      crashed_ = true;
+      Fail();
       return false;
     }
     --remaining_;
@@ -66,8 +73,18 @@ class CrashInjector {
   uint64_t units_used() const { return used_; }
 
  private:
+  void Fail() {
+    if (transient_) {
+      remaining_ = kNoCrash;  // one failure, then recovered
+      transient_ = false;
+    } else {
+      crashed_ = true;
+    }
+  }
+
   uint64_t remaining_;
   uint64_t used_ = 0;
+  bool transient_ = false;
   bool crashed_ = false;
 };
 

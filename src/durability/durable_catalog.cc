@@ -57,6 +57,10 @@ Status DurableCatalog::Recover() {
   checkpoint_id_ = 0;
   wal_live_records_ = 0;
 
+  // The literal CURRENT token, not CheckpointName(checkpoint_id_): a
+  // non-canonical spelling ("chk-007") must still protect the directory
+  // CURRENT points at from garbage collection below.
+  std::string live_checkpoint = CheckpointName(checkpoint_id_);
   const std::string current_path = Path(kCurrentFileName);
   if (Io::Exists(current_path)) {
     SYSTOLIC_ASSIGN_OR_RETURN(std::string current, Io::ReadFile(current_path));
@@ -64,6 +68,7 @@ Status DurableCatalog::Recover() {
     SYSTOLIC_ASSIGN_OR_RETURN(checkpoint_id_, ParseCheckpointName(token));
     SYSTOLIC_ASSIGN_OR_RETURN(catalog_,
                               rel::LoadCatalog(Path(token)));
+    live_checkpoint = token;
   }
 
   if (Io::Exists(WalPath())) {
@@ -81,7 +86,7 @@ Status DurableCatalog::Recover() {
     SYSTOLIC_RETURN_NOT_OK(ResetWal());
   }
 
-  return CollectGarbage(CheckpointName(checkpoint_id_));
+  return CollectGarbage(live_checkpoint);
 }
 
 Status DurableCatalog::ReplayWal(const std::string& bytes, size_t header_end) {
@@ -171,19 +176,35 @@ Result<std::vector<WalRecord::ColumnSpec>> DurableCatalog::StagedColumns(
   return SpecsOf(relation->schema());
 }
 
+Result<rel::ValueType> DurableCatalog::StagedDomainType(
+    const std::string& name) const {
+  // Staged records only ever create domains (a drop removes a relation, not
+  // its domains), and conflicts are rejected at staging time, so any staged
+  // mention of `name` — explicit create-domain or a put/append column that
+  // implicitly creates it — fixes its type.
+  for (const auto& [record, payload] : staged_) {
+    if (record.kind == WalRecord::Kind::kCreateDomain && record.name == name) {
+      return record.type;
+    }
+    for (const WalRecord::ColumnSpec& spec : record.columns) {
+      if (spec.domain == name) return spec.type;
+    }
+  }
+  SYSTOLIC_ASSIGN_OR_RETURN(std::shared_ptr<rel::Domain> live,
+                            catalog_->GetDomain(name));
+  return live->type();
+}
+
 Status DurableCatalog::LogCreateDomain(const std::string& name,
                                        rel::ValueType type) {
   if (name.empty()) {
     return Status::InvalidArgument("domain name must not be empty");
   }
-  if (catalog_->GetDomain(name).ok()) {
+  // Resolving through the staged group also catches a domain a staged
+  // put/append implicitly created — re-creating it would make the sealed
+  // group fail to apply at Commit/recovery.
+  if (StagedDomainType(name).ok()) {
     return Status::AlreadyExists("domain '" + name + "' already exists");
-  }
-  for (const auto& [record, payload] : staged_) {
-    if (record.kind == WalRecord::Kind::kCreateDomain && record.name == name) {
-      return Status::AlreadyExists("domain '" + name +
-                                   "' is created in the open group");
-    }
   }
   WalRecord record;
   record.kind = WalRecord::Kind::kCreateDomain;
@@ -197,16 +218,27 @@ Status DurableCatalog::LogPut(const std::string& name,
   if (name.empty()) {
     return Status::InvalidArgument("relation name must not be empty");
   }
-  for (const rel::Column& column : relation.schema().columns()) {
+  for (size_t c = 0; c < relation.schema().num_columns(); ++c) {
+    const rel::Column& column = relation.schema().column(c);
     if (column.name.empty() || column.domain->name().empty()) {
       return Status::InvalidArgument("cannot log relation '" + name +
                                      "': empty column or domain name");
     }
-    auto existing = catalog_->GetDomain(column.domain->name());
-    if (existing.ok() && (*existing)->type() != column.domain->type()) {
+    // The domain's type must agree with the staged group and live catalog
+    // AND with this relation's own earlier columns (fresh Domain objects may
+    // reuse a name at another type) — any conflict would make the sealed
+    // record fail to apply at Commit/recovery.
+    Result<rel::ValueType> existing = StagedDomainType(column.domain->name());
+    for (size_t prev = 0; !existing.ok() && prev < c; ++prev) {
+      const rel::Column& other = relation.schema().column(prev);
+      if (other.domain->name() == column.domain->name()) {
+        existing = other.domain->type();
+      }
+    }
+    if (existing.ok() && *existing != column.domain->type()) {
       return Status::Incompatible(
           "domain '" + column.domain->name() + "' is already registered as " +
-          rel::ValueTypeToString((*existing)->type()));
+          rel::ValueTypeToString(*existing));
     }
   }
   SYSTOLIC_ASSIGN_OR_RETURN(std::string payload, EncodePut(name, relation));
@@ -250,6 +282,11 @@ Status DurableCatalog::LogDrop(const std::string& name) {
 
 Status DurableCatalog::Commit() {
   if (staged_.empty()) return Status::OK();
+  if (wal_poisoned_) {
+    return Status::IOError(
+        "the WAL carries a torn tail from a failed commit; CHECKPOINT to "
+        "rebuild it before committing again");
+  }
   std::string frames;
   for (const auto& [record, payload] : staged_) {
     AppendFrame(&frames, payload);
@@ -257,8 +294,19 @@ Status DurableCatalog::Commit() {
   AppendFrame(&frames, EncodeCommit(staged_.size()));
   // One append + one fsync: the group becomes durable atomically-or-not, and
   // a crash inside the append leaves an unsealed tail recovery truncates.
-  SYSTOLIC_RETURN_NOT_OK(io_.AppendFile(WalPath(), frames));
-  SYSTOLIC_RETURN_NOT_OK(io_.Fsync(WalPath()));
+  SYSTOLIC_ASSIGN_OR_RETURN(const uint64_t wal_end, Io::FileSize(WalPath()));
+  Status appended = io_.AppendFile(WalPath(), frames);
+  if (appended.ok()) appended = io_.Fsync(WalPath());
+  if (!appended.ok()) {
+    // A survivable partial append (ENOSPC, say) leaves torn frames
+    // mid-file; a retried commit would append the group after them, and
+    // recovery would then truncate away — or refuse to open over — every
+    // later acknowledged group. Cut the WAL back to its pre-append length;
+    // if even that fails, poison the commit path until a Checkpoint
+    // rebuilds the log.
+    if (!io_.Truncate(WalPath(), wal_end).ok()) wal_poisoned_ = true;
+    return appended;
+  }
   for (const auto& [record, payload] : staged_) {
     SYSTOLIC_RETURN_NOT_OK(ApplyWalRecord(record, catalog_.get()));
   }
@@ -312,6 +360,10 @@ Status DurableCatalog::Checkpoint() {
     SYSTOLIC_RETURN_NOT_OK(io_.Fsync(tmp + "/" + file.name));
   }
   SYSTOLIC_RETURN_NOT_OK(io_.FsyncDir(tmp));
+  // A checkpoint retried after a failed CURRENT flip finds the previous
+  // attempt's fully-renamed directory; clear it like the stale tmp dir so
+  // the rename below cannot wedge on a non-empty target.
+  if (Io::Exists(Path(chk))) SYSTOLIC_RETURN_NOT_OK(io_.RemoveAll(Path(chk)));
   SYSTOLIC_RETURN_NOT_OK(io_.Rename(tmp, Path(chk)));
   SYSTOLIC_RETURN_NOT_OK(io_.FsyncDir(directory_));
   // The CURRENT flip is the commit point: before it, recovery uses the old
@@ -325,6 +377,7 @@ Status DurableCatalog::Checkpoint() {
   const uint64_t previous = checkpoint_id_;
   checkpoint_id_ = next;
   SYSTOLIC_RETURN_NOT_OK(ResetWal());
+  wal_poisoned_ = false;  // the rebuilt log has no torn tail
   if (previous > 0) {
     SYSTOLIC_RETURN_NOT_OK(io_.RemoveAll(Path(CheckpointName(previous))));
   }

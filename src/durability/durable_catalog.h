@@ -66,7 +66,12 @@ class DurableCatalog {
 
   /// Seals and fsyncs the staged group, then applies it to the in-memory
   /// catalog. No-op for an empty group. On an IO error nothing was
-  /// acknowledged: the group stays staged (retry or Abort).
+  /// acknowledged: the group stays staged (retry or Abort), and any torn
+  /// frames a partial append left behind are truncated away so a retry
+  /// cannot append the group after them (recovery would then discard or
+  /// refuse acknowledged groups). If even that truncation fails the WAL is
+  /// poisoned: every further Commit fails without touching the file until a
+  /// successful Checkpoint rebuilds the log.
   Status Commit();
 
   /// Discards the staged group.
@@ -98,12 +103,19 @@ class DurableCatalog {
   /// would not exist; `from_catalog` receives the live relation if any.
   Result<std::vector<WalRecord::ColumnSpec>> StagedColumns(
       const std::string& name) const;
+  /// The type domain `name` would have after the staged group — fixed by a
+  /// staged create-domain, a domain a staged put/append implicitly creates,
+  /// or the live catalog — or NotFound if it would not exist.
+  Result<rel::ValueType> StagedDomainType(const std::string& name) const;
 
   std::string directory_;
   Io io_;
   std::unique_ptr<rel::Catalog> catalog_;
   uint64_t checkpoint_id_ = 0;
   size_t wal_live_records_ = 0;
+  /// True after a failed commit whose torn tail could not be truncated; the
+  /// commit path stays closed until a Checkpoint rebuilds the WAL.
+  bool wal_poisoned_ = false;
   std::vector<std::pair<WalRecord, std::string>> staged_;
   DurabilityStats stats_;
 };

@@ -146,6 +146,15 @@ Result<std::string> Io::ReadFile(const std::string& path) {
   return contents.str();
 }
 
+Result<uint64_t> Io::FileSize(const std::string& path) {
+  std::error_code ec;
+  const uintmax_t size = fs::file_size(path, ec);
+  if (ec) {
+    return Status::IOError("cannot stat '" + path + "': " + ec.message());
+  }
+  return static_cast<uint64_t>(size);
+}
+
 bool Io::Exists(const std::string& path) {
   std::error_code ec;
   return fs::exists(path, ec);

@@ -46,6 +46,7 @@ class Io {
 
   /// Reads are free (crash injection models the write path only).
   static Result<std::string> ReadFile(const std::string& path);
+  static Result<uint64_t> FileSize(const std::string& path);
   static bool Exists(const std::string& path);
   /// Names (not paths) of directory entries, sorted; empty if absent.
   static std::vector<std::string> ListDir(const std::string& path);

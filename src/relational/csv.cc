@@ -84,7 +84,9 @@ Result<bool> ReadRecord(std::istream& in, std::vector<CsvField>* record) {
       record->push_back(std::move(field));
       return true;
     }
-    if (saw_quote && !in_quotes && c != '\r') {
+    if (saw_quote && !in_quotes) {
+      // The CR of a CRLF terminator is not part of a quoted field's value.
+      if (c == '\r') continue;
       return Status::InvalidArgument(
           "malformed CSV: text after a closing quote");
     }

@@ -172,6 +172,30 @@ TEST(CsvTest, RoundTripPreservesTrickyStrings) {
   }
 }
 
+TEST(CsvTest, CrlfRecordsDropTheCarriageReturnAfterQuotedFields) {
+  // Windows-style CRLF files: the CR of the record terminator is not part
+  // of a quoted last column's value (it used to leak in as "q\r").
+  auto dom = Domain::Make("s", ValueType::kString);
+  Schema schema({{"a", dom}, {"b", dom}});
+  std::istringstream in("p,\"q\"\r\n\"x,y\",\"z\"\r\n\"end\",\"no newline\"\r");
+  auto r = ReadCsv(in, schema, /*has_header=*/false);
+  ASSERT_OK(r);
+  ASSERT_EQ(r->num_tuples(), 3u);
+  const std::vector<std::vector<std::string>> expected = {
+      {"p", "q"}, {"x,y", "z"}, {"end", "no newline"}};
+  for (size_t row = 0; row < expected.size(); ++row) {
+    for (size_t col = 0; col < 2; ++col) {
+      auto value = dom->Decode(r->tuple(row)[col]);
+      ASSERT_OK(value);
+      EXPECT_EQ(value->ToString(), expected[row][col])
+          << "row " << row << " col " << col;
+    }
+  }
+  // Real text after a closing quote is still malformed.
+  std::istringstream bad("\"a\"x,b\n");
+  EXPECT_FALSE(ReadCsv(bad, schema, /*has_header=*/false).ok());
+}
+
 TEST(CsvTest, RoundTripPreservesInt64Extremes) {
   const Schema schema = MakeIntSchema(2);
   const Relation original =

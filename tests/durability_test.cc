@@ -165,6 +165,19 @@ TEST(CrashInjectorTest, CountsUnitsAndTearsWrites) {
   EXPECT_FALSE(probe.crashed());
 }
 
+TEST(CrashInjectorTest, TransientCutFailsOnceThenRecovers) {
+  CrashInjector injector(3, /*transient=*/true);
+  EXPECT_EQ(injector.AdmitBytes(8), 3u);  // torn at the cut...
+  EXPECT_FALSE(injector.crashed());       // ...but the process survives
+  EXPECT_TRUE(injector.AdmitOp());        // and later IO succeeds
+  EXPECT_EQ(injector.AdmitBytes(8), 8u);
+
+  CrashInjector op_cut(0, /*transient=*/true);
+  EXPECT_FALSE(op_cut.AdmitOp());  // the cut operation itself fails
+  EXPECT_FALSE(op_cut.crashed());
+  EXPECT_TRUE(op_cut.AdmitOp());
+}
+
 TEST(CrashPlanTest, CutsAreDeterministicAndInRange) {
   const CrashPlan plan(1234);
   for (uint64_t trial = 0; trial < 50; ++trial) {
@@ -299,6 +312,157 @@ TEST_F(DurabilityDirFixture, LogValidationCatchesBadMutations) {
   rel::RelationBuilder builder(rel::Schema({{"s", clashing}}));
   ASSERT_STATUS_OK(builder.AddRow({rel::Value::String("v")}));
   EXPECT_TRUE((*durable)->LogPut("s", builder.Finish()).IsIncompatible());
+}
+
+TEST_F(DurabilityDirFixture, TransientCommitFailureRollsBackTheTornTail) {
+  const rel::Schema schema = rel::MakeIntSchema(1);
+  {
+    auto durable = DurableCatalog::Open(Dir());
+    ASSERT_OK(durable);
+    ASSERT_STATUS_OK((*durable)->Put("good", Rel(schema, {{1}})));
+  }
+  auto before = Io::ReadFile(Dir() + "/WAL");
+  ASSERT_OK(before);
+  // A survivable mid-append failure (a passing ENOSPC): the open consumes
+  // one unit (mkdir), the commit's append tears after 10 bytes, and every
+  // later IO call succeeds again.
+  CrashInjector injector(1 + 10, /*transient=*/true);
+  auto durable = DurableCatalog::Open(Dir(), Io(&injector));
+  ASSERT_OK(durable);
+  ASSERT_FALSE((*durable)->Put("more", Rel(schema, {{2}})).ok());
+  // The torn frames were truncated away, so the WAL holds exactly the
+  // acknowledged groups...
+  auto rolled_back = Io::ReadFile(Dir() + "/WAL");
+  ASSERT_OK(rolled_back);
+  EXPECT_EQ(*rolled_back, *before) << "failed commit must not leave a tail";
+  // ...and the still-staged group retries cleanly.
+  EXPECT_EQ((*durable)->staged_records(), 1u);
+  ASSERT_STATUS_OK((*durable)->Commit());
+  EXPECT_TRUE((*durable)->catalog().GetRelation("more").ok());
+  auto reopened = DurableCatalog::Open(Dir());
+  ASSERT_OK(reopened);
+  EXPECT_TRUE((*reopened)->catalog().GetRelation("good").ok());
+  EXPECT_TRUE((*reopened)->catalog().GetRelation("more").ok());
+}
+
+TEST_F(DurabilityDirFixture, UntruncatableTornTailPoisonsTheCommitPath) {
+  const rel::Schema schema = rel::MakeIntSchema(1);
+  {
+    auto durable = DurableCatalog::Open(Dir());
+    ASSERT_OK(durable);
+    ASSERT_STATUS_OK((*durable)->Put("good", Rel(schema, {{1}})));
+  }
+  auto before = Io::ReadFile(Dir() + "/WAL");
+  ASSERT_OK(before);
+  // A hard cut mid-append: the rollback truncate fails too, so the WAL is
+  // poisoned and no further commit may append past the torn bytes.
+  CrashInjector injector(1 + 10);
+  auto durable = DurableCatalog::Open(Dir(), Io(&injector));
+  ASSERT_OK(durable);
+  ASSERT_FALSE((*durable)->Put("more", Rel(schema, {{2}})).ok());
+  const Status retry = (*durable)->Commit();
+  ASSERT_FALSE(retry.ok());
+  EXPECT_NE(retry.message().find("CHECKPOINT"), std::string::npos)
+      << "a poisoned WAL must say how to repair it: " << retry.message();
+  auto after = Io::ReadFile(Dir() + "/WAL");
+  ASSERT_OK(after);
+  EXPECT_EQ(after->size(), before->size() + 10)
+      << "only the first attempt's torn bytes; the retry appended nothing";
+  EXPECT_EQ(after->substr(0, before->size()), *before);
+  // Recovery truncates the torn tail and sees only the acknowledged state.
+  auto reopened = DurableCatalog::Open(Dir());
+  ASSERT_OK(reopened);
+  EXPECT_TRUE((*reopened)->catalog().GetRelation("good").ok());
+  EXPECT_FALSE((*reopened)->catalog().GetRelation("more").ok());
+  auto wal = Io::ReadFile(Dir() + "/WAL");
+  ASSERT_OK(wal);
+  EXPECT_EQ(*wal, *before);
+}
+
+TEST_F(DurabilityDirFixture, StagedDomainsConstrainLaterGroupRecords) {
+  auto durable = DurableCatalog::Open(Dir());
+  ASSERT_OK(durable);
+  ASSERT_STATUS_OK((*durable)->LogCreateDomain("d", rel::ValueType::kInt64));
+  // A put reusing staged domain 'd' at another type must be rejected at
+  // staging time — sealed, it would fail to apply at Commit and recovery.
+  auto clash = rel::Domain::Make("d", rel::ValueType::kString);
+  rel::RelationBuilder bad(rel::Schema({{"c", clash}}));
+  ASSERT_STATUS_OK(bad.AddRow({rel::Value::String("v")}));
+  EXPECT_TRUE((*durable)->LogPut("r", bad.Finish()).IsIncompatible());
+  // The matching type stages fine.
+  auto fresh = rel::Domain::Make("d", rel::ValueType::kInt64);
+  rel::RelationBuilder good(rel::Schema({{"c", fresh}}));
+  ASSERT_STATUS_OK(good.AddRow({rel::Value::Int64(7)}));
+  ASSERT_STATUS_OK((*durable)->LogPut("r", good.Finish()));
+  // Re-creating a domain a staged put implicitly carries is a duplicate —
+  // "names" comes in via StringRelation's columns, not via LogCreateDomain.
+  ASSERT_STATUS_OK((*durable)->LogPut("people", StringRelation()));
+  EXPECT_TRUE((*durable)
+                  ->LogCreateDomain("names", rel::ValueType::kBool)
+                  .IsAlreadyExists());
+  ASSERT_STATUS_OK((*durable)->Commit());
+  auto reopened = DurableCatalog::Open(Dir());
+  ASSERT_OK(reopened);
+  EXPECT_TRUE((*reopened)->catalog().GetRelation("r").ok());
+}
+
+TEST_F(DurabilityDirFixture, IntraRelationDomainClashRejectedAtStaging) {
+  // Two fresh Domain objects sharing a name at different types: sealed,
+  // ApplyWalRecord would hit a type conflict, so staging must refuse.
+  auto ints = rel::Domain::Make("dup", rel::ValueType::kInt64);
+  auto strings = rel::Domain::Make("dup", rel::ValueType::kString);
+  rel::RelationBuilder builder(rel::Schema({{"a", ints}, {"b", strings}}));
+  ASSERT_STATUS_OK(
+      builder.AddRow({rel::Value::Int64(1), rel::Value::String("x")}));
+  auto durable = DurableCatalog::Open(Dir());
+  ASSERT_OK(durable);
+  EXPECT_TRUE((*durable)->LogPut("r", builder.Finish()).IsIncompatible());
+  EXPECT_EQ((*durable)->staged_records(), 0u);
+}
+
+TEST_F(DurabilityDirFixture, CheckpointRetryReclaimsLeftoverTargetDir) {
+  const rel::Schema schema = rel::MakeIntSchema(1);
+  auto durable = DurableCatalog::Open(Dir());
+  ASSERT_OK(durable);
+  ASSERT_STATUS_OK((*durable)->Put("r", Rel(schema, {{1}})));
+  ASSERT_STATUS_OK((*durable)->Checkpoint());
+  // A prior chk-2 attempt that failed after its rename but before the
+  // CURRENT flip leaves a fully-renamed directory; the retry must reclaim
+  // the slot instead of wedging on a rename onto a non-empty target.
+  ASSERT_STATUS_OK(Io().Mkdirs(Dir() + "/chk-2"));
+  ASSERT_STATUS_OK(Io().WriteFile(Dir() + "/chk-2/MANIFEST", "#stale"));
+  ASSERT_STATUS_OK((*durable)->Checkpoint());
+  EXPECT_EQ((*durable)->checkpoint_id(), 2u);
+  auto reopened = DurableCatalog::Open(Dir());
+  ASSERT_OK(reopened);
+  EXPECT_EQ((*reopened)->checkpoint_id(), 2u);
+  EXPECT_TRUE((*reopened)->catalog().GetRelation("r").ok());
+}
+
+TEST_F(DurabilityDirFixture, NonCanonicalCurrentKeepsLiveCheckpoint) {
+  const rel::Schema schema = rel::MakeIntSchema(1);
+  {
+    auto durable = DurableCatalog::Open(Dir());
+    ASSERT_OK(durable);
+    ASSERT_STATUS_OK((*durable)->Put("r", Rel(schema, {{1}})));
+    ASSERT_STATUS_OK((*durable)->Checkpoint());
+  }
+  // Externally edited CURRENT with a parseable but non-canonical name: the
+  // literal token must protect the directory from garbage collection.
+  ASSERT_STATUS_OK(Io().Rename(Dir() + "/chk-1", Dir() + "/chk-001"));
+  ASSERT_STATUS_OK(Io().WriteFile(Dir() + "/CURRENT", "chk-001\n"));
+  auto reopened = DurableCatalog::Open(Dir());
+  ASSERT_OK(reopened);
+  EXPECT_TRUE(Io::Exists(Dir() + "/chk-001"))
+      << "GC must not delete the checkpoint CURRENT points at";
+  EXPECT_TRUE((*reopened)->catalog().GetRelation("r").ok());
+  // The next checkpoint re-canonicalizes, and the odd directory is collected
+  // on the following open.
+  ASSERT_STATUS_OK((*reopened)->Checkpoint());
+  auto again = DurableCatalog::Open(Dir());
+  ASSERT_OK(again);
+  EXPECT_FALSE(Io::Exists(Dir() + "/chk-001"));
+  EXPECT_TRUE((*again)->catalog().GetRelation("r").ok());
 }
 
 TEST_F(DurabilityDirFixture, TornWalTailIsTruncatedNotReplayed) {
