@@ -138,16 +138,16 @@ int main(int argc, char** argv) {
 
   Status status;
   if (demo) {
-    std::istringstream demo(kDemoScript);
-    status = interpreter.ExecuteScript(demo);
+    std::istringstream demo_in(kDemoScript);
+    status = interpreter.ExecuteScript(demo_in);
   } else {
     // Read from stdin; if it yields nothing, fall back to the demo.
     std::stringstream buffer;
     buffer << std::cin.rdbuf();
     if (buffer.str().empty()) {
       std::printf("(no input on stdin; running the built-in demo)\n");
-      std::istringstream demo(kDemoScript);
-      status = interpreter.ExecuteScript(demo);
+      std::istringstream demo_in(kDemoScript);
+      status = interpreter.ExecuteScript(demo_in);
     } else {
       status = interpreter.ExecuteScript(buffer);
     }

@@ -1,0 +1,124 @@
+// verify_plan: the S22 static-verification CI tool. For each command script
+// on the command line it
+//
+//   1. runs the script lint (verify/script_lint.h) — grammar shapes,
+//      transaction nesting, and the durable-sink-outside-commit-group rule —
+//      without a machine;
+//   2. unless --lint-only, executes the script on a fresh demo machine with
+//      the verify gate forced ON (even in Release builds), so every
+//      transaction passes the typing and §3.2/§8 schedule invariants before
+//      a device runs.
+//
+// Exits non-zero at the first script that fails either phase, printing the
+// verifier's diagnostic (pass, node, violated invariant). CI runs it over
+// examples/scripts/*.sdb.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "relational/builder.h"
+#include "system/command.h"
+#include "verify/script_lint.h"
+
+namespace {
+
+using namespace systolic;
+
+/// Same catalog as the query_shell demo: supplies(supplier, part),
+/// required(part), parts(part, weight) on the disk unit.
+machine::Machine MakeDemoMachine() {
+  machine::MachineConfig config;
+  config.num_memories = 16;
+  machine::Machine m(config);
+
+  auto ds = rel::Domain::Make("supplier", rel::ValueType::kString);
+  auto dp = rel::Domain::Make("part", rel::ValueType::kString);
+  auto dw = rel::Domain::Make("weight", rel::ValueType::kInt64);
+
+  rel::RelationBuilder supplies(rel::Schema({{"supplier", ds}, {"part", dp}}));
+  const char* rows[][2] = {{"acme", "bolt"}, {"acme", "nut"},
+                           {"brown", "bolt"}, {"cyan", "bolt"},
+                           {"cyan", "nut"}};
+  for (const auto& row : rows) {
+    SYSTOLIC_CHECK(supplies
+                       .AddRow({rel::Value::String(row[0]),
+                                rel::Value::String(row[1])})
+                       .ok());
+  }
+  m.disk().Put("supplies", supplies.Finish());
+
+  rel::RelationBuilder required(rel::Schema({{"part", dp}}));
+  for (const char* part : {"bolt", "nut"}) {
+    SYSTOLIC_CHECK(required.AddRow({rel::Value::String(part)}).ok());
+  }
+  m.disk().Put("required", required.Finish());
+
+  rel::RelationBuilder parts(rel::Schema({{"part", dp}, {"weight", dw}}));
+  SYSTOLIC_CHECK(
+      parts.AddRow({rel::Value::String("bolt"), rel::Value::Int64(12)}).ok());
+  SYSTOLIC_CHECK(
+      parts.AddRow({rel::Value::String("nut"), rel::Value::Int64(25)}).ok());
+  m.disk().Put("parts", parts.Finish());
+  return m;
+}
+
+int RunScript(const std::string& path, bool lint_only) {
+  std::ifstream in(path);
+  if (!in) {
+    std::printf("FAILED %s: cannot open\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const Result<verify::ScriptLintReport> lint =
+      verify::LintScript(buffer.str());
+  if (!lint.ok()) {
+    std::printf("FAILED %s: %s\n", path.c_str(),
+                lint.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s\n", path.c_str(), lint->ToString().c_str());
+  if (lint_only) return 0;
+
+  machine::Machine m = MakeDemoMachine();
+  m.set_verify_enabled(true);  // gate every Execute, Release builds included
+  std::ostringstream transcript;
+  machine::CommandInterpreter interpreter(&m, &transcript);
+  std::istringstream script(buffer.str());
+  const Status status = interpreter.ExecuteScript(script);
+  if (!status.ok()) {
+    std::printf("%s", transcript.str().c_str());
+    std::printf("FAILED %s: %s\n", path.c_str(), status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: executed under the verify gate\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool lint_only = false;
+  int failures = 0;
+  int scripts = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lint-only") == 0) {
+      lint_only = true;
+      continue;
+    }
+    ++scripts;
+    failures += RunScript(argv[i], lint_only);
+  }
+  if (scripts == 0) {
+    std::printf("usage: verify_plan [--lint-only] <script.sdb>...\n");
+    return 2;
+  }
+  std::printf("verify_plan: %d/%d scripts clean\n", scripts - failures,
+              scripts);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Project lint (DESIGN S22): repo-specific invariants no compiler flag
+# checks. Run from the repo root; exits non-zero listing every violation.
+#
+#   1. Raw durability syscalls (fsync / rename / unlink-for-swap) appear
+#      ONLY in src/durability/io.cc — everything else must go through the
+#      Io wrapper so the crash injector can cut the write path.
+#   2. Wall-clock and libc randomness (rand / srand / time(...) /
+#      std::random_device) appear ONLY in src/util/rng.* — everything else
+#      takes seeds explicitly, keeping tests and fuzzers deterministic.
+#   3. No stray debugging printf/cout in src/ libraries (the system layer
+#      writes through its injected ostream; examples and tests are exempt,
+#      as is util/logging.h — the SYSTOLIC_CHECK death path IS the stderr
+#      writer of last resort).
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+report() {
+  echo "project-lint: $1"
+  echo "$2" | sed 's/^/  /'
+  fail=1
+}
+
+# --- rule 1: raw durability syscalls stay inside the Io wrapper ------------
+hits=$(grep -rnE '::fsync\(|::rename\(|::fdatasync\(|std::rename\(' src \
+  --include='*.cc' --include='*.h' | grep -v '^src/durability/io\.cc:' || true)
+if [ -n "$hits" ]; then
+  report "raw fsync/rename outside src/durability/io.cc (use durability::Io)" "$hits"
+fi
+
+# --- rule 2: nondeterminism stays inside util/rng --------------------------
+hits=$(grep -rnE '\brand\(\)|\bsrand\(|std::time\(|\btime\(NULL\)|\btime\(nullptr\)|std::random_device' src \
+  --include='*.cc' --include='*.h' | grep -v '^src/util/rng\.' || true)
+if [ -n "$hits" ]; then
+  report "libc randomness / wall clock outside src/util/rng (pass seeds explicitly)" "$hits"
+fi
+
+# --- rule 3: no stray stdout debugging in the libraries --------------------
+hits=$(grep -rnE 'std::cout|std::cerr|\bprintf\(' src \
+  --include='*.cc' --include='*.h' | grep -v '^src/util/logging\.h:' || true)
+if [ -n "$hits" ]; then
+  report "direct stdout/stderr in src/ (write through the injected ostream)" "$hits"
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "project-lint: clean"
+fi
+exit "$fail"

@@ -1,0 +1,112 @@
+#ifndef SYSTOLIC_PLANNER_CERTIFICATES_H_
+#define SYSTOLIC_PLANNER_CERTIFICATES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arrays/selection_array.h"
+#include "relational/op_specs.h"
+#include "system/transaction.h"
+
+namespace systolic {
+namespace planner {
+
+/// One step of a duplicate-freedom proof: the planner's claim that a node's
+/// output carries no duplicate tuples, together with the rule that justifies
+/// it. Facts are listed premises-first, ending with the node the proof is
+/// about, so a checker can validate each rule against facts it has already
+/// accepted (src/verify re-derives every rule with its own table — the
+/// planner's AlwaysDuplicateFree/Annotate code is deliberately not reused
+/// there, so a bug in either side surfaces as a certificate mismatch).
+struct DupFreeFact {
+  enum class Reason {
+    /// Leaf buffer: the catalog proved the input duplicate-free (an exact
+    /// sorted-adjacent scan, see ProvablyDuplicateFree).
+    kCatalog,
+    /// The operator deduplicates by construction (§5 arrays: dedup, union,
+    /// projection; §7 division).
+    kOpGuarantee,
+    /// The operator keeps a subsequence of its (duplicate-free) left
+    /// operand: σ, ∩, −.
+    kPropagatesLeft,
+    /// Join of duplicate-free operands: distinct (i, j) pairs concatenate
+    /// to distinct tuples.
+    kPropagatesBoth,
+  };
+  std::string node;  ///< Buffer name the fact is about.
+  Reason reason = Reason::kCatalog;
+  machine::OpKind op = machine::OpKind::kSelect;  ///< For op-based reasons.
+  /// Names of the earlier facts this rule relies on (children of `node`).
+  std::vector<std::string> premises;
+};
+
+/// A machine-checkable justification for one fired rewrite. The planner
+/// emits one certificate per rewrite; the static verifier re-proves each one
+/// independently (column-map arithmetic, predicate composition, permutation
+/// checks, duplicate-freedom derivations), so a planner bug becomes a
+/// kVerifyFailed diagnostic instead of a wrong answer.
+struct RewriteCertificate {
+  enum class Kind {
+    kMergeSelections,
+    kPushSelection,
+    kPruneProjection,
+    kElideIdentityProjection,
+    kElideDedup,
+    kReorderChain,
+  };
+  Kind kind = Kind::kMergeSelections;
+  /// Buffer name of the node the rewrite produced / rewrote in place.
+  std::string target;
+
+  /// kMergeSelections: merged must equal inner ++ outer (inner conjuncts
+  /// first, preserving application order).
+  std::vector<arrays::SelectionPredicate> inner_predicates;
+  std::vector<arrays::SelectionPredicate> outer_predicates;
+  std::vector<arrays::SelectionPredicate> merged_predicates;
+
+  /// kPushSelection: the operator the σ was pushed through, and the column
+  /// remap applied to each conjunct. `side` is the operand index the
+  /// conjunct landed on (always 0 except for joins).
+  machine::OpKind via_op = machine::OpKind::kSelect;
+  struct ColumnRemap {
+    size_t above = 0;  ///< Predicate column in the σ above `via_op`.
+    size_t below = 0;  ///< Predicate column in the σ inserted underneath.
+    size_t side = 0;   ///< Operand the pushed conjunct filters.
+  };
+  std::vector<ColumnRemap> remaps;
+  /// The column map of the via operator: the projection's column list for
+  /// kProject, the division spec's derivation inputs for kDivide, operand
+  /// arities + join spec for kJoin. Empty / unused otherwise.
+  std::vector<size_t> via_columns;
+  rel::JoinSpec via_join;
+  rel::DivisionSpec via_division;
+  size_t arity_a = 0;
+  size_t arity_b = 0;
+
+  /// kPruneProjection: composed must satisfy
+  ///   composed[i] == inner_columns[outer_columns[i]] for all i.
+  std::vector<size_t> outer_columns;
+  std::vector<size_t> inner_columns;
+  std::vector<size_t> composed_columns;
+
+  /// kElideIdentityProjection: the projection's column list must be the
+  /// identity over `identity_arity` columns, and the child must be provably
+  /// duplicate-free. kElideDedup uses only the derivation.
+  size_t identity_arity = 0;
+  std::vector<DupFreeFact> dup_free_derivation;
+
+  /// kReorderChain: the (op, filter buffer) pairs before and after must be
+  /// equal as multisets, no filter may be a member of the chain itself, and
+  /// spine buffer names are listed so the checker can verify disjointness.
+  std::vector<std::pair<machine::OpKind, std::string>> chain_before;
+  std::vector<std::pair<machine::OpKind, std::string>> chain_after;
+  std::vector<std::string> chain_nodes;
+};
+
+const char* RewriteCertificateKindToString(RewriteCertificate::Kind kind);
+
+}  // namespace planner
+}  // namespace systolic
+
+#endif  // SYSTOLIC_PLANNER_CERTIFICATES_H_

@@ -37,6 +37,67 @@ bool AlwaysDuplicateFree(OpKind op) {
   return false;
 }
 
+const char* RewriteCertificateKindToString(RewriteCertificate::Kind kind) {
+  switch (kind) {
+    case RewriteCertificate::Kind::kMergeSelections:
+      return "merge-selections";
+    case RewriteCertificate::Kind::kPushSelection:
+      return "push-selection";
+    case RewriteCertificate::Kind::kPruneProjection:
+      return "prune-projection";
+    case RewriteCertificate::Kind::kElideIdentityProjection:
+      return "elide-identity-projection";
+    case RewriteCertificate::Kind::kElideDedup:
+      return "elide-dedup";
+    case RewriteCertificate::Kind::kReorderChain:
+      return "reorder-chain";
+  }
+  return "unknown";
+}
+
+std::vector<DupFreeFact> DupFreeDerivation(const LogicalPlan& plan,
+                                           size_t id) {
+  std::vector<DupFreeFact> facts;
+  std::set<std::string> proven;
+  // Structural recursion mirroring the Annotate rules; the verifier
+  // re-checks every emitted rule with its own table, so the mirror stays
+  // honest — a divergence between the two is a diagnostic, not a bug mask.
+  std::function<bool(size_t)> derive = [&](size_t nid) -> bool {
+    const Node& n = plan.node(nid);
+    if (proven.count(n.name) != 0) return true;
+    DupFreeFact fact;
+    fact.node = n.name;
+    if (n.is_input) {
+      if (!n.dup_free) return false;
+      fact.reason = DupFreeFact::Reason::kCatalog;
+    } else if (AlwaysDuplicateFree(n.op)) {
+      fact.reason = DupFreeFact::Reason::kOpGuarantee;
+      fact.op = n.op;
+    } else if (n.op == OpKind::kSelect || n.op == OpKind::kIntersect ||
+               n.op == OpKind::kDifference) {
+      if (!derive(n.children.at(0))) return false;
+      fact.reason = DupFreeFact::Reason::kPropagatesLeft;
+      fact.op = n.op;
+      fact.premises = {plan.node(n.children.at(0)).name};
+    } else if (n.op == OpKind::kJoin) {
+      if (!derive(n.children.at(0)) || !derive(n.children.at(1))) {
+        return false;
+      }
+      fact.reason = DupFreeFact::Reason::kPropagatesBoth;
+      fact.op = n.op;
+      fact.premises = {plan.node(n.children.at(0)).name,
+                       plan.node(n.children.at(1)).name};
+    } else {
+      return false;
+    }
+    proven.insert(fact.node);
+    facts.push_back(std::move(fact));
+    return true;
+  };
+  if (!derive(id)) return {};
+  return facts;
+}
+
 Result<LogicalPlan> LogicalPlan::FromTransaction(
     const Transaction& txn, const std::map<std::string, InputInfo>& inputs) {
   // Reuse the transaction's own validation (unknown operands, duplicate

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "planner/certificates.h"
 #include "relational/relation.h"
 #include "system/transaction.h"
 #include "util/result.h"
@@ -128,6 +129,13 @@ bool ProvablyDuplicateFree(const rel::Relation& r);
 /// (remove-duplicates, union, projection and division deduplicate by
 /// construction).
 bool AlwaysDuplicateFree(machine::OpKind op);
+
+/// Builds the duplicate-freedom proof for node `id`: a premises-first fact
+/// list ending with the node itself, suitable for independent re-checking by
+/// the static verifier. Returns an empty list when no proof exists under the
+/// derivation rules (catalog leaf facts, op guarantees, propagation) — in
+/// which case the node must be treated as possibly containing duplicates.
+std::vector<DupFreeFact> DupFreeDerivation(const LogicalPlan& plan, size_t id);
 
 }  // namespace planner
 }  // namespace systolic

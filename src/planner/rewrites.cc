@@ -72,7 +72,8 @@ void TakeOver(LogicalPlan* plan, size_t x, size_t s) {
   KillNode(plan, s);
 }
 
-size_t MergeSelections(LogicalPlan* plan) {
+size_t MergeSelections(LogicalPlan* plan,
+                       std::vector<RewriteCertificate>* certs) {
   size_t fired = 0;
   for (size_t s : plan->TopoOrder()) {
     if (plan->node(s).is_input || plan->node(s).op != OpKind::kSelect) {
@@ -91,6 +92,13 @@ size_t MergeSelections(LogicalPlan* plan) {
         plan->node(inner).predicates;
     merged.insert(merged.end(), outer.predicates.begin(),
                   outer.predicates.end());
+    RewriteCertificate cert;
+    cert.kind = RewriteCertificate::Kind::kMergeSelections;
+    cert.target = outer.name;
+    cert.inner_predicates = plan->node(inner).predicates;
+    cert.outer_predicates = outer.predicates;
+    cert.merged_predicates = merged;
+    certs->push_back(std::move(cert));
     outer.predicates = std::move(merged);
     outer.children.at(0) = plan->node(inner).children.at(0);
     KillNode(plan, inner);
@@ -99,7 +107,8 @@ size_t MergeSelections(LogicalPlan* plan) {
   return fired;
 }
 
-size_t PushSelections(LogicalPlan* plan) {
+size_t PushSelections(LogicalPlan* plan,
+                      std::vector<RewriteCertificate>* certs) {
   size_t fired = 0;
   // Snapshot the order: the pass appends nodes while iterating.
   const std::vector<size_t> order = plan->TopoOrder();
@@ -108,8 +117,16 @@ size_t PushSelections(LogicalPlan* plan) {
       continue;
     }
     if (plan->node(s).predicates.empty()) {
-      // Vacuous conjunction: σ_{}(A) = A.
-      if (ElideIdentity(plan, s)) ++fired;
+      // Vacuous conjunction: σ_{}(A) = A. The certificate's legality
+      // condition is exactly the empty conjunct list.
+      RewriteCertificate cert;
+      cert.kind = RewriteCertificate::Kind::kPushSelection;
+      cert.via_op = OpKind::kSelect;
+      cert.target = plan->node(s).name;
+      if (ElideIdentity(plan, s)) {
+        ++fired;
+        certs->push_back(std::move(cert));
+      }
       continue;
     }
     const size_t x = plan->node(s).children.at(0);
@@ -121,6 +138,16 @@ size_t PushSelections(LogicalPlan* plan) {
 
     const std::vector<arrays::SelectionPredicate> preds =
         plan->node(s).predicates;
+    RewriteCertificate cert;
+    cert.kind = RewriteCertificate::Kind::kPushSelection;
+    cert.target = plan->node(s).name;  // the via node takes this name over
+    cert.via_op = plan->node(x).op;
+    cert.outer_predicates = preds;
+    const auto identity_remaps = [&cert, &preds]() {
+      for (const arrays::SelectionPredicate& p : preds) {
+        cert.remaps.push_back({p.column, p.column, 0});
+      }
+    };
     switch (plan->node(x).op) {
       case OpKind::kSelect:
         // MergeSelections owns σ(σ(x)).
@@ -129,6 +156,8 @@ size_t PushSelections(LogicalPlan* plan) {
         // Predicates are value-based, so a tuple's occurrences all pass or
         // all fail: filtering first keeps exactly the surviving first
         // occurrences, in order.
+        identity_remaps();
+        certs->push_back(cert);
         InsertSelectBelow(plan, x, 0, preds);
         TakeOver(plan, x, s);
         ++fired;
@@ -137,6 +166,8 @@ size_t PushSelections(LogicalPlan* plan) {
       case OpKind::kDifference:
         // σ_p(A ∩ F) = σ_p(A) ∩ F (likewise −): the membership mask of a
         // tuple does not depend on which other A tuples survive p.
+        identity_remaps();
+        certs->push_back(cert);
         InsertSelectBelow(plan, x, 0, preds);
         TakeOver(plan, x, s);
         ++fired;
@@ -144,6 +175,9 @@ size_t PushSelections(LogicalPlan* plan) {
       case OpKind::kUnion:
         // σ_p(A ∪ B) = σ_p(A) ∪ σ_p(B): filtering commutes with the
         // concatenation and (value-based) with the first-occurrence dedup.
+        // Both arms receive the identical, unremapped conjunction.
+        identity_remaps();
+        certs->push_back(cert);
         InsertSelectBelow(plan, x, 0, preds);
         InsertSelectBelow(plan, x, 1, preds);
         TakeOver(plan, x, s);
@@ -153,9 +187,13 @@ size_t PushSelections(LogicalPlan* plan) {
         // Remap each conjunct through the projection's column map; the
         // projected value the predicate reads is the same either way.
         std::vector<arrays::SelectionPredicate> below = preds;
+        cert.via_columns = plan->node(x).columns;
         for (arrays::SelectionPredicate& p : below) {
+          const size_t above = p.column;
           p.column = plan->node(x).columns.at(p.column);
+          cert.remaps.push_back({above, p.column, 0});
         }
+        certs->push_back(cert);
         InsertSelectBelow(plan, x, 0, std::move(below));
         TakeOver(plan, x, s);
         ++fired;
@@ -171,9 +209,14 @@ size_t PushSelections(LogicalPlan* plan) {
         const std::vector<size_t> quotient = rel::DivisionQuotientColumns(
             a_child.schema, plan->node(x).division);
         std::vector<arrays::SelectionPredicate> below = preds;
+        cert.via_division = plan->node(x).division;
+        cert.arity_a = a_child.schema.num_columns();
         for (arrays::SelectionPredicate& p : below) {
+          const size_t above = p.column;
           p.column = quotient.at(p.column);
+          cert.remaps.push_back({above, p.column, 0});
         }
+        certs->push_back(cert);
         InsertSelectBelow(plan, x, 0, std::move(below));
         TakeOver(plan, x, s);
         ++fired;
@@ -202,15 +245,21 @@ size_t PushSelections(LogicalPlan* plan) {
         }
         std::vector<arrays::SelectionPredicate> a_preds;
         std::vector<arrays::SelectionPredicate> b_preds;
+        cert.via_join = join.join;
+        cert.arity_a = arity_a;
+        cert.arity_b = arity_b;
         for (const arrays::SelectionPredicate& p : preds) {
           if (p.column < arity_a) {
+            cert.remaps.push_back({p.column, p.column, 0});
             a_preds.push_back(p);
           } else {
             arrays::SelectionPredicate q = p;
             q.column = b_out_cols.at(p.column - arity_a);
+            cert.remaps.push_back({p.column, q.column, 1});
             b_preds.push_back(q);
           }
         }
+        certs->push_back(cert);
         if (!a_preds.empty()) {
           InsertSelectBelow(plan, x, 0, std::move(a_preds));
         }
@@ -226,7 +275,8 @@ size_t PushSelections(LogicalPlan* plan) {
   return fired;
 }
 
-size_t PruneProjections(LogicalPlan* plan) {
+size_t PruneProjections(LogicalPlan* plan,
+                        std::vector<RewriteCertificate>* certs) {
   size_t fired = 0;
   for (size_t p : plan->TopoOrder()) {
     if (plan->node(p).is_input || plan->node(p).op != OpKind::kProject) {
@@ -241,11 +291,18 @@ size_t PruneProjections(LogicalPlan* plan) {
       // values whether or not the inner dedup already dropped repeats —
       // dropping later copies of a value cannot change first occurrences.
       Node& outer = plan->node(p);
+      RewriteCertificate cert;
+      cert.kind = RewriteCertificate::Kind::kPruneProjection;
+      cert.target = outer.name;
+      cert.outer_columns = outer.columns;
+      cert.inner_columns = plan->node(q).columns;
       std::vector<size_t> composed;
       composed.reserve(outer.columns.size());
       for (size_t c : outer.columns) {
         composed.push_back(plan->node(q).columns.at(c));
       }
+      cert.composed_columns = composed;
+      certs->push_back(std::move(cert));
       outer.columns = std::move(composed);
       outer.children.at(0) = plan->node(q).children.at(0);
       KillNode(plan, q);
@@ -261,12 +318,24 @@ size_t PruneProjections(LogicalPlan* plan) {
     for (size_t i = 0; identity && i < cols.size(); ++i) {
       identity = cols[i] == i;
     }
-    if (identity && ElideIdentity(plan, p)) ++fired;
+    if (identity) {
+      RewriteCertificate cert;
+      cert.kind = RewriteCertificate::Kind::kElideIdentityProjection;
+      cert.target = plan->node(p).name;
+      cert.outer_columns = cols;
+      cert.identity_arity = arity;
+      cert.dup_free_derivation = DupFreeDerivation(*plan, q);
+      if (ElideIdentity(plan, p)) {
+        certs->push_back(std::move(cert));
+        ++fired;
+      }
+    }
   }
   return fired;
 }
 
-size_t ElideDedups(LogicalPlan* plan) {
+size_t ElideDedups(LogicalPlan* plan,
+                   std::vector<RewriteCertificate>* certs) {
   size_t fired = 0;
   for (size_t d : plan->TopoOrder()) {
     if (plan->node(d).is_input ||
@@ -275,7 +344,15 @@ size_t ElideDedups(LogicalPlan* plan) {
     }
     // Dedup of a provably duplicate-free input keeps everything, in order.
     if (!plan->node(plan->node(d).children.at(0)).dup_free) continue;
-    if (ElideIdentity(plan, d)) ++fired;
+    RewriteCertificate cert;
+    cert.kind = RewriteCertificate::Kind::kElideDedup;
+    cert.target = plan->node(d).name;
+    cert.dup_free_derivation =
+        DupFreeDerivation(*plan, plan->node(d).children.at(0));
+    if (ElideIdentity(plan, d)) {
+      certs->push_back(std::move(cert));
+      ++fired;
+    }
   }
   return fired;
 }
@@ -291,7 +368,8 @@ bool IsChainInterior(const LogicalPlan& plan, size_t id) {
          plan.node(consumers[0]).children.at(0) == id;
 }
 
-size_t ReorderMembershipChains(LogicalPlan* plan) {
+size_t ReorderMembershipChains(LogicalPlan* plan,
+                               std::vector<RewriteCertificate>* certs) {
   size_t fired = 0;
   for (size_t top : plan->TopoOrder()) {
     if (!IsMembershipFilter(plan->node(top))) continue;
@@ -348,6 +426,18 @@ size_t ReorderMembershipChains(LogicalPlan* plan) {
     }
     if (!changed) continue;
 
+    RewriteCertificate cert;
+    cert.kind = RewriteCertificate::Kind::kReorderChain;
+    cert.target = plan->node(chain.back()).name;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      cert.chain_before.push_back(
+          {filters[i].op, plan->node(filters[i].filter_node).name});
+      cert.chain_after.push_back(
+          {sorted[i].op, plan->node(sorted[i].filter_node).name});
+      cert.chain_nodes.push_back(plan->node(chain[i]).name);
+    }
+    certs->push_back(std::move(cert));
+
     for (size_t i = 0; i < chain.size(); ++i) {
       Node& n = plan->node(chain[i]);
       n.op = sorted[i].op;
@@ -392,22 +482,26 @@ Result<RewriteSummary> RunRewrites(LogicalPlan* plan,
   for (size_t round = 0; round < options.max_rounds; ++round) {
     const size_t before = summary.total();
     if (options.merge_selections) {
-      summary.selections_merged += MergeSelections(plan);
+      summary.selections_merged +=
+          MergeSelections(plan, &summary.certificates);
     }
     if (options.push_selections) {
-      summary.selections_pushed += PushSelections(plan);
+      summary.selections_pushed +=
+          PushSelections(plan, &summary.certificates);
     }
     SYSTOLIC_RETURN_NOT_OK(plan->Annotate());
     if (options.prune_projections) {
-      summary.projections_pruned += PruneProjections(plan);
+      summary.projections_pruned +=
+          PruneProjections(plan, &summary.certificates);
     }
     if (options.elide_dedups) {
-      summary.dedups_elided += ElideDedups(plan);
+      summary.dedups_elided += ElideDedups(plan, &summary.certificates);
     }
     SYSTOLIC_RETURN_NOT_OK(plan->Annotate());
     EstimateCardinalities(plan, options.selectivity);
     if (options.reorder_membership_chains) {
-      summary.chains_reordered += ReorderMembershipChains(plan);
+      summary.chains_reordered +=
+          ReorderMembershipChains(plan, &summary.certificates);
     }
     ++summary.rounds;
     if (summary.total() == before) break;

@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
+#include "planner/certificates.h"
 #include "planner/cost.h"
 #include "planner/plan.h"
 #include "util/result.h"
@@ -25,7 +27,9 @@ struct RewriteOptions {
   SelectivityDefaults selectivity;
 };
 
-/// How many times each pass fired, for EXPLAIN output and tests.
+/// How many times each pass fired, for EXPLAIN output and tests, plus one
+/// legality certificate per fired rewrite for the static verifier
+/// (src/verify) to re-prove.
 struct RewriteSummary {
   size_t selections_merged = 0;
   size_t selections_pushed = 0;
@@ -33,6 +37,7 @@ struct RewriteSummary {
   size_t dedups_elided = 0;
   size_t chains_reordered = 0;
   size_t rounds = 0;
+  std::vector<RewriteCertificate> certificates;
 
   size_t total() const {
     return selections_merged + selections_pushed + projections_pruned +

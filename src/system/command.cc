@@ -309,6 +309,19 @@ void CommandInterpreter::PrintDurabilityPolicy() {
           << durable->stats().recovered_records << " recovered\n";
 }
 
+Status CommandInterpreter::PrintVerify(
+    const planner::PlannedTransaction& planned) {
+  SYSTOLIC_ASSIGN_OR_RETURN(auto catalog, Catalog());
+  verify::DeviceTable devices;
+  devices.default_device = machine_->config().device;
+  devices.overrides = machine_->config().device_configs;
+  SYSTOLIC_ASSIGN_OR_RETURN(
+      const verify::VerifyReport report,
+      verify::VerifyPlannedTransaction(planned, catalog, devices));
+  (*out_) << "-- " << report.ToString() << "\n";
+  return Status::OK();
+}
+
 void CommandInterpreter::PrintHelp() {
   (*out_) << "-- commands:\n"
           << "--   LOAD <disk-name> | STORE <name> AS <disk-name> | "
@@ -319,6 +332,8 @@ void CommandInterpreter::PrintHelp() {
           << "--   SELECT <in> WHERE <col> <op> <value> [AND ...] -> <out>\n"
           << "--   JOIN|DIVIDE <a> <b> ON <colA> <op> <colB> -> <out>\n"
           << "--   BEGIN | COMMIT | ABORT | EXPLAIN [<command>]\n"
+          << "--   VERIFY [<command>]  (static verifier: typing, schedule "
+             "invariants, rewrite certificates)\n"
           << "--   OPEN <dir> | CHECKPOINT  (crash-safe durability)\n"
           << "--   SET PLANNER on|off | SET DURABILITY on|off | "
              "SET FAULTS seed=<n> ... | SET FAULTS off\n"
@@ -544,6 +559,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
       SYSTOLIC_ASSIGN_OR_RETURN(planner::PlannedTransaction planned,
                                 Plan(parsed.first));
       PrintPrefixed(out_, planned.ToString());
+      SYSTOLIC_RETURN_NOT_OK(PrintVerify(planned));
       PrintFaultPolicy();
       PrintDurabilityPolicy();
       return Status::OK();
@@ -567,9 +583,32 @@ Status CommandInterpreter::Execute(const std::string& line) {
     SYSTOLIC_ASSIGN_OR_RETURN(planner::PlannedTransaction planned,
                               Plan(pending_));
     PrintPrefixed(out_, planned.ToString());
+    SYSTOLIC_RETURN_NOT_OK(PrintVerify(planned));
     PrintFaultPolicy();
     PrintDurabilityPolicy();
     return Status::OK();
+  }
+  if (verb == "VERIFY") {
+    if (tokens.size() > 1) {
+      // VERIFY <relational command>: plan and statically verify, execute
+      // nothing.
+      const std::vector<std::string> rest(tokens.begin() + 1, tokens.end());
+      if (!IsRelationalVerb(rest[0])) {
+        return Status::InvalidArgument(
+            "VERIFY expects a relational command, got '" + rest[0] + "'");
+      }
+      SYSTOLIC_ASSIGN_OR_RETURN(auto parsed, ParseRelational(rest));
+      SYSTOLIC_ASSIGN_OR_RETURN(planner::PlannedTransaction planned,
+                                Plan(parsed.first));
+      return PrintVerify(planned);
+    }
+    if (!in_transaction_) {
+      return Status::InvalidArgument(
+          "VERIFY works inside a transaction (or as VERIFY <command>)");
+    }
+    SYSTOLIC_ASSIGN_OR_RETURN(planner::PlannedTransaction planned,
+                              Plan(pending_));
+    return PrintVerify(planned);
   }
   if (verb == "COMMIT") {
     if (!in_transaction_) {

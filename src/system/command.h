@@ -35,8 +35,16 @@ namespace machine {
 ///   STORE <name> AS <disk-name>
 ///   RELEASE <name>
 ///   OPEN <dir> | CHECKPOINT | SET DURABILITY on|off
+///   VERIFY [<relational command>]
 ///   HELP
 /// where <op> is one of = != < <= > >=.
+///
+/// Verification: VERIFY <command> (anywhere) or bare VERIFY (inside a
+/// transaction, over the pending steps) plans the command and runs the S22
+/// static verifier — typing, §3.2/§8 schedule invariants, and re-proof of
+/// the planner's rewrite certificates — printing a one-line report without
+/// executing anything. EXPLAIN prints the same "-- verify:" line. Failures
+/// name the rejecting pass, the offending node and the violated invariant.
 ///
 /// Durability: OPEN attaches a crash-safe catalog directory (DESIGN S21) —
 /// creating it, or recovering checkpoint + WAL tail after a crash. From
@@ -108,6 +116,10 @@ class CommandInterpreter {
   /// One "-- durability: ..." line describing the open session (printed by
   /// EXPLAIN); no-op without one.
   void PrintDurabilityPolicy();
+  /// Runs the S22 static verifier over a planned transaction (certificates
+  /// against the catalog, then typing + timing) and prints its one-line
+  /// report; rejects with kVerifyFailed naming pass, node and invariant.
+  Status PrintVerify(const planner::PlannedTransaction& planned);
   /// The HELP verb: one line per command family.
   void PrintHelp();
 

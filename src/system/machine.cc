@@ -165,7 +165,34 @@ Result<size_t> Machine::PersistBuffers(const std::vector<std::string>& names) {
   return records;
 }
 
+Result<verify::VerifyReport> Machine::VerifyTransaction(
+    const Transaction& transaction) const {
+  // The memory modules ARE the catalog: every operand is materialised, so
+  // the verifier gets exact cardinalities to instantiate the §3.2/§8
+  // invariants with.
+  std::map<std::string, verify::InputStats> inputs;
+  for (const auto& [name, module] : buffer_to_module_) {
+    SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation,
+                              memories_[module].Contents());
+    verify::InputStats stats;
+    stats.schema = relation->schema();
+    stats.num_tuples = relation->num_tuples();
+    stats.exact = true;
+    inputs.emplace(name, std::move(stats));
+  }
+  verify::DeviceTable devices;
+  devices.default_device = config_.device;
+  devices.overrides = config_.device_configs;
+  return verify::VerifyTransaction(transaction, inputs, devices);
+}
+
 Result<TransactionReport> Machine::Execute(const Transaction& transaction) {
+  if (verify_enabled_) {
+    SYSTOLIC_ASSIGN_OR_RETURN(const verify::VerifyReport gate_report,
+                              VerifyTransaction(transaction));
+    (void)gate_report;  // the shell's VERIFY verb prints it; the gate only
+                        // cares that every pass accepted
+  }
   std::vector<std::string> inputs;
   for (const auto& [name, module] : buffer_to_module_) {
     inputs.push_back(name);

@@ -13,6 +13,7 @@
 #include "system/memory.h"
 #include "system/transaction.h"
 #include "util/result.h"
+#include "verify/verifier.h"
 
 namespace systolic {
 namespace machine {
@@ -119,7 +120,25 @@ class Machine {
   /// each step on a device of the matching kind (concurrently within a
   /// level, up to the configured device counts), and leaves each step's
   /// result in a fresh memory module named by the step's output.
+  ///
+  /// When the verify gate is enabled (default in Debug builds), the static
+  /// verifier (DESIGN S22) types the transaction and re-derives its §3.2/§8
+  /// schedule invariants against the live buffer catalog first; a violation
+  /// rejects the whole transaction with kVerifyFailed — naming pass, node
+  /// and invariant — before any device runs.
   Result<TransactionReport> Execute(const Transaction& transaction);
+
+  /// Runs the S22 static verifier over `transaction` against the machine's
+  /// current buffers and device table without executing anything. This is
+  /// what the gate calls; the shell's VERIFY verb surfaces the report.
+  Result<verify::VerifyReport> VerifyTransaction(
+      const Transaction& transaction) const;
+
+  /// Gate switch: defaults on in Debug builds, off in Release (the gate
+  /// re-derives every schedule, and release callers opt in explicitly —
+  /// e.g. the verify_plan CI tool).
+  void set_verify_enabled(bool enabled) { verify_enabled_ = enabled; }
+  bool verify_enabled() const { return verify_enabled_; }
 
   /// Executes several transactions as one batch: their steps are pooled and
   /// scheduled together, so independent steps of different transactions run
@@ -179,6 +198,11 @@ class Machine {
   std::map<std::string, size_t> buffer_to_module_;
   std::unique_ptr<durability::DurableCatalog> durable_;
   bool durability_enabled_ = false;
+#ifdef NDEBUG
+  bool verify_enabled_ = false;
+#else
+  bool verify_enabled_ = true;
+#endif
 };
 
 }  // namespace machine

@@ -14,8 +14,10 @@ namespace systolic {
 ///
 /// Construction from a T or a Status is implicit so that functions can
 /// `return value;` or `return Status::InvalidArgument(...);` directly.
+///
+/// [[nodiscard]]: a dropped Result discards both the value and any error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)

@@ -32,6 +32,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "data-corruption";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kVerifyFailed:
+      return "verify-failed";
   }
   return "unknown";
 }

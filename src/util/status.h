@@ -22,6 +22,7 @@ enum class StatusCode {
   kCapacity = 9,      // a physical array is too small and tiling is disabled
   kDataCorruption = 10,  // a pass produced data a hardware check rejected
   kUnavailable = 11,     // no chip can run the work (dead / quarantined)
+  kVerifyFailed = 12,    // static verification rejected a plan or schedule
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -33,7 +34,10 @@ const char* StatusCodeToString(StatusCode code);
 /// A Status is cheap to pass by value: the OK state carries no allocation,
 /// and error states share an immutable heap representation. Public library
 /// entry points return Status (or Result<T>) instead of throwing.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status swallows an error; callers must
+/// check, propagate, or explicitly void-cast with a comment saying why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -81,6 +85,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status VerifyFailed(std::string msg) {
+    return Status(StatusCode::kVerifyFailed, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return rep_ == nullptr; }
@@ -105,6 +112,7 @@ class Status {
   bool IsCapacity() const { return code() == StatusCode::kCapacity; }
   bool IsDataCorruption() const { return code() == StatusCode::kDataCorruption; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsVerifyFailed() const { return code() == StatusCode::kVerifyFailed; }
 
  private:
   struct Rep {

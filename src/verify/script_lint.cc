@@ -1,0 +1,193 @@
+#include "verify/script_lint.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/strings.h"
+#include "verify/verifier.h"
+
+namespace systolic {
+namespace verify {
+namespace {
+
+Status Fail(size_t line, const std::string& what) {
+  return Status::VerifyFailed("line " + std::to_string(line) +
+                              ": [script-lint] " + what);
+}
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+bool IsRelationalVerb(const std::string& verb) {
+  return verb == "INTERSECT" || verb == "DIFFERENCE" || verb == "UNION" ||
+         verb == "DEDUP" || verb == "PROJECT" || verb == "SELECT" ||
+         verb == "JOIN" || verb == "DIVIDE";
+}
+
+bool IsKnownVerb(const std::string& verb) {
+  return IsRelationalVerb(verb) || verb == "LOAD" || verb == "STORE" ||
+         verb == "PRINT" || verb == "RELEASE" || verb == "BEGIN" ||
+         verb == "COMMIT" || verb == "ABORT" || verb == "EXPLAIN" ||
+         verb == "VERIFY" || verb == "OPEN" || verb == "CHECKPOINT" ||
+         verb == "SET" || verb == "HELP";
+}
+
+/// The "-> <out>" tail every relational command carries; empty when the
+/// arrow is missing (a malformed command the interpreter would also
+/// reject).
+std::string RelationalOutput(const std::vector<std::string>& tokens) {
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i] == "->") return tokens[i + 1];
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::string ScriptLintReport::ToString() const {
+  std::ostringstream out;
+  out << "script-lint: " << commands << " commands on " << lines
+      << " lines, " << transactions << " transaction"
+      << (transactions == 1 ? "" : "s") << " — clean";
+  return out.str();
+}
+
+Result<ScriptLintReport> LintScript(const std::string& script) {
+  ScriptLintReport report;
+  bool in_txn = false;
+  bool opened = false;
+  size_t txn_begin_line = 0;
+  // Outputs queued inside the open transaction: they materialise only at
+  // COMMIT, so no command may read or persist them before then.
+  std::set<std::string> pending_outputs;
+
+  std::istringstream in(script);
+  std::string raw;
+  size_t line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    ++report.lines;
+    const std::string stripped(Trim(raw.substr(0, raw.find('#'))));
+    if (stripped.empty()) continue;
+    const std::vector<std::string> tokens = Tokenize(stripped);
+    const std::string& verb = tokens[0];
+    ++report.commands;
+
+    if (!IsKnownVerb(verb)) {
+      return Fail(line, "unknown command '" + verb + "'");
+    }
+    if (verb == "BEGIN") {
+      if (in_txn) {
+        return Fail(line, "BEGIN inside the transaction opened on line " +
+                              std::to_string(txn_begin_line));
+      }
+      in_txn = true;
+      txn_begin_line = line;
+      pending_outputs.clear();
+      ++report.transactions;
+      continue;
+    }
+    if (verb == "COMMIT" || verb == "ABORT") {
+      if (!in_txn) {
+        return Fail(line, verb + " outside any transaction");
+      }
+      in_txn = false;
+      pending_outputs.clear();
+      continue;
+    }
+    if (verb == "EXPLAIN" || verb == "VERIFY") {
+      if (tokens.size() > 1) {
+        if (!IsRelationalVerb(tokens[1])) {
+          return Fail(line, verb + " expects a relational command, got '" +
+                                tokens[1] + "'");
+        }
+      } else if (!in_txn) {
+        return Fail(line, "bare " + verb + " works only inside a "
+                          "transaction");
+      }
+      continue;
+    }
+    if (verb == "CHECKPOINT") {
+      if (tokens.size() != 1) return Fail(line, "usage: CHECKPOINT");
+      if (!opened) {
+        return Fail(line, "CHECKPOINT with no durable directory open "
+                          "(no prior OPEN)");
+      }
+      continue;
+    }
+    if (verb == "OPEN") {
+      if (tokens.size() != 2) return Fail(line, "usage: OPEN <dir>");
+      opened = true;
+      continue;
+    }
+    if (verb == "SET") {
+      if (tokens.size() < 2 ||
+          (tokens[1] != "PLANNER" && tokens[1] != "DURABILITY" &&
+           tokens[1] != "FAULTS")) {
+        return Fail(line, "SET expects PLANNER, DURABILITY or FAULTS");
+      }
+      if (tokens[1] == "DURABILITY") {
+        if (tokens.size() != 3 || (tokens[2] != "on" && tokens[2] != "off")) {
+          return Fail(line, "usage: SET DURABILITY on|off");
+        }
+        if (!opened) {
+          return Fail(line, "SET DURABILITY with no durable directory open "
+                            "(no prior OPEN)");
+        }
+      } else if (tokens[1] == "PLANNER") {
+        if (tokens.size() != 3 || (tokens[2] != "on" && tokens[2] != "off")) {
+          return Fail(line, "usage: SET PLANNER on|off");
+        }
+      }
+      continue;
+    }
+    if (verb == "LOAD" || verb == "PRINT" || verb == "RELEASE") {
+      if (tokens.size() != 2) {
+        return Fail(line, "usage: " + verb + " <name>");
+      }
+      if (in_txn && pending_outputs.count(tokens[1]) != 0) {
+        return Fail(line, verb + " of '" + tokens[1] +
+                              "' before the transaction opened on line " +
+                              std::to_string(txn_begin_line) +
+                              " commits it (the buffer does not exist yet)");
+      }
+      continue;
+    }
+    if (verb == "STORE") {
+      if (tokens.size() != 4 || tokens[2] != "AS") {
+        return Fail(line, "usage: STORE <name> AS <disk-name>");
+      }
+      if (in_txn && pending_outputs.count(tokens[1]) != 0) {
+        // The canonical durable-sink-outside-group hazard: a sink persisted
+        // here would sit outside the atomic WAL group COMMIT writes.
+        return Fail(line, "STORE of pending output '" + tokens[1] +
+                              "' inside the transaction opened on line " +
+                              std::to_string(txn_begin_line) +
+                              " would persist a sink outside its atomic "
+                              "commit group");
+      }
+      continue;
+    }
+    // HELP is argument-free and stateless; relational verbs queue outputs.
+    if (IsRelationalVerb(verb) && in_txn) {
+      const std::string output = RelationalOutput(tokens);
+      if (!output.empty()) pending_outputs.insert(output);
+    }
+  }
+  if (in_txn) {
+    return Fail(line == 0 ? 1 : line,
+                "transaction opened on line " + std::to_string(txn_begin_line) +
+                    " never commits or aborts");
+  }
+  return report;
+}
+
+}  // namespace verify
+}  // namespace systolic

@@ -1,0 +1,38 @@
+#ifndef SYSTOLIC_VERIFY_SCRIPT_LINT_H_
+#define SYSTOLIC_VERIFY_SCRIPT_LINT_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace systolic {
+namespace verify {
+
+/// What the script lint walked, for the verify_plan tool's summary line.
+struct ScriptLintReport {
+  size_t lines = 0;
+  size_t commands = 0;
+  size_t transactions = 0;
+
+  std::string ToString() const;
+};
+
+/// Statically lints a command-language script (system/command.h grammar)
+/// without a machine: a line-by-line state machine tracking transaction
+/// nesting, the open durable session and pending step outputs. Rejects with
+/// kVerifyFailed ("line N: [script-lint] ...") on:
+///
+///   - unknown verbs or malformed argument shapes;
+///   - BEGIN inside a transaction, COMMIT/ABORT/bare EXPLAIN outside one,
+///     or a transaction left open at end of script;
+///   - CHECKPOINT / SET DURABILITY with no prior OPEN (the durable session
+///     they act on cannot exist);
+///   - STORE / PRINT / RELEASE of a pending step's output inside an open
+///     transaction — the buffer materialises only at COMMIT, and a durable
+///     STORE there would persist a sink outside its atomic WAL group.
+Result<ScriptLintReport> LintScript(const std::string& script);
+
+}  // namespace verify
+}  // namespace systolic
+
+#endif  // SYSTOLIC_VERIFY_SCRIPT_LINT_H_

@@ -1,0 +1,305 @@
+#include "verify/typing.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "relational/compare.h"
+#include "relational/domain.h"
+
+namespace systolic {
+namespace verify {
+namespace {
+
+using machine::OpKind;
+using machine::PlanStep;
+using rel::Schema;
+
+Status Fail(const std::string& node, const std::string& what) {
+  return VerifyError("typing", node, what);
+}
+
+/// Saturating a*b and a+b: cardinality bounds, not exact counts, so
+/// clamping at SIZE_MAX keeps the bound sound.
+size_t SatMul(size_t a, size_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > std::numeric_limits<size_t>::max() / b) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return a * b;
+}
+
+size_t SatAdd(size_t a, size_t b) {
+  if (a > std::numeric_limits<size_t>::max() - b) {
+    return std::numeric_limits<size_t>::max();
+  }
+  return a + b;
+}
+
+/// §2.4 union compatibility, re-stated from the paper: equal column counts
+/// and each column pair drawn from the SAME underlying domain (identity of
+/// the Domain object, not merely the same value type).
+Status CheckCompatible(const std::string& node, const Schema& a,
+                       const Schema& b) {
+  if (a.num_columns() != b.num_columns()) {
+    return Fail(node, "operands are not union-compatible: " +
+                          std::to_string(a.num_columns()) + " vs " +
+                          std::to_string(b.num_columns()) + " columns (§2.4)");
+  }
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    if (a.column(c).domain.get() != b.column(c).domain.get()) {
+      return Fail(node, "column " + std::to_string(c) +
+                            " pairs domains '" + a.column(c).domain->name() +
+                            "' and '" + b.column(c).domain->name() +
+                            "', which are distinct (§2.4)");
+    }
+  }
+  return Status::OK();
+}
+
+/// Types one step whose operands are already in `env`, producing the
+/// output's catalog entry. Each rule mirrors a paper judgment; row counts
+/// are worst-case bounds (`exact` is never set on derived buffers).
+Result<InputStats> TypeStep(const PlanStep& step, const InputStats& left,
+                            const InputStats* right) {
+  const std::string& node = step.output;
+  InputStats out;
+  out.exact = false;
+  switch (step.op) {
+    case OpKind::kIntersect:
+    case OpKind::kDifference: {
+      SYSTOLIC_RETURN_NOT_OK(CheckCompatible(node, left.schema,
+                                             right->schema));
+      out.schema = left.schema;
+      out.num_tuples = left.num_tuples;  // a subsequence of A
+      return out;
+    }
+    case OpKind::kUnion: {
+      SYSTOLIC_RETURN_NOT_OK(CheckCompatible(node, left.schema,
+                                             right->schema));
+      out.schema = left.schema;
+      out.num_tuples = SatAdd(left.num_tuples, right->num_tuples);
+      return out;
+    }
+    case OpKind::kRemoveDuplicates: {
+      if (left.schema.num_columns() == 0) {
+        return Fail(node, "remove-duplicates needs at least one column");
+      }
+      out.schema = left.schema;
+      out.num_tuples = left.num_tuples;
+      return out;
+    }
+    case OpKind::kProject: {
+      if (step.columns.empty()) {
+        return Fail(node, "projection keeps no columns");
+      }
+      std::vector<rel::Column> kept;
+      kept.reserve(step.columns.size());
+      for (size_t c : step.columns) {
+        if (c >= left.schema.num_columns()) {
+          return Fail(node, "projection column " + std::to_string(c) +
+                                " exceeds operand arity " +
+                                std::to_string(left.schema.num_columns()));
+        }
+        kept.push_back(left.schema.column(c));
+      }
+      out.schema = Schema(std::move(kept));
+      out.num_tuples = left.num_tuples;
+      return out;
+    }
+    case OpKind::kSelect: {
+      for (const arrays::SelectionPredicate& p : step.predicates) {
+        if (p.column >= left.schema.num_columns()) {
+          return Fail(node, "selection predicate column " +
+                                std::to_string(p.column) +
+                                " exceeds operand arity " +
+                                std::to_string(left.schema.num_columns()));
+        }
+        if (!rel::IsEqualityOp(p.op) &&
+            !left.schema.column(p.column).domain->ordered()) {
+          return Fail(node, std::string("order comparison '") +
+                                rel::ComparisonOpToString(p.op) +
+                                "' on unordered domain '" +
+                                left.schema.column(p.column).domain->name() +
+                                "'");
+        }
+      }
+      out.schema = left.schema;
+      out.num_tuples = left.num_tuples;
+      return out;
+    }
+    case OpKind::kJoin: {
+      const rel::JoinSpec& spec = step.join;
+      if (spec.left_columns.empty()) {
+        return Fail(node, "join compares no column pairs");
+      }
+      if (spec.left_columns.size() != spec.right_columns.size()) {
+        return Fail(node, "join column lists differ in length: " +
+                              std::to_string(spec.left_columns.size()) +
+                              " vs " +
+                              std::to_string(spec.right_columns.size()));
+      }
+      for (size_t k = 0; k < spec.left_columns.size(); ++k) {
+        const size_t ca = spec.left_columns[k];
+        const size_t cb = spec.right_columns[k];
+        if (ca >= left.schema.num_columns()) {
+          return Fail(node, "left join column " + std::to_string(ca) +
+                                " exceeds arity " +
+                                std::to_string(left.schema.num_columns()));
+        }
+        if (cb >= right->schema.num_columns()) {
+          return Fail(node, "right join column " + std::to_string(cb) +
+                                " exceeds arity " +
+                                std::to_string(right->schema.num_columns()));
+        }
+        const auto& da = left.schema.column(ca).domain;
+        const auto& db = right->schema.column(cb).domain;
+        if (da.get() != db.get()) {
+          return Fail(node, "join pairs columns from distinct domains ('" +
+                                da->name() + "' vs '" + db->name() + "')");
+        }
+        if (!rel::IsEqualityOp(spec.op) && !da->ordered()) {
+          return Fail(node, std::string("θ-join comparison '") +
+                                rel::ComparisonOpToString(spec.op) +
+                                "' on unordered domain '" + da->name() + "'");
+        }
+      }
+      // §6.1's |_{CA,CB}: for the equi-join, B's join columns are redundant
+      // copies and are dropped; θ-joins keep both sides whole.
+      std::vector<rel::Column> columns = left.schema.columns();
+      const bool drop = spec.op == rel::ComparisonOp::kEq;
+      for (size_t cb = 0; cb < right->schema.num_columns(); ++cb) {
+        const bool is_join_column =
+            std::find(spec.right_columns.begin(), spec.right_columns.end(),
+                      cb) != spec.right_columns.end();
+        if (drop && is_join_column) continue;
+        columns.push_back(right->schema.column(cb));
+      }
+      out.schema = Schema(std::move(columns));
+      out.num_tuples = SatMul(left.num_tuples, right->num_tuples);
+      return out;
+    }
+    case OpKind::kDivide: {
+      const rel::DivisionSpec& spec = step.division;
+      if (spec.a_columns.empty()) {
+        return Fail(node, "division compares no column pairs");
+      }
+      if (spec.a_columns.size() != spec.b_columns.size()) {
+        return Fail(node, "division column lists differ in length: " +
+                              std::to_string(spec.a_columns.size()) + " vs " +
+                              std::to_string(spec.b_columns.size()));
+      }
+      std::set<size_t> a_seen;
+      std::set<size_t> b_seen;
+      for (size_t k = 0; k < spec.a_columns.size(); ++k) {
+        const size_t ca = spec.a_columns[k];
+        const size_t cb = spec.b_columns[k];
+        if (ca >= left.schema.num_columns()) {
+          return Fail(node, "dividend column " + std::to_string(ca) +
+                                " exceeds arity " +
+                                std::to_string(left.schema.num_columns()));
+        }
+        if (cb >= right->schema.num_columns()) {
+          return Fail(node, "divisor column " + std::to_string(cb) +
+                                " exceeds arity " +
+                                std::to_string(right->schema.num_columns()));
+        }
+        if (!a_seen.insert(ca).second || !b_seen.insert(cb).second) {
+          return Fail(node, "division spec repeats a column index");
+        }
+        const auto& da = left.schema.column(ca).domain;
+        const auto& db = right->schema.column(cb).domain;
+        if (da.get() != db.get()) {
+          return Fail(node,
+                      "division pairs columns from distinct domains ('" +
+                          da->name() + "' vs '" + db->name() + "')");
+        }
+      }
+      // §7: the divisor's compared columns must be a proper subset of the
+      // dividend's — at least one quotient column must remain.
+      if (spec.a_columns.size() >= left.schema.num_columns()) {
+        return Fail(node, "division leaves no quotient columns (§7: the "
+                          "divisor schema must be a proper subset of the "
+                          "dividend's)");
+      }
+      std::vector<rel::Column> quotient;
+      for (size_t c = 0; c < left.schema.num_columns(); ++c) {
+        if (a_seen.count(c) == 0) quotient.push_back(left.schema.column(c));
+      }
+      out.schema = Schema(std::move(quotient));
+      out.num_tuples = left.num_tuples;
+      return out;
+    }
+  }
+  return Fail(node, "unknown operator kind");
+}
+
+}  // namespace
+
+Result<std::map<std::string, InputStats>> VerifyTyping(
+    const machine::Transaction& txn,
+    const std::map<std::string, InputStats>& inputs, VerifyReport* report) {
+  std::map<std::string, InputStats> env = inputs;
+
+  // Output names must be fresh: unique across the transaction and not
+  // shadowing an input buffer.
+  std::set<std::string> outputs;
+  for (const PlanStep& step : txn.steps()) {
+    if (step.output.empty()) {
+      return Fail("(unnamed)", "step has no output buffer name");
+    }
+    if (!outputs.insert(step.output).second) {
+      return Fail(step.output, "duplicate output buffer name");
+    }
+    if (inputs.count(step.output) != 0) {
+      return Fail(step.output, "output shadows an input buffer");
+    }
+  }
+
+  // Worklist typing: a step types once its operands are in the environment.
+  // If a full sweep types nothing while steps remain, the remainder either
+  // reads an unknown buffer or participates in a dependency cycle.
+  std::vector<bool> typed(txn.steps().size(), false);
+  size_t remaining = txn.steps().size();
+  while (remaining > 0) {
+    size_t progressed = 0;
+    for (size_t i = 0; i < txn.steps().size(); ++i) {
+      if (typed[i]) continue;
+      const PlanStep& step = txn.steps()[i];
+      const auto left_it = env.find(step.left);
+      if (left_it == env.end()) continue;
+      const bool binary = machine::IsBinaryOp(step.op);
+      const auto right_it = binary ? env.find(step.right) : env.end();
+      if (binary && right_it == env.end()) continue;
+      SYSTOLIC_ASSIGN_OR_RETURN(
+          InputStats out,
+          TypeStep(step, left_it->second,
+                   binary ? &right_it->second : nullptr));
+      env.emplace(step.output, std::move(out));
+      typed[i] = true;
+      --remaining;
+      ++progressed;
+      if (report != nullptr) ++report->steps_typed;
+    }
+    if (progressed == 0) {
+      for (size_t i = 0; i < txn.steps().size(); ++i) {
+        if (typed[i]) continue;
+        const PlanStep& step = txn.steps()[i];
+        const char* which = env.count(step.left) == 0 ? "left" : "right";
+        const std::string operand =
+            env.count(step.left) == 0 ? step.left : step.right;
+        if (outputs.count(operand) != 0) {
+          return Fail(step.output,
+                      "dependency cycle through operand '" + operand + "'");
+        }
+        return Fail(step.output, std::string(which) + " operand '" + operand +
+                                     "' names no input or step output");
+      }
+    }
+  }
+  return env;
+}
+
+}  // namespace verify
+}  // namespace systolic

@@ -1,0 +1,36 @@
+#ifndef SYSTOLIC_VERIFY_TYPING_H_
+#define SYSTOLIC_VERIFY_TYPING_H_
+
+#include <map>
+#include <string>
+
+#include "system/transaction.h"
+#include "verify/verifier.h"
+
+namespace systolic {
+namespace verify {
+
+/// The typing pass: re-derives a schema judgment for every step of `txn`
+/// from the paper's §2 rules — union compatibility is "same column count,
+/// corresponding columns drawn from the same underlying domain" (§2.4),
+/// projection/selection columns must exist, order comparisons need ordered
+/// domains, the divisor's compared columns must pair with dividend columns
+/// sharing a domain and leave at least one quotient column (§7). The rules
+/// here are written against rel::Schema accessors only; the engine's and
+/// rel::Validate*'s own checks are deliberately not called, so this pass is
+/// an independent second opinion.
+///
+/// On success returns the environment: catalog entries for every buffer,
+/// inputs and step outputs alike, with derived outputs carrying worst-case
+/// cardinality bounds (|σ(A)| <= |A|, |A ⋈ B| <= |A||B|, ...) for the
+/// timing pass to instantiate. Rejects with kVerifyFailed ("[typing] node
+/// '<output>': ...") on the first ill-typed step, unknown operand, duplicate
+/// output name, or dependency cycle.
+Result<std::map<std::string, InputStats>> VerifyTyping(
+    const machine::Transaction& txn,
+    const std::map<std::string, InputStats>& inputs, VerifyReport* report);
+
+}  // namespace verify
+}  // namespace systolic
+
+#endif  // SYSTOLIC_VERIFY_TYPING_H_

@@ -1,0 +1,430 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "relational/op_specs.h"
+#include "verify/timing.h"
+#include "verify/typing.h"
+
+namespace systolic {
+namespace verify {
+namespace {
+
+using machine::OpKind;
+using planner::DupFreeFact;
+using planner::RewriteCertificate;
+
+Status CertFail(const RewriteCertificate& cert, const std::string& what) {
+  return VerifyError(std::string("certificates/") +
+                         planner::RewriteCertificateKindToString(cert.kind),
+                     cert.target, what);
+}
+
+bool SamePredicate(const arrays::SelectionPredicate& a,
+                   const arrays::SelectionPredicate& b) {
+  return a.column == b.column && a.op == b.op && a.constant == b.constant;
+}
+
+/// The verifier's own table of which operators deduplicate by construction
+/// (§5 dedup/union/projection, §7 division) and which propagate a left
+/// operand's duplicate-freedom (subsequence operators) — deliberately not
+/// planner::AlwaysDuplicateFree, so a drifted table on either side trips
+/// the proof check.
+bool OpDeduplicates(OpKind op) {
+  return op == OpKind::kRemoveDuplicates || op == OpKind::kUnion ||
+         op == OpKind::kProject || op == OpKind::kDivide;
+}
+
+bool OpKeepsLeftSubsequence(OpKind op) {
+  return op == OpKind::kSelect || op == OpKind::kIntersect ||
+         op == OpKind::kDifference;
+}
+
+/// Re-checks a duplicate-freedom derivation: premises-first fact order,
+/// every rule application justified by the verifier's own rule table, and
+/// leaf facts cross-checked against the catalog's exact scans.
+Status CheckDerivation(const RewriteCertificate& cert,
+                       const std::vector<DupFreeFact>& facts,
+                       const std::map<std::string, planner::InputInfo>& catalog,
+                       VerifyReport* report) {
+  if (facts.empty()) {
+    return CertFail(cert, "duplicate-freedom claim carries no derivation");
+  }
+  std::set<std::string> proven;
+  for (const DupFreeFact& fact : facts) {
+    switch (fact.reason) {
+      case DupFreeFact::Reason::kCatalog: {
+        const auto it = catalog.find(fact.node);
+        if (it == catalog.end()) {
+          return CertFail(cert, "catalog fact about unknown input '" +
+                                    fact.node + "'");
+        }
+        if (!it->second.duplicate_free) {
+          return CertFail(cert, "catalog never proved input '" + fact.node +
+                                    "' duplicate-free");
+        }
+        break;
+      }
+      case DupFreeFact::Reason::kOpGuarantee:
+        if (!OpDeduplicates(fact.op)) {
+          return CertFail(cert,
+                          std::string(machine::OpKindToString(fact.op)) +
+                              " does not deduplicate by construction, yet "
+                              "the proof for '" +
+                              fact.node + "' claims it does");
+        }
+        break;
+      case DupFreeFact::Reason::kPropagatesLeft:
+        if (!OpKeepsLeftSubsequence(fact.op)) {
+          return CertFail(cert,
+                          std::string(machine::OpKindToString(fact.op)) +
+                              " does not keep a subsequence of its left "
+                              "operand ('" +
+                              fact.node + "')");
+        }
+        if (fact.premises.size() != 1 ||
+            proven.count(fact.premises[0]) == 0) {
+          return CertFail(cert, "fact about '" + fact.node +
+                                    "' cites an unproven premise");
+        }
+        break;
+      case DupFreeFact::Reason::kPropagatesBoth:
+        if (fact.op != OpKind::kJoin) {
+          return CertFail(cert, "two-operand propagation applies only to "
+                                "joins, not " +
+                                    std::string(
+                                        machine::OpKindToString(fact.op)));
+        }
+        if (fact.premises.size() != 2 ||
+            proven.count(fact.premises[0]) == 0 ||
+            proven.count(fact.premises[1]) == 0) {
+          return CertFail(cert, "join fact about '" + fact.node +
+                                    "' cites unproven premises");
+        }
+        break;
+    }
+    proven.insert(fact.node);
+    if (report != nullptr) ++report->dup_free_facts_checked;
+  }
+  return Status::OK();
+}
+
+/// Re-proves one kPushSelection certificate: every recorded column remap
+/// must be the arithmetic the via operator's column map dictates.
+Status CheckPushSelection(const RewriteCertificate& cert) {
+  if (cert.remaps.size() != cert.outer_predicates.size() &&
+      cert.via_op != OpKind::kSelect) {
+    return CertFail(cert, "remap count " + std::to_string(cert.remaps.size()) +
+                              " does not match the " +
+                              std::to_string(cert.outer_predicates.size()) +
+                              " pushed conjuncts");
+  }
+  switch (cert.via_op) {
+    case OpKind::kSelect:
+      // The vacuous push: a σ with no predicates elides; nothing to remap.
+      if (!cert.outer_predicates.empty() || !cert.remaps.empty()) {
+        return CertFail(cert, "a vacuous selection elision must carry no "
+                              "predicates");
+      }
+      return Status::OK();
+    case OpKind::kRemoveDuplicates:
+    case OpKind::kIntersect:
+    case OpKind::kDifference:
+    case OpKind::kUnion:
+      // Value-based masks: the conjunct reads the same column underneath.
+      for (const RewriteCertificate::ColumnRemap& remap : cert.remaps) {
+        if (remap.below != remap.above || remap.side != 0) {
+          return CertFail(cert,
+                          "pushing through " +
+                              std::string(
+                                  machine::OpKindToString(cert.via_op)) +
+                              " must keep column " +
+                              std::to_string(remap.above) + ", got " +
+                              std::to_string(remap.below) + " on side " +
+                              std::to_string(remap.side));
+        }
+      }
+      return Status::OK();
+    case OpKind::kProject:
+      for (const RewriteCertificate::ColumnRemap& remap : cert.remaps) {
+        if (remap.above >= cert.via_columns.size()) {
+          return CertFail(cert, "remapped column " +
+                                    std::to_string(remap.above) +
+                                    " exceeds the projection's " +
+                                    std::to_string(cert.via_columns.size()) +
+                                    " columns");
+        }
+        if (remap.below != cert.via_columns[remap.above] || remap.side != 0) {
+          return CertFail(cert, "projection maps column " +
+                                    std::to_string(remap.above) + " to " +
+                                    std::to_string(
+                                        cert.via_columns[remap.above]) +
+                                    ", certificate claims " +
+                                    std::to_string(remap.below));
+        }
+      }
+      return Status::OK();
+    case OpKind::kDivide: {
+      // Quotient columns: the dividend's non-divisor columns in order —
+      // recomputed here from the recorded spec, not taken from the planner.
+      std::vector<size_t> quotient;
+      for (size_t c = 0; c < cert.arity_a; ++c) {
+        if (std::find(cert.via_division.a_columns.begin(),
+                      cert.via_division.a_columns.end(),
+                      c) == cert.via_division.a_columns.end()) {
+          quotient.push_back(c);
+        }
+      }
+      for (const RewriteCertificate::ColumnRemap& remap : cert.remaps) {
+        if (remap.above >= quotient.size()) {
+          return CertFail(cert, "remapped column " +
+                                    std::to_string(remap.above) +
+                                    " exceeds the quotient's " +
+                                    std::to_string(quotient.size()) +
+                                    " columns");
+        }
+        if (remap.below != quotient[remap.above] || remap.side != 0) {
+          return CertFail(cert, "division quotient maps column " +
+                                    std::to_string(remap.above) + " to " +
+                                    std::to_string(quotient[remap.above]) +
+                                    ", certificate claims " +
+                                    std::to_string(remap.below));
+        }
+      }
+      return Status::OK();
+    }
+    case OpKind::kJoin: {
+      // §6.1 output layout: A's columns first, then B's columns minus the
+      // equi-join's dropped right join columns.
+      std::vector<size_t> b_out_cols;
+      const bool drop = cert.via_join.op == rel::ComparisonOp::kEq;
+      for (size_t cb = 0; cb < cert.arity_b; ++cb) {
+        const bool is_join_col =
+            std::find(cert.via_join.right_columns.begin(),
+                      cert.via_join.right_columns.end(),
+                      cb) != cert.via_join.right_columns.end();
+        if (drop && is_join_col) continue;
+        b_out_cols.push_back(cb);
+      }
+      for (const RewriteCertificate::ColumnRemap& remap : cert.remaps) {
+        if (remap.above < cert.arity_a) {
+          if (remap.side != 0 || remap.below != remap.above) {
+            return CertFail(cert, "join column " +
+                                      std::to_string(remap.above) +
+                                      " lies in A and must push unchanged "
+                                      "to side 0");
+          }
+        } else {
+          const size_t b_index = remap.above - cert.arity_a;
+          if (b_index >= b_out_cols.size()) {
+            return CertFail(cert, "join column " +
+                                      std::to_string(remap.above) +
+                                      " exceeds the join output's arity");
+          }
+          if (remap.side != 1 || remap.below != b_out_cols[b_index]) {
+            return CertFail(cert, "join output column " +
+                                      std::to_string(remap.above) +
+                                      " originates from B column " +
+                                      std::to_string(b_out_cols[b_index]) +
+                                      ", certificate claims " +
+                                      std::to_string(remap.below) +
+                                      " on side " +
+                                      std::to_string(remap.side));
+          }
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return CertFail(cert, "selection pushed through an unknown operator");
+}
+
+Status CheckCertificate(const RewriteCertificate& cert,
+                        const std::map<std::string, planner::InputInfo>& catalog,
+                        VerifyReport* report) {
+  switch (cert.kind) {
+    case RewriteCertificate::Kind::kMergeSelections: {
+      // Conjunctions compose in application order: inner conjuncts first.
+      if (cert.merged_predicates.size() !=
+          cert.inner_predicates.size() + cert.outer_predicates.size()) {
+        return CertFail(cert, "merged conjunction has " +
+                                  std::to_string(
+                                      cert.merged_predicates.size()) +
+                                  " predicates, expected " +
+                                  std::to_string(cert.inner_predicates.size() +
+                                                 cert.outer_predicates.size()));
+      }
+      for (size_t k = 0; k < cert.merged_predicates.size(); ++k) {
+        const arrays::SelectionPredicate& want =
+            k < cert.inner_predicates.size()
+                ? cert.inner_predicates[k]
+                : cert.outer_predicates[k - cert.inner_predicates.size()];
+        if (!SamePredicate(cert.merged_predicates[k], want)) {
+          return CertFail(cert, "merged predicate " + std::to_string(k) +
+                                    " is not the inner-then-outer "
+                                    "composition");
+        }
+      }
+      return Status::OK();
+    }
+    case RewriteCertificate::Kind::kPushSelection:
+      return CheckPushSelection(cert);
+    case RewriteCertificate::Kind::kPruneProjection: {
+      if (cert.composed_columns.size() != cert.outer_columns.size()) {
+        return CertFail(cert, "composed projection keeps " +
+                                  std::to_string(
+                                      cert.composed_columns.size()) +
+                                  " columns, the outer kept " +
+                                  std::to_string(cert.outer_columns.size()));
+      }
+      for (size_t k = 0; k < cert.outer_columns.size(); ++k) {
+        if (cert.outer_columns[k] >= cert.inner_columns.size()) {
+          return CertFail(cert, "outer projection column " +
+                                    std::to_string(cert.outer_columns[k]) +
+                                    " exceeds the inner's " +
+                                    std::to_string(
+                                        cert.inner_columns.size()) +
+                                    " columns");
+        }
+        if (cert.composed_columns[k] !=
+            cert.inner_columns[cert.outer_columns[k]]) {
+          return CertFail(cert, "composed column " + std::to_string(k) +
+                                    " must be inner[outer[" +
+                                    std::to_string(k) + "]] = " +
+                                    std::to_string(
+                                        cert.inner_columns
+                                            [cert.outer_columns[k]]) +
+                                    ", got " +
+                                    std::to_string(cert.composed_columns[k]));
+        }
+      }
+      return Status::OK();
+    }
+    case RewriteCertificate::Kind::kElideIdentityProjection: {
+      if (cert.outer_columns.size() != cert.identity_arity) {
+        return CertFail(cert, "projection keeps " +
+                                  std::to_string(cert.outer_columns.size()) +
+                                  " of " +
+                                  std::to_string(cert.identity_arity) +
+                                  " columns — not the identity");
+      }
+      for (size_t k = 0; k < cert.outer_columns.size(); ++k) {
+        if (cert.outer_columns[k] != k) {
+          return CertFail(cert, "projection permutes column " +
+                                    std::to_string(k) + " — not the "
+                                    "identity");
+        }
+      }
+      return CheckDerivation(cert, cert.dup_free_derivation, catalog, report);
+    }
+    case RewriteCertificate::Kind::kElideDedup:
+      return CheckDerivation(cert, cert.dup_free_derivation, catalog, report);
+    case RewriteCertificate::Kind::kReorderChain: {
+      if (cert.chain_before.size() != cert.chain_after.size() ||
+          cert.chain_before.size() != cert.chain_nodes.size() ||
+          cert.chain_before.size() < 2) {
+        return CertFail(cert, "reordered chain records mismatched or "
+                              "trivial stage lists");
+      }
+      // The permuted (op, filter) pairs must be the same multiset: each
+      // per-tuple mask applies exactly once, in some order.
+      auto before = cert.chain_before;
+      auto after = cert.chain_after;
+      std::sort(before.begin(), before.end());
+      std::sort(after.begin(), after.end());
+      if (before != after) {
+        return CertFail(cert, "reordered chain drops or duplicates a "
+                              "membership filter");
+      }
+      // No filter may be a spine node of the chain itself: permuting such a
+      // chain could schedule a filter after its consumer.
+      const std::set<std::string> spine(cert.chain_nodes.begin(),
+                                        cert.chain_nodes.end());
+      for (const auto& [op, filter] : cert.chain_after) {
+        if (op != OpKind::kIntersect && op != OpKind::kDifference) {
+          return CertFail(cert, "chain stage is not a membership filter");
+        }
+        if (spine.count(filter) != 0) {
+          return CertFail(cert, "filter '" + filter +
+                                    "' is itself a chain node; the reorder "
+                                    "is not legal");
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return CertFail(cert, "unknown certificate kind");
+}
+
+}  // namespace
+
+Status VerifyError(const std::string& pass, const std::string& node,
+                   const std::string& what) {
+  return Status::VerifyFailed("[" + pass + "] node '" + node + "': " + what);
+}
+
+std::string VerifyReport::ToString() const {
+  std::ostringstream out;
+  out << "verify: " << steps_typed << " steps typed, " << timing_steps
+      << " schedules checked (" << tiles_checked << " tiles, " << exit_samples
+      << " exit samples)";
+  if (certificates_checked > 0 || dup_free_facts_checked > 0) {
+    out << ", " << certificates_checked << " rewrite certificates re-proved";
+  }
+  return out.str();
+}
+
+Result<VerifyReport> VerifyTransaction(
+    const machine::Transaction& txn,
+    const std::map<std::string, InputStats>& inputs,
+    const DeviceTable& devices, const VerifyOptions& options) {
+  VerifyReport report;
+  // Typing always runs: it produces the environment of worst-case
+  // cardinalities the timing pass instantiates the §3.2/§8 invariants with.
+  SYSTOLIC_ASSIGN_OR_RETURN(const auto env,
+                            VerifyTyping(txn, inputs, &report));
+  if (options.timing) {
+    SYSTOLIC_RETURN_NOT_OK(VerifyTiming(txn, env, devices, &report));
+  }
+  return report;
+}
+
+Status VerifyCertificates(
+    const std::vector<planner::RewriteCertificate>& certificates,
+    const std::map<std::string, planner::InputInfo>& catalog,
+    VerifyReport* report) {
+  for (const RewriteCertificate& cert : certificates) {
+    SYSTOLIC_RETURN_NOT_OK(CheckCertificate(cert, catalog, report));
+    if (report != nullptr) ++report->certificates_checked;
+  }
+  return Status::OK();
+}
+
+Result<VerifyReport> VerifyPlannedTransaction(
+    const planner::PlannedTransaction& planned,
+    const std::map<std::string, planner::InputInfo>& catalog,
+    const DeviceTable& devices) {
+  VerifyReport report;
+  SYSTOLIC_RETURN_NOT_OK(
+      VerifyCertificates(planned.rewrites.certificates, catalog, &report));
+  std::map<std::string, InputStats> inputs;
+  for (const auto& [name, info] : catalog) {
+    InputStats stats;
+    stats.schema = info.schema;
+    stats.num_tuples = info.num_tuples;
+    stats.exact = true;  // the machine's memory modules ARE the catalog
+    stats.duplicate_free = info.duplicate_free;
+    inputs.emplace(name, std::move(stats));
+  }
+  SYSTOLIC_ASSIGN_OR_RETURN(
+      VerifyReport txn_report,
+      VerifyTransaction(planned.transaction, inputs, devices));
+  txn_report.certificates_checked = report.certificates_checked;
+  txn_report.dup_free_facts_checked = report.dup_free_facts_checked;
+  return txn_report;
+}
+
+}  // namespace verify
+}  // namespace systolic

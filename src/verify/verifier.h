@@ -1,0 +1,115 @@
+#ifndef SYSTOLIC_VERIFY_VERIFIER_H_
+#define SYSTOLIC_VERIFY_VERIFIER_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "planner/certificates.h"
+#include "planner/physical.h"
+#include "relational/schema.h"
+#include "system/transaction.h"
+#include "util/result.h"
+
+/// DESIGN S22: the static plan/schedule verifier. Every check in this layer
+/// re-derives its judgment from first principles — the paper's §2 typing
+/// rules, the §3.2 timing discipline, the §8 decomposition — without calling
+/// into the planner or engine code whose output it audits, so a bug on
+/// either side surfaces as a kVerifyFailed diagnostic instead of a wrong
+/// answer. Passes:
+///
+///   typing       — schema/arity/domain judgments for every plan step
+///                  (verify/typing.h)
+///   timing       — §3.2 stagger + exit-pulse invariants and §8 tile
+///                  coverage on the schedule each step implies
+///                  (verify/timing.h)
+///   certificates — re-proof of the planner's rewrite legality certificates
+///                  (VerifyCertificates below)
+///   script-lint  — durability well-formedness of command scripts
+///                  (verify/script_lint.h)
+namespace systolic {
+namespace verify {
+
+/// Catalog facts about one buffer, as the verifier sees them. `exact` marks
+/// external inputs whose cardinality the catalog knows precisely; derived
+/// buffers carry upper bounds (the timing invariants hold for every n, so a
+/// bound is enough to instantiate them).
+struct InputStats {
+  rel::Schema schema;
+  size_t num_tuples = 0;
+  bool exact = false;
+  bool duplicate_free = false;
+};
+
+/// Device shapes by op kind, mirroring MachineConfig's device table without
+/// depending on the system layer (which links against this library).
+struct DeviceTable {
+  db::DeviceConfig default_device;
+  std::map<machine::OpKind, db::DeviceConfig> overrides;
+
+  const db::DeviceConfig& For(machine::OpKind op) const {
+    auto it = overrides.find(op);
+    return it == overrides.end() ? default_device : it->second;
+  }
+};
+
+/// What the verifier examined; printed by EXPLAIN/VERIFY and asserted on by
+/// tests (a pass that silently checked nothing is a verifier bug).
+struct VerifyReport {
+  size_t steps_typed = 0;
+  size_t timing_steps = 0;
+  size_t tiles_checked = 0;
+  size_t exit_samples = 0;
+  size_t certificates_checked = 0;
+  size_t dup_free_facts_checked = 0;
+
+  /// "verify: N steps typed, ..." one-liner for the shell.
+  std::string ToString() const;
+};
+
+struct VerifyOptions {
+  bool typing = true;
+  bool timing = true;
+};
+
+/// Every verifier diagnostic names the rejecting pass, the offending
+/// node/step, and the violated invariant:
+///   "[<pass>] node '<node>': <what>"
+Status VerifyError(const std::string& pass, const std::string& node,
+                   const std::string& what);
+
+/// Runs the typing and timing passes over `txn` against catalog `inputs`.
+/// Accepts iff every step type-checks and every implied device schedule
+/// satisfies the paper's invariants; rejects with kVerifyFailed naming pass,
+/// node and invariant.
+Result<VerifyReport> VerifyTransaction(
+    const machine::Transaction& txn,
+    const std::map<std::string, InputStats>& inputs,
+    const DeviceTable& devices, const VerifyOptions& options = {});
+
+/// Re-proves each rewrite certificate with independently implemented rules:
+/// predicate composition, column-remap arithmetic through π/÷/⋈ maps,
+/// multiset permutation of membership chains, and duplicate-freedom
+/// derivations cross-checked against the catalog. `catalog` supplies the
+/// leaf duplicate-freedom facts (planner::InputInfo, as handed to the
+/// planner itself).
+Status VerifyCertificates(
+    const std::vector<planner::RewriteCertificate>& certificates,
+    const std::map<std::string, planner::InputInfo>& catalog,
+    VerifyReport* report);
+
+/// Convenience for the shell / CI: verifies a planned transaction end to end
+/// — certificates against the planning catalog, then typing + timing of the
+/// emitted transaction (catalog rows exact, as the §9 machine's memory
+/// modules are the catalog).
+Result<VerifyReport> VerifyPlannedTransaction(
+    const planner::PlannedTransaction& planned,
+    const std::map<std::string, planner::InputInfo>& catalog,
+    const DeviceTable& devices);
+
+}  // namespace verify
+}  // namespace systolic
+
+#endif  // SYSTOLIC_VERIFY_VERIFIER_H_
