@@ -24,6 +24,7 @@ using systolic::bench::Unwrap;
 }  // namespace
 
 int main() {
+  systolic::bench::JsonWriter json("bench_bit_level");
   const size_t n = 24;
   const rel::Schema schema = rel::MakeIntSchema(2);
   rel::PairOptions options;
@@ -51,6 +52,7 @@ int main() {
     std::printf("%-16s %-10zu %-14u %-10zu %-10zu\n", "word (64b cells)",
                 word_run.info.cycles, 2u, plan.bit_comparators,
                 plan.chips_required);
+    json.Case("word_64b", static_cast<double>(word_run.info.cycles), 0);
   }
   for (size_t bits : {6, 8, 12, 16}) {
     const auto decomposed =
@@ -64,6 +66,8 @@ int main() {
     std::printf("bit, w=%-9zu %-10zu %-14zu %-10zu %-10zu\n", bits,
                 bit_run.info.cycles, 2 * bits, plan.bit_comparators,
                 plan.chips_required);
+    json.Case("bit_w" + std::to_string(bits),
+              static_cast<double>(bit_run.info.cycles), 0);
   }
   std::printf("\nAll rows produce identical selection vectors. Pulses grow "
               "with the unrolled row\nlength (+2(w-1) pipeline stages); bit "

@@ -82,4 +82,4 @@ BENCHMARK(BM_TwoDimensionalComparisonArray)->RangeMultiplier(2)->Range(2, 128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSTOLIC_BENCH_MAIN(bench_comparison)

@@ -40,6 +40,7 @@ double WallMs(const std::chrono::steady_clock::time_point& start) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  systolic::bench::JsonWriter json("bench_decomposition");
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const size_t n = smoke ? 32 : 96;
   const rel::Schema schema = rel::MakeIntSchema(3);
@@ -68,6 +69,8 @@ int main(int argc, char** argv) {
                 result.stats.passes, blocks * blocks, result.stats.cycles,
                 perf::SecondsForCycles(tech, result.stats.cycles) * 1e3,
                 correct ? "yes" : "NO");
+    json.Case("tiled_rows" + std::to_string(rows),
+              static_cast<double>(result.stats.cycles), 0);
   }
 
   std::printf("\n(expected passes = ceil(n/capacity)^2, capacity = "
@@ -117,6 +120,9 @@ int main(int argc, char** argv) {
                 result.stats.makespan_cycles, device_ms,
                 serial_device_ms / device_ms, host_ms,
                 result.relation.tuples() == serial_tuples ? "yes" : "NO");
+    json.Case("parallel_chips" + std::to_string(chips),
+              static_cast<double>(result.stats.makespan_cycles),
+              host_ms * 1e6);
   }
   std::printf("\n(device_ms models the multi-chip hardware: critical-path "
               "pulses at the §8 clock. host wall speedup at 4 chips: %.2fx "

@@ -90,4 +90,4 @@ BENCHMARK(BM_ProjectionArray)->RangeMultiplier(2)->Range(4, 128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSTOLIC_BENCH_MAIN(bench_dedup)

@@ -89,4 +89,4 @@ BENCHMARK(BM_DivisionArray_DivisorSize)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSTOLIC_BENCH_MAIN(bench_division)

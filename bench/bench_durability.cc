@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
   const rel::Schema schema = rel::MakeIntSchema(2);
   const rel::Relation a = MakePair(schema, n, n, 0.5, 22).a;
 
+  systolic::bench::JsonWriter json("bench_durability");
   std::printf("=== E22: durability — commit overhead and recovery replay "
               "===\n");
 
@@ -121,6 +122,8 @@ int main(int argc, char** argv) {
   std::printf("overhead %.2fx (<= 2.5x asserted)\n", overhead);
   SYSTOLIC_CHECK(overhead <= 2.5)
       << "durable COMMIT overhead " << overhead << "x exceeds the 2.5x bar";
+  json.Case("commit_plain", 0, plain_us * 1e3);
+  json.Case("commit_durable", 0, durable_us * 1e3);
 
   // 2. Recovery replay throughput. Many committed groups of small puts: the
   // WAL tail a crashed session would replay on restart.
@@ -161,6 +164,7 @@ int main(int argc, char** argv) {
               replay_us, rate);
   SYSTOLIC_CHECK(rate >= 10000.0)
       << "recovery replay " << rate << " records/s is below the 10k bar";
+  json.Case("replay", 0, replay_us * 1e3);
 
   // 3. Hot-path neutrality with durability suspended.
   const std::string off_dir = FreshDir("systolic_bench_durability_off");

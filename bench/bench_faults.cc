@@ -110,6 +110,7 @@ DeviceConfig FaultyDevice(size_t rows, size_t chips, double rate,
 }  // namespace
 
 int main(int argc, char** argv) {
+  systolic::bench::JsonWriter json("bench_faults");
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const size_t n = smoke ? 48 : 160;
   const size_t rows = smoke ? 5 : 9;
@@ -142,6 +143,11 @@ int main(int argc, char** argv) {
   std::printf("%-18s %-12.0f\n", "armed, rate 0", armed_us);
   std::printf("overhead %.1f%% (<= 10%% expected)\n",
               (armed_us / clean_us - 1.0) * 100.0);
+  json.Case("workload_clean", static_cast<double>(oracle.stats.makespan_cycles),
+            clean_us * 1e3);
+  json.Case("workload_armed_rate0",
+            static_cast<double>(armed_run.stats.makespan_cycles),
+            armed_us * 1e3);
 
   // 2. Degradation vs transient fault rate.
   std::printf("\n-- degradation vs bit-flip rate (%zu chips) --\n", chips);

@@ -93,4 +93,4 @@ BENCHMARK(BM_IntersectionArray_Selectivity)->Arg(0)->Arg(25)->Arg(50)->Arg(75)->
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSTOLIC_BENCH_MAIN(bench_intersection)

@@ -130,4 +130,4 @@ BENCHMARK(BM_MultiColumnJoinArray)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSTOLIC_BENCH_MAIN(bench_join)

@@ -60,4 +60,4 @@ BENCHMARK(BM_PatternMatch_PatternLength)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(3
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSTOLIC_BENCH_MAIN(bench_pattern)

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "perfmodel/disk.h"
 #include "perfmodel/estimates.h"
 #include "perfmodel/floorplan.h"
@@ -55,11 +56,21 @@ void ReportTechnology(const Technology& tech) {
 }  // namespace
 
 int main() {
+  systolic::bench::JsonWriter json("bench_perfmodel");
   std::printf("=== E8: paper §8 performance predictions ===\n");
   ReportTechnology(Technology::Conservative1980());
   std::printf("  (paper's rounded figure: ~50 ms)\n");
   ReportTechnology(Technology::Aggressive1980());
   std::printf("  (paper's rounded figure: ~10 ms)\n");
+  {
+    const RelationShape shape;
+    json.Case("intersection_conservative", 0,
+              IntersectionSeconds(Technology::Conservative1980(), shape,
+                                  shape) * 1e9);
+    json.Case("intersection_aggressive", 0,
+              IntersectionSeconds(Technology::Aggressive1980(), shape, shape) *
+                  1e9);
+  }
 
   std::printf("\n=== E9: §8 disk-rate comparison ===\n");
   const DiskModel disk;

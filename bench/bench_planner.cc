@@ -40,6 +40,8 @@ struct RunResult {
   double serial_us = 0;
 };
 
+systolic::bench::JsonWriter* g_json = nullptr;
+
 RunResult RunOn(const MachineConfig& config,
                 const std::map<std::string, rel::Relation>& inputs,
                 const Transaction& txn,
@@ -105,12 +107,21 @@ double Compare(const char* workload, const MachineConfig& config,
               optimized.pulses, measured_ratio,
               literal.serial_us / optimized.serial_us);
   std::printf("           %s\n", planned.rewrites.ToString().c_str());
+  if (g_json != nullptr) {
+    g_json->Case(std::string(workload) + "_literal",
+                 static_cast<double>(literal.pulses), literal.serial_us * 1e3);
+    g_json->Case(std::string(workload) + "_planned",
+                 static_cast<double>(optimized.pulses),
+                 optimized.serial_us * 1e3);
+  }
   return modeled_ratio;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  systolic::bench::JsonWriter json("bench_planner");
+  g_json = &json;
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const size_t n = smoke ? 48 : 240;
 

@@ -83,4 +83,4 @@ BENCHMARK(BM_SelectionArray_Selectivity)->Arg(0)->Arg(25)->Arg(50)->Arg(100);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSTOLIC_BENCH_MAIN(bench_selection)

@@ -37,6 +37,7 @@ rel::Relation Generated(const rel::Schema& schema, size_t n, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  systolic::bench::JsonWriter json("bench_system");
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const rel::Schema schema = rel::MakeIntSchema(2, "sysbench");
   const size_t n = smoke ? 24 : 64;
@@ -74,6 +75,10 @@ int main(int argc, char** argv) {
                 report.serial_seconds / report.makespan_seconds,
                 report.bytes_through_crossbar,
                 report.crossbar_configurations);
+    size_t pulses = 0;
+    for (const auto& step : report.steps) pulses += step.exec.cycles;
+    json.Case("txn_devices" + std::to_string(devices),
+              static_cast<double>(pulses), report.makespan_seconds * 1e9);
   }
 
   std::printf("\n=== multi-chip devices: same transaction, 2 intersect "

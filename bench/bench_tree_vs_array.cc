@@ -28,6 +28,7 @@ using systolic::bench::Unwrap;
 }  // namespace
 
 int main() {
+  systolic::bench::JsonWriter json("bench_tree_vs_array");
   std::printf("=== E14: database-machine organisations (§8/§9) — intersection "
               "of two n-tuple relations, 3 columns ===\n");
   std::printf("%-6s | %-28s | %-28s | %-28s | %-28s | %-28s\n", "n",
@@ -72,6 +73,10 @@ int main() {
                 st_info.sim.Utilization(), hex.info.cycles,
                 hex.info.sim.num_compute_cells, hex.info.sim.Utilization(),
                 t.run.cycles, t.run.nodes, t.run.sim.Utilization());
+    json.Case("marching_n" + std::to_string(n),
+              static_cast<double>(m.info.cycles), 0);
+    json.Case("tree_n" + std::to_string(n),
+              static_cast<double>(t.run.cycles), 0);
   }
 
   std::printf("\nNotes: the stationary-T grid holds t_ij in place (n^2 "

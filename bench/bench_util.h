@@ -2,7 +2,10 @@
 #define SYSTOLIC_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "benchmark/benchmark.h"
 #include "relational/builder.h"
 #include "relational/generator.h"
 #include "relational/relation.h"
@@ -37,7 +40,119 @@ inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n", title);
 }
 
+/// Machine-readable bench trajectory (EXPERIMENTS E24): every bench binary
+/// writes BENCH_<name>.json into the working directory — one record per
+/// measured case with the modeled pulse count, the measured wall time, and
+/// the backend that produced it. CI uploads these as artifacts and
+/// scripts/check_bench_regression.py compares them against
+/// bench/baseline.json.
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& bench_name) : name_(bench_name) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  /// Records one case. `cycles` is the modeled/simulated pulse count (0 when
+  /// the case has no device timing), `wall_ns` the measured wall-clock time.
+  void Case(const std::string& case_name, double cycles, double wall_ns,
+            const std::string& backend = "rtl") {
+    cases_.push_back({case_name, cycles, wall_ns, backend});
+  }
+
+  /// Writes BENCH_<name>.json. Called by the destructor; call directly to
+  /// observe failures.
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"cases\": [", Escaped(name_).c_str());
+    for (size_t i = 0; i < cases_.size(); ++i) {
+      const CaseRecord& c = cases_[i];
+      std::fprintf(f,
+                   "%s\n  {\"name\": \"%s\", \"cycles\": %.17g, "
+                   "\"wall_ns\": %.17g, \"backend\": \"%s\"}",
+                   i == 0 ? "" : ",", Escaped(c.name).c_str(), c.cycles,
+                   c.wall_ns, Escaped(c.backend).c_str());
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu cases)\n", path.c_str(), cases_.size());
+  }
+
+  ~JsonWriter() { Write(); }
+
+ private:
+  struct CaseRecord {
+    std::string name;
+    double cycles;
+    double wall_ns;
+    std::string backend;
+  };
+
+  static std::string Escaped(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char ch : raw) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(ch) < 0x20) continue;
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<CaseRecord> cases_;
+  bool written_ = false;
+};
+
+/// Console reporter that also captures every measured run into a JsonWriter
+/// — the Google-Benchmark half of the BENCH_<name>.json trajectory. The
+/// "pulses" counter (set by all of this repo's google-benchmark benches)
+/// becomes the cycles field.
+class JsonCaptureReporter : public ::benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(const std::string& bench_name)
+      : writer_(bench_name) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ::benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      double cycles = 0;
+      const auto it = run.counters.find("pulses");
+      if (it != run.counters.end()) cycles = it->second.value;
+      writer_.Case(run.benchmark_name(), cycles, run.GetAdjustedRealTime());
+    }
+  }
+
+  void Finalize() override {
+    ::benchmark::ConsoleReporter::Finalize();
+    writer_.Write();
+  }
+
+ private:
+  JsonWriter writer_;
+};
+
 }  // namespace bench
 }  // namespace systolic
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also emits
+/// BENCH_<name>.json via JsonCaptureReporter.
+#define SYSTOLIC_BENCH_MAIN(bench_name)                                  \
+  int main(int argc, char** argv) {                                      \
+    ::benchmark::Initialize(&argc, argv);                                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;  \
+    ::systolic::bench::JsonCaptureReporter reporter(#bench_name);        \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                      \
+    ::benchmark::Shutdown();                                             \
+    return 0;                                                            \
+  }
 
 #endif  // SYSTOLIC_BENCH_BENCH_UTIL_H_

@@ -23,6 +23,7 @@ using systolic::bench::Unwrap;
 }  // namespace
 
 int main() {
+  systolic::bench::JsonWriter json("bench_utilization");
   std::printf("=== E11: grid utilisation, marching vs fixed-B (§8) ===\n");
   std::printf("%-8s %-22s %-22s\n", "n", "marching util (<=0.5)",
               "fixed-B util");
@@ -77,6 +78,10 @@ int main() {
     fixed.mode = arrays::FeedMode::kFixedB;
     const auto f = Unwrap(arrays::SystolicIntersection(pair.a, pair.b, fixed));
     std::printf("%-8zu %-18zu %-18zu\n", n, m.info.cycles, f.info.cycles);
+    json.Case("marching_n" + std::to_string(n),
+              static_cast<double>(m.info.cycles), 0);
+    json.Case("fixed_b_n" + std::to_string(n),
+              static_cast<double>(f.info.cycles), 0);
   }
   return 0;
 }

@@ -107,4 +107,4 @@ BENCHMARK(BM_Device_AnalyticPaperScale)->RangeMultiplier(4)->Range(16, 65536);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SYSTOLIC_BENCH_MAIN(bench_vs_software)

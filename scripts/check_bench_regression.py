@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the machine-readable bench trajectory (E24).
+
+Every bench binary writes a BENCH_<name>.json next to itself (see
+bench/bench_util.h): one record per measured case with the modeled pulse
+count (`cycles`), the measured wall time (`wall_ns`), and the backend that
+produced it. This script compares a directory of those files against the
+checked-in bench/baseline.json and fails if:
+
+  * any case's modeled `cycles` regresses by more than --cycles-tolerance
+    (default 10%). Pulse counts are deterministic — a regression here means
+    the schedule or the analytic timing model actually got worse; and
+  * the fast-path wall-time ratio (fast wall / rtl wall for the same case
+    name within the same bench run) regresses by more than
+    --wall-tolerance (default 25%) against the baseline ratio AND the
+    ratio exceeds RATIO_GATE_FLOOR (a fast path still several times faster
+    than RTL has lost nothing worth failing CI over). Comparing the in-run
+    ratio rather than absolute wall time keeps the gate stable across
+    machines of different speeds; the floor keeps it stable against timer
+    noise on microsecond-scale fast legs.
+
+Absolute wall times are recorded in the trajectory for humans and trend
+tooling but are never gated — shared CI wall clock is too noisy.
+
+To accept an intentional change, regenerate the baseline and commit it:
+    python3 scripts/check_bench_regression.py --dir build/bench --update
+
+Exit status: 0 clean, 1 regression (or malformed trajectory).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_trajectory(directory):
+    """Reads every BENCH_*.json in `directory` into {bench: {...}}."""
+    benches = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path, "r", encoding="utf-8") as f:
+            record = json.load(f)
+        name = record.get("bench")
+        if not name or "cases" not in record:
+            raise ValueError(f"{path}: missing 'bench' or 'cases'")
+        benches[name] = record["cases"]
+    return benches
+
+
+def cycles_by_case(cases):
+    """{(name, backend): cycles} for every case with a nonzero pulse count."""
+    out = {}
+    for case in cases:
+        if case.get("cycles", 0) > 0:
+            out[(case["name"], case.get("backend", "rtl"))] = case["cycles"]
+    return out
+
+
+# Wall ratios whose RTL leg ran shorter than this are pure timer noise
+# (a smoke-mode fast-path case can finish in ~10 us); they are recorded in
+# the trajectory but not gated.
+MIN_GATED_RTL_NS = 1e6
+
+# A fast/rtl ratio this far below 1.0 still has its whole speedup margin: a
+# microsecond-level wobble on the fast leg can double a 0.003 ratio without
+# meaning anything. Ratios under the floor always pass; the relative
+# tolerance only bites once the fast path's advantage is genuinely eroding.
+RATIO_GATE_FLOOR = 0.5
+
+
+def wall_ratios(cases):
+    """{name: fast_wall / rtl_wall} for cases measured under both backends."""
+    walls = {}
+    for case in cases:
+        if case.get("wall_ns", 0) > 0:
+            walls[(case["name"], case.get("backend", "rtl"))] = case["wall_ns"]
+    ratios = {}
+    for (name, backend), fast_ns in walls.items():
+        if backend != "fast":
+            continue
+        rtl_ns = walls.get((name, "rtl"))
+        if rtl_ns and rtl_ns >= MIN_GATED_RTL_NS:
+            ratios[name] = fast_ns / rtl_ns
+    return ratios
+
+
+def compare(current, baseline, cycles_tolerance, wall_tolerance):
+    failures = []
+    for bench, base_cases in sorted(baseline.items()):
+        cur_cases = current.get(bench)
+        if cur_cases is None:
+            # A bench that did not run is not a regression: smoke lanes run a
+            # subset. Removing a bench for real means updating the baseline.
+            continue
+        base_cycles = cycles_by_case(base_cases)
+        cur_cycles = cycles_by_case(cur_cases)
+        for key, base in sorted(base_cycles.items()):
+            cur = cur_cycles.get(key)
+            if cur is None:
+                failures.append(
+                    f"{bench}: case {key[0]} ({key[1]}) disappeared from the "
+                    f"trajectory (was {base:.0f} pulses)")
+            elif cur > base * (1 + cycles_tolerance):
+                failures.append(
+                    f"{bench}: {key[0]} ({key[1]}) modeled cycles regressed "
+                    f"{base:.0f} -> {cur:.0f} "
+                    f"(+{(cur / base - 1) * 100:.1f}%, "
+                    f"tolerance {cycles_tolerance * 100:.0f}%)")
+        base_ratios = wall_ratios(base_cases)
+        cur_ratios = wall_ratios(cur_cases)
+        for name, base_ratio in sorted(base_ratios.items()):
+            cur_ratio = cur_ratios.get(name)
+            if cur_ratio is None:
+                continue
+            if cur_ratio > max(base_ratio * (1 + wall_tolerance),
+                               RATIO_GATE_FLOOR):
+                failures.append(
+                    f"{bench}: {name} fast-path wall ratio (fast/rtl) "
+                    f"regressed {base_ratio:.4f} -> {cur_ratio:.4f} "
+                    f"(+{(cur_ratio / base_ratio - 1) * 100:.1f}%, "
+                    f"tolerance {wall_tolerance * 100:.0f}%)")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default="build/bench",
+                        help="directory holding the BENCH_*.json trajectory")
+    parser.add_argument("--baseline", default="bench/baseline.json",
+                        help="checked-in baseline to compare against")
+    parser.add_argument("--cycles-tolerance", type=float, default=0.10,
+                        help="allowed fractional increase in modeled cycles")
+    parser.add_argument("--wall-tolerance", type=float, default=0.25,
+                        help="allowed fractional increase in the fast/rtl "
+                             "wall-time ratio")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current "
+                             "trajectory instead of gating")
+    args = parser.parse_args()
+
+    try:
+        current = load_trajectory(args.dir)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"check_bench_regression: bad trajectory: {err}")
+        return 1
+    if not current:
+        print(f"check_bench_regression: no BENCH_*.json found in {args.dir}")
+        return 1
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(current, f, indent=1, sort_keys=True)
+            f.write("\n")
+        cases = sum(len(v) for v in current.values())
+        print(f"wrote {args.baseline}: {len(current)} benches, {cases} cases")
+        return 0
+
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_bench_regression: bad baseline: {err}")
+        return 1
+
+    failures = compare(current, baseline, args.cycles_tolerance,
+                       args.wall_tolerance)
+    if failures:
+        print(f"check_bench_regression: {len(failures)} regression(s) vs "
+              f"{args.baseline}:")
+        for failure in failures:
+            print(f"  {failure}")
+        print("intentional? regenerate with: python3 "
+              "scripts/check_bench_regression.py --dir "
+              f"{args.dir} --update  (then commit {args.baseline})")
+        return 1
+
+    benches = len([b for b in baseline if b in current])
+    print(f"check_bench_regression: OK — {benches} benches within "
+          f"{args.cycles_tolerance * 100:.0f}% cycles / "
+          f"{args.wall_tolerance * 100:.0f}% wall-ratio tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -236,6 +236,17 @@ double Engine::EstimatePulses(FeedMode mode, size_t n_a, size_t n_b,
   return perf::MarchingMembershipPulses(n_a, n_b, columns, device_.rows);
 }
 
+fastpath::Backend Engine::ResolveBackend() const {
+  // Fault injection corrupts words inside individual pulses; the analytic
+  // fast path simulates no pulses, so any fast policy silently falls back
+  // to the RTL simulator while a fault plan is installed.
+  if (device_.backend == fastpath::BackendPolicy::kRtl ||
+      device_.faults != nullptr) {
+    return fastpath::Backend::kRtl;
+  }
+  return fastpath::Backend::kFast;
+}
+
 FeedMode Engine::ResolveMode(size_t n_a, size_t n_b) const {
   switch (device_.mode) {
     case arrays::FeedModePolicy::kMarching:
@@ -276,10 +287,30 @@ Result<BitVector> Engine::TiledMembership(const Relation& a, const Relation& b,
   if (n_a == 0) return acc;
 
   const FeedMode mode = ResolveMode(n_a, b.num_tuples());
-  if (stats != nullptr) stats->resolved_mode = mode;
+  const fastpath::Backend backend = ResolveBackend();
+  if (stats != nullptr) {
+    stats->resolved_mode = mode;
+    stats->backend = backend;
+    stats->analytic_timing = backend == fastpath::Backend::kFast;
+  }
   arrays::MembershipOptions options;
   options.mode = mode;
   options.rows = device_.rows;
+
+  // One pass, either executor: same bits, same cycle count. Only the RTL
+  // simulator produces cell-occupancy statistics.
+  const auto run_membership =
+      [&](const Relation& block_a, const Relation& block_b,
+          const std::vector<size_t>& cols_a, const std::vector<size_t>& cols_b,
+          arrays::EdgeRule edge_rule,
+          ArrayRunInfo* info) -> Result<BitVector> {
+    if (backend == fastpath::Backend::kFast) {
+      return fastpath::FastMembership(block_a, block_b, cols_a, cols_b,
+                                      edge_rule, options, info);
+    }
+    return RunMembership(block_a, block_b, cols_a, cols_b, edge_rule, options,
+                         info);
+  };
 
   const std::vector<size_t> a_cols = sim::AllColumns(a);
   const std::vector<size_t> b_cols = sim::AllColumns(b);
@@ -336,23 +367,22 @@ Result<BitVector> Engine::TiledMembership(const Relation& a, const Relation& b,
           if (tile.diagonal) {
             SYSTOLIC_ASSIGN_OR_RETURN(
                 tile_bits[t],
-                RunMembership(block_p, block_p, a_cols, a_cols,
-                              arrays::EdgeRule::kStrictLowerTriangle, options,
-                              &info));
+                run_membership(block_p, block_p, a_cols, a_cols,
+                               arrays::EdgeRule::kStrictLowerTriangle, &info));
           } else {
             const Relation block_q = Slice(a, tile.b_start, cap_a);
             SYSTOLIC_ASSIGN_OR_RETURN(
                 tile_bits[t],
-                RunMembership(block_p, block_q, a_cols, a_cols,
-                              arrays::EdgeRule::kAllTrue, options, &info));
+                run_membership(block_p, block_q, a_cols, a_cols,
+                               arrays::EdgeRule::kAllTrue, &info));
           }
         } else {
           const Relation block_a = Slice(a, tile.a_start, cap_a);
           const Relation block_b = Slice(b, tile.b_start, cap_b);
           SYSTOLIC_ASSIGN_OR_RETURN(
               tile_bits[t],
-              RunMembership(block_a, block_b, a_cols, b_cols,
-                            arrays::EdgeRule::kAllTrue, options, &info));
+              run_membership(block_a, block_b, a_cols, b_cols,
+                             arrays::EdgeRule::kAllTrue, &info));
         }
         tile_infos[t] = info;
         return Status::OK();
@@ -439,6 +469,9 @@ Result<EngineResult> Engine::Join(const Relation& a, const Relation& b,
       rel::JoinOutputSchema(a.schema(), b.schema(), spec));
   EngineResult result(
       Relation(std::move(out_schema), rel::RelationKind::kMulti));
+  const fastpath::Backend backend = ResolveBackend();
+  result.stats.backend = backend;
+  result.stats.analytic_timing = backend == fastpath::Backend::kFast;
   if (a.num_tuples() == 0 || b.num_tuples() == 0) {
     return result;
   }
@@ -471,7 +504,9 @@ Result<EngineResult> Engine::Join(const Relation& a, const Relation& b,
         const Relation block_b = Slice(b, bi, cap_b);
         SYSTOLIC_ASSIGN_OR_RETURN(
             arrays::JoinArrayResult tile,
-            arrays::SystolicJoin(block_a, block_b, spec, options));
+            backend == fastpath::Backend::kFast
+                ? fastpath::FastJoin(block_a, block_b, spec, options)
+                : arrays::SystolicJoin(block_a, block_b, spec, options));
         tile_infos[t] = tile.info;
         tile_matches[t].reserve(tile.matches.size());
         for (const auto& [i, j] : tile.matches) {
@@ -503,6 +538,9 @@ Result<EngineResult> Engine::Divide(const Relation& a, const Relation& b,
   SYSTOLIC_ASSIGN_OR_RETURN(rel::Schema out_schema,
                             rel::DivisionOutputSchema(a.schema(), spec));
   EngineResult result(Relation(std::move(out_schema), rel::RelationKind::kSet));
+  const fastpath::Backend backend = ResolveBackend();
+  result.stats.backend = backend;
+  result.stats.analytic_timing = backend == fastpath::Backend::kFast;
   if (a.num_tuples() == 0) {
     // No candidate quotient values. One trivial pass for accounting.
     ++result.stats.passes;
@@ -566,9 +604,13 @@ Result<EngineResult> Engine::Divide(const Relation& a, const Relation& b,
       chunks.size() * num_groups,
       [&](size_t t, size_t /*chip*/) -> Status {
         SYSTOLIC_ASSIGN_OR_RETURN(
-            passes[t], arrays::SystolicDivision(chunks[t / num_groups],
-                                                divisor_groups[t % num_groups],
-                                                spec));
+            passes[t],
+            backend == fastpath::Backend::kFast
+                ? fastpath::FastDivision(chunks[t / num_groups],
+                                         divisor_groups[t % num_groups], spec)
+                : arrays::SystolicDivision(chunks[t / num_groups],
+                                           divisor_groups[t % num_groups],
+                                           spec));
         tile_infos[t] = passes[t].info;
         return Status::OK();
       },
@@ -613,11 +655,16 @@ Result<EngineResult> Engine::Select(
   std::vector<arrays::SelectionResult> slot;
   slot.emplace_back(Relation(a.schema(), rel::RelationKind::kMulti));
   ExecStats stats;
+  const fastpath::Backend backend = ResolveBackend();
+  stats.backend = backend;
+  stats.analytic_timing = backend == fastpath::Backend::kFast;
   SYSTOLIC_RETURN_NOT_OK(RunTiled(
       1,
       [&](size_t, size_t) -> Status {
-        SYSTOLIC_ASSIGN_OR_RETURN(slot[0],
-                                  arrays::SystolicSelect(a, predicates));
+        SYSTOLIC_ASSIGN_OR_RETURN(
+            slot[0], backend == fastpath::Backend::kFast
+                         ? fastpath::FastSelect(a, predicates)
+                         : arrays::SystolicSelect(a, predicates));
         return Status::OK();
       },
       &stats,

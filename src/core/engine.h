@@ -11,6 +11,7 @@
 #include "arrays/membership.h"
 #include "arrays/selection_array.h"
 #include "core/chip_pool.h"
+#include "fastpath/backend.h"
 #include "faults/fault_plan.h"
 #include "relational/op_specs.h"
 #include "relational/relation.h"
@@ -49,6 +50,14 @@ struct DeviceConfig {
   std::shared_ptr<const faults::FaultPlan> faults;
   /// Retry/quarantine policy; consulted only when `faults` is set.
   faults::RecoveryOptions recovery;
+  /// Which executor runs the tile passes. kRtl (the default) pulses the
+  /// cycle-accurate simulator; kFast computes identical tile results with
+  /// the packed kernels of src/fastpath and reports analytic cycle counts;
+  /// kAuto means fast whenever pulse-level fidelity is not required. Both
+  /// fast policies fall back to the RTL simulator while `faults` is
+  /// installed (injection corrupts individual pulses, which only the
+  /// simulator models). Surfaced in the shell as `SET BACKEND`.
+  fastpath::BackendPolicy backend = fastpath::BackendPolicy::kRtl;
 };
 
 /// Aggregate execution statistics for one engine operation, summed over all
@@ -59,6 +68,15 @@ struct ExecStats {
   /// The feed discipline the engine resolved for this operation (meaningful
   /// for the membership/join families; selection always streams fixed).
   arrays::FeedMode resolved_mode = arrays::FeedMode::kMarching;
+  /// Which executor ran the operation's passes (the device's backend policy
+  /// resolved per Engine::ResolveBackend).
+  fastpath::Backend backend = fastpath::Backend::kRtl;
+  /// True iff `cycles`/`makespan_cycles` were derived from the closed-form
+  /// timing model (fast path) rather than measured from the simulator. The
+  /// counts are equal either way — the fast path's analytic contract — but
+  /// analytic passes pulse no cells, so the cell-utilisation ratios below
+  /// are meaningless and defined as 0.
+  bool analytic_timing = false;
   /// Total pulses across passes (the cost if every pass serialised).
   size_t cycles = 0;
   /// Critical-path pulses across the device's chips: the makespan of the
@@ -103,6 +121,10 @@ struct ExecStats {
   /// (Under multi-chip runs it is NOT a wall-clock utilisation — use
   /// MakespanUtilization() for that.)
   double Utilization() const {
+    // Analytic (fast-path) passes simulate no pulses: dividing busy cells
+    // by analytic cycle counts would be a category error, so — like the
+    // zero-makespan guard below — the ratio is defined as 0.
+    if (analytic_timing) return 0.0;
     const double denom = static_cast<double>(num_compute_cells) *
                          static_cast<double>(cycles);
     return denom == 0 ? 0.0 : static_cast<double>(busy_cell_cycles) / denom;
@@ -113,6 +135,7 @@ struct ExecStats {
   /// during the operation's critical path, so idle chips and tile imbalance
   /// count against it. Equal to Utilization() when num_chips == 1.
   double MakespanUtilization() const {
+    if (analytic_timing) return 0.0;
     const double denom = static_cast<double>(num_compute_cells) *
                          static_cast<double>(makespan_cycles) *
                          static_cast<double>(num_chips == 0 ? 1 : num_chips);
@@ -185,6 +208,11 @@ class Engine {
   /// the given sizes (resolves kAuto by comparing modeled pulse totals;
   /// exposed for tests and benchmarks).
   arrays::FeedMode ResolveMode(size_t n_a, size_t n_b) const;
+
+  /// The executor the engine's passes will run on: the device's backend
+  /// policy, with kFast/kAuto forced back to the RTL simulator while a
+  /// fault plan is installed (fault injection needs pulse-level fidelity).
+  fastpath::Backend ResolveBackend() const;
 
   /// A copy of this engine whose device is pinned to `mode`, sharing this
   /// engine's chip pool (so the copy is cheap and spawns no threads). The

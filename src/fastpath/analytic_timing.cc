@@ -1,0 +1,52 @@
+#include "fastpath/analytic_timing.h"
+
+#include <algorithm>
+
+namespace systolic {
+namespace fastpath {
+
+using arrays::FeedMode;
+
+size_t EffectiveRows(FeedMode mode, size_t n_a, size_t n_b, size_t rows) {
+  if (rows != 0) return rows;
+  return mode == FeedMode::kMarching
+             ? arrays::ComparisonGrid::RowsForMarching(std::max(n_a, n_b))
+             : std::max<size_t>(1, n_b);
+}
+
+size_t MembershipCycles(FeedMode mode, size_t n_a, size_t n_b, size_t m,
+                        size_t rows) {
+  if (n_a == 0) return 0;
+  const size_t r = EffectiveRows(mode, n_a, n_b, rows);
+  if (mode == FeedMode::kFixedB) {
+    return n_a + m + r + 1;
+  }
+  // A-side finish (accumulated t_{n_a-1} plus quiescence detection) vs
+  // B-side drain; with n_b == 0 only the A side contributes.
+  const size_t a_side = 2 * n_a;
+  const size_t b_side = n_b == 0 ? 0 : 2 * n_b - 1;
+  return m + r + std::max(a_side, b_side);
+}
+
+size_t JoinCycles(FeedMode mode, size_t n_a, size_t n_b, size_t m,
+                  size_t rows) {
+  if (n_a == 0 || n_b == 0) return 0;
+  const size_t r = EffectiveRows(mode, n_a, n_b, rows);
+  if (mode == FeedMode::kFixedB) {
+    return n_a + m + r;
+  }
+  return m + r + std::max(2 * n_a - 1, 2 * n_b - 1);
+}
+
+size_t SelectionCycles(size_t n, size_t predicates) {
+  if (n == 0 || predicates == 0) return 0;
+  return n + predicates + 1;
+}
+
+size_t DivisionCycles(size_t num_pairs, size_t p, size_t q, size_t m_feed) {
+  if (num_pairs == 0) return 0;
+  return std::max(num_pairs + p, m_feed + q + 2) + q + 4;
+}
+
+}  // namespace fastpath
+}  // namespace systolic

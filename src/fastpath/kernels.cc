@@ -1,0 +1,160 @@
+#include "fastpath/kernels.h"
+
+#include <bit>
+
+namespace systolic {
+namespace fastpath {
+
+namespace {
+
+constexpr size_t kWordBits = 64;
+
+/// Initial-t words for row i under the edge rule: all pairs admitted, or
+/// only the strict lower triangle j < i (§5). Trailing bits beyond n_b stay
+/// zero so whole-word tests never resurrect out-of-range pairs.
+std::vector<uint64_t> EdgeWords(arrays::EdgeRule edge_rule, size_t i,
+                                size_t n_b) {
+  const size_t limit =
+      edge_rule == arrays::EdgeRule::kStrictLowerTriangle ? std::min(i, n_b)
+                                                          : n_b;
+  std::vector<uint64_t> words((n_b + kWordBits - 1) / kWordBits, 0);
+  const size_t full = limit / kWordBits;
+  for (size_t w = 0; w < full; ++w) words[w] = ~uint64_t{0};
+  const size_t rest = limit % kWordBits;
+  if (rest != 0) words[full] = (uint64_t{1} << rest) - 1;
+  return words;
+}
+
+/// Refines one word in place: clears every set bit whose pair fails
+/// op(a_value, column[j]). Only surviving bits are visited — cleared pairs
+/// (dead pulses) cost nothing.
+inline void RefineWord(uint64_t& word, size_t base, rel::Code a_value,
+                       const std::vector<rel::Code>& column,
+                       rel::ComparisonOp op) {
+  for (uint64_t rest = word; rest != 0; rest &= rest - 1) {
+    const size_t j = base + static_cast<size_t>(std::countr_zero(rest));
+    if (!rel::ApplyComparison(op, a_value, column[j])) {
+      word &= ~(uint64_t{1} << (j - base));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<rel::Code> PackColumn(const rel::Relation& b, size_t column) {
+  std::vector<rel::Code> out;
+  out.reserve(b.num_tuples());
+  for (const rel::Tuple& t : b.tuples()) out.push_back(t[column]);
+  return out;
+}
+
+std::vector<uint64_t> MatchMaskWords(
+    const rel::Tuple& a_i, size_t i, const std::vector<size_t>& a_columns,
+    const std::vector<std::vector<rel::Code>>& b_columns_packed,
+    const std::vector<rel::ComparisonOp>& ops, arrays::EdgeRule edge_rule,
+    size_t n_b) {
+  std::vector<uint64_t> words = EdgeWords(edge_rule, i, n_b);
+  for (size_t c = 0; c < a_columns.size(); ++c) {
+    const rel::Code a_value = a_i[a_columns[c]];
+    bool live = false;
+    for (size_t w = 0; w < words.size(); ++w) {
+      if (words[w] == 0) continue;
+      RefineWord(words[w], w * kWordBits, a_value, b_columns_packed[c],
+                 ops[c]);
+      live = live || words[w] != 0;
+    }
+    if (!live) break;
+  }
+  return words;
+}
+
+BitVector MembershipBits(const rel::Relation& a, const rel::Relation& b,
+                         const std::vector<size_t>& a_columns,
+                         const std::vector<size_t>& b_columns,
+                         arrays::EdgeRule edge_rule) {
+  const size_t n_a = a.num_tuples();
+  const size_t n_b = b.num_tuples();
+  BitVector bits(n_a, false);
+  std::vector<std::vector<rel::Code>> packed;
+  packed.reserve(b_columns.size());
+  for (size_t c : b_columns) packed.push_back(PackColumn(b, c));
+  const std::vector<rel::ComparisonOp> ops(a_columns.size(),
+                                           rel::ComparisonOp::kEq);
+  for (size_t i = 0; i < n_a; ++i) {
+    const std::vector<uint64_t> words =
+        MatchMaskWords(a.tuple(i), i, a_columns, packed, ops, edge_rule, n_b);
+    for (uint64_t word : words) {
+      if (word != 0) {
+        bits.Set(i, true);
+        break;
+      }
+    }
+  }
+  return bits;
+}
+
+std::vector<std::pair<size_t, size_t>> JoinMatches(
+    const rel::Relation& a, const rel::Relation& b,
+    const std::vector<size_t>& left_columns,
+    const std::vector<size_t>& right_columns, rel::ComparisonOp op) {
+  std::vector<std::pair<size_t, size_t>> matches;
+  const size_t n_b = b.num_tuples();
+  std::vector<std::vector<rel::Code>> packed;
+  packed.reserve(right_columns.size());
+  for (size_t c : right_columns) packed.push_back(PackColumn(b, c));
+  const std::vector<rel::ComparisonOp> ops(left_columns.size(), op);
+  for (size_t i = 0; i < a.num_tuples(); ++i) {
+    const std::vector<uint64_t> words =
+        MatchMaskWords(a.tuple(i), i, left_columns, packed, ops,
+                       arrays::EdgeRule::kAllTrue, n_b);
+    for (size_t w = 0; w < words.size(); ++w) {
+      for (uint64_t rest = words[w]; rest != 0; rest &= rest - 1) {
+        matches.emplace_back(
+            i, w * kWordBits + static_cast<size_t>(std::countr_zero(rest)));
+      }
+    }
+  }
+  return matches;
+}
+
+BitVector SelectionBits(const rel::Relation& a,
+                        const std::vector<size_t>& columns,
+                        const std::vector<rel::ComparisonOp>& ops,
+                        const std::vector<rel::Code>& constants) {
+  const size_t n = a.num_tuples();
+  // Here the packed dimension is the tuple index i: one mask over all of A,
+  // refined predicate by predicate.
+  std::vector<uint64_t> words((n + kWordBits - 1) / kWordBits, 0);
+  const size_t full = n / kWordBits;
+  for (size_t w = 0; w < full; ++w) words[w] = ~uint64_t{0};
+  if (n % kWordBits != 0) words[full] = (uint64_t{1} << (n % kWordBits)) - 1;
+  for (size_t p = 0; p < columns.size(); ++p) {
+    const std::vector<rel::Code> column = PackColumn(a, columns[p]);
+    bool live = false;
+    for (size_t w = 0; w < words.size(); ++w) {
+      if (words[w] == 0) continue;
+      // The selection cell compares tuple element (left) to its preloaded
+      // constant (right).
+      for (uint64_t rest = words[w]; rest != 0; rest &= rest - 1) {
+        const size_t i =
+            w * kWordBits + static_cast<size_t>(std::countr_zero(rest));
+        if (!rel::ApplyComparison(ops[p], column[i], constants[p])) {
+          words[w] &= ~(uint64_t{1} << (i - w * kWordBits));
+        }
+      }
+      live = live || words[w] != 0;
+    }
+    if (!live) break;
+  }
+  BitVector bits(n, false);
+  for (size_t w = 0; w < words.size(); ++w) {
+    for (uint64_t rest = words[w]; rest != 0; rest &= rest - 1) {
+      bits.Set(w * kWordBits + static_cast<size_t>(std::countr_zero(rest)),
+               true);
+    }
+  }
+  return bits;
+}
+
+}  // namespace fastpath
+}  // namespace systolic

@@ -254,6 +254,9 @@ Status CommandInterpreter::RunStep(Transaction transaction,
   (*out_) << "-- " << OpKindToString(step.op) << " -> " << output << ": "
           << result->num_tuples() << " tuples, " << step.exec.passes
           << " passes, " << step.exec.cycles << " pulses";
+  if (step.exec.backend == fastpath::Backend::kFast) {
+    (*out_) << " (fast, analytic)";
+  }
   PrintFaultCounters(step.exec);
   (*out_) << "\n";
   return PersistSinks(transaction.SinkOutputs());
@@ -264,6 +267,17 @@ void CommandInterpreter::PrintFaultCounters(const db::ExecStats& exec) {
   (*out_) << ", " << exec.faults_detected << " faults, " << exec.tile_retries
           << " retries, " << exec.healthy_chips << "/" << exec.num_chips
           << " chips";
+}
+
+void CommandInterpreter::PrintBackendPolicy() {
+  const fastpath::BackendPolicy policy = machine_->backend_policy();
+  if (policy == fastpath::BackendPolicy::kRtl) return;
+  (*out_) << "-- backend: " << fastpath::BackendPolicyToString(policy)
+          << " (packed bitwise kernels, analytic pulse counts";
+  if (machine_->config().device.faults != nullptr) {
+    (*out_) << "; falls back to rtl while faults are installed";
+  }
+  (*out_) << ")\n";
 }
 
 void CommandInterpreter::PrintFaultPolicy() {
@@ -337,6 +351,8 @@ void CommandInterpreter::PrintHelp() {
           << "--   OPEN <dir> | CHECKPOINT  (crash-safe durability)\n"
           << "--   SET PLANNER on|off | SET DURABILITY on|off | "
              "SET FAULTS seed=<n> ... | SET FAULTS off\n"
+          << "--   SET BACKEND rtl|fast|auto  (fast: packed bitwise kernels "
+             "with analytic pulse counts)\n"
           << "--   HELP\n";
 }
 
@@ -492,10 +508,22 @@ Status CommandInterpreter::Execute(const std::string& line) {
   if (verb == "SET") {
     if (tokens.size() < 2) {
       return Status::InvalidArgument(
-          "usage: SET <key> ...; valid keys: PLANNER, DURABILITY, FAULTS");
+          "usage: SET <key> ...; valid keys: PLANNER, DURABILITY, FAULTS, "
+          "BACKEND");
     }
     if (tokens[1] == "FAULTS") {
       return SetFaults(tokens);
+    }
+    if (tokens[1] == "BACKEND") {
+      fastpath::BackendPolicy policy;
+      if (tokens.size() != 3 || !fastpath::ParseBackendPolicy(tokens[2],
+                                                              &policy)) {
+        return Status::InvalidArgument(
+            "usage: SET BACKEND <value>; valid values: rtl, fast, auto");
+      }
+      machine_->SetBackendPolicy(policy);
+      (*out_) << "-- backend " << tokens[2] << "\n";
+      return Status::OK();
     }
     if (tokens[1] == "PLANNER" || tokens[1] == "DURABILITY") {
       if (tokens.size() != 3 || (tokens[2] != "on" && tokens[2] != "off")) {
@@ -513,7 +541,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
     }
     return Status::InvalidArgument("unknown SET key '" + tokens[1] +
                                    "'; valid keys: PLANNER, DURABILITY, "
-                                   "FAULTS");
+                                   "FAULTS, BACKEND");
   }
   if (verb == "OPEN") {
     if (tokens.size() != 2) {
@@ -560,6 +588,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
                                 Plan(parsed.first));
       PrintPrefixed(out_, planned.ToString());
       SYSTOLIC_RETURN_NOT_OK(PrintVerify(planned));
+      PrintBackendPolicy();
       PrintFaultPolicy();
       PrintDurabilityPolicy();
       return Status::OK();
@@ -584,6 +613,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
                               Plan(pending_));
     PrintPrefixed(out_, planned.ToString());
     SYSTOLIC_RETURN_NOT_OK(PrintVerify(planned));
+    PrintBackendPolicy();
     PrintFaultPolicy();
     PrintDurabilityPolicy();
     return Status::OK();

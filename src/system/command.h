@@ -105,6 +105,10 @@ class CommandInterpreter {
   /// One "-- faults: ..." line describing the installed plan and recovery
   /// policy (printed by EXPLAIN); no-op without a plan.
   void PrintFaultPolicy();
+
+  /// "-- backend: ..." policy line for EXPLAIN; silent on the default
+  /// (rtl) policy, matching PrintFaultPolicy's silence on perfect hardware.
+  void PrintBackendPolicy();
   /// Durably commits the named buffers as one atomic WAL group, mirrors
   /// them to the modeled disk and prints a "-- durability:" line; no-op
   /// (and silent) when durability is off.

@@ -36,6 +36,16 @@ void Machine::InstallFaultPlan(std::shared_ptr<const faults::FaultPlan> plan,
   }
 }
 
+void Machine::SetBackendPolicy(fastpath::BackendPolicy policy) {
+  config_.device.backend = policy;
+  engine_ = db::Engine(config_.device);
+  engines_.clear();
+  for (auto& [kind, device] : config_.device_configs) {
+    device.backend = policy;
+    engines_.emplace(kind, db::Engine(device));
+  }
+}
+
 double Machine::CrossbarBytesPerSecond() const {
   if (config_.crossbar_bytes_per_second > 0) {
     return config_.crossbar_bytes_per_second;

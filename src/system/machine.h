@@ -157,6 +157,15 @@ class Machine {
   void InstallFaultPlan(std::shared_ptr<const faults::FaultPlan> plan,
                         faults::RecoveryOptions recovery = {});
 
+  /// Selects the execution backend for every device of the machine and
+  /// rebuilds the engines. Fast policies still fall back to the RTL
+  /// simulator per Engine::ResolveBackend whenever a fault plan is
+  /// installed. Surfaced in the shell as `SET BACKEND rtl|fast|auto`.
+  void SetBackendPolicy(fastpath::BackendPolicy policy);
+  fastpath::BackendPolicy backend_policy() const {
+    return config_.device.backend;
+  }
+
   /// Opens (creating or crash-recovering) a durable catalog directory
   /// (DESIGN S21), copies every recovered relation onto the disk unit, and
   /// enables durability: STORE and durable COMMITs are WAL-logged and

@@ -205,6 +205,179 @@ TEST_F(CommandFixture, SetDurabilityRequiresAnOpenDirectory) {
   EXPECT_NE(toggled.message().find("OPEN <dir>"), std::string::npos);
 }
 
+TEST_F(CommandFixture, SetBackendFastStampsTheStepReport) {
+  ASSERT_STATUS_OK(
+      Run("SET BACKEND fast\nLOAD A\nLOAD B\nINTERSECT A B -> C\n"));
+  EXPECT_NE(out_.str().find("-- backend fast"), std::string::npos);
+  // The step ran on the fast path: same result, marker in the report line.
+  EXPECT_NE(out_.str().find("intersect -> C: 1 tuples"), std::string::npos);
+  EXPECT_NE(out_.str().find("(fast, analytic)"), std::string::npos);
+  // Same pulses as the RTL run (analytic timing contract).
+  std::ostringstream rtl_out;
+  MachineConfig config;
+  config.num_memories = 12;
+  Machine rtl_machine(config);
+  rtl_machine.disk().Put("A", Rel(schema_, {{1, 10}, {2, 20}, {3, 30}}));
+  rtl_machine.disk().Put("B", Rel(schema_, {{2, 20}, {4, 40}}));
+  CommandInterpreter rtl_shell(&rtl_machine, &rtl_out);
+  ASSERT_STATUS_OK(rtl_shell.Execute("LOAD A"));
+  ASSERT_STATUS_OK(rtl_shell.Execute("LOAD B"));
+  ASSERT_STATUS_OK(rtl_shell.Execute("INTERSECT A B -> C"));
+  const std::string rtl_line = rtl_out.str();
+  const size_t pulses_at = rtl_line.find(" pulses");
+  ASSERT_NE(pulses_at, std::string::npos);
+  const size_t comma_at = rtl_line.rfind(", ", pulses_at);
+  ASSERT_NE(comma_at, std::string::npos);
+  // "<n> pulses" from the RTL run must appear verbatim in the fast run.
+  EXPECT_NE(out_.str().find(rtl_line.substr(comma_at, pulses_at - comma_at)),
+            std::string::npos)
+      << "fast output: " << out_.str() << "\nrtl output: " << rtl_line;
+}
+
+TEST_F(CommandFixture, SetBackendUnknownValueNamesTheValidOnes) {
+  const Status bad = Run("SET BACKEND turbo\n");
+  EXPECT_TRUE(bad.IsInvalidArgument());
+  EXPECT_NE(bad.message().find("valid values: rtl, fast, auto"),
+            std::string::npos);
+  const Status missing = Run("SET BACKEND\n");
+  EXPECT_TRUE(missing.IsInvalidArgument());
+  EXPECT_NE(missing.message().find("valid values: rtl, fast, auto"),
+            std::string::npos);
+}
+
+TEST_F(CommandFixture, UnknownSetKeyNamesBackend) {
+  const Status unknown = Run("SET TURBO on\n");
+  EXPECT_NE(unknown.message().find("FAULTS, BACKEND"), std::string::npos);
+}
+
+TEST_F(CommandFixture, HelpListsSetBackend) {
+  ASSERT_STATUS_OK(Run("HELP\n"));
+  EXPECT_NE(out_.str().find("SET BACKEND rtl|fast|auto"), std::string::npos);
+}
+
+TEST_F(CommandFixture, ExplainPrintsTheBackendPolicy) {
+  ASSERT_STATUS_OK(
+      Run("SET BACKEND auto\nLOAD A\nLOAD B\nEXPLAIN INTERSECT A B -> C\n"));
+  EXPECT_NE(out_.str().find("-- backend: auto"), std::string::npos);
+}
+
+TEST_F(CommandFixture, FastBackendFallsBackToRtlUnderFaults) {
+  ASSERT_STATUS_OK(
+      Run("SET BACKEND fast\nSET FAULTS seed=3\nLOAD A\nLOAD B\n"
+          "INTERSECT A B -> C\n"));
+  // Fault injection needs pulse-level fidelity: no fast-path marker, and
+  // the fault counters report as usual.
+  EXPECT_EQ(out_.str().find("(fast, analytic)"), std::string::npos);
+  EXPECT_NE(out_.str().find("intersect -> C: 1 tuples"), std::string::npos);
+  EXPECT_NE(out_.str().find("faults"), std::string::npos);
+  // EXPLAIN names the pending fallback while the policy stays fast.
+  ASSERT_STATUS_OK(Run("EXPLAIN INTERSECT A B -> D\n"));
+  EXPECT_NE(out_.str().find("falls back to rtl while faults are installed"),
+            std::string::npos);
+}
+
+TEST_F(CommandFixture, PlannerAndFastBackendAgreeWithRtl) {
+  ASSERT_STATUS_OK(
+      Run("SET PLANNER on\nSET BACKEND fast\nLOAD A\nLOAD B\n"
+          "BEGIN\nINTERSECT A B -> x\nUNION A B -> y\nCOMMIT\n"));
+  EXPECT_EQ((*machine_->Buffer("x"))->num_tuples(), 1u);
+  EXPECT_EQ((*machine_->Buffer("y"))->num_tuples(), 4u);
+}
+
+TEST_F(CommandFixture, RelationalParseErrors) {
+  ASSERT_STATUS_OK(Run("LOAD A\nLOAD B\n"));
+  // Unknown comparison operator.
+  EXPECT_TRUE(Run("SELECT A WHERE c0 ~ 5 -> X\n").IsInvalidArgument());
+  // Predicate cut off mid-triple.
+  EXPECT_TRUE(Run("SELECT A WHERE c0 =\n").IsInvalidArgument());
+  // More than one output name after the arrow.
+  EXPECT_TRUE(Run("SELECT A WHERE c0 = 1 -> X extra\n").IsInvalidArgument());
+  // Arrow missing where one is required.
+  EXPECT_TRUE(Run("DEDUP A to X\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("DEDUP A\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("PROJECT A\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("JOIN A B c0 = c0 -> J\n").IsInvalidArgument());
+}
+
+TEST_F(CommandFixture, SystemCommandUsageErrors) {
+  ASSERT_STATUS_OK(Run("LOAD A\n"));
+  EXPECT_TRUE(Run("PRINT\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("STORE A disk_a\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("RELEASE\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("CHECKPOINT now\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("SET PLANNER maybe\n").IsInvalidArgument());
+}
+
+TEST_F(CommandFixture, SetFaultsParsesEveryKnob) {
+  ASSERT_STATUS_OK(Run("SET FAULTS seed=7 rate=0.25 shadow=0.5 strikes=2\n"));
+  ASSERT_NE(machine_->config().device.faults, nullptr);
+  // dead= marks the named chip dead (chip 0 is the only one here).
+  ASSERT_STATUS_OK(Run("SET FAULTS seed=7 dead=0\n"));
+  EXPECT_TRUE(machine_->config().device.faults->chip(0).dead);
+  ASSERT_STATUS_OK(Run("SET FAULTS off\n"));
+  EXPECT_EQ(machine_->config().device.faults, nullptr);
+  EXPECT_NE(out_.str().find("-- faults off"), std::string::npos);
+}
+
+TEST_F(CommandFixture, SetFaultsRejectsBadValues) {
+  EXPECT_TRUE(Run("SET FAULTS seed=banana\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("SET FAULTS seed=1 rate=2\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("SET FAULTS seed=1 shadow=nope\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("SET FAULTS seed=1 strikes=0\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("SET FAULTS seed=1 dead=x\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("SET FAULTS seed=1 dead=9\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("SET FAULTS seed=1 turbo=1\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("SET FAULTS rate=0.1\n").IsInvalidArgument());
+}
+
+TEST_F(CommandFixture, VerifyCommandAndTransactionForms) {
+  ASSERT_STATUS_OK(Run("LOAD A\nLOAD B\n"));
+  // Standalone VERIFY <command> plans and checks without executing.
+  ASSERT_STATUS_OK(Run("VERIFY INTERSECT A B -> V\n"));
+  EXPECT_FALSE(machine_->Buffer("V").ok()) << "VERIFY must not execute";
+  EXPECT_NE(out_.str().find("verify:"), std::string::npos);
+  // VERIFY of a non-relational verb and outside a transaction both fail.
+  EXPECT_TRUE(Run("VERIFY PRINT A\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("VERIFY\n").IsInvalidArgument());
+  EXPECT_TRUE(Run("EXPLAIN PRINT A\n").IsInvalidArgument());
+  // In-transaction VERIFY checks the pending steps.
+  ASSERT_STATUS_OK(
+      Run("BEGIN\nINTERSECT A B -> I\nVERIFY\nABORT\n"));
+}
+
+TEST_F(CommandFixture, CommitWithPlannerOffReportsFaultCounters) {
+  ASSERT_STATUS_OK(
+      Run("SET PLANNER off\nSET FAULTS seed=3\nLOAD A\nLOAD B\n"
+          "BEGIN\nINTERSECT A B -> I\nCOMMIT\n"));
+  EXPECT_EQ((*machine_->Buffer("I"))->num_tuples(), 1u);
+  EXPECT_NE(out_.str().find("-- committed 1 steps"), std::string::npos);
+  EXPECT_NE(out_.str().find("-- faults: 0 detected"), std::string::npos);
+}
+
+TEST_F(CommandFixture, PlannedCommitReleasesTempsAndReportsFaults) {
+  // The planner pushes the selection below the join, introducing temp
+  // buffers the commit must release; with a fault plan installed the
+  // planner commit path prints the fault counters too.
+  ASSERT_STATUS_OK(
+      Run("SET PLANNER on\nSET FAULTS seed=3\nLOAD A\nLOAD B\n"
+          "BEGIN\nJOIN A B ON c0 = c0 -> J\n"
+          "SELECT J WHERE c1 >= 20 -> H\nCOMMIT\n"));
+  auto h = machine_->Buffer("H");
+  ASSERT_OK(h);
+  EXPECT_EQ((*h)->num_tuples(), 1u);  // only (2,20)x(2,20) survives
+  EXPECT_NE(out_.str().find("-- faults: 0 detected"), std::string::npos);
+}
+
+TEST_F(CommandFixture, PendingOutputNotFoundInsideTransaction) {
+  ASSERT_STATUS_OK(Run("LOAD A\n"));
+  // Inside a transaction, operand schemas resolve through the pending
+  // plan; a name neither buffered nor pending is still NotFound.
+  const Status status =
+      Run("BEGIN\nSELECT ghost WHERE c0 = 1 -> X\n");
+  EXPECT_TRUE(status.IsNotFound());
+  ASSERT_STATUS_OK(Run("ABORT\n"));
+}
+
 /// CommandFixture plus a durable scratch directory.
 class DurableCommandFixture : public CommandFixture {
  protected:

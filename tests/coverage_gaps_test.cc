@@ -108,6 +108,37 @@ TEST(ReferenceGapTest, ProjectionOfEmptyColumnListIsRejectedDownstream) {
   EXPECT_TRUE(projected.status().IsInvalidArgument());
 }
 
+TEST(StatusGapTest, EveryCodeHasACanonicalName) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "invalid-argument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "not-found");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "already-exists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "out-of-range");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "unimplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "internal");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "io-error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIncompatible), "incompatible");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kCapacity), "capacity");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataCorruption),
+               "data-corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kVerifyFailed), "verify-failed");
+  // A code from a future version must render, not crash, when an old
+  // binary prints it.
+  EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(99)), "unknown");
+}
+
+TEST(StatusGapTest, CopyAssignmentSharesTheErrorRep) {
+  const Status error = Status::Capacity("grid full");
+  Status copy = Status::OK();
+  copy = error;
+  EXPECT_TRUE(copy.IsCapacity());
+  EXPECT_EQ(copy.ToString(), "capacity: grid full");
+}
+
 TEST(ArrayRunInfoGapTest, AccumulateSumsPasses) {
   arrays::ArrayRunInfo total;
   arrays::ArrayRunInfo pass;
