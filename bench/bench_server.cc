@@ -1,0 +1,178 @@
+// Experiment E25 — concurrent serving: cross-session group-commit
+// amortization and multi-client script throughput (DESIGN S24).
+//
+// One durable server, two measured legs of the same commit script (a
+// durable STORE: snapshot pin, admission, WAL append, fsync, ack):
+//
+//   1. Serial leg: ONE client replays the script; every COMMIT pays a full
+//      WAL append + fsync of its own.
+//   2. Concurrent leg: 8 clients replay the same script concurrently; the
+//      group-commit leader drains every queued COMMIT into one append +
+//      fsync.
+//
+// Asserted, in --smoke too (the ISSUE's acceptance bars):
+//
+//   * mean group-commit batch size on the concurrent leg > 1.5 — the fsync
+//     must actually be amortized across sessions, and
+//   * concurrent-leg script throughput >= 2x the serial leg. On a
+//     single-core box this speedup can ONLY come from commit batching
+//     (compute does not parallelize), which is exactly the property worth
+//     gating: N clients, one disk synchronization.
+//
+// `--smoke` shrinks repetition counts for CI; both bars stay asserted.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace systolic;
+using systolic::bench::MakePair;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void MustRun(server::Session* session, const std::string& line) {
+  const auto output = session->Execute(line);
+  SYSTOLIC_CHECK(output.ok())
+      << "'" << line << "': " << output.status().ToString();
+}
+
+/// One commit script: a STORE durably persisted through the shared
+/// group-commit pipeline (WAL append + fsync before the acknowledgement).
+/// Disk names are per session, so concurrent replays never conflict.
+void RunScript(server::Session* session, size_t session_index) {
+  MustRun(session, "STORE A AS w" + std::to_string(session_index));
+}
+
+/// Scripts/second for `num_clients` sessions replaying the script `reps`
+/// times each, all concurrently.
+double MeasureThroughput(server::Server* srv, size_t num_clients,
+                         size_t reps) {
+  std::vector<std::shared_ptr<server::Session>> sessions;
+  for (size_t i = 0; i < num_clients; ++i) {
+    auto session = srv->Connect();
+    SYSTOLIC_CHECK(session.ok()) << session.status().ToString();
+    sessions.push_back(*session);
+    // Fast backend: the leg compares commit pipelines, and the script's
+    // compute must stay small next to one fsync for the comparison to see
+    // them.
+    MustRun(sessions.back().get(), "SET BACKEND fast");
+    MustRun(sessions.back().get(), "LOAD A");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < num_clients; ++i) {
+    clients.emplace_back([&sessions, i, reps] {
+      for (size_t r = 0; r < reps; ++r) RunScript(sessions[i].get(), i);
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  for (const auto& session : sessions) srv->Disconnect(session->id());
+  return static_cast<double>(num_clients * reps) / seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const size_t reps = smoke ? 16 : 64;
+  constexpr size_t kClients = 8;
+
+  const rel::Schema schema = rel::MakeIntSchema(2);
+  // Small relation: the script's compute must stay comparable to one fsync,
+  // or the commit path (the thing under test) vanishes into the noise.
+  const auto pair = MakePair(schema, 16, 8, 0.4, 25);
+
+  systolic::bench::JsonWriter json("bench_server");
+  std::printf("=== E25: concurrent serving — group commit and throughput "
+              "===\n");
+
+  const std::string dir = FreshDir("systolic_bench_server");
+  server::ServerConfig config;
+  config.machine.num_memories = 8;
+  config.num_chips = 1;
+  // Single-chip sessions with a lifted admission limit: COMMITs must be
+  // able to overlap for the leader to batch them.
+  config.max_concurrent_plans = kClients;
+  config.max_queued_plans = 4 * kClients;
+  config.durable_dir = dir;
+  auto created = server::Server::Create(std::move(config));
+  SYSTOLIC_CHECK(created.ok()) << created.status().ToString();
+  std::unique_ptr<server::Server> srv = std::move(*created);
+  SYSTOLIC_CHECK(srv->catalog().Seed("A", pair.a).ok());
+
+  // Warm-up (allocators, file growth), then the two legs.
+  MeasureThroughput(srv.get(), 1, 4);
+  const server::GroupCommitStats before_serial = srv->stats().group_commit;
+  const double serial_rate = MeasureThroughput(srv.get(), 1, reps);
+  const server::GroupCommitStats before_concurrent =
+      srv->stats().group_commit;
+  const double concurrent_rate =
+      MeasureThroughput(srv.get(), kClients, reps);
+  const server::GroupCommitStats after = srv->stats().group_commit;
+
+  // Batching on the concurrent leg only (the serial leg batches at 1 by
+  // construction).
+  const size_t commits = after.commits - before_concurrent.commits;
+  const size_t batches = after.batches - before_concurrent.batches;
+  const double mean_batch =
+      batches == 0 ? 0.0
+                   : static_cast<double>(commits) /
+                         static_cast<double>(batches);
+  const double speedup = concurrent_rate / serial_rate;
+
+  std::printf("\n-- serial leg: 1 client x %zu commit scripts --\n", reps);
+  std::printf("%-26s %-14.1f\n", "scripts/s",  serial_rate);
+  std::printf("%-26s %zu\n", "fsync batches",
+              before_concurrent.batches - before_serial.batches);
+
+  std::printf("\n-- concurrent leg: %zu clients x %zu commit scripts --\n",
+              kClients, reps);
+  std::printf("%-26s %-14.1f\n", "scripts/s", concurrent_rate);
+  std::printf("%-26s %zu\n", "commits acked", commits);
+  std::printf("%-26s %zu\n", "fsync batches", batches);
+  std::printf("%-26s %zu\n", "conflicts", after.conflicts);
+  std::printf("batch size histogram:");
+  for (const auto& [size, count] : after.batch_size_histogram) {
+    std::printf(" %zux%zu", size, count);
+  }
+  std::printf("\n\nmean batch size %.2f (> 1.5 asserted)\n", mean_batch);
+  std::printf("throughput speedup %.2fx (>= 2x asserted)\n", speedup);
+
+  SYSTOLIC_CHECK(commits == kClients * reps);
+  SYSTOLIC_CHECK(after.conflicts == 0u);
+  SYSTOLIC_CHECK(mean_batch > 1.5)
+      << "mean group-commit batch " << mean_batch << " at " << kClients
+      << " writers: the fsync is not being amortized";
+  SYSTOLIC_CHECK(speedup >= 2.0)
+      << "concurrent throughput only " << speedup
+      << "x of serial: group commit is not paying for itself";
+
+  json.Case("group_commit_mean_batch_x100", 0, mean_batch * 100.0);
+  json.Case("throughput_serial", 0, 1e9 / serial_rate);
+  json.Case("throughput_8_clients", 0, 1e9 / concurrent_rate);
+
+  std::filesystem::remove_all(dir);
+  std::printf("\nall serving bars held: one fsync now carries %.1f "
+              "sessions' commits\n", mean_batch);
+  return 0;
+}

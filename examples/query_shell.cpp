@@ -15,14 +15,30 @@
 // WAL-logged and fsync'd, and a re-run against the same DIR recovers them.
 // Type HELP in a script for the full verb list, including CHECKPOINT and
 // SET DURABILITY on|off.
+//
+// Server mode (DESIGN S24):
+//   $ ./query_shell --serve 0 --chips 4            # prints the bound port
+//   $ ./query_shell --connect PORT < my_script.txt # one session per client
+// `--serve PORT` starts the concurrent multi-session server on
+// 127.0.0.1:PORT (0 = pick an ephemeral port) with the demo relations
+// seeded into the shared catalog; combine with `--durable DIR` for
+// crash-safe cross-session group commit. Each `--connect` client gets its
+// own session: private SET PLANNER/BACKEND/FAULTS settings, snapshot reads,
+// and STOREs that group-commit with other sessions. The command line
+// `SHUTDOWN` stops the server.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "relational/builder.h"
+#include "server/server.h"
 #include "system/command.h"
 
 namespace {
@@ -70,12 +86,8 @@ SET BACKEND rtl
 STORE complete AS complete_suppliers
 )";
 
-machine::Machine MakeDemoMachine(size_t num_chips) {
-  machine::MachineConfig config;
-  config.num_memories = 16;
-  config.device.num_chips = num_chips;
-  machine::Machine m(config);
-
+std::vector<std::pair<std::string, rel::Relation>> MakeDemoRelations() {
+  std::vector<std::pair<std::string, rel::Relation>> relations;
   auto ds = rel::Domain::Make("supplier", rel::ValueType::kString);
   auto dp = rel::Domain::Make("part", rel::ValueType::kString);
   auto dw = rel::Domain::Make("weight", rel::ValueType::kInt64);
@@ -91,14 +103,14 @@ machine::Machine MakeDemoMachine(size_t num_chips) {
                                 rel::Value::String(row[1])})
                        .ok());
   }
-  m.disk().Put("supplies", supplies.Finish());
+  relations.emplace_back("supplies", supplies.Finish());
 
   rel::Schema required_schema({{"part", dp}});
   rel::RelationBuilder required(required_schema);
   for (const char* part : {"bolt", "nut"}) {
     SYSTOLIC_CHECK(required.AddRow({rel::Value::String(part)}).ok());
   }
-  m.disk().Put("required", required.Finish());
+  relations.emplace_back("required", required.Finish());
 
   rel::Schema parts_schema({{"part", dp}, {"weight", dw}});
   rel::RelationBuilder parts(parts_schema);
@@ -106,8 +118,89 @@ machine::Machine MakeDemoMachine(size_t num_chips) {
       parts.AddRow({rel::Value::String("bolt"), rel::Value::Int64(12)}).ok());
   SYSTOLIC_CHECK(
       parts.AddRow({rel::Value::String("nut"), rel::Value::Int64(25)}).ok());
-  m.disk().Put("parts", parts.Finish());
+  relations.emplace_back("parts", parts.Finish());
+  return relations;
+}
+
+machine::Machine MakeDemoMachine(size_t num_chips) {
+  machine::MachineConfig config;
+  config.num_memories = 16;
+  config.device.num_chips = num_chips;
+  machine::Machine m(config);
+  for (auto& [name, relation] : MakeDemoRelations()) {
+    m.disk().Put(name, relation);
+  }
   return m;
+}
+
+int RunServer(uint16_t port, size_t num_chips, const char* durable_dir) {
+  server::ServerConfig config;
+  config.machine.num_memories = 16;
+  config.num_chips = num_chips;
+  if (durable_dir != nullptr) config.durable_dir = durable_dir;
+  Result<std::unique_ptr<server::Server>> created =
+      server::Server::Create(std::move(config));
+  if (!created.ok()) {
+    std::printf("FAILED to start server: %s\n",
+                created.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<server::Server> srv = std::move(created).ValueOrDie();
+  // Seed demo data so fresh clients have something to query; a durable
+  // directory may already carry recovered relations under these names.
+  const auto snapshot = srv->catalog().Snapshot();
+  for (auto& [name, relation] : MakeDemoRelations()) {
+    if (snapshot->relations.count(name) != 0) continue;
+    const Status seeded = srv->catalog().Seed(name, std::move(relation));
+    if (!seeded.ok()) {
+      std::printf("FAILED to seed '%s': %s\n", name.c_str(),
+                  seeded.ToString().c_str());
+      return 1;
+    }
+  }
+  const Status listening = srv->Listen(port);
+  if (!listening.ok()) {
+    std::printf("FAILED to listen: %s\n", listening.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (chips=%zu%s)\n",
+              static_cast<unsigned>(srv->port()), num_chips,
+              durable_dir != nullptr ? ", durable" : "");
+  std::fflush(stdout);
+  const Status served = srv->Serve();
+  if (!served.ok()) {
+    std::printf("FAILED: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  const server::ServerStats stats = srv->stats();
+  std::printf("served %zu session(s); group commit: %zu commit(s) in %zu "
+              "batch(es), %zu conflict(s)\n",
+              stats.sessions_admitted, stats.group_commit.commits,
+              stats.group_commit.batches, stats.group_commit.conflicts);
+  return 0;
+}
+
+int RunClient(uint16_t port) {
+  Result<server::Client> connected = server::Client::Connect(port);
+  if (!connected.ok()) {
+    std::printf("FAILED to connect: %s\n",
+                connected.status().ToString().c_str());
+    return 1;
+  }
+  server::Client client = std::move(connected).ValueOrDie();
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    Result<server::Client::Reply> reply = client.Roundtrip(line);
+    if (!reply.ok()) {
+      std::printf("connection lost: %s\n", reply.status().ToString().c_str());
+      return 1;
+    }
+    if (!reply->ok) std::printf("ERR %s\n", reply->error.c_str());
+    std::fputs(reply->output.c_str(), stdout);
+    if (line == "SHUTDOWN") break;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -117,6 +210,8 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool planner = true;
   const char* durable_dir = nullptr;
+  int serve_port = -1;
+  int connect_port = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chips") == 0 && i + 1 < argc) {
       num_chips = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
@@ -126,7 +221,18 @@ int main(int argc, char** argv) {
       planner = false;
     } else if (std::strcmp(argv[i], "--durable") == 0 && i + 1 < argc) {
       durable_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_port = std::atoi(argv[++i]);
     }
+  }
+  if (serve_port >= 0) {
+    return RunServer(static_cast<uint16_t>(serve_port), num_chips,
+                     durable_dir);
+  }
+  if (connect_port > 0) {
+    return RunClient(static_cast<uint16_t>(connect_port));
   }
   machine::Machine m = MakeDemoMachine(num_chips);
   machine::CommandInterpreter interpreter(&m, &std::cout);

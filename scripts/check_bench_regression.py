@@ -36,16 +36,27 @@ import sys
 
 
 def load_trajectory(directory):
-    """Reads every BENCH_*.json in `directory` into {bench: {...}}."""
+    """Reads every BENCH_*.json in `directory` into {bench: {...}}.
+
+    Returns (benches, errors). Malformed files are collected into `errors`
+    rather than aborting at the first one, so a single run reports every
+    problem in the trajectory directory at once.
+    """
     benches = {}
+    errors = []
     for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
-        with open(path, "r", encoding="utf-8") as f:
-            record = json.load(f)
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                record = json.load(f)
+        except (OSError, json.JSONDecodeError) as err:
+            errors.append(f"{path}: {err}")
+            continue
         name = record.get("bench")
         if not name or "cases" not in record:
-            raise ValueError(f"{path}: missing 'bench' or 'cases'")
+            errors.append(f"{path}: missing 'bench' or 'cases'")
+            continue
         benches[name] = record["cases"]
-    return benches
+    return benches, errors
 
 
 def cycles_by_case(cases):
@@ -139,10 +150,12 @@ def main():
                              "trajectory instead of gating")
     args = parser.parse_args()
 
-    try:
-        current = load_trajectory(args.dir)
-    except (OSError, ValueError, json.JSONDecodeError) as err:
-        print(f"check_bench_regression: bad trajectory: {err}")
+    current, bad_files = load_trajectory(args.dir)
+    if bad_files:
+        print(f"check_bench_regression: {len(bad_files)} malformed "
+              f"trajectory file(s) in {args.dir}:")
+        for err in bad_files:
+            print(f"  {err}")
         return 1
     if not current:
         print(f"check_bench_regression: no BENCH_*.json found in {args.dir}")

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Server smoke gate (DESIGN S24): boot the socket server, drive it with 8
+# concurrent scripted clients, and diff every client's transcript against a
+# serial oracle run of the same scripts.
+#
+# Snapshot isolation plus session-private buffers make each script's output
+# a pure function of the script itself — concurrency must not be able to
+# change a single byte of any transcript. The oracle therefore needs no
+# special casing: it is the same clients, run one at a time.
+#
+# Usage: scripts/server_smoke.sh [path/to/query_shell]
+
+set -euo pipefail
+
+SHELL_BIN="${1:-build/examples/query_shell}"
+CLIENTS=8
+
+if [ ! -x "$SHELL_BIN" ]; then
+  echo "server_smoke: no executable at $SHELL_BIN (build first)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Per-client script: loads the demo relations, runs a small pipeline into
+# client-private buffer names, prints results, and durably STOREs under a
+# client-private disk name. Deterministic output per client by construction.
+client_script() {
+  local i="$1"
+  cat <<EOF
+LOAD supplies
+LOAD required
+DIVIDE supplies required ON part = part -> c${i}_complete
+PRINT c${i}_complete
+DEDUP supplies -> c${i}_d
+PRINT c${i}_d
+STORE c${i}_d AS c${i}_store
+LOAD parts
+SELECT parts WHERE weight >= 20 -> c${i}_heavy
+PRINT c${i}_heavy
+BEGIN
+JOIN supplies parts ON part = part -> c${i}_tx
+COMMIT
+PRINT c${i}_tx
+EXPLAIN JOIN supplies parts ON part = part -> c${i}_wide
+EOF
+}
+
+# Boot the server on an ephemeral port and parse the bound port from its
+# banner line ("serving on 127.0.0.1:<port> (chips=...)").
+"$SHELL_BIN" --serve 0 >"$WORK/server.log" 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$WORK/server.log" | head -1)"
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server_smoke: server died during startup:" >&2
+    cat "$WORK/server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "server_smoke: server never printed its port" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+fi
+echo "server_smoke: server up on port $PORT (pid $SERVER_PID)"
+
+# Serial oracle: each client's script, one client at a time.
+for i in $(seq 1 "$CLIENTS"); do
+  client_script "$i" | "$SHELL_BIN" --connect "$PORT" \
+      >"$WORK/serial_$i.out" 2>&1
+done
+
+# Concurrent run: all clients at once against the same server.
+pids=()
+for i in $(seq 1 "$CLIENTS"); do
+  client_script "$i" | "$SHELL_BIN" --connect "$PORT" \
+      >"$WORK/concurrent_$i.out" 2>&1 &
+  pids+=($!)
+done
+for pid in "${pids[@]}"; do
+  wait "$pid"
+done
+
+# Byte-identical transcripts, client by client. The one legitimate
+# difference is the session id EXPLAIN reports — it names the connection,
+# not the result — so it is normalized out before the diff.
+normalize() {
+  sed 's/session: id [0-9]*/session: id N/' "$1"
+}
+fail=0
+for i in $(seq 1 "$CLIENTS"); do
+  normalize "$WORK/serial_$i.out" >"$WORK/serial_$i.norm"
+  normalize "$WORK/concurrent_$i.out" >"$WORK/concurrent_$i.norm"
+  if ! diff -u "$WORK/serial_$i.norm" "$WORK/concurrent_$i.norm" \
+      >"$WORK/diff_$i.txt" 2>&1; then
+    echo "server_smoke: client $i transcript diverged under concurrency:" >&2
+    cat "$WORK/diff_$i.txt" >&2
+    fail=1
+  fi
+  if grep -q '^ERR ' "$WORK/serial_$i.out"; then
+    echo "server_smoke: client $i script hit errors:" >&2
+    grep '^ERR ' "$WORK/serial_$i.out" >&2
+    fail=1
+  fi
+done
+
+# Orderly shutdown through the protocol, then wait for the server to print
+# its session/commit summary.
+printf 'SHUTDOWN\n' | "$SHELL_BIN" --connect "$PORT" >/dev/null 2>&1 || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+if [ "$fail" -ne 0 ]; then
+  echo "server_smoke: FAILED" >&2
+  exit 1
+fi
+echo "server_smoke: OK — $CLIENTS concurrent clients byte-identical to the" \
+     "serial oracle"

@@ -102,48 +102,59 @@ ChipPool::~ChipPool() {
 void ChipPool::RunAll(size_t num_tasks,
                       const std::function<void(size_t, size_t)>& task) {
   if (num_tasks == 0) return;
-  std::lock_guard<std::mutex> run_lock(run_mutex_);
   std::unique_lock<std::mutex> lock(mutex_);
-  task_ = &task;
-  num_tasks_ = num_tasks;
-  next_task_ = 0;
-  completed_ = 0;
-  exceptions_.assign(num_tasks, nullptr);
-  ++generation_;
+  const auto it = batches_.emplace(batches_.end());
+  it->id = next_batch_id_++;
+  it->num_tasks = num_tasks;
+  it->task = &task;
+  it->exceptions.assign(num_tasks, nullptr);
   work_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return completed_ == num_tasks_; });
-  task_ = nullptr;
-  num_tasks_ = 0;
-  next_task_ = 0;
-  for (std::exception_ptr& e : exceptions_) {
+  done_cv_.wait(lock, [it] { return it->completed == it->num_tasks; });
+  std::vector<std::exception_ptr> exceptions = std::move(it->exceptions);
+  batches_.erase(it);
+  lock.unlock();
+  for (std::exception_ptr& e : exceptions) {
     if (e != nullptr) std::rethrow_exception(e);
   }
 }
 
+std::list<ChipPool::Batch>::iterator ChipPool::ClaimableBatch() {
+  std::list<Batch>::iterator first_pending = batches_.end();
+  for (auto it = batches_.begin(); it != batches_.end(); ++it) {
+    if (it->next_task >= it->num_tasks) continue;
+    if (first_pending == batches_.end()) first_pending = it;
+    if (it->id > last_served_) return it;
+  }
+  return first_pending;  // wrap to the oldest pending batch
+}
+
 void ChipPool::WorkerLoop(size_t chip) {
   std::unique_lock<std::mutex> lock(mutex_);
-  uint64_t seen_generation = 0;
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stopping_ || generation_ != seen_generation;
+    work_cv_.wait(lock, [this] {
+      return stopping_ || ClaimableBatch() != batches_.end();
     });
     if (stopping_) return;
-    seen_generation = generation_;
-    while (next_task_ < num_tasks_) {
-      const size_t index = next_task_++;
-      const std::function<void(size_t, size_t)>* task = task_;
-      std::exception_ptr error = nullptr;
-      lock.unlock();
-      try {
-        (*task)(index, chip);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      lock.lock();
-      exceptions_[index] = error;
-      ++completed_;
-      if (completed_ == num_tasks_) done_cv_.notify_all();
+    const auto it = ClaimableBatch();
+    if (it == batches_.end()) continue;  // another worker drained it
+    last_served_ = it->id;
+    Batch& batch = *it;
+    const size_t index = batch.next_task++;
+    const std::function<void(size_t, size_t)>* task = batch.task;
+    std::exception_ptr error = nullptr;
+    lock.unlock();
+    try {
+      (*task)(index, chip);
+    } catch (...) {
+      error = std::current_exception();
     }
+    lock.lock();
+    // The batch outlives this unlock: its RunAll owner cannot observe
+    // completed == num_tasks — and so cannot erase it — before the
+    // increment below.
+    batch.exceptions[index] = error;
+    ++batch.completed;
+    if (batch.completed == batch.num_tasks) done_cv_.notify_all();
   }
 }
 

@@ -3,8 +3,10 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -111,26 +113,43 @@ class ChipPool {
   ///
   /// If tasks throw, every task still runs to completion and the exception
   /// of the lowest-indexed throwing task is rethrown here — deterministic no
-  /// matter which chip hit it first. Concurrent RunAll calls (e.g. through
-  /// engine copies sharing one pool) serialise.
+  /// matter which chip hit it first.
+  ///
+  /// Concurrent RunAll calls (sessions of the S24 server, or engine copies
+  /// sharing one pool) interleave at TASK granularity rather than
+  /// serialising: a free worker claims its next task round-robin across the
+  /// active batches, so one session's thousand-tile pass cannot starve
+  /// another session's two-tile pass, and each worker still plays exactly
+  /// one chip at a time (chip exclusivity is what keeps per-chip fault
+  /// trajectories deterministic).
   void RunAll(size_t num_tasks,
               const std::function<void(size_t task, size_t chip)>& task);
 
  private:
-  void WorkerLoop(size_t chip);
+  /// One in-flight RunAll. Owned (and erased) by its RunAll caller; workers
+  /// may touch it only while it still has unfinished tasks.
+  struct Batch {
+    uint64_t id = 0;
+    size_t num_tasks = 0;
+    size_t next_task = 0;
+    size_t completed = 0;
+    const std::function<void(size_t, size_t)>* task = nullptr;
+    std::vector<std::exception_ptr> exceptions;
+  };
 
-  std::mutex run_mutex_;  // serialises RunAll callers
+  void WorkerLoop(size_t chip);
+  /// The batch the next free worker should serve: the first batch with
+  /// pending tasks whose id follows the last-served id, wrapping to the
+  /// front. Caller holds mutex_.
+  std::list<Batch>::iterator ClaimableBatch();
 
   std::mutex mutex_;  // guards everything below
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
   bool stopping_ = false;
-  uint64_t generation_ = 0;
-  size_t num_tasks_ = 0;
-  size_t next_task_ = 0;
-  size_t completed_ = 0;
-  const std::function<void(size_t, size_t)>* task_ = nullptr;
-  std::vector<std::exception_ptr> exceptions_;
+  uint64_t next_batch_id_ = 1;
+  uint64_t last_served_ = 0;
+  std::list<Batch> batches_;  // active batches in submit order
 
   std::vector<std::thread> threads_;
 };

@@ -30,10 +30,15 @@ void ExecStats::AccumulatePass(const ArrayRunInfo& info) {
   num_compute_cells = std::max(num_compute_cells, info.sim.num_compute_cells);
 }
 
-Engine::Engine(DeviceConfig device)
+Engine::Engine(DeviceConfig device) : Engine(device, nullptr) {}
+
+Engine::Engine(DeviceConfig device, std::shared_ptr<ChipPool> shared_pool)
     : device_(device),
-      pool_(device.num_chips > 1 ? std::make_shared<ChipPool>(device.num_chips)
-                                 : nullptr),
+      pool_(device.num_chips > 1
+                ? (shared_pool != nullptr
+                       ? std::move(shared_pool)
+                       : std::make_shared<ChipPool>(device.num_chips))
+                : nullptr),
       health_(device.faults != nullptr
                   ? std::make_shared<ChipHealth>(
                         std::max<size_t>(1, device.num_chips),

@@ -165,6 +165,16 @@ class Engine {
  public:
   explicit Engine(DeviceConfig device = {});
 
+  /// An engine driving `shared_pool`'s workers instead of spawning its own —
+  /// how the S24 server gives every session a view of the SAME physical
+  /// device: sessions' passes interleave fairly inside the pool (see
+  /// ChipPool::RunAll) rather than each session pretending to own a machine.
+  /// Null `shared_pool` falls back to a private pool; either way a
+  /// single-chip device spawns no threads. device.num_chips should match
+  /// shared_pool->num_chips() so tile scheduling and stats agree with the
+  /// worker count.
+  Engine(DeviceConfig device, std::shared_ptr<ChipPool> shared_pool);
+
   const DeviceConfig& device() const { return device_; }
 
   /// Chips the engine actually drives (device().num_chips clamped to >= 1).

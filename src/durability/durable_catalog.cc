@@ -1,6 +1,7 @@
 #include "durability/durable_catalog.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "relational/storage.h"
 #include "util/strings.h"
@@ -160,8 +161,11 @@ Status DurableCatalog::Stage(WalRecord record, std::string payload) {
 
 Result<std::vector<WalRecord::ColumnSpec>> DurableCatalog::StagedColumns(
     const std::string& name) const {
-  // The staged group rewrites history front to back; the last put/drop for
-  // `name` wins, falling back to the live catalog.
+  // The staged group, then the sealed-but-uncommitted batch, rewrite history
+  // front to back; the last put/drop for `name` wins, falling back to the
+  // live catalog. Sealed groups must be visible here: they will apply before
+  // the staged group at CommitSealedGroups/recovery, so a record validated
+  // blind to them could fail to apply after it was sealed.
   for (auto it = staged_.rbegin(); it != staged_.rend(); ++it) {
     const WalRecord& record = it->first;
     if (record.name != name) continue;
@@ -169,6 +173,17 @@ Result<std::vector<WalRecord::ColumnSpec>> DurableCatalog::StagedColumns(
     if (record.kind == WalRecord::Kind::kDrop) {
       return Status::NotFound("relation '" + name +
                               "' is dropped in the open group");
+    }
+  }
+  for (auto group = sealed_.rbegin(); group != sealed_.rend(); ++group) {
+    for (auto it = group->rbegin(); it != group->rend(); ++it) {
+      const WalRecord& record = it->first;
+      if (record.name != name) continue;
+      if (record.kind == WalRecord::Kind::kPut) return record.columns;
+      if (record.kind == WalRecord::Kind::kDrop) {
+        return Status::NotFound("relation '" + name +
+                                "' is dropped in a sealed group");
+      }
     }
   }
   SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation,
@@ -180,15 +195,24 @@ Result<rel::ValueType> DurableCatalog::StagedDomainType(
     const std::string& name) const {
   // Staged records only ever create domains (a drop removes a relation, not
   // its domains), and conflicts are rejected at staging time, so any staged
-  // mention of `name` — explicit create-domain or a put/append column that
-  // implicitly creates it — fixes its type.
-  for (const auto& [record, payload] : staged_) {
-    if (record.kind == WalRecord::Kind::kCreateDomain && record.name == name) {
-      return record.type;
+  // or sealed mention of `name` — explicit create-domain or a put/append
+  // column that implicitly creates it — fixes its type.
+  const auto scan = [&name](const MutationGroup& group)
+      -> std::optional<rel::ValueType> {
+    for (const auto& [record, payload] : group) {
+      if (record.kind == WalRecord::Kind::kCreateDomain &&
+          record.name == name) {
+        return record.type;
+      }
+      for (const WalRecord::ColumnSpec& spec : record.columns) {
+        if (spec.domain == name) return spec.type;
+      }
     }
-    for (const WalRecord::ColumnSpec& spec : record.columns) {
-      if (spec.domain == name) return spec.type;
-    }
+    return std::nullopt;
+  };
+  if (const std::optional<rel::ValueType> type = scan(staged_)) return *type;
+  for (const MutationGroup& group : sealed_) {
+    if (const std::optional<rel::ValueType> type = scan(group)) return *type;
   }
   SYSTOLIC_ASSIGN_OR_RETURN(std::shared_ptr<rel::Domain> live,
                             catalog_->GetDomain(name));
@@ -280,20 +304,25 @@ Status DurableCatalog::LogDrop(const std::string& name) {
   return Stage(std::move(record), EncodeDrop(name));
 }
 
-Status DurableCatalog::Commit() {
-  if (staged_.empty()) return Status::OK();
+Status DurableCatalog::AppendGroups(
+    const std::vector<const MutationGroup*>& groups) {
   if (wal_poisoned_) {
     return Status::IOError(
         "the WAL carries a torn tail from a failed commit; CHECKPOINT to "
         "rebuild it before committing again");
   }
   std::string frames;
-  for (const auto& [record, payload] : staged_) {
-    AppendFrame(&frames, payload);
+  size_t records = 0;
+  for (const MutationGroup* group : groups) {
+    for (const auto& [record, payload] : *group) {
+      AppendFrame(&frames, payload);
+    }
+    AppendFrame(&frames, EncodeCommit(group->size()));
+    records += group->size();
   }
-  AppendFrame(&frames, EncodeCommit(staged_.size()));
-  // One append + one fsync: the group becomes durable atomically-or-not, and
-  // a crash inside the append leaves an unsealed tail recovery truncates.
+  // One append + one fsync for the whole batch: every group becomes durable
+  // atomically-or-not, a crash inside the append leaves a tail recovery cuts
+  // back to the last sealed group boundary, and N groups share the fsync.
   SYSTOLIC_ASSIGN_OR_RETURN(const uint64_t wal_end, Io::FileSize(WalPath()));
   Status appended = io_.AppendFile(WalPath(), frames);
   if (appended.ok()) appended = io_.Fsync(WalPath());
@@ -307,12 +336,53 @@ Status DurableCatalog::Commit() {
     if (!io_.Truncate(WalPath(), wal_end).ok()) wal_poisoned_ = true;
     return appended;
   }
-  for (const auto& [record, payload] : staged_) {
-    SYSTOLIC_RETURN_NOT_OK(ApplyWalRecord(record, catalog_.get()));
+  for (const MutationGroup* group : groups) {
+    for (const auto& [record, payload] : *group) {
+      SYSTOLIC_RETURN_NOT_OK(ApplyWalRecord(record, catalog_.get()));
+    }
   }
-  stats_.wal_records += staged_.size();
-  wal_live_records_ += staged_.size();
+  stats_.wal_records += records;
+  wal_live_records_ += records;
+  return Status::OK();
+}
+
+Status DurableCatalog::Commit() {
+  if (staged_.empty()) return Status::OK();
+  if (!sealed_.empty()) {
+    // Sealed groups were validated as applying BEFORE the open group; letting
+    // the open group jump the queue would invert WAL order vs validation.
+    return Status::InvalidArgument(
+        "sealed groups are pending; use SealStagedGroup + CommitSealedGroups");
+  }
+  SYSTOLIC_RETURN_NOT_OK(AppendGroups({&staged_}));
   staged_.clear();
+  return Status::OK();
+}
+
+Status DurableCatalog::SealStagedGroup() {
+  if (staged_.empty()) return Status::OK();
+  if (wal_poisoned_) {
+    return Status::IOError(
+        "the WAL carries a torn tail from a failed commit; CHECKPOINT to "
+        "rebuild it before committing again");
+  }
+  sealed_.push_back(std::move(staged_));
+  staged_.clear();
+  return Status::OK();
+}
+
+Status DurableCatalog::CommitSealedGroups() {
+  if (!staged_.empty()) {
+    return Status::InvalidArgument(
+        "a mutation group is still open; seal or abort it before committing "
+        "the sealed batch");
+  }
+  if (sealed_.empty()) return Status::OK();
+  std::vector<const MutationGroup*> groups;
+  groups.reserve(sealed_.size());
+  for (const MutationGroup& group : sealed_) groups.push_back(&group);
+  SYSTOLIC_RETURN_NOT_OK(AppendGroups(groups));
+  sealed_.clear();
   return Status::OK();
 }
 
@@ -346,6 +416,10 @@ Status DurableCatalog::Checkpoint() {
   if (!staged_.empty()) {
     return Status::InvalidArgument(
         "cannot checkpoint while a mutation group is open");
+  }
+  if (!sealed_.empty()) {
+    return Status::InvalidArgument(
+        "cannot checkpoint while sealed commit groups are pending");
   }
   SYSTOLIC_ASSIGN_OR_RETURN(std::vector<rel::CatalogFile> files,
                             rel::SerializeCatalog(*catalog_));

@@ -77,6 +77,26 @@ class DurableCatalog {
   /// Discards the staged group.
   void Abort() { staged_.clear(); }
 
+  /// Cross-session group commit (DESIGN S24). SealStagedGroup moves the
+  /// staged group — validated exactly as Commit would — into the pending
+  /// commit batch without touching the file; no-op for an empty group.
+  /// CommitSealedGroups then appends EVERY sealed group, each closed by its
+  /// own `commit` marker, in ONE file append followed by ONE fsync, and
+  /// applies them to the in-memory catalog in seal order. This is what lets
+  /// a server amortise a single fsync over N concurrent sessions' COMMITs:
+  /// the on-disk format is unchanged (recovery already replays any number of
+  /// sealed groups), and a crash inside the batched append leaves some
+  /// group-boundary prefix of the batch — never a hybrid within a group, and
+  /// never touching previously acknowledged groups. Error handling matches
+  /// Commit: nothing was acknowledged, the sealed batch stays pending (retry
+  /// or AbortSealedGroups), torn frames are truncated away, and an
+  /// untruncatable tail poisons the WAL until a Checkpoint rebuilds it.
+  Status SealStagedGroup();
+  Status CommitSealedGroups();
+  /// Discards every sealed-but-uncommitted group.
+  void AbortSealedGroups() { sealed_.clear(); }
+  size_t sealed_groups() const { return sealed_.size(); }
+
   /// Single-mutation conveniences; fail if a group is open.
   Status Put(const std::string& name, const rel::Relation& relation);
   Status Append(const std::string& name, const rel::Relation& batch);
@@ -91,8 +111,15 @@ class DurableCatalog {
   DurableCatalog(std::string directory, Io io)
       : directory_(std::move(directory)), io_(io) {}
 
+  using MutationGroup = std::vector<std::pair<WalRecord, std::string>>;
+
   std::string Path(const std::string& name) const;
   std::string WalPath() const { return Path(kWalFileName); }
+  /// The shared durable tail of Commit / CommitSealedGroups: frames every
+  /// group with its sealing marker, appends them all in one write, fsyncs
+  /// once, then applies every record in order. On failure nothing was
+  /// acknowledged and the torn tail is truncated (or the WAL poisoned).
+  Status AppendGroups(const std::vector<const MutationGroup*>& groups);
   Status Recover();
   Status ReplayWal(const std::string& bytes, size_t header_end);
   /// Rewrites the WAL to an empty log for the current checkpoint id.
@@ -116,7 +143,9 @@ class DurableCatalog {
   /// True after a failed commit whose torn tail could not be truncated; the
   /// commit path stays closed until a Checkpoint rebuilds the WAL.
   bool wal_poisoned_ = false;
-  std::vector<std::pair<WalRecord, std::string>> staged_;
+  MutationGroup staged_;
+  /// Groups sealed for the next cross-session batch commit, in seal order.
+  std::vector<MutationGroup> sealed_;
   DurabilityStats stats_;
 };
 

@@ -31,7 +31,10 @@ namespace durability {
 /// header line. A `commit <n>` marker seals the preceding n records into one
 /// atomic group: recovery applies only complete, sealed groups and truncates
 /// everything after the last marker, so a torn tail (short frame, bad CRC,
-/// or an unsealed group) can never surface as a hybrid catalog.
+/// or an unsealed group) can never surface as a hybrid catalog. Cross-session
+/// group commit (DESIGN S24) needs no format change: a batched append is just
+/// N sealed groups in one write, and a crash inside it recovers to a
+/// group-boundary prefix of the batch.
 ///
 /// The header's checkpoint id ties the log to the checkpoint it extends: a
 /// crash between the CURRENT pointer flip and the WAL reset leaves a log

@@ -1,0 +1,99 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+#include <string>
+
+namespace systolic {
+namespace server {
+
+AdmissionTicket::~AdmissionTicket() {
+  if (scheduler_ != nullptr) scheduler_->Release();
+}
+
+AdmissionTicket& AdmissionTicket::operator=(AdmissionTicket&& other) noexcept {
+  if (this != &other) {
+    if (scheduler_ != nullptr) scheduler_->Release();
+    scheduler_ = other.scheduler_;
+    other.scheduler_ = nullptr;
+  }
+  return *this;
+}
+
+FairScheduler::FairScheduler(size_t max_concurrent, size_t max_queued)
+    : max_concurrent_(std::max<size_t>(1, max_concurrent)),
+      max_queued_(max_queued) {}
+
+FairScheduler::Waiter* FairScheduler::NextWaiter() {
+  if (rr_order_.empty()) return nullptr;
+  const uint64_t session = rr_order_.front();
+  rr_order_.pop_front();
+  auto backlog = backlogs_.find(session);
+  Waiter* waiter = backlog->second.front();
+  backlog->second.pop_front();
+  if (backlog->second.empty()) {
+    backlogs_.erase(backlog);
+  } else {
+    rr_order_.push_back(session);  // round-robin: back of the service order
+  }
+  --queued_;
+  return waiter;
+}
+
+Result<AdmissionTicket> FairScheduler::Admit(uint64_t session_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (queued_ == 0 && running_ < max_concurrent_) {
+    ++running_;
+    ++stats_.admitted;
+    return AdmissionTicket(this);
+  }
+  if (queued_ >= max_queued_) {
+    ++stats_.rejected;
+    return Status::Capacity(
+        "admission queue is full (" + std::to_string(queued_) +
+        " plans waiting, limit " + std::to_string(max_queued_) +
+        "); retry when the device pool drains");
+  }
+  Waiter waiter;
+  waiter.session_id = session_id;
+  auto& backlog = backlogs_[session_id];
+  if (backlog.empty()) rr_order_.push_back(session_id);
+  backlog.push_back(&waiter);
+  ++queued_;
+  // A slot may be free even with waiters queued (several Admits raced in):
+  // hand it to the round-robin head, which may or may not be us.
+  while (running_ < max_concurrent_) {
+    Waiter* next = NextWaiter();
+    if (next == nullptr) break;
+    next->admitted = true;
+    ++running_;
+  }
+  cv_.notify_all();
+  cv_.wait(lock, [&waiter] { return waiter.admitted; });
+  ++stats_.admitted;
+  return AdmissionTicket(this);
+}
+
+void FairScheduler::Release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --running_;
+  while (running_ < max_concurrent_) {
+    Waiter* next = NextWaiter();
+    if (next == nullptr) break;
+    next->admitted = true;
+    ++running_;
+  }
+  cv_.notify_all();
+}
+
+size_t FairScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_;
+}
+
+FairScheduler::Stats FairScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace server
+}  // namespace systolic

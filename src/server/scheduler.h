@@ -1,0 +1,103 @@
+#ifndef SYSTOLIC_SERVER_SCHEDULER_H_
+#define SYSTOLIC_SERVER_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "util/result.h"
+
+namespace systolic {
+namespace server {
+
+class FairScheduler;
+
+/// RAII admission ticket: holding one means the session may run a plan on
+/// the shared device pool right now. Releasing (destruction) hands the slot
+/// to the next queued session in round-robin order.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+  ~AdmissionTicket();
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : scheduler_(other.scheduler_) {
+    other.scheduler_ = nullptr;
+  }
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept;
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+ private:
+  friend class FairScheduler;
+  explicit AdmissionTicket(FairScheduler* scheduler)
+      : scheduler_(scheduler) {}
+  FairScheduler* scheduler_ = nullptr;
+};
+
+/// Fair-share admission control over the shared ChipPool (DESIGN S24).
+///
+/// At most `max_concurrent` plans run at once; further Admit calls wait in
+/// PER-SESSION FIFO queues served ROUND-ROBIN across sessions, so a chatty
+/// session queues behind its own backlog while a quiet one is admitted on
+/// its first try — fair share at plan granularity, complementing the
+/// ChipPool's fair interleave at tile granularity. The total wait queue is
+/// bounded: when `max_queued` sessions are already waiting, Admit fails
+/// immediately with Capacity (admission control, not buffering).
+class FairScheduler {
+ public:
+  struct Stats {
+    /// Plans admitted (immediately or after queueing).
+    size_t admitted = 0;
+    /// Plans bounced off the full queue with Capacity.
+    size_t rejected = 0;
+  };
+
+  FairScheduler(size_t max_concurrent, size_t max_queued);
+  ~FairScheduler() = default;
+  FairScheduler(const FairScheduler&) = delete;
+  FairScheduler& operator=(const FairScheduler&) = delete;
+
+  /// Blocks until this session holds a run slot; Capacity when the bounded
+  /// wait queue is full.
+  Result<AdmissionTicket> Admit(uint64_t session_id);
+
+  /// Waiters currently queued (the EXPLAIN "admission queue depth").
+  size_t queue_depth() const;
+
+  Stats stats() const;
+
+ private:
+  friend class AdmissionTicket;
+  void Release();
+
+  struct Waiter {
+    uint64_t session_id = 0;
+    bool admitted = false;
+  };
+
+  /// Pops the next waiter round-robin across sessions; null when none wait.
+  /// Caller holds mutex_.
+  Waiter* NextWaiter();
+
+  const size_t max_concurrent_;
+  const size_t max_queued_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t running_ = 0;
+  size_t queued_ = 0;
+  /// Per-session FIFO backlogs; served round-robin by rr_order_.
+  std::map<uint64_t, std::deque<Waiter*>> backlogs_;
+  /// Sessions with a non-empty backlog, in round-robin service order.
+  std::deque<uint64_t> rr_order_;
+  Stats stats_;
+};
+
+}  // namespace server
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SERVER_SCHEDULER_H_

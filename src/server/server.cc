@@ -1,0 +1,350 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace systolic {
+namespace server {
+
+namespace {
+
+// ---- length-framed wire helpers: [u32 LE payload length][payload] --------
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// NotFound = clean end-of-stream before any byte of the frame.
+Status ReadAll(int fd, char* data, size_t size, bool* clean_eof) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (clean_eof != nullptr && got == 0) {
+        *clean_eof = true;
+        return Status::NotFound("connection closed");
+      }
+      return Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+constexpr size_t kMaxFrameBytes = 16u << 20;  // 16 MiB: a PRINT of anything
+
+Status WriteFrame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::Capacity("frame exceeds " +
+                            std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  const uint32_t size = static_cast<uint32_t>(payload.size());
+  char header[4] = {static_cast<char>(size & 0xff),
+                    static_cast<char>((size >> 8) & 0xff),
+                    static_cast<char>((size >> 16) & 0xff),
+                    static_cast<char>((size >> 24) & 0xff)};
+  SYSTOLIC_RETURN_NOT_OK(WriteAll(fd, header, sizeof(header)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Result<std::string> ReadFrame(int fd, bool* clean_eof) {
+  char header[4];
+  SYSTOLIC_RETURN_NOT_OK(ReadAll(fd, header, sizeof(header), clean_eof));
+  const uint32_t size = static_cast<uint32_t>(
+      static_cast<unsigned char>(header[0]) |
+      (static_cast<unsigned char>(header[1]) << 8) |
+      (static_cast<unsigned char>(header[2]) << 16) |
+      (static_cast<unsigned char>(header[3]) << 24));
+  if (size > kMaxFrameBytes) {
+    return Status::DataCorruption("frame length " + std::to_string(size) +
+                                  " exceeds the protocol maximum");
+  }
+  std::string payload(size, '\0');
+  if (size > 0) {
+    SYSTOLIC_RETURN_NOT_OK(ReadAll(fd, payload.data(), size, nullptr));
+  }
+  return payload;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {}
+
+Result<std::unique_ptr<Server>> Server::Create(ServerConfig config) {
+  auto server = std::unique_ptr<Server>(new Server(std::move(config)));
+  ServerConfig& cfg = server->config_;
+  cfg.num_chips = std::max<size_t>(1, cfg.num_chips);
+  if (cfg.num_chips > 1) {
+    server->pool_ = std::make_shared<db::ChipPool>(cfg.num_chips);
+  }
+  cfg.machine.device.num_chips = cfg.num_chips;
+  cfg.machine.shared_pool = server->pool_;
+  if (cfg.durable_dir.empty()) {
+    server->catalog_ = std::make_unique<SharedCatalog>();
+  } else {
+    SYSTOLIC_ASSIGN_OR_RETURN(server->catalog_,
+                              SharedCatalog::Open(cfg.durable_dir));
+  }
+  const size_t concurrent = cfg.max_concurrent_plans == 0
+                                ? cfg.num_chips
+                                : cfg.max_concurrent_plans;
+  server->scheduler_ =
+      std::make_unique<FairScheduler>(concurrent, cfg.max_queued_plans);
+  return server;
+}
+
+Server::~Server() {
+  RequestShutdown();
+  // Serve() joins its own threads; if it was never entered (embedded use or
+  // shutdown raced the accept loop), join what remains here.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads.swap(connection_threads_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+Result<std::shared_ptr<Session>> Server::Connect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.size() >= config_.max_sessions) {
+    ++sessions_rejected_;
+    return Status::Capacity("server is full: " +
+                            std::to_string(sessions_.size()) +
+                            " active sessions (limit " +
+                            std::to_string(config_.max_sessions) + ")");
+  }
+  const uint64_t id = next_session_id_++;
+  auto session = std::make_shared<Session>(id, catalog_.get(),
+                                           scheduler_.get(), config_.machine);
+  sessions_.emplace(id, session);
+  ++sessions_admitted_;
+  return session;
+}
+
+void Server::Disconnect(uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sessions_.erase(session_id);
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.sessions_admitted = sessions_admitted_;
+    stats.sessions_rejected = sessions_rejected_;
+    stats.active_sessions = sessions_.size();
+  }
+  stats.scheduler = scheduler_->stats();
+  stats.group_commit = catalog_->stats();
+  return stats;
+}
+
+Status Server::Listen(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) < 0) {
+    const Status status =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const Status status =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Status Server::Serve() {
+  int listen_fd;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (listen_fd_ < 0) {
+      return Status::InvalidArgument("Serve before Listen");
+    }
+    listen_fd = listen_fd_;
+  }
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by RequestShutdown (or a hard error)
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      ::close(fd);
+      break;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+  // Drain: unblock every connection, then join.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : connection_fds_) ::close(fd);
+    connection_fds_.clear();
+  }
+  return Status::OK();
+}
+
+void Server::RequestShutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::shared_ptr<Session> session;
+  {
+    Result<std::shared_ptr<Session>> connected = Connect();
+    if (!connected.ok()) {
+      // Best-effort refusal; the admission verdict is the payload.
+      (void)WriteFrame(fd, "ERR " + connected.status().ToString() + "\n");
+      return;
+    }
+    session = std::move(connected).ValueOrDie();
+  }
+  for (;;) {
+    bool clean_eof = false;
+    Result<std::string> line = ReadFrame(fd, &clean_eof);
+    if (!line.ok()) break;  // disconnect (clean or torn) ends the session
+    if (*line == "SHUTDOWN") {
+      (void)WriteFrame(fd, "OK\n-- server stopping\n");
+      RequestShutdown();
+      break;
+    }
+    const Result<std::string> output = session->Execute(*line);
+    std::string payload;
+    if (output.ok()) {
+      payload = "OK\n" + *output;
+    } else {
+      payload = "ERR " + output.status().ToString() + "\n" +
+                session->last_output();
+    }
+    if (!WriteFrame(fd, payload).ok()) break;
+  }
+  Disconnect(session->id());
+}
+
+// ---- Client --------------------------------------------------------------
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Client> Client::Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const Status status =
+        Status::IOError(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+Result<Client::Reply> Client::Roundtrip(const std::string& line) {
+  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
+  SYSTOLIC_RETURN_NOT_OK(WriteFrame(fd_, line));
+  SYSTOLIC_ASSIGN_OR_RETURN(const std::string payload,
+                            ReadFrame(fd_, nullptr));
+  const size_t newline = payload.find('\n');
+  const std::string verdict =
+      newline == std::string::npos ? payload : payload.substr(0, newline);
+  Reply reply;
+  reply.output =
+      newline == std::string::npos ? "" : payload.substr(newline + 1);
+  if (verdict == "OK") {
+    reply.ok = true;
+  } else if (verdict.rfind("ERR ", 0) == 0) {
+    reply.error = verdict.substr(4);
+  } else {
+    return Status::DataCorruption("malformed reply verdict '" + verdict +
+                                  "'");
+  }
+  return reply;
+}
+
+}  // namespace server
+}  // namespace systolic

@@ -1,0 +1,149 @@
+#ifndef SYSTOLIC_SERVER_SERVER_H_
+#define SYSTOLIC_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/scheduler.h"
+#include "server/session.h"
+#include "server/shared_catalog.h"
+#include "system/machine.h"
+
+namespace systolic {
+namespace server {
+
+/// Shape of the S24 server.
+struct ServerConfig {
+  /// Per-session machine shape (memories, device sizes, planner defaults).
+  /// The server overrides device.num_chips and shared_pool to point every
+  /// session at the one shared pool.
+  machine::MachineConfig machine;
+  /// Chips in the shared pool (>= 1).
+  size_t num_chips = 1;
+  /// Concurrent client sessions admitted; further Connects get Capacity.
+  size_t max_sessions = 64;
+  /// Plans running on the pool at once; 0 = num_chips.
+  size_t max_concurrent_plans = 0;
+  /// Bounded admission queue beyond the running plans.
+  size_t max_queued_plans = 64;
+  /// Crash-safe catalog directory; empty = in-memory shared catalog.
+  std::string durable_dir;
+};
+
+/// Server-wide counters (satellite of DESIGN S24): session admission plus
+/// the group-commit histogram. Per-session ExecStats live in the sessions.
+struct ServerStats {
+  size_t sessions_admitted = 0;
+  size_t sessions_rejected = 0;
+  size_t active_sessions = 0;
+  FairScheduler::Stats scheduler;
+  GroupCommitStats group_commit;
+};
+
+/// The concurrent multi-session front end over one shared §9 machine
+/// substrate (DESIGN S24): sessions own private buffers and settings, share
+/// the chip pool through fair-share admission, read pinned snapshot images,
+/// and commit through the cross-session group-commit pipeline.
+///
+/// Embedded use (tests, benches): Create + Connect, drive sessions from
+/// your own threads. Network use: Listen + Serve accept length-framed
+/// connections ([u32 LE payload length][payload]); each request frame is
+/// one command line, each response frame is "OK\n<output>" or
+/// "ERR <status>\n<output>". The protocol line "SHUTDOWN" stops the server.
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Create(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admits a new session (Capacity beyond max_sessions). The session is
+  /// driven by ONE caller thread at a time.
+  Result<std::shared_ptr<Session>> Connect();
+
+  /// Releases a session's slot.
+  void Disconnect(uint64_t session_id);
+
+  SharedCatalog& catalog() { return *catalog_; }
+  FairScheduler& scheduler() { return *scheduler_; }
+  ServerStats stats() const;
+
+  /// Binds and listens on `port` (0 = ephemeral); port() reports the bound
+  /// one.
+  Status Listen(uint16_t port);
+  uint16_t port() const { return port_; }
+
+  /// Accept loop: one thread per connection, one session per connection.
+  /// Blocks until RequestShutdown (or the protocol SHUTDOWN line), then
+  /// closes every connection and joins. Call from the owning thread after
+  /// Listen.
+  Status Serve();
+
+  /// Asynchronously stops Serve: safe from any thread, including a
+  /// connection handler.
+  void RequestShutdown();
+
+ private:
+  explicit Server(ServerConfig config);
+
+  void HandleConnection(int fd);
+
+  ServerConfig config_;
+  std::shared_ptr<db::ChipPool> pool_;
+  std::unique_ptr<SharedCatalog> catalog_;
+  std::unique_ptr<FairScheduler> scheduler_;
+
+  mutable std::mutex mutex_;
+  uint64_t next_session_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  size_t sessions_admitted_ = 0;
+  size_t sessions_rejected_ = 0;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool shutdown_ = false;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+};
+
+/// Minimal blocking client for the length-framed protocol; used by
+/// query_shell --connect, the smoke script and the benches.
+class Client {
+ public:
+  /// One command's round trip.
+  struct Reply {
+    bool ok = false;
+    /// The status text after "ERR " (empty when ok).
+    std::string error;
+    /// Everything the command printed on the server.
+    std::string output;
+  };
+
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port`.
+  static Result<Client> Connect(uint16_t port);
+
+  Result<Reply> Roundtrip(const std::string& line);
+
+  void Close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SERVER_SERVER_H_

@@ -1,0 +1,75 @@
+#include "server/session.h"
+
+#include <utility>
+#include <vector>
+
+namespace systolic {
+namespace server {
+
+Session::Session(uint64_t id, SharedCatalog* catalog,
+                 FairScheduler* scheduler, machine::MachineConfig config)
+    : id_(id),
+      catalog_(catalog),
+      scheduler_(scheduler),
+      machine_(std::move(config)),
+      interpreter_(&machine_, &out_) {
+  // Durable commits leave the session through the shared pipeline; the
+  // machine never owns a DurableCatalog of its own.
+  machine_.set_commit_sink(
+      [this](const std::vector<std::pair<std::string, const rel::Relation*>>&
+                 puts) -> Result<size_t> {
+        SYSTOLIC_ASSIGN_OR_RETURN(
+            const SharedCatalog::CommitResult result,
+            catalog_->CommitGroup(pinned_version_, puts));
+        durability_stats_.wal_records += result.records;
+        return result.records;
+      });
+  // Reads fault in lazily from the pinned image: a relation another session
+  // committed is copied onto this session's disk unit only when (and each
+  // time) a newer version of it is actually LOADed.
+  machine_.set_disk_source(
+      [this](const std::string& name) -> const rel::Relation* {
+        if (pinned_ == nullptr) return nullptr;
+        const auto entry = pinned_->relations.find(name);
+        if (entry == pinned_->relations.end()) return nullptr;
+        const auto mirrored = mirrored_.find(name);
+        if (mirrored != mirrored_.end() &&
+            mirrored->second == entry->second.relation) {
+          return nullptr;  // the disk copy is current
+        }
+        mirrored_[name] = entry->second.relation;
+        return entry->second.relation.get();
+      });
+  machine::SessionContext context;
+  context.session_id = id_;
+  context.isolation = "snapshot";
+  context.queue_depth = [this] { return scheduler_->queue_depth(); };
+  context.durability_stats = [this] { return durability_stats_; };
+  interpreter_.set_session(std::move(context));
+  RefreshSnapshot();
+}
+
+void Session::RefreshSnapshot() {
+  std::shared_ptr<const CatalogImage> latest = catalog_->Snapshot();
+  if (pinned_ != nullptr && latest->version == pinned_->version) return;
+  // O(1): no data is copied here. The disk-source hook mirrors a relation
+  // onto the private disk unit only when a LOAD actually reads it.
+  pinned_ = std::move(latest);
+  pinned_version_ = pinned_->version;
+}
+
+Result<std::string> Session::Execute(const std::string& line) {
+  // Freeze the snapshot across an open transaction: BEGIN..COMMIT reads are
+  // repeatable and COMMIT conflict-checks against what was actually read.
+  if (!interpreter_.in_transaction()) RefreshSnapshot();
+  SYSTOLIC_ASSIGN_OR_RETURN(const AdmissionTicket ticket,
+                            scheduler_->Admit(id_));
+  out_.str("");
+  const Status status = interpreter_.Execute(line);
+  last_output_ = out_.str();
+  SYSTOLIC_RETURN_NOT_OK(status);
+  return last_output_;
+}
+
+}  // namespace server
+}  // namespace systolic

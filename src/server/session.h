@@ -1,0 +1,89 @@
+#ifndef SYSTOLIC_SERVER_SESSION_H_
+#define SYSTOLIC_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "server/scheduler.h"
+#include "server/shared_catalog.h"
+#include "system/command.h"
+#include "system/machine.h"
+
+namespace systolic {
+namespace server {
+
+/// One client's session state on the S24 server: a private §9 machine
+/// (buffers, SET PLANNER/BACKEND/FAULTS/DURABILITY all scoped here) whose
+/// engines drive the server's SHARED chip pool, whose reads see a pinned
+/// immutable catalog image (snapshot isolation), and whose durable commits
+/// flow through the shared cross-session group-commit pipeline.
+///
+/// Snapshot discipline: before every command executed OUTSIDE a transaction
+/// the session re-pins the newest published image (an O(1) pointer swap —
+/// relations are copied onto the private disk unit lazily, when a LOAD
+/// actually reads them); between BEGIN and COMMIT the pin is frozen, so a
+/// transaction's reads are repeatable and its COMMIT is conflict-checked
+/// against exactly the snapshot it read. Commits that lose
+/// first-committer-wins surface as Aborted — the transaction's effects stay
+/// session-private and the client retries against a fresh snapshot.
+///
+/// A Session is used by ONE client thread at a time (the server enforces
+/// this); cross-session state (catalog, scheduler, chip pool) is internally
+/// synchronized.
+class Session {
+ public:
+  /// `catalog` and `scheduler` must outlive the session. `config` should
+  /// carry the server's shared_pool and chip count.
+  Session(uint64_t id, SharedCatalog* catalog, FairScheduler* scheduler,
+          machine::MachineConfig config);
+
+  uint64_t id() const { return id_; }
+
+  /// Executes one command line after admission through the fair-share
+  /// scheduler; returns everything the command printed. Errors carry the
+  /// printed output in the session's last_output() so protocol layers can
+  /// still relay partial results.
+  Result<std::string> Execute(const std::string& line);
+
+  /// Output printed by the most recent Execute (even a failed one).
+  const std::string& last_output() const { return last_output_; }
+
+  /// Per-session durability counters: records THIS session pushed through
+  /// the shared group-commit pipeline (never another session's).
+  const durability::DurabilityStats& durability_stats() const {
+    return durability_stats_;
+  }
+
+  /// The version this session's reads are pinned at.
+  uint64_t snapshot_version() const { return pinned_version_; }
+
+  machine::Machine& machine() { return machine_; }
+  machine::CommandInterpreter& interpreter() { return interpreter_; }
+
+ private:
+  /// Pins the newest catalog image (O(1) — relations fault in lazily via
+  /// the machine's disk source). Called only between transactions.
+  void RefreshSnapshot();
+
+  uint64_t id_;
+  SharedCatalog* catalog_;
+  FairScheduler* scheduler_;
+  machine::Machine machine_;
+  std::ostringstream out_;
+  machine::CommandInterpreter interpreter_;
+  std::shared_ptr<const CatalogImage> pinned_;
+  uint64_t pinned_version_ = 0;
+  /// name -> image relation last mirrored onto the disk unit; pointer
+  /// equality with the pinned entry means the disk copy is current.
+  std::map<std::string, std::shared_ptr<const rel::Relation>> mirrored_;
+  durability::DurabilityStats durability_stats_;
+  std::string last_output_;
+};
+
+}  // namespace server
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SERVER_SESSION_H_

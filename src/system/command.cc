@@ -294,16 +294,33 @@ Status CommandInterpreter::PersistSinks(const std::vector<std::string>& sinks) {
   SYSTOLIC_ASSIGN_OR_RETURN(const size_t records,
                             machine_->PersistBuffers(sinks));
   if (records > 0) {
-    const durability::DurableCatalog* durable = machine_->durable();
-    (*out_) << "-- durability: committed " << records << " relation"
-            << (records == 1 ? "" : "s") << " (" << durable->wal_live_records()
-            << " wal records since checkpoint chk-" << durable->checkpoint_id()
-            << ")\n";
+    if (const durability::DurableCatalog* durable = machine_->durable()) {
+      (*out_) << "-- durability: committed " << records << " relation"
+              << (records == 1 ? "" : "s") << " ("
+              << durable->wal_live_records()
+              << " wal records since checkpoint chk-"
+              << durable->checkpoint_id() << ")\n";
+    } else {
+      // Server-session path: the WAL lives behind the shared group-commit
+      // pipeline, so report only what this session was acknowledged for.
+      (*out_) << "-- durability: committed " << records << " relation"
+              << (records == 1 ? "" : "s") << " (group commit)\n";
+    }
   }
   return Status::OK();
 }
 
 void CommandInterpreter::StampDurability(db::ExecStats* exec) const {
+  // A server session's counters come from its own ledger: the machine-local
+  // catalog is absent there, and a shared catalog's totals would
+  // cross-pollute concurrent sessions' stats.
+  if (has_session_ && session_.durability_stats != nullptr) {
+    const durability::DurabilityStats stats = session_.durability_stats();
+    exec->wal_records = stats.wal_records;
+    exec->checkpoints = stats.checkpoints;
+    exec->recovered_records = stats.recovered_records;
+    return;
+  }
   const durability::DurableCatalog* durable = machine_->durable();
   if (durable == nullptr) return;
   exec->wal_records = durable->stats().wal_records;
@@ -313,7 +330,14 @@ void CommandInterpreter::StampDurability(db::ExecStats* exec) const {
 
 void CommandInterpreter::PrintDurabilityPolicy() {
   const durability::DurableCatalog* durable = machine_->durable();
-  if (durable == nullptr) return;
+  if (durable == nullptr) {
+    if (machine_->has_commit_sink()) {
+      (*out_) << "-- durability: "
+              << (machine_->durability_enabled() ? "on" : "off")
+              << ", shared catalog (cross-session group commit)\n";
+    }
+    return;
+  }
   (*out_) << "-- durability: "
           << (machine_->durability_enabled() ? "on" : "off") << ", dir "
           << durable->directory() << ", checkpoint chk-"
@@ -321,6 +345,40 @@ void CommandInterpreter::PrintDurabilityPolicy() {
           << " wal records to replay; session " << durable->stats().wal_records
           << " logged, " << durable->stats().checkpoints << " checkpoints, "
           << durable->stats().recovered_records << " recovered\n";
+}
+
+void CommandInterpreter::PrintSessionInfo() {
+  if (!has_session_) return;
+  (*out_) << "-- session: id " << session_.session_id << ", isolation "
+          << session_.isolation;
+  if (session_.queue_depth != nullptr) {
+    (*out_) << ", admission queue depth " << session_.queue_depth();
+  }
+  (*out_) << "\n";
+}
+
+Status CommandInterpreter::SetSession(const std::vector<std::string>& tokens) {
+  if (!has_session_) {
+    return Status::InvalidArgument(
+        "SET SESSION works only under the server (connect via --serve / "
+        "--connect)");
+  }
+  if (tokens.size() < 3) {
+    return Status::InvalidArgument(
+        "usage: SET SESSION <key> ...; valid keys: ISOLATION");
+  }
+  if (tokens[2] == "ISOLATION") {
+    if (tokens.size() != 4 || tokens[3] != "snapshot") {
+      return Status::InvalidArgument(
+          "usage: SET SESSION ISOLATION snapshot (readers pin an immutable "
+          "catalog image; the only supported mode)");
+    }
+    (*out_) << "-- session " << session_.session_id
+            << ": isolation snapshot\n";
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown SET SESSION key '" + tokens[2] +
+                                 "'; valid keys: ISOLATION");
 }
 
 Status CommandInterpreter::PrintVerify(
@@ -353,7 +411,9 @@ void CommandInterpreter::PrintHelp() {
              "SET FAULTS seed=<n> ... | SET FAULTS off\n"
           << "--   SET BACKEND rtl|fast|auto  (fast: packed bitwise kernels "
              "with analytic pulse counts)\n"
+          << "--   SET SESSION ISOLATION snapshot  (server sessions)\n"
           << "--   HELP\n";
+  PrintSessionInfo();
 }
 
 Status CommandInterpreter::Dispatch(Transaction transaction,
@@ -509,10 +569,13 @@ Status CommandInterpreter::Execute(const std::string& line) {
     if (tokens.size() < 2) {
       return Status::InvalidArgument(
           "usage: SET <key> ...; valid keys: PLANNER, DURABILITY, FAULTS, "
-          "BACKEND");
+          "BACKEND, SESSION");
     }
     if (tokens[1] == "FAULTS") {
       return SetFaults(tokens);
+    }
+    if (tokens[1] == "SESSION") {
+      return SetSession(tokens);
     }
     if (tokens[1] == "BACKEND") {
       fastpath::BackendPolicy policy;
@@ -541,7 +604,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
     }
     return Status::InvalidArgument("unknown SET key '" + tokens[1] +
                                    "'; valid keys: PLANNER, DURABILITY, "
-                                   "FAULTS, BACKEND");
+                                   "FAULTS, BACKEND, SESSION");
   }
   if (verb == "OPEN") {
     if (tokens.size() != 2) {
@@ -591,6 +654,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
       PrintBackendPolicy();
       PrintFaultPolicy();
       PrintDurabilityPolicy();
+      PrintSessionInfo();
       return Status::OK();
     }
     if (!in_transaction_) {
@@ -616,6 +680,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
     PrintBackendPolicy();
     PrintFaultPolicy();
     PrintDurabilityPolicy();
+    PrintSessionInfo();
     return Status::OK();
   }
   if (verb == "VERIFY") {

@@ -1,6 +1,8 @@
 #ifndef SYSTOLIC_SYSTEM_COMMAND_H_
 #define SYSTOLIC_SYSTEM_COMMAND_H_
 
+#include <cstdint>
+#include <functional>
 #include <istream>
 #include <ostream>
 #include <string>
@@ -13,6 +15,22 @@
 
 namespace systolic {
 namespace machine {
+
+/// Hooks the S24 server installs on a session's interpreter so the command
+/// layer can surface the session it runs inside: EXPLAIN/HELP print the
+/// session line, SET SESSION introspects it, and ExecStats durability
+/// counters come from the session's own ledger instead of a machine-local
+/// catalog (concurrent sessions must not cross-pollute).
+struct SessionContext {
+  uint64_t session_id = 0;
+  /// Human-readable isolation mode ("snapshot" for server sessions).
+  std::string isolation = "none";
+  /// Admission-queue depth of the shared scheduler at call time.
+  std::function<size_t()> queue_depth;
+  /// Per-session durability counters (records this session committed
+  /// through the shared group-commit pipeline).
+  std::function<durability::DurabilityStats()> durability_stats;
+};
 
 /// A line-oriented command language over the §9 machine, for the query
 /// shell example and scripted end-to-end tests. One relational command = one
@@ -87,6 +105,17 @@ class CommandInterpreter {
   bool planner_enabled() const { return planner_on_; }
   void set_planner_enabled(bool on) { planner_on_ = on; }
 
+  /// True between BEGIN and COMMIT/ABORT; the server defers snapshot
+  /// refreshes while a transaction is open so its reads stay repeatable.
+  bool in_transaction() const { return in_transaction_; }
+
+  /// Installs (or clears, with an empty optional-like default) the session
+  /// hooks; owned by the server, must outlive the interpreter's use.
+  void set_session(SessionContext context) {
+    session_ = std::move(context);
+    has_session_ = true;
+  }
+
  private:
   Status RunStep(Transaction transaction, const std::string& output);
   /// Routes a parsed one-step transaction: executes it immediately, or
@@ -120,6 +149,12 @@ class CommandInterpreter {
   /// One "-- durability: ..." line describing the open session (printed by
   /// EXPLAIN); no-op without one.
   void PrintDurabilityPolicy();
+  /// One "-- session: ..." line (id, isolation, admission-queue depth);
+  /// no-op outside a server session.
+  void PrintSessionInfo();
+  /// SET SESSION <key> ...: introspection over the server session; unknown
+  /// keys name the valid ones (PR 4/6 error-message convention).
+  Status SetSession(const std::vector<std::string>& tokens);
   /// Runs the S22 static verifier over a planned transaction (certificates
   /// against the catalog, then typing + timing) and prints its one-line
   /// report; rejects with kVerifyFailed naming pass, node and invariant.
@@ -147,6 +182,8 @@ class CommandInterpreter {
   bool in_transaction_ = false;
   bool planner_on_ = true;
   Transaction pending_;
+  bool has_session_ = false;
+  SessionContext session_;
 };
 
 }  // namespace machine

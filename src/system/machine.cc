@@ -8,13 +8,13 @@ namespace machine {
 Machine::Machine(MachineConfig config)
     : config_(std::move(config)),
       disk_(config_.disk_model),
-      engine_(config_.device) {
+      engine_(config_.device, config_.shared_pool) {
   memories_.reserve(config_.num_memories);
   for (size_t m = 0; m < config_.num_memories; ++m) {
     memories_.emplace_back("mem" + std::to_string(m));
   }
   for (const auto& [kind, device] : config_.device_configs) {
-    engines_.emplace(kind, db::Engine(device));
+    engines_.emplace(kind, db::Engine(device, config_.shared_pool));
   }
 }
 
@@ -27,22 +27,22 @@ void Machine::InstallFaultPlan(std::shared_ptr<const faults::FaultPlan> plan,
                                faults::RecoveryOptions recovery) {
   config_.device.faults = plan;
   config_.device.recovery = recovery;
-  engine_ = db::Engine(config_.device);
+  engine_ = db::Engine(config_.device, config_.shared_pool);
   engines_.clear();
   for (auto& [kind, device] : config_.device_configs) {
     device.faults = plan;
     device.recovery = recovery;
-    engines_.emplace(kind, db::Engine(device));
+    engines_.emplace(kind, db::Engine(device, config_.shared_pool));
   }
 }
 
 void Machine::SetBackendPolicy(fastpath::BackendPolicy policy) {
   config_.device.backend = policy;
-  engine_ = db::Engine(config_.device);
+  engine_ = db::Engine(config_.device, config_.shared_pool);
   engines_.clear();
   for (auto& [kind, device] : config_.device_configs) {
     device.backend = policy;
-    engines_.emplace(kind, db::Engine(device));
+    engines_.emplace(kind, db::Engine(device, config_.shared_pool));
   }
 }
 
@@ -78,6 +78,13 @@ Result<size_t> Machine::AllocateModule(const std::string& name) {
 }
 
 Status Machine::LoadFromDisk(const std::string& relation_name) {
+  if (disk_source_ != nullptr) {
+    // Fault in a missing/stale shared relation; the Read below still
+    // charges the modeled transfer time.
+    if (const rel::Relation* shared = disk_source_(relation_name)) {
+      disk_.Put(relation_name, *shared);
+    }
+  }
   SYSTOLIC_ASSIGN_OR_RETURN(rel::Relation relation, disk_.Read(relation_name));
   return StoreBuffer(relation_name, std::move(relation));
 }
@@ -119,7 +126,11 @@ Status Machine::WriteBackToDisk(const std::string& name,
   // Durable first: only an fsync'd write may be acknowledged, and a failed
   // log write must leave the modeled disk untouched.
   if (durability_enabled()) {
-    SYSTOLIC_RETURN_NOT_OK(durable_->Put(disk_name, *relation));
+    if (commit_sink_ != nullptr) {
+      SYSTOLIC_RETURN_NOT_OK(commit_sink_({{disk_name, relation}}).status());
+    } else {
+      SYSTOLIC_RETURN_NOT_OK(durable_->Put(disk_name, *relation));
+    }
   }
   disk_.Write(disk_name, *relation);
   return Status::OK();
@@ -144,7 +155,7 @@ Status Machine::OpenDurable(const std::string& directory,
 }
 
 Status Machine::SetDurabilityEnabled(bool enabled) {
-  if (durable_ == nullptr) {
+  if (durable_ == nullptr && commit_sink_ == nullptr) {
     return Status::NotFound(
         "no durable directory is open (use OPEN <dir> first)");
   }
@@ -154,6 +165,20 @@ Status Machine::SetDurabilityEnabled(bool enabled) {
 
 Result<size_t> Machine::PersistBuffers(const std::vector<std::string>& names) {
   if (!durability_enabled() || names.empty()) return static_cast<size_t>(0);
+  if (commit_sink_ != nullptr) {
+    // Server-session path: hand the whole write set to the shared
+    // group-commit pipeline as one atomic group; mirror to the modeled
+    // disk only once the group is acknowledged.
+    std::vector<std::pair<std::string, const rel::Relation*>> puts;
+    puts.reserve(names.size());
+    for (const std::string& name : names) {
+      SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation, Buffer(name));
+      puts.emplace_back(name, relation);
+    }
+    SYSTOLIC_ASSIGN_OR_RETURN(const size_t records, commit_sink_(puts));
+    for (const auto& [name, relation] : puts) disk_.Write(name, *relation);
+    return records;
+  }
   for (const std::string& name : names) {
     SYSTOLIC_ASSIGN_OR_RETURN(const rel::Relation* relation, Buffer(name));
     Status staged = durable_->LogPut(name, *relation);

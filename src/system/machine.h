@@ -1,9 +1,11 @@
 #ifndef SYSTOLIC_SYSTEM_MACHINE_H_
 #define SYSTOLIC_SYSTEM_MACHINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -55,6 +57,12 @@ struct MachineConfig {
   double crossbar_bytes_per_second = 0;
   /// Step-to-device assignment within a level.
   DeviceScheduling scheduling = DeviceScheduling::kRoundRobin;
+  /// When set, every engine of the machine drives THIS worker pool instead
+  /// of spawning its own — the S24 server hands all session machines one
+  /// pool so their passes interleave on the same simulated chips.
+  /// device.num_chips (and any per-kind override) should equal
+  /// shared_pool->num_chips().
+  std::shared_ptr<db::ChipPool> shared_pool;
 };
 
 /// Per-step execution record.
@@ -185,13 +193,46 @@ class Machine {
   /// one.
   Status SetDurabilityEnabled(bool enabled);
   bool durability_enabled() const {
-    return durable_ != nullptr && durability_enabled_;
+    return (durable_ != nullptr || commit_sink_ != nullptr) &&
+           durability_enabled_;
   }
 
   /// Persists the named buffers as ONE atomic WAL group (all-or-nothing on
   /// recovery) and mirrors them on the disk unit; returns the number of
   /// records written — 0 when durability is off or disabled.
   Result<size_t> PersistBuffers(const std::vector<std::string>& names);
+
+  /// One atomic durable write set: (disk name, relation) puts, all
+  /// acknowledged together or not at all.
+  using CommitSink = std::function<Result<size_t>(
+      const std::vector<std::pair<std::string, const rel::Relation*>>&)>;
+
+  /// Routes durable commits through `sink` instead of a locally owned
+  /// DurableCatalog — how the S24 server points every session machine at
+  /// its shared cross-session group-commit pipeline. The sink receives the
+  /// write set of one atomic group and returns the records committed; an
+  /// error (IO, or a snapshot conflict's Abort) means nothing was
+  /// acknowledged and the machine leaves its modeled disk untouched.
+  /// Installing a sink enables durability (SET DURABILITY still toggles
+  /// it per session); a null sink restores the local-catalog path.
+  void set_commit_sink(CommitSink sink) {
+    commit_sink_ = std::move(sink);
+    durability_enabled_ = commit_sink_ != nullptr;
+  }
+  bool has_commit_sink() const { return commit_sink_ != nullptr; }
+
+  /// Read-side twin of the commit sink: consulted by LoadFromDisk BEFORE
+  /// the private disk unit. Returning a relation means "the caller's disk
+  /// copy of this name is missing or stale — mirror this one first";
+  /// returning null falls through to the disk unit. The S24 session backs
+  /// this with its pinned snapshot image, so relations committed by other
+  /// sessions fault in lazily (copied only when actually loaded) instead of
+  /// being mirrored eagerly on every snapshot refresh.
+  using DiskSource = std::function<const rel::Relation*(const std::string&)>;
+
+  void set_disk_source(DiskSource source) {
+    disk_source_ = std::move(source);
+  }
 
  private:
   Result<size_t> AllocateModule(const std::string& name);
@@ -206,6 +247,8 @@ class Machine {
   std::vector<MemoryModule> memories_;
   std::map<std::string, size_t> buffer_to_module_;
   std::unique_ptr<durability::DurableCatalog> durable_;
+  CommitSink commit_sink_;
+  DiskSource disk_source_;
   bool durability_enabled_ = false;
 #ifdef NDEBUG
   bool verify_enabled_ = false;

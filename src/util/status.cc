@@ -34,6 +34,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "unavailable";
     case StatusCode::kVerifyFailed:
       return "verify-failed";
+    case StatusCode::kAborted:
+      return "aborted";
   }
   return "unknown";
 }

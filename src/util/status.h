@@ -23,6 +23,7 @@ enum class StatusCode {
   kDataCorruption = 10,  // a pass produced data a hardware check rejected
   kUnavailable = 11,     // no chip can run the work (dead / quarantined)
   kVerifyFailed = 12,    // static verification rejected a plan or schedule
+  kAborted = 13,  // a commit lost first-committer-wins conflict detection
 };
 
 /// Returns the canonical lower-case name of a status code ("ok",
@@ -88,6 +89,9 @@ class [[nodiscard]] Status {
   static Status VerifyFailed(std::string msg) {
     return Status(StatusCode::kVerifyFailed, std::move(msg));
   }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return rep_ == nullptr; }
@@ -113,6 +117,7 @@ class [[nodiscard]] Status {
   bool IsDataCorruption() const { return code() == StatusCode::kDataCorruption; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
   bool IsVerifyFailed() const { return code() == StatusCode::kVerifyFailed; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
 
  private:
   struct Rep {

@@ -163,6 +163,82 @@ TEST(ChipPoolTest, EngineOutputDeterministicAcrossRepetitions) {
   EXPECT_EQ(expected->stats.makespan_cycles, expected->stats.cycles);
 }
 
+// --- Concurrent batches (DESIGN S24): several RunAll callers share one
+// pool; workers interleave tasks round-robin across the live batches. ---
+
+TEST(ChipPoolTest, ConcurrentBatchesAllCompleteWithFullCoverage) {
+  ChipPool pool(4);
+  constexpr size_t kCallers = 6;
+  constexpr size_t kTasks = 32;
+  std::vector<std::vector<std::atomic<int>>> runs(kCallers);
+  for (auto& batch : runs) {
+    batch = std::vector<std::atomic<int>>(kTasks);
+  }
+  std::vector<std::thread> callers;
+  for (size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &runs, c] {
+      pool.RunAll(kTasks, [&runs, c](size_t task, size_t chip) {
+        EXPECT_LT(chip, 4u);
+        runs[c][task].fetch_add(1);
+      });
+    });
+  }
+  for (std::thread& thread : callers) thread.join();
+  for (size_t c = 0; c < kCallers; ++c) {
+    for (size_t t = 0; t < kTasks; ++t) {
+      EXPECT_EQ(runs[c][t].load(), 1) << "caller " << c << " task " << t;
+    }
+  }
+}
+
+TEST(ChipPoolTest, ExceptionInOneBatchLeavesConcurrentBatchIntact) {
+  ChipPool pool(2);
+  std::atomic<size_t> clean_total{0};
+  std::thread faulty([&pool] {
+    EXPECT_THROW(pool.RunAll(16,
+                             [](size_t task, size_t) {
+                               if (task == 5) {
+                                 throw std::runtime_error("chip fault");
+                               }
+                             }),
+                 std::runtime_error);
+  });
+  std::thread clean([&pool, &clean_total] {
+    pool.RunAll(16, [&clean_total](size_t, size_t) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      clean_total.fetch_add(1);
+    });
+  });
+  faulty.join();
+  clean.join();
+  EXPECT_EQ(clean_total.load(), 16u);
+}
+
+TEST(ChipPoolTest, ShortBatchIsNotStarvedByLongBatch) {
+  // Round-robin claiming: a 4-task batch arriving alongside a 200-task
+  // batch must finish long before the big one drains — the pool serves
+  // batches fairly at task granularity rather than FIFO draining.
+  ChipPool pool(2);
+  std::atomic<size_t> long_done{0};
+  std::atomic<size_t> long_done_when_short_finished{SIZE_MAX};
+  std::thread long_caller([&] {
+    pool.RunAll(200, [&](size_t, size_t) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      long_done.fetch_add(1);
+    });
+  });
+  std::thread short_caller([&] {
+    // Give the long batch a head start so it is already running.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    pool.RunAll(4, [](size_t, size_t) {});
+    long_done_when_short_finished = long_done.load();
+  });
+  long_caller.join();
+  short_caller.join();
+  EXPECT_LT(long_done_when_short_finished.load(), 200u)
+      << "short batch waited for the whole long batch";
+}
+
 // --- ChipHealth: the strike/quarantine ledger behind the fault-tolerant
 // tile scheduler (DESIGN S20). ---
 

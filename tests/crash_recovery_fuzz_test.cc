@@ -464,6 +464,117 @@ TEST_F(CrashDirFixture, MachineScriptCrashesRecoverAtCommandBoundaries) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// S24 cross-session group commit: N sessions' commit groups sealed, then
+// durably committed by ONE batched WAL append + fsync (exactly the leader's
+// write path in server::SharedCatalog). Cutting every write unit of that
+// batch must recover to a GROUP-BOUNDARY prefix — never a torn group — and
+// an acknowledged batch must survive in full.
+
+/// Three sessions' write sets, disjoint on relation names (the server's
+/// first-committer-wins check guarantees batches look like this).
+std::vector<std::vector<Op>> MixedBatchGroups() {
+  const Schema narrow = rel::MakeIntSchema(1);
+  const Schema wide = rel::MakeIntSchema(2);
+  std::vector<std::vector<Op>> groups(3);
+  groups[0].push_back([narrow](DurableCatalog* d) {
+    return d->LogPut("sess1_x", Rel(narrow, {{1}, {2}, {3}}));
+  });
+  groups[0].push_back([wide](DurableCatalog* d) {
+    return d->LogPut("sess1_y", Rel(wide, {{4, 40}}));
+  });
+  groups[1].push_back([](DurableCatalog* d) { return d->LogDrop("base"); });
+  groups[1].push_back(
+      [](DurableCatalog* d) { return d->LogPut("sess2_x", TrickyStrings()); });
+  groups[2].push_back([narrow](DurableCatalog* d) {
+    return d->LogPut("sess3_x", Rel(narrow, {{7}, {8}}));
+  });
+  return groups;
+}
+
+TEST_F(CrashDirFixture, MixedSessionCommitGroupRecoversToGroupBoundaryPrefix) {
+  const Schema narrow = rel::MakeIntSchema(1);
+  const std::vector<std::vector<Op>> groups = MixedBatchGroups();
+
+  // Valid recovery states: empty catalog, the pre-batch base, and every
+  // group-boundary prefix of the batch. Each computed by a clean run that
+  // commits the first k groups individually (same catalog state the batched
+  // append reaches at that boundary).
+  std::vector<std::string> states;
+  for (size_t k = 0; k <= groups.size(); ++k) {
+    const std::string dir = Sub("oracle" + std::to_string(k));
+    auto durable = DurableCatalog::Open(dir);
+    ASSERT_OK(durable);
+    if (k == 0) states.push_back(Fingerprint((*durable)->catalog()));
+    ASSERT_STATUS_OK((*durable)->Put("base", Rel(narrow, {{100}})));
+    for (size_t g = 0; g < k; ++g) {
+      for (const Op& op : groups[g]) ASSERT_STATUS_OK(op(durable->get()));
+      ASSERT_STATUS_OK((*durable)->SealStagedGroup());
+      ASSERT_STATUS_OK((*durable)->CommitSealedGroups());
+    }
+    states.push_back(Fingerprint((*durable)->catalog()));
+  }
+
+  // The injected run: seal ALL groups, then one batched commit.
+  const auto run = [&groups, narrow](DurableCatalog* d) -> Status {
+    SYSTOLIC_RETURN_NOT_OK(d->Put("base", Rel(narrow, {{100}})));
+    for (const std::vector<Op>& group : groups) {
+      for (const Op& op : group) SYSTOLIC_RETURN_NOT_OK(op(d));
+      SYSTOLIC_RETURN_NOT_OK(d->SealStagedGroup());
+    }
+    return d->CommitSealedGroups();
+  };
+
+  uint64_t total = 0;
+  {
+    CrashInjector probe(CrashInjector::kNoCrash);
+    auto durable = DurableCatalog::Open(Sub("probe"), Io(&probe));
+    ASSERT_OK(durable);
+    ASSERT_STATUS_OK(run(durable->get()));
+    total = probe.units_used();
+  }
+  ASSERT_GT(total, 0u);
+
+  for (uint64_t cut = 0; cut <= total; ++cut) {
+    const std::string dir = Sub("cut");
+    std::filesystem::remove_all(dir);
+    bool acknowledged = false;
+    {
+      CrashInjector injector(cut);
+      auto durable = DurableCatalog::Open(dir, Io(&injector));
+      if (!durable.ok()) {
+        ASSERT_TRUE(Io::IsSimulatedCrash(durable.status()))
+            << "cut " << cut << ": " << durable.status().ToString();
+      } else {
+        const Status ran = run(durable->get());
+        if (ran.ok()) {
+          acknowledged = true;
+        } else {
+          ASSERT_TRUE(Io::IsSimulatedCrash(ran))
+              << "cut " << cut << ": " << ran.ToString();
+        }
+      }
+    }
+    auto recovered = DurableCatalog::Open(dir);
+    ASSERT_OK(recovered) << "cut " << cut << " must recover";
+    const std::string got = Fingerprint((*recovered)->catalog());
+    if (acknowledged) {
+      // One fsync acknowledged all three sessions: every group survives.
+      EXPECT_EQ(got, states.back()) << "cut " << cut
+                                    << ": acknowledged batch lost a group";
+    } else {
+      bool is_prefix = false;
+      for (const std::string& state : states) is_prefix |= (got == state);
+      EXPECT_TRUE(is_prefix)
+          << "cut " << cut << " / " << total
+          << ": recovery landed inside a commit group (torn batch)";
+    }
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "group-commit sweep failed at cut " << cut << " / " << total;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace durability
 }  // namespace systolic

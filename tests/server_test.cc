@@ -1,0 +1,457 @@
+// Unit tests for the S24 concurrent session layer: fair-share admission,
+// snapshot isolation over immutable catalog images, first-committer-wins
+// conflict detection, cross-session group commit, the command surface
+// (SET SESSION, EXPLAIN session line), and the length-framed socket
+// protocol.
+
+#include <atomic>
+#include <condition_variable>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "relational/builder.h"
+#include "server/scheduler.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "server/shared_catalog.h"
+#include "test_util.h"
+
+namespace systolic {
+namespace server {
+namespace {
+
+using rel::Schema;
+using systolic::testing::Rel;
+
+// ---- FairScheduler --------------------------------------------------------
+
+TEST(FairSchedulerTest, AdmitsUpToLimitThenBounces) {
+  FairScheduler scheduler(/*max_concurrent=*/2, /*max_queued=*/0);
+  auto t1 = scheduler.Admit(1);
+  auto t2 = scheduler.Admit(2);
+  ASSERT_OK(t1);
+  ASSERT_OK(t2);
+  // Queue capacity is zero, so a third Admit cannot wait.
+  const auto t3 = scheduler.Admit(3);
+  EXPECT_TRUE(t3.status().IsCapacity()) << t3.status().ToString();
+  EXPECT_EQ(scheduler.stats().admitted, 2u);
+  EXPECT_EQ(scheduler.stats().rejected, 1u);
+}
+
+TEST(FairSchedulerTest, ReleaseHandsSlotToWaiter) {
+  FairScheduler scheduler(/*max_concurrent=*/1, /*max_queued=*/4);
+  auto held = scheduler.Admit(1);
+  ASSERT_OK(held);
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    auto ticket = scheduler.Admit(2);
+    ASSERT_OK(ticket);
+    admitted = true;
+  });
+  while (scheduler.queue_depth() == 0) std::this_thread::yield();
+  EXPECT_FALSE(admitted.load());
+  held = AdmissionTicket();  // release the slot
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+}
+
+TEST(FairSchedulerTest, RoundRobinServesQuietSessionBeforeBacklog) {
+  FairScheduler scheduler(/*max_concurrent=*/1, /*max_queued=*/8);
+  auto held = scheduler.Admit(99);
+  ASSERT_OK(held);
+
+  std::mutex order_mutex;
+  std::vector<int> order;
+  std::vector<std::thread> waiters;
+  // Enqueue chatty session 1 twice, then quiet session 2 once — waiting for
+  // the queue depth between spawns pins the arrival order.
+  const int arrivals[] = {1, 1, 2};
+  for (size_t i = 0; i < 3; ++i) {
+    const int tag = static_cast<int>(i);
+    const uint64_t session = static_cast<uint64_t>(arrivals[i]);
+    waiters.emplace_back([&, tag, session] {
+      auto ticket = scheduler.Admit(session);
+      ASSERT_OK(ticket);
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(tag);
+    });
+    while (scheduler.queue_depth() < i + 1) std::this_thread::yield();
+  }
+  held = AdmissionTicket();  // start the cascade
+  for (std::thread& thread : waiters) thread.join();
+  // Fair share: session 1's first request, then session 2 (round-robin),
+  // then session 1's backlog — NOT strict FIFO (1, 1, 2).
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+  EXPECT_EQ(scheduler.queue_depth(), 0u);
+}
+
+// ---- SharedCatalog --------------------------------------------------------
+
+TEST(SharedCatalogTest, SnapshotsAreImmutableAndVersioned) {
+  SharedCatalog catalog;
+  const Schema schema = rel::MakeIntSchema(1);
+  ASSERT_STATUS_OK(catalog.Seed("r", Rel(schema, {{1}})));
+  const auto before = catalog.Snapshot();
+  EXPECT_EQ(before->version, 1u) << "seeded image is version 1, like Open";
+
+  const rel::Relation next = Rel(schema, {{2}});
+  const auto committed =
+      catalog.CommitGroup(before->version, {{"r", &next}});
+  ASSERT_OK(committed);
+  EXPECT_EQ(committed->version, 2u);
+
+  // The old pin still sees the seeded value; a fresh pin sees the commit.
+  EXPECT_EQ(before->relations.at("r").relation->num_tuples(), 1u);
+  const auto after = catalog.Snapshot();
+  EXPECT_EQ(after->version, 2u);
+  EXPECT_EQ(after->relations.at("r").writer_version, 2u);
+}
+
+TEST(SharedCatalogTest, FirstCommitterWinsAbortsStaleWriter) {
+  SharedCatalog catalog;
+  const Schema schema = rel::MakeIntSchema(1);
+  ASSERT_STATUS_OK(catalog.Seed("r", Rel(schema, {{1}})));
+  const uint64_t stale = catalog.Snapshot()->version;
+
+  const rel::Relation winner = Rel(schema, {{2}});
+  ASSERT_OK(catalog.CommitGroup(stale, {{"r", &winner}}));
+
+  const rel::Relation loser = Rel(schema, {{3}});
+  const auto aborted = catalog.CommitGroup(stale, {{"r", &loser}});
+  EXPECT_TRUE(aborted.status().IsAborted()) << aborted.status().ToString();
+  EXPECT_NE(aborted.status().ToString().find("first committer wins"),
+            std::string::npos);
+
+  // Writes to OTHER names from the same stale snapshot still land.
+  const rel::Relation other = Rel(schema, {{4}});
+  ASSERT_OK(catalog.CommitGroup(stale, {{"s", &other}}));
+
+  const GroupCommitStats stats = catalog.stats();
+  EXPECT_EQ(stats.commits, 2u);
+  EXPECT_EQ(stats.conflicts, 1u);
+  EXPECT_EQ(catalog.Snapshot()->relations.at("r").relation->num_tuples(), 1u);
+}
+
+TEST(SharedCatalogTest, ConcurrentCommitsBatchAndStayConsistent) {
+  SharedCatalog catalog;
+  const Schema schema = rel::MakeIntSchema(1);
+  constexpr size_t kThreads = 8;
+  std::vector<rel::Relation> payloads;
+  for (size_t i = 0; i < kThreads; ++i) {
+    payloads.push_back(Rel(schema, {{static_cast<int64_t>(i)}}));
+  }
+  std::vector<std::thread> threads;
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      // Disjoint names: every group must be acknowledged.
+      const std::string name = "t" + std::to_string(i);
+      const auto result =
+          catalog.CommitGroup(catalog.Snapshot()->version,
+                              {{name, &payloads[i]}});
+      EXPECT_OK(result);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const GroupCommitStats stats = catalog.stats();
+  EXPECT_EQ(stats.commits, kThreads);
+  EXPECT_EQ(stats.conflicts, 0u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, kThreads);
+  // The histogram accounts for every commit.
+  size_t histogram_commits = 0;
+  for (const auto& [size, count] : stats.batch_size_histogram) {
+    histogram_commits += size * count;
+  }
+  EXPECT_EQ(histogram_commits, kThreads);
+  EXPECT_EQ(catalog.Snapshot()->relations.size(), kThreads);
+}
+
+TEST(SharedCatalogTest, DurableCatalogRecoversCommittedGroups) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "systolic_server_test_durable")
+          .string();
+  std::filesystem::remove_all(dir);
+  const Schema schema = rel::MakeIntSchema(1);
+  {
+    auto opened = SharedCatalog::Open(dir);
+    ASSERT_OK(opened);
+    SharedCatalog& catalog = **opened;
+    const rel::Relation a = Rel(schema, {{1}, {2}});
+    const rel::Relation b = Rel(schema, {{3}});
+    ASSERT_OK(catalog.CommitGroup(catalog.Snapshot()->version, {{"a", &a}}));
+    ASSERT_OK(catalog.CommitGroup(catalog.Snapshot()->version, {{"b", &b}}));
+    EXPECT_GT(catalog.durability_stats().wal_records, 0u);
+  }
+  {
+    auto reopened = SharedCatalog::Open(dir);
+    ASSERT_OK(reopened);
+    const auto snapshot = (*reopened)->Snapshot();
+    ASSERT_EQ(snapshot->relations.count("a"), 1u);
+    ASSERT_EQ(snapshot->relations.count("b"), 1u);
+    EXPECT_EQ(snapshot->relations.at("a").relation->num_tuples(), 2u);
+    // Recovered relations belong to pre-history: they conflict with nobody.
+    EXPECT_EQ(snapshot->relations.at("a").writer_version, 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---- Sessions on a server -------------------------------------------------
+
+ServerConfig TestConfig(size_t num_chips = 2) {
+  ServerConfig config;
+  config.machine.num_memories = 12;
+  config.num_chips = num_chips;
+  return config;
+}
+
+void SeedDemo(Server* server) {
+  const Schema schema = rel::MakeIntSchema(2);
+  ASSERT_STATUS_OK(server->catalog().Seed(
+      "A", Rel(schema, {{1, 10}, {2, 20}, {3, 30}})));
+  ASSERT_STATUS_OK(server->catalog().Seed("B", Rel(schema, {{2, 20}, {4, 40}})));
+}
+
+TEST(ServerTest, StoreInOneSessionVisibleToAnother) {
+  auto created = Server::Create(TestConfig());
+  ASSERT_OK(created);
+  Server& server = **created;
+  SeedDemo(&server);
+
+  auto s1 = server.Connect();
+  auto s2 = server.Connect();
+  ASSERT_OK(s1);
+  ASSERT_OK(s2);
+
+  ASSERT_OK((*s1)->Execute("LOAD A"));
+  ASSERT_OK((*s1)->Execute("LOAD B"));
+  ASSERT_OK((*s1)->Execute("INTERSECT A B -> I"));
+  ASSERT_OK((*s1)->Execute("STORE I AS shared_i"));
+
+  // Session 2 re-pins the newest image on its next command.
+  ASSERT_OK((*s2)->Execute("LOAD shared_i"));
+  const auto printed = (*s2)->Execute("PRINT shared_i");
+  ASSERT_OK(printed);
+  EXPECT_NE(printed->find("(2, 20)"), std::string::npos) << *printed;
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.sessions_admitted, 2u);
+  EXPECT_GE(stats.group_commit.commits, 1u);
+}
+
+TEST(ServerTest, TransactionsReadFrozenSnapshotAndConflictOnCommit) {
+  auto created = Server::Create(TestConfig());
+  ASSERT_OK(created);
+  Server& server = **created;
+  SeedDemo(&server);
+
+  auto s1 = server.Connect();
+  auto s2 = server.Connect();
+  ASSERT_OK(s1);
+  ASSERT_OK(s2);
+
+  // Both sessions open transactions against the same snapshot and produce a
+  // sink named `result` (COMMIT persists sink outputs through the shared
+  // pipeline); the second COMMIT must lose first-committer-wins.
+  ASSERT_OK((*s1)->Execute("BEGIN"));
+  ASSERT_OK((*s1)->Execute("LOAD A"));
+  ASSERT_OK((*s1)->Execute("DEDUP A -> result"));
+
+  ASSERT_OK((*s2)->Execute("BEGIN"));
+  ASSERT_OK((*s2)->Execute("LOAD B"));
+  ASSERT_OK((*s2)->Execute("DEDUP B -> result"));
+
+  ASSERT_OK((*s1)->Execute("COMMIT"));
+  const auto conflicted = (*s2)->Execute("COMMIT");
+  EXPECT_TRUE(conflicted.status().IsAborted())
+      << conflicted.status().ToString();
+
+  // The winner's rows (relation A: 3 tuples) are what everyone reads now.
+  auto s3 = server.Connect();
+  ASSERT_OK(s3);
+  ASSERT_OK((*s3)->Execute("LOAD result"));
+  const auto printed = (*s3)->Execute("PRINT result");
+  ASSERT_OK(printed);
+  EXPECT_NE(printed->find("(1, 10)"), std::string::npos) << *printed;
+  EXPECT_EQ(server.stats().group_commit.conflicts, 1u);
+}
+
+TEST(ServerTest, SnapshotReadsAreRepeatableInsideTransaction) {
+  auto created = Server::Create(TestConfig());
+  ASSERT_OK(created);
+  Server& server = **created;
+  SeedDemo(&server);
+
+  auto reader = server.Connect();
+  auto writer = server.Connect();
+  ASSERT_OK(reader);
+  ASSERT_OK(writer);
+
+  ASSERT_OK((*reader)->Execute("BEGIN"));
+  ASSERT_OK((*reader)->Execute("LOAD A"));
+  const uint64_t pinned = (*reader)->snapshot_version();
+
+  // A commits while the reader's transaction is open.
+  ASSERT_OK((*writer)->Execute("LOAD B"));
+  ASSERT_OK((*writer)->Execute("STORE B AS fresh"));
+
+  // Still pinned: the reader's snapshot does not advance mid-transaction.
+  ASSERT_OK((*reader)->Execute("DEDUP A -> D"));
+  EXPECT_EQ((*reader)->snapshot_version(), pinned);
+  ASSERT_OK((*reader)->Execute("COMMIT"));
+
+  // After the transaction the next command re-pins and sees `fresh`.
+  ASSERT_OK((*reader)->Execute("LOAD fresh"));
+  EXPECT_GT((*reader)->snapshot_version(), pinned);
+}
+
+TEST(ServerTest, SessionCapacityBouncesConnections) {
+  ServerConfig config = TestConfig(1);
+  config.max_sessions = 1;
+  auto created = Server::Create(std::move(config));
+  ASSERT_OK(created);
+  Server& server = **created;
+
+  auto s1 = server.Connect();
+  ASSERT_OK(s1);
+  const auto s2 = server.Connect();
+  EXPECT_TRUE(s2.status().IsCapacity()) << s2.status().ToString();
+  EXPECT_EQ(server.stats().sessions_rejected, 1u);
+
+  // Disconnect frees the slot.
+  server.Disconnect((*s1)->id());
+  EXPECT_OK(server.Connect());
+}
+
+// ---- Command surface ------------------------------------------------------
+
+TEST(ServerTest, ExplainSurfacesSessionIdIsolationAndQueueDepth) {
+  auto created = Server::Create(TestConfig());
+  ASSERT_OK(created);
+  Server& server = **created;
+  SeedDemo(&server);
+
+  auto session = server.Connect();
+  ASSERT_OK(session);
+  ASSERT_OK((*session)->Execute("LOAD A"));
+  ASSERT_OK((*session)->Execute("LOAD B"));
+  const auto explained = (*session)->Execute("EXPLAIN INTERSECT A B -> I");
+  ASSERT_OK(explained);
+  EXPECT_NE(explained->find("-- session: id 1, isolation snapshot, "
+                            "admission queue depth 0"),
+            std::string::npos)
+      << *explained;
+
+  const auto help = (*session)->Execute("HELP");
+  ASSERT_OK(help);
+  EXPECT_NE(help->find("SET SESSION ISOLATION snapshot"), std::string::npos)
+      << *help;
+  EXPECT_NE(help->find("-- session: id 1"), std::string::npos) << *help;
+}
+
+TEST(ServerTest, SetSessionValidatesKeysAndValues) {
+  auto created = Server::Create(TestConfig());
+  ASSERT_OK(created);
+  Server& server = **created;
+
+  auto session = server.Connect();
+  ASSERT_OK(session);
+  EXPECT_OK((*session)->Execute("SET SESSION ISOLATION snapshot"));
+
+  const auto unknown = (*session)->Execute("SET SESSION RETRIES 3");
+  EXPECT_TRUE(unknown.status().IsInvalidArgument());
+  EXPECT_NE(unknown.status().ToString().find("valid keys: ISOLATION"),
+            std::string::npos)
+      << unknown.status().ToString();
+
+  const auto bad_value = (*session)->Execute("SET SESSION ISOLATION dirty");
+  EXPECT_TRUE(bad_value.status().IsInvalidArgument())
+      << bad_value.status().ToString();
+}
+
+TEST(ServerTest, SessionSettingsAreScopedPerSession) {
+  auto created = Server::Create(TestConfig());
+  ASSERT_OK(created);
+  Server& server = **created;
+  SeedDemo(&server);
+
+  auto s1 = server.Connect();
+  auto s2 = server.Connect();
+  ASSERT_OK(s1);
+  ASSERT_OK(s2);
+
+  ASSERT_OK((*s1)->Execute("SET BACKEND fast"));
+  // Session 1's EXPLAIN reports its fast backend; session 2, untouched,
+  // stays on the default rtl backend (whose EXPLAIN prints no backend line).
+  ASSERT_OK((*s1)->Execute("LOAD A"));
+  ASSERT_OK((*s1)->Execute("LOAD B"));
+  const auto fast = (*s1)->Execute("EXPLAIN INTERSECT A B -> I");
+  ASSERT_OK(fast);
+  EXPECT_NE(fast->find("backend: fast"), std::string::npos) << *fast;
+
+  ASSERT_OK((*s2)->Execute("LOAD A"));
+  ASSERT_OK((*s2)->Execute("LOAD B"));
+  const auto rtl = (*s2)->Execute("EXPLAIN INTERSECT A B -> I");
+  ASSERT_OK(rtl);
+  EXPECT_EQ(rtl->find("backend: fast"), std::string::npos) << *rtl;
+}
+
+TEST(ServerTest, PerSessionStatsCountOnlyOwnCommits) {
+  auto created = Server::Create(TestConfig());
+  ASSERT_OK(created);
+  Server& server = **created;
+  SeedDemo(&server);
+
+  auto s1 = server.Connect();
+  auto s2 = server.Connect();
+  ASSERT_OK(s1);
+  ASSERT_OK(s2);
+
+  ASSERT_OK((*s1)->Execute("LOAD A"));
+  ASSERT_OK((*s1)->Execute("STORE A AS from_one"));
+  EXPECT_GT((*s1)->durability_stats().wal_records, 0u);
+  EXPECT_EQ((*s2)->durability_stats().wal_records, 0u);
+}
+
+// ---- Socket protocol ------------------------------------------------------
+
+TEST(ServerTest, SocketRoundTripAndShutdown) {
+  auto created = Server::Create(TestConfig());
+  ASSERT_OK(created);
+  Server& server = **created;
+  SeedDemo(&server);
+  ASSERT_STATUS_OK(server.Listen(0));
+  std::thread serving([&server] { EXPECT_TRUE(server.Serve().ok()); });
+
+  {
+    auto client = Client::Connect(server.port());
+    ASSERT_OK(client);
+    auto loaded = client->Roundtrip("LOAD A");
+    ASSERT_OK(loaded);
+    EXPECT_TRUE(loaded->ok) << loaded->error;
+    EXPECT_NE(loaded->output.find("loaded A"), std::string::npos)
+        << loaded->output;
+
+    // Errors relay the status text and any partial output.
+    auto missing = client->Roundtrip("PRINT nothing");
+    ASSERT_OK(missing);
+    EXPECT_FALSE(missing->ok);
+    EXPECT_NE(missing->error.find("not-found"), std::string::npos)
+        << missing->error;
+
+    auto stopped = client->Roundtrip("SHUTDOWN");
+    ASSERT_OK(stopped);
+    EXPECT_TRUE(stopped->ok);
+  }
+  serving.join();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace systolic
