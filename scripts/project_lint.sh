@@ -12,6 +12,10 @@
 #      writes through its injected ostream; examples and tests are exempt,
 #      as is util/logging.h — the SYSTOLIC_CHECK death path IS the stderr
 #      writer of last resort).
+#   4. Memory-module read accounting goes through the scratchpad layer
+#      (DESIGN S25): AccountRead is called ONLY inside src/system/scratchpad
+#      — engine and machine code feed the crossbar via spad::CrossbarFeed /
+#      ScratchpadBank so every modeled byte is costed by the DMA model.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -43,6 +47,13 @@ hits=$(grep -rnE 'std::cout|std::cerr|\bprintf\(' src \
   --include='*.cc' --include='*.h' | grep -v '^src/util/logging\.h:' || true)
 if [ -n "$hits" ]; then
   report "direct stdout/stderr in src/ (write through the injected ostream)" "$hits"
+fi
+
+# --- rule 4: memory reads are costed by the scratchpad/DMA layer -----------
+hits=$(grep -rnE '\.AccountRead\(|->AccountRead\(' src \
+  --include='*.cc' --include='*.h' | grep -v '^src/system/scratchpad/' || true)
+if [ -n "$hits" ]; then
+  report "direct MemoryModule::AccountRead outside src/system/scratchpad (feed through spad::CrossbarFeed)" "$hits"
 fi
 
 if [ "$fail" -eq 0 ]; then

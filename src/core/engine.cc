@@ -13,7 +13,10 @@
 #include "faults/checksum.h"
 #include "faults/fault_scope.h"
 #include "perfmodel/estimates.h"
+#include "system/scratchpad/memory.h"
+#include "system/scratchpad/scratchpad.h"
 #include "systolic/schedule.h"
+#include "util/logging.h"
 
 namespace systolic {
 namespace db {
@@ -187,6 +190,7 @@ Status Engine::RunTiled(
 }
 
 void Engine::MergePassInfos(const std::vector<ArrayRunInfo>& infos,
+                            const std::vector<TileTraffic>& traffic,
                             ExecStats* stats) const {
   if (stats == nullptr) return;
   stats->num_chips = num_chips();
@@ -198,33 +202,59 @@ void Engine::MergePassInfos(const std::vector<ArrayRunInfo>& infos,
   stats->healthy_chips = usable;
   // Sum exactly as the serial path's per-pass accumulation would.
   std::vector<size_t> chip_busy(usable, 0);
-  for (const ArrayRunInfo& info : infos) {
+  std::vector<size_t> chip_of_tile(infos.size(), 0);
+  for (size_t t = 0; t < infos.size(); ++t) {
+    const ArrayRunInfo& info = infos[t];
     ++stats->passes;
     stats->cycles += info.cycles;
     stats->busy_cell_cycles += info.sim.busy_cell_cycles;
     stats->num_compute_cells =
         std::max(stats->num_compute_cells, info.sim.num_compute_cells);
     // Greedy tile-order schedule: each pass to the chip that frees first.
-    *std::min_element(chip_busy.begin(), chip_busy.end()) += info.cycles;
+    const auto next_free = std::min_element(chip_busy.begin(), chip_busy.end());
+    chip_of_tile[t] = static_cast<size_t>(next_free - chip_busy.begin());
+    *next_free += info.cycles;
   }
   stats->makespan_cycles +=
       *std::max_element(chip_busy.begin(), chip_busy.end());
+  AccountDma(infos, traffic, chip_of_tile, stats);
 }
 
-namespace {
-
-/// Copies tuples [start, start+count) of `r` into a fresh relation.
-Relation Slice(const Relation& r, size_t start, size_t count) {
-  Relation out(r.schema(), rel::RelationKind::kMulti);
-  const size_t end = std::min(start + count, r.num_tuples());
-  for (size_t i = start; i < end; ++i) {
-    // Arity always matches: same schema.
-    (void)out.Append(r.tuple(i));
+void Engine::AccountDma(const std::vector<ArrayRunInfo>& infos,
+                        const std::vector<TileTraffic>& traffic,
+                        const std::vector<size_t>& chip_of_tile,
+                        ExecStats* stats) const {
+  if (stats == nullptr || infos.empty()) return;
+  SYSTOLIC_CHECK(traffic.size() == infos.size() &&
+                 chip_of_tile.size() == infos.size())
+      << "DMA accounting needs one traffic record and chip per tile";
+  const bool overlap = ResolveOverlap();
+  stats->overlap_enabled = overlap;
+  size_t chips_used = 0;
+  for (size_t chip : chip_of_tile) {
+    chips_used = std::max(chips_used, chip + 1);
   }
-  return out;
+  // One DMA engine + bank set per chip: queue each chip's tiles in tile
+  // order (the same order the greedy schedule assigns them). The batch's
+  // memory critical path is the slowest chip's schedule, mirroring how
+  // makespan_cycles takes the busiest chip.
+  size_t batch_makespan = 0;
+  for (size_t chip = 0; chip < chips_used; ++chip) {
+    spad::DmaQueue queue(overlap);
+    for (size_t t = 0; t < infos.size(); ++t) {
+      if (chip_of_tile[t] != chip) continue;
+      queue.Mvin(t, traffic[t].in_a);
+      queue.Preload(t, traffic[t].in_b);
+      queue.Compute(t, infos[t].cycles);
+      queue.Mvout(t, traffic[t].out);
+    }
+    const size_t makespan = queue.Schedule(&stats->dma_trace);
+    stats->dma_cycles += queue.TransferCycleTotal();
+    stats->overlap_cycles += queue.SerialCycleTotal() - makespan;
+    batch_makespan = std::max(batch_makespan, makespan);
+  }
+  stats->memory_makespan_cycles += batch_makespan;
 }
-
-}  // namespace
 
 size_t Engine::BlockCapacity(FeedMode mode, bool bottom) const {
   return perf::MembershipBlockCapacity(mode == FeedMode::kFixedB, bottom,
@@ -239,6 +269,13 @@ double Engine::EstimatePulses(FeedMode mode, size_t n_a, size_t n_b,
     return perf::FixedBMembershipPulses(n_a, n_b, columns, device_.rows);
   }
   return perf::MarchingMembershipPulses(n_a, n_b, columns, device_.rows);
+}
+
+bool Engine::ResolveOverlap() const {
+  // kAuto resolves to on: double-buffering never lengthens the modeled
+  // memory critical path (Schedule() degenerates to the serial timeline
+  // when transfers and compute cannot overlap).
+  return device_.overlap != spad::OverlapPolicy::kOff;
 }
 
 fastpath::Backend Engine::ResolveBackend() const {
@@ -362,40 +399,58 @@ Result<BitVector> Engine::TiledMembership(const Relation& a, const Relation& b,
 
   std::vector<BitVector> tile_bits(tiles.size(), BitVector(0));
   std::vector<ArrayRunInfo> tile_infos(tiles.size());
+  std::vector<TileTraffic> tile_traffic(tiles.size());
   SYSTOLIC_RETURN_NOT_OK(RunTiled(
       tiles.size(),
       [&](size_t t, size_t /*chip*/) -> Status {
         const MembershipTile& tile = tiles[t];
         ArrayRunInfo info;
+        // Per-attempt banks: a retried attempt re-stages its operand feed
+        // from scratch, so it never sees a half-drained bank.
+        spad::ScratchpadBank bank_a;
+        spad::ScratchpadBank bank_b;
+        TileTraffic feed;
         if (dedup) {
-          const Relation block_p = Slice(a, tile.a_start, cap_a);
+          const Relation block_p = bank_a.Stage(a, tile.a_start, cap_a);
+          feed.in_a = bank_a.staged_bytes();
           if (tile.diagonal) {
+            // The diagonal compares the staged block against itself: one
+            // mvin, no preload — both array edges tap the same bank.
             SYSTOLIC_ASSIGN_OR_RETURN(
                 tile_bits[t],
                 run_membership(block_p, block_p, a_cols, a_cols,
                                arrays::EdgeRule::kStrictLowerTriangle, &info));
           } else {
-            const Relation block_q = Slice(a, tile.b_start, cap_a);
+            const Relation block_q = bank_b.Stage(a, tile.b_start, cap_a);
+            feed.in_b = bank_b.staged_bytes();
             SYSTOLIC_ASSIGN_OR_RETURN(
                 tile_bits[t],
                 run_membership(block_p, block_q, a_cols, a_cols,
                                arrays::EdgeRule::kAllTrue, &info));
           }
         } else {
-          const Relation block_a = Slice(a, tile.a_start, cap_a);
-          const Relation block_b = Slice(b, tile.b_start, cap_b);
+          const Relation block_a = bank_a.Stage(a, tile.a_start, cap_a);
+          const Relation block_b = bank_b.Stage(b, tile.b_start, cap_b);
+          feed.in_a = bank_a.staged_bytes();
+          feed.in_b = bank_b.staged_bytes();
           SYSTOLIC_ASSIGN_OR_RETURN(
               tile_bits[t],
               run_membership(block_a, block_b, a_cols, b_cols,
                              arrays::EdgeRule::kAllTrue, &info));
         }
+        // The accepted attempt's feed streams out of the banks into the
+        // array exactly once; its result bits drain as packed bytes.
+        bank_a.Drain(bank_a.staged_bytes());
+        bank_b.Drain(bank_b.staged_bytes());
+        feed.out = spad::BitDrainBytes(tile_bits[t].size());
         tile_infos[t] = info;
+        tile_traffic[t] = feed;
         return Status::OK();
       },
       stats,
       [&tile_bits](size_t t) { return faults::ChecksumBits(tile_bits[t]); }));
 
-  MergePassInfos(tile_infos, stats);
+  MergePassInfos(tile_infos, tile_traffic, stats);
   for (size_t t = 0; t < tiles.size(); ++t) {
     const BitVector& bits = tile_bits[t];
     for (size_t i = 0; i < bits.size(); ++i) {
@@ -499,19 +554,28 @@ Result<EngineResult> Engine::Join(const Relation& a, const Relation& b,
   std::vector<std::vector<std::pair<size_t, size_t>>> tile_matches(
       offsets.size());
   std::vector<ArrayRunInfo> tile_infos(offsets.size());
+  std::vector<TileTraffic> tile_traffic(offsets.size());
+  const size_t out_arity = result.relation.arity();
   SYSTOLIC_RETURN_NOT_OK(RunTiled(
       offsets.size(),
       [&](size_t t, size_t /*chip*/) -> Status {
         const auto [ai, bi] = offsets[t];
         // Retried attempts must not append onto a rejected attempt's output.
         tile_matches[t].clear();
-        const Relation block_a = Slice(a, ai, cap_a);
-        const Relation block_b = Slice(b, bi, cap_b);
+        // Per-attempt banks: a retry re-stages the full operand feed.
+        spad::ScratchpadBank bank_a;
+        spad::ScratchpadBank bank_b;
+        const Relation block_a = bank_a.Stage(a, ai, cap_a);
+        const Relation block_b = bank_b.Stage(b, bi, cap_b);
         SYSTOLIC_ASSIGN_OR_RETURN(
             arrays::JoinArrayResult tile,
             backend == fastpath::Backend::kFast
                 ? fastpath::FastJoin(block_a, block_b, spec, options)
                 : arrays::SystolicJoin(block_a, block_b, spec, options));
+        bank_a.Drain(bank_a.staged_bytes());
+        bank_b.Drain(bank_b.staged_bytes());
+        tile_traffic[t] = {bank_a.staged_bytes(), bank_b.staged_bytes(),
+                           spad::TupleBytes(tile.matches.size(), out_arity)};
         tile_infos[t] = tile.info;
         tile_matches[t].reserve(tile.matches.size());
         for (const auto& [i, j] : tile.matches) {
@@ -523,7 +587,7 @@ Result<EngineResult> Engine::Join(const Relation& a, const Relation& b,
       [&tile_matches](size_t t) {
         return faults::ChecksumMatches(tile_matches[t]);
       }));
-  MergePassInfos(tile_infos, &result.stats);
+  MergePassInfos(tile_infos, tile_traffic, &result.stats);
 
   std::vector<std::pair<size_t, size_t>> matches;
   for (const auto& per_tile : tile_matches) {
@@ -605,17 +669,27 @@ Result<EngineResult> Engine::Divide(const Relation& a, const Relation& b,
       chunks.size() * num_groups,
       arrays::DivisionArrayResult(Relation(b.schema(), rel::RelationKind::kSet)));
   std::vector<ArrayRunInfo> tile_infos(chunks.size() * num_groups);
+  std::vector<TileTraffic> tile_traffic(chunks.size() * num_groups);
   SYSTOLIC_RETURN_NOT_OK(RunTiled(
       chunks.size() * num_groups,
       [&](size_t t, size_t /*chip*/) -> Status {
+        // Per-attempt banks; every pass re-streams its chunk, so a chunk
+        // paired with G divisor groups is staged G times.
+        spad::ScratchpadBank bank_a;
+        spad::ScratchpadBank bank_b;
+        const Relation& chunk = chunks[t / num_groups];
+        const Relation& group = divisor_groups[t % num_groups];
+        const Relation block_a = bank_a.Stage(chunk, 0, chunk.num_tuples());
+        const Relation block_b = bank_b.Stage(group, 0, group.num_tuples());
         SYSTOLIC_ASSIGN_OR_RETURN(
             passes[t],
             backend == fastpath::Backend::kFast
-                ? fastpath::FastDivision(chunks[t / num_groups],
-                                         divisor_groups[t % num_groups], spec)
-                : arrays::SystolicDivision(chunks[t / num_groups],
-                                           divisor_groups[t % num_groups],
-                                           spec));
+                ? fastpath::FastDivision(block_a, block_b, spec)
+                : arrays::SystolicDivision(block_a, block_b, spec));
+        bank_a.Drain(bank_a.staged_bytes());
+        bank_b.Drain(bank_b.staged_bytes());
+        tile_traffic[t] = {bank_a.staged_bytes(), bank_b.staged_bytes(),
+                           machine::RelationBytes(passes[t].relation)};
         tile_infos[t] = passes[t].info;
         return Status::OK();
       },
@@ -623,7 +697,7 @@ Result<EngineResult> Engine::Divide(const Relation& a, const Relation& b,
       [&passes](size_t t) {
         return faults::ChecksumRelation(passes[t].relation);
       }));
-  MergePassInfos(tile_infos, &result.stats);
+  MergePassInfos(tile_infos, tile_traffic, &result.stats);
 
   for (size_t c = 0; c < chunks.size(); ++c) {
     std::vector<rel::Tuple> surviving;  // in first-occurrence order
@@ -674,6 +748,12 @@ Result<EngineResult> Engine::Select(
       },
       &stats,
       [&slot](size_t) { return faults::ChecksumBits(slot[0].selected); }));
+  // Selection streams A through the one-row device: one mvin of the whole
+  // operand, no preload (the predicate constants live in the cells), and
+  // the selected tuples drain back. One tile, so chip 0 by definition.
+  const TileTraffic feed{machine::RelationBytes(a), 0,
+                         machine::RelationBytes(slot[0].relation)};
+  AccountDma({slot[0].info}, {feed}, {0}, &stats);
   EngineResult result(std::move(slot[0].relation));
   result.stats = stats;
   result.stats.AccumulatePass(slot[0].info);

@@ -15,6 +15,7 @@
 #include "faults/fault_plan.h"
 #include "relational/op_specs.h"
 #include "relational/relation.h"
+#include "system/scratchpad/scratchpad.h"
 #include "util/result.h"
 
 namespace systolic {
@@ -58,6 +59,24 @@ struct DeviceConfig {
   /// installed (injection corrupts individual pulses, which only the
   /// simulator models). Surfaced in the shell as `SET BACKEND`.
   fastpath::BackendPolicy backend = fastpath::BackendPolicy::kRtl;
+  /// Whether each chip's scratchpad/DMA layer double-buffers tile operand
+  /// feeds (S25): with overlap on, tile N+1's mvin streams into the idle
+  /// bank while tile N computes and tile N−1's mvout drains; off serialises
+  /// load→compute→drain per tile. Purely a memory-timing model: results and
+  /// the compute-only `cycles`/`makespan_cycles` are identical either way;
+  /// only the dma_*/memory_makespan counters move. kAuto resolves to on.
+  /// Surfaced in the shell as `SET MEMORY overlap=...`.
+  spad::OverlapPolicy overlap = spad::OverlapPolicy::kAuto;
+};
+
+/// Byte traffic of one tile's scratchpad feed, recorded by the tile task and
+/// costed into the per-chip DMA schedule: `in_a` streams through mvin,
+/// `in_b` through preload (0 when the tile reuses an already-staged block),
+/// `out` drains through mvout.
+struct TileTraffic {
+  double in_a = 0;
+  double in_b = 0;
+  double out = 0;
 };
 
 /// Aggregate execution statistics for one engine operation, summed over all
@@ -113,6 +132,25 @@ struct ExecStats {
   size_t checkpoints = 0;
   /// WAL records replayed by the session's crash recovery on OPEN.
   size_t recovered_records = 0;
+  /// Scratchpad/DMA counters (S25), derived from the same deterministic
+  /// greedy tile→chip schedule as `makespan_cycles`, so they are identical
+  /// across backends and across serial/parallel dispatch.
+  /// Transfer pulses (mvin + preload + mvout) summed over every tile.
+  size_t dma_cycles = 0;
+  /// Pulses the double-buffered schedule hid relative to full
+  /// load→compute→drain serialisation, summed over chips; 0 with overlap
+  /// off.
+  size_t overlap_cycles = 0;
+  /// Memory-inclusive critical path: the max over chips of each chip's DMA
+  /// schedule makespan (compute + un-hidden transfer pulses), summed over
+  /// tile batches like `makespan_cycles`. With overlap off this is exactly
+  /// makespan_cycles + dma_cycles on one chip.
+  size_t memory_makespan_cycles = 0;
+  /// Whether the operation's tile feeds were double-buffered.
+  bool overlap_enabled = false;
+  /// The per-chip DMA schedules, chips in order then commands in queue
+  /// order — the golden-trace diff surface. Chip-local pulse timestamps.
+  std::vector<spad::DmaEvent> dma_trace;
 
   /// Serial utilisation: busy cell-pulses over cells × summed pulses
   /// (`cycles`). Denominator = the cell-pulses ONE chip offers when it runs
@@ -140,6 +178,19 @@ struct ExecStats {
                          static_cast<double>(makespan_cycles) *
                          static_cast<double>(num_chips == 0 ? 1 : num_chips);
     return denom == 0 ? 0.0 : static_cast<double>(busy_cell_cycles) / denom;
+  }
+
+  /// Fraction of the memory-inclusive critical path spent computing:
+  /// makespan_cycles / memory_makespan_cycles. Overlap hides transfer
+  /// pulses behind compute, so on → closer to 1, off → the §9 pipelining
+  /// bubble shows up as the gap. Valid for analytic (fast-path) timing too
+  /// — both counters are schedule-model quantities, not simulator
+  /// measurements. 0 when no DMA accounting ran.
+  double MemoryMakespanUtilization() const {
+    return memory_makespan_cycles == 0
+               ? 0.0
+               : static_cast<double>(makespan_cycles) /
+                     static_cast<double>(memory_makespan_cycles);
   }
 
   void AccumulatePass(const arrays::ArrayRunInfo& info);
@@ -224,6 +275,11 @@ class Engine {
   /// fault plan is installed (fault injection needs pulse-level fidelity).
   fastpath::Backend ResolveBackend() const;
 
+  /// Whether the scratchpad layer will double-buffer this engine's tile
+  /// feeds (device().overlap with kAuto resolved to on — overlap never
+  /// lengthens the modeled memory critical path).
+  bool ResolveOverlap() const;
+
   /// A copy of this engine whose device is pinned to `mode`, sharing this
   /// engine's chip pool (so the copy is cheap and spawns no threads). The
   /// §9 machine uses this to honor a planner feed-mode hint on one step
@@ -261,8 +317,21 @@ class Engine {
   /// Folds per-tile pass records into `stats` in tile order: sums passes /
   /// cycles / busy cell-pulses exactly as the serial path would, and adds
   /// the greedy multi-chip makespan of the batch to `makespan_cycles`.
+  /// `traffic` (parallel to `infos`) then costs each tile's scratchpad feed
+  /// into its assigned chip's DMA schedule via AccountDma.
   void MergePassInfos(const std::vector<arrays::ArrayRunInfo>& infos,
+                      const std::vector<TileTraffic>& traffic,
                       ExecStats* stats) const;
+
+  /// Builds one DmaQueue per chip from each tile's compute cycles + feed
+  /// traffic (tiles in tile order on their assigned chip), schedules them
+  /// under ResolveOverlap(), and folds dma_cycles / overlap_cycles /
+  /// memory_makespan_cycles / dma_trace into `stats`. `chip_of_tile` is the
+  /// greedy assignment MergePassInfos derived (all zeros for one chip).
+  void AccountDma(const std::vector<arrays::ArrayRunInfo>& infos,
+                  const std::vector<TileTraffic>& traffic,
+                  const std::vector<size_t>& chip_of_tile,
+                  ExecStats* stats) const;
 
   /// Width check against device_.columns.
   Status CheckWidth(size_t width) const;

@@ -257,6 +257,12 @@ Status CommandInterpreter::RunStep(Transaction transaction,
   if (step.exec.backend == fastpath::Backend::kFast) {
     (*out_) << " (fast, analytic)";
   }
+  // DMA counters print only under an explicitly pinned memory policy, so
+  // every transcript produced before S25 stays byte-identical by default.
+  if (machine_->memory_policy() != spad::OverlapPolicy::kAuto) {
+    (*out_) << ", " << step.exec.dma_cycles << " dma pulses ("
+            << step.exec.overlap_cycles << " overlapped)";
+  }
   PrintFaultCounters(step.exec);
   (*out_) << "\n";
   return PersistSinks(transaction.SinkOutputs());
@@ -278,6 +284,17 @@ void CommandInterpreter::PrintBackendPolicy() {
     (*out_) << "; falls back to rtl while faults are installed";
   }
   (*out_) << ")\n";
+}
+
+void CommandInterpreter::PrintMemoryPolicy() {
+  const spad::OverlapPolicy policy = machine_->memory_policy();
+  if (policy == spad::OverlapPolicy::kAuto) return;
+  (*out_) << "-- memory: overlap " << spad::OverlapPolicyToString(policy)
+          << " (scratchpad double-buffering "
+          << (policy == spad::OverlapPolicy::kOff
+                  ? "off: tiles serialise load->compute->drain"
+                  : "on: tile N+1 streams in while tile N computes")
+          << ")\n";
 }
 
 void CommandInterpreter::PrintFaultPolicy() {
@@ -411,6 +428,8 @@ void CommandInterpreter::PrintHelp() {
              "SET FAULTS seed=<n> ... | SET FAULTS off\n"
           << "--   SET BACKEND rtl|fast|auto  (fast: packed bitwise kernels "
              "with analytic pulse counts)\n"
+          << "--   SET MEMORY overlap=on|off|auto  (scratchpad "
+             "double-buffering of tile feeds)\n"
           << "--   SET SESSION ISOLATION snapshot  (server sessions)\n"
           << "--   HELP\n";
   PrintSessionInfo();
@@ -569,7 +588,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
     if (tokens.size() < 2) {
       return Status::InvalidArgument(
           "usage: SET <key> ...; valid keys: PLANNER, DURABILITY, FAULTS, "
-          "BACKEND, SESSION");
+          "BACKEND, SESSION, MEMORY");
     }
     if (tokens[1] == "FAULTS") {
       return SetFaults(tokens);
@@ -588,6 +607,18 @@ Status CommandInterpreter::Execute(const std::string& line) {
       (*out_) << "-- backend " << tokens[2] << "\n";
       return Status::OK();
     }
+    if (tokens[1] == "MEMORY") {
+      constexpr const char* kUsage =
+          "usage: SET MEMORY overlap=<value>; valid values: on, off, auto";
+      spad::OverlapPolicy policy;
+      if (tokens.size() != 3 || tokens[2].rfind("overlap=", 0) != 0 ||
+          !spad::ParseOverlapPolicy(tokens[2].substr(8), &policy)) {
+        return Status::InvalidArgument(kUsage);
+      }
+      machine_->SetMemoryPolicy(policy);
+      (*out_) << "-- memory overlap " << tokens[2].substr(8) << "\n";
+      return Status::OK();
+    }
     if (tokens[1] == "PLANNER" || tokens[1] == "DURABILITY") {
       if (tokens.size() != 3 || (tokens[2] != "on" && tokens[2] != "off")) {
         return Status::InvalidArgument("usage: SET " + tokens[1] + " on|off");
@@ -604,7 +635,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
     }
     return Status::InvalidArgument("unknown SET key '" + tokens[1] +
                                    "'; valid keys: PLANNER, DURABILITY, "
-                                   "FAULTS, BACKEND, SESSION");
+                                   "FAULTS, BACKEND, SESSION, MEMORY");
   }
   if (verb == "OPEN") {
     if (tokens.size() != 2) {
@@ -652,6 +683,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
       PrintPrefixed(out_, planned.ToString());
       SYSTOLIC_RETURN_NOT_OK(PrintVerify(planned));
       PrintBackendPolicy();
+      PrintMemoryPolicy();
       PrintFaultPolicy();
       PrintDurabilityPolicy();
       PrintSessionInfo();
@@ -678,6 +710,7 @@ Status CommandInterpreter::Execute(const std::string& line) {
     PrintPrefixed(out_, planned.ToString());
     SYSTOLIC_RETURN_NOT_OK(PrintVerify(planned));
     PrintBackendPolicy();
+    PrintMemoryPolicy();
     PrintFaultPolicy();
     PrintDurabilityPolicy();
     PrintSessionInfo();

@@ -138,6 +138,11 @@ class CommandInterpreter {
   /// "-- backend: ..." policy line for EXPLAIN; silent on the default
   /// (rtl) policy, matching PrintFaultPolicy's silence on perfect hardware.
   void PrintBackendPolicy();
+
+  /// "-- memory: ..." scratchpad overlap-policy line for EXPLAIN; silent on
+  /// the default (auto) policy, matching PrintBackendPolicy's silence on
+  /// the default backend.
+  void PrintMemoryPolicy();
   /// Durably commits the named buffers as one atomic WAL group, mirrors
   /// them to the modeled disk and prints a "-- durability:" line; no-op
   /// (and silent) when durability is off.

@@ -1,6 +1,6 @@
 #include "system/disk_unit.h"
 
-#include "system/memory.h"
+#include "system/scratchpad/memory.h"
 
 namespace systolic {
 namespace machine {

@@ -1,6 +1,6 @@
 #include "system/logic_per_track.h"
 
-#include "system/memory.h"
+#include "system/scratchpad/memory.h"
 
 namespace systolic {
 namespace machine {

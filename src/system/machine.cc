@@ -46,6 +46,16 @@ void Machine::SetBackendPolicy(fastpath::BackendPolicy policy) {
   }
 }
 
+void Machine::SetMemoryPolicy(spad::OverlapPolicy policy) {
+  config_.device.overlap = policy;
+  engine_ = db::Engine(config_.device, config_.shared_pool);
+  engines_.clear();
+  for (auto& [kind, device] : config_.device_configs) {
+    device.overlap = policy;
+    engines_.emplace(kind, db::Engine(device, config_.shared_pool));
+  }
+}
+
 double Machine::CrossbarBytesPerSecond() const {
   if (config_.crossbar_bytes_per_second > 0) {
     return config_.crossbar_bytes_per_second;
@@ -250,14 +260,14 @@ Result<TransactionReport> Machine::Execute(const Transaction& transaction) {
       }
 
       // Configure the crossbar: sources -> device -> destination memory.
+      // Feeds route through the scratchpad layer (S25): CrossbarFeed is the
+      // one sanctioned way to charge a module read (project_lint rule 4).
       ++report.crossbar_configurations;
       auto left_it = buffer_to_module_.find(step.left);
-      memories_[left_it->second].AccountRead();
-      double bytes = RelationBytes(*left);
+      double bytes = spad::CrossbarFeed(memories_[left_it->second]);
       if (right != nullptr) {
         auto right_it = buffer_to_module_.find(step.right);
-        memories_[right_it->second].AccountRead();
-        bytes += RelationBytes(*right);
+        bytes += spad::CrossbarFeed(memories_[right_it->second]);
       }
 
       // A planner feed hint pins the feed discipline for this step; the

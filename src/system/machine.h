@@ -12,7 +12,8 @@
 #include "durability/durable_catalog.h"
 #include "perfmodel/estimates.h"
 #include "system/disk_unit.h"
-#include "system/memory.h"
+#include "system/scratchpad/memory.h"
+#include "system/scratchpad/scratchpad.h"
 #include "system/transaction.h"
 #include "util/result.h"
 #include "verify/verifier.h"
@@ -173,6 +174,13 @@ class Machine {
   fastpath::BackendPolicy backend_policy() const {
     return config_.device.backend;
   }
+
+  /// Selects the scratchpad overlap policy (S25) for every device of the
+  /// machine and rebuilds the engines. Purely a memory-timing model: results
+  /// and the compute-only cycle counts are identical under every policy.
+  /// Surfaced in the shell as `SET MEMORY overlap=on|off|auto`.
+  void SetMemoryPolicy(spad::OverlapPolicy policy);
+  spad::OverlapPolicy memory_policy() const { return config_.device.overlap; }
 
   /// Opens (creating or crash-recovering) a durable catalog directory
   /// (DESIGN S21), copies every recovered relation onto the disk unit, and

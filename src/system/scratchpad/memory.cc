@@ -1,4 +1,4 @@
-#include "system/memory.h"
+#include "system/scratchpad/memory.h"
 
 namespace systolic {
 namespace machine {

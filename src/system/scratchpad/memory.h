@@ -1,5 +1,5 @@
-#ifndef SYSTOLIC_SYSTEM_MEMORY_H_
-#define SYSTOLIC_SYSTEM_MEMORY_H_
+#ifndef SYSTOLIC_SYSTEM_SCRATCHPAD_MEMORY_H_
+#define SYSTOLIC_SYSTEM_SCRATCHPAD_MEMORY_H_
 
 #include <optional>
 #include <string>
@@ -55,4 +55,4 @@ double RelationBytes(const rel::Relation& relation);
 }  // namespace machine
 }  // namespace systolic
 
-#endif  // SYSTOLIC_SYSTEM_MEMORY_H_
+#endif  // SYSTOLIC_SYSTEM_SCRATCHPAD_MEMORY_H_

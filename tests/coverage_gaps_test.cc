@@ -7,7 +7,7 @@
 #include "relational/ops_reference.h"
 #include "relational/ops_sort.h"
 #include "system/disk_unit.h"
-#include "system/memory.h"
+#include "system/scratchpad/memory.h"
 #include "arrays/membership.h"
 #include "core/engine.h"
 #include "systolic/feeder.h"

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "arrays/comparison_grid.h"
+#include "core/engine.h"
 #include "gtest/gtest.h"
 #include "relational/builder.h"
+#include "system/scratchpad/scratchpad.h"
 #include "systolic/simulator.h"
 #include "systolic/trace.h"
 #include "test_util.h"
@@ -174,6 +176,84 @@ TEST(GoldenTraceTest, TraceProbeRendersStableText) {
   const std::string text = probe->ToString();
   EXPECT_NE(text.find(probe->events()[0].wire), std::string::npos);
   EXPECT_EQ(text.back(), '\n');
+}
+
+// ---------------------------------------------------------------------------
+// S25 golden DMA trace: where the tests above pin the word-by-word exit
+// schedule inside one array, this one pins the tile-by-tile bank-switch /
+// drain schedule around it. A 3-tile fixed-B join on one chip (rows=2, B of
+// 6 tuples → B-blocks {0,1} {2,3} {4,5}; A of 4 streams whole) yields, per
+// tile: mvin 4 pulses (32 bytes of A), preload 2 (16 bytes of B block),
+// compute 7 (n_a + rows + m = 4+2+1), mvout 2 (two 8-byte matches) — except
+// tile 2, whose B block {5,6} matches nothing, so its zero-byte mvout is
+// dropped from the queue.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenDmaTraceTest, ThreeTileJoinBankSwitchSchedule) {
+  const Schema schema = rel::MakeIntSchema(1);
+  const Relation a = Rel(schema, {{1}, {2}, {3}, {4}});
+  const Relation b = Rel(schema, {{1}, {2}, {3}, {4}, {5}, {6}});
+  const rel::JoinSpec spec{{0}, {0}, rel::ComparisonOp::kEq};
+
+  const auto run = [&](spad::OverlapPolicy policy) {
+    db::DeviceConfig device;
+    device.rows = 2;
+    device.mode = FeedModePolicy::kFixedB;
+    device.num_chips = 1;
+    device.overlap = policy;
+    const db::Engine engine(device);
+    auto result = engine.Join(a, b, spec);
+    SYSTOLIC_CHECK(result.ok()) << result.status().ToString();
+    return *std::move(result);
+  };
+
+  const auto render = [](const std::vector<spad::DmaEvent>& trace) {
+    std::vector<std::string> lines;
+    lines.reserve(trace.size());
+    for (const spad::DmaEvent& event : trace) {
+      lines.push_back(spad::ToString(event));
+    }
+    return lines;
+  };
+
+  // Overlap off: strict load→compute→drain serialisation, one tile after
+  // the other; the memory critical path is compute plus every transfer.
+  const db::EngineResult off = run(spad::OverlapPolicy::kOff);
+  EXPECT_EQ(off.stats.cycles, 21u);
+  EXPECT_EQ(off.stats.dma_cycles, 22u);
+  EXPECT_EQ(off.stats.overlap_cycles, 0u);
+  EXPECT_EQ(off.stats.memory_makespan_cycles, 43u);
+  EXPECT_EQ(render(off.stats.dma_trace),
+            (std::vector<std::string>{
+                "mvin tile=0 bank=0 [0,4)", "preload tile=0 bank=0 [4,6)",
+                "compute tile=0 bank=0 [6,13)", "mvout tile=0 bank=0 [13,15)",
+                "mvin tile=1 bank=1 [15,19)", "preload tile=1 bank=1 [19,21)",
+                "compute tile=1 bank=1 [21,28)", "mvout tile=1 bank=1 [28,30)",
+                "mvin tile=2 bank=0 [30,34)", "preload tile=2 bank=0 [34,36)",
+                "compute tile=2 bank=0 [36,43)"}));
+
+  // Overlap on: tile 1's feed streams into bank 1 at pulse 6, under tile
+  // 0's compute; tile 2 reuses bank 0 and must wait for tile 0's drain to
+  // end at 15 before its mvin starts. 15 of the 22 transfer pulses hide.
+  const db::EngineResult on = run(spad::OverlapPolicy::kOn);
+  EXPECT_EQ(on.stats.cycles, 21u);
+  EXPECT_EQ(on.stats.dma_cycles, 22u);
+  EXPECT_EQ(on.stats.overlap_cycles, 15u);
+  EXPECT_EQ(on.stats.memory_makespan_cycles, 28u);
+  EXPECT_EQ(render(on.stats.dma_trace),
+            (std::vector<std::string>{
+                "mvin tile=0 bank=0 [0,4)", "preload tile=0 bank=0 [4,6)",
+                "compute tile=0 bank=0 [6,13)", "mvout tile=0 bank=0 [13,15)",
+                "mvin tile=1 bank=1 [6,10)", "preload tile=1 bank=1 [10,12)",
+                "compute tile=1 bank=1 [13,20)", "mvout tile=1 bank=1 [20,22)",
+                "mvin tile=2 bank=0 [15,19)", "preload tile=2 bank=0 [19,21)",
+                "compute tile=2 bank=0 [21,28)"}));
+
+  // The policy moved transfers in time, never in substance: identical
+  // results, compute timing, and transfer totals.
+  EXPECT_EQ(off.relation.tuples(), on.relation.tuples());
+  EXPECT_EQ(off.stats.makespan_cycles, on.stats.makespan_cycles);
+  EXPECT_EQ(on.stats.MemoryMakespanUtilization(), 21.0 / 28.0);
 }
 
 }  // namespace
