@@ -20,7 +20,14 @@
 //     gating: N clients, one disk synchronization.
 //
 // `--smoke` shrinks repetition counts for CI; both bars stay asserted.
+//
+// Experiment E27 — reliability-layer overhead (DESIGN S26): the same
+// command stream through the v1 path (Session::Execute) and the v2 path
+// (Session::ExecuteRequest: request-id admission + reply cache), no chaos,
+// no network — the happy-path cost of exactly-once bookkeeping. Asserted:
+// v2 wall time <= 1.10x v1 (best of 3 trials each).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -88,6 +95,27 @@ double MeasureThroughput(server::Server* srv, size_t num_clients,
           .count();
   for (const auto& session : sessions) srv->Disconnect(session->id());
   return static_cast<double>(num_clients * reps) / seconds;
+}
+
+/// Seconds for `reps` replays of a cheap read command through one session,
+/// via the v1 path (Execute) or the v2 reliability path (ExecuteRequest).
+double MeasureRequestPath(server::Session* session, size_t reps, bool v2,
+                          uint64_t* next_id) {
+  const std::string line = "PRINT A";
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < reps; ++r) {
+    if (v2) {
+      const auto outcome = session->ExecuteRequest((*next_id)++, line);
+      SYSTOLIC_CHECK(outcome.ok()) << outcome.status().ToString();
+      SYSTOLIC_CHECK(outcome->payload.rfind("OK\n", 0) == 0)
+          << outcome->payload;
+    } else {
+      MustRun(session, line);
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 }  // namespace
@@ -171,8 +199,44 @@ int main(int argc, char** argv) {
   json.Case("throughput_serial", 0, 1e9 / serial_rate);
   json.Case("throughput_8_clients", 0, 1e9 / concurrent_rate);
 
+  // ---- E27: reliability-layer overhead on the happy path ------------------
+  // Same session, same command stream; the v2 path adds the request-id
+  // admission check and the reply-cache copy. Best-of-3 per path irons out
+  // scheduler noise; the bar is the ISSUE's 1.10x.
+  std::printf("\n=== E27: reliability-layer overhead (v2 request path) "
+              "===\n");
+  const size_t overhead_reps = smoke ? 64 : 256;
+  auto overhead_session = srv->Connect();
+  SYSTOLIC_CHECK(overhead_session.ok())
+      << overhead_session.status().ToString();
+  server::Session* probe = overhead_session->get();
+  MustRun(probe, "SET BACKEND fast");
+  MustRun(probe, "LOAD A");
+  MeasureRequestPath(probe, 8, /*v2=*/false, nullptr);  // warm-up
+  uint64_t next_id = probe->last_request_id() + 1;
+  double v1_best = 1e300;
+  double v2_best = 1e300;
+  for (int trial = 0; trial < 3; ++trial) {
+    v1_best = std::min(
+        v1_best, MeasureRequestPath(probe, overhead_reps, false, nullptr));
+    v2_best = std::min(
+        v2_best, MeasureRequestPath(probe, overhead_reps, true, &next_id));
+  }
+  const double overhead = v2_best / v1_best;
+  std::printf("%-26s %-14.1f\n", "v1 commands/s",
+              static_cast<double>(overhead_reps) / v1_best);
+  std::printf("%-26s %-14.1f\n", "v2 commands/s",
+              static_cast<double>(overhead_reps) / v2_best);
+  std::printf("v2/v1 overhead %.3fx (<= 1.10x asserted)\n", overhead);
+  SYSTOLIC_CHECK(overhead <= 1.10)
+      << "reliability layer costs " << overhead
+      << "x on the happy path: the id check / reply cache got expensive";
+  srv->Disconnect(probe->id());
+
+  json.Case("reliability_overhead_x1000", 0, overhead * 1000.0);
+
   std::filesystem::remove_all(dir);
   std::printf("\nall serving bars held: one fsync now carries %.1f "
-              "sessions' commits\n", mean_batch);
+              "sessions' commits; v2 ids cost %.3fx\n", mean_batch, overhead);
   return 0;
 }

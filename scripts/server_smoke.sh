@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
-# Server smoke gate (DESIGN S24): boot the socket server, drive it with 8
-# concurrent scripted clients, and diff every client's transcript against a
-# serial oracle run of the same scripts.
+# Server smoke gate (DESIGN S24 + S26): boot the socket server, drive it with
+# 8 concurrent scripted clients, and diff every client's transcript against a
+# serial oracle run of the same scripts. Then the S26 reliability legs: the
+# same diff through the legacy --v1 protocol, a graceful-DRAIN-under-load
+# run, and one point of the chaos network-injection fuzz when its binary is
+# built.
 #
 # Snapshot isolation plus session-private buffers make each script's output
 # a pure function of the script itself — concurrency must not be able to
 # change a single byte of any transcript. The oracle therefore needs no
 # special casing: it is the same clients, run one at a time.
 #
-# Usage: scripts/server_smoke.sh [path/to/query_shell]
+# Usage: scripts/server_smoke.sh [path/to/query_shell] [path/to/chaos_fuzz]
 
 set -euo pipefail
 
 SHELL_BIN="${1:-build/examples/query_shell}"
+CHAOS_BIN="${2:-build/tests/server_chaos_fuzz_test}"
 CLIENTS=8
 
 if [ ! -x "$SHELL_BIN" ]; then
@@ -115,6 +119,17 @@ for i in $(seq 1 "$CLIENTS"); do
   fi
 done
 
+# Legacy-protocol leg: the same script through `--v1` must produce the same
+# transcript as the v2 serial oracle (the reply format is shared).
+client_script 1 | "$SHELL_BIN" --connect "$PORT" --v1 >"$WORK/v1.out" 2>&1
+normalize "$WORK/v1.out" >"$WORK/v1.norm"
+if ! diff -u "$WORK/serial_1.norm" "$WORK/v1.norm" >"$WORK/diff_v1.txt" 2>&1
+then
+  echo "server_smoke: --v1 transcript diverged from the v2 oracle:" >&2
+  cat "$WORK/diff_v1.txt" >&2
+  fail=1
+fi
+
 # Orderly shutdown through the protocol, then wait for the server to print
 # its session/commit summary.
 printf 'SHUTDOWN\n' | "$SHELL_BIN" --connect "$PORT" >/dev/null 2>&1 || true
@@ -126,4 +141,58 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 echo "server_smoke: OK — $CLIENTS concurrent clients byte-identical to the" \
-     "serial oracle"
+     "serial oracle (v2 and --v1)"
+
+# ---- S26 drain leg: graceful stop under load ------------------------------
+# Boot a fresh server, put clients on it, then DRAIN mid-flight. The server
+# must finish in-flight commands, print its summary banner, and exit on its
+# own; draining must never look like a crash to the operator.
+"$SHELL_BIN" --serve 0 >"$WORK/drain_server.log" 2>&1 &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*serving on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$WORK/drain_server.log" | head -1)"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "server_smoke: drain-leg server never printed its port" >&2
+  cat "$WORK/drain_server.log" >&2
+  exit 1
+fi
+drain_pids=()
+for i in $(seq 1 4); do
+  client_script "$i" | "$SHELL_BIN" --connect "$PORT" \
+      >"$WORK/drain_client_$i.out" 2>&1 &
+  drain_pids+=($!)
+done
+printf 'DRAIN\n' | "$SHELL_BIN" --connect "$PORT" >/dev/null 2>&1 || true
+for pid in "${drain_pids[@]}"; do
+  wait "$pid" 2>/dev/null || true  # a drained-out client is expected
+done
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+if ! grep -q 'served .* session(s)' "$WORK/drain_server.log"; then
+  echo "server_smoke: drained server never printed its summary:" >&2
+  cat "$WORK/drain_server.log" >&2
+  exit 1
+fi
+echo "server_smoke: OK — graceful DRAIN under load shut the server down" \
+     "cleanly"
+
+# ---- S26 chaos leg: one point of the network-injection fuzz ---------------
+# The full sweep runs in the TSan and nightly CI lanes; the smoke gate runs
+# one seed of every lane to catch wiring rot early.
+if [ -x "$CHAOS_BIN" ]; then
+  if ! SYSTOLIC_FUZZ_SEEDS=1 "$CHAOS_BIN" \
+      --gtest_filter='Sweep/ServerChaosFuzz.*/0:ChaosDirFixture.*' \
+      >"$WORK/chaos.log" 2>&1; then
+    echo "server_smoke: chaos leg FAILED:" >&2
+    tail -40 "$WORK/chaos.log" >&2
+    exit 1
+  fi
+  echo "server_smoke: OK — chaos injection leg (1 seed per lane) passed"
+else
+  echo "server_smoke: chaos leg skipped (no binary at $CHAOS_BIN)"
+fi

@@ -113,6 +113,13 @@ Status DurableCatalog::ReplayWal(const std::string& bytes, size_t header_end) {
             " records but " + std::to_string(group.size()) + " are pending");
       }
       for (const WalRecord& r : group) {
+        if (r.kind == WalRecord::Kind::kAck) {
+          RecoveredAck& ack = recovered_acks_[r.name];
+          if (r.request_id >= ack.request_id) {
+            ack = RecoveredAck{r.request_id, r.ack_records};
+          }
+          continue;
+        }
         SYSTOLIC_RETURN_NOT_OK(ApplyWalRecord(r, catalog_.get()));
       }
       applied += group.size();
@@ -302,6 +309,20 @@ Status DurableCatalog::LogDrop(const std::string& name) {
   record.kind = WalRecord::Kind::kDrop;
   record.name = name;
   return Stage(std::move(record), EncodeDrop(name));
+}
+
+Status DurableCatalog::LogAck(const std::string& token, uint64_t request_id,
+                              uint64_t records) {
+  if (token.empty() || request_id == 0) {
+    return Status::InvalidArgument(
+        "an ack record needs a session token and a positive request id");
+  }
+  WalRecord record;
+  record.kind = WalRecord::Kind::kAck;
+  record.name = token;
+  record.request_id = request_id;
+  record.ack_records = records;
+  return Stage(std::move(record), EncodeAck(token, request_id, records));
 }
 
 Status DurableCatalog::AppendGroups(

@@ -2,6 +2,7 @@
 #define SYSTOLIC_DURABILITY_DURABLE_CATALOG_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -14,6 +15,15 @@
 
 namespace systolic {
 namespace durability {
+
+/// The highest request id a session token committed through the WAL before
+/// the last crash, recovered from `ack` records (DESIGN S26): the server's
+/// retry dedup consults this so a client whose COMMIT reply was lost to a
+/// crash is answered "already committed" instead of re-executed.
+struct RecoveredAck {
+  uint64_t request_id = 0;
+  uint64_t records = 0;
+};
 
 /// Session counters surfaced through the command layer and ExecStats.
 struct DurabilityStats {
@@ -63,6 +73,17 @@ class DurableCatalog {
   Status LogPut(const std::string& name, const rel::Relation& relation);
   Status LogAppend(const std::string& name, const rel::Relation& batch);
   Status LogDrop(const std::string& name);
+  /// Stages a request-dedup ack into the open group, making the (token,
+  /// request id) pair durable atomically with the group's mutations.
+  Status LogAck(const std::string& token, uint64_t request_id,
+                uint64_t records);
+
+  /// Acks recovered by Open from the live WAL, token -> highest acked
+  /// request. The dedup window is the live WAL: Checkpoint resets it (by
+  /// then every acked reply has long been delivered or abandoned).
+  const std::map<std::string, RecoveredAck>& recovered_acks() const {
+    return recovered_acks_;
+  }
 
   /// Seals and fsyncs the staged group, then applies it to the in-memory
   /// catalog. No-op for an empty group. On an IO error nothing was
@@ -146,6 +167,7 @@ class DurableCatalog {
   MutationGroup staged_;
   /// Groups sealed for the next cross-session batch commit, in seal order.
   std::vector<MutationGroup> sealed_;
+  std::map<std::string, RecoveredAck> recovered_acks_;
   DurabilityStats stats_;
 };
 

@@ -177,6 +177,12 @@ std::string EncodeDrop(const std::string& name) {
   return "drop " + rel::EscapeIdentifier(name) + "\n";
 }
 
+std::string EncodeAck(const std::string& token, uint64_t request_id,
+                      uint64_t records) {
+  return "ack " + rel::EscapeIdentifier(token) + " " +
+         std::to_string(request_id) + " " + std::to_string(records) + "\n";
+}
+
 std::string EncodeCommit(uint64_t group_size) {
   return "commit " + std::to_string(group_size) + "\n";
 }
@@ -208,6 +214,21 @@ Result<WalRecord> DecodeWalRecord(std::string_view payload) {
     record.kind = WalRecord::Kind::kDrop;
     SYSTOLIC_ASSIGN_OR_RETURN(record.name,
                               rel::UnescapeIdentifier(name_token));
+    return record;
+  }
+  if (kind == "ack") {
+    std::string token_token, id_token, records_token;
+    int64_t id = 0, records = 0;
+    if (!(in >> token_token >> id_token >> records_token) ||
+        !ParseInt64(id_token, &id) || id <= 0 ||
+        !ParseInt64(records_token, &records) || records < 0) {
+      return Status::DataCorruption("WAL record: malformed ack entry");
+    }
+    record.kind = WalRecord::Kind::kAck;
+    SYSTOLIC_ASSIGN_OR_RETURN(record.name,
+                              rel::UnescapeIdentifier(token_token));
+    record.request_id = static_cast<uint64_t>(id);
+    record.ack_records = static_cast<uint64_t>(records);
     return record;
   }
   if (kind == "commit") {
@@ -330,6 +351,8 @@ Status ApplyWalRecord(const WalRecord& record, rel::Catalog* catalog) {
       catalog->PutRelation(record.name, std::move(merged));
       return Status::OK();
     }
+    case WalRecord::Kind::kAck:
+      return Status::OK();  // dedup metadata; recovery collects it separately
     case WalRecord::Kind::kCommit:
       return Status::Internal("commit markers are not applicable records");
   }

@@ -26,6 +26,7 @@ namespace durability {
 ///   put <name> <set|multi> \n columns <col>:<dom>:<type> ... \n data \n <csv>
 ///   append <name>          \n columns <col>:<dom>:<type> ... \n data \n <csv>
 ///   drop <name>
+///   ack <token> <request-id> <records>
 ///   commit <n>
 /// Identifiers use rel::EscapeIdentifier; tuple data is RFC-4180 CSV with a
 /// header line. A `commit <n>` marker seals the preceding n records into one
@@ -35,6 +36,13 @@ namespace durability {
 /// group commit (DESIGN S24) needs no format change: a batched append is just
 /// N sealed groups in one write, and a crash inside it recovers to a
 /// group-boundary prefix of the batch.
+///
+/// `ack` records (DESIGN S26) ride inside a commit group to make the
+/// request-reliability dedup crash-safe: they name the session token and the
+/// per-session request id whose command produced the group, so a client that
+/// retries a request whose reply was lost to a crash is answered
+/// "already committed" instead of re-executed. They mutate nothing on replay
+/// (recovery collects them into a token -> highest-acked-id map).
 ///
 /// The header's checkpoint id ties the log to the checkpoint it extends: a
 /// crash between the CURRENT pointer flip and the WAL reset leaves a log
@@ -49,7 +57,7 @@ uint32_t Crc32(std::string_view bytes);
 
 /// One decoded WAL record.
 struct WalRecord {
-  enum class Kind { kCreateDomain, kPut, kAppend, kDrop, kCommit };
+  enum class Kind { kCreateDomain, kPut, kAppend, kDrop, kAck, kCommit };
 
   /// Column spec carried by put/append records, enough to recreate shared
   /// domains on a fresh catalog.
@@ -60,12 +68,16 @@ struct WalRecord {
   };
 
   Kind kind = Kind::kCommit;
-  std::string name;  ///< Domain or relation name (unused for kCommit).
+  /// Domain or relation name; the session token for kAck (unused for
+  /// kCommit).
+  std::string name;
   rel::ValueType type = rel::ValueType::kInt64;  ///< kCreateDomain only.
   rel::RelationKind relation_kind = rel::RelationKind::kSet;  ///< kPut only.
   std::vector<ColumnSpec> columns;  ///< kPut / kAppend.
   std::string csv;                  ///< kPut / kAppend: header + tuple rows.
   uint64_t group_size = 0;          ///< kCommit: records sealed by the marker.
+  uint64_t request_id = 0;          ///< kAck: per-session request id.
+  uint64_t ack_records = 0;         ///< kAck: records the request committed.
 };
 
 /// Record payload encoders. Encoding decodes tuples through their domains
@@ -76,6 +88,8 @@ Result<std::string> EncodePut(const std::string& name,
 Result<std::string> EncodeAppend(const std::string& name,
                                  const rel::Relation& batch);
 std::string EncodeDrop(const std::string& name);
+std::string EncodeAck(const std::string& token, uint64_t request_id,
+                      uint64_t records);
 std::string EncodeCommit(uint64_t group_size);
 
 /// Parses one record payload; DataCorruption on any malformed input.
@@ -104,7 +118,8 @@ Result<std::pair<uint64_t, size_t>> ParseWalHeader(std::string_view bytes);
 
 /// Applies one mutation record to `catalog`. Put/append recreate missing
 /// domains from their column specs (preserving sharing by name) and fail
-/// with DataCorruption on type conflicts; commit markers are not applicable.
+/// with DataCorruption on type conflicts; ack records are no-ops (they carry
+/// dedup metadata, not catalog state); commit markers are not applicable.
 Status ApplyWalRecord(const WalRecord& record, rel::Catalog* catalog);
 
 }  // namespace durability

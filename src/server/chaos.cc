@@ -1,0 +1,66 @@
+#include "server/chaos.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "faults/fault_plan.h"
+
+namespace systolic {
+namespace server {
+
+uint64_t ChaosPlan::CutFor(uint64_t attempt) const {
+  if (attempt >= max_cuts_) return kNoCut;
+  // Keyed like CrashPlan::CutFor (crash_plan.h): an independent salt, the
+  // attempt folded in, reduced over [0, horizon] so sweeps hit every byte
+  // boundary including "cut before the first byte".
+  const uint64_t key = faults::MixFaultKey(
+      faults::MixFaultKey(seed_ ^ 0x70c5'0c4aULL) ^ attempt);
+  return key % (horizon_ + 1);
+}
+
+ChaosWire::ChaosWire(std::unique_ptr<Wire> inner, uint64_t budget,
+                     size_t max_chunk)
+    : inner_(std::move(inner)),
+      budget_(budget),
+      max_chunk_(std::max<size_t>(1, max_chunk)) {}
+
+Status ChaosWire::Admit(size_t* size) {
+  if (tripped_) {
+    return Status::IOError("chaos: connection reset by injector");
+  }
+  if (budget_ != ChaosPlan::kNoCut && admitted_ >= budget_) {
+    tripped_ = true;
+    // Reset, not FIN: the peer's next read/write dies mid-frame exactly like
+    // a torn TCP connection.
+    inner_->ShutdownBoth();
+    return Status::IOError("chaos: connection reset by injector");
+  }
+  *size = std::min(*size, max_chunk_);
+  if (budget_ != ChaosPlan::kNoCut) {
+    *size = std::min<uint64_t>(*size, budget_ - admitted_);
+  }
+  return Status::OK();
+}
+
+Result<size_t> ChaosWire::Send(const char* data, size_t size, int timeout_ms) {
+  SYSTOLIC_RETURN_NOT_OK(Admit(&size));
+  SYSTOLIC_ASSIGN_OR_RETURN(const size_t n,
+                            inner_->Send(data, size, timeout_ms));
+  admitted_ += n;
+  return n;
+}
+
+Result<size_t> ChaosWire::Recv(char* data, size_t size, int timeout_ms) {
+  SYSTOLIC_RETURN_NOT_OK(Admit(&size));
+  SYSTOLIC_ASSIGN_OR_RETURN(const size_t n,
+                            inner_->Recv(data, size, timeout_ms));
+  admitted_ += n;
+  return n;
+}
+
+void ChaosWire::ShutdownBoth() { inner_->ShutdownBoth(); }
+
+void ChaosWire::Close() { inner_->Close(); }
+
+}  // namespace server
+}  // namespace systolic

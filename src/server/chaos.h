@@ -1,0 +1,83 @@
+#ifndef SYSTOLIC_SERVER_CHAOS_H_
+#define SYSTOLIC_SERVER_CHAOS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "server/protocol.h"
+
+namespace systolic {
+namespace server {
+
+/// Seeded network-chaos injection (DESIGN S26), mirroring the S21
+/// CrashInjector's ordered-prefix cut model at the socket layer: a client's
+/// traffic (sends and receives interleaved, in the order the client observes
+/// them) is a deterministic byte stream, and a chaos plan cuts it after a
+/// chosen byte count — tearing frames mid-header, mid-length, or mid-payload
+/// depending on where the budget lands. Fragmentation (few bytes per
+/// operation) stands in for network delay/coalescing, forcing every partial
+/// read/write path in the framing code.
+
+/// Per-connection-attempt cut schedule. Attempt `a`'s budget is keyed like
+/// CrashPlan::CutFor — MixFaultKey(MixFaultKey(seed ^ salt) ^ a) over
+/// [0, horizon] — so a seed sweep covers every byte boundary of the
+/// protocol. After `max_cuts` attempts the plan stops cutting, so a retrying
+/// client always terminates.
+class ChaosPlan {
+ public:
+  static constexpr uint64_t kNoCut = UINT64_MAX;
+
+  /// `horizon_bytes` should be the probed traffic volume of a clean run (the
+  /// probe-then-sweep pattern from the crash fuzzer).
+  ChaosPlan(uint64_t seed, uint64_t horizon_bytes, uint64_t max_cuts = 4)
+      : seed_(seed), horizon_(horizon_bytes), max_cuts_(max_cuts) {}
+
+  /// Byte budget before the cut for connection attempt `attempt` (0-based);
+  /// kNoCut = the attempt survives.
+  uint64_t CutFor(uint64_t attempt) const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  uint64_t horizon_;
+  uint64_t max_cuts_;
+};
+
+/// A Wire that injects chaos into an inner wire. Counts every byte admitted
+/// in either direction against the attempt's budget; when the budget runs
+/// out the inner wire is reset (both directions shut down) and every further
+/// operation fails with a connection-reset IOError — exactly what a torn
+/// TCP connection looks like to the framing layer. Fragmentation caps each
+/// operation at `max_chunk` bytes.
+class ChaosWire final : public Wire {
+ public:
+  /// `budget` from ChaosPlan::CutFor; ChaosPlan::kNoCut = never cut.
+  ChaosWire(std::unique_ptr<Wire> inner, uint64_t budget,
+            size_t max_chunk = 3);
+
+  Result<size_t> Send(const char* data, size_t size, int timeout_ms) override;
+  Result<size_t> Recv(char* data, size_t size, int timeout_ms) override;
+  void ShutdownBoth() override;
+  void Close() override;
+
+  /// Bytes admitted so far (both directions) — the probe leg reads this to
+  /// size the sweep horizon.
+  uint64_t bytes_admitted() const { return admitted_; }
+  bool tripped() const { return tripped_; }
+
+ private:
+  /// IOError("chaos: ...") once the budget is exhausted; trips the wire.
+  Status Admit(size_t* size);
+
+  std::unique_ptr<Wire> inner_;
+  uint64_t budget_;
+  size_t max_chunk_;
+  uint64_t admitted_ = 0;
+  bool tripped_ = false;
+};
+
+}  // namespace server
+}  // namespace systolic
+
+#endif  // SYSTOLIC_SERVER_CHAOS_H_

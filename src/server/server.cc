@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <sstream>
 #include <utility>
 
 namespace systolic {
@@ -15,75 +17,11 @@ namespace server {
 
 namespace {
 
-// ---- length-framed wire helpers: [u32 LE payload length][payload] --------
+/// config knob -> Wire timeout argument (<= 0 disables the deadline).
+int BudgetMs(int configured) { return configured > 0 ? configured : -1; }
 
-Status WriteAll(int fd, const char* data, size_t size) {
-  size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::send(fd, data + written, size - written, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("send: ") + std::strerror(errno));
-    }
-    written += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-/// NotFound = clean end-of-stream before any byte of the frame.
-Status ReadAll(int fd, char* data, size_t size, bool* clean_eof) {
-  size_t got = 0;
-  while (got < size) {
-    const ssize_t n = ::recv(fd, data + got, size - got, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("recv: ") + std::strerror(errno));
-    }
-    if (n == 0) {
-      if (clean_eof != nullptr && got == 0) {
-        *clean_eof = true;
-        return Status::NotFound("connection closed");
-      }
-      return Status::IOError("connection closed mid-frame");
-    }
-    got += static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
-constexpr size_t kMaxFrameBytes = 16u << 20;  // 16 MiB: a PRINT of anything
-
-Status WriteFrame(int fd, const std::string& payload) {
-  if (payload.size() > kMaxFrameBytes) {
-    return Status::Capacity("frame exceeds " +
-                            std::to_string(kMaxFrameBytes) + " bytes");
-  }
-  const uint32_t size = static_cast<uint32_t>(payload.size());
-  char header[4] = {static_cast<char>(size & 0xff),
-                    static_cast<char>((size >> 8) & 0xff),
-                    static_cast<char>((size >> 16) & 0xff),
-                    static_cast<char>((size >> 24) & 0xff)};
-  SYSTOLIC_RETURN_NOT_OK(WriteAll(fd, header, sizeof(header)));
-  return WriteAll(fd, payload.data(), payload.size());
-}
-
-Result<std::string> ReadFrame(int fd, bool* clean_eof) {
-  char header[4];
-  SYSTOLIC_RETURN_NOT_OK(ReadAll(fd, header, sizeof(header), clean_eof));
-  const uint32_t size = static_cast<uint32_t>(
-      static_cast<unsigned char>(header[0]) |
-      (static_cast<unsigned char>(header[1]) << 8) |
-      (static_cast<unsigned char>(header[2]) << 16) |
-      (static_cast<unsigned char>(header[3]) << 24));
-  if (size > kMaxFrameBytes) {
-    return Status::DataCorruption("frame length " + std::to_string(size) +
-                                  " exceeds the protocol maximum");
-  }
-  std::string payload(size, '\0');
-  if (size > 0) {
-    SYSTOLIC_RETURN_NOT_OK(ReadAll(fd, payload.data(), size, nullptr));
-  }
-  return payload;
+std::chrono::steady_clock::time_point Now() {
+  return std::chrono::steady_clock::now();
 }
 
 }  // namespace
@@ -102,8 +40,8 @@ Result<std::unique_ptr<Server>> Server::Create(ServerConfig config) {
   if (cfg.durable_dir.empty()) {
     server->catalog_ = std::make_unique<SharedCatalog>();
   } else {
-    SYSTOLIC_ASSIGN_OR_RETURN(server->catalog_,
-                              SharedCatalog::Open(cfg.durable_dir));
+    SYSTOLIC_ASSIGN_OR_RETURN(
+        server->catalog_, SharedCatalog::Open(cfg.durable_dir, cfg.durable_io));
   }
   const size_t concurrent = cfg.max_concurrent_plans == 0
                                 ? cfg.num_chips
@@ -121,33 +59,90 @@ Server::~Server() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     threads.swap(connection_threads_);
-    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+    reaper_stop_ = true;
   }
+  reaper_cv_.notify_all();
   for (std::thread& thread : threads) {
     if (thread.joinable()) thread.join();
   }
+  if (reaper_.joinable()) reaper_.join();
 }
 
-Result<std::shared_ptr<Session>> Server::Connect() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (sessions_.size() >= config_.max_sessions) {
+std::string Server::MintTokenLocked() {
+  for (;;) {
+    std::string token = "b" + std::to_string(config_.boot_id) + "-s" +
+                        std::to_string(token_nonce_++);
+    uint64_t acked = 0;
+    uint64_t records = 0;
+    // Never collide with a live token or one the WAL remembers: a recovered
+    // token still keys a crashed client's dedup claim.
+    if (tokens_.count(token) == 0 &&
+        !catalog_->RecoveredAckFor(token, &acked, &records)) {
+      return token;
+    }
+  }
+}
+
+Result<std::shared_ptr<Session>> Server::AdmitLocked(bool network) {
+  if (slots_.size() >= config_.max_sessions) {
     ++sessions_rejected_;
-    return Status::Capacity("server is full: " +
-                            std::to_string(sessions_.size()) +
-                            " active sessions (limit " +
-                            std::to_string(config_.max_sessions) + ")");
+    return Status::Capacity(
+        "server is full: " + std::to_string(slots_.size()) +
+        " active sessions (limit " + std::to_string(config_.max_sessions) +
+        ")");
   }
   const uint64_t id = next_session_id_++;
   auto session = std::make_shared<Session>(id, catalog_.get(),
                                            scheduler_.get(), config_.machine);
-  sessions_.emplace(id, session);
+  session->set_token(MintTokenLocked());
+  Slot slot;
+  slot.session = session;
+  slot.network = network;
+  slot.last_active = Now();
+  slots_.emplace(id, std::move(slot));
+  tokens_[session->token()] = id;
   ++sessions_admitted_;
   return session;
 }
 
+Result<std::shared_ptr<Session>> Server::Connect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return AdmitLocked(/*network=*/false);
+}
+
+Result<std::shared_ptr<Session>> Server::Resume(const std::string& token) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto tok = tokens_.find(token);
+  if (tok != tokens_.end()) {
+    const auto slot = slots_.find(tok->second);
+    if (slot != slots_.end()) {
+      ++sessions_resumed_;
+      return slot->second.session;
+    }
+  }
+  uint64_t acked = 0;
+  uint64_t records = 0;
+  if (catalog_->RecoveredAckFor(token, &acked, &records)) {
+    SYSTOLIC_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                              AdmitLocked(/*network=*/false));
+    tokens_.erase(session->token());
+    session->set_token(token);
+    tokens_[token] = session->id();
+    session->AdoptRecoveredAck(acked, records);
+    ++sessions_resumed_;
+    return session;
+  }
+  return Status::NotFound("unknown session token '" + token +
+                          "' (expired, reaped, or never issued)");
+}
+
 void Server::Disconnect(uint64_t session_id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  sessions_.erase(session_id);
+  const auto it = slots_.find(session_id);
+  if (it == slots_.end()) return;
+  tokens_.erase(it->second.session->token());
+  slots_.erase(it);
+  slots_cv_.notify_all();
 }
 
 ServerStats Server::stats() const {
@@ -156,7 +151,13 @@ ServerStats Server::stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     stats.sessions_admitted = sessions_admitted_;
     stats.sessions_rejected = sessions_rejected_;
-    stats.active_sessions = sessions_.size();
+    stats.active_sessions = slots_.size();
+    stats.sessions_resumed = sessions_resumed_;
+    stats.sessions_reaped = sessions_reaped_;
+    stats.accept_retries = accept_retries_;
+    stats.replies_from_cache = replies_from_cache_;
+    stats.recovered_dedups = recovered_dedups_;
+    stats.oversize_replies = oversize_replies_;
   }
   stats.scheduler = scheduler_->stats();
   stats.group_commit = catalog_->stats();
@@ -207,26 +208,52 @@ Status Server::Serve() {
       return Status::InvalidArgument("Serve before Listen");
     }
     listen_fd = listen_fd_;
+    reaper_stop_ = false;
+  }
+  if (config_.idle_timeout_ms > 0) {
+    reaper_ = std::thread([this] { ReaperLoop(); });
   }
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listener closed by RequestShutdown (or a hard error)
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE) {
+        // Transient: an aborted handshake or fd exhaustion must not kill the
+        // accept loop permanently — back off briefly and keep serving.
+        bool stopping;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          stopping = shutdown_ || draining_;
+          if (!stopping) ++accept_retries_;
+        }
+        if (stopping) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
+      break;  // listener closed by RequestShutdown/RequestDrain, or fatal
     }
     std::lock_guard<std::mutex> lock(mutex_);
-    if (shutdown_) {
+    if (shutdown_ || draining_) {
       ::close(fd);
       break;
     }
-    connection_fds_.push_back(fd);
     connection_threads_.emplace_back([this, fd] { HandleConnection(fd); });
   }
-  // Drain: unblock every connection, then join.
+  bool drain;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drain = draining_ && !shutdown_;
+    if (!drain) {
+      // Hard stop: tear every connection down; handlers unblock and exit.
+      for (auto& [id, wire] : live_wires_) wire->ShutdownBoth();
+    }
+    // Drain: RequestDrain already unblocked idle connections and marked busy
+    // ones close_after_reply; handlers finish their in-flight command, write
+    // the reply, and exit on their own.
+  }
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
     threads.swap(connection_threads_);
   }
   for (std::thread& thread : threads) {
@@ -234,8 +261,14 @@ Status Server::Serve() {
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (const int fd : connection_fds_) ::close(fd);
-    connection_fds_.clear();
+    reaper_stop_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+  if (drain) {
+    // Every handler has replied and returned; wait out the group-commit
+    // leader so every acknowledged commit is fsync'd before Serve returns.
+    catalog_->Quiesce();
   }
   return Status::OK();
 }
@@ -248,29 +281,155 @@ void Server::RequestShutdown() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  for (auto& [id, wire] : live_wires_) wire->ShutdownBoth();
+  reaper_cv_.notify_all();
+  slots_cv_.notify_all();
+}
+
+void Server::RequestDrain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_ || draining_) return;
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [id, slot] : slots_) {
+    if (!slot.attached) continue;
+    slot.close_after_reply = true;
+    // Idle connections are parked in ReadFrame: unblock them now. Busy ones
+    // finish their admitted command and see close_after_reply at the reply.
+    if (!slot.busy && slot.wire != nullptr) slot.wire->ShutdownBoth();
+  }
+  reaper_cv_.notify_all();
+  slots_cv_.notify_all();
+}
+
+void Server::ReaperLoop() {
+  const auto idle = std::chrono::milliseconds(config_.idle_timeout_ms);
+  const auto tick =
+      std::max(std::chrono::milliseconds(10),
+               std::chrono::milliseconds(config_.idle_timeout_ms / 4));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!reaper_stop_) {
+    reaper_cv_.wait_for(lock, tick);
+    if (reaper_stop_) break;
+    const auto now = Now();
+    for (auto it = slots_.begin(); it != slots_.end();) {
+      Slot& slot = it->second;
+      // Only detached NETWORK sessions: embedded sessions are driven by
+      // caller threads on their own schedule, and attached ones are covered
+      // by the connection's own idle deadline.
+      if (slot.network && !slot.attached && now - slot.last_active >= idle) {
+        tokens_.erase(slot.session->token());
+        it = slots_.erase(it);
+        ++sessions_reaped_;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+Status Server::WriteReply(Wire& wire, const std::string& payload) {
+  const int io = BudgetMs(config_.io_timeout_ms);
+  const size_t limit = config_.max_reply_bytes == 0
+                           ? kMaxFrameBytes
+                           : std::min(config_.max_reply_bytes, kMaxFrameBytes);
+  if (payload.size() <= limit) {
+    Status wrote = WriteFrame(wire, payload, io);
+    if (!wrote.IsCapacity()) return wrote;
+  }
+  // An oversized reply (a PRINT bigger than the frame limit) must not
+  // silently kill the connection: substitute a well-formed truncated ERR
+  // carrying a prefix of the output.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++oversize_replies_;
+  }
+  const size_t nl = payload.find('\n');
+  std::string body =
+      nl == std::string::npos ? "" : payload.substr(nl + 1, 4096);
+  if (!body.empty() && body.back() != '\n') body += '\n';
+  std::string err =
+      "ERR " +
+      Status::Capacity("reply of " + std::to_string(payload.size()) +
+                       " bytes exceeds the " + std::to_string(limit) +
+                       "-byte frame limit; output truncated")
+          .ToString() +
+      "\n" + body + "-- output truncated to the first 4096 bytes\n";
+  return WriteFrame(wire, err, io);
 }
 
 void Server::HandleConnection(int fd) {
+  PosixWire wire(fd);
+  uint64_t wire_id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wire_id = next_wire_id_++;
+    live_wires_[wire_id] = &wire;
+  }
+  bool clean_eof = false;
+  Result<std::string> first =
+      ReadFrame(wire, &clean_eof, BudgetMs(config_.idle_timeout_ms),
+                BudgetMs(config_.io_timeout_ms));
+  if (first.ok()) {
+    std::string token;
+    if (ParseHello(*first, &token)) {
+      HandleV2(wire, token);
+    } else {
+      HandleV1(wire, std::move(*first));
+    }
+  } else if (first.status().IsDataCorruption()) {
+    // Unframeable garbage: the stream cannot be resynchronised, but the
+    // offender still gets a clean verdict before the close.
+    (void)WriteFrame(wire, "ERR " + first.status().ToString() + "\n",
+                     BudgetMs(config_.io_timeout_ms));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_wires_.erase(wire_id);
+}
+
+void Server::HandleV1(Wire& wire, std::string line) {
+  const int io = BudgetMs(config_.io_timeout_ms);
   std::shared_ptr<Session> session;
   {
-    Result<std::shared_ptr<Session>> connected = Connect();
+    std::unique_lock<std::mutex> lock(mutex_);
+    Result<std::shared_ptr<Session>> connected = AdmitLocked(/*network=*/true);
     if (!connected.ok()) {
+      lock.unlock();
       // Best-effort refusal; the admission verdict is the payload.
-      (void)WriteFrame(fd, "ERR " + connected.status().ToString() + "\n");
+      (void)WriteFrame(wire, "ERR " + connected.status().ToString() + "\n",
+                       io);
       return;
     }
     session = std::move(connected).ValueOrDie();
+    Slot& slot = slots_[session->id()];
+    slot.attached = true;
+    slot.wire = &wire;
   }
+  const uint64_t sid = session->id();
   for (;;) {
-    bool clean_eof = false;
-    Result<std::string> line = ReadFrame(fd, &clean_eof);
-    if (!line.ok()) break;  // disconnect (clean or torn) ends the session
-    if (*line == "SHUTDOWN") {
-      (void)WriteFrame(fd, "OK\n-- server stopping\n");
+    if (line == "SHUTDOWN") {
+      (void)WriteFrame(wire, "OK\n-- server stopping\n", io);
       RequestShutdown();
       break;
     }
-    const Result<std::string> output = session->Execute(*line);
+    if (line == "DRAIN") {
+      (void)WriteFrame(wire, "OK\n-- server draining\n", io);
+      RequestDrain();
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = slots_.find(sid);
+      if (it != slots_.end()) {
+        it->second.busy = true;
+        it->second.last_active = Now();
+      }
+    }
+    const Result<std::string> output = session->Execute(line);
     std::string payload;
     if (output.ok()) {
       payload = "OK\n" + *output;
@@ -278,61 +437,227 @@ void Server::HandleConnection(int fd) {
       payload = "ERR " + output.status().ToString() + "\n" +
                 session->last_output();
     }
-    if (!WriteFrame(fd, payload).ok()) break;
+    bool close_now = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = slots_.find(sid);
+      if (it != slots_.end()) {
+        it->second.busy = false;
+        it->second.last_active = Now();
+        close_now = it->second.close_after_reply;
+      }
+    }
+    slots_cv_.notify_all();
+    if (!WriteReply(wire, payload).ok()) break;
+    if (close_now) break;
+    bool clean_eof = false;
+    Result<std::string> next =
+        ReadFrame(wire, &clean_eof, BudgetMs(config_.idle_timeout_ms), io);
+    if (!next.ok()) {
+      if (next.status().IsDataCorruption()) {
+        (void)WriteFrame(wire, "ERR " + next.status().ToString() + "\n", io);
+      }
+      if (IsWireTimeout(next.status())) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++sessions_reaped_;
+      }
+      break;
+    }
+    line = std::move(*next);
   }
-  Disconnect(session->id());
+  Disconnect(sid);  // v1 sessions die with their connection
 }
 
-// ---- Client --------------------------------------------------------------
-
-Client::~Client() { Close(); }
-
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
-
-Client& Client::operator=(Client&& other) noexcept {
-  if (this != &other) {
-    Close();
-    fd_ = other.fd_;
-    other.fd_ = -1;
+Result<std::shared_ptr<Session>> Server::AttachV2(
+    std::unique_lock<std::mutex>& lock, const std::string& token,
+    Wire* wire) {
+  for (;;) {
+    if (shutdown_ || draining_) {
+      return Status::Unavailable("server is stopping");
+    }
+    if (token.empty()) break;  // fresh admission below
+    const auto tok = tokens_.find(token);
+    if (tok == tokens_.end()) {
+      uint64_t acked = 0;
+      uint64_t records = 0;
+      if (catalog_->RecoveredAckFor(token, &acked, &records)) {
+        // The session died with the previous incarnation, but its commits'
+        // acks survived in the WAL: resume into a fresh session primed to
+        // deduplicate any retried committed request.
+        SYSTOLIC_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                                  AdmitLocked(/*network=*/true));
+        tokens_.erase(session->token());
+        session->set_token(token);
+        tokens_[token] = session->id();
+        session->AdoptRecoveredAck(acked, records);
+        Slot& slot = slots_[session->id()];
+        slot.attached = true;
+        slot.wire = wire;
+        slot.last_active = Now();
+        ++sessions_resumed_;
+        return session;
+      }
+      return Status::NotFound("unknown session token '" + token +
+                              "' (expired, reaped, or never issued)");
+    }
+    const auto it = slots_.find(tok->second);
+    if (it == slots_.end()) continue;
+    Slot& slot = it->second;
+    if (!slot.attached) {
+      slot.attached = true;
+      slot.network = true;
+      slot.wire = wire;
+      slot.last_active = Now();
+      ++sessions_resumed_;
+      return slot.session;
+    }
+    // Steal: the token holder reconnected (its old connection is dead or
+    // dying). Tear the old attachment down and wait for its handler to
+    // finish any in-flight command and detach — the reply lands in the cache
+    // for the retry.
+    slot.close_after_reply = true;
+    if (slot.wire != nullptr) slot.wire->ShutdownBoth();
+    slots_cv_.wait(lock);
   }
-  return *this;
+  SYSTOLIC_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
+                            AdmitLocked(/*network=*/true));
+  Slot& slot = slots_[session->id()];
+  slot.attached = true;
+  slot.wire = wire;
+  slot.last_active = Now();
+  return session;
 }
 
-void Client::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+void Server::ReleaseV2(uint64_t session_id, bool disconnect) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = slots_.find(session_id);
+  if (it != slots_.end()) {
+    Slot& slot = it->second;
+    slot.attached = false;
+    slot.busy = false;
+    slot.close_after_reply = false;
+    slot.wire = nullptr;
+    slot.last_active = Now();
+    if (disconnect || shutdown_ || draining_) {
+      tokens_.erase(slot.session->token());
+      slots_.erase(it);
+    }
   }
+  slots_cv_.notify_all();
 }
 
-Result<Client> Client::Connect(uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+void Server::HandleV2(Wire& wire, const std::string& token) {
+  const int io = BudgetMs(config_.io_timeout_ms);
+  std::shared_ptr<Session> session;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    Result<std::shared_ptr<Session>> attached = AttachV2(lock, token, &wire);
+    if (!attached.ok()) {
+      const Status status = attached.status();
+      lock.unlock();
+      // Admission pressure is retryable (same HELLO, later); everything else
+      // (unknown token, stopping server) is a hard verdict.
+      const char* verdict = status.IsCapacity() ? "RETRY " : "ERR ";
+      (void)WriteFrame(wire, verdict + status.ToString() + "\n", io);
+      return;
+    }
+    session = std::move(attached).ValueOrDie();
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) < 0) {
-    const Status status =
-        Status::IOError(std::string("connect: ") + std::strerror(errno));
-    ::close(fd);
-    return status;
+  const uint64_t sid = session->id();
+  if (!WriteReply(wire, "OK\ntoken " + session->token() + " last " +
+                            std::to_string(session->last_request_id()) +
+                            "\n")
+           .ok()) {
+    ReleaseV2(sid, /*disconnect=*/false);
+    return;
   }
-  return Client(fd);
+  bool disconnect = false;
+  for (;;) {
+    bool clean_eof = false;
+    Result<std::string> frame =
+        ReadFrame(wire, &clean_eof, BudgetMs(config_.idle_timeout_ms), io);
+    if (!frame.ok()) {
+      if (frame.status().IsDataCorruption()) {
+        (void)WriteFrame(wire, "ERR " + frame.status().ToString() + "\n", io);
+      }
+      if (IsWireTimeout(frame.status())) {
+        // Slow loris: the connection idled out. Free the admission slot now.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++sessions_reaped_;
+        disconnect = true;
+      }
+      // A clean EOF without BYE or a torn stream both detach: the client may
+      // be mid-reconnect and will resume by token.
+      break;
+    }
+    if (*frame == "BYE") {
+      (void)WriteReply(wire, "OK\n-- goodbye\n");
+      disconnect = true;
+      break;
+    }
+    if (*frame == "SHUTDOWN") {
+      (void)WriteReply(wire, "OK\n-- server stopping\n");
+      RequestShutdown();
+      disconnect = true;
+      break;
+    }
+    if (*frame == "DRAIN") {
+      (void)WriteReply(wire, "OK\n-- server draining\n");
+      RequestDrain();
+      disconnect = true;
+      break;
+    }
+    uint64_t id = 0;
+    std::string line;
+    if (!ParseRequest(*frame, &id, &line)) {
+      (void)WriteReply(
+          wire, "ERR " +
+                    Status::InvalidArgument(
+                        "malformed v2 frame (expected REQ <id>\\n<command>)")
+                        .ToString() +
+                    "\n");
+      break;  // detach; a correct client can still resume
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = slots_.find(sid);
+      if (it != slots_.end()) {
+        it->second.busy = true;
+        it->second.last_active = Now();
+      }
+    }
+    Result<Session::RequestOutcome> outcome = session->ExecuteRequest(id, line);
+    bool close_now = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = slots_.find(sid);
+      if (it != slots_.end()) {
+        it->second.busy = false;
+        it->second.last_active = Now();
+        close_now = it->second.close_after_reply;
+      }
+      if (outcome.ok() && outcome->from_cache) ++replies_from_cache_;
+      if (outcome.ok() && outcome->recovered_dedup) ++recovered_dedups_;
+    }
+    slots_cv_.notify_all();
+    if (!outcome.ok()) {
+      // Protocol violation (non-monotonic id): verdict, then detach.
+      (void)WriteReply(wire, "ERR " + outcome.status().ToString() + "\n");
+      break;
+    }
+    if (!WriteReply(wire, outcome->payload).ok()) break;
+    if (close_now) break;
+  }
+  ReleaseV2(sid, disconnect);
 }
 
-Result<Client::Reply> Client::Roundtrip(const std::string& line) {
-  if (fd_ < 0) return Status::InvalidArgument("client is not connected");
-  SYSTOLIC_RETURN_NOT_OK(WriteFrame(fd_, line));
-  SYSTOLIC_ASSIGN_OR_RETURN(const std::string payload,
-                            ReadFrame(fd_, nullptr));
+// ---- Client ----------------------------------------------------------------
+
+Result<Client::Reply> ParseReplyPayload(const std::string& payload) {
   const size_t newline = payload.find('\n');
   const std::string verdict =
       newline == std::string::npos ? payload : payload.substr(0, newline);
-  Reply reply;
+  Client::Reply reply;
   reply.output =
       newline == std::string::npos ? "" : payload.substr(newline + 1);
   if (verdict == "OK") {
@@ -344,6 +669,25 @@ Result<Client::Reply> Client::Roundtrip(const std::string& line) {
                                   "'");
   }
   return reply;
+}
+
+void Client::Close() { wire_.reset(); }
+
+Result<Client> Client::Connect(uint16_t port) {
+  SYSTOLIC_ASSIGN_OR_RETURN(std::unique_ptr<PosixWire> wire,
+                            PosixWire::Dial(port));
+  return Client(std::move(wire));
+}
+
+Result<Client::Reply> Client::Roundtrip(const std::string& line) {
+  if (wire_ == nullptr) {
+    return Status::InvalidArgument("client is not connected");
+  }
+  SYSTOLIC_RETURN_NOT_OK(WriteFrame(*wire_, line, io_timeout_ms_));
+  SYSTOLIC_ASSIGN_OR_RETURN(
+      const std::string payload,
+      ReadFrame(*wire_, nullptr, io_timeout_ms_, io_timeout_ms_));
+  return ParseReplyPayload(payload);
 }
 
 }  // namespace server

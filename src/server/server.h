@@ -1,6 +1,8 @@
 #ifndef SYSTOLIC_SERVER_SERVER_H_
 #define SYSTOLIC_SERVER_SERVER_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -9,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "server/protocol.h"
 #include "server/scheduler.h"
 #include "server/session.h"
 #include "server/shared_catalog.h"
@@ -17,7 +20,7 @@
 namespace systolic {
 namespace server {
 
-/// Shape of the S24 server.
+/// Shape of the S24 server (+ the S26 reliability knobs).
 struct ServerConfig {
   /// Per-session machine shape (memories, device sizes, planner defaults).
   /// The server overrides device.num_chips and shared_pool to point every
@@ -33,28 +36,62 @@ struct ServerConfig {
   size_t max_queued_plans = 64;
   /// Crash-safe catalog directory; empty = in-memory shared catalog.
   std::string durable_dir;
+  /// Io (optionally carrying a CrashInjector) for the durable catalog — the
+  /// chaos fuzzer cuts the server's write path through this.
+  durability::Io durable_io;
+  /// Idle budget (ms): a connection that sends no frame for this long is
+  /// closed, and a detached (resumable) session idle this long is reaped —
+  /// a slow-loris client cannot pin an admission slot. <= 0 disables both.
+  int idle_timeout_ms = 30'000;
+  /// Per-poll IO budget (ms) once a frame is in flight, for reads AND
+  /// writes; <= 0 means no budget (block indefinitely).
+  int io_timeout_ms = 10'000;
+  /// Replies longer than this are truncated into a well-formed ERR frame
+  /// instead of killing the connection. 0 = the wire's own kMaxFrameBytes;
+  /// tests lower it to exercise the truncation path cheaply.
+  size_t max_reply_bytes = 0;
+  /// Stamped into resume tokens ("b<boot>-s<n>"). Give each incarnation
+  /// over one durable directory a distinct boot id so fresh tokens cannot
+  /// collide with tokens recovered from the WAL (minting also skips
+  /// recovered tokens, so any value is safe — this just keeps them tidy).
+  uint64_t boot_id = 1;
 };
 
-/// Server-wide counters (satellite of DESIGN S24): session admission plus
-/// the group-commit histogram. Per-session ExecStats live in the sessions.
+/// Server-wide counters (DESIGN S24 + the S26 reliability layer).
+/// Per-session ExecStats live in the sessions.
 struct ServerStats {
   size_t sessions_admitted = 0;
   size_t sessions_rejected = 0;
   size_t active_sessions = 0;
+  /// v2 reconnects that re-attached an existing or recovered session.
+  size_t sessions_resumed = 0;
+  /// Sessions disconnected by the idle-timeout reaper.
+  size_t sessions_reaped = 0;
+  /// Transient accept() failures retried instead of killing Serve.
+  size_t accept_retries = 0;
+  /// Retried request ids answered from the per-session reply cache.
+  size_t replies_from_cache = 0;
+  /// Retried request ids answered from WAL-recovered acks (post-crash).
+  size_t recovered_dedups = 0;
+  /// Replies exceeding the frame limit, truncated instead of dropped.
+  size_t oversize_replies = 0;
   FairScheduler::Stats scheduler;
   GroupCommitStats group_commit;
 };
 
 /// The concurrent multi-session front end over one shared §9 machine
-/// substrate (DESIGN S24): sessions own private buffers and settings, share
-/// the chip pool through fair-share admission, read pinned snapshot images,
-/// and commit through the cross-session group-commit pipeline.
+/// substrate (DESIGN S24), hardened for real networks by the S26
+/// request-reliability layer: protocol-v2 request ids with a per-session
+/// reply cache (exactly-once effects under at-least-once delivery, WAL-acked
+/// across crashes), poll-guarded deadlines on every read/write, idle-session
+/// reaping, resumable sessions (a torn connection detaches its session; a
+/// HELLO with the session token re-attaches it), and a graceful DRAIN mode
+/// next to the hard SHUTDOWN.
 ///
-/// Embedded use (tests, benches): Create + Connect, drive sessions from
-/// your own threads. Network use: Listen + Serve accept length-framed
-/// connections ([u32 LE payload length][payload]); each request frame is
-/// one command line, each response frame is "OK\n<output>" or
-/// "ERR <status>\n<output>". The protocol line "SHUTDOWN" stops the server.
+/// Embedded use (tests, benches): Create + Connect/Resume, drive sessions
+/// from your own threads. Network use: Listen + Serve accept length-framed
+/// connections ([u32 LE payload length][payload]); see protocol.h for the
+/// v2 frame grammar and the legacy v1 fallback.
 class Server {
  public:
   static Result<std::unique_ptr<Server>> Create(ServerConfig config);
@@ -63,8 +100,14 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Admits a new session (Capacity beyond max_sessions). The session is
-  /// driven by ONE caller thread at a time.
+  /// driven by ONE caller thread at a time; its token() can Resume it later.
   Result<std::shared_ptr<Session>> Connect();
+
+  /// Re-attaches the session named by `token`: a live detached session, or —
+  /// after a crash — a fresh session primed with the WAL-recovered ack
+  /// high-water mark so retried commits are deduplicated. NotFound for an
+  /// unknown token; Capacity when a fresh admission would exceed the limit.
+  Result<std::shared_ptr<Session>> Resume(const std::string& token);
 
   /// Releases a session's slot.
   void Disconnect(uint64_t session_id);
@@ -79,19 +122,60 @@ class Server {
   uint16_t port() const { return port_; }
 
   /// Accept loop: one thread per connection, one session per connection.
-  /// Blocks until RequestShutdown (or the protocol SHUTDOWN line), then
-  /// closes every connection and joins. Call from the owning thread after
-  /// Listen.
+  /// Blocks until RequestShutdown / RequestDrain (or the protocol SHUTDOWN /
+  /// DRAIN lines). Shutdown tears every connection down immediately; drain
+  /// stops accepting, lets every in-flight command finish and be replied to,
+  /// waits for the cross-session group commit to quiesce, then closes. Call
+  /// from the owning thread after Listen.
   Status Serve();
 
-  /// Asynchronously stops Serve: safe from any thread, including a
+  /// Asynchronously stops Serve (hard): safe from any thread, including a
   /// connection handler.
   void RequestShutdown();
+
+  /// Asynchronously drains Serve (graceful): stop accepting, finish
+  /// in-flight commands, flush group commit, close.
+  void RequestDrain();
 
  private:
   explicit Server(ServerConfig config);
 
+  /// Per-session bookkeeping guarded by mutex_. `attached` = a network
+  /// handler owns the session now; detached network sessions are resumable
+  /// until the reaper collects them.
+  struct Slot {
+    std::shared_ptr<Session> session;
+    bool attached = false;
+    bool busy = false;  ///< Executing a command right now.
+    bool close_after_reply = false;  ///< Drain/steal: finish, reply, close.
+    bool network = false;  ///< Ever network-attached (reapable).
+    Wire* wire = nullptr;  ///< Attached connection's wire (for steal/drain).
+    std::chrono::steady_clock::time_point last_active;
+  };
+
   void HandleConnection(int fd);
+  /// The v2 session loop (after a HELLO); `token` empty = new session.
+  void HandleV2(Wire& wire, const std::string& token);
+  /// The legacy v1 loop; `first` is the already-read first command frame.
+  void HandleV1(Wire& wire, std::string first);
+
+  /// Writes `payload`, substituting a well-formed truncated ERR reply when
+  /// it exceeds the frame limit (the connection survives oversized PRINTs).
+  Status WriteReply(Wire& wire, const std::string& payload);
+
+  /// Admission + slot/token bookkeeping; caller holds mutex_.
+  Result<std::shared_ptr<Session>> AdmitLocked(bool network);
+  /// Mints "b<boot>-s<n>", skipping live and WAL-recovered tokens.
+  std::string MintTokenLocked();
+  /// Attach (or steal) the v2 session for `token`; empty = admit new.
+  /// Returns the session, waiting out a concurrent handler on a steal.
+  Result<std::shared_ptr<Session>> AttachV2(std::unique_lock<std::mutex>& lock,
+                                            const std::string& token,
+                                            Wire* wire);
+  /// Detach-or-disconnect at v2 handler exit.
+  void ReleaseV2(uint64_t session_id, bool disconnect);
+
+  void ReaperLoop();
 
   ServerConfig config_;
   std::shared_ptr<db::ChipPool> pool_;
@@ -99,20 +183,35 @@ class Server {
   std::unique_ptr<FairScheduler> scheduler_;
 
   mutable std::mutex mutex_;
+  std::condition_variable slots_cv_;
   uint64_t next_session_id_ = 1;
-  std::map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t token_nonce_ = 1;
+  std::map<uint64_t, Slot> slots_;
+  std::map<std::string, uint64_t> tokens_;  ///< token -> session id
   size_t sessions_admitted_ = 0;
   size_t sessions_rejected_ = 0;
+  size_t sessions_resumed_ = 0;
+  size_t sessions_reaped_ = 0;
+  size_t accept_retries_ = 0;
+  size_t replies_from_cache_ = 0;
+  size_t recovered_dedups_ = 0;
+  size_t oversize_replies_ = 0;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   bool shutdown_ = false;
-  std::vector<int> connection_fds_;
+  bool draining_ = false;
+  uint64_t next_wire_id_ = 1;
+  std::map<uint64_t, Wire*> live_wires_;
   std::vector<std::thread> connection_threads_;
+  std::thread reaper_;
+  std::condition_variable reaper_cv_;
+  bool reaper_stop_ = false;
 };
 
-/// Minimal blocking client for the length-framed protocol; used by
-/// query_shell --connect, the smoke script and the benches.
+/// Minimal blocking v1 client for the length-framed protocol; used by the
+/// legacy smoke path and the protocol-robustness tests. New code should use
+/// ReliableClient (reliable_client.h).
 class Client {
  public:
   /// One command's round trip.
@@ -125,23 +224,33 @@ class Client {
   };
 
   Client() = default;
-  ~Client();
-  Client(Client&& other) noexcept;
-  Client& operator=(Client&& other) noexcept;
+  ~Client() = default;
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Connects to 127.0.0.1:`port`.
   static Result<Client> Connect(uint16_t port);
 
+  /// Bounds every send/recv poll; <= 0 = block indefinitely (the default).
+  /// With a budget set, a stalled server surfaces as IOError instead of a
+  /// hang.
+  void set_io_timeout_ms(int ms) { io_timeout_ms_ = ms; }
+
   Result<Reply> Roundtrip(const std::string& line);
 
   void Close();
 
  private:
-  explicit Client(int fd) : fd_(fd) {}
-  int fd_ = -1;
+  explicit Client(std::unique_ptr<Wire> wire) : wire_(std::move(wire)) {}
+  std::unique_ptr<Wire> wire_;
+  int io_timeout_ms_ = -1;
 };
+
+/// Splits a reply payload into Client::Reply; DataCorruption on a malformed
+/// verdict line. Shared by Client and ReliableClient.
+Result<Client::Reply> ParseReplyPayload(const std::string& payload);
 
 }  // namespace server
 }  // namespace systolic

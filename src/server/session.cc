@@ -18,9 +18,16 @@ Session::Session(uint64_t id, SharedCatalog* catalog,
   machine_.set_commit_sink(
       [this](const std::vector<std::pair<std::string, const rel::Relation*>>&
                  puts) -> Result<size_t> {
+        // Tag v2 requests so the WAL ack makes the dedup crash-safe; v1 and
+        // embedded commits (current_request_id_ == 0) go untagged.
+        CommitTag tag;
+        if (current_request_id_ > 0) {
+          tag.token = token_;
+          tag.request_id = current_request_id_;
+        }
         SYSTOLIC_ASSIGN_OR_RETURN(
             const SharedCatalog::CommitResult result,
-            catalog_->CommitGroup(pinned_version_, puts));
+            catalog_->CommitGroup(pinned_version_, puts, std::move(tag)));
         durability_stats_.wal_records += result.records;
         return result.records;
       });
@@ -58,17 +65,87 @@ void Session::RefreshSnapshot() {
   pinned_version_ = pinned_->version;
 }
 
+Status Session::RunAdmitted(const std::string& line) {
+  out_.str("");
+  const Status status = interpreter_.Execute(line);
+  last_output_ = out_.str();
+  return status;
+}
+
 Result<std::string> Session::Execute(const std::string& line) {
   // Freeze the snapshot across an open transaction: BEGIN..COMMIT reads are
   // repeatable and COMMIT conflict-checks against what was actually read.
   if (!interpreter_.in_transaction()) RefreshSnapshot();
   SYSTOLIC_ASSIGN_OR_RETURN(const AdmissionTicket ticket,
                             scheduler_->Admit(id_));
-  out_.str("");
-  const Status status = interpreter_.Execute(line);
-  last_output_ = out_.str();
-  SYSTOLIC_RETURN_NOT_OK(status);
+  SYSTOLIC_RETURN_NOT_OK(RunAdmitted(line));
   return last_output_;
+}
+
+void Session::AdoptRecoveredAck(uint64_t request_id, uint64_t records) {
+  recovered_ack_id_ = request_id;
+  recovered_ack_records_ = records;
+  has_recovered_ack_ = true;
+  accept_any_first_id_ = true;
+  last_request_id_ = request_id;
+}
+
+Result<Session::RequestOutcome> Session::ExecuteRequest(
+    uint64_t id, const std::string& line) {
+  if (id == 0) {
+    return Status::InvalidArgument("request ids start at 1");
+  }
+  RequestOutcome outcome;
+  if (have_last_reply_ && id == last_request_id_) {
+    // The retry contract: a resent id replays the exact cached bytes — even
+    // an ERR reply, since re-execution could diverge from what the client
+    // may already have partially observed.
+    outcome.payload = last_reply_;
+    outcome.from_cache = true;
+    return outcome;
+  }
+  if (has_recovered_ack_ && id <= recovered_ack_id_) {
+    // This id committed through the WAL before the crash that created this
+    // resumed session; the commit must not re-execute (exactly-once).
+    outcome.payload =
+        "OK\n-- durability: request " + std::to_string(id) +
+        " already committed before recovery (" +
+        std::to_string(recovered_ack_records_) +
+        " relation(s), deduplicated)\n";
+    outcome.recovered_dedup = true;
+    last_request_id_ = id;
+    last_reply_ = outcome.payload;
+    have_last_reply_ = true;
+    accept_any_first_id_ = false;
+    return outcome;
+  }
+  if (!accept_any_first_id_ && id != last_request_id_ + 1) {
+    return Status::InvalidArgument(
+        "request id " + std::to_string(id) + " is not monotonic (expected " +
+        std::to_string(last_request_id_ + 1) + ")");
+  }
+  if (!interpreter_.in_transaction()) RefreshSnapshot();
+  Result<AdmissionTicket> ticket = scheduler_->Admit(id_);
+  if (!ticket.ok()) {
+    // Admission bounced BEFORE any effect: the id is not consumed, and the
+    // RETRY verdict tells the client to back off and resend the same id.
+    outcome.payload = "RETRY " + ticket.status().ToString() + "\n";
+    outcome.retryable = true;
+    return outcome;
+  }
+  accept_any_first_id_ = false;
+  current_request_id_ = id;
+  const Status status = RunAdmitted(line);
+  current_request_id_ = 0;
+  if (status.ok()) {
+    outcome.payload = "OK\n" + last_output_;
+  } else {
+    outcome.payload = "ERR " + status.ToString() + "\n" + last_output_;
+  }
+  last_request_id_ = id;
+  last_reply_ = outcome.payload;
+  have_last_reply_ = true;
+  return outcome;
 }
 
 }  // namespace server

@@ -42,11 +42,47 @@ class Session {
 
   uint64_t id() const { return id_; }
 
+  /// The resume token this session is addressable by (DESIGN S26); minted by
+  /// the server at admission.
+  const std::string& token() const { return token_; }
+  void set_token(std::string token) { token_ = std::move(token); }
+
   /// Executes one command line after admission through the fair-share
   /// scheduler; returns everything the command printed. Errors carry the
   /// printed output in the session's last_output() so protocol layers can
   /// still relay partial results.
   Result<std::string> Execute(const std::string& line);
+
+  /// One protocol-v2 request (DESIGN S26): the full wire payload for request
+  /// `id`, plus how it was produced.
+  struct RequestOutcome {
+    /// "OK\n<output>", "ERR <status>\n<output>", or "RETRY <status>\n".
+    std::string payload;
+    /// Replayed from the reply cache (the id was already executed).
+    bool from_cache = false;
+    /// Answered from a WAL-recovered ack (committed before the last crash).
+    bool recovered_dedup = false;
+    /// Pre-execution admission bounce: the id was NOT consumed; the client
+    /// must back off and resend the SAME id.
+    bool retryable = false;
+  };
+
+  /// Executes request `id` exactly once. Ids are per-session and
+  /// monotonically increasing; a resend of the last id replays the cached
+  /// reply without re-execution, an id at or below the WAL-recovered ack
+  /// high-water mark is answered "already committed", and anything else
+  /// non-monotonic is an InvalidArgument protocol error. Only one in-flight
+  /// request per session means caching the LAST reply suffices.
+  Result<RequestOutcome> ExecuteRequest(uint64_t id, const std::string& line);
+
+  /// Marks this session as resumed from crash recovery: requests up to
+  /// `request_id` (which committed `records` relations) are deduplicated,
+  /// and — the in-memory id sequence having died with the old process — the
+  /// first incoming id above the mark is accepted unconditionally.
+  void AdoptRecoveredAck(uint64_t request_id, uint64_t records);
+
+  /// The last request id consumed (0 before any v2 request).
+  uint64_t last_request_id() const { return last_request_id_; }
 
   /// Output printed by the most recent Execute (even a failed one).
   const std::string& last_output() const { return last_output_; }
@@ -68,7 +104,12 @@ class Session {
   /// the machine's disk source). Called only between transactions.
   void RefreshSnapshot();
 
+  /// Snapshot refresh + interpreter run (admission already granted); the
+  /// command status, with output in last_output_.
+  Status RunAdmitted(const std::string& line);
+
   uint64_t id_;
+  std::string token_;
   SharedCatalog* catalog_;
   FairScheduler* scheduler_;
   machine::Machine machine_;
@@ -81,6 +122,22 @@ class Session {
   std::map<std::string, std::shared_ptr<const rel::Relation>> mirrored_;
   durability::DurabilityStats durability_stats_;
   std::string last_output_;
+
+  // ---- S26 request-reliability state ----
+  uint64_t last_request_id_ = 0;
+  std::string last_reply_;
+  bool have_last_reply_ = false;
+  /// In-flight v2 request id, visible to the commit sink for WAL ack
+  /// tagging; 0 outside ExecuteRequest (v1/embedded commits go untagged).
+  uint64_t current_request_id_ = 0;
+  uint64_t recovered_ack_id_ = 0;
+  uint64_t recovered_ack_records_ = 0;
+  bool has_recovered_ack_ = false;
+  /// True until the first v2 request is consumed: the first id initializes
+  /// the sequence (a reconnecting client's ids continue where its previous
+  /// session — possibly lost to a crash or reap — left off); monotonicity is
+  /// enforced from then on.
+  bool accept_any_first_id_ = true;
 };
 
 }  // namespace server

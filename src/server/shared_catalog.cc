@@ -31,8 +31,25 @@ Result<std::unique_ptr<SharedCatalog>> SharedCatalog::Open(
         name, ImageEntry{std::make_shared<const rel::Relation>(*relation), 0});
   }
   catalog->image_ = std::move(image);
+  catalog->recovered_acks_ = catalog->durable_->recovered_acks();
   catalog->durability_stats_ = catalog->durable_->stats();
   return catalog;
+}
+
+bool SharedCatalog::RecoveredAckFor(const std::string& token,
+                                    uint64_t* request_id,
+                                    uint64_t* records) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = recovered_acks_.find(token);
+  if (it == recovered_acks_.end()) return false;
+  *request_id = it->second.request_id;
+  *records = it->second.records;
+  return true;
+}
+
+void SharedCatalog::Quiesce() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !leader_active_ && queue_.empty(); });
 }
 
 std::shared_ptr<const CatalogImage> SharedCatalog::Snapshot() const {
@@ -55,10 +72,12 @@ Status SharedCatalog::Seed(const std::string& name, rel::Relation relation) {
 
 Result<SharedCatalog::CommitResult> SharedCatalog::CommitGroup(
     uint64_t snapshot_version,
-    const std::vector<std::pair<std::string, const rel::Relation*>>& puts) {
+    const std::vector<std::pair<std::string, const rel::Relation*>>& puts,
+    CommitTag tag) {
   if (puts.empty()) return CommitResult{};
   CommitRequest request;
   request.snapshot_version = snapshot_version;
+  request.tag = std::move(tag);
   request.puts.reserve(puts.size());
   for (const auto& [name, relation] : puts) {
     // Copy once; an accepted group's copies become the image entries.
@@ -127,6 +146,15 @@ void SharedCatalog::ProcessBatch(const std::vector<CommitRequest*>& batch) {
       for (const auto& [name, relation] : request->puts) {
         verdict = durable_->LogPut(name, *relation);
         if (!verdict.ok()) break;
+      }
+      if (verdict.ok() && !request->tag.token.empty() &&
+          request->tag.request_id > 0) {
+        // The ack rides in the SAME sealed group: the (token, request id)
+        // pair becomes durable atomically with the commit, so recovery
+        // either sees both (retry deduped) or neither (retry re-executes).
+        verdict = durable_->LogAck(request->tag.token,
+                                   request->tag.request_id,
+                                   request->puts.size());
       }
       if (verdict.ok()) {
         verdict = durable_->SealStagedGroup();

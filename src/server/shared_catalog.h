@@ -35,6 +35,16 @@ struct CatalogImage {
   std::map<std::string, ImageEntry> relations;
 };
 
+/// Identifies the request a commit group belongs to (DESIGN S26): when
+/// present, the group-commit leader stages a WAL `ack` record into the same
+/// sealed group, so the (token, request id) pair becomes durable atomically
+/// with the commit and a post-crash retry can be answered from recovery
+/// instead of re-executed. An empty token = untagged (v1 / embedded paths).
+struct CommitTag {
+  std::string token;
+  uint64_t request_id = 0;
+};
+
 /// Server-wide group-commit counters (satellite of DESIGN S24): how well the
 /// cross-session batching amortizes fsyncs.
 struct GroupCommitStats {
@@ -109,7 +119,18 @@ class SharedCatalog {
   /// append failed (nothing acknowledged).
   Result<CommitResult> CommitGroup(
       uint64_t snapshot_version,
-      const std::vector<std::pair<std::string, const rel::Relation*>>& puts);
+      const std::vector<std::pair<std::string, const rel::Relation*>>& puts,
+      CommitTag tag = CommitTag{});
+
+  /// The highest request id `token` committed before the last crash
+  /// (recovered from WAL ack records); false when the token has none.
+  bool RecoveredAckFor(const std::string& token, uint64_t* request_id,
+                       uint64_t* records) const;
+
+  /// Blocks until no group-commit leader is active and the commit queue is
+  /// empty — the DRAIN barrier: after it, every acknowledged commit has been
+  /// fsync'd and published.
+  void Quiesce();
 
   /// Rewrites the durable checkpoint (rename-swap) and resets the WAL;
   /// no-op (OK) without a durable directory. Excludes itself from running
@@ -130,6 +151,7 @@ class SharedCatalog {
     uint64_t snapshot_version = 0;
     std::vector<std::pair<std::string, std::shared_ptr<const rel::Relation>>>
         puts;
+    CommitTag tag;
     bool done = false;
     Status status = Status::OK();
     CommitResult result;
@@ -146,6 +168,7 @@ class SharedCatalog {
   bool leader_active_ = false;
   std::shared_ptr<const CatalogImage> image_;
   std::unique_ptr<durability::DurableCatalog> durable_;
+  std::map<std::string, durability::RecoveredAck> recovered_acks_;
   GroupCommitStats stats_;
   durability::DurabilityStats durability_stats_;
 };

@@ -4,7 +4,13 @@
 // (SET SESSION, EXPLAIN session line), and the length-framed socket
 // protocol.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <filesystem>
 #include <memory>
@@ -16,6 +22,7 @@
 
 #include "gtest/gtest.h"
 #include "relational/builder.h"
+#include "server/protocol.h"
 #include "server/scheduler.h"
 #include "server/server.h"
 #include "server/session.h"
@@ -449,6 +456,223 @@ TEST(ServerTest, SocketRoundTripAndShutdown) {
     ASSERT_OK(stopped);
     EXPECT_TRUE(stopped->ok);
   }
+  serving.join();
+}
+
+// ---- Protocol robustness (S26) --------------------------------------------
+// Malformed frames, oversized replies, and stalled clients must never take
+// the server down or hang the well-behaved peers.
+
+void SendAll(Wire& wire, const std::string& bytes) {
+  size_t done = 0;
+  while (done < bytes.size()) {
+    auto sent = wire.Send(bytes.data() + done, bytes.size() - done, 2'000);
+    ASSERT_OK(sent);
+    done += *sent;
+  }
+}
+
+// A served Server on an ephemeral port, shut down on scope exit.
+struct ServedServer {
+  explicit ServedServer(ServerConfig config) {
+    auto created = Server::Create(std::move(config));
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    server = std::move(*created);
+    SeedDemo(server.get());
+    EXPECT_TRUE(server->Listen(0).ok());
+    serving = std::thread([this] { EXPECT_TRUE(server->Serve().ok()); });
+  }
+  ~ServedServer() {
+    server->RequestShutdown();
+    serving.join();
+  }
+  std::unique_ptr<Server> server;
+  std::thread serving;
+};
+
+TEST(ProtocolRobustness, OverLimitFrameLengthGetsCleanErrorNotServerDeath) {
+  ServedServer served(TestConfig());
+
+  // An HTTP request line read as a length header claims ~0.8 GB — far over
+  // kMaxFrameBytes, and the stream cannot be resynchronised.
+  auto wire = PosixWire::Dial(served.server->port());
+  ASSERT_OK(wire);
+  SendAll(**wire, "GET / HTTP/1.1\r\n\r\n");
+  bool clean_eof = false;
+  auto verdict = ReadFrame(**wire, &clean_eof, 5'000, 5'000);
+  ASSERT_OK(verdict);
+  EXPECT_EQ(verdict->rfind("ERR data-corruption", 0), 0u) << *verdict;
+  EXPECT_NE(verdict->find("frame length"), std::string::npos) << *verdict;
+  (*wire)->Close();
+
+  // The offending connection died alone: a fresh client still gets service.
+  auto client = Client::Connect(served.server->port());
+  ASSERT_OK(client);
+  client->set_io_timeout_ms(5'000);
+  auto loaded = client->Roundtrip("LOAD A");
+  ASSERT_OK(loaded);
+  EXPECT_TRUE(loaded->ok) << loaded->error;
+}
+
+TEST(ProtocolRobustness, TruncatedPayloadDropsConnectionNotServer) {
+  ServedServer served(TestConfig());
+
+  {
+    // Header promises 64 payload bytes; the peer sends 8 and vanishes.
+    auto wire = PosixWire::Dial(served.server->port());
+    ASSERT_OK(wire);
+    const uint32_t claimed = 64;
+    std::string torn(reinterpret_cast<const char*>(&claimed), 4);
+    torn += "LOAD A\n\n";
+    SendAll(**wire, torn);
+    (*wire)->Close();
+  }
+
+  auto client = Client::Connect(served.server->port());
+  ASSERT_OK(client);
+  client->set_io_timeout_ms(5'000);
+  auto loaded = client->Roundtrip("LOAD A");
+  ASSERT_OK(loaded);
+  EXPECT_TRUE(loaded->ok) << loaded->error;
+}
+
+TEST(ProtocolRobustness, MalformedReplyVerdictIsDataCorruptionNotHang) {
+  // The parser itself.
+  auto ok = ParseReplyPayload("OK\nout\n");
+  ASSERT_OK(ok);
+  EXPECT_TRUE(ok->ok);
+  EXPECT_EQ(ok->output, "out\n");
+  auto err = ParseReplyPayload("ERR capacity: full\npartial\n");
+  ASSERT_OK(err);
+  EXPECT_FALSE(err->ok);
+  EXPECT_EQ(err->error, "capacity: full");
+  auto bogus = ParseReplyPayload("WHAT\nnot a verdict\n");
+  ASSERT_FALSE(bogus.ok());
+  EXPECT_TRUE(bogus.status().IsDataCorruption()) << bogus.status().ToString();
+
+  // End to end: a fake server answering garbage must surface as
+  // DataCorruption from Roundtrip, not a hang or a crash.
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const uint16_t port = ntohs(addr.sin_port);
+  std::thread fake([listener] {
+    int fd = ::accept(listener, nullptr, nullptr);
+    if (fd >= 0) {
+      PosixWire wire(fd);
+      bool clean_eof = false;
+      (void)ReadFrame(wire, &clean_eof, 5'000, 5'000);
+      (void)WriteFrame(wire, "WHAT\nnot a verdict\n", 5'000);
+      wire.Close();
+    }
+    ::close(listener);
+  });
+  auto client = Client::Connect(port);
+  ASSERT_OK(client);
+  client->set_io_timeout_ms(5'000);
+  auto reply = client->Roundtrip("LOAD A");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsDataCorruption()) << reply.status().ToString();
+  EXPECT_NE(reply.status().ToString().find("malformed reply verdict"),
+            std::string::npos)
+      << reply.status().ToString();
+  fake.join();
+}
+
+TEST(ProtocolRobustness, SlowLorisSessionIsReapedNotServedForever) {
+  ServerConfig config = TestConfig();
+  config.idle_timeout_ms = 100;
+  config.io_timeout_ms = 1'000;
+  ServedServer served(config);
+
+  // A v2 client that HELLOs and then goes silent forever.
+  auto wire = PosixWire::Dial(served.server->port());
+  ASSERT_OK(wire);
+  ASSERT_STATUS_OK(WriteFrame(**wire, EncodeHello(""), 2'000));
+  bool clean_eof = false;
+  auto ack = ReadFrame(**wire, &clean_eof, 5'000, 5'000);
+  ASSERT_OK(ack);
+  EXPECT_EQ(ack->rfind("OK\ntoken ", 0), 0u) << *ack;
+
+  // The idle deadline fires server-side: the connection is closed and the
+  // session slot is reclaimed, so a slow loris cannot pin admission forever.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (served.server->stats().sessions_reaped == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(served.server->stats().sessions_reaped, 1u);
+
+  // Our end of the wire sees the close (EOF or reset), not silence.
+  char byte;
+  auto got = (*wire)->Recv(&byte, 1, 5'000);
+  if (got.ok()) {
+    EXPECT_EQ(*got, 0u);
+  }
+  (*wire)->Close();
+
+  // And the server still serves the polite.
+  auto client = Client::Connect(served.server->port());
+  ASSERT_OK(client);
+  client->set_io_timeout_ms(5'000);
+  auto loaded = client->Roundtrip("LOAD A");
+  ASSERT_OK(loaded);
+  EXPECT_TRUE(loaded->ok) << loaded->error;
+}
+
+TEST(ProtocolRobustness, OversizeReplyIsTruncatedIntoWellFormedError) {
+  ServerConfig config = TestConfig();
+  config.max_reply_bytes = 200;  // keep the test cheap; wire limit is 16 MB
+  auto created = Server::Create(config);
+  ASSERT_OK(created);
+  Server& server = **created;
+  const Schema schema = rel::MakeIntSchema(2);
+  std::vector<std::vector<int64_t>> rows;
+  for (int64_t i = 0; i < 64; ++i) rows.push_back({i, i * 10});
+  ASSERT_STATUS_OK(server.catalog().Seed("big", Rel(schema, rows)));
+  ASSERT_STATUS_OK(
+      server.catalog().Seed("small", Rel(schema, {{1, 10}, {2, 20}})));
+  ASSERT_STATUS_OK(server.Listen(0));
+  std::thread serving([&server] { EXPECT_TRUE(server.Serve().ok()); });
+
+  auto client = Client::Connect(server.port());
+  ASSERT_OK(client);
+  client->set_io_timeout_ms(5'000);
+  auto loaded = client->Roundtrip("LOAD big");
+  ASSERT_OK(loaded);
+  ASSERT_TRUE(loaded->ok) << loaded->error;
+
+  // The PRINT would exceed the reply limit: the connection must survive and
+  // carry a well-formed truncated ERR instead.
+  auto printed = client->Roundtrip("PRINT big");
+  ASSERT_OK(printed);
+  EXPECT_FALSE(printed->ok);
+  EXPECT_NE(printed->error.find("capacity"), std::string::npos)
+      << printed->error;
+  EXPECT_NE(printed->error.find("output truncated"), std::string::npos)
+      << printed->error;
+  EXPECT_NE(printed->output.find("-- output truncated to the first"),
+            std::string::npos)
+      << printed->output;
+
+  // Same connection, next command still works.
+  auto again = client->Roundtrip("LOAD small");
+  ASSERT_OK(again);
+  EXPECT_TRUE(again->ok) << again->error;
+  EXPECT_EQ(server.stats().oversize_replies, 1u);
+
+  server.RequestShutdown();
   serving.join();
 }
 
