@@ -16,6 +16,11 @@
 #      (DESIGN S25): AccountRead is called ONLY inside src/system/scratchpad
 #      — engine and machine code feed the crossbar via spad::CrossbarFeed /
 #      ScratchpadBank so every modeled byte is costed by the DMA model.
+#   5. Raw mutex primitives (std::mutex / std::condition_variable /
+#      .lock() / .unlock() / lock_guard / unique_lock) appear ONLY in
+#      src/util/ — everything else uses util::Mutex / util::MutexLock /
+#      util::CondVar (DESIGN §2.10), so clang thread-safety analysis and the
+#      debug lock-order checker see every acquisition.
 
 set -u
 cd "$(dirname "$0")/.."
@@ -54,6 +59,13 @@ hits=$(grep -rnE '\.AccountRead\(|->AccountRead\(' src \
   --include='*.cc' --include='*.h' | grep -v '^src/system/scratchpad/' || true)
 if [ -n "$hits" ]; then
   report "direct MemoryModule::AccountRead outside src/system/scratchpad (feed through spad::CrossbarFeed)" "$hits"
+fi
+
+# --- rule 5: lock discipline goes through the annotated wrapper ------------
+hits=$(grep -rnE 'std::mutex|std::condition_variable|std::lock_guard|std::unique_lock|std::scoped_lock|\.lock\(\)|\.unlock\(\)' src \
+  --include='*.cc' --include='*.h' | grep -v '^src/util/' || true)
+if [ -n "$hits" ]; then
+  report "raw mutex primitives outside src/util/ (use util::Mutex / util::MutexLock / util::CondVar from util/mutex.h)" "$hits"
 fi
 
 if [ "$fail" -eq 0 ]; then

@@ -24,18 +24,18 @@ ChipHealth::ChipHealth(size_t num_chips, size_t strike_limit)
       quarantined_(num_chips_, false) {}
 
 ChipState ChipHealth::state(size_t chip) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (quarantined_[chip]) return ChipState::kQuarantined;
   return strikes_[chip] == 0 ? ChipState::kHealthy : ChipState::kSuspect;
 }
 
 size_t ChipHealth::strikes(size_t chip) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return strikes_[chip];
 }
 
 size_t ChipHealth::num_usable() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   size_t usable = 0;
   for (size_t chip = 0; chip < num_chips_; ++chip) {
     if (!quarantined_[chip]) ++usable;
@@ -44,19 +44,19 @@ size_t ChipHealth::num_usable() const {
 }
 
 size_t ChipHealth::total_strikes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   size_t total = 0;
   for (size_t strikes : strikes_) total += strikes;
   return total;
 }
 
 bool ChipHealth::Usable(size_t chip) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return !quarantined_[chip];
 }
 
 ChipState ChipHealth::Strike(size_t chip) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   ++strikes_[chip];
   if (strikes_[chip] >= strike_limit_) quarantined_[chip] = true;
   if (quarantined_[chip]) return ChipState::kQuarantined;
@@ -64,17 +64,17 @@ ChipState ChipHealth::Strike(size_t chip) {
 }
 
 void ChipHealth::ClearStrikes(size_t chip) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (!quarantined_[chip]) strikes_[chip] = 0;
 }
 
 void ChipHealth::Quarantine(size_t chip) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   quarantined_[chip] = true;
 }
 
 std::optional<size_t> ChipHealth::PreferredChip(size_t chip) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   for (size_t offset = 0; offset < num_chips_; ++offset) {
     const size_t candidate = (chip + offset) % num_chips_;
     if (!quarantined_[candidate]) return candidate;
@@ -92,33 +92,33 @@ ChipPool::ChipPool(size_t num_chips) {
 
 ChipPool::~ChipPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ChipPool::RunAll(size_t num_tasks,
                       const std::function<void(size_t, size_t)>& task) {
   if (num_tasks == 0) return;
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const auto it = batches_.emplace(batches_.end());
   it->id = next_batch_id_++;
   it->num_tasks = num_tasks;
   it->task = &task;
   it->exceptions.assign(num_tasks, nullptr);
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [it] { return it->completed == it->num_tasks; });
+  work_cv_.NotifyAll();
+  while (it->completed != it->num_tasks) done_cv_.Wait(&mutex_);
   std::vector<std::exception_ptr> exceptions = std::move(it->exceptions);
   batches_.erase(it);
-  lock.unlock();
+  lock.Unlock();
   for (std::exception_ptr& e : exceptions) {
     if (e != nullptr) std::rethrow_exception(e);
   }
 }
 
-std::list<ChipPool::Batch>::iterator ChipPool::ClaimableBatch() {
+std::list<ChipPool::Batch>::iterator ChipPool::ClaimableBatchLocked() {
   std::list<Batch>::iterator first_pending = batches_.end();
   for (auto it = batches_.begin(); it != batches_.end(); ++it) {
     if (it->next_task >= it->num_tasks) continue;
@@ -129,32 +129,32 @@ std::list<ChipPool::Batch>::iterator ChipPool::ClaimableBatch() {
 }
 
 void ChipPool::WorkerLoop(size_t chip) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   for (;;) {
-    work_cv_.wait(lock, [this] {
-      return stopping_ || ClaimableBatch() != batches_.end();
-    });
+    while (!stopping_ && ClaimableBatchLocked() == batches_.end()) {
+      work_cv_.Wait(&mutex_);
+    }
     if (stopping_) return;
-    const auto it = ClaimableBatch();
+    const auto it = ClaimableBatchLocked();
     if (it == batches_.end()) continue;  // another worker drained it
     last_served_ = it->id;
     Batch& batch = *it;
     const size_t index = batch.next_task++;
     const std::function<void(size_t, size_t)>* task = batch.task;
     std::exception_ptr error = nullptr;
-    lock.unlock();
+    lock.Unlock();
     try {
       (*task)(index, chip);
     } catch (...) {
       error = std::current_exception();
     }
-    lock.lock();
+    lock.Lock();
     // The batch outlives this unlock: its RunAll owner cannot observe
     // completed == num_tasks — and so cannot erase it — before the
     // increment below.
     batch.exceptions[index] = error;
     ++batch.completed;
-    if (batch.completed == batch.num_tasks) done_cv_.notify_all();
+    if (batch.completed == batch.num_tasks) done_cv_.NotifyAll();
   }
 }
 

@@ -1,16 +1,17 @@
 #ifndef SYSTOLIC_CORE_CHIP_POOL_H_
 #define SYSTOLIC_CORE_CHIP_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace systolic {
 namespace db {
@@ -43,39 +44,42 @@ class ChipHealth {
   size_t num_chips() const { return num_chips_; }
   size_t strike_limit() const { return strike_limit_; }
 
-  ChipState state(size_t chip) const;
-  size_t strikes(size_t chip) const;
+  ChipState state(size_t chip) const EXCLUDES(mutex_);
+  size_t strikes(size_t chip) const EXCLUDES(mutex_);
 
   /// Chips not quarantined.
-  size_t num_usable() const;
+  size_t num_usable() const EXCLUDES(mutex_);
   /// Detected failures recorded so far, including on quarantined chips.
-  size_t total_strikes() const;
+  size_t total_strikes() const EXCLUDES(mutex_);
 
-  bool Usable(size_t chip) const;
+  bool Usable(size_t chip) const EXCLUDES(mutex_);
 
   /// Records one detected failure; quarantines at the strike limit.
   /// Returns the chip's state after the strike.
-  ChipState Strike(size_t chip);
+  ChipState Strike(size_t chip) EXCLUDES(mutex_);
 
   /// A clean attempt on `chip`: forgives its accumulated strikes (strikes
   /// count consecutive failures). Quarantine is permanent — clearing a
   /// quarantined chip is a no-op.
-  void ClearStrikes(size_t chip);
+  void ClearStrikes(size_t chip) EXCLUDES(mutex_);
 
   /// Immediate quarantine (dead chip).
-  void Quarantine(size_t chip);
+  void Quarantine(size_t chip) EXCLUDES(mutex_);
 
   /// The chip work for `chip` should actually run on: `chip` itself when
   /// usable, else the next usable chip in cyclic order. nullopt when every
   /// chip is quarantined.
-  std::optional<size_t> PreferredChip(size_t chip) const;
+  std::optional<size_t> PreferredChip(size_t chip) const EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
+  /// Tile tasks strike/clear chips from pool worker threads, which hold NO
+  /// other lock there (WorkerLoop drops the pool mutex around the task), so
+  /// this ledger sits below kChipPool in the hierarchy (DESIGN §2.10).
+  mutable util::Mutex mutex_{util::LockRank::kChipHealth, "chip-health"};
   size_t num_chips_;
   size_t strike_limit_;
-  std::vector<size_t> strikes_;
-  std::vector<bool> quarantined_;
+  std::vector<size_t> strikes_ GUARDED_BY(mutex_);
+  std::vector<bool> quarantined_ GUARDED_BY(mutex_);
 };
 
 /// A fixed pool of worker threads, one per simulated chip.
@@ -123,7 +127,8 @@ class ChipPool {
   /// one chip at a time (chip exclusivity is what keeps per-chip fault
   /// trajectories deterministic).
   void RunAll(size_t num_tasks,
-              const std::function<void(size_t task, size_t chip)>& task);
+              const std::function<void(size_t task, size_t chip)>& task)
+      EXCLUDES(mutex_);
 
  private:
   /// One in-flight RunAll. Owned (and erased) by its RunAll caller; workers
@@ -137,20 +142,22 @@ class ChipPool {
     std::vector<std::exception_ptr> exceptions;
   };
 
-  void WorkerLoop(size_t chip);
+  void WorkerLoop(size_t chip) EXCLUDES(mutex_);
   /// The batch the next free worker should serve: the first batch with
   /// pending tasks whose id follows the last-served id, wrapping to the
-  /// front. Caller holds mutex_.
-  std::list<Batch>::iterator ClaimableBatch();
+  /// front.
+  std::list<Batch>::iterator ClaimableBatchLocked() REQUIRES(mutex_);
 
-  std::mutex mutex_;  // guards everything below
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  bool stopping_ = false;
-  uint64_t next_batch_id_ = 1;
-  uint64_t last_served_ = 0;
-  std::list<Batch> batches_;  // active batches in submit order
+  util::Mutex mutex_{util::LockRank::kChipPool, "chip-pool"};
+  util::CondVar work_cv_;
+  util::CondVar done_cv_;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  uint64_t next_batch_id_ GUARDED_BY(mutex_) = 1;
+  uint64_t last_served_ GUARDED_BY(mutex_) = 0;
+  /// Active batches in submit order.
+  std::list<Batch> batches_ GUARDED_BY(mutex_);
 
+  /// Written only by the constructor, joined only by the destructor.
   std::vector<std::thread> threads_;
 };
 

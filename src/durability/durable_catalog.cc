@@ -44,7 +44,10 @@ Result<std::unique_ptr<DurableCatalog>> DurableCatalog::Open(
     std::string directory, Io io) {
   std::unique_ptr<DurableCatalog> durable(
       new DurableCatalog(std::move(directory), io));
-  SYSTOLIC_RETURN_NOT_OK(durable->Recover());
+  // Not shared yet, but recovery initializes guarded fields: Open is held
+  // to the same proof obligations as every other non-constructor.
+  util::MutexLock lock(&durable->mutex_);
+  SYSTOLIC_RETURN_NOT_OK(durable->RecoverLocked());
   return durable;
 }
 
@@ -52,7 +55,7 @@ std::string DurableCatalog::Path(const std::string& name) const {
   return directory_ + "/" + name;
 }
 
-Status DurableCatalog::Recover() {
+Status DurableCatalog::RecoverLocked() {
   SYSTOLIC_RETURN_NOT_OK(io_.Mkdirs(directory_));
   catalog_ = std::make_unique<rel::Catalog>();
   checkpoint_id_ = 0;
@@ -79,18 +82,19 @@ Status DurableCatalog::Recover() {
       // Torn header, or a log that predates the live checkpoint (the crash
       // landed between the CURRENT flip and the WAL reset): every record it
       // could hold is already inside the checkpoint. Discard it.
-      SYSTOLIC_RETURN_NOT_OK(ResetWal());
+      SYSTOLIC_RETURN_NOT_OK(ResetWalLocked());
     } else {
-      SYSTOLIC_RETURN_NOT_OK(ReplayWal(bytes, header->second));
+      SYSTOLIC_RETURN_NOT_OK(ReplayWalLocked(bytes, header->second));
     }
   } else {
-    SYSTOLIC_RETURN_NOT_OK(ResetWal());
+    SYSTOLIC_RETURN_NOT_OK(ResetWalLocked());
   }
 
-  return CollectGarbage(live_checkpoint);
+  return CollectGarbageLocked(live_checkpoint);
 }
 
-Status DurableCatalog::ReplayWal(const std::string& bytes, size_t header_end) {
+Status DurableCatalog::ReplayWalLocked(const std::string& bytes,
+                                       size_t header_end) {
   size_t offset = header_end;
   size_t durable_end = header_end;
   std::vector<WalRecord> group;
@@ -138,7 +142,7 @@ Status DurableCatalog::ReplayWal(const std::string& bytes, size_t header_end) {
   return Status::OK();
 }
 
-Status DurableCatalog::ResetWal() {
+Status DurableCatalog::ResetWalLocked() {
   const std::string tmp = WalPath() + ".tmp";
   SYSTOLIC_RETURN_NOT_OK(io_.WriteFile(tmp, WalHeader(checkpoint_id_)));
   SYSTOLIC_RETURN_NOT_OK(io_.Fsync(tmp));
@@ -148,7 +152,8 @@ Status DurableCatalog::ResetWal() {
   return Status::OK();
 }
 
-Status DurableCatalog::CollectGarbage(const std::string& live_checkpoint) {
+Status DurableCatalog::CollectGarbageLocked(
+    const std::string& live_checkpoint) {
   for (const std::string& name : Io::ListDir(directory_)) {
     const bool stale_tmp =
         name.size() > 4 && name.substr(name.size() - 4) == ".tmp";
@@ -161,12 +166,12 @@ Status DurableCatalog::CollectGarbage(const std::string& live_checkpoint) {
   return Status::OK();
 }
 
-Status DurableCatalog::Stage(WalRecord record, std::string payload) {
+Status DurableCatalog::StageLocked(WalRecord record, std::string payload) {
   staged_.emplace_back(std::move(record), std::move(payload));
   return Status::OK();
 }
 
-Result<std::vector<WalRecord::ColumnSpec>> DurableCatalog::StagedColumns(
+Result<std::vector<WalRecord::ColumnSpec>> DurableCatalog::StagedColumnsLocked(
     const std::string& name) const {
   // The staged group, then the sealed-but-uncommitted batch, rewrite history
   // front to back; the last put/drop for `name` wins, falling back to the
@@ -198,7 +203,7 @@ Result<std::vector<WalRecord::ColumnSpec>> DurableCatalog::StagedColumns(
   return SpecsOf(relation->schema());
 }
 
-Result<rel::ValueType> DurableCatalog::StagedDomainType(
+Result<rel::ValueType> DurableCatalog::StagedDomainTypeLocked(
     const std::string& name) const {
   // Staged records only ever create domains (a drop removes a relation, not
   // its domains), and conflicts are rejected at staging time, so any staged
@@ -228,24 +233,31 @@ Result<rel::ValueType> DurableCatalog::StagedDomainType(
 
 Status DurableCatalog::LogCreateDomain(const std::string& name,
                                        rel::ValueType type) {
+  util::MutexLock lock(&mutex_);
   if (name.empty()) {
     return Status::InvalidArgument("domain name must not be empty");
   }
   // Resolving through the staged group also catches a domain a staged
   // put/append implicitly created — re-creating it would make the sealed
   // group fail to apply at Commit/recovery.
-  if (StagedDomainType(name).ok()) {
+  if (StagedDomainTypeLocked(name).ok()) {
     return Status::AlreadyExists("domain '" + name + "' already exists");
   }
   WalRecord record;
   record.kind = WalRecord::Kind::kCreateDomain;
   record.name = name;
   record.type = type;
-  return Stage(std::move(record), EncodeCreateDomain(name, type));
+  return StageLocked(std::move(record), EncodeCreateDomain(name, type));
 }
 
 Status DurableCatalog::LogPut(const std::string& name,
                               const rel::Relation& relation) {
+  util::MutexLock lock(&mutex_);
+  return LogPutLocked(name, relation);
+}
+
+Status DurableCatalog::LogPutLocked(const std::string& name,
+                                    const rel::Relation& relation) {
   if (name.empty()) {
     return Status::InvalidArgument("relation name must not be empty");
   }
@@ -259,7 +271,8 @@ Status DurableCatalog::LogPut(const std::string& name,
     // AND with this relation's own earlier columns (fresh Domain objects may
     // reuse a name at another type) — any conflict would make the sealed
     // record fail to apply at Commit/recovery.
-    Result<rel::ValueType> existing = StagedDomainType(column.domain->name());
+    Result<rel::ValueType> existing =
+        StagedDomainTypeLocked(column.domain->name());
     for (size_t prev = 0; !existing.ok() && prev < c; ++prev) {
       const rel::Column& other = relation.schema().column(prev);
       if (other.domain->name() == column.domain->name()) {
@@ -275,13 +288,19 @@ Status DurableCatalog::LogPut(const std::string& name,
   SYSTOLIC_ASSIGN_OR_RETURN(std::string payload, EncodePut(name, relation));
   // Re-decode to populate the staged record exactly as recovery will see it.
   SYSTOLIC_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
-  return Stage(std::move(record), std::move(payload));
+  return StageLocked(std::move(record), std::move(payload));
 }
 
 Status DurableCatalog::LogAppend(const std::string& name,
                                  const rel::Relation& batch) {
+  util::MutexLock lock(&mutex_);
+  return LogAppendLocked(name, batch);
+}
+
+Status DurableCatalog::LogAppendLocked(const std::string& name,
+                                       const rel::Relation& batch) {
   SYSTOLIC_ASSIGN_OR_RETURN(std::vector<WalRecord::ColumnSpec> target,
-                            StagedColumns(name));
+                            StagedColumnsLocked(name));
   const std::vector<WalRecord::ColumnSpec> batch_specs =
       SpecsOf(batch.schema());
   if (target.size() != batch_specs.size()) {
@@ -300,19 +319,25 @@ Status DurableCatalog::LogAppend(const std::string& name,
   }
   SYSTOLIC_ASSIGN_OR_RETURN(std::string payload, EncodeAppend(name, batch));
   SYSTOLIC_ASSIGN_OR_RETURN(WalRecord record, DecodeWalRecord(payload));
-  return Stage(std::move(record), std::move(payload));
+  return StageLocked(std::move(record), std::move(payload));
 }
 
 Status DurableCatalog::LogDrop(const std::string& name) {
-  SYSTOLIC_RETURN_NOT_OK(StagedColumns(name).status());  // must exist
+  util::MutexLock lock(&mutex_);
+  return LogDropLocked(name);
+}
+
+Status DurableCatalog::LogDropLocked(const std::string& name) {
+  SYSTOLIC_RETURN_NOT_OK(StagedColumnsLocked(name).status());  // must exist
   WalRecord record;
   record.kind = WalRecord::Kind::kDrop;
   record.name = name;
-  return Stage(std::move(record), EncodeDrop(name));
+  return StageLocked(std::move(record), EncodeDrop(name));
 }
 
 Status DurableCatalog::LogAck(const std::string& token, uint64_t request_id,
                               uint64_t records) {
+  util::MutexLock lock(&mutex_);
   if (token.empty() || request_id == 0) {
     return Status::InvalidArgument(
         "an ack record needs a session token and a positive request id");
@@ -322,10 +347,10 @@ Status DurableCatalog::LogAck(const std::string& token, uint64_t request_id,
   record.name = token;
   record.request_id = request_id;
   record.ack_records = records;
-  return Stage(std::move(record), EncodeAck(token, request_id, records));
+  return StageLocked(std::move(record), EncodeAck(token, request_id, records));
 }
 
-Status DurableCatalog::AppendGroups(
+Status DurableCatalog::AppendGroupsLocked(
     const std::vector<const MutationGroup*>& groups) {
   if (wal_poisoned_) {
     return Status::IOError(
@@ -368,6 +393,11 @@ Status DurableCatalog::AppendGroups(
 }
 
 Status DurableCatalog::Commit() {
+  util::MutexLock lock(&mutex_);
+  return CommitLocked();
+}
+
+Status DurableCatalog::CommitLocked() {
   if (staged_.empty()) return Status::OK();
   if (!sealed_.empty()) {
     // Sealed groups were validated as applying BEFORE the open group; letting
@@ -375,12 +405,23 @@ Status DurableCatalog::Commit() {
     return Status::InvalidArgument(
         "sealed groups are pending; use SealStagedGroup + CommitSealedGroups");
   }
-  SYSTOLIC_RETURN_NOT_OK(AppendGroups({&staged_}));
+  SYSTOLIC_RETURN_NOT_OK(AppendGroupsLocked({&staged_}));
   staged_.clear();
   return Status::OK();
 }
 
+void DurableCatalog::Abort() {
+  util::MutexLock lock(&mutex_);
+  staged_.clear();
+}
+
+void DurableCatalog::AbortSealedGroups() {
+  util::MutexLock lock(&mutex_);
+  sealed_.clear();
+}
+
 Status DurableCatalog::SealStagedGroup() {
+  util::MutexLock lock(&mutex_);
   if (staged_.empty()) return Status::OK();
   if (wal_poisoned_) {
     return Status::IOError(
@@ -393,6 +434,7 @@ Status DurableCatalog::SealStagedGroup() {
 }
 
 Status DurableCatalog::CommitSealedGroups() {
+  util::MutexLock lock(&mutex_);
   if (!staged_.empty()) {
     return Status::InvalidArgument(
         "a mutation group is still open; seal or abort it before committing "
@@ -402,38 +444,42 @@ Status DurableCatalog::CommitSealedGroups() {
   std::vector<const MutationGroup*> groups;
   groups.reserve(sealed_.size());
   for (const MutationGroup& group : sealed_) groups.push_back(&group);
-  SYSTOLIC_RETURN_NOT_OK(AppendGroups(groups));
+  SYSTOLIC_RETURN_NOT_OK(AppendGroupsLocked(groups));
   sealed_.clear();
   return Status::OK();
 }
 
 Status DurableCatalog::Put(const std::string& name,
                            const rel::Relation& relation) {
+  util::MutexLock lock(&mutex_);
   if (!staged_.empty()) {
     return Status::InvalidArgument("a mutation group is open; use LogPut");
   }
-  SYSTOLIC_RETURN_NOT_OK(LogPut(name, relation));
-  return Commit();
+  SYSTOLIC_RETURN_NOT_OK(LogPutLocked(name, relation));
+  return CommitLocked();
 }
 
 Status DurableCatalog::Append(const std::string& name,
                               const rel::Relation& batch) {
+  util::MutexLock lock(&mutex_);
   if (!staged_.empty()) {
     return Status::InvalidArgument("a mutation group is open; use LogAppend");
   }
-  SYSTOLIC_RETURN_NOT_OK(LogAppend(name, batch));
-  return Commit();
+  SYSTOLIC_RETURN_NOT_OK(LogAppendLocked(name, batch));
+  return CommitLocked();
 }
 
 Status DurableCatalog::Drop(const std::string& name) {
+  util::MutexLock lock(&mutex_);
   if (!staged_.empty()) {
     return Status::InvalidArgument("a mutation group is open; use LogDrop");
   }
-  SYSTOLIC_RETURN_NOT_OK(LogDrop(name));
-  return Commit();
+  SYSTOLIC_RETURN_NOT_OK(LogDropLocked(name));
+  return CommitLocked();
 }
 
 Status DurableCatalog::Checkpoint() {
+  util::MutexLock lock(&mutex_);
   if (!staged_.empty()) {
     return Status::InvalidArgument(
         "cannot checkpoint while a mutation group is open");
@@ -471,7 +517,7 @@ Status DurableCatalog::Checkpoint() {
   SYSTOLIC_RETURN_NOT_OK(io_.FsyncDir(directory_));
   const uint64_t previous = checkpoint_id_;
   checkpoint_id_ = next;
-  SYSTOLIC_RETURN_NOT_OK(ResetWal());
+  SYSTOLIC_RETURN_NOT_OK(ResetWalLocked());
   wal_poisoned_ = false;  // the rebuilt log has no torn tail
   if (previous > 0) {
     SYSTOLIC_RETURN_NOT_OK(io_.RemoveAll(Path(CheckpointName(previous))));

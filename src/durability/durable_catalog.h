@@ -11,7 +11,9 @@
 #include "durability/io.h"
 #include "durability/wal.h"
 #include "relational/catalog.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace systolic {
 namespace durability {
@@ -53,6 +55,13 @@ struct DurabilityStats {
 /// a sealing `commit` marker in ONE file append, fsyncs, and only then
 /// applies the group to the in-memory catalog. Recovery replays only sealed
 /// groups, so a multi-relation transaction commit is all-or-nothing.
+///
+/// Thread safety: every public method locks the internal kWal-rank mutex —
+/// the SINK of the lock hierarchy (DESIGN §2.10). The group-commit leader
+/// calls in with no other lock held (SharedCatalog releases its own mutex
+/// around ProcessBatch), so the ordering holds trivially; callers must
+/// still serialize logically conflicting operations themselves (the
+/// leader_active_ handoff, or a single session driving the embedded path).
 class DurableCatalog {
  public:
   /// Opens (creating if absent) the durable directory and recovers.
@@ -60,28 +69,52 @@ class DurableCatalog {
                                                       Io io = Io());
 
   const std::string& directory() const { return directory_; }
-  const rel::Catalog& catalog() const { return *catalog_; }
-  const DurabilityStats& stats() const { return stats_; }
-  uint64_t checkpoint_id() const { return checkpoint_id_; }
+  /// The recovered in-memory catalog. The reference stays valid for the
+  /// DurableCatalog's lifetime (the pointer is set once, at Open); the
+  /// POINTEE is mutated by the commit path, so concurrent readers need the
+  /// caller-level exclusivity described in the class comment.
+  const rel::Catalog& catalog() const EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
+    return *catalog_;
+  }
+  DurabilityStats stats() const EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
+    return stats_;
+  }
+  uint64_t checkpoint_id() const EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
+    return checkpoint_id_;
+  }
   /// Sealed records currently in the WAL (replayed on next Open).
-  size_t wal_live_records() const { return wal_live_records_; }
-  size_t staged_records() const { return staged_.size(); }
+  size_t wal_live_records() const EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
+    return wal_live_records_;
+  }
+  size_t staged_records() const EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
+    return staged_.size();
+  }
 
   /// Stages one mutation into the open group. Validation happens here, so a
   /// staged record is guaranteed to apply cleanly at Commit / recovery.
-  Status LogCreateDomain(const std::string& name, rel::ValueType type);
-  Status LogPut(const std::string& name, const rel::Relation& relation);
-  Status LogAppend(const std::string& name, const rel::Relation& batch);
-  Status LogDrop(const std::string& name);
+  Status LogCreateDomain(const std::string& name, rel::ValueType type)
+      EXCLUDES(mutex_);
+  Status LogPut(const std::string& name, const rel::Relation& relation)
+      EXCLUDES(mutex_);
+  Status LogAppend(const std::string& name, const rel::Relation& batch)
+      EXCLUDES(mutex_);
+  Status LogDrop(const std::string& name) EXCLUDES(mutex_);
   /// Stages a request-dedup ack into the open group, making the (token,
   /// request id) pair durable atomically with the group's mutations.
   Status LogAck(const std::string& token, uint64_t request_id,
-                uint64_t records);
+                uint64_t records) EXCLUDES(mutex_);
 
   /// Acks recovered by Open from the live WAL, token -> highest acked
   /// request. The dedup window is the live WAL: Checkpoint resets it (by
   /// then every acked reply has long been delivered or abandoned).
-  const std::map<std::string, RecoveredAck>& recovered_acks() const {
+  std::map<std::string, RecoveredAck> recovered_acks() const
+      EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
     return recovered_acks_;
   }
 
@@ -93,10 +126,10 @@ class DurableCatalog {
   /// refuse acknowledged groups). If even that truncation fails the WAL is
   /// poisoned: every further Commit fails without touching the file until a
   /// successful Checkpoint rebuilds the log.
-  Status Commit();
+  Status Commit() EXCLUDES(mutex_);
 
   /// Discards the staged group.
-  void Abort() { staged_.clear(); }
+  void Abort() EXCLUDES(mutex_);
 
   /// Cross-session group commit (DESIGN S24). SealStagedGroup moves the
   /// staged group — validated exactly as Commit would — into the pending
@@ -112,21 +145,26 @@ class DurableCatalog {
   /// Commit: nothing was acknowledged, the sealed batch stays pending (retry
   /// or AbortSealedGroups), torn frames are truncated away, and an
   /// untruncatable tail poisons the WAL until a Checkpoint rebuilds it.
-  Status SealStagedGroup();
-  Status CommitSealedGroups();
+  Status SealStagedGroup() EXCLUDES(mutex_);
+  Status CommitSealedGroups() EXCLUDES(mutex_);
   /// Discards every sealed-but-uncommitted group.
-  void AbortSealedGroups() { sealed_.clear(); }
-  size_t sealed_groups() const { return sealed_.size(); }
+  void AbortSealedGroups() EXCLUDES(mutex_);
+  size_t sealed_groups() const EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
+    return sealed_.size();
+  }
 
   /// Single-mutation conveniences; fail if a group is open.
-  Status Put(const std::string& name, const rel::Relation& relation);
-  Status Append(const std::string& name, const rel::Relation& batch);
-  Status Drop(const std::string& name);
+  Status Put(const std::string& name, const rel::Relation& relation)
+      EXCLUDES(mutex_);
+  Status Append(const std::string& name, const rel::Relation& batch)
+      EXCLUDES(mutex_);
+  Status Drop(const std::string& name) EXCLUDES(mutex_);
 
   /// Writes chk-<n+1> with the rename-swap protocol, flips CURRENT, resets
   /// the WAL and garbage-collects the old checkpoint. Fails (without
   /// touching disk) while a mutation group is open.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(mutex_);
 
  private:
   DurableCatalog(std::string directory, Io io)
@@ -136,39 +174,56 @@ class DurableCatalog {
 
   std::string Path(const std::string& name) const;
   std::string WalPath() const { return Path(kWalFileName); }
+  /// Locked bodies of the public staging/commit entry points, shared by the
+  /// single-mutation conveniences (Put = LogPutLocked + CommitLocked).
+  Status LogPutLocked(const std::string& name, const rel::Relation& relation)
+      REQUIRES(mutex_);
+  Status LogAppendLocked(const std::string& name, const rel::Relation& batch)
+      REQUIRES(mutex_);
+  Status LogDropLocked(const std::string& name) REQUIRES(mutex_);
+  Status CommitLocked() REQUIRES(mutex_);
   /// The shared durable tail of Commit / CommitSealedGroups: frames every
   /// group with its sealing marker, appends them all in one write, fsyncs
   /// once, then applies every record in order. On failure nothing was
   /// acknowledged and the torn tail is truncated (or the WAL poisoned).
-  Status AppendGroups(const std::vector<const MutationGroup*>& groups);
-  Status Recover();
-  Status ReplayWal(const std::string& bytes, size_t header_end);
+  Status AppendGroupsLocked(const std::vector<const MutationGroup*>& groups)
+      REQUIRES(mutex_);
+  Status RecoverLocked() REQUIRES(mutex_);
+  Status ReplayWalLocked(const std::string& bytes, size_t header_end)
+      REQUIRES(mutex_);
   /// Rewrites the WAL to an empty log for the current checkpoint id.
-  Status ResetWal();
-  Status CollectGarbage(const std::string& live_checkpoint);
-  Status Stage(WalRecord record, std::string payload);
+  Status ResetWalLocked() REQUIRES(mutex_);
+  Status CollectGarbageLocked(const std::string& live_checkpoint)
+      REQUIRES(mutex_);
+  Status StageLocked(WalRecord record, std::string payload) REQUIRES(mutex_);
   /// The columns `name` would have after the staged group, or NotFound if it
   /// would not exist; `from_catalog` receives the live relation if any.
-  Result<std::vector<WalRecord::ColumnSpec>> StagedColumns(
-      const std::string& name) const;
+  Result<std::vector<WalRecord::ColumnSpec>> StagedColumnsLocked(
+      const std::string& name) const REQUIRES(mutex_);
   /// The type domain `name` would have after the staged group — fixed by a
   /// staged create-domain, a domain a staged put/append implicitly creates,
   /// or the live catalog — or NotFound if it would not exist.
-  Result<rel::ValueType> StagedDomainType(const std::string& name) const;
+  Result<rel::ValueType> StagedDomainTypeLocked(const std::string& name) const
+      REQUIRES(mutex_);
 
   std::string directory_;
   Io io_;
-  std::unique_ptr<rel::Catalog> catalog_;
-  uint64_t checkpoint_id_ = 0;
-  size_t wal_live_records_ = 0;
+  /// kWal: the hierarchy's innermost rank — nothing else is ever acquired
+  /// while this is held (the commit path does IO under it instead).
+  mutable util::Mutex mutex_{util::LockRank::kWal, "wal"};
+  /// Set once by RecoverLocked (Open); the pointer is stable afterwards,
+  /// the pointee is mutated only under mutex_ by the commit path.
+  std::unique_ptr<rel::Catalog> catalog_ GUARDED_BY(mutex_);
+  uint64_t checkpoint_id_ GUARDED_BY(mutex_) = 0;
+  size_t wal_live_records_ GUARDED_BY(mutex_) = 0;
   /// True after a failed commit whose torn tail could not be truncated; the
   /// commit path stays closed until a Checkpoint rebuilds the WAL.
-  bool wal_poisoned_ = false;
-  MutationGroup staged_;
+  bool wal_poisoned_ GUARDED_BY(mutex_) = false;
+  MutationGroup staged_ GUARDED_BY(mutex_);
   /// Groups sealed for the next cross-session batch commit, in seal order.
-  std::vector<MutationGroup> sealed_;
-  std::map<std::string, RecoveredAck> recovered_acks_;
-  DurabilityStats stats_;
+  std::vector<MutationGroup> sealed_ GUARDED_BY(mutex_);
+  std::map<std::string, RecoveredAck> recovered_acks_ GUARDED_BY(mutex_);
+  DurabilityStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace durability

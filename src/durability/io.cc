@@ -10,6 +10,8 @@
 #include <sstream>
 #include <system_error>
 
+#include "util/strings.h"
+
 namespace systolic {
 namespace durability {
 
@@ -24,14 +26,14 @@ Status RealFsync(const std::string& path, bool directory) {
   const int fd = ::open(path.c_str(), flags);
   if (fd < 0) {
     return Status::IOError("cannot open '" + path +
-                           "' for fsync: " + std::strerror(errno));
+                           "' for fsync: " + ErrnoString(errno));
   }
   const int rc = ::fsync(fd);
   const int saved_errno = errno;
   ::close(fd);
   if (rc != 0) {
     return Status::IOError("fsync('" + path +
-                           "') failed: " + std::strerror(saved_errno));
+                           "') failed: " + ErrnoString(saved_errno));
   }
   return Status::OK();
 }

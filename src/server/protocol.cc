@@ -33,7 +33,7 @@ Status PollFor(int fd, short events, int timeout_ms, const char* op) {
     const int ready = ::poll(&pfd, 1, timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      return Status::IOError(std::string("poll: ") + std::strerror(errno));
+      return Status::IOError(std::string("poll: ") + ErrnoString(errno));
     }
     if (ready == 0) return TimeoutStatus(op);
     // POLLERR/POLLHUP fall through: the recv/send that follows reports the
@@ -61,7 +61,7 @@ PosixWire::~PosixWire() { Close(); }
 Result<std::unique_ptr<PosixWire>> PosixWire::Dial(uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    return Status::IOError(std::string("socket: ") + ErrnoString(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -70,7 +70,7 @@ Result<std::unique_ptr<PosixWire>> PosixWire::Dial(uint16_t port) {
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
     const Status status =
-        Status::IOError(std::string("connect: ") + std::strerror(errno));
+        Status::IOError(std::string("connect: ") + ErrnoString(errno));
     ::close(fd);
     return status;
   }
@@ -88,7 +88,7 @@ Result<size_t> PosixWire::Send(const char* data, size_t size, int timeout_ms) {
       SYSTOLIC_RETURN_NOT_OK(PollFor(fd_, POLLOUT, timeout_ms, "send"));
       continue;
     }
-    return Status::IOError(std::string("send: ") + std::strerror(errno));
+    return Status::IOError(std::string("send: ") + ErrnoString(errno));
   }
 }
 
@@ -102,7 +102,7 @@ Result<size_t> PosixWire::Recv(char* data, size_t size, int timeout_ms) {
       SYSTOLIC_RETURN_NOT_OK(PollFor(fd_, POLLIN, timeout_ms, "recv"));
       continue;
     }
-    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    return Status::IOError(std::string("recv: ") + ErrnoString(errno));
   }
 }
 

@@ -23,7 +23,7 @@ FairScheduler::FairScheduler(size_t max_concurrent, size_t max_queued)
     : max_concurrent_(std::max<size_t>(1, max_concurrent)),
       max_queued_(max_queued) {}
 
-FairScheduler::Waiter* FairScheduler::NextWaiter() {
+FairScheduler::Waiter* FairScheduler::NextWaiterLocked() {
   if (rr_order_.empty()) return nullptr;
   const uint64_t session = rr_order_.front();
   rr_order_.pop_front();
@@ -40,7 +40,7 @@ FairScheduler::Waiter* FairScheduler::NextWaiter() {
 }
 
 Result<AdmissionTicket> FairScheduler::Admit(uint64_t session_id) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (queued_ == 0 && running_ < max_concurrent_) {
     ++running_;
     ++stats_.admitted;
@@ -62,36 +62,36 @@ Result<AdmissionTicket> FairScheduler::Admit(uint64_t session_id) {
   // A slot may be free even with waiters queued (several Admits raced in):
   // hand it to the round-robin head, which may or may not be us.
   while (running_ < max_concurrent_) {
-    Waiter* next = NextWaiter();
+    Waiter* next = NextWaiterLocked();
     if (next == nullptr) break;
     next->admitted = true;
     ++running_;
   }
-  cv_.notify_all();
-  cv_.wait(lock, [&waiter] { return waiter.admitted; });
+  cv_.NotifyAll();
+  while (!waiter.admitted) cv_.Wait(&mutex_);
   ++stats_.admitted;
   return AdmissionTicket(this);
 }
 
 void FairScheduler::Release() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   --running_;
   while (running_ < max_concurrent_) {
-    Waiter* next = NextWaiter();
+    Waiter* next = NextWaiterLocked();
     if (next == nullptr) break;
     next->admitted = true;
     ++running_;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t FairScheduler::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return queued_;
 }
 
 FairScheduler::Stats FairScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return stats_;
 }
 

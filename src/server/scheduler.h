@@ -1,15 +1,15 @@
 #ifndef SYSTOLIC_SERVER_SCHEDULER_H_
 #define SYSTOLIC_SERVER_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace systolic {
 namespace server {
@@ -63,16 +63,16 @@ class FairScheduler {
 
   /// Blocks until this session holds a run slot; Capacity when the bounded
   /// wait queue is full.
-  Result<AdmissionTicket> Admit(uint64_t session_id);
+  Result<AdmissionTicket> Admit(uint64_t session_id) EXCLUDES(mutex_);
 
   /// Waiters currently queued (the EXPLAIN "admission queue depth").
-  size_t queue_depth() const;
+  size_t queue_depth() const EXCLUDES(mutex_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mutex_);
 
  private:
   friend class AdmissionTicket;
-  void Release();
+  void Release() EXCLUDES(mutex_);
 
   struct Waiter {
     uint64_t session_id = 0;
@@ -80,21 +80,20 @@ class FairScheduler {
   };
 
   /// Pops the next waiter round-robin across sessions; null when none wait.
-  /// Caller holds mutex_.
-  Waiter* NextWaiter();
+  Waiter* NextWaiterLocked() REQUIRES(mutex_);
 
   const size_t max_concurrent_;
   const size_t max_queued_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  size_t running_ = 0;
-  size_t queued_ = 0;
+  mutable util::Mutex mutex_{util::LockRank::kScheduler, "scheduler"};
+  util::CondVar cv_;
+  size_t running_ GUARDED_BY(mutex_) = 0;
+  size_t queued_ GUARDED_BY(mutex_) = 0;
   /// Per-session FIFO backlogs; served round-robin by rr_order_.
-  std::map<uint64_t, std::deque<Waiter*>> backlogs_;
+  std::map<uint64_t, std::deque<Waiter*>> backlogs_ GUARDED_BY(mutex_);
   /// Sessions with a non-empty backlog, in round-robin service order.
-  std::deque<uint64_t> rr_order_;
-  Stats stats_;
+  std::deque<uint64_t> rr_order_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace server

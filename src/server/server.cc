@@ -12,6 +12,8 @@
 #include <sstream>
 #include <utility>
 
+#include "util/strings.h"
+
 namespace systolic {
 namespace server {
 
@@ -57,11 +59,11 @@ Server::~Server() {
   // shutdown raced the accept loop), join what remains here.
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     threads.swap(connection_threads_);
     reaper_stop_ = true;
   }
-  reaper_cv_.notify_all();
+  reaper_cv_.NotifyAll();
   for (std::thread& thread : threads) {
     if (thread.joinable()) thread.join();
   }
@@ -106,12 +108,12 @@ Result<std::shared_ptr<Session>> Server::AdmitLocked(bool network) {
 }
 
 Result<std::shared_ptr<Session>> Server::Connect() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   return AdmitLocked(/*network=*/false);
 }
 
 Result<std::shared_ptr<Session>> Server::Resume(const std::string& token) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const auto tok = tokens_.find(token);
   if (tok != tokens_.end()) {
     const auto slot = slots_.find(tok->second);
@@ -137,18 +139,18 @@ Result<std::shared_ptr<Session>> Server::Resume(const std::string& token) {
 }
 
 void Server::Disconnect(uint64_t session_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const auto it = slots_.find(session_id);
   if (it == slots_.end()) return;
   tokens_.erase(it->second.session->token());
   slots_.erase(it);
-  slots_cv_.notify_all();
+  slots_cv_.NotifyAll();
 }
 
 ServerStats Server::stats() const {
   ServerStats stats;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     stats.sessions_admitted = sessions_admitted_;
     stats.sessions_rejected = sessions_rejected_;
     stats.active_sessions = slots_.size();
@@ -167,7 +169,7 @@ ServerStats Server::stats() const {
 Status Server::Listen(uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    return Status::IOError(std::string("socket: ") + ErrnoString(errno));
   }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -177,24 +179,24 @@ Status Server::Listen(uint16_t port) {
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
     const Status status =
-        Status::IOError(std::string("bind: ") + std::strerror(errno));
+        Status::IOError(std::string("bind: ") + ErrnoString(errno));
     ::close(fd);
     return status;
   }
   if (::listen(fd, 64) < 0) {
     const Status status =
-        Status::IOError(std::string("listen: ") + std::strerror(errno));
+        Status::IOError(std::string("listen: ") + ErrnoString(errno));
     ::close(fd);
     return status;
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
     const Status status =
-        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+        Status::IOError(std::string("getsockname: ") + ErrnoString(errno));
     ::close(fd);
     return status;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   listen_fd_ = fd;
   port_ = ntohs(addr.sin_port);
   return Status::OK();
@@ -203,7 +205,7 @@ Status Server::Listen(uint16_t port) {
 Status Server::Serve() {
   int listen_fd;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     if (listen_fd_ < 0) {
       return Status::InvalidArgument("Serve before Listen");
     }
@@ -222,7 +224,7 @@ Status Server::Serve() {
         // accept loop permanently — back off briefly and keep serving.
         bool stopping;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          util::MutexLock lock(&mutex_);
           stopping = shutdown_ || draining_;
           if (!stopping) ++accept_retries_;
         }
@@ -232,7 +234,7 @@ Status Server::Serve() {
       }
       break;  // listener closed by RequestShutdown/RequestDrain, or fatal
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     if (shutdown_ || draining_) {
       ::close(fd);
       break;
@@ -241,7 +243,7 @@ Status Server::Serve() {
   }
   bool drain;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     drain = draining_ && !shutdown_;
     if (!drain) {
       // Hard stop: tear every connection down; handlers unblock and exit.
@@ -253,17 +255,17 @@ Status Server::Serve() {
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     threads.swap(connection_threads_);
   }
   for (std::thread& thread : threads) {
     if (thread.joinable()) thread.join();
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     reaper_stop_ = true;
   }
-  reaper_cv_.notify_all();
+  reaper_cv_.NotifyAll();
   if (reaper_.joinable()) reaper_.join();
   if (drain) {
     // Every handler has replied and returned; wait out the group-commit
@@ -274,7 +276,7 @@ Status Server::Serve() {
 }
 
 void Server::RequestShutdown() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   shutdown_ = true;
   if (listen_fd_ >= 0) {
     ::shutdown(listen_fd_, SHUT_RDWR);
@@ -282,12 +284,12 @@ void Server::RequestShutdown() {
     listen_fd_ = -1;
   }
   for (auto& [id, wire] : live_wires_) wire->ShutdownBoth();
-  reaper_cv_.notify_all();
-  slots_cv_.notify_all();
+  reaper_cv_.NotifyAll();
+  slots_cv_.NotifyAll();
 }
 
 void Server::RequestDrain() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   if (shutdown_ || draining_) return;
   draining_ = true;
   if (listen_fd_ >= 0) {
@@ -302,8 +304,8 @@ void Server::RequestDrain() {
     // finish their admitted command and see close_after_reply at the reply.
     if (!slot.busy && slot.wire != nullptr) slot.wire->ShutdownBoth();
   }
-  reaper_cv_.notify_all();
-  slots_cv_.notify_all();
+  reaper_cv_.NotifyAll();
+  slots_cv_.NotifyAll();
 }
 
 void Server::ReaperLoop() {
@@ -311,9 +313,13 @@ void Server::ReaperLoop() {
   const auto tick =
       std::max(std::chrono::milliseconds(10),
                std::chrono::milliseconds(config_.idle_timeout_ms / 4));
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   while (!reaper_stop_) {
-    reaper_cv_.wait_for(lock, tick);
+    // Pacing sleep guarded by the loop predicate: timeout and notify both
+    // fall through to a sweep (idempotent; a drain/shutdown notify just
+    // sweeps early), and reaper_stop_ is re-checked under mutex_ before
+    // every sleep, so a stop can never be missed.
+    (void)reaper_cv_.WaitFor(&mutex_, tick);
     if (reaper_stop_) break;
     const auto now = Now();
     for (auto it = slots_.begin(); it != slots_.end();) {
@@ -345,7 +351,7 @@ Status Server::WriteReply(Wire& wire, const std::string& payload) {
   // silently kill the connection: substitute a well-formed truncated ERR
   // carrying a prefix of the output.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     ++oversize_replies_;
   }
   const size_t nl = payload.find('\n');
@@ -366,7 +372,7 @@ void Server::HandleConnection(int fd) {
   PosixWire wire(fd);
   uint64_t wire_id;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     wire_id = next_wire_id_++;
     live_wires_[wire_id] = &wire;
   }
@@ -387,7 +393,7 @@ void Server::HandleConnection(int fd) {
     (void)WriteFrame(wire, "ERR " + first.status().ToString() + "\n",
                      BudgetMs(config_.io_timeout_ms));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   live_wires_.erase(wire_id);
 }
 
@@ -395,10 +401,10 @@ void Server::HandleV1(Wire& wire, std::string line) {
   const int io = BudgetMs(config_.io_timeout_ms);
   std::shared_ptr<Session> session;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(&mutex_);
     Result<std::shared_ptr<Session>> connected = AdmitLocked(/*network=*/true);
     if (!connected.ok()) {
-      lock.unlock();
+      lock.Unlock();
       // Best-effort refusal; the admission verdict is the payload.
       (void)WriteFrame(wire, "ERR " + connected.status().ToString() + "\n",
                        io);
@@ -422,7 +428,7 @@ void Server::HandleV1(Wire& wire, std::string line) {
       break;
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       const auto it = slots_.find(sid);
       if (it != slots_.end()) {
         it->second.busy = true;
@@ -439,7 +445,7 @@ void Server::HandleV1(Wire& wire, std::string line) {
     }
     bool close_now = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       const auto it = slots_.find(sid);
       if (it != slots_.end()) {
         it->second.busy = false;
@@ -447,7 +453,7 @@ void Server::HandleV1(Wire& wire, std::string line) {
         close_now = it->second.close_after_reply;
       }
     }
-    slots_cv_.notify_all();
+    slots_cv_.NotifyAll();
     if (!WriteReply(wire, payload).ok()) break;
     if (close_now) break;
     bool clean_eof = false;
@@ -458,7 +464,7 @@ void Server::HandleV1(Wire& wire, std::string line) {
         (void)WriteFrame(wire, "ERR " + next.status().ToString() + "\n", io);
       }
       if (IsWireTimeout(next.status())) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(&mutex_);
         ++sessions_reaped_;
       }
       break;
@@ -468,9 +474,8 @@ void Server::HandleV1(Wire& wire, std::string line) {
   Disconnect(sid);  // v1 sessions die with their connection
 }
 
-Result<std::shared_ptr<Session>> Server::AttachV2(
-    std::unique_lock<std::mutex>& lock, const std::string& token,
-    Wire* wire) {
+Result<std::shared_ptr<Session>> Server::AttachV2(const std::string& token,
+                                                  Wire* wire) {
   for (;;) {
     if (shutdown_ || draining_) {
       return Status::Unavailable("server is stopping");
@@ -514,10 +519,20 @@ Result<std::shared_ptr<Session>> Server::AttachV2(
     // Steal: the token holder reconnected (its old connection is dead or
     // dying). Tear the old attachment down and wait for its handler to
     // finish any in-flight command and detach — the reply lands in the cache
-    // for the retry.
+    // for the retry. Predicate-guarded: sleep only while the stolen slot is
+    // still attached; a spurious wakeup re-checks and goes back to sleep
+    // instead of racing the old handler for the slot.
     slot.close_after_reply = true;
     if (slot.wire != nullptr) slot.wire->ShutdownBoth();
-    slots_cv_.wait(lock);
+    while (!shutdown_ && !draining_) {
+      const auto t = tokens_.find(token);
+      if (t == tokens_.end()) break;  // reaped/disconnected while we slept
+      const auto s = slots_.find(t->second);
+      if (s == slots_.end() || !s->second.attached) break;
+      slots_cv_.Wait(&mutex_);
+    }
+    // Loop back and re-evaluate from scratch: the slot may have detached,
+    // vanished entirely, or the server may be stopping.
   }
   SYSTOLIC_ASSIGN_OR_RETURN(std::shared_ptr<Session> session,
                             AdmitLocked(/*network=*/true));
@@ -529,7 +544,7 @@ Result<std::shared_ptr<Session>> Server::AttachV2(
 }
 
 void Server::ReleaseV2(uint64_t session_id, bool disconnect) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(&mutex_);
   const auto it = slots_.find(session_id);
   if (it != slots_.end()) {
     Slot& slot = it->second;
@@ -543,18 +558,18 @@ void Server::ReleaseV2(uint64_t session_id, bool disconnect) {
       slots_.erase(it);
     }
   }
-  slots_cv_.notify_all();
+  slots_cv_.NotifyAll();
 }
 
 void Server::HandleV2(Wire& wire, const std::string& token) {
   const int io = BudgetMs(config_.io_timeout_ms);
   std::shared_ptr<Session> session;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    Result<std::shared_ptr<Session>> attached = AttachV2(lock, token, &wire);
+    util::MutexLock lock(&mutex_);
+    Result<std::shared_ptr<Session>> attached = AttachV2(token, &wire);
     if (!attached.ok()) {
       const Status status = attached.status();
-      lock.unlock();
+      lock.Unlock();
       // Admission pressure is retryable (same HELLO, later); everything else
       // (unknown token, stopping server) is a hard verdict.
       const char* verdict = status.IsCapacity() ? "RETRY " : "ERR ";
@@ -582,7 +597,7 @@ void Server::HandleV2(Wire& wire, const std::string& token) {
       }
       if (IsWireTimeout(frame.status())) {
         // Slow loris: the connection idled out. Free the admission slot now.
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(&mutex_);
         ++sessions_reaped_;
         disconnect = true;
       }
@@ -619,7 +634,7 @@ void Server::HandleV2(Wire& wire, const std::string& token) {
       break;  // detach; a correct client can still resume
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       const auto it = slots_.find(sid);
       if (it != slots_.end()) {
         it->second.busy = true;
@@ -629,7 +644,7 @@ void Server::HandleV2(Wire& wire, const std::string& token) {
     Result<Session::RequestOutcome> outcome = session->ExecuteRequest(id, line);
     bool close_now = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::MutexLock lock(&mutex_);
       const auto it = slots_.find(sid);
       if (it != slots_.end()) {
         it->second.busy = false;
@@ -639,7 +654,7 @@ void Server::HandleV2(Wire& wire, const std::string& token) {
       if (outcome.ok() && outcome->from_cache) ++replies_from_cache_;
       if (outcome.ok() && outcome->recovered_dedup) ++recovered_dedups_;
     }
-    slots_cv_.notify_all();
+    slots_cv_.NotifyAll();
     if (!outcome.ok()) {
       // Protocol violation (non-monotonic id): verdict, then detach.
       (void)WriteReply(wire, "ERR " + outcome.status().ToString() + "\n");

@@ -2,11 +2,9 @@
 #define SYSTOLIC_SERVER_SERVER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +14,8 @@
 #include "server/session.h"
 #include "server/shared_catalog.h"
 #include "system/machine.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace systolic {
 namespace server {
@@ -101,25 +101,29 @@ class Server {
 
   /// Admits a new session (Capacity beyond max_sessions). The session is
   /// driven by ONE caller thread at a time; its token() can Resume it later.
-  Result<std::shared_ptr<Session>> Connect();
+  Result<std::shared_ptr<Session>> Connect() EXCLUDES(mutex_);
 
   /// Re-attaches the session named by `token`: a live detached session, or —
   /// after a crash — a fresh session primed with the WAL-recovered ack
   /// high-water mark so retried commits are deduplicated. NotFound for an
   /// unknown token; Capacity when a fresh admission would exceed the limit.
-  Result<std::shared_ptr<Session>> Resume(const std::string& token);
+  Result<std::shared_ptr<Session>> Resume(const std::string& token)
+      EXCLUDES(mutex_);
 
   /// Releases a session's slot.
-  void Disconnect(uint64_t session_id);
+  void Disconnect(uint64_t session_id) EXCLUDES(mutex_);
 
   SharedCatalog& catalog() { return *catalog_; }
   FairScheduler& scheduler() { return *scheduler_; }
-  ServerStats stats() const;
+  ServerStats stats() const EXCLUDES(mutex_);
 
   /// Binds and listens on `port` (0 = ephemeral); port() reports the bound
   /// one.
-  Status Listen(uint16_t port);
-  uint16_t port() const { return port_; }
+  Status Listen(uint16_t port) EXCLUDES(mutex_);
+  uint16_t port() const EXCLUDES(mutex_) {
+    util::MutexLock lock(&mutex_);
+    return port_;
+  }
 
   /// Accept loop: one thread per connection, one session per connection.
   /// Blocks until RequestShutdown / RequestDrain (or the protocol SHUTDOWN /
@@ -153,60 +157,70 @@ class Server {
     std::chrono::steady_clock::time_point last_active;
   };
 
-  void HandleConnection(int fd);
+  void HandleConnection(int fd) EXCLUDES(mutex_);
   /// The v2 session loop (after a HELLO); `token` empty = new session.
-  void HandleV2(Wire& wire, const std::string& token);
+  void HandleV2(Wire& wire, const std::string& token) EXCLUDES(mutex_);
   /// The legacy v1 loop; `first` is the already-read first command frame.
-  void HandleV1(Wire& wire, std::string first);
+  void HandleV1(Wire& wire, std::string first) EXCLUDES(mutex_);
 
   /// Writes `payload`, substituting a well-formed truncated ERR reply when
   /// it exceeds the frame limit (the connection survives oversized PRINTs).
-  Status WriteReply(Wire& wire, const std::string& payload);
+  Status WriteReply(Wire& wire, const std::string& payload) EXCLUDES(mutex_);
 
   /// Admission + slot/token bookkeeping; caller holds mutex_.
-  Result<std::shared_ptr<Session>> AdmitLocked(bool network);
-  /// Mints "b<boot>-s<n>", skipping live and WAL-recovered tokens.
-  std::string MintTokenLocked();
+  Result<std::shared_ptr<Session>> AdmitLocked(bool network)
+      REQUIRES(mutex_);
+  /// Mints "b<boot>-s<n>", skipping live and WAL-recovered tokens. Calls
+  /// into the shared catalog under mutex_ — legal because kServer is
+  /// ACQUIRED_BEFORE kSharedCatalog in the lock hierarchy (DESIGN §2.10).
+  std::string MintTokenLocked() REQUIRES(mutex_);
   /// Attach (or steal) the v2 session for `token`; empty = admit new.
-  /// Returns the session, waiting out a concurrent handler on a steal.
-  Result<std::shared_ptr<Session>> AttachV2(std::unique_lock<std::mutex>& lock,
-                                            const std::string& token,
-                                            Wire* wire);
+  /// Returns the session, waiting out a concurrent handler on a steal
+  /// (mutex_ is released while waiting, like every CondVar wait).
+  Result<std::shared_ptr<Session>> AttachV2(const std::string& token,
+                                            Wire* wire) REQUIRES(mutex_);
   /// Detach-or-disconnect at v2 handler exit.
-  void ReleaseV2(uint64_t session_id, bool disconnect);
+  void ReleaseV2(uint64_t session_id, bool disconnect) EXCLUDES(mutex_);
 
-  void ReaperLoop();
+  void ReaperLoop() EXCLUDES(mutex_);
 
   ServerConfig config_;
   std::shared_ptr<db::ChipPool> pool_;
   std::unique_ptr<SharedCatalog> catalog_;
   std::unique_ptr<FairScheduler> scheduler_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable slots_cv_;
-  uint64_t next_session_id_ = 1;
-  uint64_t token_nonce_ = 1;
-  std::map<uint64_t, Slot> slots_;
-  std::map<std::string, uint64_t> tokens_;  ///< token -> session id
-  size_t sessions_admitted_ = 0;
-  size_t sessions_rejected_ = 0;
-  size_t sessions_resumed_ = 0;
-  size_t sessions_reaped_ = 0;
-  size_t accept_retries_ = 0;
-  size_t replies_from_cache_ = 0;
-  size_t recovered_dedups_ = 0;
-  size_t oversize_replies_ = 0;
+  /// kServer: the OUTERMOST rank — handler threads hold mutex_ while
+  /// calling into the shared catalog (MintTokenLocked → RecoveredAckFor).
+  mutable util::Mutex mutex_{util::LockRank::kServer, "server"};
+  /// Woken when a slot detaches, a session disconnects, or drain/shutdown
+  /// starts; steal waits and the Serve drain barrier sleep on it.
+  util::CondVar slots_cv_;
+  uint64_t next_session_id_ GUARDED_BY(mutex_) = 1;
+  uint64_t token_nonce_ GUARDED_BY(mutex_) = 1;
+  std::map<uint64_t, Slot> slots_ GUARDED_BY(mutex_);
+  /// token -> session id.
+  std::map<std::string, uint64_t> tokens_ GUARDED_BY(mutex_);
+  size_t sessions_admitted_ GUARDED_BY(mutex_) = 0;
+  size_t sessions_rejected_ GUARDED_BY(mutex_) = 0;
+  size_t sessions_resumed_ GUARDED_BY(mutex_) = 0;
+  size_t sessions_reaped_ GUARDED_BY(mutex_) = 0;
+  size_t accept_retries_ GUARDED_BY(mutex_) = 0;
+  size_t replies_from_cache_ GUARDED_BY(mutex_) = 0;
+  size_t recovered_dedups_ GUARDED_BY(mutex_) = 0;
+  size_t oversize_replies_ GUARDED_BY(mutex_) = 0;
 
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  bool shutdown_ = false;
-  bool draining_ = false;
-  uint64_t next_wire_id_ = 1;
-  std::map<uint64_t, Wire*> live_wires_;
-  std::vector<std::thread> connection_threads_;
+  int listen_fd_ GUARDED_BY(mutex_) = -1;
+  uint16_t port_ GUARDED_BY(mutex_) = 0;
+  bool shutdown_ GUARDED_BY(mutex_) = false;
+  bool draining_ GUARDED_BY(mutex_) = false;
+  uint64_t next_wire_id_ GUARDED_BY(mutex_) = 1;
+  std::map<uint64_t, Wire*> live_wires_ GUARDED_BY(mutex_);
+  std::vector<std::thread> connection_threads_ GUARDED_BY(mutex_);
+  /// Started by Serve, joined by Serve/~Server — only the owning thread
+  /// touches the thread object itself, so it is not guarded.
   std::thread reaper_;
-  std::condition_variable reaper_cv_;
-  bool reaper_stop_ = false;
+  util::CondVar reaper_cv_;
+  bool reaper_stop_ GUARDED_BY(mutex_) = false;
 };
 
 /// Minimal blocking v1 client for the length-framed protocol; used by the

@@ -32,7 +32,11 @@ namespace server {
 ///
 /// A Session is used by ONE client thread at a time (the server enforces
 /// this); cross-session state (catalog, scheduler, chip pool) is internally
-/// synchronized.
+/// synchronized. That single-driver discipline is why this class carries no
+/// mutex and no GUARDED_BY annotations: the attach/steal protocol in
+/// Server (Slot::attached under the kServer-rank mutex) hands the whole
+/// session from one handler thread to the next, release-to-acquire, before
+/// any field here is touched (DESIGN §2.10).
 class Session {
  public:
   /// `catalog` and `scheduler` must outlive the session. `config` should

@@ -5,15 +5,15 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "durability/durable_catalog.h"
 #include "relational/relation.h"
+#include "util/mutex.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 
 namespace systolic {
 namespace server {
@@ -105,12 +105,13 @@ class SharedCatalog {
   SharedCatalog& operator=(const SharedCatalog&) = delete;
 
   /// The newest published image.
-  std::shared_ptr<const CatalogImage> Snapshot() const;
+  std::shared_ptr<const CatalogImage> Snapshot() const EXCLUDES(mutex_);
 
   /// Seeds `name` into the current image with writer_version 0 (pre-history:
   /// conflicts with nobody). For server start-up data; fails once any
   /// commit has been processed.
-  Status Seed(const std::string& name, rel::Relation relation);
+  Status Seed(const std::string& name, rel::Relation relation)
+      EXCLUDES(mutex_);
 
   /// Commits one session's write set atomically, batched with whatever other
   /// sessions are committing right now (see class comment). Blocks until the
@@ -120,31 +121,33 @@ class SharedCatalog {
   Result<CommitResult> CommitGroup(
       uint64_t snapshot_version,
       const std::vector<std::pair<std::string, const rel::Relation*>>& puts,
-      CommitTag tag = CommitTag{});
+      CommitTag tag = CommitTag{}) EXCLUDES(mutex_);
 
   /// The highest request id `token` committed before the last crash
   /// (recovered from WAL ack records); false when the token has none.
+  /// Callable under the server mutex: kServer is ACQUIRED_BEFORE
+  /// kSharedCatalog in the lock hierarchy (DESIGN §2.10).
   bool RecoveredAckFor(const std::string& token, uint64_t* request_id,
-                       uint64_t* records) const;
+                       uint64_t* records) const EXCLUDES(mutex_);
 
   /// Blocks until no group-commit leader is active and the commit queue is
   /// empty — the DRAIN barrier: after it, every acknowledged commit has been
   /// fsync'd and published.
-  void Quiesce();
+  void Quiesce() EXCLUDES(mutex_);
 
   /// Rewrites the durable checkpoint (rename-swap) and resets the WAL;
   /// no-op (OK) without a durable directory. Excludes itself from running
   /// group commits.
-  Status Checkpoint();
+  Status Checkpoint() EXCLUDES(mutex_);
 
   bool durable() const { return durable_ != nullptr; }
 
-  GroupCommitStats stats() const;
+  GroupCommitStats stats() const EXCLUDES(mutex_);
 
   /// Counters of the underlying durable catalog (server-wide, cached under
   /// the catalog lock so readers never race the leader's IO); zeros when
   /// in-memory.
-  durability::DurabilityStats durability_stats() const;
+  durability::DurabilityStats durability_stats() const EXCLUDES(mutex_);
 
  private:
   struct CommitRequest {
@@ -160,17 +163,24 @@ class SharedCatalog {
   /// Leader body: drains `batch`, publishes the successor image. Called
   /// WITHOUT mutex_ held; leader_active_ gives exclusive access to durable_
   /// and to image publication.
-  void ProcessBatch(const std::vector<CommitRequest*>& batch);
+  void ProcessBatch(const std::vector<CommitRequest*>& batch)
+      EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<CommitRequest*> queue_;
-  bool leader_active_ = false;
-  std::shared_ptr<const CatalogImage> image_;
+  mutable util::Mutex mutex_{util::LockRank::kSharedCatalog,
+                             "shared-catalog"};
+  util::CondVar cv_;
+  std::deque<CommitRequest*> queue_ GUARDED_BY(mutex_);
+  bool leader_active_ GUARDED_BY(mutex_) = false;
+  std::shared_ptr<const CatalogImage> image_ GUARDED_BY(mutex_);
+  /// NOT guarded by mutex_: exclusive to the active leader/checkpointer
+  /// (leader_active_ hands it off), which calls into it with mutex_
+  /// RELEASED — the pointee's own kWal-rank mutex is the hierarchy's sink.
+  /// The pointer itself is const after Open.
   std::unique_ptr<durability::DurableCatalog> durable_;
-  std::map<std::string, durability::RecoveredAck> recovered_acks_;
-  GroupCommitStats stats_;
-  durability::DurabilityStats durability_stats_;
+  std::map<std::string, durability::RecoveredAck> recovered_acks_
+      GUARDED_BY(mutex_);
+  GroupCommitStats stats_ GUARDED_BY(mutex_);
+  durability::DurabilityStats durability_stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace server

@@ -1,5 +1,7 @@
 #include "util/strings.h"
 
+#include <string.h>
+
 #include <cctype>
 #include <charconv>
 
@@ -47,6 +49,21 @@ bool ParseInt64(std::string_view text, int64_t* out) {
   const char* last = text.data() + text.size();
   auto [ptr, ec] = std::from_chars(first, last, *out);
   return ec == std::errc() && ptr == last;
+}
+
+std::string ErrnoString(int err) {
+  char buf[256];
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  // GNU strerror_r returns the message (maybe static, maybe buf) and never
+  // fails; it only uses static storage for known errnos, which is safe to
+  // read concurrently.
+  return strerror_r(err, buf, sizeof(buf));
+#else
+  if (strerror_r(err, buf, sizeof(buf)) != 0) {
+    return "errno " + std::to_string(err);
+  }
+  return buf;
+#endif
 }
 
 }  // namespace systolic

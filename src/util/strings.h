@@ -20,6 +20,11 @@ std::string_view Trim(std::string_view text);
 /// on success stores the value in *out.
 bool ParseInt64(std::string_view text, int64_t* out);
 
+/// The message for `err` (an errno value), via the thread-safe strerror_r —
+/// std::strerror may return a pointer into shared static storage, which the
+/// concurrent server paths must not race on (clang-tidy concurrency-*).
+std::string ErrnoString(int err);
+
 }  // namespace systolic
 
 #endif  // SYSTOLIC_UTIL_STRINGS_H_

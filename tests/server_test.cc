@@ -676,6 +676,189 @@ TEST(ProtocolRobustness, OversizeReplyIsTruncatedIntoWellFormedError) {
   serving.join();
 }
 
+// ---- Lock discipline (S27 / DESIGN §2.10) ---------------------------------
+// Regression coverage for the condition-variable audit and the ranked-mutex
+// refactor: the v2 steal wait, the reaper's pacing wait, and the full
+// DRAIN × idle-reaper × group-commit-leader interleaving. server_test runs
+// in the CI TSan lane, so these double as data-race probes over the
+// annotated concurrent core.
+
+TEST(LockDiscipline, V2TokenStealWaitsOutOldHandlerAndHandsOver) {
+  ServedServer served(TestConfig());
+
+  // Wire A: fresh v2 session, one completed request.
+  auto wire_a = PosixWire::Dial(served.server->port());
+  ASSERT_OK(wire_a);
+  ASSERT_STATUS_OK(WriteFrame(**wire_a, EncodeHello(""), 2'000));
+  bool clean_eof = false;
+  auto ack_a = ReadFrame(**wire_a, &clean_eof, 5'000, 5'000);
+  ASSERT_OK(ack_a);
+  ASSERT_EQ(ack_a->rfind("OK\ntoken ", 0), 0u) << *ack_a;
+  const size_t tok_begin = ack_a->find("token ") + 6;
+  const size_t tok_end = ack_a->find(" last", tok_begin);
+  ASSERT_NE(tok_end, std::string::npos) << *ack_a;
+  const std::string token = ack_a->substr(tok_begin, tok_end - tok_begin);
+
+  ASSERT_STATUS_OK(WriteFrame(**wire_a, EncodeRequest(1, "LOAD A"), 2'000));
+  auto reply_a = ReadFrame(**wire_a, &clean_eof, 5'000, 5'000);
+  ASSERT_OK(reply_a);
+  EXPECT_EQ(reply_a->rfind("OK", 0), 0u) << *reply_a;
+
+  // Wire B HELLOs with A's token while A is still attached (parked reading
+  // its next frame). AttachV2 must tear A's attachment down and sleep on the
+  // predicate-guarded steal wait until A's handler detaches — not spin, not
+  // race A for the slot, not hang on a missed notify.
+  auto wire_b = PosixWire::Dial(served.server->port());
+  ASSERT_OK(wire_b);
+  ASSERT_STATUS_OK(WriteFrame(**wire_b, EncodeHello(token), 2'000));
+  auto ack_b = ReadFrame(**wire_b, &clean_eof, 10'000, 5'000);
+  ASSERT_OK(ack_b);
+  EXPECT_EQ(*ack_b, "OK\ntoken " + token + " last 1\n");
+
+  // A's side of the wire is dead (EOF or reset), not silently half-open.
+  char byte;
+  auto got = (*wire_a)->Recv(&byte, 1, 5'000);
+  if (got.ok()) {
+    EXPECT_EQ(*got, 0u);
+  }
+  (*wire_a)->Close();
+
+  // The stolen session carried its state across: A's LOAD is visible and
+  // the request-id sequence continues from A's high-water mark.
+  ASSERT_STATUS_OK(WriteFrame(**wire_b, EncodeRequest(2, "PRINT A"), 2'000));
+  auto reply_b = ReadFrame(**wire_b, &clean_eof, 5'000, 5'000);
+  ASSERT_OK(reply_b);
+  EXPECT_EQ(reply_b->rfind("OK", 0), 0u) << *reply_b;
+  EXPECT_NE(reply_b->find("(1, 10)"), std::string::npos) << *reply_b;
+  (*wire_b)->Close();
+  EXPECT_EQ(served.server->stats().sessions_resumed, 1u);
+}
+
+TEST(LockDiscipline, ReaperShutdownIsPromptDespiteLongTick) {
+  // With a 2-minute idle budget the reaper's pacing sleep is 30 s per tick.
+  // Shutdown must interrupt that sleep via the notify, not wait it out: the
+  // stop flag is re-checked under the mutex before and after every WaitFor,
+  // so a RequestShutdown can never slip between the check and the sleep.
+  ServerConfig config = TestConfig();
+  config.idle_timeout_ms = 120'000;
+  auto created = Server::Create(std::move(config));
+  ASSERT_OK(created);
+  Server& server = **created;
+  SeedDemo(&server);
+  ASSERT_STATUS_OK(server.Listen(0));
+  std::thread serving([&server] { EXPECT_TRUE(server.Serve().ok()); });
+
+  // Prove the server (and its reaper) is actually up before stopping it.
+  auto client = Client::Connect(server.port());
+  ASSERT_OK(client);
+  client->set_io_timeout_ms(5'000);
+  auto loaded = client->Roundtrip("LOAD A");
+  ASSERT_OK(loaded);
+  EXPECT_TRUE(loaded->ok) << loaded->error;
+
+  const auto start = std::chrono::steady_clock::now();
+  server.RequestShutdown();
+  serving.join();  // Serve joins the reaper thread before returning
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(10))
+      << "shutdown waited out the reaper tick instead of waking it";
+}
+
+TEST(LockDiscipline, DrainRacesReaperRacesGroupCommitLeader) {
+  // The three-way interleaving the lock hierarchy exists for: writer
+  // handlers committing through the group-commit leader handoff (scheduler →
+  // shared catalog → WAL) while the idle reaper sweeps detached slots under
+  // the server mutex and a DRAIN tears the accept loop down mid-traffic.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "systolic_server_test_drain3")
+          .string();
+  std::filesystem::remove_all(dir);
+  constexpr size_t kWriters = 3;
+  constexpr size_t kLoris = 2;
+  constexpr size_t kStoresPerWriter = 64;
+
+  ServerConfig config = TestConfig();
+  config.durable_dir = dir;  // commits go through the WAL (rank sink)
+  config.idle_timeout_ms = 50;  // aggressive reaper: ~12 ms tick
+  config.io_timeout_ms = 5'000;
+  auto created = Server::Create(std::move(config));
+  ASSERT_OK(created);
+  Server& server = **created;
+  SeedDemo(&server);
+  ASSERT_STATUS_OK(server.Listen(0));
+  std::thread serving([&server] { EXPECT_TRUE(server.Serve().ok()); });
+  const uint16_t port = server.port();
+
+  // Reaper prey: v2 sessions whose connections die right after the HELLO.
+  // A clean EOF detaches (the session stays resumable), so the slot sits
+  // idle until the reaper collects it — concurrent with the writers below.
+  for (size_t i = 0; i < kLoris; ++i) {
+    auto wire = PosixWire::Dial(port);
+    ASSERT_OK(wire);
+    ASSERT_STATUS_OK(WriteFrame(**wire, EncodeHello(""), 2'000));
+    bool clean_eof = false;
+    auto ack = ReadFrame(**wire, &clean_eof, 5'000, 5'000);
+    ASSERT_OK(ack);
+    ASSERT_EQ(ack->rfind("OK\ntoken ", 0), 0u) << *ack;
+    (*wire)->Close();
+  }
+
+  // Writers hammer unique STOREs; every ack rode a group-commit batch whose
+  // leader dropped the catalog lock to write the WAL.
+  std::atomic<size_t> progress{0};
+  std::vector<std::vector<std::string>> acked(kWriters);
+  std::vector<std::thread> writers;
+  for (size_t i = 0; i < kWriters; ++i) {
+    writers.emplace_back([&, i] {
+      auto client = Client::Connect(port);
+      if (!client.ok()) return;  // drain beat the dial
+      client->set_io_timeout_ms(5'000);
+      auto loaded = client->Roundtrip("LOAD A");
+      if (!loaded.ok() || !loaded->ok) return;
+      const std::string buf = "buf" + std::to_string(i);
+      auto made = client->Roundtrip("DEDUP A -> " + buf);
+      if (!made.ok() || !made->ok) return;
+      for (size_t j = 0; j < kStoresPerWriter; ++j) {
+        const std::string name =
+            "w" + std::to_string(i) + "_" + std::to_string(j);
+        auto stored = client->Roundtrip("STORE " + buf + " AS " + name);
+        if (!stored.ok() || !stored->ok) break;  // drain cut the session
+        acked[i].push_back(name);
+        progress.fetch_add(1);
+      }
+    });
+  }
+
+  // Fire the drain only once the contention is real: commits have landed
+  // AND the reaper has swept the idle slots.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((progress.load() < kWriters * 2 ||
+          server.stats().sessions_reaped < kLoris) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(server.stats().sessions_reaped, kLoris);
+  server.RequestDrain();
+  serving.join();  // drain barrier: in-flight replies + group-commit quiesce
+  for (std::thread& thread : writers) thread.join();
+
+  // Acked ⊆ applied, and nothing acknowledged went missing in the drain.
+  const ServerStats stats = server.stats();
+  size_t total_acked = 0;
+  for (const auto& names : acked) total_acked += names.size();
+  EXPECT_GE(total_acked, kWriters * 2);
+  EXPECT_GE(stats.group_commit.commits, total_acked);
+  const auto snapshot = server.catalog().Snapshot();
+  for (size_t i = 0; i < kWriters; ++i) {
+    for (const std::string& name : acked[i]) {
+      EXPECT_EQ(snapshot->relations.count(name), 1u)
+          << "acked STORE " << name << " missing after drain";
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace systolic
